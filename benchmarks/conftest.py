@@ -1,0 +1,37 @@
+"""Shared helpers for the per-figure/per-table benchmark harness.
+
+Each benchmark file regenerates one paper artifact: it prints the
+regenerated rows/series (the same data the paper plots), asserts every
+shape check against the paper's reported values, and times the full
+regeneration with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.base import ExperimentResult
+
+
+def regenerate_and_verify(benchmark, experiment_id: str) -> ExperimentResult:
+    """Benchmark one experiment's regeneration and verify its checks."""
+    run = EXPERIMENTS[experiment_id]
+    result = benchmark(run)
+    print()
+    print(result.render_text())
+    failed = result.failed_checks()
+    assert not failed, "; ".join(
+        f"{c.name} (observed {c.observed}, expected {c.expected})" for c in failed
+    )
+    return result
+
+
+@pytest.fixture()
+def verify(benchmark):
+    """Fixture form of :func:`regenerate_and_verify`."""
+
+    def _verify(experiment_id: str) -> ExperimentResult:
+        return regenerate_and_verify(benchmark, experiment_id)
+
+    return _verify

@@ -1,0 +1,45 @@
+"""Ablation: chiplet partitioning across die sizes and defect densities.
+
+Checks the crossover structure the Reuse tenet predicts: monolithic wins
+for small dies, chiplets win for large dies, and the optimal split count
+grows with defect density.
+"""
+
+from repro.fabs.chiplets import optimal_partition, partition
+from repro.fabs.fab import default_fab
+from repro.fabs.yield_models import PoissonYield
+
+DIE_SIZES_MM2 = (50.0, 100.0, 200.0, 400.0, 800.0)
+DEFECT_DENSITIES = (0.05, 0.2, 0.6)
+
+
+def _run_ablation():
+    fab = default_fab("7")
+    table = {}
+    for d0 in DEFECT_DENSITIES:
+        model = PoissonYield(d0)
+        for area in DIE_SIZES_MM2:
+            best = optimal_partition(area, fab, yield_model=model)
+            mono = partition(area, 1, fab, yield_model=model)
+            table[(d0, area)] = (best.chiplets, mono.total_g / best.total_g)
+    return table
+
+
+def test_bench_ablation_chiplets(benchmark):
+    """Optimal split and saving across (defect density, die size)."""
+    table = benchmark(_run_ablation)
+    print()
+    for (d0, area), (chiplets, saving) in sorted(table.items()):
+        print(f"D0={d0:4.2f}/cm^2 area={area:6.0f}mm^2 -> "
+              f"{chiplets:2d} chiplets, {saving:5.2f}x vs monolithic")
+    # Small dies at low defect density stay monolithic.
+    assert table[(0.05, 50.0)][0] == 1
+    # Reticle-class dies always split, with real savings.
+    for d0 in DEFECT_DENSITIES:
+        chiplets, saving = table[(d0, 800.0)]
+        assert chiplets > 1
+        assert saving > 1.2
+    # Dirtier processes want at least as many chiplets.
+    for area in DIE_SIZES_MM2:
+        counts = [table[(d0, area)][0] for d0 in DEFECT_DENSITIES]
+        assert counts == sorted(counts)

@@ -1,0 +1,46 @@
+"""Ablation: gas abatement and fab energy mix (the Figure 6 knobs).
+
+Quantifies, for the iPhone-11-class bottom-up platform, how the two fab
+levers the paper highlights move the total: abatement within its 95-99%
+band, and fab electricity from Taiwan grid to full solar.
+"""
+
+from repro.data.devices import iphone11_platform
+from repro.fabs.fab import FabScenario
+
+ABATEMENTS = (0.95, 0.97, 0.99)
+MIXES = ("taiwan_grid", "taiwan_25_renewable", "solar", "carbon_free")
+
+
+def _cpa_matrix():
+    return {
+        (mix, abatement): FabScenario.for_node(
+            "7", energy_mix=mix, abatement=abatement
+        ).cpa_g_per_cm2()
+        for mix in MIXES
+        for abatement in ABATEMENTS
+    }
+
+
+def test_bench_ablation_fab_levers(benchmark):
+    """CPA across the abatement x energy-mix grid; orderings must hold."""
+    matrix = benchmark(_cpa_matrix)
+    print()
+    for mix in MIXES:
+        row = " ".join(
+            f"{matrix[(mix, abatement)]:7.0f}" for abatement in ABATEMENTS
+        )
+        print(f"{mix:20s} {row}  (g CO2/cm^2 at 95/97/99% abatement)")
+    for mix in MIXES:
+        assert (
+            matrix[(mix, 0.99)] < matrix[(mix, 0.97)] < matrix[(mix, 0.95)]
+        ), mix
+    for abatement in ABATEMENTS:
+        values = [matrix[(mix, abatement)] for mix in MIXES]
+        assert values == sorted(values, reverse=True), abatement
+    # Greening the fab moves more carbon than tightening abatement.
+    abatement_lever = matrix[("taiwan_grid", 0.95)] - matrix[("taiwan_grid", 0.99)]
+    energy_lever = matrix[("taiwan_grid", 0.97)] - matrix[("solar", 0.97)]
+    assert energy_lever > abatement_lever
+    baseline = iphone11_platform().embodied_kg()
+    print(f"iPhone 11 bottom-up total under the default fab: {baseline:.1f} kg")

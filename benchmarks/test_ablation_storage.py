@@ -1,0 +1,41 @@
+"""Ablation: the storage-tier carbon comparison across grids and duty
+cycles.
+
+Checks the planner-level conclusion's robustness: enterprise disks beat
+flash per TB-year of cold capacity at every grid intensity and duty cycle
+in the sweep, with the gap narrowing (but not closing) as grids
+decarbonize — embodied carbon is where flash loses.
+"""
+
+from repro.platforms.storage import tier_comparison
+
+GRIDS = (700.0, 380.0, 41.0, 0.0)
+DUTY_CYCLES = (0.05, 0.2, 0.6)
+
+
+def _run_ablation():
+    table = {}
+    for ci in GRIDS:
+        for duty in DUTY_CYCLES:
+            ssd, hdd = tier_comparison(
+                capacity_tb=100.0, ci_use_g_per_kwh=ci, duty_cycle=duty
+            )
+            table[(ci, duty)] = (
+                ssd.kg_per_tb_year,
+                hdd.kg_per_tb_year,
+            )
+    return table
+
+
+def test_bench_ablation_storage(benchmark):
+    """SSD vs HDD kg/TB-year across the (grid, duty-cycle) sweep."""
+    table = benchmark(_run_ablation)
+    print()
+    for (ci, duty), (ssd_rate, hdd_rate) in sorted(table.items()):
+        print(f"CI={ci:5.0f} duty={duty:4.2f} SSD={ssd_rate:6.2f} "
+              f"HDD={hdd_rate:6.2f} kg/TB-yr ratio={ssd_rate / hdd_rate:.2f}")
+    for key, (ssd_rate, hdd_rate) in table.items():
+        assert hdd_rate < ssd_rate, key
+    # On a carbon-free grid the ratio is the pure embodied ratio (~4.7x).
+    free_ratio = table[(0.0, 0.2)][0] / table[(0.0, 0.2)][1]
+    assert 4.0 < free_ratio < 5.5

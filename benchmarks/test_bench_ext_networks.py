@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Extension: QoS-minimal NVDLA per network."""
+
+from repro.experiments import EXTENSION_EXPERIMENTS
+
+
+def test_bench_ext_networks(benchmark):
+    """Extension: QoS-minimal NVDLA per network — regenerate, print, and verify."""
+    result = benchmark(EXTENSION_EXPERIMENTS["ext-networks"])
+    print()
+    print(result.render_text())
+    failed = result.failed_checks()
+    assert not failed, [c.name for c in failed]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Extension: carbon-aware scheduling on diurnal grids."""
+
+from repro.experiments import EXTENSION_EXPERIMENTS
+
+
+def test_bench_ext_scheduling(benchmark):
+    """Extension: carbon-aware scheduling on diurnal grids — regenerate, print, and verify."""
+    result = benchmark(EXTENSION_EXPERIMENTS["ext-scheduling"])
+    print()
+    print(result.render_text())
+    failed = result.failed_checks()
+    assert not failed, [c.name for c in failed]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Extension: data-center accounting and consolidation."""
+
+from repro.experiments import EXTENSION_EXPERIMENTS
+
+
+def test_bench_ext_server(benchmark):
+    """Extension: data-center accounting and consolidation — regenerate, print, and verify."""
+    result = benchmark(EXTENSION_EXPERIMENTS["ext-server"])
+    print()
+    print(result.render_text())
+    failed = result.failed_checks()
+    assert not failed, [c.name for c in failed]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Extension: storage-tier carbon per TB-year."""
+
+from repro.experiments import EXTENSION_EXPERIMENTS
+
+
+def test_bench_ext_storage(benchmark):
+    """Extension: storage-tier carbon per TB-year — regenerate, print, and verify."""
+    result = benchmark(EXTENSION_EXPERIMENTS["ext-storage"])
+    print()
+    print(result.render_text())
+    failed = result.failed_checks()
+    assert not failed, [c.name for c in failed]

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Figure 1: life-cycle shift from operational to embodied emissions."""
+
+
+def test_bench_fig1(verify):
+    """Figure 1: life-cycle shift from operational to embodied emissions — regenerate, print, and verify against the paper."""
+    verify("fig1")

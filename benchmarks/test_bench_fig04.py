@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Figure 4: ACT bottom-up vs LCA top-down IC estimates."""
+
+
+def test_bench_fig4(verify):
+    """Figure 4: ACT bottom-up vs LCA top-down IC estimates — regenerate, print, and verify against the paper."""
+    verify("fig4")

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Figure 6: EPA/GPA/CPA across process nodes."""
+
+
+def test_bench_fig6(verify):
+    """Figure 6: EPA/GPA/CPA across process nodes — regenerate, print, and verify against the paper."""
+    verify("fig6")

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Figure 7: carbon per GB for DRAM/SSD/HDD."""
+
+
+def test_bench_fig7(verify):
+    """Figure 7: carbon per GB for DRAM/SSD/HDD — regenerate, print, and verify against the paper."""
+    verify("fig7")

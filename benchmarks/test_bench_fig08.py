@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Figure 8: mobile SoC carbon-optimization design space."""
+
+
+def test_bench_fig8(verify):
+    """Figure 8: mobile SoC carbon-optimization design space — regenerate, print, and verify against the paper."""
+    verify("fig8")

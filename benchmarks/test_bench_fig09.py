@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Figure 9: metric-dependent CPU vs DSP optimum."""
+
+
+def test_bench_fig9(verify):
+    """Figure 9: metric-dependent CPU vs DSP optimum — regenerate, print, and verify against the paper."""
+    verify("fig9")

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Figure 10: CI_use / CI_fab sweeps flip the optimum."""
+
+
+def test_bench_fig10(verify):
+    """Figure 10: CI_use / CI_fab sweeps flip the optimum — regenerate, print, and verify against the paper."""
+    verify("fig10")

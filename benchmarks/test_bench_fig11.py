@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Figure 11: CPU vs ASIC vs FPGA (SMIV)."""
+
+
+def test_bench_fig11(verify):
+    """Figure 11: CPU vs ASIC vs FPGA (SMIV) — regenerate, print, and verify against the paper."""
+    verify("fig11")

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Figure 12: NVDLA MAC sweep under PPA vs carbon metrics."""
+
+
+def test_bench_fig12(verify):
+    """Figure 12: NVDLA MAC sweep under PPA vs carbon metrics — regenerate, print, and verify against the paper."""
+    verify("fig12")

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Figure 13: QoS-driven and area-constrained design."""
+
+
+def test_bench_fig13(verify):
+    """Figure 13: QoS-driven and area-constrained design — regenerate, print, and verify against the paper."""
+    verify("fig13")

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Figure 14: mobile lifetime extension."""
+
+
+def test_bench_fig14(verify):
+    """Figure 14: mobile lifetime extension — regenerate, print, and verify against the paper."""
+    verify("fig14")

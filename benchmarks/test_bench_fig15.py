@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Figure 15: SSD over-provisioning and second life."""
+
+
+def test_bench_fig15(verify):
+    """Figure 15: SSD over-provisioning and second life — regenerate, print, and verify against the paper."""
+    verify("fig15")

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Figures 16-17: device LCA breakdowns."""
+
+
+def test_bench_fig16(verify):
+    """Figures 16-17: device LCA breakdowns — regenerate, print, and verify against the paper."""
+    verify("fig16")

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Table 4: CPU/GPU/DSP inference latency, power, OPCF, ECF."""
+
+
+def test_bench_tab4(verify):
+    """Table 4: CPU/GPU/DSP inference latency, power, OPCF, ECF — regenerate, print, and verify against the paper."""
+    verify("tab4")

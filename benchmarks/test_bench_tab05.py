@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Table 5: energy-source carbon intensities."""
+
+
+def test_bench_tab5(verify):
+    """Table 5: energy-source carbon intensities — regenerate, print, and verify against the paper."""
+    verify("tab5")

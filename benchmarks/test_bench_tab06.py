@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Table 6: regional carbon intensities."""
+
+
+def test_bench_tab6(verify):
+    """Table 6: regional carbon intensities — regenerate, print, and verify against the paper."""
+    verify("tab6")

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Table 7-8: per-node fab characterization."""
+
+
+def test_bench_tab7(verify):
+    """Table 7-8: per-node fab characterization — regenerate, print, and verify against the paper."""
+    verify("tab7")

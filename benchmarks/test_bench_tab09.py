@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Tables 9-11: DRAM/SSD/HDD carbon per GB."""
+
+
+def test_bench_tab9(verify):
+    """Tables 9-11: DRAM/SSD/HDD carbon per GB — regenerate, print, and verify against the paper."""
+    verify("tab9")

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Table 12: published LCA vs ACT estimates."""
+
+
+def test_bench_tab12(verify):
+    """Table 12: published LCA vs ACT estimates — regenerate, print, and verify against the paper."""
+    verify("tab12")

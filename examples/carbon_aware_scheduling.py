@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Carbon-aware batch scheduling on a solar-heavy grid.
+
+Average carbon-intensity values (the paper's CI_use) hide a lever: on a
+grid that swings with the sun, *when* deferrable work runs changes its
+footprint.  This walkthrough builds a diurnal grid trace, schedules a
+nightly batch workload two ways — run-immediately FIFO vs greedy
+carbon-aware placement — and also shows the storage-tier analysis, a
+second planner-level decision the ACT data settles.
+
+Run:  python examples/carbon_aware_scheduling.py
+"""
+
+from repro.core.intensity import solar_diurnal_trace
+from repro.platforms.storage import tier_comparison
+from repro.reporting.tables import ascii_table
+from repro.scheduling.simulator import (
+    nightly_batch_workload,
+    schedule_carbon_aware,
+    schedule_fifo,
+    scheduling_benefit,
+)
+
+
+def main() -> None:
+    trace = solar_diurnal_trace(base_ci_g_per_kwh=500.0, solar_share_at_noon=0.7)
+    print("Grid: solar-heavy diurnal profile "
+          f"(avg {trace.average:.0f}, noon {trace.minimum:.0f} g CO2/kWh)")
+    print()
+
+    jobs = nightly_batch_workload(4)
+    fifo = schedule_fifo(jobs, trace)
+    aware = schedule_carbon_aware(jobs, trace)
+
+    rows = []
+    for job in jobs:
+        f = fifo.placement_for(job.name)
+        a = aware.placement_for(job.name)
+        rows.append(
+            (
+                job.name,
+                f"{job.arrival_hour % 24:02d}:00",
+                f"{f.start_hour % 24:02d}:00",
+                f.emissions_g,
+                f"{a.start_hour % 24:02d}:00",
+                a.emissions_g,
+            )
+        )
+    print("Nightly batch jobs (arrive in the evening, 24h deadline):")
+    print(
+        ascii_table(
+            ("job", "arrives", "FIFO start", "g CO2", "aware start", "g CO2"),
+            rows,
+            float_format=".0f",
+        )
+    )
+    print(f"\nFIFO total: {fifo.total_emissions_g:.0f} g;  carbon-aware "
+          f"total: {aware.total_emissions_g:.0f} g "
+          f"({scheduling_benefit(jobs, trace):.2f}x saving, all deadlines met)")
+    print("The scheduler chases the solar window — exactly the behaviour a "
+          "flat-average CI model cannot value.")
+    print()
+
+    ssd, hdd = tier_comparison(capacity_tb=100.0)
+    print("Second planner decision: 100 TB of capacity storage for 4 years "
+          "(US grid):")
+    print(
+        ascii_table(
+            ("tier", "drives", "embodied kg", "operational kg", "kg/TB-year"),
+            [
+                (
+                    a.drive.name,
+                    a.drives_needed,
+                    a.lifecycle.embodied_total_g / 1000.0,
+                    a.lifecycle.operational_g / 1000.0,
+                    a.kg_per_tb_year,
+                )
+                for a in (ssd, hdd)
+            ],
+            float_format=".1f",
+        )
+    )
+    print("For cold capacity, enterprise disks beat flash on both carbon "
+          "axes — flash buys performance, not footprint.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Server-scale carbon accounting: the paper's data-center use case.
+
+Builds Dell-R740-class servers through the ACT model, shows how grid
+carbon intensity and PUE shape the embodied/operational split, quantifies
+the Reuse-tenet "co-locate apps for utilization" lever, and compares ACT
+against the prior-work baselines the paper critiques (a GreenChip-style
+old-node inventory and exergy energy-balance accounting).
+
+Run:  python examples/datacenter_fleet.py
+"""
+
+from repro.baselines import exergy_blind_spot, greenchip_vs_act
+from repro.data.regions import REGIONS
+from repro.platforms.server import (
+    consolidation_saving,
+    dell_r740_config,
+    fleet_footprint,
+    server_lifecycle,
+)
+from repro.reporting.tables import ascii_table
+
+
+def main() -> None:
+    config = dell_r740_config("ssd")
+    print(f"Server: {config.name} "
+          f"({config.cpu_sockets}x {config.cpu_die_area_mm2:.0f} mm^2 CPUs @ "
+          f"{config.cpu_node} nm, {config.dram_gb:.0f} GB DRAM, "
+          f"{config.ssd_gb / 1000:.0f} TB flash)")
+    print(f"Embodied carbon: {config.platform().embodied_kg():.0f} kg CO2e")
+    print()
+
+    # --- 1. Grid intensity decides what dominates -----------------------------
+    rows = []
+    for name in ("india", "united_states", "europe", "brazil", "iceland"):
+        report = server_lifecycle(
+            config, ci_use_g_per_kwh=REGIONS[name].ci_g_per_kwh
+        )
+        rows.append(
+            (
+                name,
+                REGIONS[name].ci_g_per_kwh,
+                report.operational_g / 1e6,
+                report.embodied_total_g / 1e6,
+                report.embodied_share,
+            )
+        )
+    print("Four-year lifecycle by deployment region (tonnes CO2e):")
+    print(
+        ascii_table(
+            ("region", "g/kWh", "operational t", "embodied t", "embodied share"),
+            rows,
+            float_format=".2f",
+        )
+    )
+    print("On clean grids the *embodied* side dominates even for servers — "
+          "the paper's core shift.")
+    print()
+
+    # --- 2. Utilization / consolidation ----------------------------------------
+    print("Consolidation saving (same delivered work, 25% -> 75% utilization):")
+    for region in ("india", "united_states", "iceland"):
+        saving = consolidation_saving(
+            config,
+            demand_server_equivalents=1000.0,
+            ci_use_g_per_kwh=REGIONS[region].ci_g_per_kwh,
+        )
+        print(f"  {region:15s} {saving:.2f}x")
+    print("  (greener grids make utilization — i.e. reuse — matter more)")
+    print()
+
+    # --- 3. Fleet roll-up ---------------------------------------------------------
+    fleet = fleet_footprint(
+        config, servers=10_000, ci_use_g_per_kwh=REGIONS["united_states"].ci_g_per_kwh
+    )
+    print(f"A 10k-server fleet over one refresh cycle: "
+          f"{fleet.total_kg / 1e6:.1f} kt CO2e "
+          f"({fleet.embodied_share:.0%} embodied)")
+    print()
+
+    # --- 4. Why ACT instead of the prior models --------------------------------
+    print("ACT vs a GreenChip-style 90-28 nm inventory (carbon per cm^2):")
+    rows = [
+        (c.node, c.act_cpa_g_per_cm2, c.baseline_cpa_g_per_cm2,
+         c.act_over_baseline)
+        for c in greenchip_vs_act()
+        if c.node in ("28", "14", "7", "3")
+    ]
+    print(ascii_table(("node", "ACT g/cm^2", "baseline g/cm^2", "ratio"), rows))
+    blind = exergy_blind_spot()
+    print(f"\nExergy accounting scores a Taiwan-grid fab and a solar fab "
+          f"identically ({blind.exergy_separation:.0f}x); ACT separates them "
+          f"by {blind.act_separation:.2f}x — renewable manufacturing is "
+          "invisible to energy-balance models.")
+
+
+if __name__ == "__main__":
+    main()

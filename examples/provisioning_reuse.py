@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""The Reuse case study: general-purpose vs specialized hardware.
+
+Walks the Section 6 analysis: a Snapdragon-845-class SoC can serve mobile
+AI inference from its CPUs, a GPU, or a DSP.  Co-processors are more
+energy-efficient but cost extra embodied carbon to manufacture — whether
+they pay off depends on utilization and on how green the electricity is,
+during *use* and during *manufacturing*.
+
+Run:  python examples/provisioning_reuse.py
+"""
+
+from repro.core.metrics import winners
+from repro.data.energy_sources import source_ci
+from repro.fabs.fab import default_fab
+from repro.provisioning.mobile_soc import (
+    CONFIGURATIONS,
+    SOC_NODE,
+    WITH_DSP,
+    WITH_GPU,
+    breakeven_utilization,
+    optimal_configuration,
+)
+from repro.reporting.tables import ascii_table
+
+
+def main() -> None:
+    # --- 1. Table 4: the measured operating points --------------------------
+    rows = [
+        (
+            c.name,
+            c.serving_block.latency_s * 1e3,
+            c.serving_block.power_w,
+            c.serving_block.operational_g_per_inference() * 1e6,
+            c.embodied_g(),
+        )
+        for c in CONFIGURATIONS
+    ]
+    print("Mobile AI inference operating points (US grid):")
+    print(
+        ascii_table(
+            ("config", "latency ms", "power W", "OPCF ug/inf", "ECF g"),
+            rows,
+            float_format=".4g",
+        )
+    )
+    print()
+
+    # --- 2. Break-even utilization -------------------------------------------
+    print("Lifetime utilization needed for a co-processor to pay back its "
+          "embodied carbon:")
+    for config in (WITH_DSP, WITH_GPU):
+        grid = breakeven_utilization(config)
+        solar = breakeven_utilization(config, ci_use_g_per_kwh=source_ci("solar"))
+        print(f"  {config.name}: {grid:.1%} on the US grid, {solar:.0%} with "
+              "solar-powered use")
+    print("  (renewable use-phase energy makes specialization much harder to "
+          "justify)")
+    print()
+
+    # --- 3. Metric-dependent winners -------------------------------------------
+    points = [c.design_point() for c in CONFIGURATIONS]
+    print("Winner per carbon metric:")
+    print(
+        ascii_table(
+            ("metric", "winner"),
+            sorted(winners(points, ("CDP", "C2EP", "CEP", "CE2P")).items()),
+        )
+    )
+    print()
+
+    # --- 4. Sweeping the carbon intensity of use and fab ------------------------
+    taiwan_fab = default_fab(SOC_NODE).with_energy_mix("taiwan_grid")
+    print("Optimal block as the *use-phase* grid decarbonizes "
+          "(fab = Taiwan grid):")
+    for name, ci in (("coal", 820.0), ("US grid", 300.0),
+                     ("renewable", 41.0), ("carbon-free", 0.0)):
+        best = optimal_configuration(ci_use_g_per_kwh=ci, fab=taiwan_fab)
+        print(f"  {name:12s} -> {best.name}")
+    print()
+    print("Optimal block as the *fab* decarbonizes (use = renewable):")
+    for name, ci in (("coal", 820.0), ("Taiwan grid", 583.0),
+                     ("renewable", 41.0), ("carbon-free", 0.0)):
+        fab = default_fab(SOC_NODE).with_ci(ci, label=name)
+        best = optimal_configuration(ci_use_g_per_kwh=41.0, fab=fab)
+        print(f"  {name:12s} -> {best.name}")
+    print()
+    print("Green grids favor reusable general-purpose silicon; green fabs "
+          "favor specialization.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no `wheel` package, so PEP-517 editable
+installs (`pip install -e .`) cannot build an editable wheel.  This shim lets
+`pip install -e . --no-use-pep517` (or `python setup.py develop`) work
+offline; all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""repro — a from-scratch reproduction of ACT (ISCA 2022).
+
+ACT is an architectural carbon modeling tool: an analytical model that
+quantifies the *embodied* (manufacturing) and *operational* (use-phase)
+carbon footprint of computer systems, plus a family of carbon-aware
+optimization metrics for design-space exploration.
+
+Quickstart::
+
+    from repro import LogicComponent, DramComponent, SsdComponent, Platform
+
+    phone = Platform(
+        "example phone",
+        [
+            LogicComponent.at_node("SoC", area_mm2=98.5, node="7"),
+            DramComponent.of("DRAM", capacity_gb=4, technology="lpddr4"),
+            SsdComponent.of("NAND", capacity_gb=64, technology="nand_v3_tlc"),
+        ],
+    )
+    print(phone.embodied_kg(), "kg CO2e embodied")
+
+See :mod:`repro.experiments` for one runnable module per table/figure of the
+paper's evaluation.
+"""
+
+from repro.core import (
+    CARBON_METRICS,
+    METRICS,
+    CarbonReport,
+    DesignPoint,
+    DramComponent,
+    EmbodiedReport,
+    EnergyProfile,
+    FixedCarbonComponent,
+    HddComponent,
+    LogicComponent,
+    Platform,
+    ReproError,
+    SsdComponent,
+    best_design,
+    device_footprint,
+    footprint,
+    metric,
+    score_table,
+    winners,
+)
+from repro.fabs import FabScenario, default_fab
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CARBON_METRICS",
+    "CarbonReport",
+    "DesignPoint",
+    "DramComponent",
+    "EmbodiedReport",
+    "EnergyProfile",
+    "FabScenario",
+    "FixedCarbonComponent",
+    "HddComponent",
+    "LogicComponent",
+    "METRICS",
+    "Platform",
+    "ReproError",
+    "SsdComponent",
+    "__version__",
+    "best_design",
+    "default_fab",
+    "device_footprint",
+    "footprint",
+    "metric",
+    "score_table",
+    "winners",
+]

@@ -1,0 +1,79 @@
+"""Analytical NVDLA-style NPU models (area, performance, energy, carbon)."""
+
+from repro.accelerators.area_model import (
+    AREA_PER_MAC_MM2_16NM,
+    REFERENCE_NODE_NM,
+    area_per_mac_mm2,
+    npu_area_mm2,
+)
+from repro.accelerators.energy_model import (
+    REFERENCE_ENERGY_J,
+    REFERENCE_MACS,
+    average_power_w,
+    energy_per_inference_j,
+    relative_energy,
+)
+from repro.accelerators.networks import (
+    NETWORKS,
+    Network,
+    network,
+    qos_minimal_design_for,
+    qos_table,
+)
+from repro.accelerators.nvdla import (
+    DEFAULT_NODE,
+    MAC_SWEEP,
+    NPU_DRAM_GB,
+    QOS_TARGET_FPS,
+    NpuDesign,
+    design,
+    largest_within_area,
+    npu_platform,
+    qos_minimal_design,
+    sweep,
+)
+from repro.accelerators.perf_model import (
+    CLOCK_HZ,
+    FIXED_LATENCY_S,
+    UTILIZATION,
+    WORK_MACS_PER_INFERENCE,
+    compute_latency_s,
+    latency_s,
+    meets_qos,
+    throughput_fps,
+)
+
+__all__ = [
+    "AREA_PER_MAC_MM2_16NM",
+    "CLOCK_HZ",
+    "DEFAULT_NODE",
+    "FIXED_LATENCY_S",
+    "MAC_SWEEP",
+    "NETWORKS",
+    "NPU_DRAM_GB",
+    "Network",
+    "NpuDesign",
+    "QOS_TARGET_FPS",
+    "REFERENCE_ENERGY_J",
+    "REFERENCE_MACS",
+    "REFERENCE_NODE_NM",
+    "UTILIZATION",
+    "WORK_MACS_PER_INFERENCE",
+    "area_per_mac_mm2",
+    "average_power_w",
+    "compute_latency_s",
+    "design",
+    "energy_per_inference_j",
+    "largest_within_area",
+    "latency_s",
+    "meets_qos",
+    "network",
+    "npu_area_mm2",
+    "npu_platform",
+    "qos_minimal_design",
+    "qos_minimal_design_for",
+    "qos_table",
+    "relative_energy",
+    "sweep",
+    "throughput_fps",
+]

@@ -1,0 +1,98 @@
+"""A small CNN library for network-dependent accelerator studies.
+
+The Figure 12/13 case study fixes one reference vision model (~3.9 GMACs
+per frame).  Real deployments pick the accelerator for a *set* of
+networks; this module carries a few representative CNNs and re-derives the
+QoS-minimal NVDLA configuration per network — showing how the lean design
+point slides with the compute intensity of the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerators import perf_model
+from repro.accelerators.nvdla import MAC_SWEEP, NpuDesign, design
+from repro.core.errors import ParameterError, UnknownEntryError
+from repro.core.parameters import require_positive
+
+
+@dataclass(frozen=True)
+class Network:
+    """One inference workload.
+
+    Attributes:
+        name: Canonical identifier.
+        gmacs_per_inference: MAC operations per frame, in billions.
+        description: What the network is.
+    """
+
+    name: str
+    gmacs_per_inference: float
+    description: str
+
+
+NETWORKS: dict[str, Network] = {
+    network.name: network
+    for network in (
+        Network("mobilenet_v2", 0.3, "lightweight mobile classifier"),
+        Network("resnet18", 1.8, "compact residual classifier"),
+        Network("resnet50", 3.9, "the paper's reference-class workload"),
+        Network("yolo_tiny", 5.5, "real-time detector"),
+        Network("vgg16", 15.5, "legacy heavyweight classifier"),
+    )
+}
+
+
+def network(name: str) -> Network:
+    """Look up a bundled network by name."""
+    key = name.strip().lower().replace("-", "_")
+    try:
+        return NETWORKS[key]
+    except KeyError:
+        raise UnknownEntryError("network", name, NETWORKS) from None
+
+
+def throughput_fps(n_macs: int, net: Network) -> float:
+    """Pipelined throughput of an ``n_macs`` array on ``net``.
+
+    Scales the calibrated reference model by the per-frame work ratio.
+    """
+    require_positive("n_macs", n_macs)
+    scale = perf_model.WORK_MACS_PER_INFERENCE / (net.gmacs_per_inference * 1e9)
+    return perf_model.throughput_fps(n_macs) * scale
+
+
+def qos_minimal_design_for(
+    net: Network,
+    target_fps: float = 30.0,
+    node: str | float = 16,
+    macs: tuple[int, ...] = MAC_SWEEP,
+) -> NpuDesign:
+    """The lowest-embodied sweep configuration meeting QoS on ``net``."""
+    require_positive("target_fps", target_fps)
+    feasible = [
+        design(n, node)
+        for n in macs
+        if throughput_fps(n, net) >= target_fps
+    ]
+    if not feasible:
+        raise ParameterError(
+            f"no configuration in {macs} reaches {target_fps} FPS on "
+            f"{net.name} ({net.gmacs_per_inference} GMACs/frame)"
+        )
+    return min(feasible, key=lambda d: d.embodied_g)
+
+
+def qos_table(
+    target_fps: float = 30.0, node: str | float = 16
+) -> tuple[tuple[Network, NpuDesign], ...]:
+    """QoS-minimal configuration for every bundled network.
+
+    The Reduce-tenet message generalized: the leaner the workload, the
+    leaner (and lower-carbon) the right accelerator.
+    """
+    rows = []
+    for net in NETWORKS.values():
+        rows.append((net, qos_minimal_design_for(net, target_fps, node)))
+    return tuple(rows)

@@ -1,0 +1,156 @@
+"""The NVDLA-style NPU design space (Section 7: the Reduce case study).
+
+Ties the area, performance, and energy models together into
+:class:`NpuDesign` points spanning 64-2048 MACs in powers of two (the
+paper's sweep), with embodied carbon computed through the core ACT model:
+the NPU die (at its process node's default fab) plus a small dedicated
+LPDDR4 buffer DRAM whose size is calibrated jointly with the area model so
+that the 256-MAC / 16 nm design lands at the paper's 16 g CO2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerators.area_model import npu_area_mm2
+from repro.accelerators.energy_model import energy_per_inference_j
+from repro.accelerators.perf_model import latency_s, throughput_fps
+from repro.core import units
+from repro.core.components import DramComponent, LogicComponent
+from repro.core.errors import ParameterError
+from repro.core.metrics import DesignPoint
+from repro.core.model import Platform
+
+#: The paper's MAC-count sweep ("64 to 2048 MACs in powers of 2").
+MAC_SWEEP: tuple[int, ...] = (64, 128, 256, 512, 1024, 2048)
+
+#: Dedicated LPDDR4 inference-buffer capacity (GB); at Table 9's 48 g CO2/GB
+#: this contributes the calibrated 10.75 g fixed embodied term.
+NPU_DRAM_GB = 0.224
+
+#: The QoS target of the Figure 13 study (30 FPS image processing).
+QOS_TARGET_FPS = 30.0
+
+#: Default node for the Figure 12 sweep ("a 16nm NVDLA based NPU").
+DEFAULT_NODE = 16
+
+
+@dataclass(frozen=True)
+class NpuDesign:
+    """One NVDLA-style configuration with all its evaluated characteristics.
+
+    Attributes:
+        n_macs: MAC-array width.
+        node: Process node the NPU is manufactured in.
+        area_mm2: NPU die area.
+        embodied_g: Embodied carbon of die + dedicated DRAM + packaging
+            exclusions per the case-study convention (no Kr, matching the
+            paper's ~16 g anchor).
+        die_embodied_g: Embodied carbon of the silicon alone (the quantity
+            swept against the area budget in Figure 13, right).
+        throughput_fps: Pipelined inference throughput.
+        latency_s: Single-inference latency.
+        energy_per_inference_j: Energy per inference.
+    """
+
+    n_macs: int
+    node: str
+    area_mm2: float
+    embodied_g: float
+    die_embodied_g: float
+    throughput_fps: float
+    latency_s: float
+    energy_per_inference_j: float
+
+    @property
+    def name(self) -> str:
+        return f"{self.n_macs} MACs"
+
+    def meets_qos(self, target_fps: float = QOS_TARGET_FPS) -> bool:
+        """Whether this design sustains the QoS throughput target."""
+        return self.throughput_fps >= target_fps
+
+    def design_point(self) -> DesignPoint:
+        """The Table 2 metric inputs for this configuration."""
+        return DesignPoint(
+            name=self.name,
+            embodied_carbon_g=self.embodied_g,
+            energy_kwh=units.joules_to_kwh(self.energy_per_inference_j),
+            delay_s=self.latency_s,
+            area_mm2=self.area_mm2,
+        )
+
+
+def npu_platform(n_macs: int, node: str | float = DEFAULT_NODE) -> Platform:
+    """The ACT platform for one NPU configuration.
+
+    Packaging is excluded (``packaging_g_per_ic=0``): the NPU is a block
+    integrated on an existing SoC in the paper's case study, not a separately
+    packaged part.
+    """
+    die = LogicComponent.at_node(
+        f"NVDLA {n_macs} MACs", npu_area_mm2(n_macs, node), node
+    )
+    dram = DramComponent.of("NPU buffer DRAM", NPU_DRAM_GB, "lpddr4")
+    return Platform(f"NPU {n_macs} MACs", (die, dram), packaging_g_per_ic=0.0)
+
+
+def design(n_macs: int, node: str | float = DEFAULT_NODE) -> NpuDesign:
+    """Evaluate one NVDLA-style configuration end to end."""
+    if n_macs <= 0:
+        raise ParameterError(f"n_macs must be > 0, got {n_macs}")
+    platform = npu_platform(n_macs, node)
+    die_item = platform.embodied().items[0]
+    return NpuDesign(
+        n_macs=n_macs,
+        node=str(node),
+        area_mm2=npu_area_mm2(n_macs, node),
+        embodied_g=platform.embodied_g(),
+        die_embodied_g=die_item.carbon_g,
+        throughput_fps=throughput_fps(n_macs),
+        latency_s=latency_s(n_macs),
+        energy_per_inference_j=energy_per_inference_j(n_macs),
+    )
+
+
+def sweep(
+    node: str | float = DEFAULT_NODE, macs: tuple[int, ...] = MAC_SWEEP
+) -> tuple[NpuDesign, ...]:
+    """The full Figure 12 design-space sweep at one node."""
+    return tuple(design(n, node) for n in macs)
+
+
+def qos_minimal_design(
+    target_fps: float = QOS_TARGET_FPS,
+    node: str | float = DEFAULT_NODE,
+    macs: tuple[int, ...] = MAC_SWEEP,
+) -> NpuDesign:
+    """The lowest-embodied-carbon configuration meeting the QoS target.
+
+    This is Figure 13 (left)'s "CO2 optimal" point: 256 MACs at ~16 g CO2
+    for the 30 FPS target.
+    """
+    feasible = [d for d in sweep(node, macs) if d.meets_qos(target_fps)]
+    if not feasible:
+        raise ParameterError(
+            f"no configuration in {macs} meets {target_fps} FPS"
+        )
+    return min(feasible, key=lambda d: d.embodied_g)
+
+
+def largest_within_area(
+    area_budget_mm2: float,
+    node: str | float = DEFAULT_NODE,
+    macs: tuple[int, ...] = MAC_SWEEP,
+) -> NpuDesign:
+    """The most parallel configuration fitting an area budget.
+
+    This is Figure 13 (right)'s resource-constrained selection; note
+    ``meets_qos`` is not consulted — the budget alone binds.
+    """
+    feasible = [d for d in sweep(node, macs) if d.area_mm2 <= area_budget_mm2]
+    if not feasible:
+        raise ParameterError(
+            f"no configuration in {macs} fits {area_budget_mm2} mm^2 at {node}"
+        )
+    return max(feasible, key=lambda d: d.n_macs)

@@ -1,0 +1,51 @@
+"""Sensitivity, uncertainty, and attribution analysis."""
+
+from repro.analysis.attribution import (
+    ENERGY,
+    TIME,
+    TIME_GROSSED_UP,
+    Attribution,
+    WorkloadUsage,
+    attribute,
+    unattributed_embodied_g,
+)
+from repro.analysis.montecarlo import (
+    TRIANGULAR,
+    UNIFORM,
+    MonteCarloResult,
+    embodied_share_distribution,
+    run_monte_carlo,
+)
+from repro.analysis.scenario import (
+    PARAMETER_RANGES,
+    ActScenario,
+    parameter_range,
+)
+from repro.analysis.sensitivity import (
+    SensitivityRecord,
+    dominant_parameters,
+    elasticity,
+    tornado,
+)
+
+__all__ = [
+    "ActScenario",
+    "Attribution",
+    "ENERGY",
+    "MonteCarloResult",
+    "PARAMETER_RANGES",
+    "SensitivityRecord",
+    "TIME",
+    "TIME_GROSSED_UP",
+    "TRIANGULAR",
+    "UNIFORM",
+    "WorkloadUsage",
+    "attribute",
+    "dominant_parameters",
+    "elasticity",
+    "embodied_share_distribution",
+    "parameter_range",
+    "run_monte_carlo",
+    "tornado",
+    "unattributed_embodied_g",
+]

@@ -1,0 +1,136 @@
+"""Attributing a shared platform's footprint across workloads.
+
+Eq. 1 charges a workload ``T/LT`` of the embodied footprint — but when many
+workloads share the hardware, how the idle remainder is attributed becomes
+a policy choice.  This module implements the standard options so carbon
+accounting across co-located applications (the Reuse tenet's
+"co-locating apps for utilization") is explicit:
+
+* **time** — embodied split by occupancy time; idle time is unattributed
+  (the platform owner absorbs it).
+* **time_grossed_up** — embodied split by occupancy share of *busy* time,
+  so the full embodied footprint lands on the workloads (idle overhead is
+  socialized across them).
+* **energy** — both embodied and operational split by energy share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ParameterError, UnknownEntryError
+from repro.core.parameters import require_non_negative, require_positive
+
+TIME = "time"
+TIME_GROSSED_UP = "time_grossed_up"
+ENERGY = "energy"
+
+_POLICIES = (TIME, TIME_GROSSED_UP, ENERGY)
+
+
+@dataclass(frozen=True)
+class WorkloadUsage:
+    """One workload's use of the shared platform over the period.
+
+    Attributes:
+        name: Workload label.
+        busy_hours: Hours the workload occupied the hardware.
+        energy_kwh: Energy it consumed.
+    """
+
+    name: str
+    busy_hours: float
+    energy_kwh: float
+
+    def __post_init__(self) -> None:
+        require_non_negative("busy_hours", self.busy_hours)
+        require_non_negative("energy_kwh", self.energy_kwh)
+
+
+@dataclass(frozen=True)
+class Attribution:
+    """One workload's attributed emissions (grams CO2)."""
+
+    name: str
+    operational_g: float
+    embodied_g: float
+
+    @property
+    def total_g(self) -> float:
+        return self.operational_g + self.embodied_g
+
+
+def attribute(
+    usages: tuple[WorkloadUsage, ...],
+    *,
+    embodied_g: float,
+    period_hours: float,
+    ci_use_g_per_kwh: float,
+    lifetime_hours: float,
+    policy: str = TIME,
+) -> tuple[Attribution, ...]:
+    """Split a shared platform's period emissions across workloads.
+
+    Args:
+        usages: Per-workload occupancy and energy over the period.
+        embodied_g: The platform's full embodied footprint.
+        period_hours: Length of the accounting period.
+        ci_use_g_per_kwh: Use-phase carbon intensity.
+        lifetime_hours: Platform lifetime (for the Eq. 1 amortization).
+        policy: Attribution policy (see module docstring).
+
+    Raises:
+        ParameterError: If occupancy exceeds the period (single-tenant
+            occupancy model) or the policy is unknown.
+    """
+    if policy not in _POLICIES:
+        raise UnknownEntryError("attribution policy", policy, _POLICIES)
+    require_positive("period_hours", period_hours)
+    require_positive("lifetime_hours", lifetime_hours)
+    require_non_negative("embodied_g", embodied_g)
+    require_non_negative("ci_use_g_per_kwh", ci_use_g_per_kwh)
+    busy_total = sum(usage.busy_hours for usage in usages)
+    if busy_total > period_hours * (1 + 1e-9):
+        raise ParameterError(
+            f"workloads occupy {busy_total:.1f} h of a "
+            f"{period_hours:.1f} h period"
+        )
+    energy_total = sum(usage.energy_kwh for usage in usages)
+    period_embodied = embodied_g * period_hours / lifetime_hours
+
+    results = []
+    for usage in usages:
+        operational = usage.energy_kwh * ci_use_g_per_kwh
+        if policy == TIME:
+            share = usage.busy_hours / period_hours
+        elif policy == TIME_GROSSED_UP:
+            share = usage.busy_hours / busy_total if busy_total else 0.0
+        else:  # ENERGY
+            share = usage.energy_kwh / energy_total if energy_total else 0.0
+        results.append(
+            Attribution(
+                name=usage.name,
+                operational_g=operational,
+                embodied_g=period_embodied * share,
+            )
+        )
+    return tuple(results)
+
+
+def unattributed_embodied_g(
+    usages: tuple[WorkloadUsage, ...],
+    *,
+    embodied_g: float,
+    period_hours: float,
+    lifetime_hours: float,
+) -> float:
+    """The idle-time embodied carbon the TIME policy leaves unattributed.
+
+    This is the quantity consolidation (Reuse) drives toward zero: carbon
+    manufactured but serving nobody.
+    """
+    require_positive("period_hours", period_hours)
+    busy_total = sum(usage.busy_hours for usage in usages)
+    period_embodied = embodied_g * period_hours / lifetime_hours
+    idle_fraction = max(0.0, 1.0 - busy_total / period_hours)
+    return period_embodied * idle_fraction

@@ -1,0 +1,191 @@
+"""Monte Carlo uncertainty propagation through the ACT model.
+
+The appendix publishes parameter *ranges*, not point values — fab carbon
+intensity varies "by manufacturer, facility, and product line", abatement
+bands span 95-99%, yields are proprietary.  This module samples the
+scenario parameters from those ranges (independently, uniform or
+triangular around the base value) and propagates them through Eq. 1-8,
+yielding a footprint distribution instead of a single number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+import numpy as np
+
+from repro.analysis.scenario import PARAMETER_RANGES, ActScenario, parameter_range
+from repro.core.errors import ParameterError
+from repro.core.parameters import require_positive
+
+Response = Callable[[ActScenario], float]
+
+UNIFORM = "uniform"
+TRIANGULAR = "triangular"
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Summary of a footprint distribution.
+
+    Attributes:
+        samples: The raw per-draw responses (g CO2).
+        base_response: The base scenario's deterministic response.
+    """
+
+    samples: np.ndarray
+    base_response: float
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.samples))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.samples))
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of the distribution (0-100)."""
+        return float(np.percentile(self.samples, q))
+
+    @property
+    def p5(self) -> float:
+        return self.percentile(5.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def spread(self) -> float:
+        """The 90% interval width relative to the mean."""
+        if self.mean == 0:
+            return 0.0
+        return (self.p95 - self.p5) / self.mean
+
+
+def _sample_parameter(
+    rng: np.random.Generator,
+    distribution: str,
+    low: float,
+    high: float,
+    mode: float,
+    count: int,
+) -> np.ndarray:
+    if distribution == UNIFORM:
+        return rng.uniform(low, high, count)
+    if distribution == TRIANGULAR:
+        mode = min(max(mode, low), high)
+        return rng.triangular(low, mode, high, count)
+    raise ParameterError(
+        f"unknown distribution {distribution!r}; use {UNIFORM!r} or {TRIANGULAR!r}"
+    )
+
+
+def _vectorized_totals(
+    base: ActScenario, columns: Mapping[str, np.ndarray], draws: int
+) -> np.ndarray:
+    """Eq. 1-8 evaluated over whole sample columns at once.
+
+    Pure ndarray arithmetic — identical math to ``ActScenario.total_g`` but
+    ~100x faster for large draw counts.
+    """
+
+    def col(name: str) -> np.ndarray | float:
+        return columns.get(name, getattr(base, name))
+
+    cpa = (
+        col("ci_fab_g_per_kwh") * col("epa_kwh_per_cm2")
+        + col("gpa_g_per_cm2")
+        + col("mpa_g_per_cm2")
+    ) / col("fab_yield")
+    embodied = (
+        col("ic_count") * col("packaging_g_per_ic")
+        + col("soc_area_cm2") * cpa
+        + col("dram_gb") * col("cps_dram_g_per_gb")
+        + col("ssd_gb") * col("cps_ssd_g_per_gb")
+        + col("hdd_gb") * col("cps_hdd_g_per_gb")
+    )
+    operational = col("energy_kwh") * col("ci_use_g_per_kwh")
+    total = operational + (col("duration_hours") / col("lifetime_hours")) * embodied
+    return np.broadcast_to(total, (draws,)).astype(float, copy=True)
+
+
+def run_monte_carlo(
+    base: ActScenario,
+    parameters: Iterable[str] | None = None,
+    *,
+    draws: int = 2000,
+    seed: int = 2022,
+    distribution: str = TRIANGULAR,
+    ranges: Mapping[str, tuple[float, float]] | None = None,
+    response: Response | None = None,
+) -> MonteCarloResult:
+    """Propagate parameter uncertainty through the ACT model.
+
+    Args:
+        base: Scenario providing the untouched parameters (and triangular
+            modes).
+        parameters: Which parameters vary (default: all with ranges).
+        draws: Number of Monte Carlo samples.
+        seed: RNG seed — results are reproducible by construction.
+        distribution: ``"uniform"`` over the range, or ``"triangular"``
+            peaked at the base value.
+        ranges: Optional per-parameter (low, high) overrides.
+        response: Scalar to record per draw.  When omitted, the total
+            footprint is computed on a fully vectorized numpy path.
+    """
+    require_positive("draws", draws)
+    names = tuple(parameters) if parameters is not None else tuple(PARAMETER_RANGES)
+    rng = np.random.default_rng(seed)
+    columns: dict[str, np.ndarray] = {}
+    for name in names:
+        low, high = (ranges or {}).get(name, parameter_range(name))
+        if low > high:
+            raise ParameterError(f"range for {name} is inverted: ({low}, {high})")
+        columns[name] = _sample_parameter(
+            rng, distribution, low, high, getattr(base, name), draws
+        )
+    # Lifetime must dominate duration; clip any violating draws.
+    if "lifetime_hours" in columns or "duration_hours" in columns:
+        duration = columns.get(
+            "duration_hours", np.full(draws, base.duration_hours)
+        )
+        lifetime = columns.get(
+            "lifetime_hours", np.full(draws, base.lifetime_hours)
+        )
+        lifetime = np.maximum(lifetime, duration)
+        if "lifetime_hours" in columns:
+            columns["lifetime_hours"] = lifetime
+
+    if response is None:
+        samples = _vectorized_totals(base, columns, draws)
+        return MonteCarloResult(samples=samples, base_response=base.total_g())
+
+    samples = np.empty(draws)
+    for index in range(draws):
+        overrides = {name: float(values[index]) for name, values in columns.items()}
+        samples[index] = response(base.replace(**overrides))
+    return MonteCarloResult(samples=samples, base_response=response(base))
+
+
+def embodied_share_distribution(
+    base: ActScenario, *, draws: int = 2000, seed: int = 2022
+) -> MonteCarloResult:
+    """Distribution of the embodied share of the total footprint.
+
+    Quantifies how robust the paper's "manufacturing dominates" conclusion
+    is to parameter uncertainty.
+    """
+
+    def share(scenario: ActScenario) -> float:
+        total = scenario.total_g()
+        if total == 0:
+            return 0.0
+        amortized = (
+            scenario.duration_hours / scenario.lifetime_hours
+        ) * scenario.embodied_g()
+        return amortized / total
+
+    return run_monte_carlo(base, draws=draws, seed=seed, response=share)

@@ -1,0 +1,154 @@
+"""A flat, scalar view of the full ACT model for sensitivity studies.
+
+The component/platform API is the right shape for design work, but
+sensitivity and uncertainty analysis want the model as one function of the
+Table 1 scalars.  :class:`ActScenario` is exactly that: every ACT input as
+a named scalar field, with ``total_g()`` evaluating Eq. 1-8 directly.
+Ranges for each parameter (Table 1's "Range" column) live alongside so the
+analysis modules can sweep and sample without inventing bounds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.core.errors import UnknownEntryError
+from repro.core.parameters import (
+    require_fraction,
+    require_non_negative,
+    require_positive,
+)
+
+
+@dataclass(frozen=True)
+class ActScenario:
+    """One complete assignment of the ACT model inputs (Table 1).
+
+    Field names follow the paper's symbols.  Units are the library's
+    canonical ones (hours, kWh, g CO2, cm^2, GB).
+    """
+
+    # Operational side (Eq. 1-2).
+    energy_kwh: float = 8.0
+    ci_use_g_per_kwh: float = 301.0
+    duration_hours: float = 26_280.0  # T: 3 years
+    lifetime_hours: float = 26_280.0  # LT: 3 years
+    # Logic die (Eq. 4-5).
+    soc_area_cm2: float = 1.0
+    ci_fab_g_per_kwh: float = 447.5
+    epa_kwh_per_cm2: float = 1.52
+    gpa_g_per_cm2: float = 275.0
+    mpa_g_per_cm2: float = 500.0
+    fab_yield: float = 0.875
+    # Memory / storage (Eq. 6-8).
+    dram_gb: float = 4.0
+    cps_dram_g_per_gb: float = 48.0
+    ssd_gb: float = 64.0
+    cps_ssd_g_per_gb: float = 6.3
+    hdd_gb: float = 0.0
+    cps_hdd_g_per_gb: float = 4.57
+    # Packaging (Eq. 3).
+    ic_count: float = 3.0
+    packaging_g_per_ic: float = 150.0
+
+    def __post_init__(self) -> None:
+        require_non_negative("energy_kwh", self.energy_kwh)
+        require_non_negative("ci_use_g_per_kwh", self.ci_use_g_per_kwh)
+        require_non_negative("duration_hours", self.duration_hours)
+        require_positive("lifetime_hours", self.lifetime_hours)
+        require_non_negative("soc_area_cm2", self.soc_area_cm2)
+        require_non_negative("ci_fab_g_per_kwh", self.ci_fab_g_per_kwh)
+        require_non_negative("epa_kwh_per_cm2", self.epa_kwh_per_cm2)
+        require_non_negative("gpa_g_per_cm2", self.gpa_g_per_cm2)
+        require_non_negative("mpa_g_per_cm2", self.mpa_g_per_cm2)
+        require_fraction("fab_yield", self.fab_yield)
+        require_non_negative("dram_gb", self.dram_gb)
+        require_non_negative("cps_dram_g_per_gb", self.cps_dram_g_per_gb)
+        require_non_negative("ssd_gb", self.ssd_gb)
+        require_non_negative("cps_ssd_g_per_gb", self.cps_ssd_g_per_gb)
+        require_non_negative("hdd_gb", self.hdd_gb)
+        require_non_negative("cps_hdd_g_per_gb", self.cps_hdd_g_per_gb)
+        require_non_negative("ic_count", self.ic_count)
+        require_non_negative("packaging_g_per_ic", self.packaging_g_per_ic)
+
+    # --- Eq. 1-8, scalar form -------------------------------------------
+
+    def operational_g(self) -> float:
+        """Eq. 2."""
+        return self.energy_kwh * self.ci_use_g_per_kwh
+
+    def cpa_g_per_cm2(self) -> float:
+        """Eq. 5."""
+        return (
+            self.ci_fab_g_per_kwh * self.epa_kwh_per_cm2
+            + self.gpa_g_per_cm2
+            + self.mpa_g_per_cm2
+        ) / self.fab_yield
+
+    def soc_embodied_g(self) -> float:
+        """Eq. 4."""
+        return self.soc_area_cm2 * self.cpa_g_per_cm2()
+
+    def embodied_g(self) -> float:
+        """Eq. 3."""
+        return (
+            self.ic_count * self.packaging_g_per_ic
+            + self.soc_embodied_g()
+            + self.dram_gb * self.cps_dram_g_per_gb
+            + self.ssd_gb * self.cps_ssd_g_per_gb
+            + self.hdd_gb * self.cps_hdd_g_per_gb
+        )
+
+    def total_g(self) -> float:
+        """Eq. 1."""
+        amortization = self.duration_hours / self.lifetime_hours
+        return self.operational_g() + amortization * self.embodied_g()
+
+    def replace(self, **overrides: float) -> "ActScenario":
+        """A copy with some fields overridden."""
+        unknown = set(overrides) - {f.name for f in dataclasses.fields(self)}
+        if unknown:
+            raise UnknownEntryError(
+                "scenario parameter", ", ".join(sorted(unknown)),
+                [f.name for f in dataclasses.fields(self)],
+            )
+        return dataclasses.replace(self, **overrides)
+
+    def as_dict(self) -> dict[str, float]:
+        """All fields as a plain dict."""
+        return dataclasses.asdict(self)
+
+
+#: Plausible low/high bounds per parameter, following Table 1's ranges and
+#: the appendix tables.  Used by sensitivity sweeps and Monte Carlo.
+PARAMETER_RANGES: dict[str, tuple[float, float]] = {
+    "energy_kwh": (1.0, 40.0),
+    "ci_use_g_per_kwh": (11.0, 820.0),  # wind ... coal (Table 5)
+    "duration_hours": (8_760.0, 26_280.0),
+    "lifetime_hours": (8_760.0, 87_600.0),  # 1-10 years (Table 1)
+    "soc_area_cm2": (0.3, 2.0),
+    "ci_fab_g_per_kwh": (30.0, 700.0),  # Table 1
+    "epa_kwh_per_cm2": (0.8, 3.5),  # Table 1
+    "gpa_g_per_cm2": (100.0, 500.0),  # Table 1 / Table 7
+    "mpa_g_per_cm2": (250.0, 750.0),
+    "fab_yield": (0.5, 1.0),
+    "dram_gb": (2.0, 16.0),
+    "cps_dram_g_per_gb": (48.0, 600.0),  # Table 9
+    "ssd_gb": (32.0, 512.0),
+    "cps_ssd_g_per_gb": (3.95, 30.0),  # Table 10
+    "hdd_gb": (0.0, 4000.0),
+    "cps_hdd_g_per_gb": (1.14, 20.5),  # Table 11
+    "ic_count": (1.0, 100.0),
+    "packaging_g_per_ic": (75.0, 300.0),
+}
+
+
+def parameter_range(name: str) -> tuple[float, float]:
+    """The (low, high) bounds for a named scenario parameter."""
+    try:
+        return PARAMETER_RANGES[name]
+    except KeyError:
+        raise UnknownEntryError(
+            "scenario parameter", name, PARAMETER_RANGES
+        ) from None

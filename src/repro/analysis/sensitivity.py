@@ -1,0 +1,119 @@
+"""One-at-a-time sensitivity analysis over the ACT parameters.
+
+Which Table 1 inputs actually move the footprint?  For each parameter this
+module sweeps its plausible range (holding everything else at the base
+scenario) and records the swing in total footprint — the classic tornado
+analysis.  It also reports local elasticities (percent change in footprint
+per percent change in parameter) so a designer can see at a glance that,
+e.g., for an embodied-dominated phone the fab parameters dwarf CI_use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.analysis.scenario import PARAMETER_RANGES, ActScenario, parameter_range
+from repro.core.parameters import require_positive
+
+Response = Callable[[ActScenario], float]
+
+
+def _total(scenario: ActScenario) -> float:
+    return scenario.total_g()
+
+
+@dataclass(frozen=True)
+class SensitivityRecord:
+    """The footprint swing attributable to one parameter.
+
+    Attributes:
+        parameter: Parameter name.
+        low / high: The swept bounds.
+        response_low / response_high: Footprint at each bound.
+        base_response: Footprint of the base scenario.
+    """
+
+    parameter: str
+    low: float
+    high: float
+    response_low: float
+    response_high: float
+    base_response: float
+
+    @property
+    def swing(self) -> float:
+        """Absolute footprint range across the parameter's bounds."""
+        return abs(self.response_high - self.response_low)
+
+    @property
+    def relative_swing(self) -> float:
+        """Swing as a fraction of the base footprint."""
+        if self.base_response == 0:
+            return 0.0
+        return self.swing / self.base_response
+
+
+def tornado(
+    base: ActScenario,
+    parameters: Iterable[str] | None = None,
+    response: Response = _total,
+) -> tuple[SensitivityRecord, ...]:
+    """One-at-a-time sensitivity, largest swing first (a tornado chart).
+
+    Args:
+        base: The scenario every parameter returns to between sweeps.
+        parameters: Parameter names to vary (default: all with ranges).
+        response: Scalar response to measure (default: total footprint).
+    """
+    names = tuple(parameters) if parameters is not None else tuple(PARAMETER_RANGES)
+    base_value = response(base)
+    records = []
+    for name in names:
+        low, high = parameter_range(name)
+        records.append(
+            SensitivityRecord(
+                parameter=name,
+                low=low,
+                high=high,
+                response_low=response(base.replace(**{name: low})),
+                response_high=response(base.replace(**{name: high})),
+                base_response=base_value,
+            )
+        )
+    return tuple(sorted(records, key=lambda r: r.swing, reverse=True))
+
+
+def elasticity(
+    base: ActScenario,
+    parameter: str,
+    response: Response = _total,
+    step: float = 0.01,
+) -> float:
+    """Local elasticity: d(ln response) / d(ln parameter) at the base point.
+
+    An elasticity of 1 means the footprint moves one-for-one with the
+    parameter (e.g. CI_use in a fully operational-dominated scenario);
+    0 means the parameter is locally irrelevant.
+    """
+    require_positive("step", step)
+    current = getattr(base, parameter)
+    if current == 0:
+        raise ValueError(
+            f"elasticity undefined at {parameter}=0; use tornado() instead"
+        )
+    base_value = response(base)
+    if base_value == 0:
+        raise ValueError("elasticity undefined for a zero base response")
+    bumped = response(base.replace(**{parameter: current * (1.0 + step)}))
+    return (bumped - base_value) / base_value / step
+
+
+def dominant_parameters(
+    base: ActScenario,
+    top: int = 5,
+    response: Response = _total,
+) -> tuple[str, ...]:
+    """The ``top`` parameters by tornado swing."""
+    require_positive("top", top)
+    return tuple(record.parameter for record in tornado(base, response=response)[:top])

@@ -1,0 +1,18 @@
+"""Prior-work baseline models (Section 2.3's comparison targets)."""
+
+from repro.baselines import exergy, greenchip
+from repro.baselines.comparison import (
+    BlindSpotResult,
+    NodeComparison,
+    exergy_blind_spot,
+    greenchip_vs_act,
+)
+
+__all__ = [
+    "BlindSpotResult",
+    "NodeComparison",
+    "exergy",
+    "exergy_blind_spot",
+    "greenchip",
+    "greenchip_vs_act",
+]

@@ -1,0 +1,73 @@
+"""An exergy-style energy-balance baseline (prior work, Section 2.3).
+
+Chang et al.'s "Totally Green" accounting scores servers by the *energy*
+embedded in fabrication plus the energy consumed in use — an elegant
+single-currency model, but one that, as the paper notes, "simplifies the
+design space": because everything is joules, the carbon intensity of the
+electricity (renewable fabs, green grids) cannot influence the result.
+
+This module implements that accounting so the comparison experiment can
+demonstrate the blind spot: two scenarios that differ only in fab/grid
+energy mix score identically under exergy while ACT separates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.parameters import require_non_negative
+
+#: Fixed exergy cost of materials procurement per wafer area (kWh/cm^2
+#: equivalent) — the energy-balance analogue of ACT's MPA term.
+MATERIALS_KWH_PER_CM2 = 1.4
+
+#: Exergy cost of memory/storage manufacturing per GB (kWh/GB equivalents).
+DRAM_KWH_PER_GB = 0.13
+SSD_KWH_PER_GB = 0.017
+HDD_KWH_PER_GB = 0.012
+
+
+@dataclass(frozen=True)
+class ExergyAccount:
+    """An energy-balance score: fabrication and use energy in kWh."""
+
+    fabrication_kwh: float
+    use_kwh: float
+
+    @property
+    def total_kwh(self) -> float:
+        return self.fabrication_kwh + self.use_kwh
+
+    @property
+    def fabrication_share(self) -> float:
+        total = self.total_kwh
+        if total == 0:
+            return 0.0
+        return self.fabrication_kwh / total
+
+
+def account(
+    *,
+    soc_area_cm2: float,
+    epa_kwh_per_cm2: float,
+    use_energy_kwh: float,
+    fab_yield: float = 1.0,
+    dram_gb: float = 0.0,
+    ssd_gb: float = 0.0,
+    hdd_gb: float = 0.0,
+) -> ExergyAccount:
+    """The energy-balance score of a platform + workload.
+
+    Note what is *not* a parameter: any carbon intensity.  Exergy cannot
+    distinguish a solar-powered fab from a coal-powered one.
+    """
+    require_non_negative("soc_area_cm2", soc_area_cm2)
+    require_non_negative("epa_kwh_per_cm2", epa_kwh_per_cm2)
+    require_non_negative("use_energy_kwh", use_energy_kwh)
+    fabrication = (
+        soc_area_cm2 * (epa_kwh_per_cm2 + MATERIALS_KWH_PER_CM2) / fab_yield
+        + dram_gb * DRAM_KWH_PER_GB
+        + ssd_gb * SSD_KWH_PER_GB
+        + hdd_gb * HDD_KWH_PER_GB
+    )
+    return ExergyAccount(fabrication_kwh=fabrication, use_kwh=use_energy_kwh)

@@ -1,0 +1,356 @@
+"""Command-line interface for the ACT reproduction.
+
+Subcommands::
+
+    act-repro footprint --node 7 --area 100 --dram 8 --ssd 128
+        Embodied footprint of an ad-hoc platform, with breakdown.
+
+    act-repro cpa [--mix taiwan_grid] [--abatement 0.97]
+        Carbon-per-area across the node ladder (Figure 6 data).
+
+    act-repro experiment fig8            # or: all
+        Regenerate a paper table/figure and print data + shape checks.
+
+    act-repro socs
+        The mobile SoC catalog with embodied carbon per chipset.
+
+    act-repro export fig12 --format csv
+        Dump an experiment's first figure as CSV/JSON for plotting.
+
+    act-repro sensitivity [--top 8] [--draws 2000]
+        Tornado ranking + Monte Carlo spread over the Table 1 parameters.
+
+    act-repro baselines
+        ACT vs the prior-work models (GreenChip-style inventory, exergy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.components import DramComponent, LogicComponent, SsdComponent
+from repro.core.model import Platform
+from repro.data.fab_nodes import TSMC_ABATEMENT, node_names
+from repro.data.soc_catalog import all_socs
+from repro.experiments import EXPERIMENTS, run_all, run_experiment
+from repro.experiments.base import result_summary
+from repro.fabs.fab import FabScenario
+from repro.platforms.mobile import soc_platform
+from repro.reporting.serialize import figure_to_csv, figure_to_json
+from repro.reporting.tables import ascii_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="act-repro",
+        description="ACT (ISCA 2022) architectural carbon model — reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    footprint = sub.add_parser(
+        "footprint", help="embodied footprint of an ad-hoc platform"
+    )
+    footprint.add_argument(
+        "--config", default=None,
+        help="JSON platform description (overrides the ad-hoc flags)",
+    )
+    footprint.add_argument("--node", default="7", help="logic process node")
+    footprint.add_argument(
+        "--area", type=float, default=100.0, help="SoC die area (mm^2)"
+    )
+    footprint.add_argument(
+        "--dram", type=float, default=0.0, help="DRAM capacity (GB)"
+    )
+    footprint.add_argument(
+        "--dram-tech", default="lpddr4", help="Table 9 DRAM technology"
+    )
+    footprint.add_argument("--ssd", type=float, default=0.0, help="SSD capacity (GB)")
+    footprint.add_argument(
+        "--ssd-tech", default="nand_v3_tlc", help="Table 10 SSD technology"
+    )
+    footprint.add_argument(
+        "--mix", default="taiwan_25_renewable", help="fab energy mix"
+    )
+
+    cpa = sub.add_parser("cpa", help="carbon-per-area across nodes (Figure 6)")
+    cpa.add_argument("--mix", default="taiwan_25_renewable", help="fab energy mix")
+    cpa.add_argument(
+        "--abatement", type=float, default=TSMC_ABATEMENT, help="gas abatement"
+    )
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument(
+        "id",
+        help=f"experiment id ({', '.join(EXPERIMENTS)}), an extension id "
+        "(ext-*), 'all', or 'extensions'",
+    )
+
+    sub.add_parser("socs", help="the mobile SoC catalog with embodied carbon")
+
+    export = sub.add_parser("export", help="dump an experiment's data")
+    export.add_argument("id", help="experiment id")
+    export.add_argument(
+        "--format", choices=("csv", "json"), default="csv", help="output format"
+    )
+    export.add_argument(
+        "--panel", type=int, default=0, help="figure panel index to export"
+    )
+
+    sensitivity = sub.add_parser(
+        "sensitivity", help="tornado + Monte Carlo over the ACT parameters"
+    )
+    sensitivity.add_argument(
+        "--top", type=int, default=8, help="parameters to show"
+    )
+    sensitivity.add_argument(
+        "--draws", type=int, default=2000, help="Monte Carlo samples"
+    )
+
+    sub.add_parser("baselines", help="compare ACT against prior-work models")
+
+    report = sub.add_parser(
+        "report", help="generate a product environmental report (Markdown)"
+    )
+    report.add_argument(
+        "--config", required=True, help="JSON platform description"
+    )
+    report.add_argument("--mass-kg", type=float, default=0.5)
+    report.add_argument("--power-w", type=float, default=1.5)
+    report.add_argument("--utilization", type=float, default=0.2)
+    report.add_argument("--ci", type=float, default=380.0,
+                        help="use-phase carbon intensity (g CO2/kWh)")
+    report.add_argument("--lifetime-years", type=float, default=3.0)
+
+    sub.add_parser(
+        "validate", help="run integrity checks over the bundled data tables"
+    )
+    return parser
+
+
+def _cmd_footprint(args: argparse.Namespace) -> int:
+    if args.config:
+        from repro.io.config import load_platform
+
+        platform = load_platform(args.config)
+    else:
+        fab = FabScenario.for_node(args.node, energy_mix=args.mix)
+        components = [LogicComponent("SoC", args.area, fab)]
+        if args.dram > 0:
+            components.append(
+                DramComponent.of("DRAM", args.dram, args.dram_tech)
+            )
+        if args.ssd > 0:
+            components.append(SsdComponent.of("SSD", args.ssd, args.ssd_tech))
+        platform = Platform("cli platform", tuple(components))
+    report = platform.embodied()
+    rows = [
+        (item.name, item.category, item.carbon_g / 1000.0) for item in report.items
+    ]
+    rows.append(("packaging", "packaging", report.packaging_g / 1000.0))
+    rows.append(("TOTAL", "", report.total_kg))
+    print(ascii_table(("component", "category", "kg CO2e"), rows))
+    return 0
+
+
+def _cmd_cpa(args: argparse.Namespace) -> int:
+    rows = []
+    for name in node_names():
+        fab = FabScenario.for_node(
+            name, energy_mix=args.mix, abatement=args.abatement
+        )
+        params = fab.params_for_area(1.0)
+        rows.append(
+            (
+                name,
+                params.epa_kwh_per_cm2,
+                params.gpa_g_per_cm2,
+                params.fab_yield,
+                params.cpa_g_per_cm2(),
+            )
+        )
+    print(
+        ascii_table(
+            ("node", "EPA kWh/cm2", "GPA g/cm2", "yield", "CPA g/cm2"), rows
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    key = args.id.strip().lower()
+    if key in ("all", "extensions"):
+        from repro.experiments import run_all_extensions
+
+        results = run_all() if key == "all" else run_all_extensions()
+        print(result_summary(results))
+        failures = [c for r in results for c in r.failed_checks()]
+        for check in failures:
+            print(f"FAIL: {check.name} (observed {check.observed}, "
+                  f"expected {check.expected})")
+        return 1 if failures else 0
+    result = run_experiment(args.id)
+    print(result.render_text())
+    return 0 if result.all_passed else 1
+
+
+def _cmd_socs(_: argparse.Namespace) -> int:
+    rows = [
+        (
+            soc.name,
+            soc.family,
+            soc.year,
+            soc.node,
+            soc.die_area_mm2,
+            soc.tdp_w,
+            soc.perf_score,
+            soc_platform(soc).embodied_kg(),
+        )
+        for soc in all_socs()
+    ]
+    print(
+        ascii_table(
+            ("SoC", "family", "year", "node", "mm^2", "TDP W", "score",
+             "embodied kg"),
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    result = run_experiment(args.id)
+    if not result.figures:
+        print(f"experiment {args.id} has no figure panels", file=sys.stderr)
+        return 2
+    if not 0 <= args.panel < len(result.figures):
+        print(
+            f"panel {args.panel} out of range (have {len(result.figures)})",
+            file=sys.stderr,
+        )
+        return 2
+    figure = result.figures[args.panel]
+    if args.format == "json":
+        print(figure_to_json(figure))
+    else:
+        print(figure_to_csv(figure), end="")
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.analysis import ActScenario, run_monte_carlo, tornado
+
+    base = ActScenario()
+    records = tornado(base)[: args.top]
+    rows = [
+        (r.parameter, r.low, r.high, r.response_low / 1000.0,
+         r.response_high / 1000.0, r.swing / 1000.0)
+        for r in records
+    ]
+    print(f"Base scenario footprint: {base.total_g() / 1000.0:.2f} kg CO2e")
+    print("Tornado (one-at-a-time over Table 1 ranges):")
+    print(
+        ascii_table(
+            ("parameter", "low", "high", "CF@low kg", "CF@high kg", "swing kg"),
+            rows,
+        )
+    )
+    result = run_monte_carlo(base, draws=args.draws)
+    print()
+    print(
+        f"Monte Carlo ({args.draws} draws): mean {result.mean / 1000.0:.2f} kg, "
+        f"90% interval [{result.p5 / 1000.0:.2f}, {result.p95 / 1000.0:.2f}] kg"
+    )
+    return 0
+
+
+def _cmd_baselines(_: argparse.Namespace) -> int:
+    from repro.baselines import exergy_blind_spot, greenchip_vs_act
+
+    rows = [
+        (
+            row.node,
+            row.act_cpa_g_per_cm2,
+            row.baseline_cpa_g_per_cm2,
+            row.act_over_baseline,
+            "yes" if row.baseline_extrapolated else "no",
+        )
+        for row in greenchip_vs_act()
+    ]
+    print("ACT vs GreenChip-style parametric inventory (g CO2/cm^2):")
+    print(
+        ascii_table(
+            ("node", "ACT", "baseline", "ACT/baseline", "extrapolated?"), rows
+        )
+    )
+    blind = exergy_blind_spot()
+    print()
+    print("Exergy blind spot (Taiwan-grid vs solar fab, same die):")
+    print(f"  ACT separates the scenarios by {blind.act_separation:.2f}x")
+    print(f"  exergy scores them identically ({blind.exergy_separation:.2f}x)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.lifecycle import device_lifecycle
+    from repro.io.config import load_platform
+    from repro.reporting.per import product_environmental_report
+
+    platform = load_platform(args.config)
+    lifecycle = device_lifecycle(
+        platform,
+        mass_kg=args.mass_kg,
+        average_power_w=args.power_w,
+        utilization=args.utilization,
+        ci_use_g_per_kwh=args.ci,
+        lifetime_years=args.lifetime_years,
+    )
+    print(
+        product_environmental_report(
+            platform,
+            lifecycle,
+            lifetime_years=args.lifetime_years,
+            ci_use_g_per_kwh=args.ci,
+        )
+    )
+    return 0
+
+
+def _cmd_validate(_: argparse.Namespace) -> int:
+    from repro.data.validation import validate_all
+
+    findings = validate_all()
+    rows = [
+        (f.table, f.check, "pass" if f.passed else "FAIL", f.detail)
+        for f in findings
+    ]
+    print(ascii_table(("table", "check", "status", "detail"), rows))
+    failed = [f for f in findings if not f.passed]
+    print(f"\n{len(findings) - len(failed)}/{len(findings)} checks passed")
+    return 1 if failed else 0
+
+
+_COMMANDS = {
+    "footprint": _cmd_footprint,
+    "report": _cmd_report,
+    "validate": _cmd_validate,
+    "cpa": _cmd_cpa,
+    "experiment": _cmd_experiment,
+    "socs": _cmd_socs,
+    "export": _cmd_export,
+    "sensitivity": _cmd_sensitivity,
+    "baselines": _cmd_baselines,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,224 @@
+"""Hardware components whose embodied carbon ACT models (Eq. 3-8).
+
+Each component type knows how to turn its hardware description into grams of
+embodied CO2 (excluding IC packaging, which the platform model adds per IC
+via ``Nr * Kr``):
+
+* :class:`LogicComponent` — processors/SoCs/ASICs: ``Area × CPA`` (Eq. 4).
+* :class:`DramComponent` — DRAM: ``CPS_DRAM × Capacity`` (Eq. 6).
+* :class:`SsdComponent` — NAND-flash storage: ``CPS_SSD × Capacity`` (Eq. 8).
+* :class:`HddComponent` — magnetic storage: ``CPS_HDD × Capacity`` (Eq. 7).
+* :class:`FixedCarbonComponent` — escape hatch for externally characterized
+  parts (e.g. an LCA-reported module).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Protocol, runtime_checkable
+
+from repro.core import units
+from repro.core.parameters import require_non_negative, require_positive
+from repro.data.dram import DramTechnology, dram_technology
+from repro.data.hdd import HddModel, hdd_model
+from repro.data.ssd import SsdTechnology, ssd_technology
+from repro.fabs.fab import FabScenario, default_fab
+
+#: Component categories used for breakdown reporting.
+CATEGORY_SOC = "soc"
+CATEGORY_DRAM = "dram"
+CATEGORY_SSD = "ssd"
+CATEGORY_HDD = "hdd"
+CATEGORY_OTHER = "other"
+
+
+@runtime_checkable
+class Component(Protocol):
+    """Anything whose embodied carbon the platform model can aggregate."""
+
+    name: str
+    category: str
+
+    @property
+    def ic_count(self) -> int:
+        """Number of discrete ICs this component contributes (for Eq. 3's
+        packaging term ``Nr * Kr``)."""
+        ...
+
+    def embodied_g(self) -> float:
+        """Embodied carbon in grams of CO2, excluding packaging."""
+        ...
+
+
+@dataclass(frozen=True)
+class LogicComponent:
+    """A processor, SoC, or ASIC die (Eq. 4: ``E_SoC = Area × CPA``).
+
+    Attributes:
+        name: Display name (e.g. ``"A13 Bionic"``).
+        area_mm2: Die area in mm^2.
+        fab: Manufacturing scenario; determines CPA via Eq. 5.
+        category: Breakdown category; defaults to ``"soc"``.
+        ics: Number of discrete packaged dies (usually 1).
+    """
+
+    name: str
+    area_mm2: float
+    fab: FabScenario
+    category: str = CATEGORY_SOC
+    ics: int = 1
+
+    def __post_init__(self) -> None:
+        require_positive("area_mm2", self.area_mm2)
+        if self.ics < 0:
+            raise ValueError(f"ics must be >= 0, got {self.ics}")
+
+    @classmethod
+    def at_node(
+        cls,
+        name: str,
+        area_mm2: float,
+        node: str | float,
+        *,
+        category: str = CATEGORY_SOC,
+        ics: int = 1,
+    ) -> "LogicComponent":
+        """A logic die manufactured in the ACT default fab for ``node``."""
+        return cls(name, area_mm2, default_fab(node), category=category, ics=ics)
+
+    @property
+    def area_cm2(self) -> float:
+        """Die area in cm^2."""
+        return units.mm2_to_cm2(self.area_mm2)
+
+    @property
+    def ic_count(self) -> int:
+        return self.ics
+
+    def cpa_g_per_cm2(self) -> float:
+        """Carbon per good area for this die's size and fab (Eq. 5)."""
+        return self.fab.cpa_g_per_cm2(self.area_cm2)
+
+    def embodied_g(self) -> float:
+        """Eq. 4: die area times carbon-per-area."""
+        return self.area_cm2 * self.cpa_g_per_cm2()
+
+    def with_area(self, area_mm2: float) -> "LogicComponent":
+        """A copy with a different die area (used by DSE sweeps)."""
+        return replace(self, area_mm2=area_mm2)
+
+
+@dataclass(frozen=True)
+class DramComponent:
+    """A DRAM package (Eq. 6: ``E_DRAM = CPS_DRAM × Capacity``)."""
+
+    name: str
+    capacity_gb: float
+    technology: DramTechnology = field(
+        default_factory=lambda: dram_technology("lpddr4")
+    )
+    category: str = CATEGORY_DRAM
+    ics: int = 1
+
+    def __post_init__(self) -> None:
+        require_non_negative("capacity_gb", self.capacity_gb)
+
+    @classmethod
+    def of(
+        cls, name: str, capacity_gb: float, technology: str = "lpddr4", ics: int = 1
+    ) -> "DramComponent":
+        """Build from a named Table 9 technology."""
+        return cls(name, capacity_gb, dram_technology(technology), ics=ics)
+
+    @property
+    def ic_count(self) -> int:
+        return self.ics
+
+    def embodied_g(self) -> float:
+        return self.technology.cps_g_per_gb * self.capacity_gb
+
+
+@dataclass(frozen=True)
+class SsdComponent:
+    """An SSD / NAND-flash package (Eq. 8: ``E_SSD = CPS_SSD × Capacity``)."""
+
+    name: str
+    capacity_gb: float
+    technology: SsdTechnology = field(
+        default_factory=lambda: ssd_technology("nand_v3_tlc")
+    )
+    category: str = CATEGORY_SSD
+    ics: int = 1
+
+    def __post_init__(self) -> None:
+        require_non_negative("capacity_gb", self.capacity_gb)
+
+    @classmethod
+    def of(
+        cls,
+        name: str,
+        capacity_gb: float,
+        technology: str = "nand_v3_tlc",
+        ics: int = 1,
+    ) -> "SsdComponent":
+        """Build from a named Table 10 technology."""
+        return cls(name, capacity_gb, ssd_technology(technology), ics=ics)
+
+    @property
+    def ic_count(self) -> int:
+        return self.ics
+
+    def embodied_g(self) -> float:
+        return self.technology.cps_g_per_gb * self.capacity_gb
+
+
+@dataclass(frozen=True)
+class HddComponent:
+    """A hard-disk drive (Eq. 7: ``E_HDD = CPS_HDD × Capacity``)."""
+
+    name: str
+    capacity_gb: float
+    model: HddModel = field(default_factory=lambda: hdd_model("barracuda"))
+    category: str = CATEGORY_HDD
+    ics: int = 1
+
+    def __post_init__(self) -> None:
+        require_non_negative("capacity_gb", self.capacity_gb)
+
+    @classmethod
+    def of(
+        cls, name: str, capacity_gb: float, model: str = "barracuda", ics: int = 1
+    ) -> "HddComponent":
+        """Build from a named Table 11 drive model."""
+        return cls(name, capacity_gb, hdd_model(model), ics=ics)
+
+    @property
+    def ic_count(self) -> int:
+        return self.ics
+
+    def embodied_g(self) -> float:
+        return self.model.cps_g_per_gb * self.capacity_gb
+
+
+@dataclass(frozen=True)
+class FixedCarbonComponent:
+    """A component with externally characterized embodied carbon.
+
+    Useful for parts ACT does not model bottom-up (batteries, displays,
+    enclosures) when assembling device-level comparisons.
+    """
+
+    name: str
+    carbon_g: float
+    category: str = CATEGORY_OTHER
+    ics: int = 0
+
+    def __post_init__(self) -> None:
+        require_non_negative("carbon_g", self.carbon_g)
+
+    @property
+    def ic_count(self) -> int:
+        return self.ics
+
+    def embodied_g(self) -> float:
+        return self.carbon_g

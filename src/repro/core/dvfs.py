@@ -1,0 +1,202 @@
+"""DVFS: the Reduce tenet's operational lever.
+
+Figure 1 lists DVFS among the Reduce optimizations.  This module provides
+the classic voltage-frequency model (dynamic power ~ C·V²·f, leakage ~ V,
+voltage rising linearly with frequency) and evaluates the Table 2 metrics
+across an operating-point ladder, so the carbon-optimal frequency can be
+contrasted with the performance- and energy-optimal ones:
+
+* pure performance wants f_max,
+* pure energy wants a low-voltage point (race-to-idle caveats aside),
+* because the silicon is fixed, the Table 2 products degenerate here —
+  CDP tracks delay (f_max) and CEP/C2EP/CE2P track energy.  What *does*
+  depend on the embodied footprint is the total per-task carbon of Eq. 1:
+  :func:`footprint_optimal_frequency_ghz` shows the optimum sliding from
+  the energy-minimal frequency toward f_max as the platform becomes more
+  embodied-dominated (finishing sooner charges the task less silicon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import units
+from repro.core.metrics import DesignPoint
+from repro.core.parameters import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class DvfsModel:
+    """A core's voltage-frequency operating envelope.
+
+    Attributes:
+        f_min_ghz / f_max_ghz: Frequency range.
+        v_min / v_max: Supply voltage at f_min and f_max (linear in between).
+        switched_capacitance_nf: Effective C of the dynamic-power term.
+        leakage_w_per_v: Leakage power per volt of supply.
+    """
+
+    f_min_ghz: float = 0.6
+    f_max_ghz: float = 3.0
+    v_min: float = 0.60
+    v_max: float = 1.05
+    switched_capacitance_nf: float = 1.1
+    leakage_w_per_v: float = 0.35
+
+    def __post_init__(self) -> None:
+        require_positive("f_min_ghz", self.f_min_ghz)
+        require_positive("v_min", self.v_min)
+        require_non_negative("switched_capacitance_nf", self.switched_capacitance_nf)
+        require_non_negative("leakage_w_per_v", self.leakage_w_per_v)
+        if self.f_max_ghz < self.f_min_ghz:
+            raise ValueError("f_max_ghz must be >= f_min_ghz")
+        if self.v_max < self.v_min:
+            raise ValueError("v_max must be >= v_min")
+
+    def voltage_at(self, f_ghz: float) -> float:
+        """Supply voltage needed to sustain ``f_ghz``."""
+        self._check_frequency(f_ghz)
+        if self.f_max_ghz == self.f_min_ghz:
+            return self.v_max
+        slope = (self.v_max - self.v_min) / (self.f_max_ghz - self.f_min_ghz)
+        return self.v_min + slope * (f_ghz - self.f_min_ghz)
+
+    def power_w(self, f_ghz: float) -> float:
+        """Total power at an operating point: C·V²·f plus leakage·V."""
+        voltage = self.voltage_at(f_ghz)
+        dynamic = self.switched_capacitance_nf * voltage**2 * f_ghz
+        return dynamic + self.leakage_w_per_v * voltage
+
+    def delay_s(self, f_ghz: float, work_gcycles: float) -> float:
+        """Runtime of ``work_gcycles`` giga-cycles at ``f_ghz``."""
+        self._check_frequency(f_ghz)
+        require_positive("work_gcycles", work_gcycles)
+        return work_gcycles / f_ghz
+
+    def energy_j(self, f_ghz: float, work_gcycles: float) -> float:
+        """Energy of the task at one operating point."""
+        return self.power_w(f_ghz) * self.delay_s(f_ghz, work_gcycles)
+
+    def frequency_ladder(self, steps: int = 9) -> tuple[float, ...]:
+        """Evenly spaced operating frequencies across the envelope."""
+        require_positive("steps", steps)
+        if steps == 1:
+            return (self.f_max_ghz,)
+        span = self.f_max_ghz - self.f_min_ghz
+        return tuple(
+            self.f_min_ghz + span * index / (steps - 1) for index in range(steps)
+        )
+
+    def _check_frequency(self, f_ghz: float) -> None:
+        if not self.f_min_ghz <= f_ghz <= self.f_max_ghz:
+            raise ValueError(
+                f"frequency {f_ghz} GHz outside "
+                f"[{self.f_min_ghz}, {self.f_max_ghz}] GHz"
+            )
+
+
+def operating_points(
+    model: DvfsModel,
+    *,
+    embodied_carbon_g: float,
+    work_gcycles: float = 10.0,
+    steps: int = 9,
+    area_mm2: float | None = None,
+) -> tuple[DesignPoint, ...]:
+    """The Table 2 metric inputs across a frequency ladder.
+
+    Every point shares the same embodied carbon (the silicon does not
+    change with the knob) — which is exactly why carbon-aware metrics pick
+    different frequencies than energy-only ones.
+    """
+    require_non_negative("embodied_carbon_g", embodied_carbon_g)
+    return tuple(
+        DesignPoint(
+            name=f"{f_ghz:.2f} GHz",
+            embodied_carbon_g=embodied_carbon_g,
+            energy_kwh=units.joules_to_kwh(model.energy_j(f_ghz, work_gcycles)),
+            delay_s=model.delay_s(f_ghz, work_gcycles),
+            area_mm2=area_mm2,
+        )
+        for f_ghz in model.frequency_ladder(steps)
+    )
+
+
+def per_task_footprint_g(
+    model: DvfsModel,
+    f_ghz: float,
+    *,
+    embodied_carbon_g: float,
+    ci_use_g_per_kwh: float,
+    lifetime_years: float = 3.0,
+    work_gcycles: float = 10.0,
+) -> float:
+    """Eq. 1 charged to one task at one operating point.
+
+    The task pays its operational energy at ``ci_use_g_per_kwh`` plus the
+    slice of the platform's embodied carbon proportional to the time it
+    occupies the hardware.
+    """
+    require_non_negative("embodied_carbon_g", embodied_carbon_g)
+    require_non_negative("ci_use_g_per_kwh", ci_use_g_per_kwh)
+    require_positive("lifetime_years", lifetime_years)
+    operational = (
+        units.joules_to_kwh(model.energy_j(f_ghz, work_gcycles))
+        * ci_use_g_per_kwh
+    )
+    lifetime_s = units.years_to_hours(lifetime_years) * units.SECONDS_PER_HOUR
+    amortized = (
+        model.delay_s(f_ghz, work_gcycles) / lifetime_s
+    ) * embodied_carbon_g
+    return operational + amortized
+
+
+def footprint_optimal_frequency_ghz(
+    model: DvfsModel,
+    *,
+    embodied_carbon_g: float,
+    ci_use_g_per_kwh: float,
+    lifetime_years: float = 3.0,
+    work_gcycles: float = 10.0,
+    steps: int = 25,
+) -> float:
+    """The frequency minimizing Eq. 1's per-task footprint.
+
+    With negligible embodied carbon this is the energy-minimal frequency;
+    as the platform becomes embodied-dominated (or the grid decarbonizes)
+    the optimum slides toward f_max — racing through the work charges each
+    task a smaller slice of the manufacturing footprint.
+    """
+    ladder = model.frequency_ladder(steps)
+    return min(
+        ladder,
+        key=lambda f: per_task_footprint_g(
+            model,
+            f,
+            embodied_carbon_g=embodied_carbon_g,
+            ci_use_g_per_kwh=ci_use_g_per_kwh,
+            lifetime_years=lifetime_years,
+            work_gcycles=work_gcycles,
+        ),
+    )
+
+
+def optimal_frequency_ghz(
+    model: DvfsModel,
+    metric_name: str,
+    *,
+    embodied_carbon_g: float,
+    work_gcycles: float = 10.0,
+    steps: int = 9,
+) -> float:
+    """The ladder frequency minimizing a named metric."""
+    from repro.core.metrics import best_design
+
+    points = operating_points(
+        model,
+        embodied_carbon_g=embodied_carbon_g,
+        work_gcycles=work_gcycles,
+        steps=steps,
+    )
+    winner = best_design(points, metric_name)
+    return float(winner.name.split()[0])

@@ -1,0 +1,77 @@
+"""End-of-life processing and recycling (Figure 3's final phase).
+
+Recycling a retired device costs some processing energy but displaces
+virgin-material production for whatever is recovered.  ACT treats EOL as a
+small device-report share; this module provides the simple
+process-cost-minus-material-credit model needed to close the four-phase
+life cycle bottom-up, and to express the Recycle tenet's second-life
+accounting (a reused device displaces an entire new device's footprint,
+which is why Section 8 frames second life as the strongest form of
+recycling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.parameters import require_fraction, require_non_negative
+
+#: Energy to collect/shred/sort one kg of e-waste (kWh/kg).
+PROCESSING_KWH_PER_KG = 1.2
+
+#: Material credit per kg actually recovered (g CO2 avoided per kg),
+#: a mass-weighted average over typical smartphone material fractions.
+MATERIAL_CREDIT_G_PER_KG = 1500.0
+
+
+@dataclass(frozen=True)
+class EolOutcome:
+    """The net end-of-life footprint of one retired device.
+
+    Attributes:
+        processing_g: Emissions from collection and processing.
+        credit_g: Avoided-burden credit from recovered materials.
+    """
+
+    processing_g: float
+    credit_g: float
+
+    @property
+    def net_g(self) -> float:
+        """Net EOL emissions (can be negative when recovery dominates)."""
+        return self.processing_g - self.credit_g
+
+
+def eol_footprint(
+    mass_kg: float,
+    *,
+    recovery_rate: float = 0.35,
+    grid_ci_g_per_kwh: float = 301.0,
+    processing_kwh_per_kg: float = PROCESSING_KWH_PER_KG,
+    material_credit_g_per_kg: float = MATERIAL_CREDIT_G_PER_KG,
+) -> EolOutcome:
+    """End-of-life accounting for one device.
+
+    Args:
+        mass_kg: Device mass entering the waste stream.
+        recovery_rate: Fraction of mass recovered as usable material.
+        grid_ci_g_per_kwh: Carbon intensity of the processing energy.
+        processing_kwh_per_kg: Energy to process each kg.
+        material_credit_g_per_kg: Credit per recovered kg.
+    """
+    require_non_negative("mass_kg", mass_kg)
+    require_fraction("recovery_rate", recovery_rate, allow_zero=True)
+    require_non_negative("grid_ci_g_per_kwh", grid_ci_g_per_kwh)
+    processing = mass_kg * processing_kwh_per_kg * grid_ci_g_per_kwh
+    credit = mass_kg * recovery_rate * material_credit_g_per_kg
+    return EolOutcome(processing_g=processing, credit_g=credit)
+
+
+def second_life_displacement_g(new_device_embodied_g: float) -> float:
+    """Avoided emissions when a retired device serves instead of a new one.
+
+    The strongest recycling outcome: the entire embodied footprint of the
+    displaced new device is avoided (Section 8's framing).
+    """
+    require_non_negative("new_device_embodied_g", new_device_embodied_g)
+    return new_device_embodied_g

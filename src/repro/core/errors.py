@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ACT reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single except clause while still
+letting programming errors (TypeError, etc.) propagate untouched.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An ACT model parameter is missing, out of range, or inconsistent."""
+
+
+class UnknownEntryError(ReproError, KeyError):
+    """A lookup into one of the bundled data tables failed.
+
+    Carries the requested key and the set of available keys so error
+    messages are actionable.
+    """
+
+    def __init__(self, kind: str, key: object, available: object = None):
+        self.kind = kind
+        self.key = key
+        self.available = sorted(available) if available else None
+        message = f"unknown {kind}: {key!r}"
+        if self.available:
+            message += f" (available: {', '.join(map(str, self.available))})"
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError quotes its args; keep message plain
+        return self.args[0]
+
+
+class ConstraintError(ReproError, ValueError):
+    """A design-space constraint is infeasible or malformed."""
+
+
+class CalibrationError(ReproError, RuntimeError):
+    """A calibrated case-study model failed an internal sanity check."""

@@ -1,0 +1,171 @@
+"""Time-varying carbon intensity of electricity.
+
+The appendix notes that "while these are average values, carbon intensity
+can fluctuate over time" — renewable-heavy grids swing hour by hour.  This
+module provides intensity *traces* so use-phase emissions can be computed
+against a realistic grid instead of one annual average, plus synthetic
+profiles (a solar-shaped diurnal grid) and carbon-aware scheduling helpers
+(run flexible load in the greenest hours — the "renewable energy driven
+hardware" lever of the paper's Reduce tenet).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.errors import ParameterError
+from repro.core.parameters import require_non_negative, require_positive
+
+HOURS_PER_DAY = 24
+
+
+@dataclass(frozen=True)
+class CarbonIntensityTrace:
+    """An hourly carbon-intensity profile that repeats periodically.
+
+    Attributes:
+        name: Display name.
+        hourly_g_per_kwh: One period of hourly intensities (g CO2/kWh);
+            hour ``t`` uses entry ``t % len``.
+    """
+
+    name: str
+    hourly_g_per_kwh: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "hourly_g_per_kwh", tuple(float(v) for v in self.hourly_g_per_kwh)
+        )
+        if not self.hourly_g_per_kwh:
+            raise ParameterError("a trace needs at least one hourly value")
+        for value in self.hourly_g_per_kwh:
+            require_non_negative("hourly carbon intensity", value)
+
+    def __len__(self) -> int:
+        return len(self.hourly_g_per_kwh)
+
+    def at_hour(self, hour: int) -> float:
+        """Intensity during hour ``hour`` (wraps around the period)."""
+        return self.hourly_g_per_kwh[hour % len(self.hourly_g_per_kwh)]
+
+    @property
+    def average(self) -> float:
+        """Period-average intensity — what a flat-rate model would use."""
+        return sum(self.hourly_g_per_kwh) / len(self.hourly_g_per_kwh)
+
+    @property
+    def minimum(self) -> float:
+        """The greenest hour's intensity."""
+        return min(self.hourly_g_per_kwh)
+
+    def greenest_hours(self, count: int) -> tuple[int, ...]:
+        """The ``count`` hours with the lowest intensity, greenest first."""
+        require_positive("count", count)
+        if count > len(self.hourly_g_per_kwh):
+            raise ParameterError(
+                f"asked for {count} hours from a {len(self)}-hour trace"
+            )
+        ranked = sorted(
+            range(len(self.hourly_g_per_kwh)),
+            key=lambda hour: (self.hourly_g_per_kwh[hour], hour),
+        )
+        return tuple(ranked[:count])
+
+
+def constant_trace(ci_g_per_kwh: float, name: str = "constant") -> CarbonIntensityTrace:
+    """A flat trace — reduces every computation to the average-CI model."""
+    require_non_negative("ci_g_per_kwh", ci_g_per_kwh)
+    return CarbonIntensityTrace(name, (ci_g_per_kwh,) * HOURS_PER_DAY)
+
+
+def solar_diurnal_trace(
+    base_ci_g_per_kwh: float,
+    solar_share_at_noon: float = 0.6,
+    solar_ci_g_per_kwh: float = 41.0,
+    name: str = "solar diurnal",
+) -> CarbonIntensityTrace:
+    """A synthetic grid where solar displaces the base supply around noon.
+
+    Solar output follows a half-sine between 06:00 and 18:00, peaking at
+    ``solar_share_at_noon`` of demand; the remainder comes from the base
+    supply at ``base_ci_g_per_kwh``.
+    """
+    require_non_negative("base_ci_g_per_kwh", base_ci_g_per_kwh)
+    if not 0.0 <= solar_share_at_noon <= 1.0:
+        raise ParameterError(
+            f"solar_share_at_noon must be in [0, 1], got {solar_share_at_noon}"
+        )
+    hours = []
+    for hour in range(HOURS_PER_DAY):
+        if 6 <= hour <= 18:
+            share = solar_share_at_noon * math.sin(math.pi * (hour - 6) / 12.0)
+        else:
+            share = 0.0
+        hours.append(
+            base_ci_g_per_kwh * (1.0 - share) + solar_ci_g_per_kwh * share
+        )
+    return CarbonIntensityTrace(name, tuple(hours))
+
+
+def trace_footprint_g(
+    hourly_energy_kwh: Sequence[float],
+    trace: CarbonIntensityTrace,
+    start_hour: int = 0,
+) -> float:
+    """Eq. 2 evaluated hour by hour against a trace.
+
+    Args:
+        hourly_energy_kwh: Energy drawn in each consecutive hour.
+        trace: The grid's intensity profile.
+        start_hour: The trace hour at which the load begins.
+    """
+    total = 0.0
+    for offset, energy in enumerate(hourly_energy_kwh):
+        require_non_negative("hourly energy", energy)
+        total += energy * trace.at_hour(start_hour + offset)
+    return total
+
+
+def greenest_window_footprint_g(
+    energy_kwh: float,
+    duration_hours: int,
+    trace: CarbonIntensityTrace,
+) -> tuple[int, float]:
+    """Best-case emissions of a deferrable load of ``duration_hours``.
+
+    Slides a contiguous window over one trace period and returns
+    (best start hour, emissions there), assuming the energy spreads evenly
+    across the window.  This quantifies the carbon-aware-scheduling
+    opportunity a flat-average model cannot see.
+    """
+    require_non_negative("energy_kwh", energy_kwh)
+    require_positive("duration_hours", duration_hours)
+    if duration_hours > len(trace):
+        raise ParameterError(
+            f"window of {duration_hours}h exceeds the {len(trace)}h trace period"
+        )
+    per_hour = energy_kwh / duration_hours
+    best_start, best_total = 0, math.inf
+    for start in range(len(trace)):
+        total = trace_footprint_g((per_hour,) * duration_hours, trace, start)
+        if total < best_total:
+            best_start, best_total = start, total
+    return best_start, best_total
+
+
+def scheduling_saving(
+    duration_hours: int, trace: CarbonIntensityTrace
+) -> float:
+    """Emission ratio of naive (flat-average) vs carbon-aware placement.
+
+    Returns how many times dirtier an average placement of a
+    ``duration_hours`` deferrable load is compared to the greenest window
+    (>= 1; exactly 1 on a flat trace).
+    """
+    _, best = greenest_window_footprint_g(1.0, duration_hours, trace)
+    average = trace.average  # 1 kWh at the average intensity
+    if best == 0.0:
+        return math.inf if average > 0 else 1.0
+    return average / best

@@ -1,0 +1,111 @@
+"""Four-phase life-cycle assembly (Figure 3, end to end).
+
+Combines the ACT embodied model (manufacturing), the transport model, the
+operational model, and end-of-life processing into one
+:class:`LifecycleReport`, so a bottom-up device model can be compared
+phase-by-phase against a published product environmental report (the
+Figure 1 bars).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import units
+from repro.core.eol import EolOutcome, eol_footprint
+from repro.core.model import Platform
+from repro.core.operational import EnergyProfile
+from repro.core.parameters import require_non_negative, require_positive
+from repro.core.transport import DEFAULT_ROUTE, TransportLeg, transport_footprint_g
+
+
+@dataclass(frozen=True)
+class LifecycleReport:
+    """A device's emissions split across the four Figure 3 phases (grams)."""
+
+    manufacturing_g: float
+    transport_g: float
+    use_g: float
+    eol: EolOutcome
+
+    @property
+    def total_g(self) -> float:
+        return (
+            self.manufacturing_g
+            + self.transport_g
+            + self.use_g
+            + self.eol.net_g
+        )
+
+    @property
+    def total_kg(self) -> float:
+        return units.g_to_kg(self.total_g)
+
+    def shares(self) -> dict[str, float]:
+        """Phase shares of the total — directly comparable to the product
+        environmental reports' splits."""
+        total = self.total_g
+        if total == 0:
+            return {
+                "manufacturing": 0.0, "transport": 0.0, "use": 0.0, "eol": 0.0
+            }
+        return {
+            "manufacturing": self.manufacturing_g / total,
+            "transport": self.transport_g / total,
+            "use": self.use_g / total,
+            "eol": self.eol.net_g / total,
+        }
+
+    @property
+    def manufacturing_dominated(self) -> bool:
+        """Whether manufacturing outweighs use — the paper's headline test."""
+        return self.manufacturing_g > self.use_g
+
+
+def device_lifecycle(
+    platform: Platform,
+    *,
+    mass_kg: float,
+    average_power_w: float,
+    utilization: float,
+    ci_use_g_per_kwh: float,
+    lifetime_years: float,
+    charging_efficiency: float = 0.9,
+    route: tuple[TransportLeg, ...] = DEFAULT_ROUTE,
+    recovery_rate: float = 0.35,
+) -> LifecycleReport:
+    """Assemble the full four-phase footprint of one device.
+
+    Args:
+        platform: The ACT bill of ICs (manufacturing phase; note this is
+            the IC footprint — housings/displays need
+            ``FixedCarbonComponent`` entries to be included).
+        mass_kg: Shipped mass (device + packaging) for transport/EOL.
+        average_power_w: Power while active.
+        utilization: Fraction of the lifetime spent active.
+        ci_use_g_per_kwh: Use-phase grid intensity.
+        lifetime_years: Service life.
+        charging_efficiency: Battery charging efficiency (<1 inflates wall
+            energy).
+        route: Transport legs from factory to user.
+        recovery_rate: EOL material recovery fraction.
+    """
+    require_positive("lifetime_years", lifetime_years)
+    require_non_negative("utilization", utilization)
+    require_positive("charging_efficiency", charging_efficiency)
+    active_hours = units.years_to_hours(lifetime_years) * utilization
+    energy = EnergyProfile(
+        power_w=average_power_w,
+        duration_hours=active_hours,
+        effectiveness=1.0 / charging_efficiency,
+    )
+    return LifecycleReport(
+        manufacturing_g=platform.embodied_g(),
+        transport_g=transport_footprint_g(mass_kg, route),
+        use_g=energy.footprint_g(ci_use_g_per_kwh),
+        eol=eol_footprint(
+            mass_kg,
+            recovery_rate=recovery_rate,
+            grid_ci_g_per_kwh=ci_use_g_per_kwh,
+        ),
+    )

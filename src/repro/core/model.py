@@ -1,0 +1,167 @@
+"""The top-level ACT carbon footprint model (Eq. 1 and Eq. 3).
+
+A :class:`Platform` is a bag of components (logic dies, DRAM, SSDs, HDDs);
+its embodied footprint is Eq. 3's per-component sum plus the per-IC packaging
+term.  :func:`footprint` then combines embodied and operational emissions via
+Eq. 1, amortizing the embodied total over the fraction of the hardware
+lifetime the workload occupies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import units
+from repro.core.components import Component
+from repro.core.operational import EnergyProfile, operational_footprint_g
+from repro.core.parameters import (
+    DEFAULT_PACKAGING_G,
+    OperationalParams,
+    require_non_negative,
+    require_positive,
+)
+from repro.core.result import CarbonReport, EmbodiedItem, EmbodiedReport
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A hardware platform whose embodied carbon Eq. 3 aggregates.
+
+    Attributes:
+        name: Display name for reports.
+        components: The platform's ICs / storage devices.
+        packaging_g_per_ic: Eq. 3's ``Kr`` (defaults to the SPIL-derived
+            0.15 kg CO2 per IC).
+    """
+
+    name: str
+    components: tuple[Component, ...]
+    packaging_g_per_ic: float = DEFAULT_PACKAGING_G
+
+    def __post_init__(self) -> None:
+        require_non_negative("packaging_g_per_ic", self.packaging_g_per_ic)
+        # Accept any iterable of components at construction time.
+        object.__setattr__(self, "components", tuple(self.components))
+
+    @property
+    def ic_count(self) -> int:
+        """Total packaged ICs (``Nr``)."""
+        return sum(component.ic_count for component in self.components)
+
+    def embodied(self) -> EmbodiedReport:
+        """Eq. 3: itemized embodied carbon of the platform."""
+        items = tuple(
+            EmbodiedItem(
+                name=component.name,
+                category=component.category,
+                carbon_g=component.embodied_g(),
+                ic_count=component.ic_count,
+            )
+            for component in self.components
+        )
+        packaging = self.packaging_g_per_ic * self.ic_count
+        return EmbodiedReport(items=items, packaging_g=packaging)
+
+    def embodied_g(self) -> float:
+        """Eq. 3 total in grams CO2."""
+        return self.embodied().total_g
+
+    def embodied_kg(self) -> float:
+        """Eq. 3 total in kg CO2."""
+        return units.g_to_kg(self.embodied_g())
+
+    def extended(self, *extra: Component) -> "Platform":
+        """A copy of this platform with additional components."""
+        return Platform(
+            name=self.name,
+            components=self.components + tuple(extra),
+            packaging_g_per_ic=self.packaging_g_per_ic,
+        )
+
+
+def footprint(
+    platform: Platform,
+    *,
+    energy_kwh: float | None = None,
+    energy: EnergyProfile | None = None,
+    ci_use_g_per_kwh: float,
+    duration_hours: float,
+    lifetime_years: float,
+) -> CarbonReport:
+    """Eq. 1: the end-to-end footprint of running a workload on a platform.
+
+    Exactly one of ``energy_kwh`` (direct energy) or ``energy`` (a
+    power×time profile) must be provided.
+
+    Args:
+        platform: The hardware platform.
+        energy_kwh: Workload energy, if known directly.
+        energy: Workload energy as an :class:`EnergyProfile`.
+        ci_use_g_per_kwh: Use-phase carbon intensity (``CI_use``).
+        duration_hours: Application execution time ``T``.
+        lifetime_years: Hardware lifetime ``LT`` in years.
+
+    Returns:
+        A :class:`CarbonReport` with operational, embodied, and total
+        emissions plus the full per-component breakdown.
+    """
+    if (energy_kwh is None) == (energy is None):
+        raise ValueError("provide exactly one of energy_kwh or energy")
+    if energy is not None:
+        consumed_kwh = energy.delivered_energy_kwh
+    else:
+        consumed_kwh = energy_kwh
+    require_positive("lifetime_years", lifetime_years)
+    params = OperationalParams(
+        energy_kwh=consumed_kwh,
+        ci_use_g_per_kwh=ci_use_g_per_kwh,
+        duration_hours=duration_hours,
+        lifetime_hours=units.years_to_hours(lifetime_years),
+    )
+    operational_g = operational_footprint_g(
+        params.energy_kwh, params.ci_use_g_per_kwh
+    )
+    return CarbonReport(
+        operational_g=operational_g,
+        embodied=platform.embodied(),
+        lifetime_fraction=params.lifetime_fraction,
+    )
+
+
+def device_footprint(
+    platform: Platform,
+    *,
+    average_power_w: float,
+    ci_use_g_per_kwh: float,
+    lifetime_years: float,
+    utilization: float = 1.0,
+    effectiveness: float = 1.0,
+) -> CarbonReport:
+    """Whole-lifetime footprint of a device (T = LT in Eq. 1).
+
+    Models a device that spends its entire lifetime in service, drawing
+    ``average_power_w`` for ``utilization`` fraction of the time.
+
+    Args:
+        platform: The hardware platform.
+        average_power_w: Average active power draw.
+        ci_use_g_per_kwh: Use-phase carbon intensity.
+        lifetime_years: Service lifetime (``LT``); since T = LT the embodied
+            total is charged in full.
+        utilization: Fraction of lifetime spent active (0-1).
+        effectiveness: PUE-style energy overhead multiplier.
+    """
+    require_non_negative("utilization", utilization)
+    lifetime_hours = units.years_to_hours(lifetime_years)
+    profile = EnergyProfile(
+        power_w=average_power_w,
+        duration_hours=lifetime_hours * utilization,
+        effectiveness=effectiveness,
+    )
+    return footprint(
+        platform,
+        energy=profile,
+        ci_use_g_per_kwh=ci_use_g_per_kwh,
+        duration_hours=lifetime_hours,
+        lifetime_years=lifetime_years,
+    )

@@ -1,0 +1,64 @@
+"""Operational (use-phase) emissions — Eq. 2 of the paper.
+
+``OPCF = CI_use × Energy``.  The energy term can be given directly, or
+derived from power × time with an optional utilization-effectiveness factor
+(data-center PUE, or mobile battery charging efficiency — the "utilization
+effectiveness" box of Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import units
+from repro.core.parameters import require_non_negative, require_positive
+
+
+def operational_footprint_g(energy_kwh: float, ci_use_g_per_kwh: float) -> float:
+    """Eq. 2: use-phase emissions in grams CO2.
+
+    Args:
+        energy_kwh: Energy consumed by the workload.
+        ci_use_g_per_kwh: Carbon intensity of the consumed electricity.
+    """
+    require_non_negative("energy_kwh", energy_kwh)
+    require_non_negative("ci_use_g_per_kwh", ci_use_g_per_kwh)
+    return energy_kwh * ci_use_g_per_kwh
+
+
+@dataclass(frozen=True)
+class EnergyProfile:
+    """A workload's energy consumption derived from power and runtime.
+
+    Attributes:
+        power_w: Average device power while running the workload.
+        duration_hours: Workload runtime ``T``.
+        effectiveness: Utilization effectiveness divisor — a PUE-style
+            multiplier >= 1 applied as ``energy / effectiveness_efficiency``.
+            For a data center pass PUE (e.g. 1.1: facility overhead inflates
+            energy); for a mobile device pass battery charging efficiency as
+            ``1/efficiency`` (e.g. 1/0.9).  Defaults to 1.0 (no overhead).
+    """
+
+    power_w: float
+    duration_hours: float
+    effectiveness: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_non_negative("power_w", self.power_w)
+        require_non_negative("duration_hours", self.duration_hours)
+        require_positive("effectiveness", self.effectiveness)
+
+    @property
+    def device_energy_kwh(self) -> float:
+        """Energy drawn by the device itself."""
+        return units.watts_times_hours(self.power_w, self.duration_hours)
+
+    @property
+    def delivered_energy_kwh(self) -> float:
+        """Energy drawn from the grid, including infrastructure overhead."""
+        return self.device_energy_kwh * self.effectiveness
+
+    def footprint_g(self, ci_use_g_per_kwh: float) -> float:
+        """Eq. 2 applied to the delivered (overhead-inclusive) energy."""
+        return operational_footprint_g(self.delivered_energy_kwh, ci_use_g_per_kwh)

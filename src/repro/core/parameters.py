@@ -1,0 +1,126 @@
+"""Validated parameter containers mirroring Table 1 of the ACT paper.
+
+The ACT model takes a small set of physically-meaningful scalars.  Each
+container here validates its fields eagerly at construction so model code can
+assume well-formed inputs, and carries docstrings that tie each field back to
+the paper's notation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import ParameterError
+
+#: Packaging footprint per IC (Table 1: Kr = 0.15 kg CO2), in grams.
+DEFAULT_PACKAGING_G = 150.0
+
+#: Default raw-material procurement footprint (Table 8: 500 g CO2 / cm^2).
+DEFAULT_MPA_G_PER_CM2 = 500.0
+
+
+def require_positive(name: str, value: float) -> float:
+    """Validate that ``value`` is a finite number strictly greater than zero."""
+    _require_finite(name, value)
+    if value <= 0:
+        raise ParameterError(f"{name} must be > 0, got {value!r}")
+    return float(value)
+
+
+def require_non_negative(name: str, value: float) -> float:
+    """Validate that ``value`` is a finite number greater than or equal to zero."""
+    _require_finite(name, value)
+    if value < 0:
+        raise ParameterError(f"{name} must be >= 0, got {value!r}")
+    return float(value)
+
+
+def require_fraction(name: str, value: float, *, allow_zero: bool = False) -> float:
+    """Validate that ``value`` lies in (0, 1] (or [0, 1] if ``allow_zero``)."""
+    _require_finite(name, value)
+    lower_ok = value >= 0 if allow_zero else value > 0
+    if not (lower_ok and value <= 1):
+        bounds = "[0, 1]" if allow_zero else "(0, 1]"
+        raise ParameterError(f"{name} must be in {bounds}, got {value!r}")
+    return float(value)
+
+
+def _require_finite(name: str, value: float) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ParameterError(f"{name} must be a number, got {type(value).__name__}")
+    if not math.isfinite(value):
+        raise ParameterError(f"{name} must be finite, got {value!r}")
+
+
+@dataclass(frozen=True)
+class OperationalParams:
+    """Inputs to the operational side of Eq. 1-2.
+
+    Attributes:
+        energy_kwh: Energy consumed running the workload (``Energy`` in Eq. 2).
+        ci_use_g_per_kwh: Carbon intensity of the energy used during the use
+            phase (``CI_use``, g CO2/kWh).
+        duration_hours: Application execution time ``T``.
+        lifetime_hours: Hardware lifetime ``LT`` over which embodied carbon is
+            amortized.  Must be at least ``duration_hours``.
+    """
+
+    energy_kwh: float
+    ci_use_g_per_kwh: float
+    duration_hours: float
+    lifetime_hours: float
+
+    def __post_init__(self) -> None:
+        require_non_negative("energy_kwh", self.energy_kwh)
+        require_non_negative("ci_use_g_per_kwh", self.ci_use_g_per_kwh)
+        require_non_negative("duration_hours", self.duration_hours)
+        require_positive("lifetime_hours", self.lifetime_hours)
+        if self.duration_hours > self.lifetime_hours:
+            raise ParameterError(
+                "duration_hours exceeds lifetime_hours: "
+                f"{self.duration_hours} > {self.lifetime_hours}"
+            )
+
+    @property
+    def lifetime_fraction(self) -> float:
+        """The ``T / LT`` amortization factor of Eq. 1."""
+        return self.duration_hours / self.lifetime_hours
+
+
+@dataclass(frozen=True)
+class FabParams:
+    """Per-process fab characteristics feeding Eq. 5 (``CPA``).
+
+    Attributes:
+        ci_fab_g_per_kwh: Carbon intensity of the fab's electricity
+            (``CI_fab``, g CO2/kWh).
+        epa_kwh_per_cm2: Fab energy consumed per unit wafer area (``EPA``).
+        gpa_g_per_cm2: Direct greenhouse-gas emissions per unit area from
+            process chemicals (``GPA``), after abatement.
+        mpa_g_per_cm2: Raw-material procurement emissions per unit area
+            (``MPA``).
+        fab_yield: Fab yield ``Y`` in (0, 1].
+    """
+
+    ci_fab_g_per_kwh: float
+    epa_kwh_per_cm2: float
+    gpa_g_per_cm2: float
+    mpa_g_per_cm2: float = DEFAULT_MPA_G_PER_CM2
+    fab_yield: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_non_negative("ci_fab_g_per_kwh", self.ci_fab_g_per_kwh)
+        require_non_negative("epa_kwh_per_cm2", self.epa_kwh_per_cm2)
+        require_non_negative("gpa_g_per_cm2", self.gpa_g_per_cm2)
+        require_non_negative("mpa_g_per_cm2", self.mpa_g_per_cm2)
+        require_fraction("fab_yield", self.fab_yield)
+
+    def cpa_g_per_cm2(self) -> float:
+        """Carbon emitted per unit good area manufactured (Eq. 5)."""
+        per_wafer_area = (
+            self.ci_fab_g_per_kwh * self.epa_kwh_per_cm2
+            + self.gpa_g_per_cm2
+            + self.mpa_g_per_cm2
+        )
+        return per_wafer_area / self.fab_yield

@@ -1,0 +1,129 @@
+"""Result containers returned by the footprint model.
+
+A footprint query produces a :class:`CarbonReport` (total, operational, and
+amortized embodied emissions — Eq. 1) whose embodied side is itself an
+itemized :class:`EmbodiedReport` (Eq. 3), so callers can always drill down to
+the per-IC breakdown that distinguishes ACT from opaque LCAs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import units
+
+
+@dataclass(frozen=True)
+class EmbodiedItem:
+    """One component's contribution to the embodied footprint."""
+
+    name: str
+    category: str
+    carbon_g: float
+    ic_count: int
+
+    @property
+    def carbon_kg(self) -> float:
+        """Embodied carbon in kg CO2."""
+        return units.g_to_kg(self.carbon_g)
+
+
+@dataclass(frozen=True)
+class EmbodiedReport:
+    """Itemized embodied carbon of a platform (Eq. 3).
+
+    Attributes:
+        items: Per-component contributions (excluding packaging).
+        packaging_g: The ``Nr × Kr`` packaging term.
+    """
+
+    items: tuple[EmbodiedItem, ...]
+    packaging_g: float
+
+    @property
+    def components_g(self) -> float:
+        """Sum of all component contributions, excluding packaging."""
+        return sum(item.carbon_g for item in self.items)
+
+    @property
+    def total_g(self) -> float:
+        """Total embodied carbon (components + packaging), grams CO2."""
+        return self.components_g + self.packaging_g
+
+    @property
+    def total_kg(self) -> float:
+        """Total embodied carbon in kg CO2."""
+        return units.g_to_kg(self.total_g)
+
+    @property
+    def ic_count(self) -> int:
+        """Total number of packaged ICs (``Nr``)."""
+        return sum(item.ic_count for item in self.items)
+
+    def by_category(self) -> dict[str, float]:
+        """Embodied grams grouped by component category, plus packaging."""
+        grouped: dict[str, float] = {}
+        for item in self.items:
+            grouped[item.category] = grouped.get(item.category, 0.0) + item.carbon_g
+        if self.packaging_g:
+            grouped["packaging"] = self.packaging_g
+        return grouped
+
+    def category_share(self, category: str) -> float:
+        """Fraction of the embodied total contributed by ``category``."""
+        total = self.total_g
+        if total == 0:
+            return 0.0
+        return self.by_category().get(category, 0.0) / total
+
+
+@dataclass(frozen=True)
+class CarbonReport:
+    """End-to-end footprint of running a workload on a platform (Eq. 1).
+
+    Attributes:
+        operational_g: Use-phase emissions (``OPCF``).
+        embodied: Itemized embodied report for the full platform (``ECF``).
+        lifetime_fraction: The ``T / LT`` amortization factor applied to the
+            embodied total.
+    """
+
+    operational_g: float
+    embodied: EmbodiedReport
+    lifetime_fraction: float
+
+    @property
+    def embodied_total_g(self) -> float:
+        """Unamortized embodied total (``ECF``), grams CO2."""
+        return self.embodied.total_g
+
+    @property
+    def amortized_embodied_g(self) -> float:
+        """The ``(T/LT) × ECF`` share attributed to this workload."""
+        return self.lifetime_fraction * self.embodied.total_g
+
+    @property
+    def total_g(self) -> float:
+        """Eq. 1: operational plus amortized embodied emissions."""
+        return self.operational_g + self.amortized_embodied_g
+
+    @property
+    def total_kg(self) -> float:
+        """Eq. 1 total in kg CO2."""
+        return units.g_to_kg(self.total_g)
+
+    @property
+    def operational_share(self) -> float:
+        """Fraction of the total owed to the use phase."""
+        total = self.total_g
+        if total == 0:
+            return 0.0
+        return self.operational_g / total
+
+    @property
+    def embodied_share(self) -> float:
+        """Fraction of the total owed to (amortized) manufacturing."""
+        total = self.total_g
+        if total == 0:
+            return 0.0
+        return self.amortized_embodied_g / total

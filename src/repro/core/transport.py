@@ -1,0 +1,79 @@
+"""Product transport emissions (Figure 3's third life-cycle phase).
+
+The paper carries transport only as a share of device-report totals (~3-4%
+for Apple devices).  For completeness this module provides the standard
+freight model — mass × distance × mode intensity — so a full
+:class:`~repro.core.lifecycle.LifecycleReport` can be assembled bottom-up
+and checked against those shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import UnknownEntryError
+from repro.core.parameters import require_non_negative
+
+#: Freight carbon intensities in g CO2 per tonne-km (representative
+#: logistics-sector values: air is ~two orders above sea).  The air value
+#: is the long-haul widebody belly-freight figure — calibrated so a
+#: ~0.5 kg boxed phone's default route lands at the ~2-3 kg CO2 the
+#: product environmental reports attribute to transport (~3-4% of total).
+FREIGHT_G_PER_TONNE_KM: dict[str, float] = {
+    "air": 600.0,
+    "truck": 110.0,
+    "rail": 25.0,
+    "sea": 12.0,
+}
+
+
+def freight_intensity(mode: str) -> float:
+    """Carbon intensity (g CO2 / tonne-km) of a named freight mode."""
+    key = mode.strip().lower()
+    try:
+        return FREIGHT_G_PER_TONNE_KM[key]
+    except KeyError:
+        raise UnknownEntryError(
+            "freight mode", mode, FREIGHT_G_PER_TONNE_KM
+        ) from None
+
+
+@dataclass(frozen=True)
+class TransportLeg:
+    """One leg of the product's journey from fab to end user.
+
+    Attributes:
+        mode: Freight mode (air / truck / rail / sea).
+        distance_km: Leg distance.
+    """
+
+    mode: str
+    distance_km: float
+
+    def __post_init__(self) -> None:
+        freight_intensity(self.mode)  # validates the mode
+        require_non_negative("distance_km", self.distance_km)
+
+    def footprint_g(self, mass_kg: float) -> float:
+        """Emissions of carrying ``mass_kg`` over this leg."""
+        require_non_negative("mass_kg", mass_kg)
+        tonne_km = (mass_kg / 1000.0) * self.distance_km
+        return tonne_km * freight_intensity(self.mode)
+
+
+#: A typical consumer-electronics route: trans-Pacific air freight plus
+#: regional trucking (the air leg dominates).
+DEFAULT_ROUTE: tuple[TransportLeg, ...] = (
+    TransportLeg("air", 9_000.0),
+    TransportLeg("truck", 800.0),
+)
+
+
+def transport_footprint_g(
+    mass_kg: float, route: tuple[TransportLeg, ...] = DEFAULT_ROUTE
+) -> float:
+    """Total transport emissions of shipping one unit over a route.
+
+    ``mass_kg`` should include retail packaging, not just the bare device.
+    """
+    return sum(leg.footprint_g(mass_kg) for leg in route)

@@ -1,0 +1,152 @@
+"""Unit conventions and conversion helpers used throughout the library.
+
+ACT mixes several unit systems (the paper's Table 1 alone spans kWh/cm2,
+g CO2/kWh, kg CO2/cm2, kg CO2/GB).  To keep every module unambiguous, the
+library standardizes on the following *canonical* units:
+
+====================  =======================
+Quantity              Canonical unit
+====================  =======================
+carbon mass           grams of CO2e  (g)
+energy                kilowatt-hours (kWh)
+carbon intensity      g CO2 / kWh
+silicon area          cm^2
+carbon per area       g CO2 / cm^2
+fab energy per area   kWh / cm^2
+storage capacity      GB
+carbon per capacity   g CO2 / GB
+time (durations)      hours
+lifetimes             years
+power                 watts
+====================  =======================
+
+Helpers below convert common engineering units into the canonical ones.
+They are plain functions (not a unit-algebra system) so that the model code
+stays readable and numpy-friendly.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+HOURS_PER_DAY = 24.0
+DAYS_PER_YEAR = 365.0
+HOURS_PER_YEAR = HOURS_PER_DAY * DAYS_PER_YEAR
+SECONDS_PER_HOUR = 3600.0
+
+
+def years_to_hours(years: float) -> float:
+    """Convert a duration in years to hours."""
+    return years * HOURS_PER_YEAR
+
+
+def hours_to_years(hours: float) -> float:
+    """Convert a duration in hours to years."""
+    return hours / HOURS_PER_YEAR
+
+
+def seconds_to_hours(seconds: float) -> float:
+    """Convert a duration in seconds to hours."""
+    return seconds / SECONDS_PER_HOUR
+
+
+def milliseconds_to_hours(ms: float) -> float:
+    """Convert a duration in milliseconds to hours."""
+    return ms / (1000.0 * SECONDS_PER_HOUR)
+
+
+# ---------------------------------------------------------------------------
+# Energy
+# ---------------------------------------------------------------------------
+
+JOULES_PER_KWH = 3.6e6
+
+
+def joules_to_kwh(joules: float) -> float:
+    """Convert energy in joules to kilowatt-hours."""
+    return joules / JOULES_PER_KWH
+
+
+def kwh_to_joules(kwh: float) -> float:
+    """Convert energy in kilowatt-hours to joules."""
+    return kwh * JOULES_PER_KWH
+
+
+def millijoules_to_kwh(mj: float) -> float:
+    """Convert energy in millijoules to kilowatt-hours."""
+    return mj / (1000.0 * JOULES_PER_KWH)
+
+
+def watts_times_hours(power_w: float, hours: float) -> float:
+    """Energy (kWh) of running at ``power_w`` watts for ``hours`` hours."""
+    return power_w * hours / 1000.0
+
+
+def watts_times_seconds(power_w: float, seconds: float) -> float:
+    """Energy (kWh) of running at ``power_w`` watts for ``seconds`` seconds."""
+    return joules_to_kwh(power_w * seconds)
+
+
+# ---------------------------------------------------------------------------
+# Carbon mass
+# ---------------------------------------------------------------------------
+
+GRAMS_PER_KG = 1000.0
+GRAMS_PER_TONNE = 1.0e6
+MICROGRAMS_PER_GRAM = 1.0e6
+
+
+def kg_to_g(kg: float) -> float:
+    """Convert kilograms of CO2e to grams."""
+    return kg * GRAMS_PER_KG
+
+
+def g_to_kg(g: float) -> float:
+    """Convert grams of CO2e to kilograms."""
+    return g / GRAMS_PER_KG
+
+
+def g_to_ug(g: float) -> float:
+    """Convert grams of CO2e to micrograms."""
+    return g * MICROGRAMS_PER_GRAM
+
+
+def tonnes_to_g(tonnes: float) -> float:
+    """Convert metric tonnes of CO2e to grams."""
+    return tonnes * GRAMS_PER_TONNE
+
+
+# ---------------------------------------------------------------------------
+# Area
+# ---------------------------------------------------------------------------
+
+MM2_PER_CM2 = 100.0
+
+
+def mm2_to_cm2(mm2: float) -> float:
+    """Convert an area in mm^2 to cm^2."""
+    return mm2 / MM2_PER_CM2
+
+
+def cm2_to_mm2(cm2: float) -> float:
+    """Convert an area in cm^2 to mm^2."""
+    return cm2 * MM2_PER_CM2
+
+
+# ---------------------------------------------------------------------------
+# Capacity
+# ---------------------------------------------------------------------------
+
+GB_PER_TB = 1000.0
+
+
+def tb_to_gb(tb: float) -> float:
+    """Convert a capacity in TB to GB (decimal, as used by vendor specs)."""
+    return tb * GB_PER_TB
+
+
+def gb_to_tb(gb: float) -> float:
+    """Convert a capacity in GB to TB."""
+    return gb / GB_PER_TB

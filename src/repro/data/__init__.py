@@ -1,0 +1,76 @@
+"""Bundled data tables from the ACT paper's appendix and case studies."""
+
+from repro.data.consumer_devices import (
+    SURVEY_DEVICES,
+    SurveyDevice,
+    average_manufacturing_share,
+    devices_in_class,
+    manufacturing_dominated_fraction,
+    survey_device,
+)
+# NOTE: repro.data.devices is intentionally NOT re-exported here: it builds
+# platforms from repro.core.components, which itself imports the flat data
+# tables from this package — re-exporting it would create an import cycle.
+# Import it directly as `repro.data.devices`.
+from repro.data.dram import DRAM_TECHNOLOGIES, DramTechnology, dram_cps, dram_technology
+from repro.data.energy_sources import (
+    CARBON_FREE_CI,
+    ENERGY_SOURCES,
+    EnergySource,
+    blended_ci,
+    energy_source,
+    source_ci,
+)
+from repro.data.fab_nodes import (
+    PROCESS_NODES,
+    TSMC_ABATEMENT,
+    ProcessNode,
+    interpolation_ladder,
+    node_names,
+    process_node,
+)
+from repro.data.hdd import HDD_MODELS, HddModel, hdd_cps, hdd_model, models_in_segment
+from repro.data.provenance import Source, SourceKind
+from repro.data.regions import REGIONS, US_CASE_STUDY_CI, Region, region, region_ci
+from repro.data.ssd import SSD_TECHNOLOGIES, SsdTechnology, ssd_cps, ssd_technology
+
+__all__ = [
+    "CARBON_FREE_CI",
+    "DRAM_TECHNOLOGIES",
+    "DramTechnology",
+    "ENERGY_SOURCES",
+    "EnergySource",
+    "HDD_MODELS",
+    "HddModel",
+    "PROCESS_NODES",
+    "ProcessNode",
+    "REGIONS",
+    "Region",
+    "SSD_TECHNOLOGIES",
+    "SURVEY_DEVICES",
+    "Source",
+    "SourceKind",
+    "SsdTechnology",
+    "SurveyDevice",
+    "TSMC_ABATEMENT",
+    "US_CASE_STUDY_CI",
+    "average_manufacturing_share",
+    "blended_ci",
+    "devices_in_class",
+    "dram_cps",
+    "dram_technology",
+    "energy_source",
+    "hdd_cps",
+    "hdd_model",
+    "interpolation_ladder",
+    "manufacturing_dominated_fraction",
+    "models_in_segment",
+    "node_names",
+    "process_node",
+    "region",
+    "region_ci",
+    "source_ci",
+    "ssd_cps",
+    "ssd_technology",
+    "survey_device",
+]

@@ -1,0 +1,180 @@
+"""Device-level data: product environmental reports and ACT bill-of-ICs.
+
+Two kinds of records feed the device-scale experiments:
+
+* :class:`DeviceReport` — the *top-down* numbers industry product
+  environmental reports publish (Figure 1's life-cycle split, and the
+  LCA-based IC estimates of Figure 4 via the ~44% IC share of
+  manufacturing the paper takes from Apple's sustainability reports).
+* Bottom-up ACT platforms (:func:`iphone11_platform`,
+  :func:`ipad_platform`) — per-IC bills assembled from public teardowns,
+  with the "other ICs" bucket calibrated so the bottom-up totals land near
+  the paper's reported 17 kg / 21 kg (the paper's own teardown inputs are
+  not public; see DESIGN.md's substitution notes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.components import (
+    CATEGORY_OTHER,
+    DramComponent,
+    LogicComponent,
+    SsdComponent,
+)
+from repro.core.errors import UnknownEntryError
+from repro.core.model import Platform
+from repro.data.provenance import CALIBRATED, INDUSTRY_REPORT, Source
+
+#: Share of a device's manufacturing footprint owed to ICs ("roughly half,
+#: 44%, the manufacturing footprint of all devices owe to ICs").
+IC_SHARE_OF_MANUFACTURING = 0.44
+
+
+@dataclass(frozen=True)
+class DeviceReport:
+    """A product environmental report's life-cycle split.
+
+    Attributes:
+        name: Device name.
+        year: Release year.
+        total_kg: Reported whole-life footprint (kg CO2e).
+        manufacturing_share: Fraction from hardware manufacturing.
+        use_share: Fraction from operational use.
+        transport_share: Fraction from product transport.
+        eol_share: Fraction from end-of-life processing.
+        source: Provenance record.
+    """
+
+    name: str
+    year: int
+    total_kg: float
+    manufacturing_share: float
+    use_share: float
+    transport_share: float
+    eol_share: float
+    source: Source
+
+    @property
+    def manufacturing_kg(self) -> float:
+        return self.total_kg * self.manufacturing_share
+
+    @property
+    def use_kg(self) -> float:
+        return self.total_kg * self.use_share
+
+    def lca_ic_estimate_kg(
+        self, ic_share: float = IC_SHARE_OF_MANUFACTURING
+    ) -> float:
+        """Figure 4's top-down IC estimate: total × manufacturing × IC share."""
+        return self.manufacturing_kg * ic_share
+
+
+_APPLE = Source(
+    INDUSTRY_REPORT,
+    "Apple product environmental reports",
+    "totals calibrated so the top-down IC estimates match the paper's "
+    "23 kg (iPhone 11) and 28 kg (iPad)",
+)
+
+DEVICE_REPORTS: dict[str, DeviceReport] = {
+    report.name: report
+    for report in (
+        # Figure 1 left bar: manufacturing 45%, use 49%, remainder 6%.
+        DeviceReport("iphone3gs", 2009, 55.0, 0.45, 0.49, 0.04, 0.02, _APPLE),
+        # Figure 1 right bar: manufacturing 79%, use 17%, remainder 4%.
+        DeviceReport("iphone11", 2019, 66.2, 0.79, 0.17, 0.03, 0.01, _APPLE),
+        DeviceReport("ipad", 2019, 80.6, 0.79, 0.17, 0.03, 0.01, _APPLE),
+    )
+}
+
+
+def device_report(name: str) -> DeviceReport:
+    """Look up a product environmental report by device name."""
+    key = name.strip().lower().replace(" ", "").replace("_", "")
+    try:
+        return DEVICE_REPORTS[key]
+    except KeyError:
+        raise UnknownEntryError("device report", name, DEVICE_REPORTS) from None
+
+
+_TEARDOWN = Source(
+    CALIBRATED,
+    "public teardowns + calibration",
+    "'other ICs' area and IC count calibrated to the paper's bottom-up "
+    "totals (~17 kg iPhone 11, ~21 kg iPad)",
+)
+
+#: Category label for camera sensor silicon in the Figure 4 breakdown.
+CATEGORY_CAMERA = "camera"
+
+
+def iphone11_platform() -> Platform:
+    """The bottom-up ACT bill of ICs for an iPhone 11 (Figure 4, left).
+
+    Components: the 7 nm A13 Bionic SoC (98.5 mm^2), 4 GB LPDDR4X, 64 GB
+    V3-TLC NAND, three camera sensors on a mature node, the 14 nm
+    modem/RF complex, a calibrated "other ICs" bucket (PMICs, audio, NFC,
+    Wi-Fi/BT, display/touch drivers, power amplifiers), and per-IC
+    packaging over the device's ~60 packaged semiconductor devices.
+    """
+    return Platform(
+        "iPhone 11",
+        (
+            LogicComponent.at_node("A13 Bionic", 98.5, "7"),
+            DramComponent.of("LPDDR4X DRAM", 4, "lpddr4"),
+            SsdComponent.of("NAND flash", 64, "nand_v3_tlc"),
+            LogicComponent.at_node(
+                "Camera sensors", 90.0, "28", category=CATEGORY_CAMERA, ics=3
+            ),
+            LogicComponent.at_node(
+                "Modem + RF", 80.0, "14", category=CATEGORY_OTHER, ics=4
+            ),
+            LogicComponent.at_node(
+                "Other ICs", 311.0, "28", category=CATEGORY_OTHER, ics=51
+            ),
+        ),
+    )
+
+
+def ipad_platform() -> Platform:
+    """The bottom-up ACT bill of ICs for a 2019 iPad (Figure 4, right).
+
+    Larger display electronics (driver/touch silicon) and more packaged
+    parts than the phone, around a 16 nm A10 Fusion SoC.
+    """
+    return Platform(
+        "iPad",
+        (
+            LogicComponent.at_node("A10 Fusion", 125.0, 16),
+            DramComponent.of("LPDDR4 DRAM", 3, "lpddr4"),
+            SsdComponent.of("NAND flash", 32, "nand_v3_tlc"),
+            LogicComponent.at_node(
+                "Camera sensors", 40.0, "28", category=CATEGORY_CAMERA, ics=2
+            ),
+            LogicComponent.at_node(
+                "Modem + display drivers", 100.0, "14", category=CATEGORY_OTHER, ics=6
+            ),
+            LogicComponent.at_node(
+                "Other ICs", 300.0, "28", category=CATEGORY_OTHER, ics=81
+            ),
+        ),
+    )
+
+
+ACT_PLATFORM_BUILDERS = {
+    "iphone11": iphone11_platform,
+    "ipad": ipad_platform,
+}
+
+
+def act_platform(name: str) -> Platform:
+    """The bottom-up ACT platform for a named device."""
+    key = name.strip().lower().replace(" ", "").replace("_", "")
+    try:
+        return ACT_PLATFORM_BUILDERS[key]()
+    except KeyError:
+        raise UnknownEntryError(
+            "ACT device platform", name, ACT_PLATFORM_BUILDERS
+        ) from None

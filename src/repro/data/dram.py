@@ -1,0 +1,84 @@
+"""Embodied carbon per GB for DRAM technologies (ACT appendix Table 9).
+
+The carbon-per-size (CPS) factors translate installed DRAM capacity into
+embodied emissions via Eq. 6.  Values are g CO2 per GB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import UnknownEntryError
+from repro.data.provenance import INDUSTRY_REPORT, PAPER_TABLE, Source
+
+
+@dataclass(frozen=True)
+class DramTechnology:
+    """One row of Table 9.
+
+    Attributes:
+        name: Canonical identifier (e.g. ``"ddr3_50nm"``).
+        label: Display name matching the paper's row label.
+        cps_g_per_gb: Embodied carbon per GB of capacity.
+        feature_nm: Approximate process feature size (None when the paper
+            does not state one, e.g. plain "LPDDR4").
+        kind: Device-level vs component-level characterization; Figure 7
+            plots these as black vs grey bars.
+        source: Provenance record.
+    """
+
+    name: str
+    label: str
+    cps_g_per_gb: float
+    feature_nm: float | None
+    kind: str
+    source: Source
+
+
+_TABLE9 = Source(PAPER_TABLE, "ACT Table 9 (SK hynix sustainability reports)")
+_APPLE = Source(INDUSTRY_REPORT, "Apple environmental reports (component-level)")
+
+DEVICE_LEVEL = "device"
+COMPONENT_LEVEL = "component"
+
+DRAM_TECHNOLOGIES: dict[str, DramTechnology] = {
+    tech.name: tech
+    for tech in (
+        DramTechnology("ddr3_50nm", "50nm DDR3", 600.0, 50.0, DEVICE_LEVEL, _TABLE9),
+        DramTechnology("ddr3_40nm", "40nm DDR3", 315.0, 40.0, DEVICE_LEVEL, _TABLE9),
+        DramTechnology("ddr3_30nm", "30nm DDR3", 230.0, 30.0, DEVICE_LEVEL, _TABLE9),
+        DramTechnology(
+            "lpddr3_30nm", "30nm LPDDR3", 201.0, 30.0, DEVICE_LEVEL, _TABLE9
+        ),
+        DramTechnology(
+            "lpddr3_20nm", "20nm LPDDR3", 184.0, 20.0, DEVICE_LEVEL, _TABLE9
+        ),
+        DramTechnology(
+            "lpddr2_20nm", "20nm LPDDR2", 159.0, 20.0, DEVICE_LEVEL, _TABLE9
+        ),
+        DramTechnology("lpddr4", "LPDDR4", 48.0, None, COMPONENT_LEVEL, _APPLE),
+        DramTechnology("ddr4_10nm", "10nm DDR4", 65.0, 10.0, DEVICE_LEVEL, _TABLE9),
+    )
+}
+
+_ALIASES = {
+    "lpddr4x": "lpddr4",
+    "ddr4": "ddr4_10nm",
+    "ddr4_1x": "ddr4_10nm",
+    "ddr3": "ddr3_30nm",
+}
+
+
+def dram_technology(name: str) -> DramTechnology:
+    """Look up a DRAM technology by name (case-insensitive, with aliases)."""
+    key = name.strip().lower().replace("-", "_").replace(" ", "_")
+    key = _ALIASES.get(key, key)
+    try:
+        return DRAM_TECHNOLOGIES[key]
+    except KeyError:
+        raise UnknownEntryError("DRAM technology", name, DRAM_TECHNOLOGIES) from None
+
+
+def dram_cps(name: str) -> float:
+    """Carbon-per-size (g CO2/GB) for a named DRAM technology."""
+    return dram_technology(name).cps_g_per_gb

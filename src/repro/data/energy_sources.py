@@ -1,0 +1,96 @@
+"""Carbon intensity of energy sources (ACT appendix Table 5).
+
+Values are grams of CO2e emitted per kWh of electricity generated, plus the
+energy-payback time (months) the paper reports for renewable build-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import UnknownEntryError
+from repro.data.provenance import PAPER_TABLE, Source
+
+
+@dataclass(frozen=True)
+class EnergySource:
+    """One row of Table 5.
+
+    Attributes:
+        name: Canonical lower-case identifier (e.g. ``"coal"``).
+        ci_g_per_kwh: Average carbon intensity in g CO2/kWh.
+        payback_months: Energy-payback time in months (None when the paper
+            gives a bound rather than a point value).
+        source: Provenance record.
+    """
+
+    name: str
+    ci_g_per_kwh: float
+    payback_months: float | None
+    source: Source
+
+    @property
+    def is_renewable(self) -> bool:
+        """Whether the source is conventionally counted as renewable/low-carbon."""
+        return self.name in _LOW_CARBON
+
+
+_TABLE5 = Source(PAPER_TABLE, "ACT Table 5")
+
+_LOW_CARBON = frozenset(
+    {"solar", "wind", "hydropower", "nuclear", "geothermal", "biomass"}
+)
+
+ENERGY_SOURCES: dict[str, EnergySource] = {
+    source.name: source
+    for source in (
+        EnergySource("coal", 820.0, 2.0, _TABLE5),
+        EnergySource("gas", 490.0, 1.0, _TABLE5),
+        EnergySource("biomass", 230.0, 12.0, _TABLE5),
+        EnergySource("solar", 41.0, 36.0, _TABLE5),
+        EnergySource("geothermal", 38.0, 72.0, _TABLE5),
+        EnergySource("hydropower", 24.0, 24.0, _TABLE5),
+        EnergySource("nuclear", 12.0, 2.0, _TABLE5),
+        EnergySource("wind", 11.0, 12.0, _TABLE5),
+    )
+}
+
+#: Idealized fully-decarbonized supply (the paper's "carbon free" scenario).
+CARBON_FREE_CI = 0.0
+
+
+def energy_source(name: str) -> EnergySource:
+    """Look up an energy source by name (case-insensitive)."""
+    key = name.strip().lower()
+    try:
+        return ENERGY_SOURCES[key]
+    except KeyError:
+        raise UnknownEntryError("energy source", name, ENERGY_SOURCES) from None
+
+
+def source_ci(name: str) -> float:
+    """Carbon intensity (g CO2/kWh) of a named energy source.
+
+    Accepts the special name ``"carbon_free"`` for a zero-carbon supply.
+    """
+    if name.strip().lower() in {"carbon_free", "carbon-free", "zero"}:
+        return CARBON_FREE_CI
+    return energy_source(name).ci_g_per_kwh
+
+
+def blended_ci(shares: dict[str, float]) -> float:
+    """Carbon intensity of a mix of sources.
+
+    Args:
+        shares: Mapping of source name to its share of generation.  Shares
+            must be non-negative and are normalized to sum to one.
+
+    Returns:
+        The generation-weighted average carbon intensity in g CO2/kWh.
+    """
+    if not shares:
+        raise UnknownEntryError("energy source mix", shares)
+    total = sum(shares.values())
+    if total <= 0:
+        raise UnknownEntryError("energy source mix", shares)
+    return sum(source_ci(name) * share for name, share in shares.items()) / total

@@ -1,0 +1,166 @@
+"""Per-process-node fab characterization (ACT appendix Tables 7 and 8).
+
+Table 7 gives, for logic process nodes from 28 nm down to 3 nm, the fab
+energy per wafer area (EPA, kWh/cm^2) and the direct greenhouse-gas emissions
+per area (GPA, g CO2/cm^2) at two gas-abatement levels (95% and 99%).
+Table 8 gives the raw-material procurement footprint (MPA = 500 g CO2/cm^2).
+
+The module also supports numeric nodes the table does not list explicitly
+(e.g. 16 nm, 12 nm, 8 nm — all used by the paper's case studies) via linear
+interpolation between the bracketing table rows, mirroring how ACT treats
+half-generation nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ParameterError, UnknownEntryError
+from repro.core.parameters import DEFAULT_MPA_G_PER_CM2, require_fraction
+from repro.data.provenance import DERIVED, PAPER_TABLE, Source
+
+_TABLE7 = Source(PAPER_TABLE, "ACT Table 7 (imec IEDM'20 characterization)")
+_TABLE8 = Source(PAPER_TABLE, "ACT Table 8 (Boyd LCA)")
+
+#: Abatement levels at which Table 7 reports GPA.
+GPA_ABATEMENT_LOW = 0.95
+GPA_ABATEMENT_HIGH = 0.99
+
+#: The abatement level TSMC reports (Figure 6 annotates "97% abatement (TSMC)").
+TSMC_ABATEMENT = 0.97
+
+
+@dataclass(frozen=True)
+class ProcessNode:
+    """One row of Table 7.
+
+    Attributes:
+        name: Canonical identifier (e.g. ``"7"`` or ``"7-euv"``).
+        feature_nm: Numeric feature size used for interpolation/sorting.
+        epa_kwh_per_cm2: Fab energy per unit area (EPA).
+        gpa95_g_per_cm2: GPA at 95% gas abatement.
+        gpa99_g_per_cm2: GPA at 99% gas abatement.
+        mpa_g_per_cm2: Raw-material procurement per unit area (MPA, Table 8).
+        source: Provenance record.
+    """
+
+    name: str
+    feature_nm: float
+    epa_kwh_per_cm2: float
+    gpa95_g_per_cm2: float
+    gpa99_g_per_cm2: float
+    mpa_g_per_cm2: float = DEFAULT_MPA_G_PER_CM2
+    source: Source = _TABLE7
+
+    def gpa_g_per_cm2(self, abatement: float = TSMC_ABATEMENT) -> float:
+        """GPA at an arbitrary abatement level.
+
+        Linearly interpolates (and, below 95%, extrapolates) between the two
+        Table 7 columns; the result is clamped to be non-negative and the
+        abatement level must itself be a fraction in [0, 1].
+        """
+        require_fraction("abatement", abatement, allow_zero=True)
+        slope = (self.gpa99_g_per_cm2 - self.gpa95_g_per_cm2) / (
+            GPA_ABATEMENT_HIGH - GPA_ABATEMENT_LOW
+        )
+        value = self.gpa95_g_per_cm2 + slope * (abatement - GPA_ABATEMENT_LOW)
+        return max(value, 0.0)
+
+
+_NODES = (
+    ProcessNode("28", 28.0, 0.90, 175.0, 100.0),
+    ProcessNode("20", 20.0, 1.20, 190.0, 110.0),
+    ProcessNode("14", 14.0, 1.20, 200.0, 125.0),
+    ProcessNode("10", 10.0, 1.475, 240.0, 150.0),
+    ProcessNode("7", 7.0, 1.52, 350.0, 200.0),
+    ProcessNode("7-euv", 7.0, 2.15, 350.0, 200.0),
+    ProcessNode("7-euv-dp", 7.0, 2.15, 350.0, 200.0),
+    ProcessNode("5", 5.0, 2.75, 430.0, 225.0),
+    ProcessNode("3", 3.0, 2.75, 470.0, 275.0),
+)
+
+PROCESS_NODES: dict[str, ProcessNode] = {node.name: node for node in _NODES}
+
+#: Rows usable for numeric interpolation (one per distinct feature size; the
+#: plain-immersion "7" row represents 7 nm, matching ACT's default).
+_INTERPOLATION_LADDER = tuple(
+    sorted(
+        (node for node in _NODES if "euv" not in node.name),
+        key=lambda node: node.feature_nm,
+    )
+)
+
+
+def _normalize(name: str) -> str:
+    return name.strip().lower().removesuffix("nm").strip()
+
+
+def process_node(name: str | float) -> ProcessNode:
+    """Resolve a process node by name or numeric feature size.
+
+    Named variants (``"7-euv"``, ``"7-euv-dp"``) resolve exactly.  Numeric
+    sizes present in Table 7 resolve to their row; intermediate sizes (e.g.
+    16, 12, 8 nm) resolve to a linearly interpolated node tagged as derived.
+
+    Raises:
+        UnknownEntryError: If the name is not recognized.
+        ParameterError: If a numeric size lies outside the 3-28 nm range the
+            model is characterized for.
+    """
+    if isinstance(name, (int, float)) and not isinstance(name, bool):
+        return _interpolated_node(float(name))
+    key = _normalize(str(name))
+    if key in PROCESS_NODES:
+        return PROCESS_NODES[key]
+    try:
+        feature = float(key)
+    except ValueError:
+        raise UnknownEntryError("process node", name, PROCESS_NODES) from None
+    return _interpolated_node(feature)
+
+
+def _interpolated_node(feature_nm: float) -> ProcessNode:
+    ladder = _INTERPOLATION_LADDER
+    if not ladder[0].feature_nm <= feature_nm <= ladder[-1].feature_nm:
+        raise ParameterError(
+            f"process node {feature_nm}nm outside characterized range "
+            f"[{ladder[0].feature_nm}, {ladder[-1].feature_nm}] nm"
+        )
+    for node in ladder:
+        if node.feature_nm == feature_nm:
+            return node
+    upper = next(node for node in ladder if node.feature_nm > feature_nm)
+    lower = max(
+        (node for node in ladder if node.feature_nm < feature_nm),
+        key=lambda node: node.feature_nm,
+    )
+    span = upper.feature_nm - lower.feature_nm
+    # Smaller feature sizes are *more* carbon intensive, so interpolate with
+    # weight growing toward the smaller (lower) node.
+    weight = (upper.feature_nm - feature_nm) / span
+    blend = lambda a, b: a * weight + b * (1.0 - weight)  # noqa: E731
+    return ProcessNode(
+        name=f"{feature_nm:g}",
+        feature_nm=feature_nm,
+        epa_kwh_per_cm2=blend(lower.epa_kwh_per_cm2, upper.epa_kwh_per_cm2),
+        gpa95_g_per_cm2=blend(lower.gpa95_g_per_cm2, upper.gpa95_g_per_cm2),
+        gpa99_g_per_cm2=blend(lower.gpa99_g_per_cm2, upper.gpa99_g_per_cm2),
+        source=Source(
+            DERIVED,
+            "ACT Table 7 (interpolated)",
+            f"linear interpolation between {lower.name}nm and {upper.name}nm",
+        ),
+    )
+
+
+def node_names() -> tuple[str, ...]:
+    """All named Table 7 rows, largest feature size first."""
+    return tuple(node.name for node in _NODES)
+
+
+def interpolation_ladder() -> tuple[ProcessNode, ...]:
+    """The distinct-feature-size rows used for interpolation, ascending nm."""
+    return _INTERPOLATION_LADDER
+
+
+MPA_SOURCE = _TABLE8

@@ -1,0 +1,77 @@
+"""Embodied carbon per GB for HDD storage (ACT appendix Table 11).
+
+The carbon-per-size (CPS) factors translate HDD capacity into embodied
+emissions via Eq. 7.  Values are g CO2 per GB, from Seagate product
+sustainability reports, split into consumer and enterprise drive classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import UnknownEntryError
+from repro.data.provenance import PAPER_TABLE, Source
+
+
+@dataclass(frozen=True)
+class HddModel:
+    """One row of Table 11.
+
+    Attributes:
+        name: Canonical identifier (e.g. ``"barracuda"``).
+        label: Display name matching the paper's row label.
+        cps_g_per_gb: Embodied carbon per GB of capacity.
+        segment: ``"consumer"`` or ``"enterprise"``.
+        source: Provenance record.
+    """
+
+    name: str
+    label: str
+    cps_g_per_gb: float
+    segment: str
+    source: Source
+
+
+_TABLE11 = Source(PAPER_TABLE, "ACT Table 11 (Seagate sustainability reports)")
+
+CONSUMER = "consumer"
+ENTERPRISE = "enterprise"
+
+HDD_MODELS: dict[str, HddModel] = {
+    model.name: model
+    for model in (
+        HddModel("barracuda", "BarraCuda", 4.57, CONSUMER, _TABLE11),
+        HddModel("barracuda2", "BarraCuda2", 10.32, CONSUMER, _TABLE11),
+        HddModel("barracuda_pro", "BarraCuda Pro", 2.35, CONSUMER, _TABLE11),
+        HddModel("firecuda", "FireCuda", 5.1, CONSUMER, _TABLE11),
+        HddModel("firecuda2", "FireCuda 2", 9.1, CONSUMER, _TABLE11),
+        HddModel("exos_2x14", "Exos2x14", 1.65, ENTERPRISE, _TABLE11),
+        HddModel("exos_x12", "Exosx12", 1.14, ENTERPRISE, _TABLE11),
+        HddModel("exos_x16", "Exosx16", 1.33, ENTERPRISE, _TABLE11),
+        HddModel("exos_15e900", "Exos15e900", 20.5, ENTERPRISE, _TABLE11),
+        HddModel("exos_10e2400", "Exos10e2400", 10.3, ENTERPRISE, _TABLE11),
+    )
+}
+
+
+def hdd_model(name: str) -> HddModel:
+    """Look up an HDD model by name (case-insensitive)."""
+    key = name.strip().lower().replace("-", "_").replace(" ", "_")
+    try:
+        return HDD_MODELS[key]
+    except KeyError:
+        raise UnknownEntryError("HDD model", name, HDD_MODELS) from None
+
+
+def hdd_cps(name: str) -> float:
+    """Carbon-per-size (g CO2/GB) for a named HDD model."""
+    return hdd_model(name).cps_g_per_gb
+
+
+def models_in_segment(segment: str) -> tuple[HddModel, ...]:
+    """All Table 11 rows belonging to ``segment`` (consumer/enterprise)."""
+    if segment not in (CONSUMER, ENTERPRISE):
+        raise UnknownEntryError("HDD segment", segment, (CONSUMER, ENTERPRISE))
+    return tuple(
+        model for model in HDD_MODELS.values() if model.segment == segment
+    )

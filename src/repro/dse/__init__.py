@@ -1,0 +1,27 @@
+"""Design-space exploration: sweeps, constraints, and Pareto fronts."""
+
+from repro.dse.optimizer import (
+    ExplorationResult,
+    explore,
+    metric_disagreement,
+)
+from repro.dse.pareto import dominates, pareto_front
+from repro.dse.qos import Constraint, at_least, at_most, constrained_minimum
+from repro.dse.sweep import SweepRecord, argmin, feasible, sweep_1d, sweep_grid
+
+__all__ = [
+    "Constraint",
+    "ExplorationResult",
+    "SweepRecord",
+    "argmin",
+    "at_least",
+    "at_most",
+    "constrained_minimum",
+    "dominates",
+    "explore",
+    "feasible",
+    "metric_disagreement",
+    "pareto_front",
+    "sweep_1d",
+    "sweep_grid",
+]

@@ -1,0 +1,110 @@
+"""High-level design-selection facade.
+
+The experiments repeat one pattern: take a candidate set, score it under
+every Table 2 metric, find each metric's winner, extract the Pareto front,
+and normalize for presentation.  :func:`explore` packages that pattern into
+a single :class:`ExplorationResult`, so examples and downstream users get
+the full Figure 8(d)-style analysis in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.errors import ConstraintError
+from repro.core.metrics import (
+    METRICS,
+    DesignPoint,
+    score_table,
+    winners,
+)
+from repro.dse.pareto import pareto_front
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """Everything a carbon-aware design sweep produces.
+
+    Attributes:
+        points: The evaluated candidates.
+        scores: ``{metric: {design: score}}`` (lower is better).
+        winners: ``{metric: design name}``.
+        pareto: Non-dominated designs under (C, E, D).
+    """
+
+    points: tuple[DesignPoint, ...]
+    scores: Mapping[str, Mapping[str, float]]
+    winners: Mapping[str, str]
+    pareto: tuple[DesignPoint, ...]
+
+    @property
+    def distinct_winner_count(self) -> int:
+        """How many different designs win at least one metric — the paper's
+        'carbon opens new design spaces' indicator."""
+        return len(set(self.winners.values()))
+
+    def winner_point(self, metric_name: str) -> DesignPoint:
+        """The winning design point for one metric."""
+        key = metric_name.strip().upper()
+        if key not in self.winners:
+            raise ConstraintError(
+                f"metric {metric_name!r} was not part of this exploration"
+            )
+        name = self.winners[key]
+        return next(point for point in self.points if point.name == name)
+
+    def is_pareto(self, design_name: str) -> bool:
+        """Whether a named design sits on the (C, E, D) Pareto front."""
+        return any(point.name == design_name for point in self.pareto)
+
+
+def explore(
+    points: Sequence[DesignPoint],
+    metric_names: Sequence[str] | None = None,
+) -> ExplorationResult:
+    """Run the full carbon-aware exploration over a candidate set.
+
+    Args:
+        points: Candidate designs with (C, E, D[, A]) filled in.
+        metric_names: Metrics to evaluate; defaults to all of Table 2.
+
+    Raises:
+        ConstraintError: On an empty candidate set.
+    """
+    if not points:
+        raise ConstraintError("cannot explore an empty candidate set")
+    names = tuple(metric_names) if metric_names is not None else tuple(METRICS)
+    front = pareto_front(
+        tuple(points),
+        (
+            lambda p: p.embodied_carbon_g,
+            lambda p: p.energy_kwh,
+            lambda p: p.delay_s,
+        ),
+    )
+    return ExplorationResult(
+        points=tuple(points),
+        scores=score_table(points, names),
+        winners=winners(points, names),
+        pareto=front,
+    )
+
+
+def metric_disagreement(result: ExplorationResult) -> float:
+    """Fraction of metrics whose winner differs from the EDP winner.
+
+    0 means classic energy-delay optimization already finds every optimum;
+    anything above 0 quantifies how much the carbon metrics *change the
+    answer* — the paper's central claim.
+    """
+    if "EDP" not in result.winners:
+        raise ConstraintError("metric_disagreement needs EDP in the exploration")
+    reference = result.winners["EDP"]
+    others = [name for name in result.winners if name != "EDP"]
+    if not others:
+        return 0.0
+    disagreements = sum(
+        result.winners[name] != reference for name in others
+    )
+    return disagreements / len(others)

@@ -1,0 +1,52 @@
+"""Pareto-front extraction for multi-objective design-space exploration.
+
+ACT's central message is that carbon, performance, and energy trade off
+along *different* axes than classical PPA; the Pareto front over
+(embodied carbon, delay, energy, ...) is the natural way to present that
+design space.  All objectives minimize.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from repro.core.errors import ConstraintError
+
+T = TypeVar("T")
+
+Objective = Callable[[T], float]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Whether objective vector ``a`` Pareto-dominates ``b`` (minimizing).
+
+    ``a`` dominates ``b`` when it is no worse on every objective and
+    strictly better on at least one.
+    """
+    if len(a) != len(b):
+        raise ConstraintError(
+            f"objective vectors differ in length: {len(a)} vs {len(b)}"
+        )
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def pareto_front(
+    candidates: Sequence[T], objectives: Sequence[Objective[T]]
+) -> tuple[T, ...]:
+    """The non-dominated subset of ``candidates`` under ``objectives``.
+
+    Order is preserved; duplicate objective vectors are all retained (they
+    do not dominate each other).
+    """
+    if not objectives:
+        raise ConstraintError("at least one objective is required")
+    vectors = [tuple(fn(candidate) for fn in objectives) for candidate in candidates]
+    front = []
+    for index, candidate in enumerate(candidates):
+        if not any(
+            dominates(vectors[other], vectors[index])
+            for other in range(len(candidates))
+            if other != index
+        ):
+            front.append(candidate)
+    return tuple(front)

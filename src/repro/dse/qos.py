@@ -1,0 +1,65 @@
+"""Constraint-driven design selection (the Reduce case study's workhorse).
+
+Figure 13 frames sustainable accelerator design as constrained
+minimization: pick the design minimizing an objective (usually embodied
+carbon) subject to a QoS floor (throughput ≥ target) or a resource ceiling
+(area ≤ budget).  These helpers make that pattern explicit and reusable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Sequence, TypeVar
+
+from repro.core.errors import ConstraintError
+
+D = TypeVar("D")
+
+
+@dataclass(frozen=True)
+class Constraint(Generic[D]):
+    """A named feasibility predicate over designs."""
+
+    name: str
+    predicate: Callable[[D], bool]
+
+    def satisfied_by(self, design: D) -> bool:
+        return self.predicate(design)
+
+
+def at_least(name: str, value: Callable[[D], float], floor: float) -> Constraint[D]:
+    """Constraint: ``value(design) >= floor`` (e.g. throughput ≥ 30 FPS)."""
+    return Constraint(
+        name=f"{name} >= {floor}", predicate=lambda d: value(d) >= floor
+    )
+
+
+def at_most(name: str, value: Callable[[D], float], ceiling: float) -> Constraint[D]:
+    """Constraint: ``value(design) <= ceiling`` (e.g. area ≤ 1 mm^2)."""
+    return Constraint(
+        name=f"{name} <= {ceiling}", predicate=lambda d: value(d) <= ceiling
+    )
+
+
+def constrained_minimum(
+    designs: Sequence[D],
+    objective: Callable[[D], float],
+    constraints: Sequence[Constraint[D]] = (),
+) -> D:
+    """The feasible design minimizing ``objective``.
+
+    Raises:
+        ConstraintError: If no design satisfies every constraint; the error
+            names the constraints for diagnosis.
+    """
+    feasible = [
+        design
+        for design in designs
+        if all(constraint.satisfied_by(design) for constraint in constraints)
+    ]
+    if not feasible:
+        names = ", ".join(constraint.name for constraint in constraints)
+        raise ConstraintError(
+            f"no design among {len(designs)} satisfies: {names or '(none)'}"
+        )
+    return min(feasible, key=objective)

@@ -1,0 +1,76 @@
+"""Generic parameter sweeps for carbon-aware design-space exploration.
+
+Thin, typed helpers that the experiment modules build on: evaluate a design
+generator over a one-dimensional parameter grid or the Cartesian product of
+several named grids, keeping the (parameters → design) association so
+results can be tabulated and constrained afterwards.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Generic, Iterable, Mapping, Sequence, TypeVar
+
+from repro.core.errors import ConstraintError
+
+P = TypeVar("P")
+D = TypeVar("D")
+
+
+@dataclass(frozen=True)
+class SweepRecord(Generic[D]):
+    """One evaluated point of a sweep: the parameters and the design."""
+
+    params: Mapping[str, object]
+    design: D
+
+
+def sweep_1d(
+    name: str, values: Iterable[P], evaluate: Callable[[P], D]
+) -> tuple[SweepRecord[D], ...]:
+    """Evaluate a single-parameter sweep.
+
+    Args:
+        name: Parameter name recorded on each result.
+        values: Grid of parameter values.
+        evaluate: Maps one parameter value to a design/result object.
+    """
+    return tuple(
+        SweepRecord(params={name: value}, design=evaluate(value))
+        for value in values
+    )
+
+
+def sweep_grid(
+    grids: Mapping[str, Sequence[object]],
+    evaluate: Callable[..., D],
+) -> tuple[SweepRecord[D], ...]:
+    """Evaluate the Cartesian product of several named parameter grids.
+
+    ``evaluate`` is called with the grid names as keyword arguments.
+    """
+    if not grids:
+        raise ConstraintError("at least one parameter grid is required")
+    names = tuple(grids)
+    records = []
+    for combo in itertools.product(*(grids[name] for name in names)):
+        params = dict(zip(names, combo))
+        records.append(SweepRecord(params=params, design=evaluate(**params)))
+    return tuple(records)
+
+
+def argmin(
+    records: Sequence[SweepRecord[D]], key: Callable[[D], float]
+) -> SweepRecord[D]:
+    """The record whose design minimizes ``key``."""
+    if not records:
+        raise ConstraintError("cannot take argmin of an empty sweep")
+    return min(records, key=lambda record: key(record.design))
+
+
+def feasible(
+    records: Sequence[SweepRecord[D]], predicate: Callable[[D], bool]
+) -> tuple[SweepRecord[D], ...]:
+    """The records whose designs satisfy a constraint predicate."""
+    return tuple(record for record in records if predicate(record.design))

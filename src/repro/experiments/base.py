@@ -1,0 +1,135 @@
+"""Common scaffolding for the per-figure/per-table experiment modules.
+
+Every experiment module exposes ``run() -> ExperimentResult``.  A result
+bundles (a) the regenerated data, (b) the paper's reported reference
+values, and (c) *shape checks* — machine-checked assertions of the paper's
+qualitative claims (who wins, by roughly what factor, where a crossover
+falls).  The test suite and EXPERIMENTS.md are both generated from the same
+checks, so the document can never drift from what the code verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.reporting.figures import FigureData
+from repro.reporting.tables import ascii_table
+
+
+@dataclass(frozen=True)
+class Check:
+    """One verified claim of the paper.
+
+    Attributes:
+        name: Short claim statement.
+        passed: Whether the regenerated data satisfies it.
+        observed: What we measured, as display text.
+        expected: What the paper reports, as display text.
+    """
+
+    name: str
+    passed: bool
+    observed: str
+    expected: str
+
+
+def check_equal(name: str, observed: object, expected: object) -> Check:
+    """A check that two values (e.g. winner names) match exactly."""
+    return Check(
+        name=name,
+        passed=observed == expected,
+        observed=str(observed),
+        expected=str(expected),
+    )
+
+
+def check_close(
+    name: str, observed: float, expected: float, *, rel_tol: float
+) -> Check:
+    """A check that a measured value lands within ``rel_tol`` of the paper's."""
+    passed = expected != 0 and abs(observed - expected) <= rel_tol * abs(expected)
+    return Check(
+        name=name,
+        passed=passed,
+        observed=f"{observed:.4g}",
+        expected=f"{expected:.4g} (±{rel_tol:.0%})",
+    )
+
+
+def check_in_band(
+    name: str, observed: float, low: float, high: float, *, paper: str = ""
+) -> Check:
+    """A check that a value falls inside an explicit band."""
+    return Check(
+        name=name,
+        passed=low <= observed <= high,
+        observed=f"{observed:.4g}",
+        expected=f"[{low:.4g}, {high:.4g}]" + (f" (paper: {paper})" if paper else ""),
+    )
+
+
+def check_true(name: str, passed: bool, observed: str, expected: str) -> Check:
+    """A free-form boolean check."""
+    return Check(name=name, passed=passed, observed=observed, expected=expected)
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """The full output of one regenerated table or figure.
+
+    Attributes:
+        experiment_id: Short id (``fig8``, ``tab4``, ...).
+        title: The paper artifact's title.
+        figures: Regenerated figure panels, if any.
+        table_headers: Regenerated table header row, if any.
+        table_rows: Regenerated table body, if any.
+        reference: The paper's reported values, keyed by claim.
+        checks: Shape checks tying regenerated data to the paper.
+    """
+
+    experiment_id: str
+    title: str
+    figures: tuple[FigureData, ...] = field(default_factory=tuple)
+    table_headers: tuple[str, ...] = field(default_factory=tuple)
+    table_rows: tuple[tuple[object, ...], ...] = field(default_factory=tuple)
+    reference: Mapping[str, object] = field(default_factory=dict)
+    checks: tuple[Check, ...] = field(default_factory=tuple)
+
+    @property
+    def all_passed(self) -> bool:
+        """Whether every shape check holds."""
+        return all(check.passed for check in self.checks)
+
+    def failed_checks(self) -> tuple[Check, ...]:
+        """The checks that did not hold (should be empty)."""
+        return tuple(check for check in self.checks if not check.passed)
+
+    def render_text(self) -> str:
+        """Human-readable report: data first, then the check scorecard."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.table_rows:
+            lines.append(ascii_table(self.table_headers, self.table_rows))
+        for figure in self.figures:
+            lines.append(figure.render_text())
+        if self.checks:
+            lines.append("checks:")
+            for check in self.checks:
+                status = "PASS" if check.passed else "FAIL"
+                lines.append(
+                    f"  [{status}] {check.name}: observed {check.observed}, "
+                    f"expected {check.expected}"
+                )
+        return "\n".join(lines)
+
+
+def result_summary(results: Sequence[ExperimentResult]) -> str:
+    """One-line-per-experiment pass/fail summary."""
+    lines = []
+    for result in results:
+        passed = sum(check.passed for check in result.checks)
+        lines.append(
+            f"{result.experiment_id:7s} {result.title[:58]:58s} "
+            f"{passed}/{len(result.checks)} checks"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Extension experiment: chiplet partitioning (Figure 1's Reuse lever).
+
+Not a paper figure — the paper names chiplet design as a sustainability
+lever without evaluating it.  This experiment quantifies the lever with
+the ACT model and pins down its structure: a break-even die size below
+which monolithic wins, growing savings toward reticle-class dies, and a
+defect-density dependence.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import (
+    ExperimentResult,
+    check_in_band,
+    check_true,
+)
+from repro.fabs.chiplets import (
+    chiplet_break_even_area_mm2,
+    optimal_partition,
+    partition,
+    partition_sweep,
+)
+from repro.fabs.fab import default_fab
+from repro.reporting.figures import FigureData, Series
+
+EXPERIMENT_ID = "ext-chiplets"
+TITLE = "Extension: chiplet vs monolithic embodied carbon (Reuse lever)"
+
+_DIE_MM2 = 600.0
+
+
+def run() -> ExperimentResult:
+    """Sweep partition counts for a reticle-class 7 nm design."""
+    fab = default_fab("7")
+    sweep = partition_sweep(_DIE_MM2, fab, max_chiplets=12)
+    counts = tuple(design.chiplets for design in sweep)
+
+    figure = FigureData(
+        title=f"Chiplet partitioning of a {_DIE_MM2:.0f} mm^2 7nm design",
+        x_label="chiplets",
+        y_label="kg CO2e",
+        series=(
+            Series("silicon", counts,
+                   tuple(d.silicon_g / 1000.0 for d in sweep)),
+            Series("packaging", counts,
+                   tuple(d.packaging_g / 1000.0 for d in sweep)),
+            Series("total", counts, tuple(d.total_g / 1000.0 for d in sweep)),
+        ),
+    )
+
+    best = optimal_partition(_DIE_MM2, fab)
+    mono = partition(_DIE_MM2, 1, fab)
+    break_even = chiplet_break_even_area_mm2(fab)
+    small = optimal_partition(40.0, fab)
+
+    checks = (
+        check_true(
+            "reticle-class dies prefer chiplets",
+            best.chiplets > 1,
+            f"{best.chiplets} chiplets optimal",
+            "> 1 chiplet",
+        ),
+        check_in_band(
+            "chiplet saving on a 600 mm^2 die",
+            mono.total_g / best.total_g, 1.3, 3.0,
+            paper="(not evaluated in the paper)",
+        ),
+        check_true(
+            "small dies stay monolithic",
+            small.chiplets == 1,
+            f"{small.chiplets} chiplet(s) at 40 mm^2",
+            "monolithic below the break-even size",
+        ),
+        check_in_band(
+            "break-even die size (mm^2)", break_even, 30.0, 300.0,
+        ),
+        check_true(
+            "per-chiplet yield improves with splitting",
+            best.per_chiplet_yield > mono.per_chiplet_yield,
+            f"{best.per_chiplet_yield:.3f} vs {mono.per_chiplet_yield:.3f}",
+            "smaller dies yield better",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        figures=(figure,),
+        reference={
+            "paper hook": "Figure 1 lists 'chiplet design' under Reuse",
+        },
+        checks=checks,
+    )

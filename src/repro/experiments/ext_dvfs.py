@@ -1,0 +1,94 @@
+"""Extension experiment: carbon-aware DVFS (Figure 1's Reduce lever).
+
+Not a paper figure — the paper names DVFS as a Reduce optimization.  This
+experiment shows the structure ACT adds to the classic knob: the per-task
+Eq. 1 optimal frequency slides from the energy-minimal point toward f_max
+as the platform becomes embodied-dominated or the grid decarbonizes.
+"""
+
+from __future__ import annotations
+
+from repro.core.dvfs import DvfsModel, footprint_optimal_frequency_ghz
+from repro.experiments.base import ExperimentResult, check_true
+from repro.reporting.figures import FigureData, Series
+
+EXPERIMENT_ID = "ext-dvfs"
+TITLE = "Extension: carbon-optimal DVFS frequency (Reduce lever)"
+
+_EMBODIED_SWEEP_G = (0.0, 100.0, 500.0, 2000.0, 5000.0, 20000.0)
+_CI_SWEEP = (820.0, 300.0, 41.0, 0.0)
+
+
+def run() -> ExperimentResult:
+    """Sweep embodied carbon and grid intensity; track the optimum."""
+    model = DvfsModel()
+    by_embodied = tuple(
+        footprint_optimal_frequency_ghz(
+            model, embodied_carbon_g=c, ci_use_g_per_kwh=300.0
+        )
+        for c in _EMBODIED_SWEEP_G
+    )
+    by_ci = tuple(
+        footprint_optimal_frequency_ghz(
+            model, embodied_carbon_g=2000.0, ci_use_g_per_kwh=ci
+        )
+        for ci in _CI_SWEEP
+    )
+
+    figures = (
+        FigureData(
+            title="Optimal frequency vs embodied carbon (US grid)",
+            x_label="embodied carbon (g)",
+            y_label="f* (GHz)",
+            series=(Series("f*", _EMBODIED_SWEEP_G, by_embodied),),
+        ),
+        FigureData(
+            title="Optimal frequency vs grid intensity (2 kg embodied)",
+            x_label="CI_use (g CO2/kWh)",
+            y_label="f* (GHz)",
+            series=(Series("f*", _CI_SWEEP, by_ci),),
+        ),
+    )
+
+    energy_ladder = model.frequency_ladder(25)
+    energy_optimal = min(
+        energy_ladder, key=lambda f: model.energy_j(f, 10.0)
+    )
+    monotone_in_embodied = all(
+        a <= b for a, b in zip(by_embodied, by_embodied[1:])
+    )
+    monotone_in_greenness = all(a <= b for a, b in zip(by_ci, by_ci[1:]))
+
+    checks = (
+        check_true(
+            "zero embodied carbon recovers the energy-minimal frequency",
+            abs(by_embodied[0] - energy_optimal) < 1e-9,
+            f"{by_embodied[0]:.2f} GHz",
+            f"energy minimum at {energy_optimal:.2f} GHz",
+        ),
+        check_true(
+            "heavier silicon pushes the optimum toward f_max",
+            monotone_in_embodied and by_embodied[-1] > by_embodied[0],
+            " -> ".join(f"{f:.2f}" for f in by_embodied),
+            "monotone rise with embodied carbon",
+        ),
+        check_true(
+            "greener grids push the optimum toward f_max",
+            monotone_in_greenness and by_ci[-1] > by_ci[0],
+            " -> ".join(f"{f:.2f}" for f in by_ci),
+            "monotone rise as CI_use falls",
+        ),
+        check_true(
+            "carbon-free use runs flat out",
+            by_ci[-1] == model.f_max_ghz,
+            f"{by_ci[-1]:.2f} GHz",
+            f"f_max = {model.f_max_ghz:.2f} GHz",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        figures=figures,
+        reference={"paper hook": "Figure 1 lists DVFS under Reduce"},
+        checks=checks,
+    )

@@ -1,0 +1,90 @@
+"""Extension experiment: QoS-minimal accelerators across CNN workloads.
+
+Figure 13's lean-design message, generalized: the carbon-minimal array
+that clears a 30 FPS bar scales with the network's per-frame work.  A
+MobileNet deployment provisioned with the ResNet-class design of the paper
+would carry avoidable embodied carbon — the Reduce tenet applies per
+workload, not once per product line.
+"""
+
+from __future__ import annotations
+
+from repro.accelerators.networks import NETWORKS, qos_table, throughput_fps
+from repro.accelerators.nvdla import qos_minimal_design
+from repro.experiments.base import (
+    ExperimentResult,
+    check_equal,
+    check_true,
+)
+from repro.reporting.figures import FigureData, Series
+
+EXPERIMENT_ID = "ext-networks"
+TITLE = "Extension: QoS-minimal NVDLA per network (MobileNet -> VGG)"
+
+
+def run() -> ExperimentResult:
+    """The 30 FPS carbon-minimal design for every bundled network."""
+    table = qos_table(target_fps=30.0)
+    names = tuple(net.name for net, _ in table)
+
+    figure = FigureData(
+        title="QoS-minimal design vs per-frame work (30 FPS)",
+        x_label="network",
+        y_label="value",
+        series=(
+            Series("GMACs per frame", names,
+                   tuple(net.gmacs_per_inference for net, _ in table)),
+            Series("optimal MACs", names,
+                   tuple(design.n_macs for _, design in table)),
+            Series("embodied (g CO2)", names,
+                   tuple(design.embodied_g for _, design in table)),
+        ),
+    )
+
+    by_work = sorted(table, key=lambda row: row[0].gmacs_per_inference)
+    macs_sorted = [design.n_macs for _, design in by_work]
+    reference_design = next(
+        design for net, design in table if net.name == "resnet50"
+    )
+    lightest = by_work[0][1]
+    heaviest = by_work[-1][1]
+
+    checks = (
+        check_true(
+            "optimal array width grows with per-frame work",
+            macs_sorted == sorted(macs_sorted),
+            " -> ".join(map(str, macs_sorted)),
+            "monotone in GMACs/frame",
+        ),
+        check_equal(
+            "the reference network recovers the paper's 256-MAC anchor",
+            reference_design.n_macs,
+            qos_minimal_design().n_macs,
+        ),
+        check_true(
+            "right-sizing saves real carbon vs one-size-fits-all",
+            heaviest.embodied_g / lightest.embodied_g > 2.0,
+            f"{lightest.embodied_g:.1f} g (lightest net) vs "
+            f"{heaviest.embodied_g:.1f} g (heaviest net)",
+            "> 2x embodied spread across the workload range",
+        ),
+        check_true(
+            "every selected design clears 30 FPS on its own network",
+            all(
+                throughput_fps(design.n_macs, net) >= 30.0
+                for net, design in table
+            )
+            and len(table) == len(NETWORKS),
+            f"{len(table)} networks evaluated, all feasible",
+            "per-network throughput >= 30 FPS",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        figures=(figure,),
+        reference={
+            "paper hook": "Figure 13: lean, QoS-driven accelerator design",
+        },
+        checks=checks,
+    )

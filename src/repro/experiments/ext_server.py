@@ -1,0 +1,106 @@
+"""Extension experiment: server-scale accounting and the utilization lever.
+
+Table 2 motivates CDP with data-center hardware; this experiment runs the
+server model across deployment regions (the embodied/operational dominance
+flip on clean grids) and quantifies the Reuse tenet's consolidation lever.
+"""
+
+from __future__ import annotations
+
+from repro.data.regions import REGIONS
+from repro.experiments.base import (
+    ExperimentResult,
+    check_close,
+    check_true,
+)
+from repro.platforms.server import (
+    consolidation_saving,
+    dell_r740_config,
+    server_lifecycle,
+)
+from repro.reporting.figures import FigureData, Series
+
+EXPERIMENT_ID = "ext-server"
+TITLE = "Extension: data-center accounting — grids, PUE, and consolidation"
+
+_REGIONS = ("india", "united_states", "europe", "brazil", "iceland")
+
+
+def run() -> ExperimentResult:
+    """Regional lifecycle splits + the consolidation saving."""
+    config = dell_r740_config("ssd")
+    reports = {
+        name: server_lifecycle(
+            config, ci_use_g_per_kwh=REGIONS[name].ci_g_per_kwh
+        )
+        for name in _REGIONS
+    }
+
+    figure = FigureData(
+        title="Four-year server lifecycle by region",
+        x_label="region",
+        y_label="tonnes CO2e",
+        series=(
+            Series(
+                "operational", _REGIONS,
+                tuple(reports[n].operational_g / 1e6 for n in _REGIONS),
+            ),
+            Series(
+                "embodied", _REGIONS,
+                tuple(reports[n].embodied_total_g / 1e6 for n in _REGIONS),
+            ),
+        ),
+    )
+
+    dirty_saving = consolidation_saving(
+        config, demand_server_equivalents=100.0,
+        ci_use_g_per_kwh=REGIONS["india"].ci_g_per_kwh,
+    )
+    green_saving = consolidation_saving(
+        config, demand_server_equivalents=100.0, ci_use_g_per_kwh=0.0
+    )
+
+    checks = (
+        check_true(
+            "dirty grids are operational-dominated",
+            reports["india"].operational_share > 0.5,
+            f"{reports['india'].operational_share:.0%} operational",
+            "> 50% operational (India)",
+        ),
+        check_true(
+            "the embodied share grows an order of magnitude on clean grids",
+            reports["iceland"].embodied_share
+            > 8 * reports["india"].embodied_share
+            and reports["iceland"].embodied_share > 0.35,
+            f"{reports['india'].embodied_share:.0%} (India) -> "
+            f"{reports['iceland'].embodied_share:.0%} (Iceland)",
+            "embodied share rises toward parity as the grid decarbonizes — "
+            "the paper's shift, arriving at server scale",
+        ),
+        check_true(
+            "embodied total is region-independent",
+            len({round(r.embodied_total_g, 6) for r in reports.values()}) == 1,
+            "identical across regions",
+            "manufacturing does not move with the deployment grid",
+        ),
+        check_true(
+            "consolidation always saves",
+            1.0 < dirty_saving < green_saving,
+            f"{dirty_saving:.2f}x dirty vs {green_saving:.2f}x green",
+            "saving grows as the grid decarbonizes",
+        ),
+        check_close(
+            "carbon-free grid: consolidation saving equals the machine ratio",
+            green_saving, 3.0, rel_tol=1e-6,
+        ),
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        figures=(figure,),
+        reference={
+            "paper hook": "Table 2 (CDP for data centers); Reuse tenet: "
+            "co-locating apps for utilization",
+        },
+        checks=checks,
+    )

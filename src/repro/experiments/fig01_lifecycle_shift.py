@@ -1,0 +1,94 @@
+"""Figure 1: the life-cycle emissions shift from operational to embodied.
+
+Regenerates the iPhone 3GS vs iPhone 11 bars: a decade of efficiency work
+cut the operational footprint ~2.5x, while manufacturing complexity pushed
+the embodied share from ~45% to ~79% of the device total.
+"""
+
+from __future__ import annotations
+
+from repro.data.devices import device_report
+from repro.experiments.base import (
+    Check,
+    ExperimentResult,
+    check_in_band,
+)
+from repro.reporting.figures import FigureData, Series
+
+EXPERIMENT_ID = "fig1"
+TITLE = "Life-cycle footprint shift: iPhone 3GS (2009) vs iPhone 11 (2019)"
+
+
+def run() -> ExperimentResult:
+    """Regenerate Figure 1 (left) and check the paper's shares."""
+    old = device_report("iphone3gs")
+    new = device_report("iphone11")
+    devices = (old, new)
+
+    figure = FigureData(
+        title="Figure 1 (left): life-cycle footprint by phase",
+        x_label="device",
+        y_label="kg CO2e",
+        series=(
+            Series(
+                "manufacturing",
+                tuple(d.name for d in devices),
+                tuple(d.manufacturing_kg for d in devices),
+            ),
+            Series(
+                "operational use",
+                tuple(d.name for d in devices),
+                tuple(d.use_kg for d in devices),
+            ),
+            Series(
+                "transport + end-of-life",
+                tuple(d.name for d in devices),
+                tuple(
+                    d.total_kg * (d.transport_share + d.eol_share) for d in devices
+                ),
+            ),
+        ),
+    )
+
+    operational_reduction = old.use_kg / new.use_kg
+    checks = (
+        check_in_band(
+            "iPhone 3GS manufacturing share",
+            old.manufacturing_share, 0.40, 0.50, paper="45%",
+        ),
+        check_in_band(
+            "iPhone 3GS operational share", old.use_share, 0.44, 0.54, paper="49%"
+        ),
+        check_in_band(
+            "iPhone 11 manufacturing share",
+            new.manufacturing_share, 0.74, 0.84, paper="79%",
+        ),
+        check_in_band(
+            "iPhone 11 operational share", new.use_share, 0.12, 0.22, paper="17%"
+        ),
+        check_in_band(
+            "operational footprint reduction over the decade",
+            operational_reduction, 2.0, 3.0, paper="2.5x",
+        ),
+        Check(
+            name="dominant phase flipped from use to manufacturing",
+            passed=(old.use_kg > old.manufacturing_kg)
+            and (new.manufacturing_kg > new.use_kg),
+            observed=(
+                f"3GS use {old.use_kg:.1f} vs manuf {old.manufacturing_kg:.1f}; "
+                f"11 manuf {new.manufacturing_kg:.1f} vs use {new.use_kg:.1f}"
+            ),
+            expected="use-dominated in 2009, manufacturing-dominated in 2019",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        figures=(figure,),
+        reference={
+            "iphone3gs shares": "45% manufacturing / 49% use / 6% rest",
+            "iphone11 shares": "79% manufacturing / 17% use / 4% rest",
+            "operational reduction": "2.5x",
+        },
+        checks=checks,
+    )

@@ -1,0 +1,115 @@
+"""Figure 6: logic embodied-carbon intensity across process nodes.
+
+Regenerates all three panels — EPA (top), the GPA abatement band (middle),
+and the CPA band between Taiwan-grid and solar-powered fabs with the
+25%-renewable default (bottom) — over the 28 nm → 3 nm node ladder.
+"""
+
+from __future__ import annotations
+
+from repro.data.fab_nodes import node_names
+from repro.experiments.base import ExperimentResult, check_true
+from repro.fabs.cpa import cpa_curve
+from repro.reporting.figures import FigureData, Series
+
+EXPERIMENT_ID = "fig6"
+TITLE = "Embodied carbon intensity of logic across nodes (28nm -> 3nm)"
+
+
+def run() -> ExperimentResult:
+    """Regenerate Figure 6 and check monotonicity/band ordering."""
+    points = cpa_curve()
+    nodes = tuple(point.node for point in points)
+
+    figures = (
+        FigureData(
+            title="Figure 6 (top): fab energy per area",
+            x_label="process node",
+            y_label="kWh / cm^2",
+            series=(
+                Series("EPA", nodes, tuple(p.epa_kwh_per_cm2 for p in points)),
+            ),
+        ),
+        FigureData(
+            title="Figure 6 (middle): gas emissions per area",
+            x_label="process node",
+            y_label="g CO2 / cm^2",
+            series=(
+                Series("GPA 95% abated", nodes, tuple(p.gpa95_g_per_cm2 for p in points)),
+                Series("GPA 97% abated (TSMC)", nodes, tuple(p.gpa97_g_per_cm2 for p in points)),
+                Series("GPA 99% abated", nodes, tuple(p.gpa99_g_per_cm2 for p in points)),
+            ),
+        ),
+        FigureData(
+            title="Figure 6 (bottom): carbon per area",
+            x_label="process node",
+            y_label="g CO2 / cm^2",
+            series=(
+                Series("Taiwan grid fab", nodes, tuple(p.cpa_taiwan_grid for p in points)),
+                Series("25% renewable fab (default)", nodes, tuple(p.cpa_default for p in points)),
+                Series("100% solar fab", nodes, tuple(p.cpa_solar for p in points)),
+            ),
+        ),
+    )
+
+    # The ladder of distinct feature sizes (EUV variants share 7 nm's x slot).
+    ladder = [p for p in points if "euv" not in p.node]
+    epa_rising = all(
+        a.epa_kwh_per_cm2 <= b.epa_kwh_per_cm2 for a, b in zip(ladder, ladder[1:])
+    )
+    gpa_rising = all(
+        a.gpa97_g_per_cm2 <= b.gpa97_g_per_cm2 for a, b in zip(ladder, ladder[1:])
+    )
+    cpa_rising = all(
+        a.cpa_default <= b.cpa_default for a, b in zip(ladder, ladder[1:])
+    )
+    band_ordered = all(
+        p.cpa_solar < p.cpa_default < p.cpa_taiwan_grid for p in points
+    )
+    abatement_ordered = all(
+        p.gpa99_g_per_cm2 < p.gpa97_g_per_cm2 < p.gpa95_g_per_cm2 for p in points
+    )
+    growth = points[-1].cpa_default / points[0].cpa_default
+
+    checks = (
+        check_true(
+            "EPA rises toward newer nodes (EUV lithography)",
+            epa_rising, "monotone" if epa_rising else "non-monotone", "monotone rise",
+        ),
+        check_true(
+            "GPA rises toward newer nodes",
+            gpa_rising, "monotone" if gpa_rising else "non-monotone", "monotone rise",
+        ),
+        check_true(
+            "CPA rises toward newer nodes",
+            cpa_rising, "monotone" if cpa_rising else "non-monotone", "monotone rise",
+        ),
+        check_true(
+            "solar < 25%-renewable default < Taiwan grid at every node",
+            band_ordered, "ordered" if band_ordered else "violated", "band ordering",
+        ),
+        check_true(
+            "99% abatement < 97% < 95% at every node",
+            abatement_ordered,
+            "ordered" if abatement_ordered else "violated",
+            "abatement ordering",
+        ),
+        check_true(
+            "CPA roughly triples from 28nm to 3nm",
+            2.0 <= growth <= 4.0,
+            f"{growth:.2f}x",
+            "~3x (Figure 6 bottom, ~1 -> ~3 kg CO2/cm^2)",
+        ),
+    )
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        figures=figures,
+        reference={
+            "nodes": ", ".join(node_names()),
+            "shape": "EPA/GPA/CPA all rise toward advanced nodes; fab energy "
+            "mix brackets CPA between solar and Taiwan-grid curves",
+        },
+        checks=checks,
+    )

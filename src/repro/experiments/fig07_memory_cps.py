@@ -1,0 +1,127 @@
+"""Figure 7: embodied carbon per GB for DRAM, SSD, and HDD generations.
+
+Regenerates the three panels from Tables 9-11 and checks the trends the
+paper calls out: newer DRAM/NAND generations carry less carbon per GB, and
+at commensurate nodes DRAM is more carbon-intense than SSD and HDD.
+"""
+
+from __future__ import annotations
+
+from repro.data.dram import DEVICE_LEVEL, DRAM_TECHNOLOGIES
+from repro.data.hdd import HDD_MODELS
+from repro.data.ssd import SSD_TECHNOLOGIES
+from repro.experiments.base import ExperimentResult, check_true
+from repro.reporting.figures import FigureData, Series
+
+EXPERIMENT_ID = "fig7"
+TITLE = "Carbon per GB across DRAM / SSD / HDD technologies"
+
+
+def run() -> ExperimentResult:
+    """Regenerate Figure 7 and check the cross-technology trends."""
+    dram = tuple(DRAM_TECHNOLOGIES.values())
+    ssd = tuple(SSD_TECHNOLOGIES.values())
+    hdd = tuple(HDD_MODELS.values())
+
+    figures = (
+        FigureData(
+            title="Figure 7 (left): DRAM carbon per GB",
+            x_label="technology",
+            y_label="g CO2 / GB",
+            series=(
+                Series(
+                    "DRAM",
+                    tuple(t.label for t in dram),
+                    tuple(t.cps_g_per_gb for t in dram),
+                ),
+            ),
+        ),
+        FigureData(
+            title="Figure 7 (center): SSD carbon per GB",
+            x_label="technology",
+            y_label="g CO2 / GB",
+            series=(
+                Series(
+                    "SSD",
+                    tuple(t.label for t in ssd),
+                    tuple(t.cps_g_per_gb for t in ssd),
+                ),
+            ),
+        ),
+        FigureData(
+            title="Figure 7 (right): HDD carbon per GB",
+            x_label="model",
+            y_label="g CO2 / GB",
+            series=(
+                Series(
+                    "HDD",
+                    tuple(m.label for m in hdd),
+                    tuple(m.cps_g_per_gb for m in hdd),
+                ),
+            ),
+        ),
+    )
+
+    # Trend: among node-tagged device-level rows, newer nodes => lower CPS.
+    dram_noded = sorted(
+        (t for t in dram if t.feature_nm is not None and t.kind == DEVICE_LEVEL
+         and t.name.startswith("ddr3")),
+        key=lambda t: -t.feature_nm,
+    )
+    dram_trend = all(
+        a.cps_g_per_gb >= b.cps_g_per_gb for a, b in zip(dram_noded, dram_noded[1:])
+    )
+    planar_nand = ("nand_30nm", "nand_20nm", "nand_10nm")
+    nand_noded = sorted(
+        (t for t in ssd if t.name in planar_nand),
+        key=lambda t: -t.feature_nm,
+    )
+    nand_trend = all(
+        a.cps_g_per_gb >= b.cps_g_per_gb for a, b in zip(nand_noded, nand_noded[1:])
+    )
+
+    # "At commensurate technology nodes, the carbon intensity of DRAM is
+    # higher than that of SSD and HDD": compare the ~30/20/10 nm pairs.
+    pairs = (("ddr3_30nm", "nand_30nm"), ("lpddr3_20nm", "nand_20nm"),
+             ("ddr4_10nm", "nand_10nm"))
+    dram_heavier = all(
+        DRAM_TECHNOLOGIES[d].cps_g_per_gb > SSD_TECHNOLOGIES[s].cps_g_per_gb
+        for d, s in pairs
+    )
+    hdd_max = max(m.cps_g_per_gb for m in hdd)
+    dram_min = min(t.cps_g_per_gb for t in dram)
+
+    checks = (
+        check_true(
+            "DRAM carbon/GB falls with newer nodes (DDR3 ladder)",
+            dram_trend, "monotone" if dram_trend else "non-monotone",
+            "600 -> 315 -> 230 g/GB",
+        ),
+        check_true(
+            "NAND carbon/GB falls with newer nodes",
+            nand_trend, "monotone" if nand_trend else "non-monotone",
+            "30 -> 15 -> 10 g/GB",
+        ),
+        check_true(
+            "DRAM is more carbon-intense than SSD at commensurate nodes",
+            dram_heavier, "holds at 30/20/10 nm", "DRAM > SSD per GB",
+        ),
+        check_true(
+            "every DRAM row exceeds every HDD row per GB",
+            dram_min > hdd_max,
+            f"min DRAM {dram_min:.3g} vs max HDD {hdd_max:.3g}",
+            "DRAM > HDD per GB",
+        ),
+    )
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        figures=figures,
+        reference={
+            "tables": "ACT Tables 9, 10, 11",
+            "trend": "newer DRAM/NAND nodes have lower carbon per GB; DRAM "
+            "is the most carbon-intense per GB",
+        },
+        checks=checks,
+    )

@@ -1,0 +1,96 @@
+"""Figure 8: the carbon-optimization design space of commodity mobile SoCs.
+
+Regenerates the four panels — aggregate speed (a), energy (b), embodied
+carbon (c), and per-metric normalized scores (d) — over thirteen Exynos /
+Snapdragon / Kirin chipsets, and checks the paper's metric winners:
+EDP → Kirin 990, EDAP → Snapdragon 865, lowest embodied → Snapdragon 835,
+CEP → Kirin 980, C2EP → Kirin 980.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import METRICS, normalized, score_table, winners
+from repro.data.soc_catalog import all_socs, newest_in_family
+from repro.experiments.base import ExperimentResult, check_equal
+from repro.platforms.mobile import design_space
+from repro.reporting.figures import FigureData, Series
+
+EXPERIMENT_ID = "fig8"
+TITLE = "Mobile SoC design space: performance, energy, embodied carbon, metrics"
+
+PAPER_WINNERS = {
+    "EDP": "Kirin 990",
+    "EDAP": "Snapdragon 865",
+    "embodied": "Snapdragon 835",
+    "CEP": "Kirin 980",
+    "C2EP": "Kirin 980",
+}
+
+
+def run() -> ExperimentResult:
+    """Regenerate Figure 8 and check the metric winners."""
+    socs = all_socs()
+    points = design_space(socs)
+    names = tuple(point.name for point in points)
+
+    speed = Series("aggregate mobile speed", names, tuple(s.perf_score for s in socs))
+    energy = Series(
+        "energy per workload (J)",
+        names,
+        tuple(point.energy_kwh * 3.6e6 for point in points),
+    )
+    embodied = Series(
+        "embodied carbon (kg CO2)",
+        names,
+        tuple(point.embodied_carbon_g / 1000.0 for point in points),
+    )
+
+    scores = score_table(points)
+    # Panel (d): normalize each family's scores to its newest chipset.
+    metric_series = []
+    for metric_name in METRICS:
+        per_design = scores[metric_name]
+        normalized_scores = {}
+        for soc in socs:
+            reference = newest_in_family(soc.family).name
+            normalized_scores[soc.name] = normalized(per_design, reference)[soc.name]
+        metric_series.append(
+            Series(
+                metric_name,
+                names,
+                tuple(normalized_scores[name] for name in names),
+            )
+        )
+
+    figures = (
+        FigureData("Figure 8(a): aggregate mobile speed", "SoC", "score", (speed,)),
+        FigureData("Figure 8(b): mobile energy", "SoC", "J per workload", (energy,)),
+        FigureData("Figure 8(c): embodied carbon", "SoC", "kg CO2", (embodied,)),
+        FigureData(
+            "Figure 8(d): optimization metrics (normalized per family)",
+            "SoC",
+            "metric / newest-in-family",
+            tuple(metric_series),
+        ),
+    )
+
+    observed = winners(points)
+    observed["embodied"] = min(
+        points, key=lambda p: p.embodied_carbon_g
+    ).name
+
+    checks = tuple(
+        check_equal(f"{metric} optimal chipset", observed[metric], expected)
+        for metric, expected in PAPER_WINNERS.items()
+    )
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        figures=figures,
+        reference={
+            "paper winners": PAPER_WINNERS,
+            "method": "geomean of seven Geekbench-style workloads; power = TDP",
+        },
+        checks=checks,
+    )

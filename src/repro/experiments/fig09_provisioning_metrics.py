@@ -1,0 +1,61 @@
+"""Figure 9: metric-dependent optimum between CPU and co-processors.
+
+Regenerates the carbon-metric scores (normalized to the CPU-only design)
+for the three provisioning choices and checks the paper's split: the CPU
+is optimal for embodied-carbon-centric metrics (CDP, C2EP) while the DSP
+is optimal for operational-centric metrics (CEP, CE2P).
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import normalized, score_table, winners
+from repro.experiments.base import ExperimentResult, check_equal
+from repro.provisioning.mobile_soc import CONFIGURATIONS
+from repro.reporting.figures import FigureData, Series
+
+EXPERIMENT_ID = "fig9"
+TITLE = "Provisioning metrics: CPU optimal for CDP/C2EP, DSP for CEP/CE2P"
+
+_METRICS = ("CDP", "C2EP", "CEP", "CE2P")
+PAPER_WINNERS = {
+    "CDP": "CPU",
+    "C2EP": "CPU",
+    "CEP": "DSP(+CPU)",
+    "CE2P": "DSP(+CPU)",
+}
+
+
+def run() -> ExperimentResult:
+    """Regenerate Figure 9 and check the per-metric winners."""
+    points = tuple(config.design_point() for config in CONFIGURATIONS)
+    names = tuple(point.name for point in points)
+    scores = score_table(points, _METRICS)
+
+    series = tuple(
+        Series(
+            metric,
+            names,
+            tuple(normalized(scores[metric], "CPU")[name] for name in names),
+        )
+        for metric in _METRICS
+    )
+    figure = FigureData(
+        title="Figure 9: carbon metrics normalized to the CPU-only design",
+        x_label="configuration",
+        y_label="metric / CPU",
+        series=series,
+    )
+
+    observed = winners(points, _METRICS)
+    checks = tuple(
+        check_equal(f"{metric} optimal configuration", observed[metric], expected)
+        for metric, expected in PAPER_WINNERS.items()
+    )
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        figures=(figure,),
+        reference={"paper winners": PAPER_WINNERS},
+        checks=checks,
+    )

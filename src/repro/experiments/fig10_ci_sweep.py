@@ -1,0 +1,137 @@
+"""Figure 10: renewable energy flips the general-purpose vs specialized
+optimum.
+
+Two sweeps of per-inference footprint (operational + amortized embodied)
+for the CPU / GPU / DSP configurations:
+
+* top — carbon intensity of *operational* energy swept coal → carbon-free
+  at a fixed Taiwan-grid fab: the optimum shifts from the specialized DSP
+  to the general-purpose CPU (the paper's 1.8x reduction at carbon-free);
+* bottom — carbon intensity of *fab* energy swept coal → carbon-free at
+  fixed renewable operation: the optimum shifts from CPU back to DSP.
+"""
+
+from __future__ import annotations
+
+from repro.data.energy_sources import CARBON_FREE_CI, source_ci
+from repro.data.regions import US_CASE_STUDY_CI, region_ci
+from repro.experiments.base import (
+    ExperimentResult,
+    check_equal,
+    check_in_band,
+)
+from repro.fabs.fab import default_fab
+from repro.provisioning.mobile_soc import (
+    CONFIGURATIONS,
+    CPU_ONLY,
+    SOC_NODE,
+    WITH_DSP,
+    optimal_configuration,
+)
+from repro.reporting.figures import FigureData, Series
+
+EXPERIMENT_ID = "fig10"
+TITLE = "Carbon-intensity sweeps: when do co-processors beat the CPU?"
+
+_USE_SCENARIOS = (
+    ("coal", source_ci("coal")),
+    ("US grid", US_CASE_STUDY_CI),
+    ("renewable", source_ci("solar")),
+    ("carbon free", CARBON_FREE_CI),
+)
+_FAB_SCENARIOS = (
+    ("coal", source_ci("coal")),
+    ("Taiwan grid", region_ci("taiwan")),
+    ("renewable", source_ci("solar")),
+    ("carbon free", CARBON_FREE_CI),
+)
+
+
+def run() -> ExperimentResult:
+    """Regenerate Figure 10 and check the optimum shifts."""
+    taiwan_fab = default_fab(SOC_NODE).with_energy_mix("taiwan_grid")
+    renewable_use_ci = source_ci("solar")
+
+    top_series = []
+    for config in CONFIGURATIONS:
+        totals = []
+        for _, ci_use in _USE_SCENARIOS:
+            operational, embodied = config.footprint_per_inference_g(
+                ci_use_g_per_kwh=ci_use, fab=taiwan_fab
+            )
+            totals.append((operational + embodied) * 1e6)  # µg
+        top_series.append(
+            Series(config.name, tuple(n for n, _ in _USE_SCENARIOS), tuple(totals))
+        )
+
+    bottom_series = []
+    for config in CONFIGURATIONS:
+        totals = []
+        for _, ci_fab in _FAB_SCENARIOS:
+            fab = default_fab(SOC_NODE).with_ci(ci_fab)
+            operational, embodied = config.footprint_per_inference_g(
+                ci_use_g_per_kwh=renewable_use_ci, fab=fab
+            )
+            totals.append((operational + embodied) * 1e6)
+        bottom_series.append(
+            Series(config.name, tuple(n for n, _ in _FAB_SCENARIOS), tuple(totals))
+        )
+
+    figures = (
+        FigureData(
+            title="Figure 10 (top): CI of operational energy (fab = Taiwan grid)",
+            x_label="operational energy source",
+            y_label="µg CO2 per inference",
+            series=tuple(top_series),
+        ),
+        FigureData(
+            title="Figure 10 (bottom): CI of fab energy (use = renewable)",
+            x_label="fab energy source",
+            y_label="µg CO2 per inference",
+            series=tuple(bottom_series),
+        ),
+    )
+
+    coal_best = optimal_configuration(
+        ci_use_g_per_kwh=source_ci("coal"), fab=taiwan_fab
+    )
+    free_best = optimal_configuration(ci_use_g_per_kwh=0.0, fab=taiwan_fab)
+    fab_coal_best = optimal_configuration(
+        ci_use_g_per_kwh=renewable_use_ci,
+        fab=default_fab(SOC_NODE).with_ci(source_ci("coal")),
+    )
+    fab_free_best = optimal_configuration(
+        ci_use_g_per_kwh=renewable_use_ci,
+        fab=default_fab(SOC_NODE).with_ci(0.0),
+    )
+    carbon_free_reduction = (
+        WITH_DSP.embodied_g(taiwan_fab) / CPU_ONLY.embodied_g(taiwan_fab)
+    )
+
+    checks = (
+        check_equal("coal-powered use: optimal block", coal_best.name, "DSP(+CPU)"),
+        check_equal("carbon-free use: optimal block", free_best.name, "CPU"),
+        check_equal(
+            "coal-powered fab: optimal block", fab_coal_best.name, "CPU"
+        ),
+        check_equal(
+            "carbon-free fab: optimal block", fab_free_best.name, "DSP(+CPU)"
+        ),
+        check_in_band(
+            "carbon-free-use reduction from choosing CPU over DSP",
+            carbon_free_reduction, 1.6, 2.0, paper="1.8x",
+        ),
+    )
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        figures=figures,
+        reference={
+            "shift (top)": "DSP optimal under coal use -> CPU optimal under "
+            "carbon-free use, 1.8x reduction",
+            "shift (bottom)": "CPU optimal under coal fab -> DSP optimal "
+            "under green fab",
+        },
+        checks=checks,
+    )

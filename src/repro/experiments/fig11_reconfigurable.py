@@ -1,0 +1,113 @@
+"""Figure 11: CPU vs specialized ASIC vs embedded FPGA (SMIV study).
+
+Regenerates the per-application performance panel, the AI-efficiency and
+embodied-carbon panels, and checks the paper's numbers: FPGA 50x/80x/24x
+speedups (geomean 45x), ASIC 44x AI-energy reduction (5x below FPGA), CPU
+1.3x/1.8x lower embodied, and FPGA winning all four carbon metrics on the
+multi-application geomean.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import winners
+from repro.experiments.base import (
+    ExperimentResult,
+    check_close,
+    check_equal,
+)
+from repro.provisioning.smiv import (
+    APPLICATIONS,
+    DESIGNS,
+    design_embodied_g,
+    design_points,
+    geomean_speedup,
+    measurement,
+    speedup,
+)
+from repro.reporting.figures import FigureData, Series
+
+EXPERIMENT_ID = "fig11"
+TITLE = "Reconfigurable hardware: CPU vs AI ASIC vs embedded FPGA (SMIV)"
+
+_CARBON_METRICS = ("CDP", "CEP", "CE2P", "C2EP")
+
+
+def run() -> ExperimentResult:
+    """Regenerate Figure 11 and check its anchors."""
+    perf_series = tuple(
+        Series(
+            design,
+            APPLICATIONS + ("Geo mean",),
+            tuple(speedup(design, app) for app in APPLICATIONS)
+            + (geomean_speedup(design),),
+        )
+        for design in DESIGNS
+    )
+    ai_energy = tuple(measurement(d, "AI").energy_j for d in DESIGNS)
+    embodied = tuple(design_embodied_g(d) for d in DESIGNS)
+
+    figures = (
+        FigureData(
+            title="Figure 11 (top): speedup over CPU",
+            x_label="application",
+            y_label="x vs CPU",
+            series=perf_series,
+        ),
+        FigureData(
+            title="Figure 11 (bottom left): AI energy per inference",
+            x_label="design",
+            y_label="J",
+            series=(Series("AI energy", DESIGNS, ai_energy),),
+        ),
+        FigureData(
+            title="Figure 11 (bottom right): embodied carbon",
+            x_label="design",
+            y_label="g CO2",
+            series=(Series("embodied", DESIGNS, embodied),),
+        ),
+    )
+
+    points = design_points()
+    metric_winners = winners(points, _CARBON_METRICS)
+    cpu_ai = measurement("CPU", "AI").energy_j
+    accel_ai = measurement("Accel", "AI").energy_j
+    fpga_ai = measurement("FPGA", "AI").energy_j
+
+    checks = (
+        check_close("FPGA geomean speedup over CPU", geomean_speedup("FPGA"), 45.0,
+                    rel_tol=0.05),
+        check_close("ASIC AI speedup over CPU", speedup("Accel", "AI"), 26.0,
+                    rel_tol=0.01),
+        check_close("ASIC AI energy reduction vs CPU", cpu_ai / accel_ai, 44.0,
+                    rel_tol=0.01),
+        check_close("ASIC AI energy reduction vs FPGA", fpga_ai / accel_ai, 5.0,
+                    rel_tol=0.01),
+        check_close(
+            "ASIC-design embodied vs CPU-design",
+            design_embodied_g("Accel") / design_embodied_g("CPU"), 1.3,
+            rel_tol=0.01,
+        ),
+        check_close(
+            "FPGA-design embodied vs CPU-design",
+            design_embodied_g("FPGA") / design_embodied_g("CPU"), 1.8,
+            rel_tol=0.01,
+        ),
+        *(
+            check_equal(f"{metric} winner (multi-application geomean)",
+                        metric_winners[metric], "FPGA")
+            for metric in _CARBON_METRICS
+        ),
+    )
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        figures=figures,
+        reference={
+            "speedups": "FPGA 50x/80x/24x (geomean 45x); ASIC 26x on AI",
+            "energy": "ASIC 44x below CPU on AI, 5x below FPGA",
+            "embodied": "CPU 1.3x / 1.8x below ASIC / FPGA designs",
+            "metrics": "FPGA outperforms CPU and ASIC on CDP/CEP/CE2P/C2EP",
+        },
+        checks=checks,
+    )

@@ -1,0 +1,90 @@
+"""Figure 12: the NVDLA MAC-count sweep under PPA vs carbon metrics.
+
+Regenerates performance/EDP (left) and the carbon metrics (right) across
+64-2048 MACs at 16 nm, checking the paper's per-metric optima — 2048
+(performance, EDP), 1024 (CDP), 512 (CE2P), 256 (CEP), 128 (C2EP) — and
+the up-to-an-order-of-magnitude reduction vs the most parallel design.
+"""
+
+from __future__ import annotations
+
+from repro.accelerators.nvdla import MAC_SWEEP, sweep
+from repro.core.metrics import evaluate, winners
+from repro.experiments.base import (
+    ExperimentResult,
+    check_equal,
+    check_in_band,
+)
+from repro.reporting.figures import FigureData, Series
+
+EXPERIMENT_ID = "fig12"
+TITLE = "NVDLA design space: performance/EDP vs carbon-aware metrics"
+
+PAPER_OPTIMA = {
+    "EDP": "2048 MACs",
+    "CDP": "1024 MACs",
+    "CE2P": "512 MACs",
+    "CEP": "256 MACs",
+    "C2EP": "128 MACs",
+}
+_METRICS = ("EDP", "CDP", "CEP", "C2EP", "CE2P")
+
+
+def run() -> ExperimentResult:
+    """Regenerate Figure 12 and check the metric optima."""
+    designs = sweep()
+    points = tuple(design.design_point() for design in designs)
+    macs = tuple(design.n_macs for design in designs)
+
+    left = FigureData(
+        title="Figure 12 (left): performance and EDP vs MAC count",
+        x_label="MACs",
+        y_label="latency (ms) / EDP (relative)",
+        series=(
+            Series("latency (ms)", macs, tuple(d.latency_s * 1e3 for d in designs)),
+            Series(
+                "EDP",
+                macs,
+                tuple(evaluate(point, "EDP") for point in points),
+            ),
+        ),
+    )
+    right = FigureData(
+        title="Figure 12 (right): carbon metrics vs MAC count",
+        x_label="MACs",
+        y_label="metric value (lower is better)",
+        series=tuple(
+            Series(metric, macs, tuple(evaluate(p, metric) for p in points))
+            for metric in ("CDP", "CEP", "C2EP", "CE2P")
+        ),
+    )
+
+    observed = winners(points, _METRICS)
+    checks = [
+        check_equal(f"{metric} optimal configuration", observed[metric], expected)
+        for metric, expected in PAPER_OPTIMA.items()
+    ]
+
+    # "Compared to the most parallel configuration, designing the accelerator
+    # based on the sustainability target reduces the carbon-aware
+    # optimization target by up to an order of magnitude."
+    most_parallel = points[-1]
+    best_reduction = max(
+        evaluate(most_parallel, metric)
+        / min(evaluate(point, metric) for point in points)
+        for metric in ("CDP", "CEP", "C2EP", "CE2P")
+    )
+    checks.append(
+        check_in_band(
+            "max carbon-metric reduction vs the 2048-MAC design",
+            best_reduction, 8.0, 30.0, paper="up to ~10x",
+        )
+    )
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        figures=(left, right),
+        reference={"paper optima": PAPER_OPTIMA, "sweep": list(MAC_SWEEP)},
+        checks=tuple(checks),
+    )

@@ -1,0 +1,129 @@
+"""Figure 15: SSD over-provisioning, reliability, and second-life recycling.
+
+Top: write amplification falls and endurance lifetime rises as the
+over-provisioning factor grows.  Bottom: effective embodied carbon
+(normalized to the 4% baseline) across the sweep for a first life (~2 y)
+and a second life (~4 y); the optima land at 16% and 34%, and serving both
+lives with one device saves ~1.8x.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import (
+    ExperimentResult,
+    check_close,
+    check_equal,
+    check_true,
+)
+from repro.reliability.provisioning import (
+    DEFAULT_PF_SWEEP,
+    normalized_effective_embodied,
+    optimal_over_provisioning,
+    second_life_saving,
+)
+from repro.reliability.ssd_lifetime import (
+    FIRST_LIFE_YEARS,
+    SECOND_LIFE_YEARS,
+    reliability_curve,
+)
+from repro.reporting.figures import FigureData, Series
+
+EXPERIMENT_ID = "fig15"
+TITLE = "SSD over-provisioning: reliability lifetimes and effective embodied CO2"
+
+
+def run() -> ExperimentResult:
+    """Regenerate Figure 15 and check the 16% / 34% / 1.8x anchors."""
+    curve = reliability_curve(DEFAULT_PF_SWEEP)
+    pfs = tuple(point.over_provisioning for point in curve)
+
+    top = FigureData(
+        title="Figure 15 (top): WA and lifetime vs over-provisioning",
+        x_label="over-provisioning factor",
+        y_label="WA (x) / lifetime (years)",
+        series=(
+            Series("write amplification", pfs,
+                   tuple(p.write_amplification for p in curve)),
+            Series("lifetime (years)", pfs,
+                   tuple(p.lifetime_years for p in curve)),
+        ),
+    )
+    bottom = FigureData(
+        title="Figure 15 (bottom): effective embodied carbon (normalized to 4%)",
+        x_label="over-provisioning factor",
+        y_label="x vs 4% baseline",
+        series=(
+            Series(
+                "first life (2y)",
+                pfs,
+                tuple(
+                    normalized_effective_embodied(pf, FIRST_LIFE_YEARS)
+                    for pf in pfs
+                ),
+            ),
+            Series(
+                "second life (4y)",
+                pfs,
+                tuple(
+                    normalized_effective_embodied(pf, SECOND_LIFE_YEARS)
+                    for pf in pfs
+                ),
+            ),
+        ),
+    )
+
+    first = optimal_over_provisioning(FIRST_LIFE_YEARS)
+    second = optimal_over_provisioning(SECOND_LIFE_YEARS)
+    wa_falls = all(
+        a.write_amplification > b.write_amplification
+        for a, b in zip(curve, curve[1:])
+    )
+    lifetime_rises = all(
+        a.lifetime_years < b.lifetime_years for a, b in zip(curve, curve[1:])
+    )
+
+    checks = (
+        check_true(
+            "write amplification falls with over-provisioning",
+            wa_falls, "monotone" if wa_falls else "non-monotone", "falling",
+        ),
+        check_true(
+            "lifetime rises with over-provisioning",
+            lifetime_rises, "monotone" if lifetime_rises else "non-monotone",
+            "rising",
+        ),
+        check_equal(
+            "first-life optimal over-provisioning", first.over_provisioning, 0.16
+        ),
+        check_equal(
+            "second-life optimal over-provisioning",
+            second.over_provisioning, 0.34,
+        ),
+        check_true(
+            "first-life optimum sustains one ~2-year mobile life",
+            FIRST_LIFE_YEARS <= first.lifetime_years < 2.0 * FIRST_LIFE_YEARS,
+            f"{first.lifetime_years:.2f} years",
+            ">= 2 years",
+        ),
+        check_true(
+            "second-life optimum sustains ~4 years of service",
+            SECOND_LIFE_YEARS <= second.lifetime_years,
+            f"{second.lifetime_years:.2f} years",
+            ">= 4 years",
+        ),
+        check_close(
+            "embodied saving of second-life reuse", second_life_saving(), 1.8,
+            rel_tol=0.06,
+        ),
+    )
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        figures=(top, bottom),
+        reference={
+            "anchors": "16% optimal for first life, 34% enables second life, "
+            "~1.8x embodied reduction from recycling into a second life",
+        },
+        checks=checks,
+    )

@@ -1,0 +1,59 @@
+"""Figures 16-17: device-level LCA breakdowns (Fairphone 3, Dell R740).
+
+Regenerates the component breakdowns and checks the IC shares the paper
+reads off them: ICs account for roughly 70% of the Fairphone 3's and 80%
+of the Dell R740's embodied emissions — the caveat being that ACT models
+ICs, so non-IC components must be accounted separately when reporting
+end-to-end platform footprints.
+"""
+
+from __future__ import annotations
+
+from repro.data.lca_reports import breakdown, ic_share
+from repro.experiments.base import ExperimentResult, check_in_band
+from repro.reporting.figures import FigureData, Series
+
+EXPERIMENT_ID = "fig16"
+TITLE = "Device LCA breakdowns and IC shares (Fairphone 3, Dell R740)"
+
+
+def run() -> ExperimentResult:
+    """Regenerate Figures 16-17 and check the IC shares."""
+    figures = []
+    for device, figure_name in (
+        ("fairphone3", "Figure 16: Fairphone 3 manufacturing breakdown"),
+        ("dell_r740", "Figure 17: Dell R740 manufacturing breakdown"),
+    ):
+        entries = breakdown(device)
+        figures.append(
+            FigureData(
+                title=figure_name,
+                x_label="component",
+                y_label="kg CO2e",
+                series=(
+                    Series(
+                        device,
+                        tuple(entry.component for entry in entries),
+                        tuple(entry.kg for entry in entries),
+                    ),
+                ),
+            )
+        )
+
+    checks = (
+        check_in_band(
+            "Fairphone 3 IC share of embodied emissions",
+            ic_share("fairphone3"), 0.65, 0.75, paper="~70%",
+        ),
+        check_in_band(
+            "Dell R740 IC share of embodied emissions",
+            ic_share("dell_r740"), 0.75, 0.85, paper="~80%",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        figures=tuple(figures),
+        reference={"IC shares": "~70% (Fairphone 3), ~80% (Dell R740)"},
+        checks=checks,
+    )

@@ -1,0 +1,106 @@
+"""Table 4: mobile AI inference on CPU / GPU / DSP provisioning choices.
+
+Regenerates the latency / power / per-inference operational footprint /
+embodied footprint table for the Snapdragon-845-class study, plus the
+break-even utilization claims in the surrounding prose.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import (
+    ExperimentResult,
+    check_close,
+    check_in_band,
+)
+from repro.provisioning.mobile_soc import (
+    CONFIGURATIONS,
+    CPU_ONLY,
+    WITH_DSP,
+    WITH_GPU,
+    breakeven_utilization,
+)
+
+EXPERIMENT_ID = "tab4"
+TITLE = "Mobile AI inference: CPU vs GPU vs DSP (latency/power/OPCF/ECF)"
+
+
+def run() -> ExperimentResult:
+    """Regenerate Table 4 and check its anchors."""
+    rows = []
+    for config in CONFIGURATIONS:
+        block = config.serving_block
+        rows.append(
+            (
+                config.name,
+                block.latency_s * 1e3,  # ms
+                block.power_w,
+                block.operational_g_per_inference() * 1e6,  # µg CO2
+                config.embodied_g(),
+            )
+        )
+
+    cpu = CPU_ONLY.serving_block
+    dsp = WITH_DSP.serving_block
+    gpu = WITH_GPU.serving_block
+
+    checks = (
+        check_close(
+            "CPU per-inference operational footprint (µg CO2)",
+            cpu.operational_g_per_inference() * 1e6, 3.3, rel_tol=0.05,
+        ),
+        check_close(
+            "DSP per-inference operational footprint (µg CO2)",
+            dsp.operational_g_per_inference() * 1e6, 1.5, rel_tol=0.05,
+        ),
+        check_close(
+            "CPU-only embodied footprint (g CO2)",
+            CPU_ONLY.embodied_g(), 253.0, rel_tol=0.03,
+        ),
+        check_close(
+            "DSP energy advantage over CPU",
+            cpu.energy_per_inference_j / dsp.energy_per_inference_j,
+            2.2, rel_tol=0.05,
+        ),
+        check_in_band(
+            "GPU energy advantage over CPU",
+            cpu.energy_per_inference_j / gpu.energy_per_inference_j,
+            1.0, 1.25, paper="1.08x",
+        ),
+        check_in_band(
+            "CPU+GPU embodied vs CPU-only",
+            WITH_GPU.embodied_g() / CPU_ONLY.embodied_g(),
+            1.8, 2.0, paper="1.9x",
+        ),
+        check_in_band(
+            "CPU+DSP embodied vs CPU-only",
+            WITH_DSP.embodied_g() / CPU_ONLY.embodied_g(),
+            1.7, 1.9, paper="1.8x",
+        ),
+        check_in_band(
+            "DSP break-even lifetime utilization",
+            breakeven_utilization(WITH_DSP), 0.01, 0.03, paper=">1%",
+        ),
+        check_in_band(
+            "GPU break-even lifetime utilization",
+            breakeven_utilization(WITH_GPU), 0.05, 0.12, paper=">5%",
+        ),
+    )
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        table_headers=(
+            "configuration", "latency (ms)", "power (W)",
+            "OPCF (µg CO2/inf)", "ECF (g CO2)",
+        ),
+        table_rows=tuple(rows),
+        reference={
+            "paper Table 4": "CPU 6.0ms/6.6W/3.3µg/253g; efficient "
+            "co-processor 2.2x lower energy; co-processors add 1.8-1.9x "
+            "embodied",
+            "note": "the paper's Table 4 swaps the GPU/DSP operating points "
+            "relative to its prose and Figure 9; this reproduction follows "
+            "the prose (see module docstring)",
+        },
+        checks=checks,
+    )

@@ -1,0 +1,64 @@
+"""Tables 7-8: per-node fab energy, gas emissions, and raw materials."""
+
+from __future__ import annotations
+
+from repro.core.parameters import DEFAULT_MPA_G_PER_CM2
+from repro.data.fab_nodes import PROCESS_NODES, node_names
+from repro.experiments.base import ExperimentResult, check_close
+
+EXPERIMENT_ID = "tab7"
+TITLE = "Application-processor fab characterization per node (EPA/GPA/MPA)"
+
+#: The paper's Table 7 rows, verbatim: node -> (EPA, GPA@95%, GPA@99%).
+PAPER_VALUES = {
+    "28": (0.90, 175.0, 100.0),
+    "20": (1.2, 190.0, 110.0),
+    "14": (1.2, 200.0, 125.0),
+    "10": (1.475, 240.0, 150.0),
+    "7": (1.52, 350.0, 200.0),
+    "7-euv": (2.15, 350.0, 200.0),
+    "7-euv-dp": (2.15, 350.0, 200.0),
+    "5": (2.75, 430.0, 225.0),
+    "3": (2.75, 470.0, 275.0),
+}
+
+
+def run() -> ExperimentResult:
+    """Regenerate Tables 7-8 and check every cell verbatim."""
+    rows = tuple(
+        (
+            name,
+            PROCESS_NODES[name].epa_kwh_per_cm2,
+            PROCESS_NODES[name].gpa95_g_per_cm2,
+            PROCESS_NODES[name].gpa99_g_per_cm2,
+            PROCESS_NODES[name].mpa_g_per_cm2,
+        )
+        for name in node_names()
+    )
+    checks = []
+    for name, (epa, gpa95, gpa99) in PAPER_VALUES.items():
+        node = PROCESS_NODES[name]
+        checks.append(
+            check_close(f"{name}nm EPA (kWh/cm^2)", node.epa_kwh_per_cm2, epa,
+                        rel_tol=1e-9)
+        )
+        checks.append(
+            check_close(f"{name}nm GPA @95% (g/cm^2)", node.gpa95_g_per_cm2,
+                        gpa95, rel_tol=1e-9)
+        )
+        checks.append(
+            check_close(f"{name}nm GPA @99% (g/cm^2)", node.gpa99_g_per_cm2,
+                        gpa99, rel_tol=1e-9)
+        )
+    checks.append(
+        check_close("MPA (Table 8, g/cm^2)", DEFAULT_MPA_G_PER_CM2, 500.0,
+                    rel_tol=1e-9)
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        table_headers=("node", "EPA kWh/cm^2", "GPA@95%", "GPA@99%", "MPA"),
+        table_rows=rows,
+        reference={"paper": PAPER_VALUES, "MPA": 500.0},
+        checks=tuple(checks),
+    )

@@ -1,0 +1,71 @@
+"""Tables 9-11: DRAM / SSD / HDD carbon-per-GB, verbatim."""
+
+from __future__ import annotations
+
+from repro.data.dram import DRAM_TECHNOLOGIES
+from repro.data.hdd import HDD_MODELS
+from repro.data.ssd import SSD_TECHNOLOGIES
+from repro.experiments.base import ExperimentResult, check_close
+
+EXPERIMENT_ID = "tab9"
+TITLE = "Memory and storage carbon-per-GB tables (DRAM/SSD/HDD)"
+
+PAPER_DRAM = {
+    "ddr3_50nm": 600.0, "ddr3_40nm": 315.0, "ddr3_30nm": 230.0,
+    "lpddr3_30nm": 201.0, "lpddr3_20nm": 184.0, "lpddr2_20nm": 159.0,
+    "lpddr4": 48.0, "ddr4_10nm": 65.0,
+}
+PAPER_SSD = {
+    "nand_30nm": 30.0, "nand_20nm": 15.0, "nand_10nm": 10.0,
+    "nand_1z_tlc": 5.6, "nand_v3_tlc": 6.3,
+    "wd_2016": 24.4, "wd_2017": 17.9, "wd_2018": 12.5, "wd_2019": 10.7,
+    "nytro_1551": 3.95, "nytro_3530": 6.21, "nytro_3331": 16.92,
+}
+PAPER_HDD = {
+    "barracuda": 4.57, "barracuda2": 10.32, "barracuda_pro": 2.35,
+    "firecuda": 5.1, "firecuda2": 9.1, "exos_2x14": 1.65, "exos_x12": 1.14,
+    "exos_x16": 1.33, "exos_15e900": 20.5, "exos_10e2400": 10.3,
+}
+
+
+def run() -> ExperimentResult:
+    """Regenerate Tables 9-11 and check every row verbatim."""
+    rows = []
+    for tech in DRAM_TECHNOLOGIES.values():
+        rows.append(("DRAM", tech.label, tech.cps_g_per_gb))
+    for tech in SSD_TECHNOLOGIES.values():
+        rows.append(("SSD", tech.label, tech.cps_g_per_gb))
+    for model in HDD_MODELS.values():
+        rows.append(("HDD", model.label, model.cps_g_per_gb))
+
+    checks = []
+    for name, expected in PAPER_DRAM.items():
+        checks.append(
+            check_close(
+                f"DRAM {name} (g/GB)",
+                DRAM_TECHNOLOGIES[name].cps_g_per_gb, expected, rel_tol=1e-9,
+            )
+        )
+    for name, expected in PAPER_SSD.items():
+        checks.append(
+            check_close(
+                f"SSD {name} (g/GB)",
+                SSD_TECHNOLOGIES[name].cps_g_per_gb, expected, rel_tol=1e-9,
+            )
+        )
+    for name, expected in PAPER_HDD.items():
+        checks.append(
+            check_close(
+                f"HDD {name} (g/GB)",
+                HDD_MODELS[name].cps_g_per_gb, expected, rel_tol=1e-9,
+            )
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        table_headers=("kind", "technology", "g CO2/GB"),
+        table_rows=tuple(rows),
+        reference={"Table 9": PAPER_DRAM, "Table 10": PAPER_SSD,
+                   "Table 11": PAPER_HDD},
+        checks=tuple(checks),
+    )

@@ -1,0 +1,93 @@
+"""Table 12: published LCAs vs ACT at matched and actual process nodes.
+
+For each IC row (Dell R740, Fairphone 3, iPhone), compares the published
+LCA value with our ACT estimate at the LCA's assumed (older) node and at
+the actual hardware node, next to the paper's own ACT numbers.  The
+headline shape: dated LCA technology databases systematically overstate
+memory/storage footprints — ACT at the actual node sits far below both.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import (
+    ExperimentResult,
+    check_in_band,
+    check_true,
+)
+from repro.lca.comparison import compare_all
+
+EXPERIMENT_ID = "tab12"
+TITLE = "IC footprints: published LCA vs ACT (LCA-matched and actual nodes)"
+
+_MEMORY_ICS = {"RAM", "Flash", "Flash + RAM"}
+
+
+def run() -> ExperimentResult:
+    """Regenerate Table 12 and check its ordering shape."""
+    results = compare_all()
+    rows = tuple(
+        (
+            r.ic,
+            r.device,
+            r.lca_kg if r.lca_kg is not None else "-",
+            r.our_node1_kg,
+            r.our_node2_kg,
+            r.paper_node1_kg,
+            r.paper_node2_kg,
+        )
+        for r in results
+    )
+
+    checks = []
+    for r in results:
+        label = f"{r.ic} / {r.device}"
+        if r.ic in _MEMORY_ICS:
+            checks.append(
+                check_true(
+                    f"{label}: actual-node estimate below LCA-matched estimate",
+                    r.our_node2_kg < r.our_node1_kg,
+                    f"{r.our_node2_kg:.3g} vs {r.our_node1_kg:.3g} kg",
+                    "node2 < node1 (newer tech emits less per GB)",
+                )
+            )
+            if r.lca_kg is not None:
+                checks.append(
+                    check_true(
+                        f"{label}: published LCA at or above the LCA-matched "
+                        "ACT estimate",
+                        r.our_node1_kg <= r.lca_kg * 1.2,
+                        f"{r.our_node1_kg:.3g} vs LCA {r.lca_kg:.3g} kg",
+                        "node1 <= LCA",
+                    )
+                )
+        else:  # logic rows: newer nodes are *more* carbon-intense per die
+            checks.append(
+                check_true(
+                    f"{label}: actual-node estimate above LCA-matched estimate",
+                    r.our_node2_kg > r.our_node1_kg,
+                    f"{r.our_node2_kg:.3g} vs {r.our_node1_kg:.3g} kg",
+                    "node2 > node1 (advanced logic emits more per area)",
+                )
+            )
+        # Stay within an order of magnitude of the paper's own estimates.
+        checks.append(
+            check_in_band(
+                f"{label}: our node-2 estimate vs the paper's",
+                r.our_node2_kg / r.paper_node2_kg,
+                0.15, 3.0, paper=f"{r.paper_node2_kg:.3g} kg",
+            )
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        table_headers=(
+            "IC", "device", "LCA kg", "ours node1", "ours node2",
+            "paper node1", "paper node2",
+        ),
+        table_rows=rows,
+        reference={
+            "shape": "memory/storage: LCA >= ACT@LCA-node > ACT@actual-node; "
+            "logic: ACT@actual-node > ACT@LCA-node",
+        },
+        checks=tuple(checks),
+    )

@@ -1,0 +1,62 @@
+"""Semiconductor fab modeling: scenarios, yields, energy mixes, CPA curves."""
+
+from repro.fabs.cpa import CpaPoint, cpa_curve, cpa_point
+from repro.fabs.energy_mix import (
+    DEFAULT_FAB_MIX,
+    FAB_ENERGY_MIXES,
+    EnergyMix,
+    fab_energy_mix,
+    grid_with_renewables,
+)
+from repro.fabs.chiplets import (
+    PartitionedDesign,
+    chiplet_break_even_area_mm2,
+    optimal_partition,
+    partition,
+    partition_sweep,
+)
+from repro.fabs.fab import FabScenario, default_fab
+from repro.fabs.wafer import (
+    WaferRun,
+    gross_dies_per_wafer,
+    wafer_area_cm2,
+    wafer_run,
+    wafers_needed,
+)
+from repro.fabs.yield_models import (
+    ACT_REFERENCE_YIELD,
+    FixedYield,
+    MurphyYield,
+    NodeDefaultYield,
+    PoissonYield,
+    default_yield_for_node,
+)
+
+__all__ = [
+    "ACT_REFERENCE_YIELD",
+    "CpaPoint",
+    "DEFAULT_FAB_MIX",
+    "EnergyMix",
+    "FAB_ENERGY_MIXES",
+    "FabScenario",
+    "FixedYield",
+    "MurphyYield",
+    "NodeDefaultYield",
+    "PartitionedDesign",
+    "PoissonYield",
+    "WaferRun",
+    "chiplet_break_even_area_mm2",
+    "cpa_curve",
+    "cpa_point",
+    "default_fab",
+    "default_yield_for_node",
+    "fab_energy_mix",
+    "grid_with_renewables",
+    "gross_dies_per_wafer",
+    "optimal_partition",
+    "partition",
+    "partition_sweep",
+    "wafer_area_cm2",
+    "wafer_run",
+    "wafers_needed",
+]

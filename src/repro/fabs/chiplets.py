@@ -1,0 +1,170 @@
+"""Chiplet vs monolithic embodied-carbon analysis.
+
+Figure 1 lists "chiplet design" under the Reuse tenet: splitting a large
+die into smaller chiplets raises yield (defects kill less area per hit) and
+lets mature-node silicon be reused across products — at the cost of
+interface area on every chiplet and a more carbon-intensive advanced
+package.  This module quantifies that trade-off with the ACT model:
+
+* per-chiplet area = total/n plus an interface overhead per split,
+* per-chiplet yield from a defect-density model (Poisson by default),
+* packaging = base Kr plus a bonding adder per extra chiplet.
+
+The crossover behaves as chiplet advocates claim: for small dies the
+interface/packaging overheads dominate (monolithic wins), for reticle-class
+dies the yield savings dominate (chiplets win), and the optimal split count
+grows with die size and defect density.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import units
+from repro.core.parameters import (
+    DEFAULT_PACKAGING_G,
+    require_non_negative,
+    require_positive,
+)
+from repro.fabs.fab import FabScenario
+from repro.fabs.yield_models import PoissonYield, YieldModel
+
+#: Die-to-die interface (PHY + shoreline) area added to each chiplet, as a
+#: fraction of its share of the design.
+DEFAULT_INTERFACE_OVERHEAD = 0.07
+
+#: Extra packaging carbon per additional chiplet (advanced substrate,
+#: bonding), in grams CO2.
+DEFAULT_BONDING_G_PER_CHIPLET = 30.0
+
+#: Representative logic defect density for the yield comparison.
+DEFAULT_DEFECT_DENSITY_PER_CM2 = 0.2
+
+
+@dataclass(frozen=True)
+class PartitionedDesign:
+    """One way of splitting a design into chiplets, fully evaluated.
+
+    Attributes:
+        chiplets: Number of dies the design is split into (1 = monolithic).
+        chiplet_area_mm2: Area of each chiplet, including interface overhead.
+        per_chiplet_yield: Fab yield of one chiplet.
+        silicon_g: Embodied carbon of all chiplets (yield-adjusted).
+        packaging_g: Package + bonding carbon.
+    """
+
+    chiplets: int
+    chiplet_area_mm2: float
+    per_chiplet_yield: float
+    silicon_g: float
+    packaging_g: float
+
+    @property
+    def total_g(self) -> float:
+        return self.silicon_g + self.packaging_g
+
+    @property
+    def total_silicon_mm2(self) -> float:
+        return self.chiplets * self.chiplet_area_mm2
+
+
+def partition(
+    total_area_mm2: float,
+    chiplets: int,
+    fab: FabScenario,
+    *,
+    yield_model: YieldModel | None = None,
+    interface_overhead: float = DEFAULT_INTERFACE_OVERHEAD,
+    bonding_g_per_chiplet: float = DEFAULT_BONDING_G_PER_CHIPLET,
+    packaging_g: float = DEFAULT_PACKAGING_G,
+) -> PartitionedDesign:
+    """Evaluate one split of ``total_area_mm2`` into ``chiplets`` dies.
+
+    Args:
+        total_area_mm2: Logic area of the monolithic design.
+        chiplets: Number of dies (1 = monolithic; no interface overhead).
+        fab: Manufacturing scenario supplying CPA's numerator terms.
+        yield_model: Area-sensitive yield model; Poisson at the default
+            defect density if not given.
+        interface_overhead: Fractional area added per chiplet for
+            die-to-die interfaces (applied only when chiplets > 1).
+        bonding_g_per_chiplet: Packaging adder per chiplet beyond the first.
+        packaging_g: Base package footprint (Kr).
+    """
+    require_positive("total_area_mm2", total_area_mm2)
+    require_positive("chiplets", chiplets)
+    require_non_negative("interface_overhead", interface_overhead)
+    require_non_negative("bonding_g_per_chiplet", bonding_g_per_chiplet)
+    require_non_negative("packaging_g", packaging_g)
+    if yield_model is None:
+        yield_model = PoissonYield(DEFAULT_DEFECT_DENSITY_PER_CM2)
+
+    overhead = interface_overhead if chiplets > 1 else 0.0
+    chiplet_area_mm2 = (total_area_mm2 / chiplets) * (1.0 + overhead)
+    chiplet_area_cm2 = units.mm2_to_cm2(chiplet_area_mm2)
+    chip_yield = yield_model.yield_for_area(chiplet_area_cm2)
+
+    # Pre-yield carbon intensity from the fab, divided by this partition's
+    # own per-chiplet yield (the FabScenario's default yield model is
+    # deliberately bypassed so the comparison isolates the yield effect).
+    params = fab.params_for_area(chiplet_area_cm2)
+    pre_yield_cpa = params.cpa_g_per_cm2() * params.fab_yield
+    silicon = chiplets * chiplet_area_cm2 * pre_yield_cpa / chip_yield
+    packaging = packaging_g + bonding_g_per_chiplet * (chiplets - 1)
+    return PartitionedDesign(
+        chiplets=chiplets,
+        chiplet_area_mm2=chiplet_area_mm2,
+        per_chiplet_yield=chip_yield,
+        silicon_g=silicon,
+        packaging_g=packaging,
+    )
+
+
+def partition_sweep(
+    total_area_mm2: float,
+    fab: FabScenario,
+    max_chiplets: int = 16,
+    **kwargs,
+) -> tuple[PartitionedDesign, ...]:
+    """Evaluate splits from monolithic up to ``max_chiplets`` dies."""
+    require_positive("max_chiplets", max_chiplets)
+    return tuple(
+        partition(total_area_mm2, n, fab, **kwargs)
+        for n in range(1, max_chiplets + 1)
+    )
+
+
+def optimal_partition(
+    total_area_mm2: float,
+    fab: FabScenario,
+    max_chiplets: int = 16,
+    **kwargs,
+) -> PartitionedDesign:
+    """The split count minimizing total embodied carbon."""
+    return min(
+        partition_sweep(total_area_mm2, fab, max_chiplets, **kwargs),
+        key=lambda design: design.total_g,
+    )
+
+
+def chiplet_break_even_area_mm2(
+    fab: FabScenario,
+    *,
+    low_mm2: float = 20.0,
+    high_mm2: float = 1000.0,
+    resolution_mm2: float = 5.0,
+    **kwargs,
+) -> float:
+    """Smallest die size at which any chiplet split beats monolithic.
+
+    Scans die sizes upward and returns the first where the optimal
+    partition uses more than one chiplet; returns ``high_mm2`` if
+    monolithic wins everywhere in range.
+    """
+    require_positive("resolution_mm2", resolution_mm2)
+    area = low_mm2
+    while area <= high_mm2:
+        if optimal_partition(area, fab, **kwargs).chiplets > 1:
+            return area
+        area += resolution_mm2
+    return high_mm2

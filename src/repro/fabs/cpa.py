@@ -1,0 +1,82 @@
+"""Carbon-per-area curves across process nodes (paper Figure 6).
+
+Figure 6 has three panels, all with process node on the x-axis:
+
+* top — fab energy per area (EPA), a single rising curve;
+* middle — gas emissions per area (GPA), a band between 99% (lower) and 95%
+  (upper) abatement, with TSMC's 97% marked;
+* bottom — aggregate carbon per area (CPA), a band between a solar-powered
+  fab (lower) and the average Taiwan grid (upper), with the 25%-renewable
+  default marked.
+
+This module regenerates those series from the Table 7/8 data and the fab
+model, so the benchmark for Figure 6 is a direct read-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.fab_nodes import (
+    GPA_ABATEMENT_HIGH,
+    GPA_ABATEMENT_LOW,
+    TSMC_ABATEMENT,
+    ProcessNode,
+    node_names,
+    process_node,
+)
+from repro.fabs.fab import FabScenario
+from repro.fabs.yield_models import FixedYield
+
+
+@dataclass(frozen=True)
+class CpaPoint:
+    """One x-position of Figure 6 with every plotted series.
+
+    All carbon values are g CO2 per cm^2 of *good* die (i.e. post-yield).
+    """
+
+    node: str
+    epa_kwh_per_cm2: float
+    gpa95_g_per_cm2: float
+    gpa97_g_per_cm2: float
+    gpa99_g_per_cm2: float
+    cpa_taiwan_grid: float
+    cpa_default: float
+    cpa_solar: float
+
+
+def _scenario(node: ProcessNode, mix: str, perfect_yield: bool) -> FabScenario:
+    yield_model = FixedYield(1.0) if perfect_yield else None
+    return FabScenario.for_node(node.name, energy_mix=mix, yield_model=yield_model)
+
+
+def cpa_point(node_name: str, *, perfect_yield: bool = False) -> CpaPoint:
+    """All Figure 6 series evaluated at one process node.
+
+    Args:
+        node_name: A Table 7 node name.
+        perfect_yield: When True, report pre-yield intensities (Y = 1);
+            otherwise the calibrated node yields apply.
+    """
+    node = process_node(node_name)
+    upper = _scenario(node, "taiwan_grid", perfect_yield)
+    default = _scenario(node, "taiwan_25_renewable", perfect_yield)
+    lower = _scenario(node, "solar", perfect_yield)
+    return CpaPoint(
+        node=node.name,
+        epa_kwh_per_cm2=node.epa_kwh_per_cm2,
+        gpa95_g_per_cm2=node.gpa_g_per_cm2(GPA_ABATEMENT_LOW),
+        gpa97_g_per_cm2=node.gpa_g_per_cm2(TSMC_ABATEMENT),
+        gpa99_g_per_cm2=node.gpa_g_per_cm2(GPA_ABATEMENT_HIGH),
+        cpa_taiwan_grid=upper.cpa_g_per_cm2(),
+        cpa_default=default.cpa_g_per_cm2(),
+        cpa_solar=lower.cpa_g_per_cm2(),
+    )
+
+
+def cpa_curve(*, perfect_yield: bool = False) -> tuple[CpaPoint, ...]:
+    """Figure 6's full sweep over every named Table 7 node, 28 nm → 3 nm."""
+    return tuple(
+        cpa_point(name, perfect_yield=perfect_yield) for name in node_names()
+    )

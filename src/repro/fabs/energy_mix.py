@@ -1,0 +1,84 @@
+"""Fab electricity-supply scenarios.
+
+Figure 6 of the paper brackets the logic CPA curve with three fab power
+scenarios: the average Taiwan grid (upper bound), a fab procuring 25%
+renewable energy on top of the Taiwan grid (the paper's default, per TSMC CSR
+reports), and a 100% solar-powered fab (lower bound).  Section 6 additionally
+sweeps coal and carbon-free supplies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import UnknownEntryError
+from repro.core.parameters import require_fraction
+from repro.data.energy_sources import CARBON_FREE_CI, source_ci
+from repro.data.regions import region_ci
+
+
+@dataclass(frozen=True)
+class EnergyMix:
+    """A named fab electricity supply with its carbon intensity.
+
+    Attributes:
+        name: Scenario identifier.
+        ci_g_per_kwh: Effective carbon intensity of fab electricity.
+        description: Human-readable description for reports.
+    """
+
+    name: str
+    ci_g_per_kwh: float
+    description: str
+
+
+def grid_with_renewables(
+    grid_ci: float, renewable_share: float, renewable_ci: float | None = None
+) -> float:
+    """Carbon intensity of a grid supply displaced by renewable procurement.
+
+    Args:
+        grid_ci: Baseline grid carbon intensity (g CO2/kWh).
+        renewable_share: Fraction of demand met by procured renewables.
+        renewable_ci: Carbon intensity of the procured renewables; defaults
+            to utility solar (Table 5).
+    """
+    require_fraction("renewable_share", renewable_share, allow_zero=True)
+    if renewable_ci is None:
+        renewable_ci = source_ci("solar")
+    return grid_ci * (1.0 - renewable_share) + renewable_ci * renewable_share
+
+
+def _build_mixes() -> dict[str, EnergyMix]:
+    taiwan = region_ci("taiwan")
+    mixes = (
+        EnergyMix("coal", source_ci("coal"), "fully coal-powered fab"),
+        EnergyMix("taiwan_grid", taiwan, "average Taiwan power grid"),
+        EnergyMix(
+            "taiwan_25_renewable",
+            grid_with_renewables(taiwan, 0.25),
+            "Taiwan grid with 25% renewable procurement (ACT default, "
+            "per TSMC CSR reports)",
+        ),
+        EnergyMix("solar", source_ci("solar"), "100% solar-powered fab"),
+        EnergyMix("renewable", source_ci("solar"), "renewable-powered fab"),
+        EnergyMix("carbon_free", CARBON_FREE_CI, "idealized zero-carbon fab"),
+    )
+    return {mix.name: mix for mix in mixes}
+
+
+FAB_ENERGY_MIXES: dict[str, EnergyMix] = _build_mixes()
+
+#: The paper's default fab supply (solid line of Figure 6, bottom).
+DEFAULT_FAB_MIX = FAB_ENERGY_MIXES["taiwan_25_renewable"]
+
+
+def fab_energy_mix(name: str) -> EnergyMix:
+    """Look up a fab electricity scenario by name."""
+    key = name.strip().lower().replace("-", "_").replace(" ", "_")
+    try:
+        return FAB_ENERGY_MIXES[key]
+    except KeyError:
+        raise UnknownEntryError(
+            "fab energy mix", name, FAB_ENERGY_MIXES
+        ) from None

@@ -1,0 +1,122 @@
+"""Fab scenarios: the bridge from process-node data to Eq. 5's CPA.
+
+A :class:`FabScenario` bundles everything about *where and how* a die is
+manufactured — process node, electricity supply, gas abatement, and yield —
+and produces the :class:`~repro.core.parameters.FabParams` that the embodied
+model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.parameters import (
+    DEFAULT_MPA_G_PER_CM2,
+    FabParams,
+    require_fraction,
+    require_non_negative,
+)
+from repro.data.fab_nodes import TSMC_ABATEMENT, ProcessNode, process_node
+from repro.fabs.energy_mix import DEFAULT_FAB_MIX, EnergyMix, fab_energy_mix
+from repro.fabs.yield_models import NodeDefaultYield, YieldModel
+
+
+@dataclass(frozen=True)
+class FabScenario:
+    """Manufacturing context for logic dies.
+
+    Attributes:
+        node: The process node being manufactured.
+        energy_mix: The fab's electricity supply scenario.
+        abatement: Gas-abatement effectiveness in [0, 1]; the default is the
+            97% level Figure 6 attributes to TSMC.
+        yield_model: Mapping from die area to fab yield; defaults to the
+            calibrated per-node yield table.
+        mpa_g_per_cm2: Raw-material procurement footprint (Table 8).
+    """
+
+    node: ProcessNode
+    energy_mix: EnergyMix = DEFAULT_FAB_MIX
+    abatement: float = TSMC_ABATEMENT
+    yield_model: YieldModel | None = None
+    mpa_g_per_cm2: float = DEFAULT_MPA_G_PER_CM2
+
+    def __post_init__(self) -> None:
+        require_fraction("abatement", self.abatement, allow_zero=True)
+        require_non_negative("mpa_g_per_cm2", self.mpa_g_per_cm2)
+        if self.yield_model is None:
+            object.__setattr__(
+                self, "yield_model", NodeDefaultYield(self.node.feature_nm)
+            )
+
+    @classmethod
+    def for_node(
+        cls,
+        node: str | float,
+        *,
+        energy_mix: str | EnergyMix | None = None,
+        abatement: float = TSMC_ABATEMENT,
+        yield_model: YieldModel | None = None,
+        mpa_g_per_cm2: float = DEFAULT_MPA_G_PER_CM2,
+    ) -> "FabScenario":
+        """Build a scenario from a node name and optional overrides.
+
+        Args:
+            node: Process node name or numeric feature size (e.g. ``"7"``,
+                ``16``, ``"7-euv"``).
+            energy_mix: A named fab supply (see
+                :mod:`repro.fabs.energy_mix`) or an :class:`EnergyMix`.
+            abatement: Gas-abatement effectiveness.
+            yield_model: Optional explicit yield model.
+            mpa_g_per_cm2: Raw-material footprint override.
+        """
+        if energy_mix is None:
+            mix = DEFAULT_FAB_MIX
+        elif isinstance(energy_mix, EnergyMix):
+            mix = energy_mix
+        else:
+            mix = fab_energy_mix(energy_mix)
+        return cls(
+            node=process_node(node),
+            energy_mix=mix,
+            abatement=abatement,
+            yield_model=yield_model,
+            mpa_g_per_cm2=mpa_g_per_cm2,
+        )
+
+    def with_energy_mix(self, energy_mix: str | EnergyMix) -> "FabScenario":
+        """A copy of this scenario with a different electricity supply."""
+        mix = (
+            energy_mix
+            if isinstance(energy_mix, EnergyMix)
+            else fab_energy_mix(energy_mix)
+        )
+        return replace(self, energy_mix=mix)
+
+    def with_ci(self, ci_g_per_kwh: float, label: str = "custom") -> "FabScenario":
+        """A copy with an explicit fab carbon intensity (g CO2/kWh)."""
+        require_non_negative("ci_g_per_kwh", ci_g_per_kwh)
+        mix = EnergyMix(label, ci_g_per_kwh, f"custom supply ({label})")
+        return replace(self, energy_mix=mix)
+
+    def params_for_area(self, area_cm2: float) -> FabParams:
+        """The Eq. 5 parameter set for a die of ``area_cm2``."""
+        require_non_negative("area_cm2", area_cm2)
+        return FabParams(
+            ci_fab_g_per_kwh=self.energy_mix.ci_g_per_kwh,
+            epa_kwh_per_cm2=self.node.epa_kwh_per_cm2,
+            gpa_g_per_cm2=self.node.gpa_g_per_cm2(self.abatement),
+            mpa_g_per_cm2=self.mpa_g_per_cm2,
+            fab_yield=self.yield_model.yield_for_area(area_cm2),
+        )
+
+    def cpa_g_per_cm2(self, area_cm2: float = 1.0) -> float:
+        """Carbon per good cm^2 (Eq. 5) for a die of ``area_cm2``."""
+        return self.params_for_area(area_cm2).cpa_g_per_cm2()
+
+
+#: Convenience: the paper's default manufacturing assumption for a node.
+def default_fab(node: str | float) -> FabScenario:
+    """The ACT default fab for ``node`` (25%-renewable Taiwan grid, 97%
+    abatement, calibrated node yield)."""
+    return FabScenario.for_node(node)

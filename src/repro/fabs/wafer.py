@@ -1,0 +1,105 @@
+"""Wafer-level accounting: dies per wafer and per-wafer carbon.
+
+ACT's per-area model abstracts the wafer away; this module puts it back for
+designers who think in wafer terms: gross dies per wafer (with edge loss),
+good dies after yield, and the effective per-good-die carbon — which is how
+Eq. 5's ``1/Y`` factor arises physically (every die on the wafer paid its
+share of the fab's energy, gases, and materials, but only the good ones
+ship).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core import units
+from repro.core.parameters import require_positive
+from repro.fabs.fab import FabScenario
+
+#: Standard 300 mm wafer.
+DEFAULT_WAFER_DIAMETER_MM = 300.0
+
+
+def wafer_area_cm2(diameter_mm: float = DEFAULT_WAFER_DIAMETER_MM) -> float:
+    """Usable wafer area in cm^2."""
+    require_positive("diameter_mm", diameter_mm)
+    radius_cm = diameter_mm / 20.0
+    return math.pi * radius_cm**2
+
+
+def gross_dies_per_wafer(
+    die_area_mm2: float, diameter_mm: float = DEFAULT_WAFER_DIAMETER_MM
+) -> int:
+    """Gross die count via the standard edge-loss approximation.
+
+    Uses the classic formula ``N = pi*d^2/(4A) - pi*d/sqrt(2A)``: the first
+    term tiles the wafer, the second removes partial dies at the edge.
+    """
+    require_positive("die_area_mm2", die_area_mm2)
+    require_positive("diameter_mm", diameter_mm)
+    area = die_area_mm2
+    tiled = math.pi * diameter_mm**2 / (4.0 * area)
+    edge = math.pi * diameter_mm / math.sqrt(2.0 * area)
+    return max(0, int(tiled - edge))
+
+
+@dataclass(frozen=True)
+class WaferRun:
+    """Carbon accounting for manufacturing one wafer of one die design.
+
+    Attributes:
+        die_area_mm2: Die size.
+        gross_dies: Dies printed on the wafer.
+        good_dies: Expected yielding dies.
+        wafer_carbon_g: Total carbon of processing the wafer (pre-yield).
+        per_good_die_g: Carbon attributed to each shipping die.
+    """
+
+    die_area_mm2: float
+    gross_dies: int
+    good_dies: float
+    wafer_carbon_g: float
+    per_good_die_g: float
+
+
+def wafer_run(
+    die_area_mm2: float,
+    fab: FabScenario,
+    diameter_mm: float = DEFAULT_WAFER_DIAMETER_MM,
+) -> WaferRun:
+    """Account one wafer of ``die_area_mm2`` dies in ``fab``.
+
+    The wafer pays carbon for its *full* area at the pre-yield intensity
+    (Eq. 5's numerator); dividing by the yielding dies recovers, to within
+    edge effects, the same per-die footprint as Eq. 4.
+    """
+    die_area_cm2 = units.mm2_to_cm2(die_area_mm2)
+    params = fab.params_for_area(die_area_cm2)
+    pre_yield_cpa = params.cpa_g_per_cm2() * params.fab_yield
+    gross = gross_dies_per_wafer(die_area_mm2, diameter_mm)
+    if gross == 0:
+        raise ValueError(
+            f"a {die_area_mm2} mm^2 die does not fit a {diameter_mm} mm wafer"
+        )
+    good = gross * params.fab_yield
+    wafer_carbon = wafer_area_cm2(diameter_mm) * pre_yield_cpa
+    return WaferRun(
+        die_area_mm2=die_area_mm2,
+        gross_dies=gross,
+        good_dies=good,
+        wafer_carbon_g=wafer_carbon,
+        per_good_die_g=wafer_carbon / good,
+    )
+
+
+def wafers_needed(
+    unit_volume: int,
+    die_area_mm2: float,
+    fab: FabScenario,
+    diameter_mm: float = DEFAULT_WAFER_DIAMETER_MM,
+) -> int:
+    """Wafers required to ship ``unit_volume`` good dies."""
+    require_positive("unit_volume", unit_volume)
+    run = wafer_run(die_area_mm2, fab, diameter_mm)
+    return math.ceil(unit_volume / run.good_dies)

@@ -1,0 +1,15 @@
+"""Declarative configuration I/O (JSON platform descriptions)."""
+
+from repro.io.config import (
+    component_from_spec,
+    load_platform,
+    platform_from_dict,
+    platform_from_json,
+)
+
+__all__ = [
+    "component_from_spec",
+    "load_platform",
+    "platform_from_dict",
+    "platform_from_json",
+]

@@ -1,0 +1,202 @@
+"""Declarative platform configuration (JSON/dict → :class:`Platform`).
+
+Lets users describe hardware as data instead of code::
+
+    {
+      "name": "my phone",
+      "packaging_g_per_ic": 150,
+      "components": [
+        {"type": "logic", "name": "SoC", "area_mm2": 98.5, "node": "7"},
+        {"type": "dram",  "name": "DRAM", "capacity_gb": 4,
+         "technology": "lpddr4"},
+        {"type": "ssd",   "name": "NAND", "capacity_gb": 64,
+         "technology": "nand_v3_tlc"},
+        {"type": "fixed", "name": "battery", "carbon_g": 5000}
+      ]
+    }
+
+Logic components accept optional ``energy_mix`` / ``abatement`` /
+``fab_yield`` / ``category`` / ``ics`` fields.  Unknown keys are rejected
+loudly — silent typos in carbon accounting are worse than crashes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+from repro.core.components import (
+    Component,
+    DramComponent,
+    FixedCarbonComponent,
+    HddComponent,
+    LogicComponent,
+    SsdComponent,
+)
+from repro.core.errors import ParameterError, UnknownEntryError
+from repro.core.model import Platform
+from repro.core.parameters import DEFAULT_PACKAGING_G
+from repro.data.fab_nodes import TSMC_ABATEMENT
+from repro.fabs.fab import FabScenario
+from repro.fabs.yield_models import FixedYield
+
+
+def _require_keys(
+    spec: Mapping[str, object], required: set[str], optional: set[str], kind: str
+) -> None:
+    keys = set(spec)
+    missing = required - keys
+    if missing:
+        raise ParameterError(
+            f"{kind} component missing fields: {', '.join(sorted(missing))}"
+        )
+    unknown = keys - required - optional - {"type"}
+    if unknown:
+        raise ParameterError(
+            f"{kind} component has unknown fields: {', '.join(sorted(unknown))}"
+        )
+
+
+def _logic_from_spec(spec: Mapping[str, object]) -> LogicComponent:
+    _require_keys(
+        spec,
+        required={"name", "area_mm2", "node"},
+        optional={"energy_mix", "abatement", "fab_yield", "category", "ics"},
+        kind="logic",
+    )
+    yield_model = None
+    if "fab_yield" in spec:
+        yield_model = FixedYield(float(spec["fab_yield"]))
+    fab = FabScenario.for_node(
+        spec["node"],
+        energy_mix=spec.get("energy_mix"),
+        abatement=float(spec.get("abatement", TSMC_ABATEMENT)),
+        yield_model=yield_model,
+    )
+    return LogicComponent(
+        name=str(spec["name"]),
+        area_mm2=float(spec["area_mm2"]),
+        fab=fab,
+        category=str(spec.get("category", "soc")),
+        ics=int(spec.get("ics", 1)),
+    )
+
+
+def _dram_from_spec(spec: Mapping[str, object]) -> DramComponent:
+    _require_keys(
+        spec,
+        required={"name", "capacity_gb"},
+        optional={"technology", "ics"},
+        kind="dram",
+    )
+    return DramComponent.of(
+        str(spec["name"]),
+        float(spec["capacity_gb"]),
+        str(spec.get("technology", "lpddr4")),
+        ics=int(spec.get("ics", 1)),
+    )
+
+
+def _ssd_from_spec(spec: Mapping[str, object]) -> SsdComponent:
+    _require_keys(
+        spec,
+        required={"name", "capacity_gb"},
+        optional={"technology", "ics"},
+        kind="ssd",
+    )
+    return SsdComponent.of(
+        str(spec["name"]),
+        float(spec["capacity_gb"]),
+        str(spec.get("technology", "nand_v3_tlc")),
+        ics=int(spec.get("ics", 1)),
+    )
+
+
+def _hdd_from_spec(spec: Mapping[str, object]) -> HddComponent:
+    _require_keys(
+        spec,
+        required={"name", "capacity_gb"},
+        optional={"model", "ics"},
+        kind="hdd",
+    )
+    return HddComponent.of(
+        str(spec["name"]),
+        float(spec["capacity_gb"]),
+        str(spec.get("model", "barracuda")),
+        ics=int(spec.get("ics", 1)),
+    )
+
+
+def _fixed_from_spec(spec: Mapping[str, object]) -> FixedCarbonComponent:
+    _require_keys(
+        spec,
+        required={"name", "carbon_g"},
+        optional={"category", "ics"},
+        kind="fixed",
+    )
+    return FixedCarbonComponent(
+        name=str(spec["name"]),
+        carbon_g=float(spec["carbon_g"]),
+        category=str(spec.get("category", "other")),
+        ics=int(spec.get("ics", 0)),
+    )
+
+
+_BUILDERS = {
+    "logic": _logic_from_spec,
+    "soc": _logic_from_spec,
+    "dram": _dram_from_spec,
+    "ssd": _ssd_from_spec,
+    "hdd": _hdd_from_spec,
+    "fixed": _fixed_from_spec,
+}
+
+
+def component_from_spec(spec: Mapping[str, object]) -> Component:
+    """Build one component from its dict description."""
+    if "type" not in spec:
+        raise ParameterError(f"component spec missing 'type': {dict(spec)!r}")
+    kind = str(spec["type"]).strip().lower()
+    try:
+        builder = _BUILDERS[kind]
+    except KeyError:
+        raise UnknownEntryError("component type", kind, _BUILDERS) from None
+    return builder(spec)
+
+
+def platform_from_dict(config: Mapping[str, object]) -> Platform:
+    """Build a :class:`Platform` from a configuration dict."""
+    unknown = set(config) - {"name", "components", "packaging_g_per_ic"}
+    if unknown:
+        raise ParameterError(
+            f"platform config has unknown fields: {', '.join(sorted(unknown))}"
+        )
+    if "components" not in config or not isinstance(config["components"], list):
+        raise ParameterError("platform config needs a 'components' list")
+    components = tuple(
+        component_from_spec(spec) for spec in config["components"]
+    )
+    return Platform(
+        name=str(config.get("name", "configured platform")),
+        components=components,
+        packaging_g_per_ic=float(
+            config.get("packaging_g_per_ic", DEFAULT_PACKAGING_G)
+        ),
+    )
+
+
+def platform_from_json(text: str) -> Platform:
+    """Build a :class:`Platform` from a JSON document string."""
+    try:
+        config = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ParameterError(f"invalid platform JSON: {error}") from None
+    if not isinstance(config, dict):
+        raise ParameterError("platform JSON must be an object at the top level")
+    return platform_from_dict(config)
+
+
+def load_platform(path: str | Path) -> Platform:
+    """Build a :class:`Platform` from a JSON file on disk."""
+    return platform_from_json(Path(path).read_text())

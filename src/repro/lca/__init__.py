@@ -1,0 +1,18 @@
+"""LCA comparison layer: top-down estimates and Table 12 reproduction."""
+
+from repro.lca.comparison import (
+    COMPARISON_CASES,
+    ComparisonCase,
+    ComparisonResult,
+    compare_all,
+)
+from repro.lca.topdown import TopDownEstimate, topdown_ic_estimate
+
+__all__ = [
+    "COMPARISON_CASES",
+    "ComparisonCase",
+    "ComparisonResult",
+    "TopDownEstimate",
+    "compare_all",
+    "topdown_ic_estimate",
+]

@@ -1,0 +1,52 @@
+"""Top-down (LCA-style) IC footprint estimation (Figure 4's grey path).
+
+Industry product environmental reports publish one whole-device number per
+life-cycle phase.  The best a designer can do top-down is: take the
+manufacturing slice, apply the ~44% industry-average IC share.  This module
+implements exactly that — deliberately coarse, to contrast with the
+bottom-up per-IC breakdown the ACT model provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.parameters import require_fraction
+from repro.data.devices import (
+    IC_SHARE_OF_MANUFACTURING,
+    DeviceReport,
+    device_report,
+)
+
+
+@dataclass(frozen=True)
+class TopDownEstimate:
+    """A top-down IC footprint estimate with its inputs."""
+
+    device: str
+    total_kg: float
+    manufacturing_kg: float
+    ic_share: float
+    ic_kg: float
+
+
+def topdown_ic_estimate(
+    device: str | DeviceReport, ic_share: float = IC_SHARE_OF_MANUFACTURING
+) -> TopDownEstimate:
+    """Estimate a device's IC embodied footprint from its product report.
+
+    Args:
+        device: A device name (looked up in the bundled reports) or a
+            :class:`DeviceReport`.
+        ic_share: Fraction of the manufacturing footprint owed to ICs.
+    """
+    require_fraction("ic_share", ic_share)
+    report = device if isinstance(device, DeviceReport) else device_report(device)
+    manufacturing = report.manufacturing_kg
+    return TopDownEstimate(
+        device=report.name,
+        total_kg=report.total_kg,
+        manufacturing_kg=manufacturing,
+        ic_share=ic_share,
+        ic_kg=manufacturing * ic_share,
+    )

@@ -1,0 +1,33 @@
+"""Fleet / lifetime-extension modeling (the Recycle case study)."""
+
+from repro.lifetime.efficiency_scaling import (
+    PAPER_ANNUAL_IMPROVEMENT,
+    average_relative_energy_over_life,
+    catalog_annual_improvement,
+    relative_energy_at_year,
+)
+from repro.lifetime.fleet import (
+    FleetScenario,
+    LifetimePoint,
+    extension_saving,
+    finite_horizon_footprint,
+    lifetime_sweep,
+    mobile_scenario,
+    optimal_lifetime,
+    steady_state_annual_footprint,
+)
+
+__all__ = [
+    "FleetScenario",
+    "LifetimePoint",
+    "PAPER_ANNUAL_IMPROVEMENT",
+    "average_relative_energy_over_life",
+    "catalog_annual_improvement",
+    "extension_saving",
+    "finite_horizon_footprint",
+    "lifetime_sweep",
+    "mobile_scenario",
+    "optimal_lifetime",
+    "relative_energy_at_year",
+    "steady_state_annual_footprint",
+]

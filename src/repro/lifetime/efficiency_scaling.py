@@ -1,0 +1,47 @@
+"""Generational energy-efficiency scaling of mobile hardware.
+
+Figure 14 (left) measures, across Snapdragon / Exynos / Kirin generations
+and the seven-workload mobile suite, an average annual energy-efficiency
+improvement of ~1.21x.  This module exposes that rate — computed live from
+the SoC catalog's per-family log-linear regressions — and the discounting
+helpers the lifetime study builds on: a device purchased in year ``t``
+consumes ``1 / rate**t`` of today's energy for the same work, and keeps
+that efficiency for its whole service life.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.parameters import require_positive
+from repro.platforms.mobile import annual_efficiency_improvement
+
+#: The paper's headline rate (Figure 14 left).
+PAPER_ANNUAL_IMPROVEMENT = 1.21
+
+
+def catalog_annual_improvement() -> float:
+    """The geomean annual efficiency gain measured from the SoC catalog."""
+    return annual_efficiency_improvement()["geomean"]
+
+
+def relative_energy_at_year(purchase_year: float, rate: float) -> float:
+    """Energy per unit work of a device bought ``purchase_year`` years from
+    now, relative to a device bought today."""
+    require_positive("rate", rate)
+    return rate**-purchase_year
+
+
+def average_relative_energy_over_life(lifetime_years: float, rate: float) -> float:
+    """Average energy multiplier of a replace-every-L-years policy.
+
+    In steady state the in-service device's age is uniform over [0, L); a
+    device of age ``a`` burns ``rate**a`` of the energy a brand-new device
+    would.  The closed-form average is ``(rate**L - 1) / (L * ln(rate))``.
+    """
+    require_positive("lifetime_years", lifetime_years)
+    require_positive("rate", rate)
+    if rate == 1.0:
+        return 1.0
+    log_rate = math.log(rate)
+    return (rate**lifetime_years - 1.0) / (lifetime_years * log_rate)

@@ -1,0 +1,53 @@
+"""Platform assembly: catalog chipsets to ACT platforms and design points."""
+
+from repro.platforms.mobile import (
+    EfficiencyTrend,
+    annual_efficiency_improvement,
+    design_space,
+    family_efficiency_trend,
+    soc_design_point,
+    soc_embodied_g,
+    soc_platform,
+)
+from repro.platforms.storage import (
+    DriveSpec,
+    TierAssessment,
+    assess_tier,
+    enterprise_hdd,
+    enterprise_ssd,
+    tier_comparison,
+)
+from repro.platforms.server import (
+    DEFAULT_PUE,
+    DEFAULT_SERVER_LIFETIME_YEARS,
+    FleetSummary,
+    ServerConfig,
+    consolidation_saving,
+    dell_r740_config,
+    fleet_footprint,
+    server_lifecycle,
+)
+
+__all__ = [
+    "DEFAULT_PUE",
+    "DEFAULT_SERVER_LIFETIME_YEARS",
+    "DriveSpec",
+    "EfficiencyTrend",
+    "FleetSummary",
+    "ServerConfig",
+    "TierAssessment",
+    "annual_efficiency_improvement",
+    "assess_tier",
+    "consolidation_saving",
+    "dell_r740_config",
+    "design_space",
+    "enterprise_hdd",
+    "enterprise_ssd",
+    "family_efficiency_trend",
+    "fleet_footprint",
+    "server_lifecycle",
+    "soc_design_point",
+    "soc_embodied_g",
+    "soc_platform",
+    "tier_comparison",
+]

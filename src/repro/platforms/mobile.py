@@ -1,0 +1,129 @@
+"""Mobile platform assembly: from catalog chipsets to ACT design points.
+
+Bridges the SoC catalog + workload substrate into the core model:
+
+* :func:`soc_platform` — the Eq. 3 platform (SoC die + DRAM + packaging)
+  behind each Figure 8(c) embodied-carbon bar.
+* :func:`soc_design_point` — the (C, E, D, A) tuple each Table 2 metric
+  consumes for Figure 8(d).
+* :func:`design_space` — all thirteen chipsets at once.
+* :func:`annual_efficiency_improvement` — the per-family log-linear
+  efficiency regression behind Figure 14 (left).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.components import DramComponent, LogicComponent
+from repro.core.metrics import DesignPoint
+from repro.core.model import Platform
+from repro.data.soc_catalog import (
+    FAMILIES,
+    MobileSoc,
+    all_socs,
+    family_socs,
+)
+from repro.workloads.geekbench import aggregate_delay_s, aggregate_energy_kwh
+
+
+def soc_platform(soc: MobileSoc) -> Platform:
+    """The ACT platform for one chipset: SoC die plus its DRAM.
+
+    The SoC die is manufactured in the default fab for its node; DRAM uses
+    the era-appropriate Table 9 technology recorded in the catalog.
+    """
+    return Platform(
+        soc.name,
+        (
+            LogicComponent.at_node(soc.name, soc.die_area_mm2, soc.node),
+            DramComponent.of(
+                f"{soc.name} DRAM", soc.dram_gb, soc.dram_technology
+            ),
+        ),
+    )
+
+
+def soc_embodied_g(soc: MobileSoc) -> float:
+    """Embodied carbon (g CO2) of the chipset platform (Figure 8(c))."""
+    return soc_platform(soc).embodied_g()
+
+
+def soc_design_point(soc: MobileSoc) -> DesignPoint:
+    """The metric inputs (C, E, D, A) for one chipset.
+
+    Energy and delay are the geometric means over the seven-workload mobile
+    suite, matching the paper's methodology.
+    """
+    return DesignPoint(
+        name=soc.name,
+        embodied_carbon_g=soc_embodied_g(soc),
+        energy_kwh=aggregate_energy_kwh(soc),
+        delay_s=aggregate_delay_s(soc),
+        area_mm2=soc.die_area_mm2,
+    )
+
+
+def design_space(socs: tuple[MobileSoc, ...] | None = None) -> tuple[DesignPoint, ...]:
+    """Design points for a set of chipsets (default: the full catalog)."""
+    if socs is None:
+        socs = all_socs()
+    return tuple(soc_design_point(soc) for soc in socs)
+
+
+@dataclass(frozen=True)
+class EfficiencyTrend:
+    """Annual energy-efficiency improvement of one SoC family.
+
+    Attributes:
+        family: SoC family name.
+        annual_improvement: Multiplicative year-over-year efficiency gain
+            (e.g. 1.21 means 21%/year).
+        base_year: Earliest release year in the regression.
+    """
+
+    family: str
+    annual_improvement: float
+    base_year: int
+
+
+def family_efficiency_trend(family: str) -> EfficiencyTrend:
+    """Log-linear regression of efficiency vs release year for one family."""
+    socs = family_socs(family)
+    if len(socs) < 2:
+        raise ValueError(f"family {family!r} has too few chipsets to regress")
+    years = [float(soc.year) for soc in socs]
+    log_eff = [math.log(soc.efficiency) for soc in socs]
+    slope = _regression_slope(years, log_eff)
+    return EfficiencyTrend(
+        family=family,
+        annual_improvement=math.exp(slope),
+        base_year=int(min(years)),
+    )
+
+
+def _regression_slope(xs: list[float], ys: list[float]) -> float:
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    covariance = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    variance = sum((x - mean_x) ** 2 for x in xs)
+    if variance == 0:
+        raise ValueError("all chipsets share one release year; cannot regress")
+    return covariance / variance
+
+
+def annual_efficiency_improvement() -> dict[str, float]:
+    """Per-family annual efficiency gains plus their geometric mean.
+
+    This regenerates Figure 14 (left); the paper reports a 1.21x geomean.
+    """
+    trends = {
+        family: family_efficiency_trend(family).annual_improvement
+        for family in FAMILIES
+    }
+    trends["geomean"] = math.prod(
+        trends[family] for family in FAMILIES
+    ) ** (1.0 / len(FAMILIES))
+    return trends

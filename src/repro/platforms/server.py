@@ -1,0 +1,226 @@
+"""Server and datacenter platform modeling.
+
+The paper positions CDP as the metric for "high performance sustainable
+systems such as data center hardware" and uses the Dell R740 as its server
+exemplar.  This module builds server-class ACT platforms (sockets, DIMMs,
+drive bays), applies the datacenter operational model (PUE on top of IT
+power, 3-5 year lifetimes per Barroso et al.), and aggregates to fleet
+scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.components import (
+    DramComponent,
+    HddComponent,
+    LogicComponent,
+    SsdComponent,
+)
+from repro.core.model import Platform, device_footprint
+from repro.core.parameters import require_positive
+from repro.core.result import CarbonReport
+
+#: Typical datacenter power usage effectiveness (facility/IT energy).
+DEFAULT_PUE = 1.2
+
+#: Server lifetimes in datacenters are 3-5 years (Section 3.1).
+DEFAULT_SERVER_LIFETIME_YEARS = 4.0
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """A rack server's bill of ICs.
+
+    Attributes:
+        name: Configuration name.
+        cpu_sockets: Number of CPU packages.
+        cpu_die_area_mm2: Die area per CPU package.
+        cpu_node: CPU process node.
+        dram_gb: Total installed DRAM.
+        dram_technology: Table 9 technology for the DIMMs.
+        ssd_gb: Total flash capacity (0 for none).
+        ssd_technology: Table 10 technology for the drives.
+        hdd_gb: Total disk capacity (0 for none).
+        hdd_model: Table 11 model for the disks.
+        other_ic_count: Misc packaged ICs (NICs, BMC, VRMs, ...).
+        idle_power_w / busy_power_w: IT power at idle and full load.
+    """
+
+    name: str
+    cpu_sockets: int = 2
+    cpu_die_area_mm2: float = 540.0
+    cpu_node: str = "14"
+    dram_gb: float = 384.0
+    dram_technology: str = "ddr4_10nm"
+    ssd_gb: float = 3840.0
+    ssd_technology: str = "nand_v3_tlc"
+    hdd_gb: float = 0.0
+    hdd_model: str = "exos_x16"
+    other_ic_count: int = 20
+    idle_power_w: float = 120.0
+    busy_power_w: float = 420.0
+
+    def __post_init__(self) -> None:
+        require_positive("cpu_sockets", self.cpu_sockets)
+        require_positive("cpu_die_area_mm2", self.cpu_die_area_mm2)
+
+    def platform(self) -> Platform:
+        """The ACT platform for this configuration."""
+        components = [
+            LogicComponent.at_node(
+                f"{self.name} CPUs",
+                self.cpu_die_area_mm2 * self.cpu_sockets,
+                self.cpu_node,
+                ics=self.cpu_sockets,
+            ),
+            DramComponent.of(
+                f"{self.name} DRAM", self.dram_gb, self.dram_technology,
+                ics=max(1, int(self.dram_gb // 32)),
+            ),
+            # Miscellaneous packaged parts: counted for Kr, given a small
+            # logic area on a mature node.
+            LogicComponent.at_node(
+                f"{self.name} other ICs",
+                20.0 * self.other_ic_count,
+                "28",
+                category="other",
+                ics=self.other_ic_count,
+            ),
+        ]
+        if self.ssd_gb > 0:
+            components.append(
+                SsdComponent.of(
+                    f"{self.name} SSD", self.ssd_gb, self.ssd_technology,
+                    ics=max(1, int(self.ssd_gb // 3840)),
+                )
+            )
+        if self.hdd_gb > 0:
+            components.append(
+                HddComponent.of(
+                    f"{self.name} HDD", self.hdd_gb, self.hdd_model,
+                    ics=max(1, int(self.hdd_gb // 16000)),
+                )
+            )
+        return Platform(self.name, tuple(components))
+
+    def average_power_w(self, utilization: float) -> float:
+        """Linear idle-to-busy power model at a given utilization."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+        return self.idle_power_w + utilization * (
+            self.busy_power_w - self.idle_power_w
+        )
+
+
+def dell_r740_config(storage: str = "ssd") -> ServerConfig:
+    """The paper's server exemplar in its two Table 12 storage builds."""
+    if storage == "ssd":
+        return ServerConfig(name="Dell R740 (31TB flash)", ssd_gb=31000.0)
+    if storage == "boot":
+        return ServerConfig(name="Dell R740 (400GB boot)", ssd_gb=400.0)
+    if storage == "hdd":
+        return ServerConfig(
+            name="Dell R740 (HDD)", ssd_gb=400.0, hdd_gb=48000.0
+        )
+    raise ValueError(f"unknown storage build {storage!r}; use ssd/boot/hdd")
+
+
+def server_lifecycle(
+    config: ServerConfig,
+    *,
+    ci_use_g_per_kwh: float,
+    utilization: float = 0.5,
+    pue: float = DEFAULT_PUE,
+    lifetime_years: float = DEFAULT_SERVER_LIFETIME_YEARS,
+) -> CarbonReport:
+    """Whole-lifetime footprint of one server in a datacenter.
+
+    PUE enters as the utilization-effectiveness multiplier of Figure 5;
+    the server runs continuously at ``utilization`` for its lifetime.
+    """
+    require_positive("pue", pue)
+    return device_footprint(
+        config.platform(),
+        average_power_w=config.average_power_w(utilization),
+        ci_use_g_per_kwh=ci_use_g_per_kwh,
+        lifetime_years=lifetime_years,
+        utilization=1.0,  # always on; load level is in average_power_w
+        effectiveness=pue,
+    )
+
+
+@dataclass(frozen=True)
+class FleetSummary:
+    """Aggregate footprint of a homogeneous server fleet."""
+
+    servers: int
+    per_server: CarbonReport
+    total_kg: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "total_kg", self.servers * self.per_server.total_kg
+        )
+
+    @property
+    def embodied_share(self) -> float:
+        return self.per_server.embodied_share
+
+
+def fleet_footprint(
+    config: ServerConfig,
+    servers: int,
+    *,
+    ci_use_g_per_kwh: float,
+    utilization: float = 0.5,
+    pue: float = DEFAULT_PUE,
+    lifetime_years: float = DEFAULT_SERVER_LIFETIME_YEARS,
+) -> FleetSummary:
+    """Lifetime footprint of ``servers`` identical machines."""
+    require_positive("servers", servers)
+    report = server_lifecycle(
+        config,
+        ci_use_g_per_kwh=ci_use_g_per_kwh,
+        utilization=utilization,
+        pue=pue,
+        lifetime_years=lifetime_years,
+    )
+    return FleetSummary(servers=servers, per_server=report)
+
+
+def consolidation_saving(
+    config: ServerConfig,
+    *,
+    demand_server_equivalents: float,
+    low_utilization: float = 0.25,
+    high_utilization: float = 0.75,
+    ci_use_g_per_kwh: float,
+    pue: float = DEFAULT_PUE,
+) -> float:
+    """Footprint ratio of a sprawling fleet vs a consolidated one.
+
+    The paper's Reuse tenet includes "co-locating apps for utilization":
+    serving the same demand with fewer, busier machines amortizes embodied
+    carbon.  Returns (sprawled fleet footprint) / (consolidated fleet
+    footprint) for equal delivered work.
+    """
+    require_positive("demand_server_equivalents", demand_server_equivalents)
+    if not 0.0 < low_utilization < high_utilization <= 1.0:
+        raise ValueError("need 0 < low_utilization < high_utilization <= 1")
+    sprawled_count = demand_server_equivalents / low_utilization
+    consolidated_count = demand_server_equivalents / high_utilization
+
+    def fleet_total(count: float, utilization: float) -> float:
+        per_server = server_lifecycle(
+            config,
+            ci_use_g_per_kwh=ci_use_g_per_kwh,
+            utilization=utilization,
+            pue=pue,
+        )
+        return count * per_server.total_kg
+
+    return fleet_total(sprawled_count, low_utilization) / fleet_total(
+        consolidated_count, high_utilization
+    )

@@ -1,0 +1,166 @@
+"""Storage-tier carbon analysis: flash vs disk for bulk capacity.
+
+Tables 10-11 give the embodied side (enterprise disks sit several times
+below flash per GB); this module adds the operational side (drive power
+over the service life) and compares complete storage fleets per TB-year of
+provisioned capacity — the decision a capacity planner actually faces.
+The performance axis is deliberately out of scope: this is the carbon half
+of the trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.components import HddComponent, SsdComponent
+from repro.core.model import Platform, device_footprint
+from repro.core.parameters import require_non_negative, require_positive
+from repro.core.result import CarbonReport
+
+
+@dataclass(frozen=True)
+class DriveSpec:
+    """One storage device model.
+
+    Attributes:
+        name: Drive label.
+        kind: ``"ssd"`` or ``"hdd"``.
+        capacity_gb: Usable capacity per drive.
+        technology: Table 10 technology / Table 11 model name.
+        active_power_w: Power while serving I/O.
+        idle_power_w: Power while spun up / powered but idle.
+    """
+
+    name: str
+    kind: str
+    capacity_gb: float
+    technology: str
+    active_power_w: float
+    idle_power_w: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ssd", "hdd"):
+            raise ValueError(f"kind must be ssd or hdd, got {self.kind!r}")
+        require_positive("capacity_gb", self.capacity_gb)
+        require_non_negative("active_power_w", self.active_power_w)
+        require_non_negative("idle_power_w", self.idle_power_w)
+
+    def component(self):
+        """The ACT component for one drive."""
+        if self.kind == "ssd":
+            return SsdComponent.of(self.name, self.capacity_gb, self.technology)
+        return HddComponent.of(self.name, self.capacity_gb, self.technology)
+
+    def embodied_g(self) -> float:
+        """Embodied carbon of one drive (excluding packaging)."""
+        return self.component().embodied_g()
+
+    def average_power_w(self, duty_cycle: float) -> float:
+        """Mean power at an I/O duty cycle (active fraction)."""
+        if not 0.0 <= duty_cycle <= 1.0:
+            raise ValueError(f"duty_cycle must be in [0, 1], got {duty_cycle}")
+        return self.idle_power_w + duty_cycle * (
+            self.active_power_w - self.idle_power_w
+        )
+
+
+def enterprise_ssd(capacity_gb: float = 3840.0) -> DriveSpec:
+    """A data-center NVMe flash drive (V3-TLC class)."""
+    return DriveSpec(
+        name="enterprise SSD",
+        kind="ssd",
+        capacity_gb=capacity_gb,
+        technology="nand_v3_tlc",
+        active_power_w=9.0,
+        idle_power_w=2.0,
+    )
+
+
+def enterprise_hdd(capacity_gb: float = 16000.0) -> DriveSpec:
+    """A helium capacity disk (Exos X16 class)."""
+    return DriveSpec(
+        name="enterprise HDD",
+        kind="hdd",
+        capacity_gb=capacity_gb,
+        technology="exos_x16",
+        active_power_w=10.0,
+        idle_power_w=5.6,
+    )
+
+
+@dataclass(frozen=True)
+class TierAssessment:
+    """Carbon accounting of one drive choice for a capacity target."""
+
+    drive: DriveSpec
+    drives_needed: int
+    lifecycle: CarbonReport
+    service_tb_years: float
+
+    @property
+    def total_kg(self) -> float:
+        return self.lifecycle.total_kg
+
+    @property
+    def kg_per_tb_year(self) -> float:
+        """The planner's figure of merit."""
+        return self.total_kg / self.service_tb_years
+
+
+def assess_tier(
+    drive: DriveSpec,
+    *,
+    capacity_tb: float,
+    ci_use_g_per_kwh: float,
+    duty_cycle: float = 0.2,
+    lifetime_years: float = 4.0,
+    pue: float = 1.2,
+) -> TierAssessment:
+    """Evaluate one drive model against a provisioned-capacity target."""
+    require_positive("capacity_tb", capacity_tb)
+    require_positive("lifetime_years", lifetime_years)
+    count = max(
+        1, -(-int(capacity_tb * 1000.0) // int(drive.capacity_gb))
+    )  # ceil division
+    platform = Platform(
+        f"{drive.name} x{count}",
+        tuple(drive.component() for _ in range(count)),
+    )
+    lifecycle = device_footprint(
+        platform,
+        average_power_w=drive.average_power_w(duty_cycle) * count,
+        ci_use_g_per_kwh=ci_use_g_per_kwh,
+        lifetime_years=lifetime_years,
+        effectiveness=pue,
+    )
+    return TierAssessment(
+        drive=drive,
+        drives_needed=count,
+        lifecycle=lifecycle,
+        service_tb_years=capacity_tb * lifetime_years,
+    )
+
+
+def tier_comparison(
+    *,
+    capacity_tb: float = 100.0,
+    ci_use_g_per_kwh: float = 380.0,
+    duty_cycle: float = 0.2,
+    lifetime_years: float = 4.0,
+) -> tuple[TierAssessment, TierAssessment]:
+    """(SSD assessment, HDD assessment) for one capacity target.
+
+    With Table 10/11 factors and representative drive power, capacity
+    storage on enterprise disks undercuts flash on *both* carbon axes —
+    the flash tier's justification is performance, not footprint.
+    """
+    kwargs = dict(
+        capacity_tb=capacity_tb,
+        ci_use_g_per_kwh=ci_use_g_per_kwh,
+        duty_cycle=duty_cycle,
+        lifetime_years=lifetime_years,
+    )
+    return (
+        assess_tier(enterprise_ssd(), **kwargs),
+        assess_tier(enterprise_hdd(), **kwargs),
+    )

@@ -1,0 +1,149 @@
+"""Reuse case study: re-configurable accelerators (Section 6.2, Figure 11).
+
+Based on the SMIV 16 nm SoC (dual-core Arm Cortex-A53 CPUs, a specialized AI
+accelerator, and an embedded FPGA), the paper compares three designs across
+three applications — FIR filtering, AES encryption, and AI inference:
+
+* FPGA: 50x / 80x / 24x the CPU's performance (geomean 45x);
+* the AI ASIC ("Accel"): 26x on AI, host CPU for everything else;
+* energy on AI: ASIC 44x below CPU and 5x below FPGA;
+* embodied: the CPU-only design is 1.3x / 1.8x below Accel / FPGA designs.
+
+The measured speedup/efficiency ratios are encoded as the workload
+substrate (they are silicon measurements in the paper); embodied carbon is
+computed bottom-up from each design's 16 nm die area through the ACT model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core import units
+from repro.core.components import LogicComponent
+from repro.core.errors import UnknownEntryError
+from repro.core.metrics import DesignPoint
+from repro.core.model import Platform
+
+#: SMIV is a 16 nm SoC.
+SMIV_NODE = 16
+
+#: Die areas (mm^2): the CPU subsystem, and the extra silicon each
+#: alternative adds.  Chosen so design-level embodied ratios are 1.3x
+#: (CPU+Accel) and 1.8x (CPU+FPGA) over CPU-only, matching Figure 11.
+CPU_AREA_MM2 = 5.0
+ACCEL_EXTRA_AREA_MM2 = 1.5
+FPGA_EXTRA_AREA_MM2 = 4.0
+
+APPLICATIONS: tuple[str, ...] = ("FIR", "AES", "AI")
+
+
+@dataclass(frozen=True)
+class AppMeasurement:
+    """One (application, design) silicon measurement.
+
+    Attributes:
+        latency_s: Time per unit of application work.
+        power_w: Average power while running.
+    """
+
+    latency_s: float
+    power_w: float
+
+    @property
+    def energy_j(self) -> float:
+        return self.latency_s * self.power_w
+
+
+#: CPU baselines per application (per-item latency/power).
+_CPU_BASELINES: dict[str, AppMeasurement] = {
+    "FIR": AppMeasurement(2.0e-3, 0.35),
+    "AES": AppMeasurement(4.0e-3, 0.40),
+    "AI": AppMeasurement(120.0e-3, 0.50),
+}
+
+#: Speedups over the CPU per application (paper Figure 11, top).
+_SPEEDUPS: dict[str, dict[str, float]] = {
+    "CPU": {"FIR": 1.0, "AES": 1.0, "AI": 1.0},
+    "Accel": {"FIR": 1.0, "AES": 1.0, "AI": 26.0},  # host CPU runs FIR/AES
+    "FPGA": {"FIR": 50.0, "AES": 80.0, "AI": 24.0},
+}
+
+#: Energy reduction factors vs the CPU per application (Figure 11, bottom
+#: left: ASIC 44x below CPU on AI and 5x below FPGA ⇒ FPGA 8.8x below CPU;
+#: FIR/AES FPGA factors assume the speedup comes at roughly 2x CPU power).
+_ENERGY_REDUCTION: dict[str, dict[str, float]] = {
+    "CPU": {"FIR": 1.0, "AES": 1.0, "AI": 1.0},
+    "Accel": {"FIR": 1.0, "AES": 1.0, "AI": 44.0},
+    "FPGA": {"FIR": 25.0, "AES": 40.0, "AI": 8.8},
+}
+
+DESIGNS: tuple[str, ...] = ("CPU", "Accel", "FPGA")
+
+
+def design_area_mm2(design: str) -> float:
+    """Total silicon area of one design."""
+    extras = {"CPU": 0.0, "Accel": ACCEL_EXTRA_AREA_MM2, "FPGA": FPGA_EXTRA_AREA_MM2}
+    if design not in extras:
+        raise UnknownEntryError("SMIV design", design, DESIGNS)
+    return CPU_AREA_MM2 + extras[design]
+
+
+def design_platform(design: str) -> Platform:
+    """The ACT platform (16 nm silicon) for one design."""
+    area = design_area_mm2(design)
+    die = LogicComponent.at_node(f"SMIV {design}", area, SMIV_NODE)
+    return Platform(f"SMIV {design}", (die,), packaging_g_per_ic=0.0)
+
+
+def design_embodied_g(design: str) -> float:
+    """Embodied carbon of one design (Figure 11, bottom right)."""
+    return design_platform(design).embodied_g()
+
+
+def measurement(design: str, application: str) -> AppMeasurement:
+    """Latency/power of ``application`` on ``design``.
+
+    Derived from the CPU baseline and the measured speedup/efficiency
+    ratios: latency divides by the speedup; energy divides by the energy
+    reduction; power is whatever ratio of the two implies.
+    """
+    if design not in DESIGNS:
+        raise UnknownEntryError("SMIV design", design, DESIGNS)
+    if application not in APPLICATIONS:
+        raise UnknownEntryError("SMIV application", application, APPLICATIONS)
+    base = _CPU_BASELINES[application]
+    latency = base.latency_s / _SPEEDUPS[design][application]
+    energy = base.energy_j / _ENERGY_REDUCTION[design][application]
+    return AppMeasurement(latency_s=latency, power_w=energy / latency)
+
+
+def speedup(design: str, application: str) -> float:
+    """Throughput relative to the CPU."""
+    return _SPEEDUPS[design][application]
+
+
+def geomean_speedup(design: str) -> float:
+    """Geometric-mean speedup across the three applications."""
+    return math.prod(speedup(design, app) for app in APPLICATIONS) ** (
+        1.0 / len(APPLICATIONS)
+    )
+
+
+def design_point(design: str) -> DesignPoint:
+    """Geomean metric inputs for one design (Figure 11's metric summary)."""
+    delays = [measurement(design, app).latency_s for app in APPLICATIONS]
+    energies = [measurement(design, app).energy_j for app in APPLICATIONS]
+    n = len(APPLICATIONS)
+    return DesignPoint(
+        name=design,
+        embodied_carbon_g=design_embodied_g(design),
+        energy_kwh=units.joules_to_kwh(math.prod(energies) ** (1.0 / n)),
+        delay_s=math.prod(delays) ** (1.0 / n),
+        area_mm2=design_area_mm2(design),
+    )
+
+
+def design_points() -> tuple[DesignPoint, ...]:
+    """Metric inputs for all three designs."""
+    return tuple(design_point(design) for design in DESIGNS)

@@ -1,0 +1,39 @@
+"""SSD reliability substrate: write amplification, lifetime, provisioning."""
+
+from repro.reliability.provisioning import (
+    DEFAULT_PF_SWEEP,
+    ProvisioningOptimum,
+    devices_needed,
+    effective_embodied,
+    normalized_effective_embodied,
+    optimal_over_provisioning,
+    second_life_saving,
+)
+from repro.reliability.ssd_lifetime import (
+    BASELINE_OVER_PROVISIONING,
+    FIRST_LIFE_YEARS,
+    SECOND_LIFE_YEARS,
+    ReliabilityPoint,
+    SsdWorkload,
+    lifetime_years,
+    reliability_curve,
+)
+from repro.reliability.write_amplification import write_amplification
+
+__all__ = [
+    "BASELINE_OVER_PROVISIONING",
+    "DEFAULT_PF_SWEEP",
+    "FIRST_LIFE_YEARS",
+    "ProvisioningOptimum",
+    "ReliabilityPoint",
+    "SECOND_LIFE_YEARS",
+    "SsdWorkload",
+    "devices_needed",
+    "effective_embodied",
+    "lifetime_years",
+    "normalized_effective_embodied",
+    "optimal_over_provisioning",
+    "reliability_curve",
+    "second_life_saving",
+    "write_amplification",
+]

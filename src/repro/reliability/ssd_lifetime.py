@@ -1,0 +1,101 @@
+"""SSD endurance lifetime model (Section 8, after Meza et al.).
+
+The paper models storage lifetime as::
+
+    Lifetime (years) = PEC * (1 + PF) / (365 * DWPD * WA * R_compress)
+
+where PEC is the NAND program/erase-cycle endurance, PF the
+over-provisioning factor, DWPD full physical disk-writes per day, WA the
+write-amplification factor, and R_compress the storage compression rate.
+Following the paper we fix PEC, DWPD, and R_compress (values calibrated so
+16% over-provisioning sustains one ~2-year mobile life and 34% sustains a
+~4-year second life, Figure 15's anchor points) and sweep PF, with WA
+derived from PF via :mod:`repro.reliability.write_amplification`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.parameters import require_positive
+from repro.reliability.write_amplification import write_amplification
+
+#: NAND program/erase-cycle endurance (MLC-class flash).
+DEFAULT_PEC = 3000.0
+
+#: Full physical disk writes per day the workload applies.
+DEFAULT_DWPD = 1.28
+
+#: Storage compression rate (1.0 = incompressible data).
+DEFAULT_COMPRESSION = 1.0
+
+#: The Figure 15 baseline over-provisioning factor.
+BASELINE_OVER_PROVISIONING = 0.04
+
+#: One mobile life (~2 years) and a second life (~4 years of total service).
+FIRST_LIFE_YEARS = 2.0
+SECOND_LIFE_YEARS = 4.0
+
+
+@dataclass(frozen=True)
+class SsdWorkload:
+    """The fixed endurance-workload parameters of the lifetime equation."""
+
+    pec: float = DEFAULT_PEC
+    dwpd: float = DEFAULT_DWPD
+    compression: float = DEFAULT_COMPRESSION
+
+    def __post_init__(self) -> None:
+        require_positive("pec", self.pec)
+        require_positive("dwpd", self.dwpd)
+        require_positive("compression", self.compression)
+
+
+def lifetime_years(
+    over_provisioning: float,
+    workload: SsdWorkload = SsdWorkload(),
+    wa: float | None = None,
+) -> float:
+    """Endurance lifetime in years for an over-provisioning factor.
+
+    Args:
+        over_provisioning: Spare capacity fraction ``PF``.
+        workload: Fixed PEC/DWPD/compression parameters.
+        wa: Optional explicit write-amplification factor; derived from
+            ``over_provisioning`` by default.
+    """
+    require_positive("over_provisioning", over_provisioning)
+    if wa is None:
+        wa = write_amplification(over_provisioning)
+    return (
+        workload.pec
+        * (1.0 + over_provisioning)
+        / (365.0 * workload.dwpd * wa * workload.compression)
+    )
+
+
+@dataclass(frozen=True)
+class ReliabilityPoint:
+    """One x-position of Figure 15 (top): PF, WA, and resulting lifetime."""
+
+    over_provisioning: float
+    write_amplification: float
+    lifetime_years: float
+
+
+def reliability_curve(
+    over_provisioning_values: tuple[float, ...],
+    workload: SsdWorkload = SsdWorkload(),
+) -> tuple[ReliabilityPoint, ...]:
+    """WA and lifetime across an over-provisioning sweep."""
+    points = []
+    for pf in over_provisioning_values:
+        wa = write_amplification(pf)
+        points.append(
+            ReliabilityPoint(
+                over_provisioning=pf,
+                write_amplification=wa,
+                lifetime_years=lifetime_years(pf, workload, wa=wa),
+            )
+        )
+    return tuple(points)

@@ -1,0 +1,24 @@
+"""Reporting: text tables, figure-as-data containers, CSV/JSON export."""
+
+from repro.reporting.figures import FigureData, Series, series_from_pairs
+from repro.reporting.per import product_environmental_report
+from repro.reporting.serialize import (
+    figure_to_csv,
+    figure_to_json,
+    rows_to_csv,
+    series_to_csv,
+)
+from repro.reporting.tables import ascii_table, markdown_table
+
+__all__ = [
+    "FigureData",
+    "Series",
+    "ascii_table",
+    "figure_to_csv",
+    "figure_to_json",
+    "markdown_table",
+    "product_environmental_report",
+    "rows_to_csv",
+    "series_from_pairs",
+    "series_to_csv",
+]

@@ -1,0 +1,99 @@
+"""Figure-as-data containers.
+
+The paper's figures are regenerated as named numeric series rather than
+images: each :class:`Series` is an (x, y) sequence with labels, and a
+:class:`FigureData` groups the series that share one panel.  Benchmarks
+print them; tests assert on them; :mod:`repro.reporting.serialize` turns
+them into CSV/JSON for external plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted line/bar-set: parallel x and y sequences.
+
+    Attributes:
+        name: Legend label.
+        x: X positions (numbers or category labels).
+        y: Y values.
+    """
+
+    name: str
+    x: tuple[object, ...]
+    y: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "x", tuple(self.x))
+        object.__setattr__(self, "y", tuple(float(v) for v in self.y))
+        if len(self.x) != len(self.y):
+            raise ParameterError(
+                f"series {self.name!r}: x has {len(self.x)} points, "
+                f"y has {len(self.y)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def as_pairs(self) -> tuple[tuple[object, float], ...]:
+        """The series as (x, y) pairs."""
+        return tuple(zip(self.x, self.y))
+
+    def y_at(self, x_value: object) -> float:
+        """The y value at an exact x position."""
+        for x, y in zip(self.x, self.y):
+            if x == x_value:
+                return y
+        raise ParameterError(f"series {self.name!r} has no point at {x_value!r}")
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """A panel of related series.
+
+    Attributes:
+        title: Panel title (e.g. "Figure 6 (bottom): CPA vs node").
+        x_label: Meaning of the x axis.
+        y_label: Meaning of the y axis.
+        series: The plotted series.
+    """
+
+    title: str
+    x_label: str
+    y_label: str
+    series: tuple[Series, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "series", tuple(self.series))
+
+    def series_named(self, name: str) -> Series:
+        """Look up one series by legend label."""
+        for entry in self.series:
+            if entry.name == name:
+                return entry
+        available = [entry.name for entry in self.series]
+        raise ParameterError(
+            f"figure {self.title!r} has no series {name!r} (have {available})"
+        )
+
+    def render_text(self, float_format: str = ".4g") -> str:
+        """A plain-text rendering: one block per series."""
+        lines = [f"{self.title}  [{self.x_label} vs {self.y_label}]"]
+        for entry in self.series:
+            lines.append(f"  {entry.name}:")
+            for x, y in entry.as_pairs():
+                lines.append(f"    {x}: {format(y, float_format)}")
+        return "\n".join(lines)
+
+
+def series_from_pairs(name: str, pairs: Sequence[tuple[object, float]]) -> Series:
+    """Build a series from (x, y) pairs."""
+    xs = tuple(pair[0] for pair in pairs)
+    ys = tuple(pair[1] for pair in pairs)
+    return Series(name=name, x=xs, y=ys)

@@ -1,0 +1,79 @@
+"""Plain-text table rendering for experiment and CLI output.
+
+The benchmarks regenerate the paper's tables as rows of Python values;
+these helpers turn them into aligned ASCII or Markdown for humans, without
+pulling in any plotting or rich-text dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _stringify(value: object, float_format: str) -> str:
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def _normalize(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str,
+) -> tuple[list[str], list[list[str]]]:
+    header_cells = [str(header) for header in headers]
+    body = [
+        [_stringify(cell, float_format) for cell in row] for row in rows
+    ]
+    for index, row in enumerate(body):
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row {index} has {len(row)} cells, expected {len(header_cells)}"
+            )
+    return header_cells, body
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    float_format: str = ".3g",
+) -> str:
+    """Render an aligned fixed-width table.
+
+    Args:
+        headers: Column titles.
+        rows: Row cell values; floats are formatted with ``float_format``.
+        float_format: ``format()`` spec applied to float cells.
+    """
+    header_cells, body = _normalize(headers, rows, float_format)
+    widths = [len(cell) for cell in header_cells]
+    for row in body:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    rule = "  ".join("-" * width for width in widths)
+    lines = [render_row(header_cells), rule]
+    lines.extend(render_row(row) for row in body)
+    return "\n".join(lines)
+
+
+def markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    float_format: str = ".3g",
+) -> str:
+    """Render a GitHub-flavored Markdown table."""
+    header_cells, body = _normalize(headers, rows, float_format)
+    lines = [
+        "| " + " | ".join(header_cells) + " |",
+        "|" + "|".join(" --- " for _ in header_cells) + "|",
+    ]
+    lines.extend("| " + " | ".join(row) + " |" for row in body)
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Carbon-aware batch scheduling simulation."""
+
+from repro.scheduling.simulator import (
+    Job,
+    Placement,
+    Schedule,
+    nightly_batch_workload,
+    schedule_carbon_aware,
+    schedule_fifo,
+    scheduling_benefit,
+)
+
+__all__ = [
+    "Job",
+    "Placement",
+    "Schedule",
+    "nightly_batch_workload",
+    "schedule_carbon_aware",
+    "schedule_fifo",
+    "scheduling_benefit",
+]

@@ -1,0 +1,39 @@
+"""Workload substrates (Geekbench-style mobile suite)."""
+
+from repro.workloads.usage import (
+    Activity,
+    UsageProfile,
+    heavy_gamer_profile,
+    light_user_profile,
+    typical_smartphone_profile,
+)
+from repro.workloads.geekbench import (
+    WORKLOADS,
+    Workload,
+    WorkloadRun,
+    aggregate_delay_s,
+    aggregate_energy_kwh,
+    aggregate_speed,
+    run_suite,
+    run_workload,
+    workload,
+    workload_score,
+)
+
+__all__ = [
+    "Activity",
+    "UsageProfile",
+    "WORKLOADS",
+    "Workload",
+    "WorkloadRun",
+    "aggregate_delay_s",
+    "aggregate_energy_kwh",
+    "aggregate_speed",
+    "heavy_gamer_profile",
+    "light_user_profile",
+    "run_suite",
+    "run_workload",
+    "typical_smartphone_profile",
+    "workload",
+    "workload_score",
+]

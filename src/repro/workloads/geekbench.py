@@ -1,0 +1,170 @@
+"""A Geekbench-5-style mobile workload substrate.
+
+The paper measures mobile performance as "the geometric mean of seven mobile
+Geekbench 5 workloads: HTML 5 rendering, AES encryption, text compression,
+image compression, face detection, speech recognition, and AI-based image
+classification", averaged over chipsets in the wild.
+
+We reproduce that substrate synthetically: each chipset carries an aggregate
+score (see :mod:`repro.data.soc_catalog`), and each workload perturbs that
+aggregate with a family-specific tilt (Exynos/Snapdragon/Kirin microarchs
+have different relative strengths).  Tilts are normalized so the geometric
+mean across the seven workloads recovers the aggregate exactly, which keeps
+every Figure 8 calibration anchored to the catalog scores.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core import units
+from repro.core.errors import UnknownEntryError
+from repro.data.soc_catalog import EXYNOS, KIRIN, SNAPDRAGON, MobileSoc
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One of the seven Geekbench-style mobile workloads.
+
+    Attributes:
+        name: Canonical identifier (e.g. ``"aes"``).
+        label: Paper-facing label.
+        work_units: Abstract work per run; a chipset scoring ``S`` on this
+            workload finishes one run in ``work_units / S`` seconds.
+    """
+
+    name: str
+    label: str
+    work_units: float
+
+
+WORKLOADS: tuple[Workload, ...] = (
+    Workload("html5", "HTML 5 rendering", 900.0),
+    Workload("aes", "AES encryption", 600.0),
+    Workload("text_compression", "text compression", 750.0),
+    Workload("image_compression", "image compression", 800.0),
+    Workload("face_detection", "face detection", 1000.0),
+    Workload("speech_recognition", "speech recognition", 1100.0),
+    Workload("ai_classification", "AI image classification", 1200.0),
+)
+
+_WORKLOAD_BY_NAME = {workload.name: workload for workload in WORKLOADS}
+
+#: Family-specific relative strengths per workload.  Each row is normalized
+#: at import time so its geometric mean is exactly 1, keeping the aggregate
+#: catalog score authoritative.
+_RAW_TILTS: dict[str, dict[str, float]] = {
+    EXYNOS: {
+        "html5": 1.05,
+        "aes": 0.95,
+        "text_compression": 1.00,
+        "image_compression": 1.08,
+        "face_detection": 0.92,
+        "speech_recognition": 0.97,
+        "ai_classification": 1.04,
+    },
+    SNAPDRAGON: {
+        "html5": 0.98,
+        "aes": 1.10,
+        "text_compression": 1.02,
+        "image_compression": 0.96,
+        "face_detection": 1.05,
+        "speech_recognition": 1.00,
+        "ai_classification": 1.12,
+    },
+    KIRIN: {
+        "html5": 1.00,
+        "aes": 1.02,
+        "text_compression": 0.94,
+        "image_compression": 1.00,
+        "face_detection": 1.06,
+        "speech_recognition": 1.03,
+        "ai_classification": 1.15,
+    },
+}
+
+
+def _normalize_tilts() -> dict[str, dict[str, float]]:
+    normalized: dict[str, dict[str, float]] = {}
+    for family, tilts in _RAW_TILTS.items():
+        geomean = math.prod(tilts.values()) ** (1.0 / len(tilts))
+        normalized[family] = {
+            name: value / geomean for name, value in tilts.items()
+        }
+    return normalized
+
+
+FAMILY_TILTS: dict[str, dict[str, float]] = _normalize_tilts()
+
+
+def workload(name: str) -> Workload:
+    """Look up a workload by canonical name."""
+    key = name.strip().lower()
+    try:
+        return _WORKLOAD_BY_NAME[key]
+    except KeyError:
+        raise UnknownEntryError("workload", name, _WORKLOAD_BY_NAME) from None
+
+
+def workload_score(soc: MobileSoc, workload_name: str) -> float:
+    """The chipset's score on one workload (aggregate score × family tilt)."""
+    tilt = FAMILY_TILTS[soc.family][workload(workload_name).name]
+    return soc.perf_score * tilt
+
+
+@dataclass(frozen=True)
+class WorkloadRun:
+    """Measured execution of one workload on one chipset."""
+
+    soc: str
+    workload: str
+    score: float
+    delay_s: float
+    energy_kwh: float
+
+
+def run_workload(soc: MobileSoc, workload_name: str) -> WorkloadRun:
+    """Delay and energy for one workload run on ``soc``.
+
+    Delay is ``work_units / score`` seconds; energy is TDP × delay, matching
+    the paper's use of TDP as the power model.
+    """
+    spec = workload(workload_name)
+    score = workload_score(soc, workload_name)
+    delay_s = spec.work_units / score
+    energy_kwh = units.watts_times_seconds(soc.tdp_w, delay_s)
+    return WorkloadRun(
+        soc=soc.name,
+        workload=spec.name,
+        score=score,
+        delay_s=delay_s,
+        energy_kwh=energy_kwh,
+    )
+
+
+def run_suite(soc: MobileSoc) -> tuple[WorkloadRun, ...]:
+    """All seven workload runs for one chipset."""
+    return tuple(run_workload(soc, spec.name) for spec in WORKLOADS)
+
+
+def aggregate_delay_s(soc: MobileSoc) -> float:
+    """Geometric-mean delay across the suite (the Figure 8 "speed" basis)."""
+    runs = run_suite(soc)
+    return math.prod(run.delay_s for run in runs) ** (1.0 / len(runs))
+
+
+def aggregate_energy_kwh(soc: MobileSoc) -> float:
+    """Geometric-mean energy per workload across the suite."""
+    runs = run_suite(soc)
+    return math.prod(run.energy_kwh for run in runs) ** (1.0 / len(runs))
+
+
+def aggregate_speed(soc: MobileSoc) -> float:
+    """Aggregate mobile speed: geomean score across the suite.
+
+    By construction of the normalized tilts this equals the catalog's
+    aggregate ``perf_score``.
+    """
+    runs = run_suite(soc)
+    return math.prod(run.score for run in runs) ** (1.0 / len(runs))

@@ -1,0 +1,140 @@
+"""Mobile usage profiles: from behaviour to annual energy.
+
+The lifetime and provisioning studies need a defensible number for "how
+much energy does a phone use per year".  This module models a daily usage
+mix — screen-on activities at their power levels, standby the rest of the
+time, battery charging losses — and produces the annual energy and
+operational carbon that feed Eq. 2, consistent with the few-percent
+active-utilization figures the mobile-utilization literature reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import units
+from repro.core.errors import ParameterError
+from repro.core.parameters import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class Activity:
+    """One daily activity bucket.
+
+    Attributes:
+        name: Activity label (e.g. ``"video"``).
+        hours_per_day: Time spent in this bucket daily.
+        power_w: Average device power during the activity.
+    """
+
+    name: str
+    hours_per_day: float
+    power_w: float
+
+    def __post_init__(self) -> None:
+        require_non_negative("hours_per_day", self.hours_per_day)
+        require_non_negative("power_w", self.power_w)
+
+
+@dataclass(frozen=True)
+class UsageProfile:
+    """A daily usage mix with standby filling the remaining hours.
+
+    Attributes:
+        name: Profile label.
+        activities: Active buckets; their hours must fit in a day.
+        standby_power_w: Draw during the remaining hours.
+        charging_efficiency: Battery charging efficiency (wall energy =
+            device energy / efficiency).
+    """
+
+    name: str
+    activities: tuple[Activity, ...]
+    standby_power_w: float = 0.03
+    charging_efficiency: float = 0.9
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "activities", tuple(self.activities))
+        require_non_negative("standby_power_w", self.standby_power_w)
+        require_positive("charging_efficiency", self.charging_efficiency)
+        if self.charging_efficiency > 1.0:
+            raise ParameterError("charging_efficiency cannot exceed 1")
+        if self.active_hours_per_day > 24.0 + 1e-9:
+            raise ParameterError(
+                f"activities sum to {self.active_hours_per_day:.1f} h/day"
+            )
+
+    @property
+    def active_hours_per_day(self) -> float:
+        return sum(activity.hours_per_day for activity in self.activities)
+
+    @property
+    def utilization(self) -> float:
+        """Active fraction of the day."""
+        return self.active_hours_per_day / 24.0
+
+    def device_energy_wh_per_day(self) -> float:
+        """Energy drawn from the battery per day (Wh)."""
+        active = sum(
+            activity.hours_per_day * activity.power_w
+            for activity in self.activities
+        )
+        standby_hours = 24.0 - self.active_hours_per_day
+        return active + standby_hours * self.standby_power_w
+
+    def wall_energy_kwh_per_year(self) -> float:
+        """Annual energy drawn from the wall, including charging losses."""
+        daily_wh = self.device_energy_wh_per_day() / self.charging_efficiency
+        return daily_wh * units.DAYS_PER_YEAR / 1000.0
+
+    def annual_operational_g(self, ci_use_g_per_kwh: float) -> float:
+        """Eq. 2 per year of this behaviour."""
+        require_non_negative("ci_use_g_per_kwh", ci_use_g_per_kwh)
+        return self.wall_energy_kwh_per_year() * ci_use_g_per_kwh
+
+    def average_active_power_w(self) -> float:
+        """Mean power over active hours (0 if never active)."""
+        if self.active_hours_per_day == 0:
+            return 0.0
+        active_wh = sum(
+            activity.hours_per_day * activity.power_w
+            for activity in self.activities
+        )
+        return active_wh / self.active_hours_per_day
+
+
+def typical_smartphone_profile() -> UsageProfile:
+    """A representative daily smartphone mix (~4.5 screen-on hours)."""
+    return UsageProfile(
+        name="typical smartphone",
+        activities=(
+            Activity("browsing/social", 2.0, 1.2),
+            Activity("video", 1.5, 1.6),
+            Activity("camera", 0.3, 2.5),
+            Activity("gaming", 0.5, 3.5),
+            Activity("calls/audio", 0.7, 0.8),
+        ),
+    )
+
+
+def heavy_gamer_profile() -> UsageProfile:
+    """A heavy-use mix dominated by sustained gaming."""
+    return UsageProfile(
+        name="heavy gamer",
+        activities=(
+            Activity("gaming", 4.0, 3.8),
+            Activity("video", 2.0, 1.6),
+            Activity("browsing/social", 2.0, 1.2),
+        ),
+    )
+
+
+def light_user_profile() -> UsageProfile:
+    """A light mix: brief communication bursts, long standby."""
+    return UsageProfile(
+        name="light user",
+        activities=(
+            Activity("messaging", 0.8, 1.0),
+            Activity("calls/audio", 0.5, 0.8),
+        ),
+    )

@@ -1,0 +1,13 @@
+"""Shared pytest configuration for the test suite."""
+
+from hypothesis import HealthCheck, settings
+
+# Property tests exercise real model code (fab lookups, experiment runs);
+# disable the wall-clock deadline so slow CI machines don't flake, while
+# keeping the example counts configured per test.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=(HealthCheck.too_slow,),
+)
+settings.load_profile("repro")

@@ -1,0 +1,162 @@
+"""NVDLA-style NPU models: area, performance, energy, and the design sweep."""
+
+import pytest
+
+from repro.accelerators.area_model import (
+    AREA_PER_MAC_MM2_16NM,
+    area_per_mac_mm2,
+    npu_area_mm2,
+)
+from repro.accelerators.energy_model import (
+    REFERENCE_ENERGY_J,
+    REFERENCE_MACS,
+    average_power_w,
+    energy_per_inference_j,
+    relative_energy,
+)
+from repro.accelerators.nvdla import (
+    MAC_SWEEP,
+    QOS_TARGET_FPS,
+    design,
+    largest_within_area,
+    npu_platform,
+    qos_minimal_design,
+    sweep,
+)
+from repro.accelerators.perf_model import (
+    compute_latency_s,
+    latency_s,
+    meets_qos,
+    throughput_fps,
+)
+from repro.core.errors import ParameterError
+
+
+class TestAreaModel:
+    def test_area_linear_in_macs(self):
+        assert npu_area_mm2(2048, 16) == pytest.approx(8 * npu_area_mm2(256, 16))
+
+    def test_reference_density(self):
+        assert area_per_mac_mm2(16) == pytest.approx(AREA_PER_MAC_MM2_16NM)
+
+    def test_node_scaling_quadratic(self):
+        # 28nm density is (28/16)^2 worse.
+        assert area_per_mac_mm2("28") == pytest.approx(
+            AREA_PER_MAC_MM2_16NM * (28 / 16) ** 2
+        )
+
+    def test_full_nvdla_near_3mm2(self):
+        # The published full configuration (2048 MACs, 16nm) is ~3.3 mm^2.
+        assert 2.5 < npu_area_mm2(2048, 16) < 3.5
+
+    def test_zero_macs_rejected(self):
+        with pytest.raises(ParameterError):
+            npu_area_mm2(0, 16)
+
+
+class TestPerfModel:
+    def test_throughput_linear(self):
+        assert throughput_fps(2048) == pytest.approx(8 * throughput_fps(256))
+
+    def test_qos_boundary(self):
+        assert meets_qos(256, QOS_TARGET_FPS)
+        assert not meets_qos(128, QOS_TARGET_FPS)
+
+    def test_latency_has_fixed_floor(self):
+        # Latency saturates: doubling MACs does not halve latency.
+        assert latency_s(2048) > latency_s(1024) / 2
+
+    def test_compute_latency_halves(self):
+        assert compute_latency_s(1024) == pytest.approx(2 * compute_latency_s(2048))
+
+    def test_latency_monotone_decreasing(self):
+        latencies = [latency_s(n) for n in MAC_SWEEP]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ParameterError):
+            throughput_fps(0)
+        with pytest.raises(ParameterError):
+            meets_qos(256, 0.0)
+
+
+class TestEnergyModel:
+    def test_reference_point(self):
+        assert relative_energy(REFERENCE_MACS) == pytest.approx(
+            1.0, rel=0.06
+        )
+        assert energy_per_inference_j(REFERENCE_MACS) == pytest.approx(
+            REFERENCE_ENERGY_J, rel=0.06
+        )
+
+    def test_discrete_minimum_at_512(self):
+        energies = {n: energy_per_inference_j(n) for n in MAC_SWEEP}
+        assert min(energies, key=energies.get) == 512
+
+    def test_u_shape(self):
+        assert energy_per_inference_j(64) > energy_per_inference_j(512)
+        assert energy_per_inference_j(2048) > energy_per_inference_j(512)
+
+    def test_average_power(self):
+        assert average_power_w(512, 10.0) == pytest.approx(
+            energy_per_inference_j(512) * 10.0
+        )
+
+    def test_invalid_macs(self):
+        with pytest.raises(ParameterError):
+            relative_energy(0)
+
+
+class TestNpuDesigns:
+    def test_sweep_covers_paper_grid(self):
+        assert tuple(d.n_macs for d in sweep()) == (64, 128, 256, 512, 1024, 2048)
+
+    def test_qos_minimal_is_256_at_16g(self):
+        best = qos_minimal_design()
+        assert best.n_macs == 256
+        assert best.embodied_g == pytest.approx(16.0, rel=0.05)
+
+    def test_perf_opt_embodied_ratio(self):
+        designs = sweep()
+        best = qos_minimal_design()
+        perf = max(designs, key=lambda d: d.throughput_fps)
+        assert perf.embodied_g / best.embodied_g == pytest.approx(3.3, rel=0.05)
+
+    def test_platform_excludes_packaging(self):
+        platform = npu_platform(256)
+        assert platform.embodied().packaging_g == 0.0
+
+    def test_design_point_name(self):
+        assert design(128).design_point().name == "128 MACs"
+
+    def test_die_embodied_below_total(self):
+        d = design(512)
+        assert d.die_embodied_g < d.embodied_g
+
+    def test_embodied_monotone_in_macs(self):
+        embodied = [d.embodied_g for d in sweep()]
+        assert embodied == sorted(embodied)
+
+    def test_newer_node_denser_but_more_carbon_per_area(self):
+        d16 = design(512, 16)
+        d28 = design(512, "28")
+        assert d16.area_mm2 < d28.area_mm2
+
+    def test_largest_within_area_respects_budget(self):
+        d = largest_within_area(1.0, 16)
+        assert d.area_mm2 <= 1.0
+        # The next configuration up must not fit.
+        bigger = design(d.n_macs * 2, 16)
+        assert bigger.area_mm2 > 1.0
+
+    def test_largest_within_area_infeasible(self):
+        with pytest.raises(ParameterError):
+            largest_within_area(0.01, "28")
+
+    def test_qos_infeasible_raises(self):
+        with pytest.raises(ParameterError):
+            qos_minimal_design(target_fps=1e9)
+
+    def test_invalid_mac_count(self):
+        with pytest.raises(ParameterError):
+            design(-5)

@@ -1,0 +1,210 @@
+"""Sensitivity and Monte Carlo analysis over the ACT scenario."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import (
+    TRIANGULAR,
+    UNIFORM,
+    embodied_share_distribution,
+    run_monte_carlo,
+)
+from repro.analysis.scenario import (
+    PARAMETER_RANGES,
+    ActScenario,
+    parameter_range,
+)
+from repro.analysis.sensitivity import (
+    dominant_parameters,
+    elasticity,
+    tornado,
+)
+from repro.core.errors import ParameterError, UnknownEntryError
+
+
+@pytest.fixture()
+def base() -> ActScenario:
+    return ActScenario()
+
+
+class TestScenario:
+    def test_total_composition(self, base):
+        amortized = (
+            base.duration_hours / base.lifetime_hours
+        ) * base.embodied_g()
+        assert base.total_g() == pytest.approx(base.operational_g() + amortized)
+
+    def test_matches_component_model(self, base):
+        # The scalar Eq. 4 must agree with the FabParams implementation.
+        from repro.core.parameters import FabParams
+
+        params = FabParams(
+            base.ci_fab_g_per_kwh, base.epa_kwh_per_cm2, base.gpa_g_per_cm2,
+            base.mpa_g_per_cm2, base.fab_yield,
+        )
+        assert base.cpa_g_per_cm2() == pytest.approx(params.cpa_g_per_cm2())
+
+    def test_replace_overrides(self, base):
+        doubled = base.replace(energy_kwh=base.energy_kwh * 2)
+        assert doubled.operational_g() == pytest.approx(2 * base.operational_g())
+        assert doubled.embodied_g() == pytest.approx(base.embodied_g())
+
+    def test_replace_unknown_field(self, base):
+        with pytest.raises(UnknownEntryError):
+            base.replace(frequency_ghz=3.0)
+
+    def test_as_dict_round_trips(self, base):
+        rebuilt = ActScenario(**base.as_dict())
+        assert rebuilt == base
+
+    def test_every_range_is_ordered(self):
+        for name, (low, high) in PARAMETER_RANGES.items():
+            assert low <= high, name
+
+    def test_every_range_key_is_a_field(self, base):
+        fields = set(base.as_dict())
+        assert set(PARAMETER_RANGES) <= fields
+
+    def test_parameter_range_lookup(self):
+        assert parameter_range("fab_yield") == (0.5, 1.0)
+        with pytest.raises(UnknownEntryError):
+            parameter_range("nonsense")
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ActScenario(fab_yield=0.0)
+        with pytest.raises(ParameterError):
+            ActScenario(energy_kwh=-1.0)
+
+
+class TestTornado:
+    def test_sorted_by_swing(self, base):
+        records = tornado(base)
+        swings = [r.swing for r in records]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_covers_all_parameters_by_default(self, base):
+        assert len(tornado(base)) == len(PARAMETER_RANGES)
+
+    def test_subset_selection(self, base):
+        records = tornado(base, parameters=("fab_yield", "energy_kwh"))
+        assert {r.parameter for r in records} == {"fab_yield", "energy_kwh"}
+
+    def test_base_response_recorded(self, base):
+        record = tornado(base, parameters=("energy_kwh",))[0]
+        assert record.base_response == pytest.approx(base.total_g())
+
+    def test_energy_swing_matches_manual(self, base):
+        record = next(
+            r for r in tornado(base) if r.parameter == "ci_use_g_per_kwh"
+        )
+        low, high = parameter_range("ci_use_g_per_kwh")
+        manual = base.energy_kwh * (high - low)
+        assert record.swing == pytest.approx(manual)
+
+    def test_dominant_parameters(self, base):
+        top = dominant_parameters(base, top=3)
+        assert len(top) == 3
+        assert top[0] == tornado(base)[0].parameter
+
+    def test_custom_response(self, base):
+        records = tornado(
+            base, parameters=("fab_yield",),
+            response=lambda s: s.embodied_g(),
+        )
+        assert records[0].swing > 0
+
+
+class TestElasticity:
+    def test_operational_dominated_ci_elasticity(self):
+        # With no embodied hardware, footprint is exactly linear in CI_use.
+        scenario = ActScenario(
+            soc_area_cm2=0.0, dram_gb=0.0, ssd_gb=0.0, hdd_gb=0.0, ic_count=0.0
+        )
+        assert elasticity(scenario, "ci_use_g_per_kwh") == pytest.approx(
+            1.0, rel=1e-6
+        )
+
+    def test_yield_elasticity_negative(self, base):
+        assert elasticity(base, "fab_yield") < 0
+
+    def test_irrelevant_parameter_zero(self, base):
+        no_hdd = base.replace(hdd_gb=0.0)
+        assert elasticity(no_hdd, "cps_hdd_g_per_gb") == pytest.approx(0.0)
+
+    def test_zero_parameter_rejected(self, base):
+        with pytest.raises(ValueError):
+            elasticity(base.replace(hdd_gb=0.0), "hdd_gb")
+
+
+class TestMonteCarlo:
+    def test_reproducible_with_seed(self, base):
+        a = run_monte_carlo(base, draws=200, seed=7)
+        b = run_monte_carlo(base, draws=200, seed=7)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_different_seeds_differ(self, base):
+        a = run_monte_carlo(base, draws=200, seed=1)
+        b = run_monte_carlo(base, draws=200, seed=2)
+        assert not np.array_equal(a.samples, b.samples)
+
+    def test_percentiles_ordered(self, base):
+        result = run_monte_carlo(base, draws=500)
+        assert result.p5 <= result.percentile(50) <= result.p95
+
+    def test_uniform_distribution_supported(self, base):
+        result = run_monte_carlo(
+            base, parameters=("energy_kwh",), draws=300,
+            distribution=UNIFORM,
+        )
+        low, high = parameter_range("energy_kwh")
+        ops = result.samples - (base.total_g() - base.operational_g())
+        assert ops.min() >= low * base.ci_use_g_per_kwh - 1e-6
+        assert ops.max() <= high * base.ci_use_g_per_kwh + 1e-6
+
+    def test_triangular_peaks_near_base(self, base):
+        result = run_monte_carlo(
+            base, parameters=("ci_use_g_per_kwh",), draws=4000,
+            distribution=TRIANGULAR,
+        )
+        # Triangular around the base pulls the mean toward the base value.
+        uniform = run_monte_carlo(
+            base, parameters=("ci_use_g_per_kwh",), draws=4000,
+            distribution=UNIFORM,
+        )
+        assert abs(result.mean - base.total_g()) < abs(
+            uniform.mean - base.total_g()
+        ) + 50.0
+
+    def test_unknown_distribution(self, base):
+        with pytest.raises(ParameterError):
+            run_monte_carlo(base, draws=10, distribution="gaussian")
+
+    def test_custom_ranges(self, base):
+        result = run_monte_carlo(
+            base, parameters=("fab_yield",), draws=100,
+            ranges={"fab_yield": (0.9, 0.95)},
+        )
+        # CPA at worst yield bounds the spread tightly.
+        assert result.spread < 0.2
+
+    def test_inverted_range_rejected(self, base):
+        with pytest.raises(ParameterError):
+            run_monte_carlo(
+                base, parameters=("fab_yield",), draws=10,
+                ranges={"fab_yield": (0.9, 0.5)},
+            )
+
+    def test_lifetime_never_below_duration(self, base):
+        result = run_monte_carlo(
+            base,
+            parameters=("duration_hours", "lifetime_hours"),
+            draws=500,
+            response=lambda s: s.lifetime_hours - s.duration_hours,
+        )
+        assert result.samples.min() >= 0.0
+
+    def test_embodied_share_distribution_bounded(self, base):
+        result = embodied_share_distribution(base, draws=300)
+        assert 0.0 <= result.samples.min()
+        assert result.samples.max() <= 1.0

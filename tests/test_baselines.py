@@ -1,0 +1,112 @@
+"""Prior-work baselines (GreenChip-style inventory, exergy accounting)."""
+
+import pytest
+
+from repro.baselines import exergy, greenchip
+from repro.baselines.comparison import exergy_blind_spot, greenchip_vs_act
+from repro.core.errors import ParameterError
+
+
+class TestGreenChip:
+    def test_supported_range(self):
+        assert greenchip.supports(45.0)
+        assert greenchip.supports(28.0)
+        assert not greenchip.supports(7.0)
+        assert not greenchip.supports(130.0)
+
+    def test_characterized_nodes_not_extrapolated(self):
+        for node in (90.0, 65.0, 45.0, 28.0):
+            assert not greenchip.cpa_estimate(node).extrapolated
+
+    def test_modern_nodes_flagged(self):
+        assert greenchip.cpa_estimate(7.0).extrapolated
+        assert greenchip.cpa_estimate(3.0).extrapolated
+
+    def test_interpolation_between_rows(self):
+        mid = greenchip.cpa_estimate(55.0).cpa_g_per_cm2
+        low = greenchip.cpa_estimate(65.0).cpa_g_per_cm2
+        high = greenchip.cpa_estimate(45.0).cpa_g_per_cm2
+        assert low < mid < high
+
+    def test_die_embodied(self):
+        estimate = greenchip.cpa_estimate(45.0)
+        assert greenchip.die_embodied_g(2.0, 45.0) == pytest.approx(
+            2.0 * estimate.cpa_g_per_cm2
+        )
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(ParameterError):
+            greenchip.die_embodied_g(-1.0, 45.0)
+
+    def test_invalid_node_rejected(self):
+        with pytest.raises(ParameterError):
+            greenchip.cpa_estimate(0.0)
+
+
+class TestExergy:
+    def test_account_composition(self):
+        result = exergy.account(
+            soc_area_cm2=1.0, epa_kwh_per_cm2=1.5, use_energy_kwh=10.0
+        )
+        assert result.fabrication_kwh == pytest.approx(
+            1.5 + exergy.MATERIALS_KWH_PER_CM2
+        )
+        assert result.total_kwh == pytest.approx(result.fabrication_kwh + 10.0)
+
+    def test_yield_inflates_fabrication(self):
+        perfect = exergy.account(
+            soc_area_cm2=1.0, epa_kwh_per_cm2=1.5, use_energy_kwh=0.0
+        )
+        lossy = exergy.account(
+            soc_area_cm2=1.0, epa_kwh_per_cm2=1.5, use_energy_kwh=0.0,
+            fab_yield=0.5,
+        )
+        assert lossy.fabrication_kwh == pytest.approx(2 * perfect.fabrication_kwh)
+
+    def test_memory_terms(self):
+        result = exergy.account(
+            soc_area_cm2=0.0, epa_kwh_per_cm2=0.0, use_energy_kwh=0.0,
+            dram_gb=10.0, ssd_gb=100.0,
+        )
+        assert result.fabrication_kwh == pytest.approx(
+            10 * exergy.DRAM_KWH_PER_GB + 100 * exergy.SSD_KWH_PER_GB
+        )
+
+    def test_fabrication_share(self):
+        result = exergy.account(
+            soc_area_cm2=1.0, epa_kwh_per_cm2=1.0, use_energy_kwh=2.4
+        )
+        assert result.fabrication_share == pytest.approx(0.5)
+
+    def test_zero_account(self):
+        result = exergy.account(
+            soc_area_cm2=0.0, epa_kwh_per_cm2=0.0, use_energy_kwh=0.0
+        )
+        assert result.fabrication_share == 0.0
+
+
+class TestComparisons:
+    def test_act_exceeds_baseline_everywhere(self):
+        for row in greenchip_vs_act():
+            assert row.act_over_baseline > 1.0, row.node
+
+    def test_gap_grows_toward_advanced_nodes(self):
+        rows = {row.node: row.act_over_baseline for row in greenchip_vs_act()}
+        assert rows["3"] > rows["7"] > rows["14"] > rows["28"]
+
+    def test_only_28nm_is_in_range(self):
+        rows = greenchip_vs_act()
+        assert [r.node for r in rows if not r.baseline_extrapolated] == ["28"]
+
+    def test_exergy_blind_spot(self):
+        result = exergy_blind_spot()
+        assert result.exergy_separation == pytest.approx(1.0)
+        assert result.act_separation > 1.5
+
+    def test_blind_spot_scales_with_node(self):
+        # The dirtier the fab-energy picture at a node, the bigger ACT's
+        # separation; exergy stays blind regardless.
+        for node in ("28", "7", "3"):
+            result = exergy_blind_spot(node=node)
+            assert result.exergy_separation == pytest.approx(1.0)
+            assert result.act_separation > 1.0

@@ -1,0 +1,92 @@
+"""Chiplet vs monolithic embodied-carbon analysis."""
+
+import pytest
+
+from repro.core.parameters import ParameterError
+from repro.fabs.chiplets import (
+    chiplet_break_even_area_mm2,
+    optimal_partition,
+    partition,
+    partition_sweep,
+)
+from repro.fabs.fab import default_fab
+from repro.fabs.yield_models import FixedYield, PoissonYield
+
+
+@pytest.fixture()
+def fab():
+    return default_fab("7")
+
+
+class TestPartition:
+    def test_monolithic_has_no_interface_overhead(self, fab):
+        design = partition(400.0, 1, fab)
+        assert design.chiplet_area_mm2 == pytest.approx(400.0)
+        assert design.total_silicon_mm2 == pytest.approx(400.0)
+
+    def test_splitting_adds_interface_area(self, fab):
+        design = partition(400.0, 4, fab, interface_overhead=0.10)
+        assert design.chiplet_area_mm2 == pytest.approx(110.0)
+        assert design.total_silicon_mm2 == pytest.approx(440.0)
+
+    def test_smaller_chiplets_yield_better(self, fab):
+        mono = partition(400.0, 1, fab)
+        quad = partition(400.0, 4, fab)
+        assert quad.per_chiplet_yield > mono.per_chiplet_yield
+
+    def test_packaging_grows_per_chiplet(self, fab):
+        mono = partition(400.0, 1, fab, bonding_g_per_chiplet=30.0)
+        quad = partition(400.0, 4, fab, bonding_g_per_chiplet=30.0)
+        assert quad.packaging_g == pytest.approx(mono.packaging_g + 90.0)
+
+    def test_total_is_silicon_plus_packaging(self, fab):
+        design = partition(400.0, 4, fab)
+        assert design.total_g == pytest.approx(
+            design.silicon_g + design.packaging_g
+        )
+
+    def test_fixed_yield_removes_the_benefit(self, fab):
+        # With an area-independent yield, splitting only adds overheads.
+        mono = partition(400.0, 1, fab, yield_model=FixedYield(0.9))
+        quad = partition(400.0, 4, fab, yield_model=FixedYield(0.9))
+        assert quad.total_g > mono.total_g
+
+    def test_invalid_inputs(self, fab):
+        with pytest.raises(ParameterError):
+            partition(0.0, 1, fab)
+        with pytest.raises(ParameterError):
+            partition(400.0, 0, fab)
+
+
+class TestOptima:
+    def test_sweep_length(self, fab):
+        assert len(partition_sweep(400.0, fab, max_chiplets=8)) == 8
+
+    def test_large_die_prefers_chiplets(self, fab):
+        assert optimal_partition(600.0, fab).chiplets > 1
+
+    def test_small_die_prefers_monolithic(self, fab):
+        assert optimal_partition(30.0, fab).chiplets == 1
+
+    def test_optimal_partition_is_argmin(self, fab):
+        sweep = partition_sweep(400.0, fab)
+        best = optimal_partition(400.0, fab)
+        assert best.total_g == min(design.total_g for design in sweep)
+
+    def test_higher_defect_density_favors_more_chiplets(self, fab):
+        clean = optimal_partition(
+            400.0, fab, yield_model=PoissonYield(0.05)
+        )
+        dirty = optimal_partition(
+            400.0, fab, yield_model=PoissonYield(0.6)
+        )
+        assert dirty.chiplets >= clean.chiplets
+
+    def test_break_even_area_in_plausible_range(self, fab):
+        break_even = chiplet_break_even_area_mm2(fab)
+        assert 30.0 <= break_even <= 300.0
+
+    def test_break_even_consistent_with_optima(self, fab):
+        break_even = chiplet_break_even_area_mm2(fab, resolution_mm2=10.0)
+        assert optimal_partition(break_even, fab).chiplets > 1
+        assert optimal_partition(break_even - 25.0, fab).chiplets == 1

@@ -1,0 +1,171 @@
+"""CLI subcommands (exercised in-process through main())."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestFootprint:
+    def test_basic_platform(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "footprint", "--node", "7", "--area", "98.5",
+            "--dram", "4", "--ssd", "64",
+        )
+        assert code == 0
+        assert "TOTAL" in out
+        assert "SoC" in out and "DRAM" in out and "SSD" in out
+
+    def test_soc_only(self, capsys):
+        code, out, _ = run_cli(capsys, "footprint", "--node", "28", "--area", "50")
+        assert code == 0
+        assert "DRAM" not in out
+
+    def test_mix_changes_total(self, capsys):
+        _, default_out, _ = run_cli(capsys, "footprint", "--area", "100")
+        _, solar_out, _ = run_cli(
+            capsys, "footprint", "--area", "100", "--mix", "solar"
+        )
+        def total(text):
+            return float(
+                [line for line in text.splitlines() if "TOTAL" in line][0].split()[-1]
+            )
+        assert total(solar_out) < total(default_out)
+
+
+class TestCpa:
+    def test_lists_all_nodes(self, capsys):
+        code, out, _ = run_cli(capsys, "cpa")
+        assert code == 0
+        for node in ("28", "7-euv", "3"):
+            assert node in out
+
+    def test_abatement_flag(self, capsys):
+        _, strict, _ = run_cli(capsys, "cpa", "--abatement", "0.99")
+        _, lax, _ = run_cli(capsys, "cpa", "--abatement", "0.95")
+        assert strict != lax
+
+
+class TestExperiment:
+    def test_single_experiment(self, capsys):
+        code, out, _ = run_cli(capsys, "experiment", "fig14")
+        assert code == 0
+        assert "PASS" in out
+        assert "FAIL" not in out
+
+    def test_all_experiments(self, capsys):
+        code, out, _ = run_cli(capsys, "experiment", "all")
+        assert code == 0
+        assert "fig8" in out and "tab12" in out
+
+
+class TestSocs:
+    def test_catalog_listing(self, capsys):
+        code, out, _ = run_cli(capsys, "socs")
+        assert code == 0
+        assert "Kirin 990" in out and "Snapdragon 835" in out
+
+
+class TestExport:
+    def test_csv(self, capsys):
+        code, out, _ = run_cli(capsys, "export", "fig14", "--panel", "1")
+        assert code == 0
+        assert out.startswith("x,")
+
+    def test_json(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "export", "fig6", "--format", "json", "--panel", "2"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["title"].startswith("Figure 6")
+
+    def test_panel_out_of_range(self, capsys):
+        code, _, err = run_cli(capsys, "export", "fig14", "--panel", "9")
+        assert code == 2
+        assert "out of range" in err
+
+    def test_table_only_experiment_has_no_panels(self, capsys):
+        code, _, err = run_cli(capsys, "export", "tab7")
+        assert code == 2
+        assert "no figure panels" in err
+
+
+class TestConfigAndReport:
+    CONFIG = (
+        '{"name": "cli phone", "components": ['
+        '{"type": "logic", "name": "SoC", "area_mm2": 98.5, "node": "7"},'
+        '{"type": "dram", "name": "DRAM", "capacity_gb": 4}]}'
+    )
+
+    def test_footprint_from_config(self, capsys, tmp_path):
+        path = tmp_path / "p.json"
+        path.write_text(self.CONFIG)
+        code, out, _ = run_cli(capsys, "footprint", "--config", str(path))
+        assert code == 0
+        assert "SoC" in out and "TOTAL" in out
+
+    def test_report_from_config(self, capsys, tmp_path):
+        path = tmp_path / "p.json"
+        path.write_text(self.CONFIG)
+        code, out, _ = run_cli(capsys, "report", "--config", str(path))
+        assert code == 0
+        assert "Product environmental report — cli phone" in out
+        assert "Assumptions" in out
+
+
+class TestSensitivity:
+    def test_tornado_and_mc(self, capsys):
+        code, out, _ = run_cli(capsys, "sensitivity", "--top", "4",
+                               "--draws", "100")
+        assert code == 0
+        assert "Tornado" in out
+        assert "Monte Carlo (100 draws)" in out
+        # Four parameter rows plus headers.
+        assert out.count("\n") > 6
+
+
+class TestBaselines:
+    def test_comparison_output(self, capsys):
+        code, out, _ = run_cli(capsys, "baselines")
+        assert code == 0
+        assert "GreenChip" in out
+        assert "Exergy blind spot" in out
+        assert "identically" in out
+
+
+class TestValidate:
+    def test_shipped_data_passes(self, capsys):
+        code, out, _ = run_cli(capsys, "validate")
+        assert code == 0
+        assert "FAIL" not in out
+        assert "checks passed" in out
+
+
+class TestExtensions:
+    def test_extension_summary(self, capsys):
+        code, out, _ = run_cli(capsys, "experiment", "extensions")
+        assert code == 0
+        assert "ext-chiplets" in out and "ext-server" in out
+
+    def test_single_extension(self, capsys):
+        code, out, _ = run_cli(capsys, "experiment", "ext-baselines")
+        assert code == 0
+        assert "PASS" in out
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,115 @@
+"""Component embodied-carbon models (Eq. 4, 6, 7, 8)."""
+
+import pytest
+
+from repro.core.components import (
+    CATEGORY_DRAM,
+    CATEGORY_SOC,
+    DramComponent,
+    FixedCarbonComponent,
+    HddComponent,
+    LogicComponent,
+    SsdComponent,
+)
+from repro.core.errors import ParameterError
+from repro.fabs.fab import default_fab
+from repro.fabs.yield_models import FixedYield
+
+
+class TestLogicComponent:
+    def test_embodied_is_area_times_cpa(self):
+        die = LogicComponent.at_node("SoC", 100.0, "7")
+        assert die.embodied_g() == pytest.approx(1.0 * die.cpa_g_per_cm2())
+
+    def test_area_conversion(self):
+        die = LogicComponent.at_node("SoC", 98.5, "7")
+        assert die.area_cm2 == pytest.approx(0.985)
+
+    def test_embodied_linear_in_area_with_fixed_yield(self):
+        from repro.fabs.fab import FabScenario
+
+        fab = FabScenario.for_node("7", yield_model=FixedYield(0.9))
+        small = LogicComponent("a", 50.0, fab)
+        large = LogicComponent("b", 100.0, fab)
+        assert large.embodied_g() == pytest.approx(2 * small.embodied_g())
+
+    def test_newer_node_more_carbon_at_same_area(self):
+        old = LogicComponent.at_node("a", 100.0, "28")
+        new = LogicComponent.at_node("b", 100.0, "5")
+        assert new.embodied_g() > old.embodied_g()
+
+    def test_with_area_copies(self):
+        die = LogicComponent.at_node("SoC", 100.0, "7")
+        bigger = die.with_area(200.0)
+        assert bigger.area_mm2 == 200.0
+        assert die.area_mm2 == 100.0
+        assert bigger.fab == die.fab
+
+    def test_default_category_and_ics(self):
+        die = LogicComponent.at_node("SoC", 10.0, "7")
+        assert die.category == CATEGORY_SOC
+        assert die.ic_count == 1
+
+    def test_multi_ic_component(self):
+        die = LogicComponent.at_node("cameras", 90.0, "28", ics=3)
+        assert die.ic_count == 3
+
+    def test_zero_area_rejected(self):
+        with pytest.raises(ParameterError):
+            LogicComponent.at_node("SoC", 0.0, "7")
+
+    def test_negative_ics_rejected(self):
+        with pytest.raises(ValueError):
+            LogicComponent("x", 10.0, default_fab("7"), ics=-1)
+
+
+class TestMemoryStorageComponents:
+    def test_dram_eq6(self):
+        dram = DramComponent.of("DRAM", 8, "lpddr4")
+        assert dram.embodied_g() == pytest.approx(8 * 48.0)
+
+    def test_dram_default_technology(self):
+        dram = DramComponent("DRAM", 4)
+        assert dram.technology.name == "lpddr4"
+        assert dram.category == CATEGORY_DRAM
+
+    def test_dram_zero_capacity_is_zero_carbon(self):
+        assert DramComponent.of("none", 0).embodied_g() == 0.0
+
+    def test_dram_negative_capacity_rejected(self):
+        with pytest.raises(ParameterError):
+            DramComponent.of("bad", -1)
+
+    def test_ssd_eq8(self):
+        ssd = SsdComponent.of("SSD", 512, "nand_10nm")
+        assert ssd.embodied_g() == pytest.approx(512 * 10.0)
+
+    def test_ssd_technology_selection_matters(self):
+        old = SsdComponent.of("old", 100, "nand_30nm")
+        new = SsdComponent.of("new", 100, "nand_v3_tlc")
+        assert old.embodied_g() > new.embodied_g()
+
+    def test_hdd_eq7(self):
+        hdd = HddComponent.of("HDD", 4000, "exos_x12")
+        assert hdd.embodied_g() == pytest.approx(4000 * 1.14)
+
+    def test_hdd_default_model(self):
+        assert HddComponent("HDD", 1000).model.name == "barracuda"
+
+    def test_fractional_capacity_supported(self):
+        # The NPU buffer DRAM is 0.224 GB.
+        dram = DramComponent.of("buffer", 0.224, "lpddr4")
+        assert dram.embodied_g() == pytest.approx(10.752)
+
+
+class TestFixedCarbonComponent:
+    def test_passthrough(self):
+        part = FixedCarbonComponent("battery", 5000.0)
+        assert part.embodied_g() == 5000.0
+
+    def test_default_contributes_no_packaging(self):
+        assert FixedCarbonComponent("battery", 5000.0).ic_count == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            FixedCarbonComponent("bad", -1.0)

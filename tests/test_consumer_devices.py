@@ -1,0 +1,63 @@
+"""Consumer-device life-cycle survey."""
+
+import pytest
+
+from repro.core.errors import UnknownEntryError
+from repro.data.consumer_devices import (
+    SURVEY_DEVICES,
+    average_manufacturing_share,
+    devices_in_class,
+    manufacturing_dominated_fraction,
+    survey_device,
+)
+
+
+class TestSurveyData:
+    def test_shares_sum_to_one(self):
+        for device in SURVEY_DEVICES.values():
+            total = (
+                device.manufacturing_share
+                + device.use_share
+                + device.transport_share
+                + device.eol_share
+            )
+            assert total == pytest.approx(1.0), device.name
+
+    def test_lookup_normalization(self):
+        assert survey_device("Smart Speaker").device_class == "speaker"
+
+    def test_unknown_device(self):
+        with pytest.raises(UnknownEntryError):
+            survey_device("vr_headset")
+
+    def test_unknown_class(self):
+        with pytest.raises(UnknownEntryError):
+            devices_in_class("mainframe")
+
+    def test_class_grouping(self):
+        wearables = devices_in_class("wearable")
+        assert {d.name for d in wearables} == {"smartwatch", "fitness_band"}
+
+
+class TestSurveyFindings:
+    def test_majority_manufacturing_dominated(self):
+        # The paper's motivating claim from the Chasing Carbon survey.
+        assert manufacturing_dominated_fraction() > 0.5
+
+    def test_battery_devices_are_manufacturing_dominated(self):
+        for cls in ("wearable", "phone", "tablet", "laptop"):
+            for device in devices_in_class(cls):
+                assert device.manufacturing_dominated, device.name
+
+    def test_plugged_in_devices_are_use_dominated(self):
+        for name in ("game_console", "smart_speaker", "desktop_tower"):
+            assert not survey_device(name).manufacturing_dominated
+
+    def test_wearables_have_highest_manufacturing_share(self):
+        classes = ("wearable", "phone", "tablet", "laptop", "desktop")
+        shares = {cls: average_manufacturing_share(cls) for cls in classes}
+        assert max(shares, key=shares.get) == "wearable"
+
+    def test_overall_average_share(self):
+        overall = average_manufacturing_share()
+        assert 0.5 < overall < 0.8

@@ -1,0 +1,182 @@
+"""Bundled appendix data tables (Tables 5, 6, 9, 10, 11) and lookups."""
+
+import pytest
+
+from repro.core.errors import UnknownEntryError
+from repro.data.dram import (
+    COMPONENT_LEVEL,
+    DEVICE_LEVEL,
+    DRAM_TECHNOLOGIES,
+    dram_cps,
+    dram_technology,
+)
+from repro.data.energy_sources import (
+    CARBON_FREE_CI,
+    ENERGY_SOURCES,
+    blended_ci,
+    energy_source,
+    source_ci,
+)
+from repro.data.hdd import HDD_MODELS, hdd_cps, hdd_model, models_in_segment
+from repro.data.regions import REGIONS, region, region_ci
+from repro.data.ssd import SSD_TECHNOLOGIES, ssd_cps, ssd_technology
+
+
+class TestEnergySources:
+    def test_table5_row_count(self):
+        assert len(ENERGY_SOURCES) == 8
+
+    def test_coal_value(self):
+        assert source_ci("coal") == 820.0
+
+    def test_wind_is_cleanest(self):
+        cleanest = min(ENERGY_SOURCES.values(), key=lambda s: s.ci_g_per_kwh)
+        assert cleanest.name == "wind"
+
+    def test_lookup_case_insensitive(self):
+        assert energy_source("  Solar ").ci_g_per_kwh == 41.0
+
+    def test_carbon_free_alias(self):
+        assert source_ci("carbon_free") == CARBON_FREE_CI == 0.0
+
+    def test_unknown_source_raises_with_choices(self):
+        with pytest.raises(UnknownEntryError, match="coal"):
+            energy_source("petrol")
+
+    def test_renewable_classification(self):
+        assert energy_source("wind").is_renewable
+        assert not energy_source("coal").is_renewable
+
+    def test_blended_ci_normalizes_shares(self):
+        # Shares 2:2 behave like 0.5:0.5.
+        assert blended_ci({"coal": 2.0, "wind": 2.0}) == pytest.approx(
+            (820.0 + 11.0) / 2
+        )
+
+    def test_blended_ci_single_source(self):
+        assert blended_ci({"gas": 1.0}) == pytest.approx(490.0)
+
+    def test_blended_ci_rejects_empty(self):
+        with pytest.raises(UnknownEntryError):
+            blended_ci({})
+
+    def test_blended_ci_rejects_zero_total(self):
+        with pytest.raises(UnknownEntryError):
+            blended_ci({"coal": 0.0})
+
+    def test_payback_months_present(self):
+        assert energy_source("solar").payback_months == pytest.approx(36.0)
+
+
+class TestRegions:
+    def test_table6_row_count(self):
+        assert len(REGIONS) == 9
+
+    def test_taiwan(self):
+        assert region_ci("taiwan") == 583.0
+
+    def test_us_aliases(self):
+        assert region("US").name == "united_states"
+        assert region("united states").ci_g_per_kwh == 380.0
+        assert region("usa").ci_g_per_kwh == 380.0
+
+    def test_india_dirtiest(self):
+        dirtiest = max(REGIONS.values(), key=lambda r: r.ci_g_per_kwh)
+        assert dirtiest.name == "india"
+
+    def test_iceland_cleanest(self):
+        cleanest = min(REGIONS.values(), key=lambda r: r.ci_g_per_kwh)
+        assert cleanest.name == "iceland"
+
+    def test_unknown_region(self):
+        with pytest.raises(UnknownEntryError):
+            region("atlantis")
+
+    def test_dominant_source_recorded(self):
+        assert region("australia").dominant_source == "coal"
+
+
+class TestDram:
+    def test_table9_row_count(self):
+        assert len(DRAM_TECHNOLOGIES) == 8
+
+    def test_ddr3_ladder(self):
+        assert dram_cps("ddr3_50nm") == 600.0
+        assert dram_cps("ddr3_40nm") == 315.0
+        assert dram_cps("ddr3_30nm") == 230.0
+
+    def test_lpddr4_alias(self):
+        assert dram_technology("LPDDR4X").name == "lpddr4"
+        assert dram_cps("lpddr4x") == 48.0
+
+    def test_ddr4_alias(self):
+        assert dram_technology("ddr4").name == "ddr4_10nm"
+
+    def test_kind_classification(self):
+        assert dram_technology("ddr3_50nm").kind == DEVICE_LEVEL
+        assert dram_technology("lpddr4").kind == COMPONENT_LEVEL
+
+    def test_label_spacing(self):
+        assert dram_technology("lpddr3_20nm").label == "20nm LPDDR3"
+
+    def test_unknown_dram(self):
+        with pytest.raises(UnknownEntryError):
+            dram_technology("hbm3")
+
+
+class TestSsd:
+    def test_table10_row_count(self):
+        assert len(SSD_TECHNOLOGIES) == 12
+
+    def test_planar_ladder(self):
+        assert ssd_cps("nand_30nm") == 30.0
+        assert ssd_cps("nand_20nm") == 15.0
+        assert ssd_cps("nand_10nm") == 10.0
+
+    def test_v3_alias(self):
+        assert ssd_technology("v3 tlc").name == "nand_v3_tlc"
+        assert ssd_cps("V3-TLC") == 6.3
+
+    def test_1z_alias(self):
+        assert ssd_technology("1z").cps_g_per_gb == 5.6
+
+    def test_vendor_rows_present(self):
+        assert ssd_cps("wd_2019") == 10.7
+        assert ssd_cps("nytro_3331") == 16.92
+
+    def test_unknown_ssd(self):
+        with pytest.raises(UnknownEntryError):
+            ssd_technology("optane")
+
+
+class TestHdd:
+    def test_table11_row_count(self):
+        assert len(HDD_MODELS) == 10
+
+    def test_consumer_and_enterprise_split(self):
+        consumer = models_in_segment("consumer")
+        enterprise = models_in_segment("enterprise")
+        assert len(consumer) == 5
+        assert len(enterprise) == 5
+        assert {m.name for m in consumer} | {m.name for m in enterprise} == set(
+            HDD_MODELS
+        )
+
+    def test_exos_x12_is_lowest(self):
+        lowest = min(HDD_MODELS.values(), key=lambda m: m.cps_g_per_gb)
+        assert lowest.name == "exos_x12"
+        assert lowest.cps_g_per_gb == 1.14
+
+    def test_lookup_with_spaces(self):
+        assert hdd_model("BarraCuda Pro").cps_g_per_gb == 2.35
+
+    def test_cps_lookup(self):
+        assert hdd_cps("firecuda") == 5.1
+
+    def test_unknown_segment(self):
+        with pytest.raises(UnknownEntryError):
+            models_in_segment("datacenter")
+
+    def test_unknown_model(self):
+        with pytest.raises(UnknownEntryError):
+            hdd_model("wd_red")

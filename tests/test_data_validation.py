@@ -1,0 +1,37 @@
+"""Bundled-data integrity validation."""
+
+from repro.data.validation import Finding, failures, validate_all
+
+
+class TestShippedData:
+    def test_everything_passes(self):
+        assert failures() == ()
+
+    def test_reasonable_coverage(self):
+        findings = validate_all()
+        assert len(findings) >= 15
+        tables = {finding.table for finding in findings}
+        assert {
+            "energy_sources", "regions", "fab_nodes", "dram", "ssd", "hdd",
+            "soc_catalog",
+        } <= tables
+
+    def test_every_finding_is_structured(self):
+        for finding in validate_all():
+            assert isinstance(finding, Finding)
+            assert finding.check
+            assert finding.table
+
+
+class TestFailureFiltering:
+    def test_failures_filters_passed(self):
+        findings = (
+            Finding("t", "good", True),
+            Finding("t", "bad", False, "broken"),
+        )
+        result = failures(findings)
+        assert len(result) == 1
+        assert result[0].check == "bad"
+
+    def test_failures_empty_input(self):
+        assert failures(()) == ()

@@ -1,0 +1,143 @@
+"""Device reports, bottom-up platforms, and the LCA comparison layer."""
+
+import pytest
+
+from repro.core.errors import UnknownEntryError
+from repro.data.devices import (
+    IC_SHARE_OF_MANUFACTURING,
+    act_platform,
+    device_report,
+    ipad_platform,
+    iphone11_platform,
+)
+from repro.data.lca_reports import (
+    TABLE12_ROWS,
+    breakdown,
+    ic_share,
+)
+from repro.lca.comparison import COMPARISON_CASES, compare_all
+from repro.lca.topdown import topdown_ic_estimate
+
+
+class TestDeviceReports:
+    def test_shares_sum_to_one(self):
+        for name in ("iphone3gs", "iphone11", "ipad"):
+            report = device_report(name)
+            total = (
+                report.manufacturing_share
+                + report.use_share
+                + report.transport_share
+                + report.eol_share
+            )
+            assert total == pytest.approx(1.0), name
+
+    def test_lookup_normalization(self):
+        assert device_report("iPhone 11").name == "iphone11"
+        assert device_report("iphone_3gs").year == 2009
+
+    def test_unknown_device(self):
+        with pytest.raises(UnknownEntryError):
+            device_report("pixel 8")
+
+    def test_manufacturing_kg(self):
+        report = device_report("iphone11")
+        assert report.manufacturing_kg == pytest.approx(
+            report.total_kg * 0.79
+        )
+
+
+class TestTopDown:
+    def test_iphone11_estimate_23kg(self):
+        assert topdown_ic_estimate("iphone11").ic_kg == pytest.approx(23.0, rel=0.01)
+
+    def test_ipad_estimate_28kg(self):
+        assert topdown_ic_estimate("ipad").ic_kg == pytest.approx(28.0, rel=0.01)
+
+    def test_default_ic_share(self):
+        estimate = topdown_ic_estimate("iphone11")
+        assert estimate.ic_share == IC_SHARE_OF_MANUFACTURING == 0.44
+
+    def test_custom_ic_share(self):
+        half = topdown_ic_estimate("iphone11", ic_share=0.22)
+        assert half.ic_kg == pytest.approx(23.0 / 2, rel=0.01)
+
+    def test_report_object_accepted(self):
+        report = device_report("ipad")
+        assert topdown_ic_estimate(report).device == "ipad"
+
+
+class TestBottomUpPlatforms:
+    def test_iphone11_near_17kg(self):
+        assert iphone11_platform().embodied_kg() == pytest.approx(17.0, rel=0.05)
+
+    def test_ipad_near_21kg(self):
+        assert ipad_platform().embodied_kg() == pytest.approx(21.0, rel=0.05)
+
+    def test_bottom_up_below_top_down(self):
+        for name in ("iphone11", "ipad"):
+            assert (
+                act_platform(name).embodied_kg()
+                < topdown_ic_estimate(name).ic_kg
+            )
+
+    def test_breakdown_categories(self):
+        categories = set(iphone11_platform().embodied().by_category())
+        assert {"soc", "dram", "ssd", "camera", "other", "packaging"} <= categories
+
+    def test_soc_is_the_biggest_single_die(self):
+        report = iphone11_platform().embodied()
+        soc = next(i for i in report.items if i.category == "soc")
+        camera = next(i for i in report.items if i.category == "camera")
+        assert soc.carbon_g > camera.carbon_g
+
+    def test_unknown_platform(self):
+        with pytest.raises(UnknownEntryError):
+            act_platform("galaxy")
+
+
+class TestLcaReports:
+    def test_table12_row_count(self):
+        assert len(TABLE12_ROWS) == 10
+
+    def test_fairphone_ic_share_near_70(self):
+        assert ic_share("fairphone3") == pytest.approx(0.70, abs=0.03)
+
+    def test_dell_ic_share_near_80(self):
+        assert ic_share("dell_r740") == pytest.approx(0.80, abs=0.03)
+
+    def test_breakdown_lookup_normalizes(self):
+        assert breakdown("Dell-R740") is breakdown("dell_r740")
+
+    def test_unknown_breakdown(self):
+        with pytest.raises(UnknownEntryError):
+            breakdown("macbook")
+
+
+class TestComparison:
+    def test_every_case_has_a_paper_row(self):
+        for case in COMPARISON_CASES:
+            row = case.paper_row()
+            assert row.ic == case.ic
+            assert row.device == case.device
+
+    def test_memory_rows_node2_below_node1(self):
+        for result in compare_all():
+            if result.ic in {"RAM", "Flash", "Flash + RAM"}:
+                assert result.our_node2_kg < result.our_node1_kg, result
+
+    def test_logic_rows_node2_above_node1(self):
+        for result in compare_all():
+            if result.ic in {"CPU", "Other ICs"}:
+                assert result.our_node2_kg > result.our_node1_kg, result
+
+    def test_estimates_within_order_of_magnitude_of_paper(self):
+        for result in compare_all():
+            ratio = result.our_node2_kg / result.paper_node2_kg
+            assert 0.1 < ratio < 10.0, result
+
+    def test_fairphone_cpu_close_to_paper(self):
+        row = next(
+            r for r in compare_all()
+            if r.ic == "CPU" and r.device == "Fairphone 3"
+        )
+        assert row.our_node2_kg == pytest.approx(1.1, rel=0.3)

@@ -1,0 +1,127 @@
+"""Design-space exploration: sweeps, constraints, Pareto fronts."""
+
+import pytest
+
+from repro.core.errors import ConstraintError
+from repro.dse.pareto import dominates, pareto_front
+from repro.dse.qos import at_least, at_most, constrained_minimum
+from repro.dse.sweep import argmin, feasible, sweep_1d, sweep_grid
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+
+    def test_partial_improvement_dominates(self):
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+
+    def test_tradeoff_points_incomparable(self):
+        assert not dominates((1.0, 3.0), (3.0, 1.0))
+        assert not dominates((3.0, 1.0), (1.0, 3.0))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConstraintError):
+            dominates((1.0,), (1.0, 2.0))
+
+
+class TestParetoFront:
+    def test_simple_front(self):
+        points = {"a": (1, 3), "b": (3, 1), "c": (2, 2), "d": (3, 3)}
+        front = pareto_front(
+            list(points), [lambda k: points[k][0], lambda k: points[k][1]]
+        )
+        assert set(front) == {"a", "b", "c"}
+
+    def test_single_objective_front_is_minimum(self):
+        values = [5.0, 1.0, 3.0]
+        front = pareto_front(values, [lambda v: v])
+        assert front == (1.0,)
+
+    def test_duplicates_all_kept(self):
+        front = pareto_front([1.0, 1.0, 2.0], [lambda v: v])
+        assert front == (1.0, 1.0)
+
+    def test_empty_candidates(self):
+        assert pareto_front([], [lambda v: v]) == ()
+
+    def test_requires_objectives(self):
+        with pytest.raises(ConstraintError):
+            pareto_front([1.0], [])
+
+    def test_front_of_front_is_stable(self):
+        points = [(1, 5), (2, 3), (3, 2), (5, 1), (4, 4)]
+        objectives = [lambda p: p[0], lambda p: p[1]]
+        front = pareto_front(points, objectives)
+        assert pareto_front(list(front), objectives) == front
+
+
+class TestSweeps:
+    def test_sweep_1d(self):
+        records = sweep_1d("n", (1, 2, 3), lambda n: n * n)
+        assert [r.design for r in records] == [1, 4, 9]
+        assert records[2].params == {"n": 3}
+
+    def test_sweep_grid_cartesian(self):
+        records = sweep_grid(
+            {"a": (1, 2), "b": (10, 20)}, lambda a, b: a + b
+        )
+        assert len(records) == 4
+        assert {r.design for r in records} == {11, 21, 12, 22}
+
+    def test_sweep_grid_requires_grids(self):
+        with pytest.raises(ConstraintError):
+            sweep_grid({}, lambda: 0)
+
+    def test_argmin(self):
+        records = sweep_1d("n", (1, 2, 3), lambda n: (n - 2) ** 2)
+        assert argmin(records, key=lambda d: d).params == {"n": 2}
+
+    def test_argmin_empty(self):
+        with pytest.raises(ConstraintError):
+            argmin((), key=lambda d: d)
+
+    def test_feasible_filter(self):
+        records = sweep_1d("n", range(5), lambda n: n)
+        assert len(feasible(records, lambda d: d >= 3)) == 2
+
+
+class TestConstrainedMinimum:
+    def test_qos_floor(self):
+        designs = [(64, 8.0), (256, 34.0), (2048, 270.0)]
+        best = constrained_minimum(
+            designs,
+            objective=lambda d: d[0],
+            constraints=(at_least("fps", lambda d: d[1], 30.0),),
+        )
+        assert best == (256, 34.0)
+
+    def test_resource_ceiling(self):
+        designs = [(1, 0.5), (2, 1.5), (3, 2.5)]
+        best = constrained_minimum(
+            designs,
+            objective=lambda d: -d[0],
+            constraints=(at_most("area", lambda d: d[1], 2.0),),
+        )
+        assert best == (2, 1.5)
+
+    def test_unconstrained_is_plain_min(self):
+        assert constrained_minimum([3, 1, 2], objective=lambda v: v) == 1
+
+    def test_infeasible_names_constraints(self):
+        with pytest.raises(ConstraintError, match="fps >= 1000"):
+            constrained_minimum(
+                [(64, 8.0)],
+                objective=lambda d: d[0],
+                constraints=(at_least("fps", lambda d: d[1], 1000.0),),
+            )
+
+    def test_boundary_inclusive(self):
+        best = constrained_minimum(
+            [(256, 30.0)],
+            objective=lambda d: d[0],
+            constraints=(at_least("fps", lambda d: d[1], 30.0),),
+        )
+        assert best[0] == 256

@@ -1,0 +1,132 @@
+"""DVFS operating-point model and carbon-aware frequency selection."""
+
+import pytest
+
+from repro.core.dvfs import (
+    DvfsModel,
+    footprint_optimal_frequency_ghz,
+    operating_points,
+    optimal_frequency_ghz,
+    per_task_footprint_g,
+)
+
+
+@pytest.fixture()
+def model() -> DvfsModel:
+    return DvfsModel()
+
+
+class TestEnvelope:
+    def test_voltage_endpoints(self, model):
+        assert model.voltage_at(model.f_min_ghz) == pytest.approx(model.v_min)
+        assert model.voltage_at(model.f_max_ghz) == pytest.approx(model.v_max)
+
+    def test_voltage_monotone(self, model):
+        ladder = model.frequency_ladder(10)
+        voltages = [model.voltage_at(f) for f in ladder]
+        assert voltages == sorted(voltages)
+
+    def test_power_superlinear_in_frequency(self, model):
+        # Doubling frequency more than doubles power (V rises too).
+        assert model.power_w(2.4) > 2 * model.power_w(1.2)
+
+    def test_delay_inverse_in_frequency(self, model):
+        assert model.delay_s(2.0, 10.0) == pytest.approx(5.0)
+
+    def test_out_of_range_frequency(self, model):
+        with pytest.raises(ValueError):
+            model.power_w(model.f_max_ghz + 0.1)
+        with pytest.raises(ValueError):
+            model.delay_s(0.1, 10.0)
+
+    def test_ladder_bounds(self, model):
+        ladder = model.frequency_ladder(5)
+        assert ladder[0] == model.f_min_ghz
+        assert ladder[-1] == model.f_max_ghz
+        assert len(ladder) == 5
+
+    def test_single_step_ladder(self, model):
+        assert model.frequency_ladder(1) == (model.f_max_ghz,)
+
+    def test_invalid_envelope(self):
+        with pytest.raises(ValueError):
+            DvfsModel(f_min_ghz=2.0, f_max_ghz=1.0)
+        with pytest.raises(ValueError):
+            DvfsModel(v_min=1.0, v_max=0.8)
+
+    def test_energy_has_interior_minimum(self, model):
+        # Leakage * long runtime at low f, high V^2 at high f.
+        ladder = model.frequency_ladder(25)
+        energies = [model.energy_j(f, 10.0) for f in ladder]
+        best = energies.index(min(energies))
+        assert 0 < best < len(ladder) - 1
+
+
+class TestMetricSelection:
+    def test_cdp_degenerates_to_fmax(self, model):
+        # With fixed silicon, carbon-delay tracks delay alone.
+        assert optimal_frequency_ghz(
+            model, "CDP", embodied_carbon_g=100.0
+        ) == pytest.approx(model.f_max_ghz)
+
+    def test_cep_degenerates_to_energy_minimum(self, model):
+        cep_f = optimal_frequency_ghz(model, "CEP", embodied_carbon_g=100.0)
+        ladder = model.frequency_ladder(9)
+        energy_f = min(ladder, key=lambda f: model.energy_j(f, 10.0))
+        assert cep_f == pytest.approx(energy_f)
+
+    def test_operating_points_share_embodied(self, model):
+        points = operating_points(model, embodied_carbon_g=42.0)
+        assert {p.embodied_carbon_g for p in points} == {42.0}
+
+    def test_operating_points_named_by_frequency(self, model):
+        points = operating_points(model, embodied_carbon_g=1.0, steps=3)
+        assert points[0].name == f"{model.f_min_ghz:.2f} GHz"
+
+
+class TestFootprintOptimum:
+    def test_zero_embodied_matches_energy_minimum(self, model):
+        f_star = footprint_optimal_frequency_ghz(
+            model, embodied_carbon_g=0.0, ci_use_g_per_kwh=300.0, steps=25
+        )
+        ladder = model.frequency_ladder(25)
+        energy_f = min(ladder, key=lambda f: model.energy_j(f, 10.0))
+        assert f_star == pytest.approx(energy_f)
+
+    def test_embodied_dominance_pushes_toward_fmax(self, model):
+        lean = footprint_optimal_frequency_ghz(
+            model, embodied_carbon_g=100.0, ci_use_g_per_kwh=300.0
+        )
+        heavy = footprint_optimal_frequency_ghz(
+            model, embodied_carbon_g=50_000.0, ci_use_g_per_kwh=300.0
+        )
+        assert heavy > lean
+
+    def test_green_grid_pushes_toward_fmax(self, model):
+        dirty = footprint_optimal_frequency_ghz(
+            model, embodied_carbon_g=2000.0, ci_use_g_per_kwh=820.0
+        )
+        green = footprint_optimal_frequency_ghz(
+            model, embodied_carbon_g=2000.0, ci_use_g_per_kwh=11.0
+        )
+        assert green >= dirty
+
+    def test_per_task_footprint_composition(self, model):
+        total = per_task_footprint_g(
+            model, 2.0, embodied_carbon_g=0.0, ci_use_g_per_kwh=300.0
+        )
+        from repro.core import units
+
+        expected = units.joules_to_kwh(model.energy_j(2.0, 10.0)) * 300.0
+        assert total == pytest.approx(expected)
+
+    def test_longer_lifetime_cheapens_fast_operation_less(self, model):
+        short = per_task_footprint_g(
+            model, 3.0, embodied_carbon_g=1000.0, ci_use_g_per_kwh=0.0,
+            lifetime_years=1.0,
+        )
+        long = per_task_footprint_g(
+            model, 3.0, embodied_carbon_g=1000.0, ci_use_g_per_kwh=0.0,
+            lifetime_years=10.0,
+        )
+        assert long == pytest.approx(short / 10.0)

@@ -1,0 +1,36 @@
+"""Every shipped example must run to completion through its main()."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLE_FILES) >= 3, "the deliverable requires >= 3 examples"
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+)
+def test_example_runs(path, capsys):
+    module = _load_module(path)
+    assert hasattr(module, "main"), f"{path.name} must expose main()"
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} produced no output"

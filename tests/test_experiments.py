@@ -1,0 +1,101 @@
+"""Integration tests: every paper table/figure regenerates and passes its
+shape checks."""
+
+import pytest
+
+from repro.core.errors import UnknownEntryError
+from repro.experiments import EXPERIMENTS, run_all, run_experiment
+from repro.experiments.base import (
+    Check,
+    ExperimentResult,
+    check_close,
+    check_equal,
+    check_in_band,
+    check_true,
+    result_summary,
+)
+
+ALL_IDS = sorted(EXPERIMENTS)
+
+
+@pytest.fixture(scope="module")
+def all_results():
+    return {result.experiment_id: result for result in run_all()}
+
+
+class TestRegistry:
+    def test_nineteen_experiments(self):
+        assert len(EXPERIMENTS) == 19
+
+    def test_covers_every_evaluation_artifact(self):
+        expected = {
+            "fig1", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+            "tab4", "tab5", "tab6", "tab7", "tab9", "tab12",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_run_experiment_lookup(self):
+        result = run_experiment("FIG8")
+        assert result.experiment_id == "fig8"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(UnknownEntryError):
+            run_experiment("fig99")
+
+
+@pytest.mark.parametrize("experiment_id", ALL_IDS)
+class TestEveryExperiment:
+    def test_all_checks_pass(self, all_results, experiment_id):
+        result = all_results[experiment_id]
+        failed = result.failed_checks()
+        assert not failed, "\n".join(
+            f"{c.name}: observed {c.observed}, expected {c.expected}"
+            for c in failed
+        )
+
+    def test_has_checks(self, all_results, experiment_id):
+        assert len(all_results[experiment_id].checks) >= 2
+
+    def test_has_data(self, all_results, experiment_id):
+        result = all_results[experiment_id]
+        assert result.figures or result.table_rows
+
+    def test_render_text(self, all_results, experiment_id):
+        text = all_results[experiment_id].render_text()
+        assert result_summary([all_results[experiment_id]])
+        assert experiment_id in text
+        assert "PASS" in text
+
+
+class TestCheckHelpers:
+    def test_check_equal(self):
+        assert check_equal("n", "a", "a").passed
+        assert not check_equal("n", "a", "b").passed
+
+    def test_check_close(self):
+        assert check_close("n", 1.05, 1.0, rel_tol=0.1).passed
+        assert not check_close("n", 1.2, 1.0, rel_tol=0.1).passed
+
+    def test_check_close_zero_expected_fails(self):
+        assert not check_close("n", 0.0, 0.0, rel_tol=0.1).passed
+
+    def test_check_in_band(self):
+        assert check_in_band("n", 5.0, 4.0, 6.0).passed
+        assert check_in_band("n", 4.0, 4.0, 6.0).passed
+        assert not check_in_band("n", 3.9, 4.0, 6.0).passed
+
+    def test_check_in_band_paper_note(self):
+        check = check_in_band("n", 5.0, 4.0, 6.0, paper="~5x")
+        assert "~5x" in check.expected
+
+    def test_check_true(self):
+        check = check_true("n", True, "obs", "exp")
+        assert check.passed and check.observed == "obs"
+
+    def test_result_properties(self):
+        good = Check("a", True, "1", "1")
+        bad = Check("b", False, "2", "3")
+        result = ExperimentResult("x", "t", checks=(good, bad))
+        assert not result.all_passed
+        assert result.failed_checks() == (bad,)

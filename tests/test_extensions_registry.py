@@ -1,0 +1,113 @@
+"""Extension experiments and the DSE optimizer facade."""
+
+import pytest
+
+from repro.core.errors import ConstraintError
+from repro.core.metrics import DesignPoint
+from repro.dse.optimizer import ExplorationResult, explore, metric_disagreement
+from repro.experiments import (
+    EXPERIMENTS,
+    EXTENSION_EXPERIMENTS,
+    run_all_extensions,
+    run_experiment,
+)
+
+EXT_IDS = sorted(EXTENSION_EXPERIMENTS)
+
+
+@pytest.fixture(scope="module")
+def extension_results():
+    return {result.experiment_id: result for result in run_all_extensions()}
+
+
+class TestExtensionRegistry:
+    def test_eight_extensions(self):
+        assert len(EXTENSION_EXPERIMENTS) == 8
+
+    def test_namespaces_disjoint(self):
+        assert not set(EXTENSION_EXPERIMENTS) & set(EXPERIMENTS)
+
+    def test_all_ids_prefixed(self):
+        assert all(key.startswith("ext-") for key in EXTENSION_EXPERIMENTS)
+
+    def test_run_experiment_resolves_extensions(self):
+        result = run_experiment("ext-dvfs")
+        assert result.experiment_id == "ext-dvfs"
+
+    @pytest.mark.parametrize("experiment_id", EXT_IDS)
+    def test_all_checks_pass(self, extension_results, experiment_id):
+        result = extension_results[experiment_id]
+        failed = result.failed_checks()
+        assert not failed, "\n".join(
+            f"{c.name}: observed {c.observed}, expected {c.expected}"
+            for c in failed
+        )
+
+    @pytest.mark.parametrize("experiment_id", EXT_IDS)
+    def test_has_data_and_reference(self, extension_results, experiment_id):
+        result = extension_results[experiment_id]
+        assert result.figures or result.table_rows
+        assert result.reference
+
+
+class TestOptimizer:
+    @pytest.fixture()
+    def points(self):
+        return (
+            DesignPoint("lean", 10.0, 5.0, 10.0, area_mm2=1.0),
+            DesignPoint("balanced", 20.0, 2.0, 4.0, area_mm2=2.0),
+            DesignPoint("fast", 60.0, 1.5, 1.0, area_mm2=6.0),
+            DesignPoint("dominated", 70.0, 6.0, 11.0, area_mm2=7.0),
+        )
+
+    def test_explore_shape(self, points):
+        result = explore(points)
+        assert isinstance(result, ExplorationResult)
+        assert set(result.winners) == {
+            "EDP", "EDAP", "CDP", "CEP", "C2EP", "CE2P",
+        }
+        assert len(result.points) == 4
+
+    def test_pareto_excludes_dominated(self, points):
+        result = explore(points)
+        assert not result.is_pareto("dominated")
+        assert result.is_pareto("lean")
+        assert result.is_pareto("fast")
+
+    def test_winner_point_lookup(self, points):
+        result = explore(points)
+        assert result.winner_point("C2EP").name == result.winners["C2EP"]
+
+    def test_winner_point_unknown_metric(self, points):
+        result = explore(points, metric_names=("EDP",))
+        with pytest.raises(ConstraintError):
+            result.winner_point("CEP")
+
+    def test_distinct_winner_count(self, points):
+        result = explore(points)
+        assert 1 <= result.distinct_winner_count <= len(points)
+
+    def test_empty_candidates(self):
+        with pytest.raises(ConstraintError):
+            explore(())
+
+    def test_metric_disagreement_bounds(self, points):
+        result = explore(points)
+        assert 0.0 <= metric_disagreement(result) <= 1.0
+
+    def test_metric_disagreement_zero_for_single_design(self):
+        result = explore((DesignPoint("only", 1.0, 1.0, 1.0, area_mm2=1.0),))
+        assert metric_disagreement(result) == 0.0
+
+    def test_metric_disagreement_requires_edp(self, points):
+        result = explore(points, metric_names=("CDP", "CEP"))
+        with pytest.raises(ConstraintError):
+            metric_disagreement(result)
+
+    def test_mobile_design_space_disagrees(self):
+        # The paper's Figure 8 message: carbon metrics change the answer.
+        from repro.platforms.mobile import design_space
+
+        result = explore(design_space())
+        assert metric_disagreement(result) > 0.0
+        assert result.distinct_winner_count >= 3

@@ -1,0 +1,104 @@
+"""Process-node data (Table 7) and interpolation behaviour."""
+
+import pytest
+
+from repro.core.errors import ParameterError, UnknownEntryError
+from repro.data.fab_nodes import (
+    GPA_ABATEMENT_HIGH,
+    GPA_ABATEMENT_LOW,
+    PROCESS_NODES,
+    TSMC_ABATEMENT,
+    interpolation_ladder,
+    node_names,
+    process_node,
+)
+
+
+class TestNamedNodes:
+    def test_all_table7_rows_present(self):
+        assert set(node_names()) == {
+            "28", "20", "14", "10", "7", "7-euv", "7-euv-dp", "5", "3",
+        }
+
+    def test_lookup_with_nm_suffix(self):
+        assert process_node("28nm").name == "28"
+        assert process_node(" 7NM ").name == "7"
+
+    def test_euv_variants_resolve_exactly(self):
+        assert process_node("7-euv").epa_kwh_per_cm2 == 2.15
+        assert process_node("7-EUV-DP").epa_kwh_per_cm2 == 2.15
+
+    def test_plain_7_is_immersion(self):
+        assert process_node("7").epa_kwh_per_cm2 == 1.52
+
+    def test_numeric_exact_match(self):
+        assert process_node(10).name == "10"
+        assert process_node(10.0).epa_kwh_per_cm2 == 1.475
+
+    def test_unknown_name(self):
+        with pytest.raises(UnknownEntryError):
+            process_node("finfet")
+
+
+class TestInterpolation:
+    def test_16nm_between_20_and_14(self):
+        node = process_node(16)
+        assert node.feature_nm == 16.0
+        # EPA is flat (1.2) between the bracketing rows.
+        assert node.epa_kwh_per_cm2 == pytest.approx(1.2)
+        # GPA@95 is 2/3 of the way from 190 (20nm) to 200 (14nm).
+        assert node.gpa95_g_per_cm2 == pytest.approx(190 + (200 - 190) * 2 / 3)
+
+    def test_8nm_between_10_and_7(self):
+        node = process_node(8)
+        expected_epa = 1.475 + (1.52 - 1.475) * (10 - 8) / (10 - 7)
+        assert node.epa_kwh_per_cm2 == pytest.approx(expected_epa)
+
+    def test_interpolated_node_is_tagged_derived(self):
+        assert "interpolated" in process_node(12).source.citation
+
+    def test_interpolation_monotone_in_feature(self):
+        sizes = [3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 20, 24, 28]
+        epas = [process_node(s).epa_kwh_per_cm2 for s in sizes]
+        assert epas == sorted(epas, reverse=True)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ParameterError):
+            process_node(2)
+        with pytest.raises(ParameterError):
+            process_node(45)
+
+    def test_ladder_excludes_euv_variants(self):
+        names = [node.name for node in interpolation_ladder()]
+        assert "7-euv" not in names
+        assert names == sorted(names, key=float)
+
+
+class TestAbatement:
+    def test_anchor_points(self):
+        node = PROCESS_NODES["28"]
+        assert node.gpa_g_per_cm2(GPA_ABATEMENT_LOW) == pytest.approx(175.0)
+        assert node.gpa_g_per_cm2(GPA_ABATEMENT_HIGH) == pytest.approx(100.0)
+
+    def test_tsmc_level_is_midpointish(self):
+        node = PROCESS_NODES["28"]
+        value = node.gpa_g_per_cm2(TSMC_ABATEMENT)
+        assert 100.0 < value < 175.0
+        assert value == pytest.approx(137.5)
+
+    def test_more_abatement_means_less_gas(self):
+        node = PROCESS_NODES["5"]
+        assert node.gpa_g_per_cm2(0.99) < node.gpa_g_per_cm2(0.97)
+        assert node.gpa_g_per_cm2(0.97) < node.gpa_g_per_cm2(0.95)
+
+    def test_extrapolation_below_95_grows(self):
+        node = PROCESS_NODES["10"]
+        assert node.gpa_g_per_cm2(0.80) > node.gpa_g_per_cm2(0.95)
+
+    def test_extrapolation_clamped_non_negative(self):
+        node = PROCESS_NODES["28"]
+        assert node.gpa_g_per_cm2(1.0) >= 0.0
+
+    def test_invalid_abatement_rejected(self):
+        with pytest.raises(ParameterError):
+            PROCESS_NODES["28"].gpa_g_per_cm2(1.5)

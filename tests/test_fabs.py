@@ -1,0 +1,178 @@
+"""Fab layer: yield models, energy mixes, scenarios, and CPA curves."""
+
+import math
+
+import pytest
+
+from repro.core.errors import UnknownEntryError
+from repro.core.parameters import ParameterError
+from repro.data.regions import region_ci
+from repro.fabs.cpa import cpa_curve, cpa_point
+from repro.fabs.energy_mix import (
+    DEFAULT_FAB_MIX,
+    FAB_ENERGY_MIXES,
+    fab_energy_mix,
+    grid_with_renewables,
+)
+from repro.fabs.fab import FabScenario, default_fab
+from repro.fabs.yield_models import (
+    ACT_REFERENCE_YIELD,
+    FixedYield,
+    MurphyYield,
+    NodeDefaultYield,
+    PoissonYield,
+    default_yield_for_node,
+)
+
+
+class TestYieldModels:
+    def test_fixed_yield_default_matches_act(self):
+        assert FixedYield().yield_for_area(2.0) == ACT_REFERENCE_YIELD == 0.875
+
+    def test_fixed_yield_ignores_area(self):
+        model = FixedYield(0.9)
+        assert model.yield_for_area(0.1) == model.yield_for_area(10.0)
+
+    def test_fixed_yield_validates(self):
+        with pytest.raises(ParameterError):
+            FixedYield(0.0)
+
+    def test_poisson_formula(self):
+        model = PoissonYield(defect_density_per_cm2=0.5)
+        assert model.yield_for_area(1.0) == pytest.approx(math.exp(-0.5))
+
+    def test_poisson_zero_area_is_perfect(self):
+        assert PoissonYield(1.0).yield_for_area(0.0) == 1.0
+
+    def test_poisson_decreases_with_area(self):
+        model = PoissonYield(0.3)
+        assert model.yield_for_area(2.0) < model.yield_for_area(1.0)
+
+    def test_murphy_zero_area_is_perfect(self):
+        assert MurphyYield(1.0).yield_for_area(0.0) == 1.0
+
+    def test_murphy_less_pessimistic_than_poisson_for_large_dies(self):
+        poisson = PoissonYield(0.5)
+        murphy = MurphyYield(0.5)
+        assert murphy.yield_for_area(5.0) > poisson.yield_for_area(5.0)
+
+    def test_murphy_formula(self):
+        model = MurphyYield(1.0)
+        x = 2.0
+        expected = ((1 - math.exp(-x)) / x) ** 2
+        assert model.yield_for_area(2.0) == pytest.approx(expected)
+
+    def test_node_defaults_fall_with_feature_size(self):
+        yields = [default_yield_for_node(nm) for nm in (28, 20, 14, 10, 7, 5, 3)]
+        assert yields == sorted(yields, reverse=True)
+
+    def test_node_default_interpolates(self):
+        y16 = default_yield_for_node(16)
+        assert default_yield_for_node(14) < y16 < default_yield_for_node(20)
+
+    def test_node_default_out_of_range(self):
+        with pytest.raises(UnknownEntryError):
+            default_yield_for_node(45)
+
+    def test_node_default_model_wrapper(self):
+        model = NodeDefaultYield(7.0)
+        assert model.yield_for_area(1.0) == default_yield_for_node(7.0)
+
+
+class TestEnergyMix:
+    def test_default_is_25_renewable(self):
+        assert DEFAULT_FAB_MIX.name == "taiwan_25_renewable"
+        expected = 0.75 * region_ci("taiwan") + 0.25 * 41.0
+        assert DEFAULT_FAB_MIX.ci_g_per_kwh == pytest.approx(expected)
+
+    def test_named_scenarios_present(self):
+        for name in ("coal", "taiwan_grid", "solar", "carbon_free"):
+            assert name in FAB_ENERGY_MIXES
+
+    def test_lookup_normalizes(self):
+        assert fab_energy_mix("Taiwan Grid").ci_g_per_kwh == region_ci("taiwan")
+
+    def test_unknown_mix(self):
+        with pytest.raises(UnknownEntryError):
+            fab_energy_mix("fusion")
+
+    def test_grid_with_renewables_bounds(self):
+        assert grid_with_renewables(500.0, 0.0) == pytest.approx(500.0)
+        assert grid_with_renewables(500.0, 1.0) == pytest.approx(41.0)
+
+    def test_grid_with_renewables_custom_ci(self):
+        assert grid_with_renewables(500.0, 0.5, renewable_ci=0.0) == pytest.approx(
+            250.0
+        )
+
+    def test_grid_with_renewables_validates_share(self):
+        with pytest.raises(ParameterError):
+            grid_with_renewables(500.0, 1.5)
+
+
+class TestFabScenario:
+    def test_default_fab_uses_node_yield(self):
+        fab = default_fab("28")
+        assert fab.params_for_area(1.0).fab_yield == default_yield_for_node(28)
+
+    def test_cpa_matches_manual_eq5(self):
+        fab = FabScenario.for_node(
+            "10", energy_mix="taiwan_grid", abatement=0.95,
+            yield_model=FixedYield(1.0),
+        )
+        node = fab.node
+        expected = region_ci("taiwan") * node.epa_kwh_per_cm2 + 240.0 + 500.0
+        assert fab.cpa_g_per_cm2() == pytest.approx(expected)
+
+    def test_with_energy_mix_changes_only_supply(self):
+        base = default_fab("7")
+        solar = base.with_energy_mix("solar")
+        assert solar.node == base.node
+        assert solar.cpa_g_per_cm2() < base.cpa_g_per_cm2()
+
+    def test_with_ci_custom_supply(self):
+        fab = default_fab("7").with_ci(0.0, label="test")
+        params = fab.params_for_area(1.0)
+        assert params.ci_fab_g_per_kwh == 0.0
+        # With zero-carbon electricity only GPA + MPA remain (scaled by yield).
+        expected = (params.gpa_g_per_cm2 + params.mpa_g_per_cm2) / params.fab_yield
+        assert fab.cpa_g_per_cm2() == pytest.approx(expected)
+
+    def test_numeric_node_accepted(self):
+        assert default_fab(16).node.feature_nm == 16.0
+
+    def test_scenario_accepts_explicit_mix_object(self):
+        mix = fab_energy_mix("coal")
+        fab = FabScenario.for_node("5", energy_mix=mix)
+        assert fab.energy_mix.ci_g_per_kwh == 820.0
+
+    def test_abatement_propagates(self):
+        lax = FabScenario.for_node("5", abatement=0.95)
+        strict = FabScenario.for_node("5", abatement=0.99)
+        assert strict.cpa_g_per_cm2() < lax.cpa_g_per_cm2()
+
+
+class TestCpaCurve:
+    def test_full_ladder_length(self):
+        assert len(cpa_curve()) == 9
+
+    def test_band_ordering_everywhere(self):
+        for point in cpa_curve():
+            assert point.cpa_solar < point.cpa_default < point.cpa_taiwan_grid
+
+    def test_perfect_yield_lowers_cpa(self):
+        with_yield = cpa_point("7")
+        without = cpa_point("7", perfect_yield=True)
+        assert without.cpa_default < with_yield.cpa_default
+
+    def test_28nm_default_near_1_1_kg(self):
+        # Figure 6 bottom starts near ~1 kg CO2/cm^2 at 28 nm.
+        point = cpa_point("28")
+        assert 900.0 < point.cpa_default < 1300.0
+
+    def test_3nm_default_near_3_kg(self):
+        point = cpa_point("3")
+        assert 2700.0 < point.cpa_default < 3700.0
+
+    def test_euv_variant_more_intense_than_immersion(self):
+        assert cpa_point("7-euv").cpa_default > cpa_point("7").cpa_default

@@ -1,0 +1,84 @@
+"""Golden-value regression tests.
+
+The shape checks in the experiments tolerate calibrated bands; this file
+freezes the *exact* computed values of the load-bearing numbers so any
+accidental change to bundled data or calibrated constants fails with a
+precise before/after, not just a band violation.  If a change here is
+intentional, update the constants and `docs/CALIBRATION.md` together.
+"""
+
+import pytest
+
+from repro.accelerators.nvdla import design
+from repro.data.devices import ipad_platform, iphone11_platform
+from repro.data.soc_catalog import mobile_soc
+from repro.fabs.fab import default_fab
+from repro.platforms.mobile import soc_embodied_g
+
+#: CPA (g CO2 / cm^2) of the default fab per node.
+GOLDEN_CPA = {
+    "28": 1083.593750,
+    "20": 1318.888889,
+    "14": 1462.804878,
+    "10": 1693.828125,
+    "7": 1914.736842,
+    "5": 2898.767606,
+    "3": 3186.553030,
+}
+
+#: Embodied carbon (g CO2) of each catalog chipset's platform.
+GOLDEN_SOC_EMBODIED = {
+    "Exynos 9820": 3018.973006,
+    "Exynos 9810": 2601.961641,
+    "Exynos 8895": 2270.519531,
+    "Exynos 7420": 1992.987805,
+    "Snapdragon 865": 2282.805263,
+    "Snapdragon 855": 1985.757895,
+    "Snapdragon 845": 2180.198438,
+    "Snapdragon 835": 1716.637734,
+    "Snapdragon 820": 2155.209146,
+    "Kirin 990": 2407.263158,
+    "Kirin 980": 2007.394421,
+    "Kirin 970": 2226.270562,
+    "Kirin 960": 2153.136850,
+}
+
+#: Embodied carbon (g CO2) of each 16 nm NVDLA configuration.
+GOLDEN_NVDLA_EMBODIED = {
+    64: 12.066046,
+    128: 13.380092,
+    256: 16.008184,
+    512: 21.264367,
+    1024: 31.776735,
+    2048: 52.801470,
+}
+
+#: Device bottom-up totals (g CO2).
+GOLDEN_IPHONE11_G = 17146.670629
+GOLDEN_IPAD_G = 21057.387408
+
+
+@pytest.mark.parametrize("node,expected", sorted(GOLDEN_CPA.items()))
+def test_default_fab_cpa(node, expected):
+    assert default_fab(node).cpa_g_per_cm2() == pytest.approx(
+        expected, rel=1e-6
+    )
+
+
+@pytest.mark.parametrize("name,expected", sorted(GOLDEN_SOC_EMBODIED.items()))
+def test_soc_embodied(name, expected):
+    assert soc_embodied_g(mobile_soc(name)) == pytest.approx(expected, rel=1e-6)
+
+
+@pytest.mark.parametrize("macs,expected", sorted(GOLDEN_NVDLA_EMBODIED.items()))
+def test_nvdla_embodied(macs, expected):
+    assert design(macs).embodied_g == pytest.approx(expected, rel=1e-6)
+
+
+def test_device_totals():
+    assert iphone11_platform().embodied_g() == pytest.approx(
+        GOLDEN_IPHONE11_G, rel=1e-6
+    )
+    assert ipad_platform().embodied_g() == pytest.approx(
+        GOLDEN_IPAD_G, rel=1e-6
+    )

@@ -1,0 +1,163 @@
+"""Cross-module consistency: different paths through the library must agree."""
+
+import pytest
+
+from repro.analysis.scenario import ActScenario
+from repro.core import units
+from repro.core.components import (
+    DramComponent,
+    HddComponent,
+    LogicComponent,
+    SsdComponent,
+)
+from repro.core.model import Platform, footprint
+from repro.core.parameters import FabParams
+from repro.fabs.fab import FabScenario
+from repro.fabs.wafer import wafer_run
+from repro.fabs.yield_models import FixedYield
+
+
+class TestScalarVsComponentModel:
+    """The flat ActScenario and the component/platform API are two
+    implementations of the same equations; on matched inputs they must
+    agree to machine precision."""
+
+    @pytest.fixture()
+    def matched(self):
+        scenario = ActScenario(
+            energy_kwh=10.0,
+            ci_use_g_per_kwh=380.0,
+            duration_hours=units.years_to_hours(2.0),
+            lifetime_hours=units.years_to_hours(4.0),
+            soc_area_cm2=1.2,
+            ci_fab_g_per_kwh=447.5,
+            epa_kwh_per_cm2=1.52,
+            gpa_g_per_cm2=275.0,
+            mpa_g_per_cm2=500.0,
+            fab_yield=0.76,
+            dram_gb=8.0,
+            cps_dram_g_per_gb=48.0,
+            ssd_gb=128.0,
+            cps_ssd_g_per_gb=6.3,
+            hdd_gb=1000.0,
+            cps_hdd_g_per_gb=4.57,
+            ic_count=4.0,
+            packaging_g_per_ic=150.0,
+        )
+        fab = FabScenario.for_node(
+            "7", yield_model=FixedYield(scenario.fab_yield)
+        )
+        platform = Platform(
+            "matched",
+            (
+                LogicComponent("SoC", units.cm2_to_mm2(1.2), fab),
+                DramComponent.of("DRAM", 8.0, "lpddr4"),
+                SsdComponent.of("SSD", 128.0, "nand_v3_tlc"),
+                HddComponent.of("HDD", 1000.0, "barracuda", ics=1),
+            ),
+        )
+        return scenario, platform
+
+    def test_embodied_agrees(self, matched):
+        scenario, platform = matched
+        assert platform.embodied_g() == pytest.approx(
+            scenario.embodied_g(), rel=1e-12
+        )
+
+    def test_total_agrees(self, matched):
+        scenario, platform = matched
+        report = footprint(
+            platform,
+            energy_kwh=scenario.energy_kwh,
+            ci_use_g_per_kwh=scenario.ci_use_g_per_kwh,
+            duration_hours=scenario.duration_hours,
+            lifetime_years=units.hours_to_years(scenario.lifetime_hours),
+        )
+        assert report.total_g == pytest.approx(scenario.total_g(), rel=1e-12)
+
+    def test_cpa_agrees_with_fab_params(self, matched):
+        scenario, _ = matched
+        params = FabParams(
+            scenario.ci_fab_g_per_kwh,
+            scenario.epa_kwh_per_cm2,
+            scenario.gpa_g_per_cm2,
+            scenario.mpa_g_per_cm2,
+            scenario.fab_yield,
+        )
+        assert scenario.cpa_g_per_cm2() == pytest.approx(params.cpa_g_per_cm2())
+
+
+class TestWaferVsEq4:
+    @pytest.mark.parametrize("node", ["28", "14", "7", "3"])
+    @pytest.mark.parametrize("die_mm2", [50.0, 98.5, 400.0])
+    def test_wafer_accounting_brackets_eq4(self, node, die_mm2):
+        fab = FabScenario.for_node(node)
+        eq4 = LogicComponent("x", die_mm2, fab).embodied_g()
+        per_die = wafer_run(die_mm2, fab).per_good_die_g
+        # Wafer accounting includes edge loss: always >= Eq. 4, and within
+        # a modest overhead for sane die sizes.
+        assert eq4 <= per_die <= eq4 * 1.5
+
+
+class TestFleetVsDeviceFootprint:
+    def test_one_lifetime_matches_device_accounting(self):
+        """A fleet with lifetime == horizon reduces to one device's Eq. 1."""
+        from repro.lifetime.fleet import FleetScenario, finite_horizon_footprint
+
+        scenario = FleetScenario(
+            embodied_kg=20.0, annual_operational_kg=5.0, efficiency_rate=1.3
+        )
+        point = finite_horizon_footprint(6.0, scenario, horizon_years=6.0)
+        assert point.embodied_kg_per_year * 6.0 == pytest.approx(20.0)
+        assert point.operational_kg_per_year == pytest.approx(5.0)
+
+
+class TestExperimentDataMatchesLibrary:
+    def test_fig8_embodied_series_matches_platform_model(self):
+        """Experiment figure data must equal direct library computation."""
+        from repro.data.soc_catalog import all_socs
+        from repro.experiments.fig08_mobile_design_space import run
+        from repro.platforms.mobile import soc_embodied_g
+
+        result = run()
+        figure = next(f for f in result.figures if "embodied" in f.title)
+        series = figure.series[0]
+        for soc in all_socs():
+            assert series.y_at(soc.name) == pytest.approx(
+                soc_embodied_g(soc) / 1000.0
+            )
+
+    def test_fig12_sweep_matches_accelerator_model(self):
+        from repro.accelerators.nvdla import sweep
+        from repro.experiments.fig12_nvdla_sweep import run
+
+        result = run()
+        left = result.figures[0]
+        latency = left.series_named("latency (ms)")
+        for design in sweep():
+            assert latency.y_at(design.n_macs) == pytest.approx(
+                design.latency_s * 1e3
+            )
+
+    def test_tab4_rows_match_provisioning_model(self):
+        from repro.experiments.tab04_provisioning import run
+        from repro.provisioning.mobile_soc import CONFIGURATIONS
+
+        result = run()
+        by_name = {row[0]: row for row in result.table_rows}
+        for config in CONFIGURATIONS:
+            row = by_name[config.name]
+            assert row[4] == pytest.approx(config.embodied_g())
+
+
+class TestCsvExportRoundTrip:
+    @pytest.mark.parametrize("experiment_id", ["fig6", "fig8", "fig14", "fig15"])
+    def test_every_panel_exports(self, experiment_id):
+        from repro.experiments import run_experiment
+        from repro.reporting.serialize import figure_to_csv, figure_to_json
+
+        result = run_experiment(experiment_id)
+        for figure in result.figures:
+            csv = figure_to_csv(figure)
+            assert csv.count("\n") == len(figure.series[0]) + 1
+            assert figure_to_json(figure).startswith("{")

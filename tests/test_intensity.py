@@ -1,0 +1,119 @@
+"""Time-varying carbon intensity traces and carbon-aware scheduling."""
+
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.core.intensity import (
+    CarbonIntensityTrace,
+    constant_trace,
+    greenest_window_footprint_g,
+    scheduling_saving,
+    solar_diurnal_trace,
+    trace_footprint_g,
+)
+
+
+class TestTrace:
+    def test_wraps_around_period(self):
+        trace = CarbonIntensityTrace("t", (100.0, 200.0))
+        assert trace.at_hour(0) == 100.0
+        assert trace.at_hour(3) == 200.0
+
+    def test_average_and_minimum(self):
+        trace = CarbonIntensityTrace("t", (100.0, 200.0, 300.0))
+        assert trace.average == pytest.approx(200.0)
+        assert trace.minimum == 100.0
+
+    def test_greenest_hours_ordering(self):
+        trace = CarbonIntensityTrace("t", (300.0, 100.0, 200.0))
+        assert trace.greenest_hours(2) == (1, 2)
+
+    def test_greenest_hours_ties_break_by_hour(self):
+        trace = CarbonIntensityTrace("t", (100.0, 100.0, 200.0))
+        assert trace.greenest_hours(1) == (0,)
+
+    def test_too_many_hours_requested(self):
+        with pytest.raises(ParameterError):
+            CarbonIntensityTrace("t", (1.0,)).greenest_hours(2)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ParameterError):
+            CarbonIntensityTrace("t", ())
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ParameterError):
+            CarbonIntensityTrace("t", (100.0, -1.0))
+
+
+class TestProfiles:
+    def test_constant_trace_is_flat(self):
+        trace = constant_trace(583.0)
+        assert len(trace) == 24
+        assert trace.average == pytest.approx(583.0)
+        assert trace.minimum == pytest.approx(583.0)
+
+    def test_solar_trace_dips_at_noon(self):
+        trace = solar_diurnal_trace(500.0)
+        assert trace.at_hour(12) < trace.at_hour(0)
+        assert trace.minimum == trace.at_hour(12)
+
+    def test_solar_trace_night_is_base(self):
+        trace = solar_diurnal_trace(500.0)
+        assert trace.at_hour(0) == pytest.approx(500.0)
+        assert trace.at_hour(22) == pytest.approx(500.0)
+
+    def test_solar_trace_average_below_base(self):
+        trace = solar_diurnal_trace(500.0, solar_share_at_noon=0.8)
+        assert trace.average < 500.0
+
+    def test_zero_solar_share_reduces_to_constant(self):
+        trace = solar_diurnal_trace(400.0, solar_share_at_noon=0.0)
+        assert trace.average == pytest.approx(400.0)
+
+    def test_invalid_share_rejected(self):
+        with pytest.raises(ParameterError):
+            solar_diurnal_trace(500.0, solar_share_at_noon=1.5)
+
+
+class TestFootprintAgainstTrace:
+    def test_matches_flat_model_on_constant_trace(self):
+        trace = constant_trace(300.0)
+        assert trace_footprint_g((1.0, 1.0, 1.0), trace) == pytest.approx(900.0)
+
+    def test_start_hour_matters(self):
+        trace = CarbonIntensityTrace("t", (100.0, 500.0))
+        cheap = trace_footprint_g((1.0,), trace, start_hour=0)
+        dear = trace_footprint_g((1.0,), trace, start_hour=1)
+        assert cheap == 100.0 and dear == 500.0
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ParameterError):
+            trace_footprint_g((-1.0,), constant_trace(300.0))
+
+
+class TestScheduling:
+    def test_greenest_window_on_solar_trace_is_midday(self):
+        trace = solar_diurnal_trace(500.0)
+        start, total = greenest_window_footprint_g(4.0, 4, trace)
+        assert 8 <= start <= 12
+        assert total < 4.0 * trace.average
+
+    def test_window_longer_than_period_rejected(self):
+        with pytest.raises(ParameterError):
+            greenest_window_footprint_g(1.0, 25, constant_trace(300.0))
+
+    def test_saving_is_one_on_flat_trace(self):
+        assert scheduling_saving(4, constant_trace(300.0)) == pytest.approx(1.0)
+
+    def test_saving_exceeds_one_on_solar_trace(self):
+        assert scheduling_saving(4, solar_diurnal_trace(500.0)) > 1.1
+
+    def test_saving_shrinks_with_longer_windows(self):
+        trace = solar_diurnal_trace(500.0)
+        assert scheduling_saving(2, trace) >= scheduling_saving(12, trace)
+
+    def test_zero_ci_window_gives_inf(self):
+        import math
+
+        trace = CarbonIntensityTrace("t", (0.0, 100.0))
+        assert math.isinf(scheduling_saving(1, trace))

@@ -1,0 +1,118 @@
+"""Declarative platform configuration (JSON → Platform)."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ParameterError, UnknownEntryError
+from repro.io.config import (
+    component_from_spec,
+    load_platform,
+    platform_from_dict,
+    platform_from_json,
+)
+
+VALID_CONFIG = {
+    "name": "cfg phone",
+    "packaging_g_per_ic": 150,
+    "components": [
+        {"type": "logic", "name": "SoC", "area_mm2": 98.5, "node": "7"},
+        {"type": "dram", "name": "DRAM", "capacity_gb": 4,
+         "technology": "lpddr4"},
+        {"type": "ssd", "name": "NAND", "capacity_gb": 64,
+         "technology": "nand_v3_tlc"},
+        {"type": "hdd", "name": "disk", "capacity_gb": 1000,
+         "model": "barracuda"},
+        {"type": "fixed", "name": "battery", "carbon_g": 5000},
+    ],
+}
+
+
+class TestPlatformFromDict:
+    def test_valid_config_builds(self):
+        platform = platform_from_dict(VALID_CONFIG)
+        assert platform.name == "cfg phone"
+        assert len(platform.components) == 5
+        assert platform.embodied_kg() > 0
+
+    def test_matches_programmatic_equivalent(self):
+        from repro.core.components import LogicComponent
+
+        platform = platform_from_dict(
+            {"components": [
+                {"type": "logic", "name": "SoC", "area_mm2": 100, "node": "7"}
+            ]}
+        )
+        manual = LogicComponent.at_node("SoC", 100, "7")
+        assert platform.components[0].embodied_g() == pytest.approx(
+            manual.embodied_g()
+        )
+
+    def test_logic_options(self):
+        spec = {
+            "type": "logic", "name": "die", "area_mm2": 50, "node": "28",
+            "energy_mix": "solar", "abatement": 0.99, "fab_yield": 0.9,
+            "category": "other", "ics": 2,
+        }
+        component = component_from_spec(spec)
+        assert component.category == "other"
+        assert component.ic_count == 2
+        assert component.fab.energy_mix.name == "solar"
+        assert component.fab.params_for_area(0.5).fab_yield == 0.9
+
+    def test_soc_alias_for_logic(self):
+        component = component_from_spec(
+            {"type": "soc", "name": "x", "area_mm2": 10, "node": "7"}
+        )
+        assert component.category == "soc"
+
+    def test_missing_required_field(self):
+        with pytest.raises(ParameterError, match="missing fields"):
+            component_from_spec({"type": "logic", "name": "x", "node": "7"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ParameterError, match="unknown fields"):
+            component_from_spec(
+                {"type": "dram", "name": "x", "capacity_gb": 4, "nodee": "7"}
+            )
+
+    def test_unknown_component_type(self):
+        with pytest.raises(UnknownEntryError):
+            component_from_spec({"type": "gpu", "name": "x"})
+
+    def test_missing_type(self):
+        with pytest.raises(ParameterError, match="missing 'type'"):
+            component_from_spec({"name": "x"})
+
+    def test_unknown_platform_field(self):
+        with pytest.raises(ParameterError, match="unknown fields"):
+            platform_from_dict({"components": [], "vendor": "acme"})
+
+    def test_components_must_be_list(self):
+        with pytest.raises(ParameterError, match="'components' list"):
+            platform_from_dict({"components": "none"})
+
+
+class TestJsonAndFiles:
+    def test_from_json_string(self):
+        platform = platform_from_json(json.dumps(VALID_CONFIG))
+        assert platform.ic_count == 4  # fixed component contributes 0
+
+    def test_invalid_json(self):
+        with pytest.raises(ParameterError, match="invalid platform JSON"):
+            platform_from_json("{not json")
+
+    def test_top_level_must_be_object(self):
+        with pytest.raises(ParameterError, match="object at the top level"):
+            platform_from_json("[1, 2]")
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "platform.json"
+        path.write_text(json.dumps(VALID_CONFIG))
+        platform = load_platform(path)
+        assert platform.name == "cfg phone"
+
+    def test_roundtrip_totals_stable(self):
+        a = platform_from_json(json.dumps(VALID_CONFIG)).embodied_g()
+        b = platform_from_dict(VALID_CONFIG).embodied_g()
+        assert a == pytest.approx(b)

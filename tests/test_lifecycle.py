@@ -1,0 +1,173 @@
+"""Four-phase life cycle: transport, end-of-life, and assembly."""
+
+import pytest
+
+from repro.core.components import DramComponent, LogicComponent, SsdComponent
+from repro.core.eol import eol_footprint, second_life_displacement_g
+from repro.core.errors import UnknownEntryError
+from repro.core.lifecycle import device_lifecycle
+from repro.core.model import Platform
+from repro.core.parameters import ParameterError
+from repro.core.transport import (
+    DEFAULT_ROUTE,
+    TransportLeg,
+    freight_intensity,
+    transport_footprint_g,
+)
+
+
+class TestTransport:
+    def test_mode_intensities_ordered(self):
+        assert (
+            freight_intensity("air")
+            > freight_intensity("truck")
+            > freight_intensity("rail")
+            > freight_intensity("sea")
+        )
+
+    def test_unknown_mode(self):
+        with pytest.raises(UnknownEntryError):
+            freight_intensity("drone")
+
+    def test_leg_footprint(self):
+        leg = TransportLeg("sea", 10_000.0)
+        # 0.5 kg over 10000 km by sea: 0.0005 t * 10000 km * 12 g.
+        assert leg.footprint_g(0.5) == pytest.approx(60.0)
+
+    def test_route_sums_legs(self):
+        route = (TransportLeg("air", 1000.0), TransportLeg("truck", 100.0))
+        total = transport_footprint_g(1.0, route)
+        assert total == pytest.approx(
+            route[0].footprint_g(1.0) + route[1].footprint_g(1.0)
+        )
+
+    def test_default_route_air_dominates(self):
+        air_only = transport_footprint_g(0.5, (DEFAULT_ROUTE[0],))
+        total = transport_footprint_g(0.5)
+        assert air_only / total > 0.9
+
+    def test_phone_scale_transport_few_kg(self):
+        # ~0.5 kg shipped: transport should land in the ~2-3 kg range,
+        # matching the few-percent share of device reports.
+        grams = transport_footprint_g(0.5)
+        assert 2000.0 < grams < 4000.0
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ParameterError):
+            TransportLeg("air", -1.0)
+
+
+class TestEol:
+    def test_net_composition(self):
+        outcome = eol_footprint(1.0, recovery_rate=0.5, grid_ci_g_per_kwh=300.0)
+        assert outcome.net_g == pytest.approx(
+            outcome.processing_g - outcome.credit_g
+        )
+
+    def test_more_recovery_lowers_net(self):
+        low = eol_footprint(1.0, recovery_rate=0.1)
+        high = eol_footprint(1.0, recovery_rate=0.9)
+        assert high.net_g < low.net_g
+
+    def test_high_recovery_can_go_negative(self):
+        outcome = eol_footprint(
+            1.0, recovery_rate=1.0, grid_ci_g_per_kwh=11.0
+        )
+        assert outcome.net_g < 0
+
+    def test_zero_mass_zero_everything(self):
+        outcome = eol_footprint(0.0)
+        assert outcome.processing_g == 0.0 and outcome.credit_g == 0.0
+
+    def test_invalid_recovery(self):
+        with pytest.raises(ParameterError):
+            eol_footprint(1.0, recovery_rate=1.5)
+
+    def test_second_life_displacement(self):
+        assert second_life_displacement_g(17_000.0) == 17_000.0
+
+
+class TestDeviceLifecycle:
+    @pytest.fixture()
+    def phone(self):
+        return Platform(
+            "phone",
+            (
+                LogicComponent.at_node("SoC", 98.5, "7"),
+                DramComponent.of("DRAM", 4, "lpddr4"),
+                SsdComponent.of("NAND", 64, "nand_v3_tlc"),
+            ),
+        )
+
+    def test_shares_sum_to_one(self, phone):
+        report = device_lifecycle(
+            phone,
+            mass_kg=0.5,
+            average_power_w=1.5,
+            utilization=0.2,
+            ci_use_g_per_kwh=380.0,
+            lifetime_years=3.0,
+        )
+        assert sum(report.shares().values()) == pytest.approx(1.0)
+
+    def test_modern_phone_is_manufacturing_dominated(self):
+        # With the full device bill of ICs (not just the 3-part toy
+        # platform), manufacturing dominates — the Figure 1 shift.
+        from repro.data.devices import iphone11_platform
+
+        report = device_lifecycle(
+            iphone11_platform(),
+            mass_kg=0.5,
+            average_power_w=1.5,
+            utilization=0.2,
+            ci_use_g_per_kwh=380.0,
+            lifetime_years=3.0,
+        )
+        assert report.manufacturing_dominated
+        assert report.shares()["manufacturing"] > 0.6
+
+    def test_transport_and_eol_are_minor_for_full_device(self):
+        from repro.data.devices import iphone11_platform
+
+        report = device_lifecycle(
+            iphone11_platform(),
+            mass_kg=0.5,
+            average_power_w=1.5,
+            utilization=0.2,
+            ci_use_g_per_kwh=380.0,
+            lifetime_years=3.0,
+        )
+        shares = report.shares()
+        # The device reports put transport + EOL in the single digits.
+        assert shares["transport"] + shares["eol"] < 0.15
+
+    def test_dirty_grid_heavy_use_flips_dominance(self, phone):
+        report = device_lifecycle(
+            phone,
+            mass_kg=0.5,
+            average_power_w=4.0,
+            utilization=0.8,
+            ci_use_g_per_kwh=820.0,
+            lifetime_years=5.0,
+        )
+        assert not report.manufacturing_dominated
+
+    def test_charging_losses_inflate_use(self, phone):
+        kwargs = dict(
+            mass_kg=0.5, average_power_w=1.5, utilization=0.2,
+            ci_use_g_per_kwh=380.0, lifetime_years=3.0,
+        )
+        lossless = device_lifecycle(phone, charging_efficiency=1.0, **kwargs)
+        lossy = device_lifecycle(phone, charging_efficiency=0.8, **kwargs)
+        assert lossy.use_g == pytest.approx(lossless.use_g / 0.8)
+
+    def test_total_kg(self, phone):
+        report = device_lifecycle(
+            phone,
+            mass_kg=0.5,
+            average_power_w=1.5,
+            utilization=0.2,
+            ci_use_g_per_kwh=380.0,
+            lifetime_years=3.0,
+        )
+        assert report.total_kg == pytest.approx(report.total_g / 1000.0)

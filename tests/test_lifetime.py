@@ -1,0 +1,131 @@
+"""Fleet lifetime model (the Recycle case study, Figure 14)."""
+
+import math
+
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.lifetime.efficiency_scaling import (
+    average_relative_energy_over_life,
+    catalog_annual_improvement,
+    relative_energy_at_year,
+)
+from repro.lifetime.fleet import (
+    FleetScenario,
+    extension_saving,
+    finite_horizon_footprint,
+    lifetime_sweep,
+    mobile_scenario,
+    optimal_lifetime,
+    steady_state_annual_footprint,
+)
+
+
+class TestEfficiencyScaling:
+    def test_catalog_rate_near_paper(self):
+        assert catalog_annual_improvement() == pytest.approx(1.21, rel=0.02)
+
+    def test_relative_energy_decays(self):
+        assert relative_energy_at_year(0, 1.21) == 1.0
+        assert relative_energy_at_year(5, 1.21) == pytest.approx(1.21**-5)
+
+    def test_average_over_life_closed_form(self):
+        rate = 1.21
+        years = 5.0
+        expected = (rate**years - 1) / (years * math.log(rate))
+        assert average_relative_energy_over_life(years, rate) == pytest.approx(
+            expected
+        )
+
+    def test_average_with_no_improvement_is_one(self):
+        assert average_relative_energy_over_life(7.0, 1.0) == 1.0
+
+    def test_average_exceeds_one_with_improvement(self):
+        # Keeping old hardware is always worse than always-new.
+        assert average_relative_energy_over_life(3.0, 1.21) > 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ParameterError):
+            average_relative_energy_over_life(0.0, 1.21)
+
+
+class TestFleetScenario:
+    def test_mobile_scenario_anchors(self):
+        scenario = mobile_scenario()
+        assert scenario.embodied_kg == pytest.approx(23.0)
+        assert scenario.annual_operational_kg == pytest.approx(4.05)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            FleetScenario(0.0, 1.0, 1.2)
+
+
+class TestSteadyState:
+    @pytest.fixture()
+    def scenario(self):
+        return mobile_scenario()
+
+    def test_embodied_amortizes(self, scenario):
+        point = steady_state_annual_footprint(5.0, scenario)
+        assert point.embodied_kg_per_year == pytest.approx(23.0 / 5.0)
+
+    def test_operational_grows_with_lifetime(self, scenario):
+        short = steady_state_annual_footprint(2.0, scenario)
+        long = steady_state_annual_footprint(8.0, scenario)
+        assert long.operational_kg_per_year > short.operational_kg_per_year
+
+    def test_total_is_sum(self, scenario):
+        point = steady_state_annual_footprint(4.0, scenario)
+        assert point.total_kg_per_year == pytest.approx(
+            point.embodied_kg_per_year + point.operational_kg_per_year
+        )
+
+    def test_optimum_is_five_years(self, scenario):
+        assert optimal_lifetime(scenario).lifetime_years == 5
+
+    def test_extension_saving_matches_paper(self, scenario):
+        assert extension_saving(scenario) == pytest.approx(1.26, rel=0.03)
+
+    def test_sweep_covers_decade(self, scenario):
+        sweep = lifetime_sweep(scenario)
+        assert [p.lifetime_years for p in sweep] == list(range(1, 11))
+
+    def test_embodied_dominated_scenario_prefers_long_life(self):
+        scenario = FleetScenario(100.0, 1.0, 1.21)
+        assert optimal_lifetime(scenario).lifetime_years >= 8
+
+    def test_operational_dominated_scenario_prefers_short_life(self):
+        scenario = FleetScenario(1.0, 20.0, 1.21)
+        assert optimal_lifetime(scenario).lifetime_years <= 2
+
+
+class TestFiniteHorizon:
+    @pytest.fixture()
+    def scenario(self):
+        return FleetScenario(20.0, 4.0, 1.21)
+
+    def test_one_device_for_full_horizon(self, scenario):
+        point = finite_horizon_footprint(10.0, scenario, horizon_years=10.0)
+        assert point.embodied_kg_per_year == pytest.approx(2.0)
+        assert point.operational_kg_per_year == pytest.approx(4.0)
+
+    def test_replacement_count(self, scenario):
+        point = finite_horizon_footprint(3.0, scenario, horizon_years=10.0)
+        # Purchases at years 0, 3, 6, 9 -> four devices.
+        assert point.embodied_kg_per_year == pytest.approx(4 * 20.0 / 10.0)
+
+    def test_final_device_serves_partial_life(self, scenario):
+        point = finite_horizon_footprint(4.0, scenario, horizon_years=10.0)
+        # Years served: 4 + 4 + 2 with improving efficiency.
+        expected_op = 4.0 * (4 + 4 / 1.21**4 + 2 / 1.21**8) / 10.0
+        assert point.operational_kg_per_year == pytest.approx(expected_op)
+
+    def test_newer_devices_cut_operational(self, scenario):
+        frequent = finite_horizon_footprint(1.0, scenario, horizon_years=10.0)
+        never = finite_horizon_footprint(10.0, scenario, horizon_years=10.0)
+        assert frequent.operational_kg_per_year < never.operational_kg_per_year
+        assert frequent.embodied_kg_per_year > never.embodied_kg_per_year
+
+    def test_invalid_horizon(self, scenario):
+        with pytest.raises(ParameterError):
+            finite_horizon_footprint(2.0, scenario, horizon_years=0.0)

@@ -1,0 +1,147 @@
+"""Carbon optimization metrics (Table 2)."""
+
+import pytest
+
+from repro.core.errors import UnknownEntryError
+from repro.core.metrics import (
+    CARBON_METRICS,
+    ENERGY_METRICS,
+    METRICS,
+    DesignPoint,
+    best_design,
+    c2ep,
+    cdp,
+    ce2p,
+    cep,
+    edap,
+    edp,
+    evaluate,
+    metric,
+    normalized,
+    score_table,
+    winners,
+)
+
+
+@pytest.fixture()
+def point() -> DesignPoint:
+    return DesignPoint(
+        name="x", embodied_carbon_g=100.0, energy_kwh=2.0, delay_s=3.0,
+        area_mm2=50.0,
+    )
+
+
+class TestFormulas:
+    def test_edp(self, point):
+        assert edp(point) == pytest.approx(6.0)
+
+    def test_edap(self, point):
+        assert edap(point) == pytest.approx(300.0)
+
+    def test_cdp(self, point):
+        assert cdp(point) == pytest.approx(300.0)
+
+    def test_cep(self, point):
+        assert cep(point) == pytest.approx(200.0)
+
+    def test_c2ep(self, point):
+        assert c2ep(point) == pytest.approx(100.0**2 * 2.0)
+
+    def test_ce2p(self, point):
+        assert ce2p(point) == pytest.approx(100.0 * 4.0)
+
+    def test_c2ep_weights_carbon_more_than_cep(self):
+        lean = DesignPoint("lean", 10.0, 4.0, 1.0)
+        fat = DesignPoint("fat", 40.0, 1.0, 1.0)
+        # CEP ties (40 each); C2EP must prefer the low-carbon design.
+        assert cep(lean) == cep(fat)
+        assert c2ep(lean) < c2ep(fat)
+        # ...and CE2P must prefer the low-energy design.
+        assert ce2p(fat) < ce2p(lean)
+
+    def test_edap_requires_area(self):
+        no_area = DesignPoint("x", 1.0, 1.0, 1.0)
+        with pytest.raises(UnknownEntryError):
+            edap(no_area)
+
+
+class TestRegistry:
+    def test_all_six_metrics(self):
+        assert set(METRICS) == {"EDP", "EDAP", "CDP", "CEP", "C2EP", "CE2P"}
+        assert set(CARBON_METRICS) | set(ENERGY_METRICS) == set(METRICS)
+
+    def test_lookup_case_and_punctuation_insensitive(self, point):
+        assert metric("cdp")(point) == cdp(point)
+        assert metric("C2EP")(point) == c2ep(point)
+        assert metric("ce-2p" .replace("-2", "2"))(point) == ce2p(point)
+
+    def test_unknown_metric(self):
+        with pytest.raises(UnknownEntryError):
+            metric("PPA")
+
+    def test_evaluate(self, point):
+        assert evaluate(point, "CEP") == cep(point)
+
+
+class TestSelection:
+    @pytest.fixture()
+    def points(self):
+        return (
+            DesignPoint("small", 10.0, 5.0, 10.0, area_mm2=1.0),
+            DesignPoint("medium", 20.0, 2.0, 4.0, area_mm2=2.0),
+            DesignPoint("large", 60.0, 1.5, 1.0, area_mm2=6.0),
+        )
+
+    def test_best_design_per_metric(self, points):
+        assert best_design(points, "C2EP").name == "small"
+        assert best_design(points, "EDP").name == "large"
+
+    def test_best_design_empty_raises(self):
+        with pytest.raises(UnknownEntryError):
+            best_design((), "EDP")
+
+    def test_winners_covers_all_metrics(self, points):
+        result = winners(points)
+        assert set(result) == set(METRICS)
+
+    def test_winners_skips_edap_without_area(self):
+        points = (DesignPoint("a", 1.0, 1.0, 1.0), DesignPoint("b", 2.0, 2.0, 2.0))
+        result = winners(points)
+        assert "EDAP" not in result
+        assert result["EDP"] == "a"
+
+    def test_score_table_shape(self, points):
+        table = score_table(points, ("CDP", "CEP"))
+        assert set(table) == {"CDP", "CEP"}
+        assert set(table["CDP"]) == {"small", "medium", "large"}
+
+    def test_score_table_skips_area_less_points_for_edap(self):
+        points = (
+            DesignPoint("a", 1.0, 1.0, 1.0, area_mm2=1.0),
+            DesignPoint("b", 1.0, 1.0, 1.0),
+        )
+        table = score_table(points)
+        assert set(table["EDAP"]) == {"a"}
+        assert set(table["EDP"]) == {"a", "b"}
+
+    def test_winner_invariant_under_positive_scaling(self, points):
+        # Scaling every energy by a positive constant must not change winners.
+        scaled = tuple(
+            DesignPoint(p.name, p.embodied_carbon_g, p.energy_kwh * 7.3,
+                        p.delay_s, p.area_mm2)
+            for p in points
+        )
+        assert winners(points) == winners(scaled)
+
+    def test_normalized(self):
+        scores = {"a": 2.0, "b": 4.0}
+        result = normalized(scores, "a")
+        assert result == {"a": 1.0, "b": 2.0}
+
+    def test_normalized_unknown_reference(self):
+        with pytest.raises(UnknownEntryError):
+            normalized({"a": 1.0}, "zz")
+
+    def test_normalized_zero_reference(self):
+        with pytest.raises(ZeroDivisionError):
+            normalized({"a": 0.0, "b": 1.0}, "a")

@@ -1,0 +1,170 @@
+"""Mobile substrate: SoC catalog, workload suite, platform assembly."""
+
+import math
+
+import pytest
+
+from repro.core.errors import UnknownEntryError
+from repro.data.soc_catalog import (
+    FAMILIES,
+    all_socs,
+    family_socs,
+    mobile_soc,
+    newest_in_family,
+)
+from repro.platforms.mobile import (
+    annual_efficiency_improvement,
+    design_space,
+    family_efficiency_trend,
+    soc_design_point,
+    soc_embodied_g,
+    soc_platform,
+)
+from repro.workloads.geekbench import (
+    FAMILY_TILTS,
+    WORKLOADS,
+    aggregate_delay_s,
+    aggregate_energy_kwh,
+    aggregate_speed,
+    run_suite,
+    run_workload,
+    workload,
+    workload_score,
+)
+
+
+class TestCatalog:
+    def test_thirteen_chipsets(self):
+        assert len(all_socs()) == 13
+
+    def test_three_families(self):
+        assert set(s.family for s in all_socs()) == set(FAMILIES)
+
+    def test_family_counts_match_figure8(self):
+        assert len(family_socs("Exynos")) == 4
+        assert len(family_socs("Snapdragon")) == 5
+        assert len(family_socs("Kirin")) == 4
+
+    def test_lookup_variants(self):
+        assert mobile_soc("snapdragon 865").name == "Snapdragon 865"
+        assert mobile_soc("Kirin_980").die_area_mm2 == pytest.approx(74.13)
+
+    def test_unknown_soc(self):
+        with pytest.raises(UnknownEntryError):
+            mobile_soc("tensor g3")
+
+    def test_unknown_family(self):
+        with pytest.raises(UnknownEntryError):
+            family_socs("MediaTek")
+
+    def test_newest_in_family(self):
+        assert newest_in_family("Snapdragon").name == "Snapdragon 865"
+        assert newest_in_family("Kirin").name == "Kirin 990"
+        assert newest_in_family("Exynos").name == "Exynos 9820"
+
+    def test_newer_generations_are_faster_within_family(self):
+        for family in FAMILIES:
+            socs = sorted(family_socs(family), key=lambda s: s.year)
+            scores = [s.perf_score for s in socs]
+            assert scores == sorted(scores)
+
+    def test_efficiency_property(self):
+        soc = mobile_soc("kirin 980")
+        assert soc.efficiency == pytest.approx(soc.perf_score / soc.tdp_w)
+
+
+class TestWorkloads:
+    def test_seven_workloads(self):
+        assert len(WORKLOADS) == 7
+
+    def test_tilts_normalized_to_geomean_one(self):
+        for family, tilts in FAMILY_TILTS.items():
+            geomean = math.prod(tilts.values()) ** (1 / len(tilts))
+            assert geomean == pytest.approx(1.0), family
+
+    def test_aggregate_speed_recovers_catalog_score(self):
+        for soc in all_socs():
+            assert aggregate_speed(soc) == pytest.approx(soc.perf_score)
+
+    def test_run_workload_delay(self):
+        soc = mobile_soc("snapdragon 865")
+        run = run_workload(soc, "aes")
+        spec = workload("aes")
+        assert run.delay_s == pytest.approx(spec.work_units / run.score)
+
+    def test_run_energy_is_tdp_times_delay(self):
+        soc = mobile_soc("kirin 990")
+        run = run_workload(soc, "html5")
+        expected_j = soc.tdp_w * run.delay_s
+        assert run.energy_kwh * 3.6e6 == pytest.approx(expected_j)
+
+    def test_suite_has_all_workloads(self):
+        runs = run_suite(mobile_soc("exynos 9820"))
+        assert {r.workload for r in runs} == {w.name for w in WORKLOADS}
+
+    def test_unknown_workload(self):
+        with pytest.raises(UnknownEntryError):
+            run_workload(mobile_soc("kirin 990"), "raytracing")
+
+    def test_faster_soc_has_lower_aggregate_delay(self):
+        fast = mobile_soc("snapdragon 865")
+        slow = mobile_soc("exynos 7420")
+        assert aggregate_delay_s(fast) < aggregate_delay_s(slow)
+
+    def test_aggregate_energy_positive(self):
+        for soc in all_socs():
+            assert aggregate_energy_kwh(soc) > 0
+
+
+class TestMobilePlatforms:
+    def test_platform_has_soc_and_dram(self):
+        platform = soc_platform(mobile_soc("snapdragon 845"))
+        categories = {c.category for c in platform.components}
+        assert categories == {"soc", "dram"}
+        assert platform.ic_count == 2
+
+    def test_embodied_includes_packaging(self):
+        soc = mobile_soc("snapdragon 835")
+        report = soc_platform(soc).embodied()
+        assert report.packaging_g == pytest.approx(300.0)
+
+    def test_sd835_lowest_embodied(self):
+        embodied = {s.name: soc_embodied_g(s) for s in all_socs()}
+        assert min(embodied, key=embodied.get) == "Snapdragon 835"
+
+    def test_design_point_fields(self):
+        point = soc_design_point(mobile_soc("kirin 980"))
+        assert point.area_mm2 == pytest.approx(74.13)
+        assert point.embodied_carbon_g > 0
+        assert point.delay_s > 0
+
+    def test_design_space_default_is_full_catalog(self):
+        assert len(design_space()) == 13
+
+    def test_era_appropriate_dram_raises_old_soc_embodied(self):
+        # Exynos 7420 uses 20nm LPDDR3 at 184 g/GB, not LPDDR4's 48 g/GB.
+        report = soc_platform(mobile_soc("exynos 7420")).embodied()
+        dram_item = next(i for i in report.items if i.category == "dram")
+        assert dram_item.carbon_g == pytest.approx(3 * 184.0)
+
+
+class TestEfficiencyTrends:
+    def test_geomean_near_paper(self):
+        trends = annual_efficiency_improvement()
+        assert trends["geomean"] == pytest.approx(1.21, rel=0.02)
+
+    def test_every_family_improves(self):
+        trends = annual_efficiency_improvement()
+        for family in FAMILIES:
+            assert trends[family] > 1.0
+
+    def test_trend_object(self):
+        trend = family_efficiency_trend("Snapdragon")
+        assert trend.family == "Snapdragon"
+        assert trend.base_year == 2016
+        assert 1.0 < trend.annual_improvement < 1.5
+
+    def test_geomean_consistency(self):
+        trends = annual_efficiency_improvement()
+        manual = math.prod(trends[f] for f in FAMILIES) ** (1 / 3)
+        assert trends["geomean"] == pytest.approx(manual)

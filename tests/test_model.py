@@ -1,0 +1,186 @@
+"""Platform aggregation (Eq. 3) and end-to-end footprint (Eq. 1-2)."""
+
+import pytest
+
+from repro.core import units
+from repro.core.components import (
+    DramComponent,
+    LogicComponent,
+    SsdComponent,
+)
+from repro.core.model import Platform, device_footprint, footprint
+from repro.core.operational import EnergyProfile, operational_footprint_g
+from repro.core.parameters import DEFAULT_PACKAGING_G, ParameterError
+
+
+@pytest.fixture()
+def phone() -> Platform:
+    return Platform(
+        "phone",
+        (
+            LogicComponent.at_node("SoC", 98.5, "7"),
+            DramComponent.of("DRAM", 4, "lpddr4"),
+            SsdComponent.of("NAND", 64, "nand_v3_tlc"),
+        ),
+    )
+
+
+class TestOperational:
+    def test_eq2(self):
+        assert operational_footprint_g(2.0, 300.0) == pytest.approx(600.0)
+
+    def test_zero_ci_is_zero(self):
+        assert operational_footprint_g(100.0, 0.0) == 0.0
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ParameterError):
+            operational_footprint_g(-1.0, 300.0)
+
+    def test_energy_profile_device_energy(self):
+        profile = EnergyProfile(power_w=1000.0, duration_hours=2.0)
+        assert profile.device_energy_kwh == pytest.approx(2.0)
+
+    def test_energy_profile_effectiveness_inflates(self):
+        profile = EnergyProfile(1000.0, 1.0, effectiveness=1.5)
+        assert profile.delivered_energy_kwh == pytest.approx(1.5)
+
+    def test_energy_profile_footprint(self):
+        profile = EnergyProfile(500.0, 2.0)  # 1 kWh
+        assert profile.footprint_g(300.0) == pytest.approx(300.0)
+
+
+class TestPlatform:
+    def test_packaging_term(self, phone):
+        report = phone.embodied()
+        assert report.ic_count == 3
+        assert report.packaging_g == pytest.approx(3 * DEFAULT_PACKAGING_G)
+
+    def test_total_is_components_plus_packaging(self, phone):
+        report = phone.embodied()
+        assert report.total_g == pytest.approx(
+            report.components_g + report.packaging_g
+        )
+
+    def test_by_category_covers_total(self, phone):
+        report = phone.embodied()
+        assert sum(report.by_category().values()) == pytest.approx(report.total_g)
+
+    def test_category_share_sums_to_one(self, phone):
+        report = phone.embodied()
+        shares = [
+            report.category_share(category) for category in report.by_category()
+        ]
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_custom_packaging(self):
+        platform = Platform(
+            "x", (DramComponent.of("d", 1),), packaging_g_per_ic=0.0
+        )
+        assert platform.embodied().packaging_g == 0.0
+
+    def test_extended_adds_components(self, phone):
+        extended = phone.extended(SsdComponent.of("extra", 64, "nand_v3_tlc"))
+        assert extended.ic_count == phone.ic_count + 1
+        assert extended.embodied_g() > phone.embodied_g()
+        # The original is untouched.
+        assert phone.ic_count == 3
+
+    def test_components_tuple_from_list(self):
+        platform = Platform("x", [DramComponent.of("d", 1)])
+        assert isinstance(platform.components, tuple)
+
+    def test_empty_platform_is_zero(self):
+        platform = Platform("empty", ())
+        assert platform.embodied_g() == 0.0
+        assert platform.embodied().category_share("soc") == 0.0
+
+
+class TestFootprint:
+    def test_eq1_composition(self, phone):
+        report = footprint(
+            phone,
+            energy_kwh=1.0,
+            ci_use_g_per_kwh=300.0,
+            duration_hours=units.years_to_hours(1.0),
+            lifetime_years=3.0,
+        )
+        assert report.operational_g == pytest.approx(300.0)
+        assert report.lifetime_fraction == pytest.approx(1.0 / 3.0)
+        assert report.total_g == pytest.approx(
+            300.0 + phone.embodied_g() / 3.0
+        )
+
+    def test_shares_sum_to_one(self, phone):
+        report = footprint(
+            phone,
+            energy_kwh=5.0,
+            ci_use_g_per_kwh=300.0,
+            duration_hours=100.0,
+            lifetime_years=3.0,
+        )
+        assert report.operational_share + report.embodied_share == pytest.approx(1.0)
+
+    def test_requires_exactly_one_energy_input(self, phone):
+        with pytest.raises(ValueError, match="exactly one"):
+            footprint(
+                phone,
+                ci_use_g_per_kwh=300.0,
+                duration_hours=1.0,
+                lifetime_years=3.0,
+            )
+        with pytest.raises(ValueError, match="exactly one"):
+            footprint(
+                phone,
+                energy_kwh=1.0,
+                energy=EnergyProfile(1.0, 1.0),
+                ci_use_g_per_kwh=300.0,
+                duration_hours=1.0,
+                lifetime_years=3.0,
+            )
+
+    def test_energy_profile_path(self, phone):
+        report = footprint(
+            phone,
+            energy=EnergyProfile(power_w=1000.0, duration_hours=1.0),
+            ci_use_g_per_kwh=100.0,
+            duration_hours=1.0,
+            lifetime_years=1.0,
+        )
+        assert report.operational_g == pytest.approx(100.0)
+
+    def test_zero_duration_means_no_embodied_charge(self, phone):
+        report = footprint(
+            phone,
+            energy_kwh=0.0,
+            ci_use_g_per_kwh=300.0,
+            duration_hours=0.0,
+            lifetime_years=3.0,
+        )
+        assert report.total_g == 0.0
+
+    def test_device_footprint_charges_full_embodied(self, phone):
+        report = device_footprint(
+            phone,
+            average_power_w=1.0,
+            ci_use_g_per_kwh=300.0,
+            lifetime_years=3.0,
+        )
+        assert report.lifetime_fraction == pytest.approx(1.0)
+        assert report.amortized_embodied_g == pytest.approx(phone.embodied_g())
+
+    def test_device_footprint_utilization_scales_energy(self, phone):
+        full = device_footprint(
+            phone, average_power_w=2.0, ci_use_g_per_kwh=300.0,
+            lifetime_years=3.0, utilization=1.0,
+        )
+        half = device_footprint(
+            phone, average_power_w=2.0, ci_use_g_per_kwh=300.0,
+            lifetime_years=3.0, utilization=0.5,
+        )
+        assert half.operational_g == pytest.approx(full.operational_g / 2)
+
+    def test_total_kg(self, phone):
+        report = device_footprint(
+            phone, average_power_w=0.0, ci_use_g_per_kwh=300.0, lifetime_years=3.0
+        )
+        assert report.total_kg == pytest.approx(phone.embodied_kg())

@@ -1,0 +1,135 @@
+"""Validated parameter containers (Table 1 schema)."""
+
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.core.parameters import (
+    DEFAULT_MPA_G_PER_CM2,
+    DEFAULT_PACKAGING_G,
+    FabParams,
+    OperationalParams,
+    require_fraction,
+    require_non_negative,
+    require_positive,
+)
+
+
+class TestValidators:
+    def test_positive_accepts_positive(self):
+        assert require_positive("x", 2.5) == 2.5
+
+    def test_positive_rejects_zero(self):
+        with pytest.raises(ParameterError, match="x must be > 0"):
+            require_positive("x", 0.0)
+
+    def test_positive_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            require_positive("x", -1.0)
+
+    def test_positive_rejects_nan(self):
+        with pytest.raises(ParameterError, match="finite"):
+            require_positive("x", float("nan"))
+
+    def test_positive_rejects_inf(self):
+        with pytest.raises(ParameterError, match="finite"):
+            require_positive("x", float("inf"))
+
+    def test_positive_rejects_string(self):
+        with pytest.raises(ParameterError, match="must be a number"):
+            require_positive("x", "7")
+
+    def test_positive_rejects_bool(self):
+        with pytest.raises(ParameterError, match="must be a number"):
+            require_positive("x", True)
+
+    def test_non_negative_accepts_zero(self):
+        assert require_non_negative("x", 0) == 0.0
+
+    def test_non_negative_rejects_negative(self):
+        with pytest.raises(ParameterError, match=">= 0"):
+            require_non_negative("x", -0.001)
+
+    def test_fraction_accepts_one(self):
+        assert require_fraction("y", 1.0) == 1.0
+
+    def test_fraction_rejects_zero_by_default(self):
+        with pytest.raises(ParameterError):
+            require_fraction("y", 0.0)
+
+    def test_fraction_allows_zero_when_asked(self):
+        assert require_fraction("y", 0.0, allow_zero=True) == 0.0
+
+    def test_fraction_rejects_above_one(self):
+        with pytest.raises(ParameterError):
+            require_fraction("y", 1.0001)
+
+
+class TestOperationalParams:
+    def test_lifetime_fraction(self):
+        params = OperationalParams(
+            energy_kwh=1.0,
+            ci_use_g_per_kwh=300.0,
+            duration_hours=10.0,
+            lifetime_hours=100.0,
+        )
+        assert params.lifetime_fraction == pytest.approx(0.1)
+
+    def test_duration_longer_than_lifetime_rejected(self):
+        with pytest.raises(ParameterError, match="exceeds lifetime"):
+            OperationalParams(1.0, 300.0, 101.0, 100.0)
+
+    def test_duration_equal_lifetime_allowed(self):
+        params = OperationalParams(1.0, 300.0, 100.0, 100.0)
+        assert params.lifetime_fraction == pytest.approx(1.0)
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ParameterError):
+            OperationalParams(-1.0, 300.0, 1.0, 10.0)
+
+    def test_zero_lifetime_rejected(self):
+        with pytest.raises(ParameterError):
+            OperationalParams(1.0, 300.0, 0.0, 0.0)
+
+    def test_frozen(self):
+        params = OperationalParams(1.0, 300.0, 1.0, 10.0)
+        with pytest.raises(AttributeError):
+            params.energy_kwh = 2.0
+
+
+class TestFabParams:
+    def test_cpa_formula(self):
+        # CPA = (CI_fab * EPA + GPA + MPA) / Y   (Eq. 5)
+        params = FabParams(
+            ci_fab_g_per_kwh=500.0,
+            epa_kwh_per_cm2=1.0,
+            gpa_g_per_cm2=200.0,
+            mpa_g_per_cm2=500.0,
+            fab_yield=0.8,
+        )
+        assert params.cpa_g_per_cm2() == pytest.approx((500 + 200 + 500) / 0.8)
+
+    def test_perfect_yield_is_identity(self):
+        params = FabParams(100.0, 1.0, 0.0, 0.0, fab_yield=1.0)
+        assert params.cpa_g_per_cm2() == pytest.approx(100.0)
+
+    def test_yield_halving_doubles_cpa(self):
+        base = FabParams(100.0, 1.0, 50.0, 50.0, fab_yield=1.0)
+        half = FabParams(100.0, 1.0, 50.0, 50.0, fab_yield=0.5)
+        assert half.cpa_g_per_cm2() == pytest.approx(2 * base.cpa_g_per_cm2())
+
+    def test_zero_carbon_fab_leaves_gpa_and_mpa(self):
+        params = FabParams(0.0, 3.0, 200.0, 500.0, fab_yield=1.0)
+        assert params.cpa_g_per_cm2() == pytest.approx(700.0)
+
+    def test_invalid_yield_rejected(self):
+        with pytest.raises(ParameterError):
+            FabParams(100.0, 1.0, 0.0, 0.0, fab_yield=0.0)
+        with pytest.raises(ParameterError):
+            FabParams(100.0, 1.0, 0.0, 0.0, fab_yield=1.5)
+
+    def test_default_mpa_matches_table8(self):
+        assert DEFAULT_MPA_G_PER_CM2 == 500.0
+
+    def test_default_packaging_matches_table1(self):
+        # Kr = 0.15 kg CO2 per IC.
+        assert DEFAULT_PACKAGING_G == 150.0

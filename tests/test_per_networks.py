@@ -1,0 +1,98 @@
+"""PER generation and the CNN network library."""
+
+import pytest
+
+from repro.accelerators.networks import (
+    NETWORKS,
+    network,
+    qos_minimal_design_for,
+    qos_table,
+    throughput_fps,
+)
+from repro.accelerators.nvdla import qos_minimal_design
+from repro.core.errors import ParameterError, UnknownEntryError
+from repro.core.lifecycle import device_lifecycle
+from repro.data.devices import iphone11_platform
+from repro.reporting.per import product_environmental_report
+
+
+class TestNetworks:
+    def test_bundled_networks(self):
+        assert len(NETWORKS) == 5
+
+    def test_lookup_with_dash(self):
+        assert network("mobilenet-v2").gmacs_per_inference == 0.3
+
+    def test_unknown_network(self):
+        with pytest.raises(UnknownEntryError):
+            network("transformer_xl")
+
+    def test_throughput_scales_inversely_with_work(self):
+        light = network("mobilenet_v2")
+        heavy = network("vgg16")
+        assert throughput_fps(256, light) > throughput_fps(256, heavy)
+
+    def test_reference_network_matches_base_model(self):
+        from repro.accelerators.perf_model import throughput_fps as base_fps
+
+        resnet = network("resnet50")
+        assert throughput_fps(256, resnet) == pytest.approx(base_fps(256))
+
+    def test_reference_qos_design_matches_paper_anchor(self):
+        resnet = network("resnet50")
+        assert qos_minimal_design_for(resnet).n_macs == (
+            qos_minimal_design().n_macs
+        )
+
+    def test_heavier_networks_need_bigger_arrays(self):
+        table = qos_table()
+        by_work = sorted(table, key=lambda row: row[0].gmacs_per_inference)
+        macs = [design.n_macs for _, design in by_work]
+        assert macs == sorted(macs)
+
+    def test_infeasible_qos_raises(self):
+        with pytest.raises(ParameterError):
+            qos_minimal_design_for(network("vgg16"), target_fps=1e6)
+
+
+class TestProductEnvironmentalReport:
+    @pytest.fixture()
+    def report_text(self):
+        platform = iphone11_platform()
+        lifecycle = device_lifecycle(
+            platform,
+            mass_kg=0.5,
+            average_power_w=1.5,
+            utilization=0.2,
+            ci_use_g_per_kwh=380.0,
+            lifetime_years=3.0,
+        )
+        return product_environmental_report(
+            platform, lifecycle, lifetime_years=3.0, ci_use_g_per_kwh=380.0
+        )
+
+    def test_mentions_device_and_total(self, report_text):
+        assert "iPhone 11" in report_text
+        assert "kg CO2e" in report_text
+
+    def test_has_all_four_phases(self, report_text):
+        for phase in ("manufacturing", "transport", "operational use",
+                      "end-of-life"):
+            assert phase in report_text
+
+    def test_breaks_down_every_component(self, report_text):
+        for name in ("A13 Bionic", "NAND flash", "Camera sensors",
+                     "IC packaging"):
+            assert name in report_text
+
+    def test_discloses_assumptions(self, report_text):
+        assert "Assumptions" in report_text
+        assert "lower" in report_text and "bound" in report_text
+
+    def test_is_valid_markdown_tableware(self, report_text):
+        # Every table row line is pipe-delimited.
+        table_lines = [
+            line for line in report_text.splitlines() if line.startswith("|")
+        ]
+        assert len(table_lines) > 10
+        assert all(line.endswith("|") for line in table_lines)

@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis) for the core carbon model."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import units
+from repro.core.components import DramComponent, LogicComponent, SsdComponent
+from repro.core.metrics import DesignPoint, best_design, winners
+from repro.core.model import Platform, footprint
+from repro.core.operational import operational_footprint_g
+from repro.core.parameters import FabParams
+from repro.fabs.fab import FabScenario
+from repro.fabs.yield_models import FixedYield
+
+finite_positive = st.floats(
+    min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+finite_non_negative = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+fractions = st.floats(min_value=0.01, max_value=1.0)
+nodes = st.sampled_from(["28", "20", "14", "10", "7", "7-euv", "5", "3"])
+
+
+class TestEq5Properties:
+    @given(
+        ci=finite_non_negative, epa=finite_non_negative,
+        gpa=finite_non_negative, mpa=finite_non_negative, y=fractions,
+    )
+    def test_cpa_non_negative(self, ci, epa, gpa, mpa, y):
+        params = FabParams(ci, epa, gpa, mpa, y)
+        assert params.cpa_g_per_cm2() >= 0.0
+
+    @given(
+        ci=finite_non_negative, epa=finite_non_negative,
+        gpa=finite_non_negative, mpa=finite_non_negative,
+        y1=fractions, y2=fractions,
+    )
+    def test_cpa_anti_monotone_in_yield(self, ci, epa, gpa, mpa, y1, y2):
+        low, high = sorted((y1, y2))
+        cpa_low = FabParams(ci, epa, gpa, mpa, low).cpa_g_per_cm2()
+        cpa_high = FabParams(ci, epa, gpa, mpa, high).cpa_g_per_cm2()
+        assert cpa_low >= cpa_high
+
+    @given(
+        ci=finite_non_negative, epa=finite_non_negative,
+        gpa=finite_non_negative, mpa=finite_non_negative, y=fractions,
+        scale=st.floats(min_value=1.0, max_value=100.0),
+    )
+    def test_cpa_monotone_in_ci(self, ci, epa, gpa, mpa, y, scale):
+        base = FabParams(ci, epa, gpa, mpa, y).cpa_g_per_cm2()
+        scaled = FabParams(ci * scale, epa, gpa, mpa, y).cpa_g_per_cm2()
+        assert scaled >= base
+
+
+class TestComponentProperties:
+    @given(area=st.floats(min_value=0.1, max_value=1000.0), node=nodes)
+    def test_logic_embodied_positive(self, area, node):
+        die = LogicComponent.at_node("x", area, node)
+        assert die.embodied_g() > 0.0
+
+    @given(
+        area=st.floats(min_value=0.1, max_value=500.0),
+        scale=st.floats(min_value=1.0, max_value=10.0),
+        node=nodes,
+    )
+    def test_logic_embodied_linear_in_area_fixed_yield(self, area, scale, node):
+        fab = FabScenario.for_node(node, yield_model=FixedYield(0.9))
+        small = LogicComponent("a", area, fab).embodied_g()
+        large = LogicComponent("b", area * scale, fab).embodied_g()
+        assert math.isclose(large, small * scale, rel_tol=1e-9)
+
+    @given(capacity=finite_non_negative)
+    def test_dram_embodied_proportional(self, capacity):
+        dram = DramComponent.of("d", capacity, "lpddr4")
+        assert math.isclose(dram.embodied_g(), capacity * 48.0, rel_tol=1e-12)
+
+    @given(
+        c1=finite_non_negative, c2=finite_non_negative,
+        tech=st.sampled_from(["nand_30nm", "nand_20nm", "nand_10nm",
+                              "nand_v3_tlc"]),
+    )
+    def test_ssd_embodied_additive_in_capacity(self, c1, c2, tech):
+        total = SsdComponent.of("a", c1 + c2, tech).embodied_g()
+        split = (
+            SsdComponent.of("b", c1, tech).embodied_g()
+            + SsdComponent.of("c", c2, tech).embodied_g()
+        )
+        assert math.isclose(total, split, rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestPlatformProperties:
+    @given(
+        capacities=st.lists(
+            st.floats(min_value=0.0, max_value=1024.0), min_size=0, max_size=6
+        )
+    )
+    def test_platform_total_equals_item_sum(self, capacities):
+        components = tuple(
+            DramComponent.of(f"d{i}", c) for i, c in enumerate(capacities)
+        )
+        platform = Platform("p", components)
+        report = platform.embodied()
+        manual = sum(item.carbon_g for item in report.items) + report.packaging_g
+        assert math.isclose(report.total_g, manual, rel_tol=1e-12, abs_tol=1e-9)
+        assert report.ic_count == len(capacities)
+
+    @given(
+        energy=finite_non_negative,
+        ci=st.floats(min_value=0.0, max_value=1000.0),
+    )
+    def test_operational_bilinear(self, energy, ci):
+        base = operational_footprint_g(energy, ci)
+        assert math.isclose(
+            operational_footprint_g(2 * energy, ci), 2 * base,
+            rel_tol=1e-12, abs_tol=1e-300,
+        )
+        assert math.isclose(
+            operational_footprint_g(energy, 2 * ci), 2 * base,
+            rel_tol=1e-12, abs_tol=1e-300,
+        )
+
+    @given(
+        duration_years=st.floats(min_value=0.0, max_value=3.0),
+        lifetime_years=st.floats(min_value=3.0, max_value=10.0),
+        energy=st.floats(min_value=0.0, max_value=100.0),
+        ci=st.floats(min_value=0.0, max_value=900.0),
+    )
+    @settings(max_examples=50)
+    def test_eq1_decomposition(self, duration_years, lifetime_years, energy, ci):
+        platform = Platform("p", (DramComponent.of("d", 8),))
+        report = footprint(
+            platform,
+            energy_kwh=energy,
+            ci_use_g_per_kwh=ci,
+            duration_hours=units.years_to_hours(duration_years),
+            lifetime_years=lifetime_years,
+        )
+        expected = energy * ci + (
+            duration_years / lifetime_years
+        ) * platform.embodied_g()
+        assert math.isclose(report.total_g, expected, rel_tol=1e-9, abs_tol=1e-9)
+        assert 0.0 <= report.lifetime_fraction <= 1.0
+
+
+class TestMetricProperties:
+    points_strategy = st.lists(
+        st.builds(
+            DesignPoint,
+            name=st.uuids().map(str),
+            embodied_carbon_g=finite_positive,
+            energy_kwh=finite_positive,
+            delay_s=finite_positive,
+            area_mm2=finite_positive,
+        ),
+        min_size=1,
+        max_size=8,
+        unique_by=lambda p: p.name,
+    )
+
+    @given(points=points_strategy, scale=st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=50)
+    def test_winners_invariant_under_delay_scaling(self, points, scale):
+        # Scaling every delay by a positive constant scales every metric by
+        # a positive constant, so each unscaled winner must remain optimal
+        # in the scaled space (up to exact-tie reshuffling).
+        from repro.core.metrics import metric as metric_fn
+
+        scaled = {
+            p.name: DesignPoint(p.name, p.embodied_carbon_g, p.energy_kwh,
+                                p.delay_s * scale, p.area_mm2)
+            for p in points
+        }
+        for name, winner in winners(points).items():
+            fn = metric_fn(name)
+            winner_score = fn(scaled[winner])
+            best_score = min(fn(p) for p in scaled.values())
+            assert winner_score <= best_score * (1 + 1e-9)
+
+    @given(points=points_strategy)
+    @settings(max_examples=50)
+    def test_best_design_is_argmin(self, points):
+        from repro.core.metrics import cep
+
+        best = best_design(points, "CEP")
+        assert all(cep(best) <= cep(p) for p in points)
+
+    @given(
+        c=finite_positive, e=finite_positive, d=finite_positive,
+    )
+    def test_metric_family_relations(self, c, e, d):
+        from repro.core.metrics import c2ep, cdp, ce2p, cep
+
+        point = DesignPoint("x", c, e, d)
+        assert math.isclose(c2ep(point), cep(point) * c, rel_tol=1e-9)
+        assert math.isclose(ce2p(point), cep(point) * e, rel_tol=1e-9)
+        assert math.isclose(cdp(point), c * d, rel_tol=1e-9)

@@ -1,0 +1,146 @@
+"""Property-based tests (hypothesis) for the extension substrates."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.attribution import (
+    ENERGY,
+    TIME,
+    TIME_GROSSED_UP,
+    WorkloadUsage,
+    attribute,
+    unattributed_embodied_g,
+)
+from repro.core.intensity import (
+    CarbonIntensityTrace,
+    greenest_window_footprint_g,
+    trace_footprint_g,
+)
+from repro.core.transport import TransportLeg, transport_footprint_g
+from repro.fabs.chiplets import partition
+from repro.fabs.fab import default_fab
+
+intensities = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=48
+)
+masses = st.floats(min_value=0.0, max_value=100.0)
+modes = st.sampled_from(["air", "truck", "rail", "sea"])
+
+
+class TestTraceProperties:
+    @given(values=intensities)
+    def test_average_bounded_by_extremes(self, values):
+        trace = CarbonIntensityTrace("t", tuple(values))
+        # Tolerate one ulp of summation rounding at the boundaries.
+        assert trace.minimum * (1 - 1e-12) <= trace.average
+        assert trace.average <= max(values) * (1 + 1e-12)
+
+    @given(values=intensities, hours=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60)
+    def test_greenest_window_beats_average_placement(self, values, hours):
+        trace = CarbonIntensityTrace("t", tuple(values))
+        hours = min(hours, len(trace))
+        _, best = greenest_window_footprint_g(1.0, hours, trace)
+        assert best <= trace.average + 1e-9
+
+    @given(values=intensities, start=st.integers(min_value=0, max_value=100))
+    def test_footprint_additive_over_hours(self, values, start):
+        trace = CarbonIntensityTrace("t", tuple(values))
+        split = trace_footprint_g((1.0,), trace, start) + trace_footprint_g(
+            (1.0,), trace, start + 1
+        )
+        joint = trace_footprint_g((1.0, 1.0), trace, start)
+        assert math.isclose(split, joint, rel_tol=1e-12, abs_tol=1e-12)
+
+
+class TestTransportProperties:
+    @given(mass=masses, mode=modes,
+           distance=st.floats(min_value=0.0, max_value=20000.0))
+    def test_leg_linear_in_mass(self, mass, mode, distance):
+        leg = TransportLeg(mode, distance)
+        assert math.isclose(
+            leg.footprint_g(2 * mass), 2 * leg.footprint_g(mass),
+            rel_tol=1e-12, abs_tol=1e-12,
+        )
+
+    @given(mass=masses)
+    def test_route_non_negative(self, mass):
+        assert transport_footprint_g(mass) >= 0.0
+
+
+class TestChipletProperties:
+    @given(
+        area=st.floats(min_value=10.0, max_value=900.0),
+        chiplets=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=60)
+    def test_partition_invariants(self, area, chiplets):
+        design = partition(area, chiplets, default_fab("7"))
+        assert 0.0 < design.per_chiplet_yield <= 1.0
+        assert design.total_silicon_mm2 >= area - 1e-9
+        assert design.total_g > 0.0
+
+    @given(area=st.floats(min_value=10.0, max_value=900.0))
+    @settings(max_examples=40)
+    def test_monolithic_silicon_exact(self, area):
+        design = partition(area, 1, default_fab("7"))
+        assert math.isclose(design.total_silicon_mm2, area, rel_tol=1e-12)
+
+
+class TestAttributionProperties:
+    usages_strategy = st.lists(
+        st.builds(
+            WorkloadUsage,
+            name=st.uuids().map(str),
+            busy_hours=st.floats(min_value=0.0, max_value=4.0),
+            energy_kwh=st.floats(min_value=0.0, max_value=10.0),
+        ),
+        min_size=1,
+        max_size=6,
+        unique_by=lambda u: u.name,
+    )
+
+    _KW = dict(
+        embodied_g=5000.0,
+        period_hours=24.0,
+        ci_use_g_per_kwh=300.0,
+        lifetime_hours=24_000.0,
+    )
+
+    @given(usages=usages_strategy)
+    @settings(max_examples=60)
+    def test_conservation_under_every_policy(self, usages):
+        usages = tuple(usages)
+        period_embodied = 5000.0 * 24.0 / 24_000.0
+        for policy in (TIME_GROSSED_UP, ENERGY):
+            results = attribute(usages, policy=policy, **self._KW)
+            attributed = sum(r.embodied_g for r in results)
+            has_share = (
+                sum(u.busy_hours for u in usages) > 0
+                if policy == TIME_GROSSED_UP
+                else sum(u.energy_kwh for u in usages) > 0
+            )
+            if has_share:
+                assert math.isclose(
+                    attributed, period_embodied, rel_tol=1e-9
+                )
+        time_results = attribute(usages, policy=TIME, **self._KW)
+        idle = unattributed_embodied_g(
+            usages, embodied_g=5000.0, period_hours=24.0,
+            lifetime_hours=24_000.0,
+        )
+        assert math.isclose(
+            sum(r.embodied_g for r in time_results) + idle,
+            period_embodied,
+            rel_tol=1e-9,
+        )
+
+    @given(usages=usages_strategy)
+    @settings(max_examples=40)
+    def test_attributions_non_negative(self, usages):
+        for policy in (TIME, TIME_GROSSED_UP, ENERGY):
+            for result in attribute(tuple(usages), policy=policy, **self._KW):
+                assert result.embodied_g >= 0.0
+                assert result.operational_g >= 0.0

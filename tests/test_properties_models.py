@@ -1,0 +1,146 @@
+"""Property-based tests (hypothesis) for the case-study substrates."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerators.nvdla import design, qos_minimal_design
+from repro.accelerators.perf_model import latency_s, throughput_fps
+from repro.dse.pareto import dominates, pareto_front
+from repro.lifetime.efficiency_scaling import average_relative_energy_over_life
+from repro.lifetime.fleet import (
+    FleetScenario,
+    finite_horizon_footprint,
+    steady_state_annual_footprint,
+)
+from repro.reliability.provisioning import devices_needed, effective_embodied
+from repro.reliability.ssd_lifetime import SsdWorkload, lifetime_years
+from repro.reliability.write_amplification import write_amplification
+
+mac_counts = st.integers(min_value=1, max_value=16384)
+over_provisioning = st.floats(min_value=0.005, max_value=2.0)
+lifetimes = st.floats(min_value=0.5, max_value=15.0)
+rates = st.floats(min_value=1.001, max_value=1.5)
+
+
+class TestAcceleratorProperties:
+    @given(n=mac_counts)
+    def test_latency_exceeds_inverse_throughput(self, n):
+        # The fixed serial overhead means one frame always takes longer
+        # than the pipelined inter-frame interval.
+        assert latency_s(n) > 1.0 / throughput_fps(n)
+
+    @given(n1=mac_counts, n2=mac_counts)
+    def test_throughput_monotone(self, n1, n2):
+        low, high = sorted((n1, n2))
+        assert throughput_fps(low) <= throughput_fps(high)
+
+    @given(n1=mac_counts, n2=mac_counts)
+    @settings(max_examples=50)
+    def test_embodied_monotone_in_macs(self, n1, n2):
+        low, high = sorted((n1, n2))
+        assert design(low).embodied_g <= design(high).embodied_g
+
+    @given(target=st.floats(min_value=1.0, max_value=250.0))
+    @settings(max_examples=30)
+    def test_qos_minimal_meets_target_minimally(self, target):
+        best = qos_minimal_design(target_fps=target)
+        assert best.throughput_fps >= target
+        # No smaller sweep configuration both meets QoS and emits less.
+        smaller = [
+            d for d in (design(n) for n in (64, 128, 256, 512, 1024, 2048))
+            if d.throughput_fps >= target
+        ]
+        assert best.embodied_g == min(d.embodied_g for d in smaller)
+
+
+class TestReliabilityProperties:
+    @given(pf=over_provisioning)
+    def test_wa_at_least_one(self, pf):
+        assert write_amplification(pf) >= 1.0
+
+    @given(pf1=over_provisioning, pf2=over_provisioning)
+    def test_lifetime_monotone_in_op(self, pf1, pf2):
+        low, high = sorted((pf1, pf2))
+        assert lifetime_years(low) <= lifetime_years(high) + 1e-12
+
+    @given(pf=over_provisioning, years=lifetimes)
+    def test_devices_needed_covers_target(self, pf, years):
+        count = devices_needed(pf, years)
+        assert count >= 1
+        assert count * lifetime_years(pf) >= years - 1e-6
+
+    @given(pf=over_provisioning, years=lifetimes)
+    def test_effective_embodied_lower_bound(self, pf, years):
+        # At minimum one over-provisioned device is manufactured.
+        assert effective_embodied(pf, years) >= 1.0 + pf - 1e-12
+
+    @given(
+        pf=over_provisioning, years=lifetimes,
+        pec=st.floats(min_value=500.0, max_value=20000.0),
+    )
+    def test_higher_endurance_never_hurts(self, pf, years, pec):
+        base = effective_embodied(pf, years)
+        durable = effective_embodied(pf, years, SsdWorkload(pec=pec * 10))
+        assert durable <= base
+
+
+class TestFleetProperties:
+    @given(emb=st.floats(min_value=0.1, max_value=100.0),
+           op=st.floats(min_value=0.1, max_value=100.0),
+           rate=rates, life=lifetimes)
+    @settings(max_examples=60)
+    def test_steady_state_components_positive(self, emb, op, rate, life):
+        scenario = FleetScenario(emb, op, rate)
+        point = steady_state_annual_footprint(life, scenario)
+        assert point.embodied_kg_per_year > 0
+        assert point.operational_kg_per_year >= op  # old hardware never beats new
+
+    @given(rate=rates, l1=lifetimes, l2=lifetimes)
+    def test_average_energy_monotone_in_lifetime(self, rate, l1, l2):
+        low, high = sorted((l1, l2))
+        assert (
+            average_relative_energy_over_life(low, rate)
+            <= average_relative_energy_over_life(high, rate) + 1e-12
+        )
+
+    @given(emb=st.floats(min_value=0.1, max_value=100.0),
+           op=st.floats(min_value=0.1, max_value=100.0), rate=rates)
+    @settings(max_examples=40)
+    def test_finite_horizon_single_device_limit(self, emb, op, rate):
+        scenario = FleetScenario(emb, op, rate)
+        point = finite_horizon_footprint(10.0, scenario, horizon_years=10.0)
+        assert math.isclose(point.embodied_kg_per_year * 10.0, emb, rel_tol=1e-9)
+        assert math.isclose(point.operational_kg_per_year, op, rel_tol=1e-9)
+
+
+class TestParetoProperties:
+    vectors = st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0),
+            st.floats(min_value=0.0, max_value=100.0),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+
+    @given(points=vectors)
+    @settings(max_examples=60)
+    def test_front_members_not_dominated(self, points):
+        objectives = [lambda p: p[0], lambda p: p[1]]
+        front = pareto_front(points, objectives)
+        assert front  # at least one non-dominated point always exists
+        for member in front:
+            assert not any(
+                dominates(other, member) for other in points if other != member
+            )
+
+    @given(points=vectors)
+    @settings(max_examples=60)
+    def test_every_candidate_dominated_or_on_front(self, points):
+        objectives = [lambda p: p[0], lambda p: p[1]]
+        front = set(pareto_front(points, objectives))
+        for point in points:
+            if point not in front:
+                assert any(dominates(other, point) for other in points)

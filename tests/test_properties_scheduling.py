@@ -1,0 +1,84 @@
+"""Property-based tests for the scheduling simulator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConstraintError
+from repro.core.intensity import CarbonIntensityTrace
+from repro.scheduling.simulator import (
+    Job,
+    schedule_carbon_aware,
+    schedule_fifo,
+)
+
+# Non-overlapping arrival windows with generous slack keep both policies
+# feasible, so the properties test optimality rather than admission control.
+job_sets = st.lists(
+    st.integers(min_value=0, max_value=5),  # duration seeds
+    min_size=1,
+    max_size=5,
+).map(
+    lambda seeds: tuple(
+        Job(
+            name=f"j{i}",
+            arrival_hour=i * 8,
+            duration_hours=1 + seed % 3,
+            energy_kwh=1.0 + seed,
+            deadline_hour=i * 8 + 48,
+        )
+        for i, seed in enumerate(seeds)
+    )
+)
+
+traces = st.lists(
+    st.floats(min_value=1.0, max_value=900.0), min_size=6, max_size=24
+).map(lambda values: CarbonIntensityTrace("t", tuple(values)))
+
+
+class TestSchedulerProperties:
+    @given(jobs=job_sets, trace=traces)
+    @settings(max_examples=60)
+    def test_carbon_aware_never_worse_than_fifo(self, jobs, trace):
+        fifo = schedule_fifo(jobs, trace)
+        aware = schedule_carbon_aware(jobs, trace)
+        assert aware.total_emissions_g <= fifo.total_emissions_g + 1e-9
+
+    @given(jobs=job_sets, trace=traces)
+    @settings(max_examples=60)
+    def test_schedules_are_feasible(self, jobs, trace):
+        for schedule in (schedule_fifo(jobs, trace),
+                         schedule_carbon_aware(jobs, trace)):
+            assert schedule.all_deadlines_met
+            occupied: set[int] = set()
+            for placement in schedule.placements:
+                assert placement.start_hour >= placement.job.arrival_hour
+                hours = set(range(placement.start_hour, placement.end_hour))
+                assert not hours & occupied
+                occupied |= hours
+
+    @given(jobs=job_sets, trace=traces)
+    @settings(max_examples=60)
+    def test_every_job_placed_exactly_once(self, jobs, trace):
+        schedule = schedule_carbon_aware(jobs, trace)
+        assert len(schedule.placements) == len(jobs)
+        assert {p.job.name for p in schedule.placements} == {
+            j.name for j in jobs
+        }
+
+    @given(jobs=job_sets, trace=traces)
+    @settings(max_examples=60)
+    def test_emissions_recomputable(self, jobs, trace):
+        schedule = schedule_carbon_aware(jobs, trace)
+        for placement in schedule.placements:
+            assert placement.emissions_g == placement.job.emissions_g(
+                placement.start_hour, trace
+            )
+
+    @given(trace=traces)
+    def test_single_tight_job_has_no_choice(self, trace):
+        job = Job("only", 0, 4, 2.0, 4)
+        fifo = schedule_fifo((job,), trace)
+        aware = schedule_carbon_aware((job,), trace)
+        assert fifo.placements[0].start_hour == 0
+        assert aware.placements[0].start_hour == 0
+        assert fifo.total_emissions_g == aware.total_emissions_g

@@ -1,0 +1,180 @@
+"""Reuse case-study substrates: SoC provisioning and the SMIV comparison."""
+
+import math
+
+import pytest
+
+from repro.core.errors import UnknownEntryError
+from repro.core.metrics import winners
+from repro.fabs.fab import default_fab
+from repro.provisioning.mobile_soc import (
+    CONFIGURATIONS,
+    CPU,
+    CPU_ONLY,
+    DSP,
+    GPU,
+    SOC_NODE,
+    WITH_DSP,
+    WITH_GPU,
+    breakeven_utilization,
+    configuration,
+    optimal_configuration,
+)
+from repro.provisioning.smiv import (
+    APPLICATIONS,
+    DESIGNS,
+    design_area_mm2,
+    design_embodied_g,
+    design_points,
+    geomean_speedup,
+    measurement,
+    speedup,
+)
+
+
+class TestInferenceBlocks:
+    def test_energy_per_inference(self):
+        assert CPU.energy_per_inference_j == pytest.approx(6.6 * 6.0e-3)
+
+    def test_dsp_is_most_efficient(self):
+        energies = {
+            b.name: b.energy_per_inference_j for b in (CPU, GPU, DSP)
+        }
+        assert min(energies, key=energies.get) == "DSP"
+
+    def test_opcf_matches_table4_cpu(self):
+        assert CPU.operational_g_per_inference() * 1e6 == pytest.approx(3.3, rel=0.01)
+
+    def test_opcf_scales_with_ci(self):
+        assert CPU.operational_g_per_inference(600.0) == pytest.approx(
+            2 * CPU.operational_g_per_inference(300.0)
+        )
+
+
+class TestConfigurations:
+    def test_three_configurations(self):
+        assert len(CONFIGURATIONS) == 3
+
+    def test_coprocessor_configs_manufacture_cpu_too(self):
+        assert CPU in WITH_GPU.manufactured_blocks
+        assert CPU in WITH_DSP.manufactured_blocks
+
+    def test_lookup(self):
+        assert configuration("dsp").name == "DSP(+CPU)"
+        assert configuration("CPU") is CPU_ONLY
+
+    def test_unknown_configuration(self):
+        with pytest.raises(UnknownEntryError):
+            configuration("npu")
+
+    def test_embodied_anchors(self):
+        assert CPU_ONLY.embodied_g() == pytest.approx(253.0, rel=0.02)
+        assert WITH_DSP.embodied_g() / CPU_ONLY.embodied_g() == pytest.approx(
+            1.8, rel=0.03
+        )
+        assert WITH_GPU.embodied_g() / CPU_ONLY.embodied_g() == pytest.approx(
+            1.9, rel=0.03
+        )
+
+    def test_greener_fab_cuts_embodied(self):
+        green = default_fab(SOC_NODE).with_ci(0.0)
+        assert CPU_ONLY.embodied_g(green) < CPU_ONLY.embodied_g()
+
+    def test_footprint_split(self):
+        operational, embodied = CPU_ONLY.footprint_per_inference_g(
+            ci_use_g_per_kwh=300.0
+        )
+        assert operational == pytest.approx(3.3e-6, rel=0.01)
+        assert embodied > 0
+
+    def test_metric_winners_match_figure9(self):
+        points = [c.design_point() for c in CONFIGURATIONS]
+        result = winners(points, ("CDP", "C2EP", "CEP", "CE2P"))
+        assert result["CDP"] == "CPU"
+        assert result["C2EP"] == "CPU"
+        assert result["CEP"] == "DSP(+CPU)"
+        assert result["CE2P"] == "DSP(+CPU)"
+
+
+class TestBreakevens:
+    def test_dsp_breakeven_near_one_percent(self):
+        assert 0.01 <= breakeven_utilization(WITH_DSP) <= 0.02
+
+    def test_gpu_breakeven_above_five_percent(self):
+        assert breakeven_utilization(WITH_GPU) > 0.05
+
+    def test_renewable_energy_raises_breakeven_linearly(self):
+        grid = breakeven_utilization(WITH_DSP, ci_use_g_per_kwh=300.0)
+        solar = breakeven_utilization(WITH_DSP, ci_use_g_per_kwh=41.0)
+        assert solar == pytest.approx(grid * 300.0 / 41.0, rel=1e-6)
+
+    def test_no_saving_means_infinite_breakeven(self):
+        # The CPU cannot pay back against itself.
+        assert math.isinf(
+            breakeven_utilization(CPU_ONLY, baseline=CPU_ONLY)
+        )
+
+    def test_longer_lifetime_lowers_breakeven(self):
+        short = breakeven_utilization(WITH_DSP, lifetime_years=1.0)
+        long = breakeven_utilization(WITH_DSP, lifetime_years=6.0)
+        assert long < short
+
+
+class TestOptimalConfiguration:
+    def test_coal_use_prefers_dsp(self):
+        assert optimal_configuration(ci_use_g_per_kwh=820.0).name == "DSP(+CPU)"
+
+    def test_carbon_free_use_prefers_cpu(self):
+        assert optimal_configuration(ci_use_g_per_kwh=0.0).name == "CPU"
+
+    def test_gpu_never_optimal_here(self):
+        for ci in (0.0, 41.0, 300.0, 820.0):
+            assert optimal_configuration(ci_use_g_per_kwh=ci).name != "GPU(+CPU)"
+
+
+class TestSmiv:
+    def test_three_designs_three_apps(self):
+        assert len(DESIGNS) == 3
+        assert len(APPLICATIONS) == 3
+
+    def test_fpga_geomean_45x(self):
+        assert geomean_speedup("FPGA") == pytest.approx(45.0, rel=0.02)
+
+    def test_accel_only_accelerates_ai(self):
+        assert speedup("Accel", "AI") == 26.0
+        assert speedup("Accel", "FIR") == 1.0
+        assert speedup("Accel", "AES") == 1.0
+
+    def test_measurement_consistency(self):
+        # Energy reduction and speedup jointly determine power.
+        m = measurement("FPGA", "AI")
+        base = measurement("CPU", "AI")
+        assert base.latency_s / m.latency_s == pytest.approx(24.0)
+        assert base.energy_j / m.energy_j == pytest.approx(8.8)
+
+    def test_embodied_ratios(self):
+        cpu = design_embodied_g("CPU")
+        assert design_embodied_g("Accel") / cpu == pytest.approx(1.3)
+        assert design_embodied_g("FPGA") / cpu == pytest.approx(1.8)
+
+    def test_area_ratios_drive_embodied(self):
+        assert design_area_mm2("FPGA") / design_area_mm2("CPU") == pytest.approx(1.8)
+
+    def test_fpga_wins_all_carbon_metrics(self):
+        result = winners(design_points(), ("CDP", "CEP", "CE2P", "C2EP"))
+        assert set(result.values()) == {"FPGA"}
+
+    def test_ai_specific_asic_beats_fpga(self):
+        # For the salient application alone, the ASIC is faster, leaner,
+        # and more efficient.
+        assert speedup("Accel", "AI") > speedup("FPGA", "AI")
+        assert measurement("Accel", "AI").energy_j < measurement("FPGA", "AI").energy_j
+        assert design_embodied_g("Accel") < design_embodied_g("FPGA")
+
+    def test_unknown_design_and_app(self):
+        with pytest.raises(UnknownEntryError):
+            measurement("TPU", "AI")
+        with pytest.raises(UnknownEntryError):
+            measurement("CPU", "SHA")
+        with pytest.raises(UnknownEntryError):
+            design_area_mm2("TPU")

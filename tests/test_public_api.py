@@ -1,0 +1,90 @@
+"""The package's public surface: imports, __all__, and the quickstart path."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+SUBPACKAGES = (
+    "repro.core",
+    "repro.data",
+    "repro.fabs",
+    "repro.workloads",
+    "repro.platforms",
+    "repro.accelerators",
+    "repro.provisioning",
+    "repro.reliability",
+    "repro.lifetime",
+    "repro.dse",
+    "repro.lca",
+    "repro.reporting",
+    "repro.experiments",
+)
+
+
+class TestImports:
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_imports(self, name):
+        module = importlib.import_module(name)
+        assert module is not None
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_all_exports_resolve(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", ()):
+            assert hasattr(module, symbol), f"{name}.{symbol}"
+
+    def test_top_level_all_resolves(self):
+        for symbol in repro.__all__:
+            assert hasattr(repro, symbol)
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestQuickstart:
+    def test_readme_quickstart_path(self):
+        # The exact flow from the package docstring / README.
+        phone = repro.Platform(
+            "example phone",
+            [
+                repro.LogicComponent.at_node("SoC", area_mm2=98.5, node="7"),
+                repro.DramComponent.of("DRAM", capacity_gb=4, technology="lpddr4"),
+                repro.SsdComponent.of("NAND", capacity_gb=64,
+                                      technology="nand_v3_tlc"),
+            ],
+        )
+        assert 2.0 < phone.embodied_kg() < 4.0
+
+        report = repro.footprint(
+            phone,
+            energy_kwh=8.0,
+            ci_use_g_per_kwh=300.0,
+            duration_hours=24 * 365,
+            lifetime_years=3.0,
+        )
+        assert report.total_g > report.operational_g
+
+    def test_metric_flow(self):
+        points = [
+            repro.DesignPoint("a", 10.0, 2.0, 1.0),
+            repro.DesignPoint("b", 5.0, 4.0, 2.0),
+        ]
+        assert repro.best_design(points, "CDP").name == "a"
+        assert set(repro.winners(points)) >= {"EDP", "CDP"}
+
+    def test_error_hierarchy(self):
+        from repro.core.errors import ParameterError, UnknownEntryError
+
+        assert issubclass(ParameterError, repro.ReproError)
+        assert issubclass(UnknownEntryError, repro.ReproError)
+        assert issubclass(ParameterError, ValueError)
+        assert issubclass(UnknownEntryError, KeyError)
+
+    def test_unknown_entry_error_message_is_plain(self):
+        from repro.core.errors import UnknownEntryError
+
+        error = UnknownEntryError("thing", "x", ["a", "b"])
+        assert str(error) == "unknown thing: 'x' (available: a, b)"

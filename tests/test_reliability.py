@@ -1,0 +1,127 @@
+"""SSD reliability substrate: WA, lifetime equation, provisioning optima."""
+
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.reliability.provisioning import (
+    DEFAULT_PF_SWEEP,
+    devices_needed,
+    effective_embodied,
+    normalized_effective_embodied,
+    optimal_over_provisioning,
+    second_life_saving,
+)
+from repro.reliability.ssd_lifetime import (
+    BASELINE_OVER_PROVISIONING,
+    FIRST_LIFE_YEARS,
+    SECOND_LIFE_YEARS,
+    SsdWorkload,
+    lifetime_years,
+    reliability_curve,
+)
+from repro.reliability.write_amplification import write_amplification
+
+
+class TestWriteAmplification:
+    def test_baseline_4_percent_is_13x(self):
+        assert write_amplification(0.04) == pytest.approx(13.0)
+
+    def test_16_percent(self):
+        assert write_amplification(0.16) == pytest.approx(3.625)
+
+    def test_34_percent_near_2x(self):
+        assert write_amplification(0.34) == pytest.approx(1.97, rel=0.01)
+
+    def test_monotone_decreasing(self):
+        values = [write_amplification(pf) for pf in DEFAULT_PF_SWEEP]
+        assert values == sorted(values, reverse=True)
+
+    def test_clamped_at_one(self):
+        # Enormous spare area cannot push WA below one write per write.
+        assert write_amplification(10.0) == 1.0
+
+    def test_zero_op_rejected(self):
+        with pytest.raises(ParameterError):
+            write_amplification(0.0)
+
+
+class TestLifetimeEquation:
+    def test_meza_formula(self):
+        workload = SsdWorkload(pec=3000.0, dwpd=1.0, compression=1.0)
+        pf = 0.2
+        expected = 3000.0 * 1.2 / (365.0 * 1.0 * write_amplification(pf))
+        assert lifetime_years(pf, workload) == pytest.approx(expected)
+
+    def test_explicit_wa_override(self):
+        workload = SsdWorkload()
+        assert lifetime_years(0.1, workload, wa=2.0) == pytest.approx(
+            workload.pec * 1.1 / (365.0 * workload.dwpd * 2.0)
+        )
+
+    def test_first_life_anchor(self):
+        # 16% over-provisioning sustains one ~2-year mobile life.
+        assert FIRST_LIFE_YEARS <= lifetime_years(0.16) < 2.5
+
+    def test_second_life_anchor(self):
+        assert SECOND_LIFE_YEARS <= lifetime_years(0.34) < 5.0
+
+    def test_compression_extends_lifetime(self):
+        compressible = SsdWorkload(compression=0.5)
+        assert lifetime_years(0.16, compressible) == pytest.approx(
+            2 * lifetime_years(0.16)
+        )
+
+    def test_heavier_writes_shorten_lifetime(self):
+        heavy = SsdWorkload(dwpd=2.56)
+        assert lifetime_years(0.16, heavy) < lifetime_years(0.16)
+
+    def test_curve_structure(self):
+        curve = reliability_curve((0.04, 0.16, 0.34))
+        assert [p.over_provisioning for p in curve] == [0.04, 0.16, 0.34]
+        assert all(p.lifetime_years > 0 for p in curve)
+
+    def test_invalid_workload(self):
+        with pytest.raises(ParameterError):
+            SsdWorkload(pec=0.0)
+
+
+class TestProvisioningOptima:
+    def test_devices_needed_integer(self):
+        assert devices_needed(0.16, FIRST_LIFE_YEARS) == 1
+        assert devices_needed(0.04, FIRST_LIFE_YEARS) >= 4
+
+    def test_effective_embodied_includes_spare_capacity(self):
+        assert effective_embodied(0.16, FIRST_LIFE_YEARS) == pytest.approx(1.16)
+
+    def test_first_life_optimum_16_percent(self):
+        assert optimal_over_provisioning(
+            FIRST_LIFE_YEARS
+        ).over_provisioning == pytest.approx(0.16)
+
+    def test_second_life_optimum_34_percent(self):
+        assert optimal_over_provisioning(
+            SECOND_LIFE_YEARS
+        ).over_provisioning == pytest.approx(0.34)
+
+    def test_second_life_saving_near_1_8(self):
+        assert second_life_saving() == pytest.approx(1.8, rel=0.06)
+
+    def test_normalized_baseline_is_one(self):
+        assert normalized_effective_embodied(
+            BASELINE_OVER_PROVISIONING, FIRST_LIFE_YEARS
+        ) == pytest.approx(1.0)
+
+    def test_under_provisioning_costs_replacements(self):
+        # 8% lives ~1 year, so a 2-year life needs two devices.
+        assert effective_embodied(0.08, FIRST_LIFE_YEARS) == pytest.approx(
+            2 * 1.08
+        )
+
+    def test_over_provisioning_beyond_optimum_wastes_capacity(self):
+        optimum = optimal_over_provisioning(FIRST_LIFE_YEARS)
+        beyond = effective_embodied(0.40, FIRST_LIFE_YEARS)
+        assert beyond > optimum.effective_embodied
+
+    def test_invalid_service_target(self):
+        with pytest.raises(ParameterError):
+            devices_needed(0.16, 0.0)

@@ -1,0 +1,141 @@
+"""Reporting layer: tables, figure containers, serialization."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.reporting.figures import FigureData, Series, series_from_pairs
+from repro.reporting.serialize import (
+    figure_to_csv,
+    figure_to_json,
+    rows_to_csv,
+    series_to_csv,
+)
+from repro.reporting.tables import ascii_table, markdown_table
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        text = ascii_table(("name", "v"), [("a", 1.0), ("longer", 22.0)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # All lines are padded to the same width.
+        assert len(set(map(len, lines))) == 1
+
+    def test_float_formatting(self):
+        text = ascii_table(("x",), [(1.23456789,)], float_format=".2f")
+        assert "1.23" in text
+        assert "1.2345" not in text
+
+    def test_non_float_cells_passthrough(self):
+        text = ascii_table(("a", "b"), [("x", 3)])
+        assert "x" in text and "3" in text
+
+    def test_none_and_bool_cells(self):
+        text = ascii_table(("a", "b"), [(None, True)])
+        assert "None" in text and "True" in text
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError, match="row 0"):
+            ascii_table(("a", "b"), [("only-one",)])
+
+    def test_empty_body(self):
+        text = ascii_table(("a",), [])
+        assert text.splitlines()[0].strip() == "a"
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        text = markdown_table(("a", "b"), [(1, 2)])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert set(lines[1]) <= {"|", "-", " "}
+        assert lines[2] == "| 1 | 2 |"
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            Series("s", (1, 2), (1.0,))
+
+    def test_pairs_and_len(self):
+        series = Series("s", ("a", "b"), (1.0, 2.0))
+        assert len(series) == 2
+        assert series.as_pairs() == (("a", 1.0), ("b", 2.0))
+
+    def test_y_at(self):
+        series = Series("s", (10, 20), (1.0, 2.0))
+        assert series.y_at(20) == 2.0
+
+    def test_y_at_missing(self):
+        with pytest.raises(ParameterError):
+            Series("s", (1,), (1.0,)).y_at(99)
+
+    def test_coerces_y_to_float(self):
+        series = Series("s", (1,), (5,))
+        assert isinstance(series.y[0], float)
+
+    def test_from_pairs(self):
+        series = series_from_pairs("s", [("a", 1.0), ("b", 2.0)])
+        assert series.x == ("a", "b")
+
+
+class TestFigureData:
+    @pytest.fixture()
+    def figure(self):
+        return FigureData(
+            "t", "x", "y",
+            (Series("s1", (1, 2), (1.0, 2.0)), Series("s2", (1, 2), (3.0, 4.0))),
+        )
+
+    def test_series_named(self, figure):
+        assert figure.series_named("s2").y == (3.0, 4.0)
+
+    def test_series_named_missing(self, figure):
+        with pytest.raises(ParameterError, match="s3"):
+            figure.series_named("s3")
+
+    def test_render_text_mentions_everything(self, figure):
+        text = figure.render_text()
+        assert "t" in text and "s1" in text and "s2" in text
+
+
+class TestSerialize:
+    def test_rows_to_csv_quotes_commas(self):
+        csv = rows_to_csv(("a",), [("hello, world",)])
+        assert '"hello, world"' in csv
+
+    def test_rows_to_csv_escapes_quotes(self):
+        csv = rows_to_csv(("a",), [('say "hi"',)])
+        assert '"say ""hi"""' in csv
+
+    def test_series_to_csv(self):
+        csv = series_to_csv(Series("v", (1, 2), (3.0, 4.0)))
+        assert csv.splitlines() == ["x,v", "1,3.0", "2,4.0"]
+
+    def test_figure_to_csv_wide(self):
+        figure = FigureData(
+            "t", "x", "y",
+            (Series("a", (1, 2), (1.0, 2.0)), Series("b", (1, 2), (3.0, 4.0))),
+        )
+        lines = figure_to_csv(figure).splitlines()
+        assert lines[0] == "x,a,b"
+        assert lines[1] == "1,1.0,3.0"
+
+    def test_figure_to_csv_mismatched_x_rejected(self):
+        figure = FigureData(
+            "t", "x", "y",
+            (Series("a", (1,), (1.0,)), Series("b", (2,), (3.0,))),
+        )
+        with pytest.raises(ValueError, match="different x"):
+            figure_to_csv(figure)
+
+    def test_figure_to_csv_empty(self):
+        assert figure_to_csv(FigureData("t", "x", "y", ())) == "x\n"
+
+    def test_figure_to_json_roundtrip(self):
+        figure = FigureData("t", "x", "y", (Series("a", (1,), (2.0,)),))
+        payload = json.loads(figure_to_json(figure))
+        assert payload["title"] == "t"
+        assert payload["series"][0]["y"] == [2.0]

@@ -1,0 +1,136 @@
+"""Carbon-aware batch scheduler simulation."""
+
+import pytest
+
+from repro.core.errors import ConstraintError, ParameterError
+from repro.core.intensity import (
+    CarbonIntensityTrace,
+    constant_trace,
+    solar_diurnal_trace,
+)
+from repro.scheduling.simulator import (
+    Job,
+    nightly_batch_workload,
+    schedule_carbon_aware,
+    schedule_fifo,
+    scheduling_benefit,
+)
+
+
+@pytest.fixture()
+def solar():
+    return solar_diurnal_trace(500.0, solar_share_at_noon=0.7)
+
+
+class TestJob:
+    def test_latest_start(self):
+        job = Job("j", arrival_hour=2, duration_hours=3, energy_kwh=6.0,
+                  deadline_hour=10)
+        assert job.latest_start == 7
+
+    def test_impossible_deadline_rejected(self):
+        with pytest.raises(ParameterError, match="deadline"):
+            Job("j", arrival_hour=5, duration_hours=4, energy_kwh=1.0,
+                deadline_hour=8)
+
+    def test_emissions_spread_evenly(self):
+        trace = CarbonIntensityTrace("t", (100.0, 300.0))
+        job = Job("j", 0, 2, 2.0, 4)
+        # 1 kWh at 100 + 1 kWh at 300.
+        assert job.emissions_g(0, trace) == pytest.approx(400.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ParameterError):
+            Job("j", 0, 0, 1.0, 1)
+
+
+class TestFifo:
+    def test_runs_at_arrival_when_free(self, solar):
+        jobs = (Job("a", 3, 2, 1.0, 30),)
+        schedule = schedule_fifo(jobs, solar)
+        assert schedule.placements[0].start_hour == 3
+
+    def test_serializes_overlapping_jobs(self, solar):
+        jobs = (
+            Job("a", 0, 3, 1.0, 30),
+            Job("b", 0, 3, 1.0, 30),
+        )
+        schedule = schedule_fifo(jobs, solar)
+        starts = sorted(p.start_hour for p in schedule.placements)
+        assert starts == [0, 3]
+
+    def test_deadline_violation_raises(self, solar):
+        jobs = (
+            Job("a", 0, 3, 1.0, 3),
+            Job("b", 0, 3, 1.0, 3),  # cannot both finish by hour 3
+        )
+        with pytest.raises(ConstraintError):
+            schedule_fifo(jobs, solar)
+
+    def test_all_deadlines_met_flag(self, solar):
+        schedule = schedule_fifo(nightly_batch_workload(3), solar)
+        assert schedule.all_deadlines_met
+
+
+class TestCarbonAware:
+    def test_prefers_solar_window(self, solar):
+        jobs = (Job("a", 18, 2, 2.0, 18 + 24),)
+        schedule = schedule_carbon_aware(jobs, solar)
+        start = schedule.placements[0].start_hour % 24
+        assert 8 <= start <= 14  # around midday
+
+    def test_never_worse_than_fifo(self, solar):
+        for count in (1, 3, 5):
+            jobs = nightly_batch_workload(count)
+            assert scheduling_benefit(jobs, solar) >= 1.0 - 1e-12
+
+    def test_flat_grid_offers_nothing(self):
+        trace = constant_trace(400.0)
+        jobs = nightly_batch_workload(3)
+        assert scheduling_benefit(jobs, trace) == pytest.approx(1.0)
+
+    def test_meets_deadlines(self, solar):
+        schedule = schedule_carbon_aware(nightly_batch_workload(5), solar)
+        assert schedule.all_deadlines_met
+
+    def test_jobs_do_not_overlap(self, solar):
+        schedule = schedule_carbon_aware(nightly_batch_workload(5), solar)
+        occupied = set()
+        for placement in schedule.placements:
+            hours = set(range(placement.start_hour, placement.end_hour))
+            assert not hours & occupied
+            occupied |= hours
+
+    def test_tight_jobs_still_feasible(self, solar):
+        jobs = (
+            Job("urgent", 0, 4, 2.0, 4),  # zero slack
+            Job("flexible", 0, 2, 2.0, 48),
+        )
+        schedule = schedule_carbon_aware(jobs, solar)
+        assert schedule.all_deadlines_met
+        assert schedule.placement_for("urgent").start_hour == 0
+
+    def test_infeasible_set_raises(self, solar):
+        jobs = (
+            Job("a", 0, 4, 1.0, 4),
+            Job("b", 0, 4, 1.0, 4),
+        )
+        with pytest.raises(ConstraintError):
+            schedule_carbon_aware(jobs, solar)
+
+    def test_missing_placement_lookup(self, solar):
+        schedule = schedule_carbon_aware(nightly_batch_workload(2), solar)
+        with pytest.raises(ConstraintError):
+            schedule.placement_for("nonexistent")
+
+    def test_benefit_meaningful_on_solar_grid(self, solar):
+        assert scheduling_benefit(nightly_batch_workload(4), solar) > 1.2
+
+
+class TestWorkloadFactory:
+    def test_count(self):
+        assert len(nightly_batch_workload(6)) == 6
+
+    def test_all_jobs_have_slack(self):
+        for job in nightly_batch_workload(5):
+            assert job.latest_start > job.arrival_hour

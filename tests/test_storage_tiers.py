@@ -1,0 +1,91 @@
+"""Storage-tier carbon analysis (flash vs disk)."""
+
+import pytest
+
+from repro.platforms.storage import (
+    DriveSpec,
+    assess_tier,
+    enterprise_hdd,
+    enterprise_ssd,
+    tier_comparison,
+)
+
+
+class TestDriveSpec:
+    def test_component_kinds(self):
+        assert enterprise_ssd().component().category == "ssd"
+        assert enterprise_hdd().component().category == "hdd"
+
+    def test_embodied_uses_table_factors(self):
+        ssd = enterprise_ssd(1000.0)
+        assert ssd.embodied_g() == pytest.approx(1000.0 * 6.3)
+        hdd = enterprise_hdd(1000.0)
+        assert hdd.embodied_g() == pytest.approx(1000.0 * 1.33)
+
+    def test_power_model_endpoints(self):
+        drive = enterprise_ssd()
+        assert drive.average_power_w(0.0) == drive.idle_power_w
+        assert drive.average_power_w(1.0) == drive.active_power_w
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            DriveSpec("x", "tape", 1000.0, "exos_x16", 5.0, 2.0)
+
+    def test_invalid_duty_cycle(self):
+        with pytest.raises(ValueError):
+            enterprise_hdd().average_power_w(1.5)
+
+
+class TestAssessment:
+    def test_drive_count_ceils(self):
+        assessment = assess_tier(
+            enterprise_hdd(16000.0), capacity_tb=33.0, ci_use_g_per_kwh=380.0
+        )
+        assert assessment.drives_needed == 3  # 48 TB provisioned for 33 TB
+
+    def test_exact_fit(self):
+        assessment = assess_tier(
+            enterprise_hdd(16000.0), capacity_tb=32.0, ci_use_g_per_kwh=380.0
+        )
+        assert assessment.drives_needed == 2
+
+    def test_kg_per_tb_year(self):
+        assessment = assess_tier(
+            enterprise_ssd(), capacity_tb=10.0, ci_use_g_per_kwh=380.0,
+            lifetime_years=5.0,
+        )
+        assert assessment.kg_per_tb_year == pytest.approx(
+            assessment.total_kg / 50.0
+        )
+
+    def test_greener_grid_cuts_total(self):
+        dirty = assess_tier(
+            enterprise_ssd(), capacity_tb=10.0, ci_use_g_per_kwh=700.0
+        )
+        green = assess_tier(
+            enterprise_ssd(), capacity_tb=10.0, ci_use_g_per_kwh=11.0
+        )
+        assert green.total_kg < dirty.total_kg
+        assert green.lifecycle.embodied_share > dirty.lifecycle.embodied_share
+
+
+class TestComparison:
+    def test_hdd_wins_capacity_storage_on_carbon(self):
+        ssd, hdd = tier_comparison()
+        assert hdd.kg_per_tb_year < ssd.kg_per_tb_year
+        # ...on both axes.
+        assert hdd.lifecycle.embodied_total_g < ssd.lifecycle.embodied_total_g
+        assert hdd.lifecycle.operational_g < ssd.lifecycle.operational_g
+
+    def test_gap_is_substantial(self):
+        ssd, hdd = tier_comparison()
+        assert ssd.kg_per_tb_year / hdd.kg_per_tb_year > 1.5
+
+    def test_comparison_respects_parameters(self):
+        ssd_a, _ = tier_comparison(capacity_tb=50.0)
+        ssd_b, _ = tier_comparison(capacity_tb=200.0)
+        assert ssd_b.total_kg > ssd_a.total_kg
+        # Per-TB-year figure is roughly scale-invariant.
+        assert ssd_b.kg_per_tb_year == pytest.approx(
+            ssd_a.kg_per_tb_year, rel=0.1
+        )

@@ -1,0 +1,77 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import pytest
+
+from repro.core import units
+
+
+class TestTime:
+    def test_years_to_hours(self):
+        assert units.years_to_hours(1) == pytest.approx(8760.0)
+
+    def test_hours_to_years_roundtrip(self):
+        assert units.hours_to_years(units.years_to_hours(3.5)) == pytest.approx(3.5)
+
+    def test_seconds_to_hours(self):
+        assert units.seconds_to_hours(7200) == pytest.approx(2.0)
+
+    def test_milliseconds_to_hours(self):
+        assert units.milliseconds_to_hours(3_600_000) == pytest.approx(1.0)
+
+    def test_zero_duration(self):
+        assert units.years_to_hours(0) == 0.0
+
+
+class TestEnergy:
+    def test_joules_to_kwh(self):
+        assert units.joules_to_kwh(3.6e6) == pytest.approx(1.0)
+
+    def test_kwh_to_joules_roundtrip(self):
+        assert units.kwh_to_joules(units.joules_to_kwh(1234.5)) == pytest.approx(
+            1234.5
+        )
+
+    def test_millijoules_to_kwh(self):
+        assert units.millijoules_to_kwh(3.6e9) == pytest.approx(1.0)
+
+    def test_watts_times_hours(self):
+        # 1000 W for 1 hour is exactly 1 kWh.
+        assert units.watts_times_hours(1000.0, 1.0) == pytest.approx(1.0)
+
+    def test_watts_times_seconds(self):
+        # 1 W for 1 s = 1 J.
+        assert units.watts_times_seconds(1.0, 1.0) == pytest.approx(
+            units.joules_to_kwh(1.0)
+        )
+
+    def test_table4_opcf_arithmetic(self):
+        # The paper's Table 4: 6.6 W x 6.0 ms at 300 g/kWh => 3.3 µg CO2.
+        energy_kwh = units.watts_times_seconds(6.6, 6.0e-3)
+        grams = energy_kwh * 300.0
+        assert units.g_to_ug(grams) == pytest.approx(3.3, rel=1e-3)
+
+
+class TestMassAndArea:
+    def test_kg_g_roundtrip(self):
+        assert units.g_to_kg(units.kg_to_g(2.5)) == pytest.approx(2.5)
+
+    def test_tonnes(self):
+        assert units.tonnes_to_g(1.0) == pytest.approx(1.0e6)
+
+    def test_micrograms(self):
+        assert units.g_to_ug(1e-6) == pytest.approx(1.0)
+
+    def test_area_roundtrip(self):
+        assert units.cm2_to_mm2(units.mm2_to_cm2(98.5)) == pytest.approx(98.5)
+
+    def test_mm2_to_cm2(self):
+        assert units.mm2_to_cm2(100.0) == pytest.approx(1.0)
+
+    def test_capacity_roundtrip(self):
+        assert units.gb_to_tb(units.tb_to_gb(31.0)) == pytest.approx(31.0)
+
+    def test_constants_consistent(self):
+        assert units.HOURS_PER_YEAR == units.HOURS_PER_DAY * units.DAYS_PER_YEAR
+        assert math.isclose(units.JOULES_PER_KWH, 3.6e6)

@@ -1,0 +1,159 @@
+"""Usage profiles and workload carbon attribution."""
+
+import pytest
+
+from repro.analysis.attribution import (
+    ENERGY,
+    TIME,
+    TIME_GROSSED_UP,
+    WorkloadUsage,
+    attribute,
+    unattributed_embodied_g,
+)
+from repro.core.errors import ParameterError, UnknownEntryError
+from repro.workloads.usage import (
+    Activity,
+    UsageProfile,
+    heavy_gamer_profile,
+    light_user_profile,
+    typical_smartphone_profile,
+)
+
+
+class TestUsageProfiles:
+    def test_typical_profile_energy_in_phone_range(self):
+        profile = typical_smartphone_profile()
+        # A phone charges ~1.5-4 kWh/year from the wall.
+        assert 1.0 < profile.wall_energy_kwh_per_year() < 5.0
+
+    def test_profiles_ordered_by_intensity(self):
+        light = light_user_profile().wall_energy_kwh_per_year()
+        typical = typical_smartphone_profile().wall_energy_kwh_per_year()
+        heavy = heavy_gamer_profile().wall_energy_kwh_per_year()
+        assert light < typical < heavy
+
+    def test_utilization_fraction(self):
+        profile = typical_smartphone_profile()
+        assert profile.utilization == pytest.approx(
+            profile.active_hours_per_day / 24.0
+        )
+        assert 0.1 < profile.utilization < 0.3
+
+    def test_daily_energy_includes_standby(self):
+        profile = UsageProfile(
+            "idle only", (), standby_power_w=0.05, charging_efficiency=1.0
+        )
+        assert profile.device_energy_wh_per_day() == pytest.approx(24 * 0.05)
+        assert profile.average_active_power_w() == 0.0
+
+    def test_charging_efficiency_inflates_wall_energy(self):
+        base = UsageProfile(
+            "x", (Activity("a", 2.0, 1.0),), charging_efficiency=1.0
+        )
+        lossy = UsageProfile(
+            "y", (Activity("a", 2.0, 1.0),), charging_efficiency=0.5
+        )
+        assert lossy.wall_energy_kwh_per_year() == pytest.approx(
+            2 * base.wall_energy_kwh_per_year()
+        )
+
+    def test_annual_operational(self):
+        profile = light_user_profile()
+        assert profile.annual_operational_g(300.0) == pytest.approx(
+            profile.wall_energy_kwh_per_year() * 300.0
+        )
+
+    def test_overfull_day_rejected(self):
+        with pytest.raises(ParameterError):
+            UsageProfile("bad", (Activity("a", 25.0, 1.0),))
+
+    def test_charging_efficiency_above_one_rejected(self):
+        with pytest.raises(ParameterError):
+            UsageProfile("bad", (), charging_efficiency=1.1)
+
+    def test_average_active_power(self):
+        profile = UsageProfile(
+            "x", (Activity("a", 1.0, 1.0), Activity("b", 1.0, 3.0))
+        )
+        assert profile.average_active_power_w() == pytest.approx(2.0)
+
+
+class TestAttribution:
+    @pytest.fixture()
+    def usages(self):
+        return (
+            WorkloadUsage("train", busy_hours=6.0, energy_kwh=12.0),
+            WorkloadUsage("serve", busy_hours=12.0, energy_kwh=6.0),
+        )
+
+    _KW = dict(
+        embodied_g=10_000.0,
+        period_hours=24.0,
+        ci_use_g_per_kwh=300.0,
+        lifetime_hours=24_000.0,
+    )
+
+    def test_operational_is_policy_independent(self, usages):
+        for policy in (TIME, TIME_GROSSED_UP, ENERGY):
+            results = attribute(usages, policy=policy, **self._KW)
+            assert results[0].operational_g == pytest.approx(12.0 * 300.0)
+            assert results[1].operational_g == pytest.approx(6.0 * 300.0)
+
+    def test_time_policy_leaves_idle_unattributed(self, usages):
+        results = attribute(usages, policy=TIME, **self._KW)
+        period_embodied = 10_000.0 * 24.0 / 24_000.0
+        attributed = sum(r.embodied_g for r in results)
+        idle = unattributed_embodied_g(
+            usages,
+            embodied_g=10_000.0,
+            period_hours=24.0,
+            lifetime_hours=24_000.0,
+        )
+        assert attributed + idle == pytest.approx(period_embodied)
+        assert idle == pytest.approx(period_embodied * 6.0 / 24.0)
+
+    def test_grossed_up_policy_attributes_everything(self, usages):
+        results = attribute(usages, policy=TIME_GROSSED_UP, **self._KW)
+        period_embodied = 10_000.0 * 24.0 / 24_000.0
+        assert sum(r.embodied_g for r in results) == pytest.approx(
+            period_embodied
+        )
+        # 6h vs 12h of busy time: one third vs two thirds.
+        assert results[0].embodied_g == pytest.approx(period_embodied / 3.0)
+
+    def test_energy_policy_follows_energy(self, usages):
+        results = attribute(usages, policy=ENERGY, **self._KW)
+        assert results[0].embodied_g == pytest.approx(
+            2 * results[1].embodied_g
+        )
+
+    def test_full_utilization_makes_time_policies_agree(self):
+        usages = (
+            WorkloadUsage("a", busy_hours=12.0, energy_kwh=1.0),
+            WorkloadUsage("b", busy_hours=12.0, energy_kwh=1.0),
+        )
+        time_results = attribute(usages, policy=TIME, **self._KW)
+        gross_results = attribute(usages, policy=TIME_GROSSED_UP, **self._KW)
+        for t, g in zip(time_results, gross_results):
+            assert t.embodied_g == pytest.approx(g.embodied_g)
+
+    def test_over_occupancy_rejected(self):
+        usages = (WorkloadUsage("a", busy_hours=30.0, energy_kwh=1.0),)
+        with pytest.raises(ParameterError):
+            attribute(usages, policy=TIME, **self._KW)
+
+    def test_unknown_policy(self, usages):
+        with pytest.raises(UnknownEntryError):
+            attribute(usages, policy="shapley", **self._KW)
+
+    def test_total_property(self, usages):
+        result = attribute(usages, policy=TIME, **self._KW)[0]
+        assert result.total_g == pytest.approx(
+            result.operational_g + result.embodied_g
+        )
+
+    def test_empty_usages(self):
+        assert attribute((), policy=ENERGY, **self._KW) == ()
+        assert unattributed_embodied_g(
+            (), embodied_g=1000.0, period_hours=24.0, lifetime_hours=2400.0
+        ) == pytest.approx(10.0)

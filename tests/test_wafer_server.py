@@ -1,0 +1,150 @@
+"""Wafer-level fab accounting and server/datacenter platforms."""
+
+import math
+
+import pytest
+
+from repro.core.components import LogicComponent
+from repro.fabs.fab import default_fab
+from repro.fabs.wafer import (
+    gross_dies_per_wafer,
+    wafer_area_cm2,
+    wafer_run,
+    wafers_needed,
+)
+from repro.platforms.server import (
+    DEFAULT_PUE,
+    ServerConfig,
+    consolidation_saving,
+    dell_r740_config,
+    fleet_footprint,
+    server_lifecycle,
+)
+
+
+class TestWafer:
+    def test_wafer_area_300mm(self):
+        assert wafer_area_cm2(300.0) == pytest.approx(math.pi * 15.0**2)
+
+    def test_gross_dies_decrease_with_die_size(self):
+        assert gross_dies_per_wafer(50.0) > gross_dies_per_wafer(100.0)
+
+    def test_gross_dies_sane_for_a13(self):
+        # ~98.5 mm^2 dies on a 300 mm wafer: several hundred.
+        assert 500 < gross_dies_per_wafer(98.5) < 750
+
+    def test_huge_die_zero(self):
+        assert gross_dies_per_wafer(200_000.0) == 0
+
+    def test_run_agrees_with_eq4_up_to_edge_loss(self):
+        fab = default_fab("7")
+        run = wafer_run(98.5, fab)
+        eq4 = LogicComponent("x", 98.5, fab).embodied_g()
+        # Wafer accounting adds edge-loss overhead: same order, slightly more.
+        assert eq4 < run.per_good_die_g < eq4 * 1.25
+
+    def test_good_dies_apply_yield(self):
+        fab = default_fab("7")
+        run = wafer_run(98.5, fab)
+        expected_yield = fab.params_for_area(0.985).fab_yield
+        assert run.good_dies == pytest.approx(run.gross_dies * expected_yield)
+
+    def test_wafers_needed_ceiling(self):
+        fab = default_fab("7")
+        run = wafer_run(98.5, fab)
+        assert wafers_needed(int(run.good_dies), 98.5, fab) == 1
+        assert wafers_needed(int(run.good_dies) + 1, 98.5, fab) == 2
+
+    def test_oversized_die_raises(self):
+        with pytest.raises(ValueError):
+            wafer_run(200_000.0, default_fab("7"))
+
+
+class TestServerConfig:
+    def test_platform_contains_all_parts(self):
+        platform = dell_r740_config("hdd").platform()
+        categories = {c.category for c in platform.components}
+        assert {"soc", "dram", "ssd", "hdd", "other"} <= categories
+
+    def test_boot_config_smaller_than_flash_config(self):
+        big = dell_r740_config("ssd").platform().embodied_kg()
+        small = dell_r740_config("boot").platform().embodied_kg()
+        assert small < big
+
+    def test_unknown_build(self):
+        with pytest.raises(ValueError):
+            dell_r740_config("tape")
+
+    def test_power_model_linear(self):
+        config = ServerConfig(name="x", idle_power_w=100.0, busy_power_w=300.0)
+        assert config.average_power_w(0.0) == 100.0
+        assert config.average_power_w(1.0) == 300.0
+        assert config.average_power_w(0.5) == 200.0
+
+    def test_power_model_bounds(self):
+        with pytest.raises(ValueError):
+            ServerConfig(name="x").average_power_w(1.5)
+
+
+class TestServerLifecycle:
+    def test_pue_inflates_operational(self):
+        config = dell_r740_config("boot")
+        lean = server_lifecycle(config, ci_use_g_per_kwh=380.0, pue=1.0)
+        fat = server_lifecycle(config, ci_use_g_per_kwh=380.0, pue=1.5)
+        assert fat.operational_g == pytest.approx(1.5 * lean.operational_g)
+        assert fat.embodied_total_g == lean.embodied_total_g
+
+    def test_embodied_charged_in_full(self):
+        config = dell_r740_config("boot")
+        report = server_lifecycle(config, ci_use_g_per_kwh=380.0)
+        assert report.lifetime_fraction == pytest.approx(1.0)
+
+    def test_renewable_grid_flips_dominance(self):
+        config = dell_r740_config("ssd")
+        dirty = server_lifecycle(config, ci_use_g_per_kwh=700.0)
+        green = server_lifecycle(config, ci_use_g_per_kwh=11.0)
+        assert dirty.operational_share > 0.5
+        assert green.embodied_share > 0.5
+
+    def test_default_pue(self):
+        assert DEFAULT_PUE == pytest.approx(1.2)
+
+
+class TestFleet:
+    def test_fleet_scales_linearly(self):
+        config = dell_r740_config("boot")
+        one = fleet_footprint(config, 1, ci_use_g_per_kwh=380.0)
+        hundred = fleet_footprint(config, 100, ci_use_g_per_kwh=380.0)
+        assert hundred.total_kg == pytest.approx(100 * one.total_kg)
+        assert hundred.embodied_share == pytest.approx(one.embodied_share)
+
+    def test_consolidation_saves_carbon(self):
+        saving = consolidation_saving(
+            dell_r740_config("boot"),
+            demand_server_equivalents=100.0,
+            ci_use_g_per_kwh=380.0,
+        )
+        assert saving > 1.0
+
+    def test_consolidation_saving_larger_on_green_grids(self):
+        # On a carbon-free grid only embodied matters, so consolidation's
+        # 3x fewer machines saves the full 3x.
+        config = dell_r740_config("boot")
+        dirty = consolidation_saving(
+            config, demand_server_equivalents=10.0, ci_use_g_per_kwh=700.0
+        )
+        green = consolidation_saving(
+            config, demand_server_equivalents=10.0, ci_use_g_per_kwh=0.0
+        )
+        assert green > dirty
+        assert green == pytest.approx(3.0)
+
+    def test_consolidation_validates_utilizations(self):
+        with pytest.raises(ValueError):
+            consolidation_saving(
+                dell_r740_config("boot"),
+                demand_server_equivalents=10.0,
+                low_utilization=0.8,
+                high_utilization=0.5,
+                ci_use_g_per_kwh=380.0,
+            )
