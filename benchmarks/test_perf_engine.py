@@ -1,0 +1,107 @@
+"""Performance benchmark: batched engine vs the scalar reference path.
+
+Times the two workloads the engine was built for — a 10k-draw Monte Carlo
+and a Cartesian grid sweep — on both paths, asserts the batched engine's
+advertised speedup (>= 10x points/sec on the Monte Carlo), and writes the
+measurements to ``BENCH_engine.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis.montecarlo import run_monte_carlo
+from repro.analysis.scenario import ActScenario
+from repro.dse.sweep import sweep_grid, sweep_grid_batched
+from repro.engine import EvaluationCache
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_engine.json"
+
+MC_DRAWS = 10_000
+SWEEP_GRIDS = {
+    "ci_fab_g_per_kwh": tuple(float(30 + 50 * k) for k in range(12)),
+    "fab_yield": tuple(0.5 + 0.05 * k for k in range(10)),
+    "ci_use_g_per_kwh": tuple(float(11 + 80 * k) for k in range(10)),
+}
+
+
+def _best_seconds(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_perf_engine():
+    """Batched Monte Carlo and grid sweep beat the scalar path >= 10x."""
+    base = ActScenario()
+
+    # Monte Carlo: identical draws, scalar per-scenario loop vs one kernel
+    # pass over the sampled batch.
+    scalar_mc = _best_seconds(
+        lambda: run_monte_carlo(
+            base, draws=MC_DRAWS, seed=2022, response=lambda s: s.total_g()
+        ),
+        repeats=2,
+    )
+    # A fresh cache per call keeps the timing honest: we measure the
+    # kernels, not a content-hash cache hit on the repeated batch.
+    batched_mc = _best_seconds(
+        lambda: run_monte_carlo(
+            base, draws=MC_DRAWS, seed=2022, cache=EvaluationCache()
+        ),
+        repeats=5,
+    )
+
+    # Grid sweep: 1200-point Cartesian product, scalar replace()+total_g()
+    # per point vs one from_product batch.
+    sweep_points = 1
+    for values in SWEEP_GRIDS.values():
+        sweep_points *= len(values)
+    scalar_sweep = _best_seconds(
+        lambda: sweep_grid(
+            SWEEP_GRIDS, lambda **params: base.replace(**params).total_g()
+        ),
+        repeats=2,
+    )
+    batched_sweep = _best_seconds(
+        lambda: sweep_grid_batched(base, SWEEP_GRIDS, cache=EvaluationCache()),
+        repeats=5,
+    )
+
+    mc_speedup = scalar_mc / batched_mc
+    sweep_speedup = scalar_sweep / batched_sweep
+    payload = {
+        "benchmark": "engine",
+        "monte_carlo": {
+            "draws": MC_DRAWS,
+            "scalar_seconds": scalar_mc,
+            "batched_seconds": batched_mc,
+            "scalar_points_per_sec": MC_DRAWS / scalar_mc,
+            "batched_points_per_sec": MC_DRAWS / batched_mc,
+            "speedup": mc_speedup,
+        },
+        "grid_sweep": {
+            "points": sweep_points,
+            "scalar_seconds": scalar_sweep,
+            "batched_seconds": batched_sweep,
+            "scalar_points_per_sec": sweep_points / scalar_sweep,
+            "batched_points_per_sec": sweep_points / batched_sweep,
+            "speedup": sweep_speedup,
+        },
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(json.dumps(payload, indent=2))
+
+    assert mc_speedup >= 10.0, (
+        f"batched Monte Carlo only {mc_speedup:.1f}x faster than scalar"
+    )
+    assert sweep_speedup >= 5.0, (
+        f"batched grid sweep only {sweep_speedup:.1f}x faster than scalar"
+    )

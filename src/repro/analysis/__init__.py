@@ -15,6 +15,7 @@ from repro.analysis.montecarlo import (
     MonteCarloResult,
     embodied_share_distribution,
     run_monte_carlo,
+    sample_scenario_batch,
 )
 from repro.analysis.scenario import (
     PARAMETER_RANGES,
@@ -46,6 +47,7 @@ __all__ = [
     "embodied_share_distribution",
     "parameter_range",
     "run_monte_carlo",
+    "sample_scenario_batch",
     "tornado",
     "unattributed_embodied_g",
 ]

@@ -6,18 +6,27 @@ bands span 95-99%, yields are proprietary.  This module samples the
 scenario parameters from those ranges (independently, uniform or
 triangular around the base value) and propagates them through Eq. 1-8,
 yielding a footprint distribution instead of a single number.
+
+Sampling goes straight into a :class:`~repro.engine.batch.ScenarioBatch`
+(one column per sampled parameter, the base scenario broadcast across the
+rest) and the batched engine evaluates all draws in one vectorized, cached
+pass.  A custom scalar ``response`` callable falls back to per-draw
+evaluation over the batch's scenario view — the reference path the
+equivalence suite checks the engine against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping
+from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.analysis.scenario import PARAMETER_RANGES, ActScenario, parameter_range
 from repro.core.errors import ParameterError
 from repro.core.parameters import require_positive
+from repro.engine.batch import ScenarioBatch
+from repro.engine.cache import EvaluationCache, evaluate_cached
 
 Response = Callable[[ActScenario], float]
 
@@ -48,6 +57,10 @@ class MonteCarloResult:
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile of the distribution (0-100)."""
         return float(np.percentile(self.samples, q))
+
+    def percentiles(self, qs: Sequence[float]) -> tuple[float, ...]:
+        """Several percentiles of the distribution at once (0-100 each)."""
+        return tuple(float(v) for v in np.percentile(self.samples, list(qs)))
 
     @property
     def p5(self) -> float:
@@ -83,36 +96,7 @@ def _sample_parameter(
     )
 
 
-def _vectorized_totals(
-    base: ActScenario, columns: Mapping[str, np.ndarray], draws: int
-) -> np.ndarray:
-    """Eq. 1-8 evaluated over whole sample columns at once.
-
-    Pure ndarray arithmetic — identical math to ``ActScenario.total_g`` but
-    ~100x faster for large draw counts.
-    """
-
-    def col(name: str) -> np.ndarray | float:
-        return columns.get(name, getattr(base, name))
-
-    cpa = (
-        col("ci_fab_g_per_kwh") * col("epa_kwh_per_cm2")
-        + col("gpa_g_per_cm2")
-        + col("mpa_g_per_cm2")
-    ) / col("fab_yield")
-    embodied = (
-        col("ic_count") * col("packaging_g_per_ic")
-        + col("soc_area_cm2") * cpa
-        + col("dram_gb") * col("cps_dram_g_per_gb")
-        + col("ssd_gb") * col("cps_ssd_g_per_gb")
-        + col("hdd_gb") * col("cps_hdd_g_per_gb")
-    )
-    operational = col("energy_kwh") * col("ci_use_g_per_kwh")
-    total = operational + (col("duration_hours") / col("lifetime_hours")) * embodied
-    return np.broadcast_to(total, (draws,)).astype(float, copy=True)
-
-
-def run_monte_carlo(
+def sample_scenario_batch(
     base: ActScenario,
     parameters: Iterable[str] | None = None,
     *,
@@ -120,21 +104,22 @@ def run_monte_carlo(
     seed: int = 2022,
     distribution: str = TRIANGULAR,
     ranges: Mapping[str, tuple[float, float]] | None = None,
-    response: Response | None = None,
-) -> MonteCarloResult:
-    """Propagate parameter uncertainty through the ACT model.
+) -> ScenarioBatch:
+    """Sample the Table 1 parameter ranges directly into a scenario batch.
+
+    One draw per row: sampled parameters become full columns, everything
+    else is the base scenario broadcast.  Draw order is reproducible — the
+    same seed yields the same batch, column by column.
 
     Args:
         base: Scenario providing the untouched parameters (and triangular
             modes).
         parameters: Which parameters vary (default: all with ranges).
         draws: Number of Monte Carlo samples.
-        seed: RNG seed — results are reproducible by construction.
+        seed: RNG seed.
         distribution: ``"uniform"`` over the range, or ``"triangular"``
             peaked at the base value.
         ranges: Optional per-parameter (low, high) overrides.
-        response: Scalar to record per draw.  When omitted, the total
-            footprint is computed on a fully vectorized numpy path.
     """
     require_positive("draws", draws)
     names = tuple(parameters) if parameters is not None else tuple(PARAMETER_RANGES)
@@ -148,25 +133,59 @@ def run_monte_carlo(
             rng, distribution, low, high, getattr(base, name), draws
         )
     # Lifetime must dominate duration; clip any violating draws.
-    if "lifetime_hours" in columns or "duration_hours" in columns:
+    if "lifetime_hours" in columns:
         duration = columns.get(
             "duration_hours", np.full(draws, base.duration_hours)
         )
-        lifetime = columns.get(
-            "lifetime_hours", np.full(draws, base.lifetime_hours)
+        columns["lifetime_hours"] = np.maximum(
+            columns["lifetime_hours"], duration
         )
-        lifetime = np.maximum(lifetime, duration)
-        if "lifetime_hours" in columns:
-            columns["lifetime_hours"] = lifetime
+    return ScenarioBatch.from_columns(base, draws, columns)
 
+
+def run_monte_carlo(
+    base: ActScenario,
+    parameters: Iterable[str] | None = None,
+    *,
+    draws: int = 2000,
+    seed: int = 2022,
+    distribution: str = TRIANGULAR,
+    ranges: Mapping[str, tuple[float, float]] | None = None,
+    response: Response | None = None,
+    cache: EvaluationCache | None = None,
+) -> MonteCarloResult:
+    """Propagate parameter uncertainty through the ACT model.
+
+    Args:
+        base: Scenario providing the untouched parameters (and triangular
+            modes).
+        parameters: Which parameters vary (default: all with ranges).
+        draws: Number of Monte Carlo samples.
+        seed: RNG seed — results are reproducible by construction.
+        distribution: ``"uniform"`` over the range, or ``"triangular"``
+            peaked at the base value.
+        ranges: Optional per-parameter (low, high) overrides.
+        response: Scalar to record per draw.  When omitted, the total
+            footprint runs on the batched engine (vectorized and cached);
+            a custom response is evaluated per draw on the scalar path.
+        cache: Optional evaluation cache for the batched path.
+    """
+    batch = sample_scenario_batch(
+        base,
+        parameters,
+        draws=draws,
+        seed=seed,
+        distribution=distribution,
+        ranges=ranges,
+    )
     if response is None:
-        samples = _vectorized_totals(base, columns, draws)
+        result = evaluate_cached(batch, cache)
+        samples = np.array(result.total_g, copy=True)
         return MonteCarloResult(samples=samples, base_response=base.total_g())
 
     samples = np.empty(draws)
-    for index in range(draws):
-        overrides = {name: float(values[index]) for name, values in columns.items()}
-        samples[index] = response(base.replace(**overrides))
+    for index, scenario in enumerate(batch.scenarios()):
+        samples[index] = response(scenario)
     return MonteCarloResult(samples=samples, base_response=response(base))
 
 
@@ -176,16 +195,21 @@ def embodied_share_distribution(
     """Distribution of the embodied share of the total footprint.
 
     Quantifies how robust the paper's "manufacturing dominates" conclusion
-    is to parameter uncertainty.
+    is to parameter uncertainty.  Runs entirely on the batched engine: the
+    share is an array expression over the evaluated draw columns.
     """
+    batch = sample_scenario_batch(base, draws=draws, seed=seed)
+    result = evaluate_cached(batch)
 
-    def share(scenario: ActScenario) -> float:
-        total = scenario.total_g()
-        if total == 0:
-            return 0.0
-        amortized = (
-            scenario.duration_hours / scenario.lifetime_hours
-        ) * scenario.embodied_g()
-        return amortized / total
-
-    return run_monte_carlo(base, draws=draws, seed=seed, response=share)
+    base_total = base.total_g()
+    base_share = (
+        0.0
+        if base_total == 0
+        else (base.duration_hours / base.lifetime_hours)
+        * base.embodied_g()
+        / base_total
+    )
+    return MonteCarloResult(
+        samples=np.array(result.embodied_share, copy=True),
+        base_response=base_share,
+    )

@@ -20,6 +20,9 @@ Subcommands::
     act-repro sensitivity [--top 8] [--draws 2000]
         Tornado ranking + Monte Carlo spread over the Table 1 parameters.
 
+    act-repro montecarlo [--draws 10000] [--seed 2022] [--percentiles 5,50,95]
+        Footprint distribution over the Table 1 ranges on the batched engine.
+
     act-repro baselines
         ACT vs the prior-work models (GreenChip-style inventory, exergy).
 """
@@ -108,6 +111,29 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sensitivity.add_argument(
         "--draws", type=int, default=2000, help="Monte Carlo samples"
+    )
+
+    montecarlo = sub.add_parser(
+        "montecarlo",
+        help="batched Monte Carlo footprint distribution over the Table 1 "
+        "parameter ranges",
+    )
+    montecarlo.add_argument(
+        "--draws", type=int, default=10_000, help="Monte Carlo samples"
+    )
+    montecarlo.add_argument(
+        "--seed", type=int, default=2022, help="RNG seed (reproducible)"
+    )
+    montecarlo.add_argument(
+        "--distribution",
+        choices=("triangular", "uniform"),
+        default="triangular",
+        help="per-parameter sampling distribution",
+    )
+    montecarlo.add_argument(
+        "--percentiles",
+        default="5,50,95",
+        help="comma-separated percentiles to report (0-100)",
     )
 
     sub.add_parser("baselines", help="compare ACT against prior-work models")
@@ -267,6 +293,49 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_montecarlo(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.analysis import ActScenario, run_monte_carlo
+
+    try:
+        percentiles = [
+            float(field) for field in args.percentiles.split(",") if field.strip()
+        ]
+    except ValueError:
+        print(f"invalid percentile list: {args.percentiles!r}", file=sys.stderr)
+        return 2
+    if not percentiles or any(not 0 <= q <= 100 for q in percentiles):
+        print("percentiles must be numbers in [0, 100]", file=sys.stderr)
+        return 2
+
+    base = ActScenario()
+    started = time.perf_counter()
+    result = run_monte_carlo(
+        base,
+        draws=args.draws,
+        seed=args.seed,
+        distribution=args.distribution,
+    )
+    elapsed = time.perf_counter() - started
+    print(
+        f"Monte Carlo over the Table 1 ranges — batched engine, "
+        f"{args.draws} draws, seed {args.seed}, {args.distribution}"
+    )
+    print(f"Base scenario footprint: {result.base_response / 1000.0:.2f} kg CO2e")
+    print(
+        f"mean {result.mean / 1000.0:.2f} kg, std {result.std / 1000.0:.2f} kg"
+    )
+    rows = [
+        (f"p{q:g}", value / 1000.0)
+        for q, value in zip(percentiles, result.percentiles(percentiles))
+    ]
+    print(ascii_table(("percentile", "kg CO2e"), rows))
+    rate = args.draws / elapsed if elapsed > 0 else float("inf")
+    print(f"throughput: {rate:,.0f} points/sec ({elapsed * 1e3:.1f} ms)")
+    return 0
+
+
 def _cmd_baselines(_: argparse.Namespace) -> int:
     from repro.baselines import exergy_blind_spot, greenchip_vs_act
 
@@ -342,6 +411,7 @@ _COMMANDS = {
     "socs": _cmd_socs,
     "export": _cmd_export,
     "sensitivity": _cmd_sensitivity,
+    "montecarlo": _cmd_montecarlo,
     "baselines": _cmd_baselines,
 }
 

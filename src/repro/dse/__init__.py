@@ -3,15 +3,27 @@
 from repro.dse.optimizer import (
     ExplorationResult,
     explore,
+    explore_batched,
     metric_disagreement,
 )
-from repro.dse.pareto import dominates, pareto_front
+from repro.dse.pareto import dominates, pareto_front, pareto_mask
 from repro.dse.qos import Constraint, at_least, at_most, constrained_minimum
-from repro.dse.sweep import SweepRecord, argmin, feasible, sweep_1d, sweep_grid
+from repro.dse.sweep import (
+    BatchSweepResult,
+    FrozenParams,
+    SweepRecord,
+    argmin,
+    feasible,
+    sweep_1d,
+    sweep_grid,
+    sweep_grid_batched,
+)
 
 __all__ = [
+    "BatchSweepResult",
     "Constraint",
     "ExplorationResult",
+    "FrozenParams",
     "SweepRecord",
     "argmin",
     "at_least",
@@ -19,9 +31,12 @@ __all__ = [
     "constrained_minimum",
     "dominates",
     "explore",
+    "explore_batched",
     "feasible",
     "metric_disagreement",
     "pareto_front",
+    "pareto_mask",
     "sweep_1d",
     "sweep_grid",
+    "sweep_grid_batched",
 ]

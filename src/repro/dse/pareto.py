@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Callable, Sequence, TypeVar
 
+import numpy as np
+
 from repro.core.errors import ConstraintError
 
 T = TypeVar("T")
@@ -40,13 +42,43 @@ def pareto_front(
     """
     if not objectives:
         raise ConstraintError("at least one objective is required")
-    vectors = [tuple(fn(candidate) for fn in objectives) for candidate in candidates]
-    front = []
-    for index, candidate in enumerate(candidates):
-        if not any(
-            dominates(vectors[other], vectors[index])
-            for other in range(len(candidates))
-            if other != index
-        ):
-            front.append(candidate)
-    return tuple(front)
+    if not candidates:
+        return ()
+    vectors = np.array(
+        [[fn(candidate) for fn in objectives] for candidate in candidates],
+        dtype=np.float64,
+    )
+    mask = pareto_mask(vectors)
+    return tuple(
+        candidate
+        for candidate, keep in zip(candidates, mask)
+        if keep
+    )
+
+
+def pareto_mask(objectives: np.ndarray) -> np.ndarray:
+    """Boolean non-dominated mask over an ``(n, m)`` objective matrix.
+
+    The array form of :func:`pareto_front` — row ``i`` is one candidate's
+    ``m`` minimizing objectives, and the result marks the rows no other row
+    Pareto-dominates.  One broadcasted comparison replaces the O(n^2)
+    Python loop, so batched sweeps can extract fronts directly from their
+    result columns.  Duplicate rows are all retained, matching
+    :func:`dominates` semantics.
+    """
+    matrix = np.asarray(objectives, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ConstraintError(
+            f"objective matrix must be 2-D (candidates x objectives), "
+            f"got shape {matrix.shape}"
+        )
+    if matrix.shape[1] == 0:
+        raise ConstraintError("at least one objective is required")
+    if matrix.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    # dominated[i, j]: candidate i is no worse than j everywhere and
+    # strictly better somewhere — i.e. i dominates j.
+    no_worse = (matrix[:, None, :] <= matrix[None, :, :]).all(axis=2)
+    better = (matrix[:, None, :] < matrix[None, :, :]).any(axis=2)
+    dominated_by_any = (no_worse & better).any(axis=0)
+    return ~dominated_by_any

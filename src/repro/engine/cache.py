@@ -1,0 +1,101 @@
+"""Content-addressed caching for batched Eq. 1-8 evaluations.
+
+Sweeps repeat themselves: the CLI re-runs the same Monte Carlo grid, a
+figure regenerates over the exact same Cartesian product, an optimizer
+revisits a region of the design space.  Since a
+:class:`~repro.engine.batch.ScenarioBatch` is just 18 float64 columns, its
+*content* is hashable — the SHA-256 of the column bytes keys an evaluated
+:class:`~repro.engine.kernels.BatchResult` so identical batches are never
+recomputed, regardless of how they were constructed.
+
+Results are stored with read-only arrays (enforced by ``BatchResult``
+itself), so handing the same object to multiple callers is safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.core.parameters import require_positive
+from repro.engine.batch import FIELD_NAMES, ScenarioBatch
+from repro.engine.kernels import BatchResult, evaluate_batch
+
+
+def batch_key(batch: ScenarioBatch) -> str:
+    """A content hash identifying a batch by its parameter values.
+
+    Two batches with equal columns hash identically even when built by
+    different constructors (``from_product`` vs ``from_scenarios``), so a
+    re-swept grid hits the cache of its first evaluation.
+    """
+    digest = hashlib.sha256()
+    digest.update(len(batch).to_bytes(8, "little"))
+    for name in FIELD_NAMES:
+        digest.update(name.encode("ascii"))
+        digest.update(batch.column(name).tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class EvaluationCache:
+    """An LRU content-hash cache of batched model evaluations.
+
+    Attributes:
+        capacity: Maximum number of batch results retained; least recently
+            used entries are evicted first.
+        hits / misses: Running counters for observability and tests.
+    """
+
+    capacity: int = 64
+    hits: int = 0
+    misses: int = 0
+    _store: "OrderedDict[str, BatchResult]" = field(default_factory=OrderedDict)
+
+    def __post_init__(self) -> None:
+        require_positive("capacity", self.capacity)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def evaluate(self, batch: ScenarioBatch) -> BatchResult:
+        """Eq. 1-8 over ``batch``, reusing any previous identical evaluation."""
+        key = batch_key(batch)
+        cached = self._store.get(key)
+        if cached is not None and len(cached) == len(batch):
+            self.hits += 1
+            self._store.move_to_end(key)
+            return cached
+        self.misses += 1
+        result = evaluate_batch(batch)
+        self._store[key] = result
+        self._store.move_to_end(key)
+        while len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+        return result
+
+    def clear(self) -> None:
+        """Drop every cached result and reset the counters."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of evaluations served from cache (0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+#: Process-wide default cache used when callers do not pass their own.
+DEFAULT_CACHE = EvaluationCache()
+
+
+def evaluate_cached(
+    batch: ScenarioBatch, cache: EvaluationCache | None = None
+) -> BatchResult:
+    """Evaluate a batch through ``cache`` (default: the process-wide one)."""
+    if cache is None:
+        cache = DEFAULT_CACHE
+    return cache.evaluate(batch)

@@ -2,14 +2,16 @@
 
 Regenerates all three panels — EPA (top), the GPA abatement band (middle),
 and the CPA band between Taiwan-grid and solar-powered fabs with the
-25%-renewable default (bottom) — over the 28 nm → 3 nm node ladder.
+25%-renewable default (bottom) — over the 28 nm → 3 nm node ladder.  The
+sweep itself runs on the batched engine: every (node, energy-mix) CPA value
+comes from one broadcasted Eq. 5 kernel call.
 """
 
 from __future__ import annotations
 
 from repro.data.fab_nodes import node_names
 from repro.experiments.base import ExperimentResult, check_true
-from repro.fabs.cpa import cpa_curve
+from repro.fabs.cpa import cpa_curve_batched
 from repro.reporting.figures import FigureData, Series
 
 EXPERIMENT_ID = "fig6"
@@ -18,7 +20,7 @@ TITLE = "Embodied carbon intensity of logic across nodes (28nm -> 3nm)"
 
 def run() -> ExperimentResult:
     """Regenerate Figure 6 and check monotonicity/band ordering."""
-    points = cpa_curve()
+    points = cpa_curve_batched()
     nodes = tuple(point.node for point in points)
 
     figures = (

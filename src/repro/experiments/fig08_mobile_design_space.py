@@ -9,8 +9,9 @@ CEP → Kirin 980, C2EP → Kirin 980.
 
 from __future__ import annotations
 
-from repro.core.metrics import METRICS, normalized, score_table, winners
+from repro.core.metrics import METRICS, normalized
 from repro.data.soc_catalog import all_socs, newest_in_family
+from repro.engine.metrics import score_table_batched, winners_batched
 from repro.experiments.base import ExperimentResult, check_equal
 from repro.platforms.mobile import design_space
 from repro.reporting.figures import FigureData, Series
@@ -45,7 +46,9 @@ def run() -> ExperimentResult:
         tuple(point.embodied_carbon_g / 1000.0 for point in points),
     )
 
-    scores = score_table(points)
+    # All thirteen chipsets scored under every Table 2 metric in one
+    # array expression per metric (the batched engine path).
+    scores = score_table_batched(points)
     # Panel (d): normalize each family's scores to its newest chipset.
     metric_series = []
     for metric_name in METRICS:
@@ -74,7 +77,7 @@ def run() -> ExperimentResult:
         ),
     )
 
-    observed = winners(points)
+    observed = winners_batched(points)
     observed["embodied"] = min(
         points, key=lambda p: p.embodied_carbon_g
     ).name

@@ -9,6 +9,8 @@ for the CPU / GPU / DSP configurations:
   to the general-purpose CPU (the paper's 1.8x reduction at carbon-free);
 * bottom — carbon intensity of *fab* energy swept coal → carbon-free at
   fixed renewable operation: the optimum shifts from CPU back to DSP.
+
+Both sweeps evaluate on the batched engine (one kernel pass per panel).
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ from repro.provisioning.mobile_soc import (
     SOC_NODE,
     WITH_DSP,
     optimal_configuration,
+    per_inference_totals_batched,
 )
 from repro.reporting.figures import FigureData, Series
 
@@ -52,30 +55,29 @@ def run() -> ExperimentResult:
     taiwan_fab = default_fab(SOC_NODE).with_energy_mix("taiwan_grid")
     renewable_use_ci = source_ci("solar")
 
-    top_series = []
-    for config in CONFIGURATIONS:
-        totals = []
-        for _, ci_use in _USE_SCENARIOS:
-            operational, embodied = config.footprint_per_inference_g(
-                ci_use_g_per_kwh=ci_use, fab=taiwan_fab
-            )
-            totals.append((operational + embodied) * 1e6)  # µg
-        top_series.append(
-            Series(config.name, tuple(n for n, _ in _USE_SCENARIOS), tuple(totals))
-        )
+    # Both sweeps run on the batched engine: the whole CI axis is one
+    # array per configuration instead of a fab rebuild per sweep point.
+    use_labels = tuple(n for n, _ in _USE_SCENARIOS)
+    top_totals = per_inference_totals_batched(
+        ci_use_g_per_kwh=[ci for _, ci in _USE_SCENARIOS], fab=taiwan_fab
+    )
+    top_series = [
+        Series(config.name, use_labels,
+               tuple(float(v) * 1e6 for v in top_totals[config.name]))  # µg
+        for config in CONFIGURATIONS
+    ]
 
-    bottom_series = []
-    for config in CONFIGURATIONS:
-        totals = []
-        for _, ci_fab in _FAB_SCENARIOS:
-            fab = default_fab(SOC_NODE).with_ci(ci_fab)
-            operational, embodied = config.footprint_per_inference_g(
-                ci_use_g_per_kwh=renewable_use_ci, fab=fab
-            )
-            totals.append((operational + embodied) * 1e6)
-        bottom_series.append(
-            Series(config.name, tuple(n for n, _ in _FAB_SCENARIOS), tuple(totals))
-        )
+    fab_labels = tuple(n for n, _ in _FAB_SCENARIOS)
+    bottom_totals = per_inference_totals_batched(
+        ci_use_g_per_kwh=renewable_use_ci,
+        fab=default_fab(SOC_NODE),
+        ci_fab_g_per_kwh=[ci for _, ci in _FAB_SCENARIOS],
+    )
+    bottom_series = [
+        Series(config.name, fab_labels,
+               tuple(float(v) * 1e6 for v in bottom_totals[config.name]))
+        for config in CONFIGURATIONS
+    ]
 
     figures = (
         FigureData(

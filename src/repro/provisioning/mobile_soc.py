@@ -26,6 +26,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core import units
 from repro.core.components import LogicComponent
 from repro.core.errors import UnknownEntryError
@@ -33,6 +35,7 @@ from repro.core.metrics import DesignPoint
 from repro.core.model import Platform
 from repro.core.operational import operational_footprint_g
 from repro.data.regions import US_CASE_STUDY_CI
+from repro.engine import kernels
 from repro.fabs.fab import FabScenario, default_fab
 
 #: The SoC's process node (Snapdragon 845: 10 nm).
@@ -188,6 +191,66 @@ def breakeven_utilization(
     lifetime_s = units.years_to_hours(lifetime_years) * units.SECONDS_PER_HOUR
     busy_s = inferences_needed * candidate.serving_block.latency_s
     return busy_s / lifetime_s
+
+
+def per_inference_totals_batched(
+    *,
+    ci_use_g_per_kwh: "np.ndarray | float",
+    fab: FabScenario | None = None,
+    ci_fab_g_per_kwh: "np.ndarray | float | None" = None,
+    lifetime_inferences: float = LIFETIME_INFERENCES,
+) -> dict[str, np.ndarray]:
+    """Per-inference total footprint for every configuration, vectorized.
+
+    The batched engine form of the Figure 10 sweeps: carbon intensities may
+    be whole arrays, and each configuration's curve is computed in one
+    Eq. 2 + Eq. 4/5 kernel pass instead of a ``FabScenario`` rebuild per
+    sweep point.  Matches ``footprint_per_inference_g`` exactly (operational
+    plus lifetime-amortized embodied, grams CO2 per inference).
+
+    Args:
+        ci_use_g_per_kwh: Use-phase carbon intensity (scalar or array).
+        fab: Manufacturing template (node, abatement, yield, MPA); defaults
+            to the case study's 10 nm fab.
+        ci_fab_g_per_kwh: Optional fab-electricity CI override (scalar or
+            array); defaults to the template fab's own supply.
+        lifetime_inferences: Amortization base for embodied carbon.
+
+    Returns:
+        ``{configuration name: totals array}`` broadcast over the inputs.
+    """
+    if fab is None:
+        fab = default_fab(SOC_NODE)
+    ci_use = np.asarray(ci_use_g_per_kwh, dtype=np.float64)
+    ci_fab = np.asarray(
+        fab.energy_mix.ci_g_per_kwh
+        if ci_fab_g_per_kwh is None
+        else ci_fab_g_per_kwh,
+        dtype=np.float64,
+    )
+    epa = fab.node.epa_kwh_per_cm2
+    gpa = fab.node.gpa_g_per_cm2(fab.abatement)
+    totals: dict[str, np.ndarray] = {}
+    for config in CONFIGURATIONS:
+        energy_kwh = units.joules_to_kwh(
+            config.serving_block.energy_per_inference_j
+        )
+        operational = kernels.operational_g(energy_kwh, ci_use)
+        embodied = np.zeros_like(ci_fab)
+        for block in config.manufactured_blocks:
+            area_cm2 = units.mm2_to_cm2(block.area_mm2)
+            cpa = kernels.cpa_g_per_cm2(
+                ci_fab,
+                epa,
+                gpa,
+                fab.mpa_g_per_cm2,
+                fab.yield_model.yield_for_area(area_cm2),
+            )
+            embodied = embodied + kernels.soc_embodied_g(area_cm2, cpa)
+        totals[config.name] = np.atleast_1d(
+            operational + embodied / lifetime_inferences
+        )
+    return totals
 
 
 def optimal_configuration(

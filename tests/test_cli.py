@@ -132,6 +132,47 @@ class TestSensitivity:
         assert out.count("\n") > 6
 
 
+class TestMonteCarlo:
+    def test_batched_distribution(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "montecarlo", "--draws", "500", "--seed", "7",
+            "--percentiles", "10,90",
+        )
+        assert code == 0
+        assert "batched engine, 500 draws, seed 7" in out
+        assert "p10" in out and "p90" in out
+        assert "points/sec" in out
+
+    def test_reproducible_with_seed(self, capsys):
+        _, first, _ = run_cli(capsys, "montecarlo", "--draws", "300")
+        _, second, _ = run_cli(capsys, "montecarlo", "--draws", "300")
+        mean = lambda text: [  # noqa: E731
+            line for line in text.splitlines() if line.startswith("mean")
+        ][0]
+        assert mean(first) == mean(second)
+
+    def test_uniform_distribution_flag(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "montecarlo", "--draws", "200", "--distribution", "uniform"
+        )
+        assert code == 0
+        assert "uniform" in out
+
+    def test_bad_percentiles_rejected(self, capsys):
+        code, _, err = run_cli(
+            capsys, "montecarlo", "--draws", "100", "--percentiles", "5,banana"
+        )
+        assert code == 2
+        assert "invalid percentile list" in err
+
+    def test_out_of_range_percentiles_rejected(self, capsys):
+        code, _, err = run_cli(
+            capsys, "montecarlo", "--draws", "100", "--percentiles", "5,101"
+        )
+        assert code == 2
+        assert "must be numbers in [0, 100]" in err
+
+
 class TestBaselines:
     def test_comparison_output(self, capsys):
         code, out, _ = run_cli(capsys, "baselines")

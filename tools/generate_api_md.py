@@ -23,6 +23,7 @@ SUBPACKAGES = (
     "repro.provisioning",
     "repro.reliability",
     "repro.lifetime",
+    "repro.engine",
     "repro.dse",
     "repro.analysis",
     "repro.baselines",
