@@ -2,8 +2,9 @@
 
 Times the two workloads the engine was built for — a 10k-draw Monte Carlo
 and a Cartesian grid sweep — on both paths, asserts the batched engine's
-advertised speedup (>= 10x points/sec on the Monte Carlo), and writes the
-measurements to ``BENCH_engine.json`` at the repo root.
+advertised speedup (>= 10x points/sec on the Monte Carlo) and the guarded
+engine's strict-mode overhead budget (< 10% on the same Monte Carlo), and
+writes the measurements to ``BENCH_engine.json`` at the repo root.
 """
 
 from __future__ import annotations
@@ -16,6 +17,7 @@ from repro.analysis.montecarlo import run_monte_carlo
 from repro.analysis.scenario import ActScenario
 from repro.dse.sweep import sweep_grid, sweep_grid_batched
 from repro.engine import EvaluationCache
+from repro.robustness import STRICT, GuardedEngine
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT_PATH = REPO_ROOT / "BENCH_engine.json"
@@ -74,8 +76,22 @@ def test_perf_engine():
         repeats=5,
     )
 
+    # Guarded strict mode: the same batched Monte Carlo run through full
+    # pre-validation (NaN/Inf, domains, Table 1 ranges) plus the overflow
+    # cross-check.  The robustness budget is < 10% over the raw engine.
+    guarded_mc = _best_seconds(
+        lambda: run_monte_carlo(
+            base,
+            draws=MC_DRAWS,
+            seed=2022,
+            guard=GuardedEngine(policy=STRICT, cache=EvaluationCache()),
+        ),
+        repeats=5,
+    )
+
     mc_speedup = scalar_mc / batched_mc
     sweep_speedup = scalar_sweep / batched_sweep
+    guard_overhead = guarded_mc / batched_mc - 1.0
     payload = {
         "benchmark": "engine",
         "monte_carlo": {
@@ -94,6 +110,14 @@ def test_perf_engine():
             "batched_points_per_sec": sweep_points / batched_sweep,
             "speedup": sweep_speedup,
         },
+        "guarded_monte_carlo": {
+            "draws": MC_DRAWS,
+            "policy": STRICT,
+            "unguarded_seconds": batched_mc,
+            "guarded_seconds": guarded_mc,
+            "guarded_points_per_sec": MC_DRAWS / guarded_mc,
+            "overhead_fraction": guard_overhead,
+        },
     }
     OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print()
@@ -104,4 +128,8 @@ def test_perf_engine():
     )
     assert sweep_speedup >= 5.0, (
         f"batched grid sweep only {sweep_speedup:.1f}x faster than scalar"
+    )
+    assert guard_overhead < 0.10, (
+        f"guarded strict mode costs {guard_overhead:.1%} over the raw "
+        "engine (budget: 10%)"
     )

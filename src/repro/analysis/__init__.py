@@ -15,6 +15,7 @@ from repro.analysis.montecarlo import (
     MonteCarloResult,
     embodied_share_distribution,
     run_monte_carlo,
+    sample_parameter_columns,
     sample_scenario_batch,
 )
 from repro.analysis.scenario import (
@@ -47,6 +48,7 @@ __all__ = [
     "embodied_share_distribution",
     "parameter_range",
     "run_monte_carlo",
+    "sample_parameter_columns",
     "sample_scenario_batch",
     "tornado",
     "unattributed_embodied_g",

@@ -18,7 +18,7 @@ equivalence suite checks the engine against.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -27,6 +27,9 @@ from repro.core.errors import ParameterError
 from repro.core.parameters import require_positive
 from repro.engine.batch import ScenarioBatch
 from repro.engine.cache import EvaluationCache, evaluate_cached
+
+if TYPE_CHECKING:  # pragma: no cover - robustness sits above this module
+    from repro.robustness.guard import GuardedEngine
 
 Response = Callable[[ActScenario], float]
 
@@ -96,6 +99,45 @@ def _sample_parameter(
     )
 
 
+def sample_parameter_columns(
+    base: ActScenario,
+    parameters: Iterable[str] | None = None,
+    *,
+    draws: int = 2000,
+    seed: int = 2022,
+    distribution: str = TRIANGULAR,
+    ranges: Mapping[str, tuple[float, float]] | None = None,
+) -> dict[str, np.ndarray]:
+    """The raw sampled columns a Monte Carlo batch is built from.
+
+    Exposed separately from :func:`sample_scenario_batch` so the guarded
+    and chunked runners can validate (and repair or mask) the samples
+    *before* the strict batch constructor sees them.  Draw order is
+    reproducible — the same seed yields the same columns, column by
+    column, regardless of how they are later chunked.
+    """
+    require_positive("draws", draws)
+    names = tuple(parameters) if parameters is not None else tuple(PARAMETER_RANGES)
+    rng = np.random.default_rng(seed)
+    columns: dict[str, np.ndarray] = {}
+    for name in names:
+        low, high = (ranges or {}).get(name, parameter_range(name))
+        if low > high:
+            raise ParameterError(f"range for {name} is inverted: ({low}, {high})")
+        columns[name] = _sample_parameter(
+            rng, distribution, low, high, getattr(base, name), draws
+        )
+    # Lifetime must dominate duration; clip any violating draws.
+    if "lifetime_hours" in columns:
+        duration = columns.get(
+            "duration_hours", np.full(draws, base.duration_hours)
+        )
+        columns["lifetime_hours"] = np.maximum(
+            columns["lifetime_hours"], duration
+        )
+    return columns
+
+
 def sample_scenario_batch(
     base: ActScenario,
     parameters: Iterable[str] | None = None,
@@ -121,25 +163,14 @@ def sample_scenario_batch(
             peaked at the base value.
         ranges: Optional per-parameter (low, high) overrides.
     """
-    require_positive("draws", draws)
-    names = tuple(parameters) if parameters is not None else tuple(PARAMETER_RANGES)
-    rng = np.random.default_rng(seed)
-    columns: dict[str, np.ndarray] = {}
-    for name in names:
-        low, high = (ranges or {}).get(name, parameter_range(name))
-        if low > high:
-            raise ParameterError(f"range for {name} is inverted: ({low}, {high})")
-        columns[name] = _sample_parameter(
-            rng, distribution, low, high, getattr(base, name), draws
-        )
-    # Lifetime must dominate duration; clip any violating draws.
-    if "lifetime_hours" in columns:
-        duration = columns.get(
-            "duration_hours", np.full(draws, base.duration_hours)
-        )
-        columns["lifetime_hours"] = np.maximum(
-            columns["lifetime_hours"], duration
-        )
+    columns = sample_parameter_columns(
+        base,
+        parameters,
+        draws=draws,
+        seed=seed,
+        distribution=distribution,
+        ranges=ranges,
+    )
     return ScenarioBatch.from_columns(base, draws, columns)
 
 
@@ -153,6 +184,7 @@ def run_monte_carlo(
     ranges: Mapping[str, tuple[float, float]] | None = None,
     response: Response | None = None,
     cache: EvaluationCache | None = None,
+    guard: "GuardedEngine | None" = None,
 ) -> MonteCarloResult:
     """Propagate parameter uncertainty through the ACT model.
 
@@ -169,7 +201,25 @@ def run_monte_carlo(
             footprint runs on the batched engine (vectorized and cached);
             a custom response is evaluated per draw on the scalar path.
         cache: Optional evaluation cache for the batched path.
+        guard: Optional :class:`~repro.robustness.guard.GuardedEngine`.
+            When given, the sampled columns are validated (and repaired
+            or masked, per policy) before evaluation, and the samples are
+            the guard's valid rows.  Ignored on the custom-``response``
+            scalar path, which validates per scenario anyway.
     """
+    if response is None and guard is not None:
+        columns = sample_parameter_columns(
+            base,
+            parameters,
+            draws=draws,
+            seed=seed,
+            distribution=distribution,
+            ranges=ranges,
+        )
+        guarded = guard.evaluate_columns(base, draws, columns)
+        return MonteCarloResult(
+            samples=guarded.samples(), base_response=base.total_g()
+        )
     batch = sample_scenario_batch(
         base,
         parameters,

@@ -22,9 +22,16 @@ Subcommands::
 
     act-repro montecarlo [--draws 10000] [--seed 2022] [--percentiles 5,50,95]
         Footprint distribution over the Table 1 ranges on the batched engine.
+        ``--policy`` runs it through the guarded engine; ``--checkpoint`` /
+        ``--resume`` / ``--max-seconds`` make long runs killable+resumable.
 
     act-repro baselines
         ACT vs the prior-work models (GreenChip-style inventory, exergy).
+
+Errors from the model stack (unknown table entries, validation failures,
+checkpoint mismatches, …) exit with code 2 and a one-line message; an
+interrupted-but-checkpointed run exits with code 3 and a resume hint.
+Pass ``--debug`` to get the full traceback instead.
 """
 
 from __future__ import annotations
@@ -49,6 +56,12 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="act-repro",
         description="ACT (ISCA 2022) architectural carbon model — reproduction",
+    )
+    parser.add_argument(
+        "--debug",
+        action="store_true",
+        help="re-raise model errors with a full traceback instead of the "
+        "one-line exit-code-2 summary",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -134,6 +147,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "--percentiles",
         default="5,50,95",
         help="comma-separated percentiles to report (0-100)",
+    )
+    montecarlo.add_argument(
+        "--policy",
+        choices=("off", "strict", "repair", "skip"),
+        default="off",
+        help="guarded-engine validation policy (default: off = raw engine)",
+    )
+    montecarlo.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="checkpoint file for chunked execution (atomic; enables --resume)",
+    )
+    montecarlo.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from --checkpoint instead of starting over",
+    )
+    montecarlo.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="draws evaluated between checkpoint writes (default: 4096)",
+    )
+    montecarlo.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget; the run checkpoints and exits 3 when it "
+        "runs out",
     )
 
     sub.add_parser("baselines", help="compare ACT against prior-work models")
@@ -309,19 +354,62 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
         print("percentiles must be numbers in [0, 100]", file=sys.stderr)
         return 2
 
+    guard = None
+    if args.policy != "off":
+        from repro.robustness import GuardedEngine
+
+        guard = GuardedEngine(policy=args.policy)
+
     base = ActScenario()
     started = time.perf_counter()
-    result = run_monte_carlo(
-        base,
-        draws=args.draws,
-        seed=args.seed,
-        distribution=args.distribution,
+    chunked = (
+        args.checkpoint is not None
+        or args.resume
+        or args.chunk_rows is not None
+        or args.max_seconds is not None
     )
+    if chunked:
+        from repro.robustness import (
+            DEFAULT_CHUNK_ROWS,
+            CancelToken,
+            run_monte_carlo_chunked,
+        )
+
+        cancel = (
+            CancelToken(deadline_seconds=args.max_seconds)
+            if args.max_seconds is not None
+            else None
+        )
+        result = run_monte_carlo_chunked(
+            base,
+            draws=args.draws,
+            seed=args.seed,
+            distribution=args.distribution,
+            chunk_rows=args.chunk_rows or DEFAULT_CHUNK_ROWS,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            cancel=cancel,
+            guard=guard,
+        )
+    else:
+        result = run_monte_carlo(
+            base,
+            draws=args.draws,
+            seed=args.seed,
+            distribution=args.distribution,
+            guard=guard,
+        )
     elapsed = time.perf_counter() - started
     print(
         f"Monte Carlo over the Table 1 ranges — batched engine, "
         f"{args.draws} draws, seed {args.seed}, {args.distribution}"
+        + (f", policy={args.policy}" if guard is not None else "")
     )
+    if guard is not None and len(result.samples) < args.draws:
+        print(
+            f"guard masked {args.draws - len(result.samples)} of "
+            f"{args.draws} draws; statistics cover the survivors"
+        )
     print(f"Base scenario footprint: {result.base_response / 1000.0:.2f} kg CO2e")
     print(
         f"mean {result.mean / 1000.0:.2f} kg, std {result.std / 1000.0:.2f} kg"
@@ -417,9 +505,33 @@ _COMMANDS = {
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Model-stack errors (:class:`~repro.core.errors.ReproError`) become a
+    one-line stderr message and exit code 2; an interrupted-but-resumable
+    run (:class:`~repro.core.errors.RunInterrupted`) exits 3 with a resume
+    hint.  ``--debug`` re-raises for a full traceback.
+    """
+    from repro.core.errors import ReproError, RunInterrupted
+
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except RunInterrupted as error:
+        if args.debug:
+            raise
+        print(f"interrupted: {error}", file=sys.stderr)
+        if getattr(error, "checkpoint", None) is not None:
+            print(
+                "re-run the same command with --resume to continue",
+                file=sys.stderr,
+            )
+        return 3
+    except ReproError as error:
+        if args.debug:
+            raise
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

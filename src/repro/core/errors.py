@@ -3,9 +3,21 @@
 All library-raised errors derive from :class:`ReproError` so callers can
 catch everything from this package with a single except clause while still
 letting programming errors (TypeError, etc.) propagate untouched.
+
+The robustness layer (:mod:`repro.robustness`) grows the taxonomy with
+errors that carry *structured* context — which column failed, at which
+row indices, with which offending values — so failures in long batched
+runs are diagnosable without re-running anything.
 """
 
 from __future__ import annotations
+
+import difflib
+from typing import Iterable, Sequence
+
+#: How many available entries an :class:`UnknownEntryError` message lists
+#: before truncating with "… and N more".
+_MAX_AVAILABLE_SHOWN = 10
 
 
 class ReproError(Exception):
@@ -20,16 +32,36 @@ class UnknownEntryError(ReproError, KeyError):
     """A lookup into one of the bundled data tables failed.
 
     Carries the requested key and the set of available keys so error
-    messages are actionable.
+    messages are actionable.  Long availability lists are truncated in the
+    message (the full sorted list stays on :attr:`available`), and a
+    close-match suggestion is appended when one exists.
     """
 
     def __init__(self, kind: str, key: object, available: object = None):
         self.kind = kind
         self.key = key
-        self.available = sorted(available) if available else None
+        # ``is not None`` rather than truthiness: a legitimately empty
+        # collection ("this table has no entries") is still information.
+        self.available = sorted(available, key=str) if available is not None else None
         message = f"unknown {kind}: {key!r}"
-        if self.available:
-            message += f" (available: {', '.join(map(str, self.available))})"
+        if self.available is not None:
+            names = [str(entry) for entry in self.available]
+            shown = names[:_MAX_AVAILABLE_SHOWN]
+            listing = ", ".join(shown)
+            if len(names) > len(shown):
+                listing += f", … and {len(names) - len(shown)} more"
+            if names:
+                message += f" (available: {listing})"
+            else:
+                message += " (no entries available)"
+            match = difflib.get_close_matches(str(key), names, n=1)
+            if match:
+                message += f" — did you mean {match[0]!r}?"
+                self.suggestion: str | None = match[0]
+            else:
+                self.suggestion = None
+        else:
+            self.suggestion = None
         super().__init__(message)
 
     def __str__(self) -> str:  # KeyError quotes its args; keep message plain
@@ -42,3 +74,95 @@ class ConstraintError(ReproError, ValueError):
 
 class CalibrationError(ReproError, RuntimeError):
     """A calibrated case-study model failed an internal sanity check."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Guarded evaluation rejected a batch of model inputs.
+
+    Attributes:
+        diagnostics: Per-column findings (objects with ``column``,
+            ``reason``, ``indices``, and ``values`` attributes — see
+            :class:`repro.robustness.guard.ColumnDiagnostic`).  Empty when
+            the failure is not column-shaped.
+    """
+
+    def __init__(self, message: str, diagnostics: Iterable[object] = ()):
+        self.diagnostics = tuple(diagnostics)
+        super().__init__(message)
+
+
+class DivergenceError(ReproError, ArithmeticError):
+    """The batched engine and the scalar reference path disagree.
+
+    Raised by the guarded engine's cross-check when a kernel anomaly is
+    re-evaluated on the scalar path and the two implementations differ
+    beyond tolerance — the one failure mode that must never be absorbed
+    silently, because it means the fast path is computing a different
+    model than the reference.
+
+    Attributes:
+        series: The Eq. 1-8 output series that diverged (e.g. ``total_g``).
+        indices: Batch row indices where the disagreement was observed.
+        batched: The batched engine's values at those rows.
+        reference: The scalar reference values at those rows.
+        tolerance: The comparison tolerance that was exceeded.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        series: str = "",
+        indices: Sequence[int] = (),
+        batched: Sequence[float] = (),
+        reference: Sequence[float] = (),
+        tolerance: float = 0.0,
+    ):
+        self.series = series
+        self.indices = tuple(int(index) for index in indices)
+        self.batched = tuple(float(value) for value in batched)
+        self.reference = tuple(float(value) for value in reference)
+        self.tolerance = tolerance
+        super().__init__(message)
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A run checkpoint is missing, corrupt, or from a different run.
+
+    Attributes:
+        path: The checkpoint file involved (when known).
+        reason: Machine-readable failure class (``"missing"``,
+            ``"corrupt"``, ``"mismatch"``, ...).
+    """
+
+    def __init__(self, message: str, *, path: object = None, reason: str = ""):
+        self.path = path
+        self.reason = reason
+        super().__init__(message)
+
+
+class RunInterrupted(ReproError, RuntimeError):
+    """A chunked run was cancelled cooperatively before completing.
+
+    Partial results were checkpointed (when a checkpoint path was given),
+    so the run can be resumed bit-for-bit.
+
+    Attributes:
+        completed: Rows evaluated before the interruption.
+        total: Rows the full run would evaluate.
+        checkpoint: Path of the checkpoint holding the partial results
+            (``None`` when the run was not checkpointing).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        completed: int = 0,
+        total: int = 0,
+        checkpoint: object = None,
+    ):
+        self.completed = completed
+        self.total = total
+        self.checkpoint = checkpoint
+        super().__init__(message)

@@ -33,6 +33,13 @@ from repro.data.hdd import HDD_MODELS, HddModel, hdd_cps, hdd_model, models_in_s
 from repro.data.provenance import Source, SourceKind
 from repro.data.regions import REGIONS, US_CASE_STUDY_CI, Region, region, region_ci
 from repro.data.ssd import SSD_TECHNOLOGIES, SsdTechnology, ssd_cps, ssd_technology
+from repro.data.validation import (
+    PLAUSIBLE_CPS_G_PER_GB,
+    Finding,
+    failures,
+    validate_all,
+    validate_storage_mapping,
+)
 
 __all__ = [
     "CARBON_FREE_CI",
@@ -40,8 +47,10 @@ __all__ = [
     "DramTechnology",
     "ENERGY_SOURCES",
     "EnergySource",
+    "Finding",
     "HDD_MODELS",
     "HddModel",
+    "PLAUSIBLE_CPS_G_PER_GB",
     "PROCESS_NODES",
     "ProcessNode",
     "REGIONS",
@@ -60,6 +69,7 @@ __all__ = [
     "dram_cps",
     "dram_technology",
     "energy_source",
+    "failures",
     "hdd_cps",
     "hdd_model",
     "interpolation_ladder",
@@ -73,4 +83,6 @@ __all__ = [
     "ssd_cps",
     "ssd_technology",
     "survey_device",
+    "validate_all",
+    "validate_storage_mapping",
 ]

@@ -10,8 +10,9 @@ safety net.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterable, Mapping
 
 from repro.data.dram import DRAM_TECHNOLOGIES
 from repro.data.energy_sources import ENERGY_SOURCES
@@ -98,6 +99,80 @@ def _validate_fab_nodes() -> list[Finding]:
     return findings
 
 
+#: Plausible carbon-per-GB magnitudes (g CO2/GB) per storage table — wide
+#: enough for any appendix value, narrow enough that a ×1000 / ÷1000
+#: unit-scale error (g↔kg) lands outside the band and fails validation.
+PLAUSIBLE_CPS_G_PER_GB: dict[str, tuple[float, float]] = {
+    "dram": (10.0, 1000.0),
+    "ssd": (0.5, 100.0),
+    "hdd": (0.1, 50.0),
+}
+
+
+def validate_storage_mapping(
+    table: str,
+    rows: Mapping[str, object],
+    *,
+    plausible: tuple[float, float] | None = None,
+    required: Iterable[str] = (),
+) -> list[Finding]:
+    """Structural checks over one storage table (or a corrupted copy).
+
+    Designed so every fault class the robustness harness injects is
+    caught: NaN and sign flips fail the positivity check, Inf fails the
+    finiteness check, unit-scale errors fall outside the ``plausible``
+    band, dropped entries miss the ``required`` key set, and duplicated
+    entries collide on labels.
+
+    Args:
+        table: Table name for the findings.
+        rows: The mapping to validate (not necessarily the shipped one).
+        plausible: (low, high) carbon-per-GB magnitude band; defaults to
+            :data:`PLAUSIBLE_CPS_G_PER_GB` for known tables.
+        required: Keys that must be present (e.g. the pristine table's
+            keys, to detect drops).
+    """
+    values = [row.cps_g_per_gb for row in rows.values()]
+    labels = [row.label for row in rows.values()]
+    findings = [
+        _finding(
+            table, "all carbon-per-GB values finite",
+            all(math.isfinite(v) for v in values),
+            detail="NaN/Inf values poison every downstream total",
+        ),
+        _finding(
+            table, "all carbon-per-GB values positive",
+            all(v > 0 for v in values),
+        ),
+        _finding(
+            table, "labels unique",
+            len(set(labels)) == len(labels),
+            detail="duplicate labels confuse reports",
+        ),
+    ]
+    band = plausible if plausible is not None else PLAUSIBLE_CPS_G_PER_GB.get(table)
+    if band is not None:
+        low, high = band
+        findings.append(
+            _finding(
+                table,
+                f"carbon-per-GB within plausible band [{low:g}, {high:g}]",
+                all(low <= v <= high for v in values if math.isfinite(v)),
+                detail="out-of-band values suggest a unit-scale (g↔kg) error",
+            )
+        )
+    missing = sorted(set(required) - set(rows))
+    if required:
+        findings.append(
+            _finding(
+                table, "required entries present",
+                not missing,
+                detail=f"missing: {', '.join(missing)}" if missing else "",
+            )
+        )
+    return findings
+
+
 def _validate_storage_tables() -> list[Finding]:
     findings = []
     for table, rows in (
@@ -105,19 +180,7 @@ def _validate_storage_tables() -> list[Finding]:
         ("ssd", SSD_TECHNOLOGIES),
         ("hdd", HDD_MODELS),
     ):
-        values = [row.cps_g_per_gb for row in rows.values()]
-        labels = [row.label for row in rows.values()]
-        findings.append(
-            _finding(table, "all carbon-per-GB values positive",
-                     all(v > 0 for v in values))
-        )
-        findings.append(
-            _finding(
-                table, "labels unique",
-                len(set(labels)) == len(labels),
-                detail="duplicate labels confuse reports",
-            )
-        )
+        findings.extend(validate_storage_mapping(table, rows))
     dram_min = min(r.cps_g_per_gb for r in DRAM_TECHNOLOGIES.values())
     ssd_max_planar = SSD_TECHNOLOGIES["nand_30nm"].cps_g_per_gb
     findings.append(

@@ -11,6 +11,7 @@ from repro.dse.qos import Constraint, at_least, at_most, constrained_minimum
 from repro.dse.sweep import (
     BatchSweepResult,
     FrozenParams,
+    GuardedSweepResult,
     SweepRecord,
     argmin,
     feasible,
@@ -24,6 +25,7 @@ __all__ = [
     "Constraint",
     "ExplorationResult",
     "FrozenParams",
+    "GuardedSweepResult",
     "SweepRecord",
     "argmin",
     "at_least",

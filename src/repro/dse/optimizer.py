@@ -9,12 +9,13 @@ the full Figure 8(d)-style analysis in one call.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.core.errors import ConstraintError
+from repro.core.errors import ConstraintError, ValidationError
 from repro.core.metrics import (
     METRICS,
     DesignPoint,
@@ -66,6 +67,30 @@ class ExplorationResult:
         return any(point.name == design_name for point in self.pareto)
 
 
+def _require_finite_points(points: Sequence[DesignPoint]) -> None:
+    """Reject candidates with non-finite objectives.
+
+    A NaN embodied-carbon or delay value silently corrupts winner
+    selection and the Pareto front (NaN comparisons are always False), so
+    candidate sets are screened up front and rejected with a typed,
+    per-candidate error instead.
+    """
+    bad: list[str] = []
+    for point in points:
+        fields = (point.embodied_carbon_g, point.energy_kwh, point.delay_s)
+        area = point.area_mm2
+        if any(not math.isfinite(value) for value in fields) or (
+            area is not None and not math.isfinite(area)
+        ):
+            bad.append(point.name)
+    if bad:
+        raise ValidationError(
+            f"{len(bad)} design point(s) carry non-finite objectives: "
+            + ", ".join(repr(name) for name in bad[:8])
+            + ("…" if len(bad) > 8 else "")
+        )
+
+
 def explore(
     points: Sequence[DesignPoint],
     metric_names: Sequence[str] | None = None,
@@ -78,9 +103,11 @@ def explore(
 
     Raises:
         ConstraintError: On an empty candidate set.
+        ValidationError: On candidates with non-finite objectives.
     """
     if not points:
         raise ConstraintError("cannot explore an empty candidate set")
+    _require_finite_points(points)
     names = tuple(metric_names) if metric_names is not None else tuple(METRICS)
     front = pareto_front(
         tuple(points),
@@ -111,6 +138,7 @@ def explore_batched(
     """
     if not points:
         raise ConstraintError("cannot explore an empty candidate set")
+    _require_finite_points(points)
     names = tuple(metric_names) if metric_names is not None else tuple(METRICS)
     columns = stack_design_points(points)
     objectives = np.stack(

@@ -19,6 +19,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Generic,
     Iterable,
@@ -32,9 +33,12 @@ import numpy as np
 
 from repro.analysis.scenario import ActScenario
 from repro.core.errors import ConstraintError
-from repro.engine.batch import ScenarioBatch, product_params
+from repro.engine.batch import ScenarioBatch, product_columns, product_params
 from repro.engine.cache import EvaluationCache, evaluate_cached
 from repro.engine.kernels import BatchResult
+
+if TYPE_CHECKING:  # pragma: no cover - robustness sits above this module
+    from repro.robustness.guard import ColumnDiagnostic, GuardedEngine
 
 P = TypeVar("P")
 D = TypeVar("D")
@@ -162,11 +166,37 @@ class BatchSweepResult:
         )
 
 
+@dataclass(frozen=True)
+class GuardedSweepResult(BatchSweepResult):
+    """A guarded grid sweep: the surviving points plus what was masked.
+
+    A drop-in :class:`BatchSweepResult` whose batch holds only the rows
+    the guard accepted (with ``repair``-policy clamping applied), plus the
+    guard's bookkeeping so callers can see exactly which grid points were
+    dropped and why.
+
+    Attributes:
+        valid: Boolean mask over the *original* grid rows.
+        source_indices: Original grid-row index of each surviving row.
+        diagnostics: Everything the guard's validation found.
+    """
+
+    valid: np.ndarray = None  # type: ignore[assignment]
+    source_indices: np.ndarray = None  # type: ignore[assignment]
+    diagnostics: "tuple[ColumnDiagnostic, ...]" = ()
+
+    @property
+    def masked_count(self) -> int:
+        """How many grid points the guard masked out."""
+        return int(self.valid.size - np.count_nonzero(self.valid))
+
+
 def sweep_grid_batched(
     base: ActScenario,
     grids: Mapping[str, Sequence[float]],
     *,
     cache: EvaluationCache | None = None,
+    guard: "GuardedEngine | None" = None,
 ) -> BatchSweepResult:
     """Sweep the ACT model over a parameter grid in one vectorized pass.
 
@@ -179,9 +209,25 @@ def sweep_grid_batched(
         base: Scenario providing every non-swept parameter.
         grids: Named grids over :class:`ActScenario` fields.
         cache: Optional evaluation cache (default: the process-wide one).
+        guard: Optional :class:`~repro.robustness.guard.GuardedEngine`.
+            When given, the grid columns are validated (and repaired or
+            masked, per policy) before evaluation and a
+            :class:`GuardedSweepResult` over the surviving points is
+            returned.
     """
     if not grids:
         raise ConstraintError("at least one parameter grid is required")
+    if guard is not None:
+        size, columns = product_columns(base, grids)
+        guarded = guard.evaluate_columns(base, size, columns)
+        return GuardedSweepResult(
+            names=tuple(grids),
+            batch=guarded.batch,
+            result=guarded.result,
+            valid=guarded.valid,
+            source_indices=guarded.indices,
+            diagnostics=guarded.diagnostics,
+        )
     batch = ScenarioBatch.from_product(base, grids)
     result = evaluate_cached(batch, cache)
     return BatchSweepResult(names=tuple(grids), batch=batch, result=result)
@@ -206,6 +252,7 @@ def feasible(
 __all__ = [
     "BatchSweepResult",
     "FrozenParams",
+    "GuardedSweepResult",
     "SweepRecord",
     "argmin",
     "feasible",

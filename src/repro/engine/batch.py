@@ -58,24 +58,123 @@ FIELD_NAMES: tuple[str, ...] = (
 )
 
 #: Columns that must be strictly positive (denominators in Eq. 1 / Eq. 5).
-_POSITIVE_FIELDS = frozenset({"lifetime_hours"})
+POSITIVE_FIELDS = frozenset({"lifetime_hours"})
 
 #: Columns constrained to (0, 1] like the scalar ``require_fraction``.
-_FRACTION_FIELDS = frozenset({"fab_yield"})
+FRACTION_FIELDS = frozenset({"fab_yield"})
+
+# Backwards-compatible private aliases (pre-robustness name).
+_POSITIVE_FIELDS = POSITIVE_FIELDS
+_FRACTION_FIELDS = FRACTION_FIELDS
 
 
 def _require_column(name: str, values: np.ndarray) -> None:
     """Vectorized twin of the scalar parameter validators."""
     if not np.all(np.isfinite(values)):
         raise ParameterError(f"{name} must be finite in every batch row")
-    if name in _FRACTION_FIELDS:
+    if name in FRACTION_FIELDS:
         if np.any((values <= 0.0) | (values > 1.0)):
             raise ParameterError(f"{name} must be in (0, 1] in every batch row")
-    elif name in _POSITIVE_FIELDS:
+    elif name in POSITIVE_FIELDS:
         if np.any(values <= 0.0):
             raise ParameterError(f"{name} must be > 0 in every batch row")
     elif np.any(values < 0.0):
         raise ParameterError(f"{name} must be >= 0 in every batch row")
+
+
+def broadcast_columns(
+    base: "ActScenario",
+    size: int,
+    columns: Mapping[str, np.ndarray] | None = None,
+) -> dict[str, np.ndarray]:
+    """The raw full column set :meth:`ScenarioBatch.from_columns` assembles.
+
+    Performs the same broadcasting and unknown-name checking as batch
+    construction but **no value validation**, so the robustness layer can
+    inspect (and repair or mask) the columns before the batch's strict
+    validators run.  Returned arrays may be read-only broadcast views.
+    """
+    if size <= 0:
+        raise ParameterError(f"batch size must be > 0, got {size}")
+    overrides = dict(columns or {})
+    unknown = set(overrides) - set(FIELD_NAMES)
+    if unknown:
+        raise UnknownEntryError(
+            "scenario parameter", ", ".join(sorted(unknown)), FIELD_NAMES
+        )
+    data: dict[str, np.ndarray] = {}
+    for name in FIELD_NAMES:
+        if name in overrides:
+            override = np.asarray(overrides[name], dtype=np.float64)
+            try:
+                data[name] = np.broadcast_to(override, (size,))
+            except ValueError:
+                raise ParameterError(
+                    f"column {name} has shape {override.shape}, "
+                    f"expected ({size},) or a broadcastable scalar"
+                ) from None
+        else:
+            data[name] = np.full(size, getattr(base, name), dtype=np.float64)
+    return data
+
+
+def product_columns(
+    base: "ActScenario",
+    grids: Mapping[str, Sequence[float]],
+) -> tuple[int, dict[str, np.ndarray]]:
+    """The raw (unvalidated) columns of a Cartesian grid over ``base``.
+
+    Row order matches :meth:`ScenarioBatch.from_product` exactly.
+    """
+    if not grids:
+        raise ParameterError("at least one parameter grid is required")
+    names = tuple(grids)
+    axes = [np.asarray(grids[name], dtype=np.float64) for name in names]
+    if any(axis.ndim != 1 or axis.size == 0 for axis in axes):
+        raise ParameterError("every grid must be a non-empty 1-D sequence")
+    mesh = np.meshgrid(*axes, indexing="ij")
+    size = int(mesh[0].size)
+    overrides = {name: grid.reshape(-1) for name, grid in zip(names, mesh)}
+    return size, broadcast_columns(base, size, overrides)
+
+
+def prevalidated_batch(columns: Mapping[str, np.ndarray]) -> "ScenarioBatch":
+    """Construct a batch from columns a caller has *already* fully validated.
+
+    The guarded engine diagnoses every column (finiteness + the same
+    domain bounds ``_require_column`` enforces) before construction; when
+    that diagnosis comes back clean, re-running the per-element validators
+    inside ``__post_init__`` would be pure double work on the hot path.
+    This constructor keeps the cheap structural checks (full column set,
+    1-D, congruent lengths, read-only) and skips only the per-element
+    value validation.  Callers MUST have proven every column finite and
+    in-domain — anything less reintroduces the silent-garbage path the
+    batch's strict constructor exists to close.
+    """
+    missing = set(FIELD_NAMES) - set(columns)
+    if missing:
+        raise ParameterError(
+            f"prevalidated batch is missing columns: {', '.join(sorted(missing))}"
+        )
+    batch = object.__new__(ScenarioBatch)
+    size: int | None = None
+    for name in FIELD_NAMES:
+        column = np.ascontiguousarray(columns[name], dtype=np.float64)
+        if column.ndim != 1:
+            raise ParameterError(
+                f"batch column {name} must be 1-D, got shape {column.shape}"
+            )
+        if size is None:
+            size = column.size
+        elif column.size != size:
+            raise ParameterError(
+                f"batch column {name} has {column.size} rows, expected {size}"
+            )
+        column.flags.writeable = False
+        object.__setattr__(batch, name, column)
+    if not size:
+        raise ParameterError("a ScenarioBatch needs at least one row")
+    return batch
 
 
 @dataclass(frozen=True)
@@ -148,24 +247,7 @@ class ScenarioBatch:
             columns: Per-parameter override arrays (length ``size`` or
                 broadcastable scalars), e.g. Monte Carlo sample columns.
         """
-        if size <= 0:
-            raise ParameterError(f"batch size must be > 0, got {size}")
-        overrides = dict(columns or {})
-        unknown = set(overrides) - set(FIELD_NAMES)
-        if unknown:
-            raise UnknownEntryError(
-                "scenario parameter", ", ".join(sorted(unknown)), FIELD_NAMES
-            )
-        data = {}
-        for name in FIELD_NAMES:
-            if name in overrides:
-                column = np.broadcast_to(
-                    np.asarray(overrides[name], dtype=np.float64), (size,)
-                )
-            else:
-                column = np.full(size, getattr(base, name), dtype=np.float64)
-            data[name] = column
-        return cls(**data)
+        return cls(**broadcast_columns(base, size, columns))
 
     @classmethod
     def from_product(
@@ -178,18 +260,8 @@ class ScenarioBatch:
         Rows are ordered exactly like ``itertools.product`` over the grids
         in mapping order, matching the scalar :func:`repro.dse.sweep_grid`.
         """
-        if not grids:
-            raise ParameterError("at least one parameter grid is required")
-        names = tuple(grids)
-        axes = [np.asarray(grids[name], dtype=np.float64) for name in names]
-        if any(axis.ndim != 1 or axis.size == 0 for axis in axes):
-            raise ParameterError("every grid must be a non-empty 1-D sequence")
-        mesh = np.meshgrid(*axes, indexing="ij")
-        size = mesh[0].size
-        columns = {
-            name: grid.reshape(-1) for name, grid in zip(names, mesh)
-        }
-        return cls.from_columns(base, size, columns)
+        _, columns = product_columns(base, grids)
+        return cls(**columns)
 
     @classmethod
     def from_scenarios(

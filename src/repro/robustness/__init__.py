@@ -1,0 +1,73 @@
+"""Hardened evaluation: guarded kernels, fault injection, resumable runs.
+
+Three pillars, one discipline — a corrupted input must raise a typed
+:class:`~repro.core.errors.ReproError` or degrade *explicitly*, never
+return plausible-but-wrong CO2 numbers:
+
+* :mod:`repro.robustness.guard` — :class:`GuardedEngine` pre-validates
+  batch columns (NaN/Inf/domain/Table 1 range, per-column per-index
+  diagnostics) under ``strict`` / ``repair`` / ``skip`` policies and
+  cross-checks kernel anomalies against the scalar reference path,
+  raising :class:`~repro.core.errors.DivergenceError` on disagreement.
+* :mod:`repro.robustness.faultinject` — deterministic, seeded corruption
+  of scenario columns and bundled data tables, so tests can prove every
+  fault class is caught end to end.
+* :mod:`repro.robustness.checkpoint` — chunked Monte Carlo and grid
+  sweeps with atomic write-temp-then-rename checkpoints, fingerprint-
+  verified resume (bit-for-bit identical to an uninterrupted run), and
+  cooperative timeout/cancellation that salvages partial results.
+"""
+
+from repro.robustness.guard import (
+    CROSS_CHECK_TOLERANCE,
+    POLICIES,
+    REPAIR,
+    SKIP,
+    STRICT,
+    ColumnDiagnostic,
+    GuardedEngine,
+    GuardedResult,
+    RobustnessWarning,
+    diagnose_columns,
+)
+from repro.robustness.faultinject import (
+    COLUMN_FAULTS,
+    DEFAULT_SCALE_FACTOR,
+    TABLE_FAULTS,
+    FaultRecord,
+    inject_column_fault,
+    inject_table_fault,
+)
+from repro.robustness.checkpoint import (
+    CHECKPOINT_VERSION,
+    DEFAULT_CHUNK_ROWS,
+    CancelToken,
+    CountingCancelToken,
+    run_monte_carlo_chunked,
+    sweep_grid_batched_chunked,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "COLUMN_FAULTS",
+    "CROSS_CHECK_TOLERANCE",
+    "CancelToken",
+    "ColumnDiagnostic",
+    "CountingCancelToken",
+    "DEFAULT_CHUNK_ROWS",
+    "DEFAULT_SCALE_FACTOR",
+    "FaultRecord",
+    "GuardedEngine",
+    "GuardedResult",
+    "POLICIES",
+    "REPAIR",
+    "RobustnessWarning",
+    "SKIP",
+    "STRICT",
+    "TABLE_FAULTS",
+    "diagnose_columns",
+    "inject_column_fault",
+    "inject_table_fault",
+    "run_monte_carlo_chunked",
+    "sweep_grid_batched_chunked",
+]

@@ -1,0 +1,406 @@
+"""Chunked, checkpointed, cancellable execution of long batched runs.
+
+A 100k-draw Monte Carlo or a million-point sweep should survive being
+killed: these runners split the work into chunks, write an atomic
+checkpoint (write-temp-then-rename, so a crash can never leave a torn
+file) after every chunk, and resume from the last completed chunk.
+
+Resumption is **bit-for-bit**: the full sample/grid columns are generated
+deterministically up front from the seed, so the values a resumed run
+evaluates are exactly the values the uninterrupted run would have — the
+chunk boundaries only decide *when* a row is evaluated, never *what* it
+is.  A content fingerprint (the SHA-256 of the generated columns plus the
+run configuration) is stored in the checkpoint and verified on resume, so
+a checkpoint can never silently continue a *different* run
+(:class:`~repro.core.errors.CheckpointError` otherwise).
+
+Cooperative cancellation goes through :class:`CancelToken` — a deadline
+or an explicit ``cancel()`` makes the runner stop at the next chunk
+boundary, checkpoint what it has, and raise
+:class:`~repro.core.errors.RunInterrupted` carrying the partial results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.montecarlo import (
+    TRIANGULAR,
+    MonteCarloResult,
+    sample_parameter_columns,
+)
+from repro.analysis.scenario import ActScenario
+from repro.core.errors import CheckpointError, RunInterrupted
+from repro.core.parameters import require_positive
+from repro.dse.sweep import BatchSweepResult
+from repro.engine.batch import ScenarioBatch, product_columns
+from repro.engine.cache import EvaluationCache, evaluate_cached
+from repro.engine.kernels import BatchResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.robustness.guard import GuardedEngine
+
+#: Checkpoint schema version; bumped on incompatible layout changes.
+CHECKPOINT_VERSION = 1
+
+#: Default rows evaluated between two checkpoint writes.
+DEFAULT_CHUNK_ROWS = 4096
+
+
+@dataclass
+class CancelToken:
+    """Cooperative cancellation: a deadline, an explicit cancel, or both.
+
+    Runners poll :meth:`should_stop` at chunk boundaries — nothing is
+    interrupted mid-kernel, so checkpoints are always consistent.
+
+    Attributes:
+        deadline_seconds: Wall-clock budget measured from construction
+            (``None`` = no deadline).
+    """
+
+    deadline_seconds: float | None = None
+    _started: float = field(default_factory=time.monotonic, repr=False)
+    _cancelled: bool = field(default=False, repr=False)
+
+    def cancel(self) -> None:
+        """Request a stop at the next chunk boundary."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def elapsed(self) -> float:
+        """Seconds since the token was created."""
+        return time.monotonic() - self._started
+
+    def should_stop(self) -> bool:
+        """Whether a runner polling this token must stop now."""
+        if self._cancelled:
+            return True
+        return (
+            self.deadline_seconds is not None
+            and self.elapsed() >= self.deadline_seconds
+        )
+
+
+class CountingCancelToken(CancelToken):
+    """A token that cancels itself after N polls — the test-suite's way of
+    interrupting a run at a deterministic chunk boundary."""
+
+    def __init__(self, stop_after_checks: int):
+        super().__init__()
+        self.stop_after_checks = stop_after_checks
+        self.checks = 0
+
+    def should_stop(self) -> bool:
+        self.checks += 1
+        return self.checks > self.stop_after_checks or super().should_stop()
+
+
+# --- checkpoint file format ---------------------------------------------
+
+
+def _fingerprint(
+    kind: str, columns: Mapping[str, np.ndarray], metadata: Iterable[str]
+) -> str:
+    """Content hash binding a checkpoint to one exact run."""
+    digest = hashlib.sha256()
+    digest.update(kind.encode("ascii"))
+    for item in metadata:
+        digest.update(b"\x00")
+        digest.update(str(item).encode("utf-8"))
+    for name in sorted(columns):
+        digest.update(name.encode("ascii"))
+        digest.update(np.ascontiguousarray(columns[name]).tobytes())
+    return digest.hexdigest()
+
+
+def _atomic_save(path: str | os.PathLike, arrays: dict[str, np.ndarray]) -> None:
+    """Write a checkpoint so a crash can never leave a torn file."""
+    path = os.fspath(path)
+    temp = f"{path}.tmp"
+    try:
+        with open(temp, "wb") as handle:
+            np.savez(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+    finally:
+        if os.path.exists(temp):
+            os.remove(temp)
+
+
+def _load_checkpoint(
+    path: str | os.PathLike, *, kind: str, fingerprint: str
+) -> dict[str, np.ndarray]:
+    """Read and verify a checkpoint, or raise :class:`CheckpointError`."""
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        raise CheckpointError(
+            f"cannot resume: checkpoint {path!r} does not exist",
+            path=path,
+            reason="missing",
+        )
+    try:
+        with np.load(path, allow_pickle=False) as payload:
+            state = {name: np.array(payload[name]) for name in payload.files}
+    except Exception as error:
+        raise CheckpointError(
+            f"cannot resume: checkpoint {path!r} is unreadable ({error})",
+            path=path,
+            reason="corrupt",
+        ) from error
+    required = {"version", "kind", "fingerprint", "completed", "total"}
+    missing = required - set(state)
+    if missing:
+        raise CheckpointError(
+            f"cannot resume: checkpoint {path!r} lacks {sorted(missing)}",
+            path=path,
+            reason="corrupt",
+        )
+    if int(state["version"]) != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"cannot resume: checkpoint {path!r} has version "
+            f"{int(state['version'])}, expected {CHECKPOINT_VERSION}",
+            path=path,
+            reason="version",
+        )
+    if str(state["kind"]) != kind:
+        raise CheckpointError(
+            f"cannot resume: checkpoint {path!r} holds a "
+            f"{str(state['kind'])!r} run, not {kind!r}",
+            path=path,
+            reason="mismatch",
+        )
+    if str(state["fingerprint"]) != fingerprint:
+        raise CheckpointError(
+            f"cannot resume: checkpoint {path!r} was written by a different "
+            "run configuration (seed, draws, parameters, or policy differ)",
+            path=path,
+            reason="mismatch",
+        )
+    return state
+
+
+# --- Monte Carlo ---------------------------------------------------------
+
+
+def run_monte_carlo_chunked(
+    base: ActScenario,
+    parameters: Iterable[str] | None = None,
+    *,
+    draws: int = 2000,
+    seed: int = 2022,
+    distribution: str = TRIANGULAR,
+    ranges: Mapping[str, tuple[float, float]] | None = None,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    checkpoint: str | os.PathLike | None = None,
+    resume: bool = False,
+    cancel: CancelToken | None = None,
+    cache: EvaluationCache | None = None,
+    guard: "GuardedEngine | None" = None,
+) -> MonteCarloResult:
+    """:func:`~repro.analysis.montecarlo.run_monte_carlo`, chunked.
+
+    Identical results to the one-shot runner (same seed ⇒ bit-identical
+    samples), but evaluated ``chunk_rows`` at a time with an atomic
+    checkpoint after every chunk, an optional guard per chunk, and
+    cooperative cancellation between chunks.
+
+    Args:
+        chunk_rows: Rows per evaluation chunk (and checkpoint cadence).
+        checkpoint: Checkpoint file path (``None`` disables persistence).
+        resume: Load ``checkpoint`` and continue from its last chunk.
+        cancel: Cooperative cancellation token polled at chunk boundaries.
+        guard: Optional :class:`~repro.robustness.guard.GuardedEngine`;
+            masked rows are dropped from the final sample set exactly as
+            in the one-shot guarded runner.
+
+    Raises:
+        CheckpointError: ``resume`` without a usable, matching checkpoint.
+        RunInterrupted: ``cancel`` fired; partial results are checkpointed
+            (and carried on the exception's ``partial`` attribute).
+    """
+    require_positive("chunk_rows", chunk_rows)
+    columns = sample_parameter_columns(
+        base,
+        parameters,
+        draws=draws,
+        seed=seed,
+        distribution=distribution,
+        ranges=ranges,
+    )
+    guard_tag = guard.policy if guard is not None else "off"
+    fingerprint = _fingerprint(
+        "montecarlo",
+        columns,
+        (draws, seed, distribution, guard_tag, sorted(base.as_dict().items())),
+    )
+    samples = np.full(draws, np.nan)
+    completed = 0
+    if resume:
+        if checkpoint is None:
+            raise CheckpointError(
+                "resume requested without a checkpoint path", reason="missing"
+            )
+        state = _load_checkpoint(
+            checkpoint, kind="montecarlo", fingerprint=fingerprint
+        )
+        completed = int(state["completed"])
+        if completed > draws or int(state["total"]) != draws:
+            raise CheckpointError(
+                f"checkpoint {os.fspath(checkpoint)!r} covers "
+                f"{completed}/{int(state['total'])} draws, expected {draws}",
+                path=checkpoint,
+                reason="mismatch",
+            )
+        samples[:completed] = state["samples"][:completed]
+
+    def _save() -> None:
+        if checkpoint is not None:
+            _atomic_save(
+                checkpoint,
+                {
+                    "version": np.array(CHECKPOINT_VERSION),
+                    "kind": np.array("montecarlo"),
+                    "fingerprint": np.array(fingerprint),
+                    "completed": np.array(completed),
+                    "total": np.array(draws),
+                    "samples": samples[:completed],
+                },
+            )
+
+    while completed < draws:
+        if cancel is not None and cancel.should_stop():
+            _save()
+            error = RunInterrupted(
+                f"Monte Carlo interrupted at {completed}/{draws} draws"
+                + (
+                    f"; resume from {os.fspath(checkpoint)!r}"
+                    if checkpoint is not None
+                    else " (no checkpoint path — partial results not persisted)"
+                ),
+                completed=completed,
+                total=draws,
+                checkpoint=checkpoint,
+            )
+            error.partial = samples[:completed][
+                np.isfinite(samples[:completed])
+            ]
+            raise error
+        stop = min(completed + chunk_rows, draws)
+        chunk = {name: column[completed:stop] for name, column in columns.items()}
+        if guard is not None:
+            guarded = guard.evaluate_columns(base, stop - completed, chunk)
+            samples[completed:stop] = guarded.full_series("total_g")
+        else:
+            batch = ScenarioBatch.from_columns(base, stop - completed, chunk)
+            samples[completed:stop] = evaluate_cached(batch, cache).total_g
+        completed = stop
+        _save()
+
+    # Guarded runs mark masked rows NaN; drop them like the one-shot path.
+    finished = samples[np.isfinite(samples)] if guard is not None else samples
+    return MonteCarloResult(
+        samples=np.array(finished, copy=True), base_response=base.total_g()
+    )
+
+
+# --- grid sweeps ---------------------------------------------------------
+
+
+def sweep_grid_batched_chunked(
+    base: ActScenario,
+    grids: Mapping[str, Sequence[float]],
+    *,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    checkpoint: str | os.PathLike | None = None,
+    resume: bool = False,
+    cancel: CancelToken | None = None,
+    cache: EvaluationCache | None = None,
+) -> BatchSweepResult:
+    """:func:`~repro.dse.sweep.sweep_grid_batched`, chunked and resumable.
+
+    Evaluates the Cartesian grid ``chunk_rows`` rows at a time and
+    reassembles a :class:`~repro.dse.sweep.BatchSweepResult` bit-identical
+    to the one-shot sweep (the kernels are elementwise, so chunk
+    boundaries cannot change any value).
+    """
+    require_positive("chunk_rows", chunk_rows)
+    size, columns = product_columns(base, grids)
+    names = tuple(grids)
+    fingerprint = _fingerprint(
+        "sweep", columns, (size, names, sorted(base.as_dict().items()))
+    )
+    series_names = tuple(BatchResult.__dataclass_fields__)
+    series = {name: np.full(size, np.nan) for name in series_names}
+    completed = 0
+    if resume:
+        if checkpoint is None:
+            raise CheckpointError(
+                "resume requested without a checkpoint path", reason="missing"
+            )
+        state = _load_checkpoint(checkpoint, kind="sweep", fingerprint=fingerprint)
+        completed = int(state["completed"])
+        if completed > size or int(state["total"]) != size:
+            raise CheckpointError(
+                f"checkpoint {os.fspath(checkpoint)!r} covers "
+                f"{completed}/{int(state['total'])} rows, expected {size}",
+                path=checkpoint,
+                reason="mismatch",
+            )
+        for name in series_names:
+            series[name][:completed] = state[name][:completed]
+
+    def _save() -> None:
+        if checkpoint is not None:
+            payload = {
+                "version": np.array(CHECKPOINT_VERSION),
+                "kind": np.array("sweep"),
+                "fingerprint": np.array(fingerprint),
+                "completed": np.array(completed),
+                "total": np.array(size),
+            }
+            payload.update(
+                {name: series[name][:completed] for name in series_names}
+            )
+            _atomic_save(checkpoint, payload)
+
+    while completed < size:
+        if cancel is not None and cancel.should_stop():
+            _save()
+            raise RunInterrupted(
+                f"grid sweep interrupted at {completed}/{size} rows"
+                + (
+                    f"; resume from {os.fspath(checkpoint)!r}"
+                    if checkpoint is not None
+                    else " (no checkpoint path — partial results not persisted)"
+                ),
+                completed=completed,
+                total=size,
+                checkpoint=checkpoint,
+            )
+        stop = min(completed + chunk_rows, size)
+        chunk_batch = ScenarioBatch(
+            **{
+                name: np.ascontiguousarray(column[completed:stop])
+                for name, column in columns.items()
+            }
+        )
+        chunk_result = evaluate_cached(chunk_batch, cache)
+        for name in series_names:
+            series[name][completed:stop] = getattr(chunk_result, name)
+        completed = stop
+        _save()
+
+    batch = ScenarioBatch(**columns)
+    result = BatchResult(**series)
+    return BatchSweepResult(names=names, batch=batch, result=result)

@@ -1,0 +1,213 @@
+"""Deterministic fault injection for scenario columns and data tables.
+
+Carbon models feed real design decisions, so "what happens when an input
+is corrupt?" must be a tested property, not a hope.  This module corrupts
+inputs *on purpose* — reproducibly, from a seeded RNG — so the test suite
+can prove that every fault class either raises a typed
+:class:`~repro.core.errors.ReproError` somewhere in the stack or surfaces
+as an explicitly warned, masked result.  The fault classes mirror the ways
+real data goes bad:
+
+========== =========================================================
+``nan``    A sensor/parse hole: values become NaN.
+``inf``    An overflow artifact: values become ±Inf.
+``sign``   A sign flip: values are negated.
+``scale``  A unit-scale error (g↔kg, GB↔TB): a whole column or table
+           row is multiplied by a constant factor.
+``drop``   A dropped entry: a column row or table key disappears.
+``dup``    A duplicated entry: a column row or table label appears
+           twice.
+========== =========================================================
+
+Everything returns *copies* — the bundled tables and caller columns are
+never mutated — plus a :class:`FaultRecord` describing exactly what was
+corrupted, so tests can assert detection against a clean-run oracle.
+
+Table rows are frozen, eagerly-validated dataclasses; corrupt values are
+planted with ``object.__setattr__`` on shallow copies, simulating data
+that bypassed construction-time validation (e.g. loaded from disk).
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.errors import ParameterError
+
+#: Fault classes, in the order the smoke suite sweeps them.
+FAULT_NAN = "nan"
+FAULT_INF = "inf"
+FAULT_SIGN = "sign"
+FAULT_SCALE = "scale"
+FAULT_DROP = "drop"
+FAULT_DUP = "dup"
+COLUMN_FAULTS = (FAULT_NAN, FAULT_INF, FAULT_SIGN, FAULT_SCALE, FAULT_DROP, FAULT_DUP)
+TABLE_FAULTS = COLUMN_FAULTS
+
+#: Unit-scale error factor: grams read as kilograms (or vice versa).
+DEFAULT_SCALE_FACTOR = 1000.0
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultRecord:
+    """What a single injection corrupted.
+
+    Attributes:
+        kind: The fault class (one of :data:`COLUMN_FAULTS`).
+        target: ``"column:<name>"`` or ``"table:<name>"``.
+        indices: Corrupted row indices (column faults).
+        keys: Corrupted table keys (table faults).
+        factor: The multiplier applied (``scale`` faults).
+    """
+
+    kind: str
+    target: str
+    indices: tuple[int, ...] = ()
+    keys: tuple[str, ...] = ()
+    factor: float | None = None
+
+    def __str__(self) -> str:
+        where = (
+            f"rows {list(self.indices)}"
+            if self.indices
+            else f"keys {list(self.keys)}"
+        )
+        suffix = f" ×{self.factor:g}" if self.factor is not None else ""
+        return f"{self.kind} fault on {self.target} ({where}){suffix}"
+
+
+def _pick_indices(
+    rng: np.random.Generator, size: int, fraction: float
+) -> np.ndarray:
+    count = max(1, int(round(size * fraction)))
+    return np.sort(rng.choice(size, size=min(count, size), replace=False))
+
+
+def inject_column_fault(
+    columns: Mapping[str, np.ndarray],
+    name: str,
+    kind: str,
+    *,
+    rng: np.random.Generator,
+    fraction: float = 0.02,
+    factor: float = DEFAULT_SCALE_FACTOR,
+) -> tuple[dict[str, np.ndarray], FaultRecord]:
+    """A copy of ``columns`` with one column corrupted.
+
+    ``nan``/``inf``/``sign`` hit a sampled ``fraction`` of rows; ``scale``
+    multiplies the *whole* column (unit errors are systematic); ``drop``
+    and ``dup`` change the column's length, modeling a misaligned data
+    feed.
+
+    Args:
+        columns: Column arrays keyed by scenario field name.
+        name: The column to corrupt (must be present).
+        kind: One of :data:`COLUMN_FAULTS`.
+        rng: Seeded generator — identical seeds inject identical faults.
+        fraction: Share of rows corrupted by the per-row fault classes.
+        factor: Multiplier for ``scale`` faults.
+    """
+    if name not in columns:
+        raise ParameterError(f"no column {name!r} to corrupt")
+    corrupted = {key: np.array(value) for key, value in columns.items()}
+    column = corrupted[name]
+    target = f"column:{name}"
+    if kind == FAULT_NAN:
+        indices = _pick_indices(rng, column.size, fraction)
+        column[indices] = np.nan
+        record = FaultRecord(kind, target, indices=tuple(map(int, indices)))
+    elif kind == FAULT_INF:
+        indices = _pick_indices(rng, column.size, fraction)
+        signs = np.where(rng.random(indices.size) < 0.5, -np.inf, np.inf)
+        column[indices] = signs
+        record = FaultRecord(kind, target, indices=tuple(map(int, indices)))
+    elif kind == FAULT_SIGN:
+        indices = _pick_indices(rng, column.size, fraction)
+        column[indices] = -column[indices]
+        record = FaultRecord(kind, target, indices=tuple(map(int, indices)))
+    elif kind == FAULT_SCALE:
+        corrupted[name] = column * factor
+        record = FaultRecord(
+            kind, target, indices=tuple(range(column.size)), factor=factor
+        )
+    elif kind == FAULT_DROP:
+        index = int(rng.integers(column.size))
+        corrupted[name] = np.delete(column, index)
+        record = FaultRecord(kind, target, indices=(index,))
+    elif kind == FAULT_DUP:
+        index = int(rng.integers(column.size))
+        corrupted[name] = np.insert(column, index, column[index])
+        record = FaultRecord(kind, target, indices=(index,))
+    else:
+        raise ParameterError(
+            f"unknown column fault {kind!r}; use one of {COLUMN_FAULTS}"
+        )
+    return corrupted, record
+
+
+def _corrupt_row(row: object, attribute: str, value: float) -> object:
+    """A shallow copy of a frozen table row with one attribute overwritten.
+
+    Bypasses ``__post_init__`` validation on purpose — the whole point is
+    modeling values that arrived without passing through the constructors.
+    """
+    clone = copy.copy(row)
+    object.__setattr__(clone, attribute, value)
+    return clone
+
+
+def inject_table_fault(
+    rows: Mapping[str, object],
+    kind: str,
+    *,
+    rng: np.random.Generator,
+    attribute: str = "cps_g_per_gb",
+    factor: float = DEFAULT_SCALE_FACTOR,
+) -> tuple[dict[str, object], FaultRecord]:
+    """A corrupted copy of a bundled data table.
+
+    ``nan``/``inf``/``sign``/``scale`` overwrite ``attribute`` on one
+    sampled row; ``drop`` removes a key; ``dup`` inserts an alias key
+    whose row carries a duplicate label (what a bad merge produces).
+
+    Args:
+        rows: A table mapping (e.g. ``DRAM_TECHNOLOGIES``).  Never mutated.
+        kind: One of :data:`TABLE_FAULTS`.
+        rng: Seeded generator.
+        attribute: The numeric row attribute the value faults overwrite.
+        factor: Multiplier for ``scale`` faults.
+    """
+    if not rows:
+        raise ParameterError("cannot corrupt an empty table")
+    corrupted: dict[str, object] = dict(rows)
+    keys = sorted(corrupted)
+    key = keys[int(rng.integers(len(keys)))]
+    target = f"table:{attribute}"
+    if kind == FAULT_NAN:
+        corrupted[key] = _corrupt_row(corrupted[key], attribute, float("nan"))
+    elif kind == FAULT_INF:
+        corrupted[key] = _corrupt_row(corrupted[key], attribute, float("inf"))
+    elif kind == FAULT_SIGN:
+        original = getattr(corrupted[key], attribute)
+        corrupted[key] = _corrupt_row(corrupted[key], attribute, -original)
+    elif kind == FAULT_SCALE:
+        original = getattr(corrupted[key], attribute)
+        corrupted[key] = _corrupt_row(
+            corrupted[key], attribute, original * factor
+        )
+        return corrupted, FaultRecord(kind, target, keys=(key,), factor=factor)
+    elif kind == FAULT_DROP:
+        del corrupted[key]
+    elif kind == FAULT_DUP:
+        alias = f"{key}__dup"
+        corrupted[alias] = corrupted[key]
+        return corrupted, FaultRecord(kind, target, keys=(key, alias))
+    else:
+        raise ParameterError(
+            f"unknown table fault {kind!r}; use one of {TABLE_FAULTS}"
+        )
+    return corrupted, FaultRecord(kind, target, keys=(key,))

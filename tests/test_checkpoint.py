@@ -1,0 +1,212 @@
+"""Chunked execution, atomic checkpoints, and bit-for-bit resumption."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis import ActScenario, run_monte_carlo
+from repro.core.errors import CheckpointError, RunInterrupted
+from repro.dse import sweep_grid_batched
+from repro.engine.cache import EvaluationCache
+from repro.robustness import (
+    SKIP,
+    CancelToken,
+    CountingCancelToken,
+    GuardedEngine,
+    RobustnessWarning,
+    run_monte_carlo_chunked,
+    sweep_grid_batched_chunked,
+)
+
+BASE = ActScenario()
+GRIDS = {"fab_yield": [0.6, 0.75, 0.875, 1.0], "energy_kwh": list(range(1, 9))}
+
+
+class TestCancelToken:
+    def test_plain_token_never_stops(self):
+        assert not CancelToken().should_stop()
+
+    def test_explicit_cancel(self):
+        token = CancelToken()
+        token.cancel()
+        assert token.cancelled
+        assert token.should_stop()
+
+    def test_expired_deadline_stops(self):
+        assert CancelToken(deadline_seconds=0.0).should_stop()
+
+    def test_counting_token_stops_after_n_checks(self):
+        token = CountingCancelToken(stop_after_checks=2)
+        assert not token.should_stop()
+        assert not token.should_stop()
+        assert token.should_stop()
+
+
+class TestMonteCarloChunked:
+    def test_matches_one_shot_runner_bitwise(self):
+        one_shot = run_monte_carlo(BASE, draws=1000, seed=5)
+        chunked = run_monte_carlo_chunked(
+            BASE, draws=1000, seed=5, chunk_rows=128, cache=EvaluationCache()
+        )
+        np.testing.assert_array_equal(one_shot.samples, chunked.samples)
+        assert one_shot.base_response == chunked.base_response
+
+    def test_interrupt_then_resume_is_bit_identical(self, tmp_path):
+        path = tmp_path / "mc.npz"
+        uninterrupted = run_monte_carlo_chunked(
+            BASE, draws=1000, seed=5, chunk_rows=128
+        )
+        with pytest.raises(RunInterrupted) as excinfo:
+            run_monte_carlo_chunked(
+                BASE,
+                draws=1000,
+                seed=5,
+                chunk_rows=128,
+                checkpoint=path,
+                cancel=CountingCancelToken(stop_after_checks=3),
+            )
+        error = excinfo.value
+        assert 0 < error.completed < error.total == 1000
+        assert error.checkpoint == path
+        np.testing.assert_array_equal(
+            error.partial, uninterrupted.samples[: error.completed]
+        )
+        assert not os.path.exists(f"{path}.tmp")  # atomic write left no junk
+        resumed = run_monte_carlo_chunked(
+            BASE, draws=1000, seed=5, chunk_rows=128,
+            checkpoint=path, resume=True,
+        )
+        np.testing.assert_array_equal(uninterrupted.samples, resumed.samples)
+
+    def test_resume_without_path_raises(self):
+        with pytest.raises(CheckpointError) as excinfo:
+            run_monte_carlo_chunked(BASE, draws=100, resume=True)
+        assert excinfo.value.reason == "missing"
+
+    def test_resume_from_missing_file_raises(self, tmp_path):
+        with pytest.raises(CheckpointError) as excinfo:
+            run_monte_carlo_chunked(
+                BASE, draws=100, checkpoint=tmp_path / "nope.npz", resume=True
+            )
+        assert excinfo.value.reason == "missing"
+
+    def test_resume_from_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "mc.npz"
+        path.write_bytes(b"not a checkpoint")
+        with pytest.raises(CheckpointError) as excinfo:
+            run_monte_carlo_chunked(
+                BASE, draws=100, checkpoint=path, resume=True
+            )
+        assert excinfo.value.reason == "corrupt"
+
+    def test_resume_with_different_config_raises_mismatch(self, tmp_path):
+        path = tmp_path / "mc.npz"
+        with pytest.raises(RunInterrupted):
+            run_monte_carlo_chunked(
+                BASE, draws=512, seed=5, chunk_rows=64, checkpoint=path,
+                cancel=CountingCancelToken(stop_after_checks=2),
+            )
+        for overrides in ({"seed": 6}, {"distribution": "uniform"}):
+            with pytest.raises(CheckpointError) as excinfo:
+                run_monte_carlo_chunked(
+                    BASE, draws=512, chunk_rows=64, checkpoint=path,
+                    resume=True, **{"seed": 5, **overrides},
+                )
+            assert excinfo.value.reason == "mismatch"
+
+    def test_resume_rejects_checkpoint_of_other_kind(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        with pytest.raises(RunInterrupted):
+            sweep_grid_batched_chunked(
+                BASE, GRIDS, chunk_rows=8, checkpoint=path,
+                cancel=CountingCancelToken(stop_after_checks=1),
+            )
+        with pytest.raises(CheckpointError):
+            run_monte_carlo_chunked(
+                BASE, draws=100, checkpoint=path, resume=True
+            )
+
+    def test_interrupt_without_checkpoint_still_carries_partial(self):
+        with pytest.raises(RunInterrupted) as excinfo:
+            run_monte_carlo_chunked(
+                BASE, draws=512, seed=5, chunk_rows=64,
+                cancel=CountingCancelToken(stop_after_checks=2),
+            )
+        assert excinfo.value.checkpoint is None
+        assert excinfo.value.partial.size == excinfo.value.completed
+
+    def test_guarded_chunked_matches_guarded_one_shot(self):
+        # A narrowed range forces the skip policy to mask some draws; the
+        # chunked run must drop exactly the same ones.
+        guard = GuardedEngine(policy=SKIP, ranges={"energy_kwh": (1.0, 20.0)})
+        with pytest.warns(RobustnessWarning):
+            one_shot = run_monte_carlo(BASE, draws=600, seed=9, guard=guard)
+        with pytest.warns(RobustnessWarning):
+            chunked = run_monte_carlo_chunked(
+                BASE, draws=600, seed=9, chunk_rows=100, guard=guard
+            )
+        assert one_shot.samples.size < 600  # masking actually happened
+        np.testing.assert_array_equal(one_shot.samples, chunked.samples)
+
+    def test_chunk_rows_must_be_positive(self):
+        with pytest.raises(Exception):
+            run_monte_carlo_chunked(BASE, draws=10, chunk_rows=0)
+
+
+class TestSweepChunked:
+    def test_matches_one_shot_sweep_bitwise(self):
+        one_shot = sweep_grid_batched(BASE, GRIDS, cache=EvaluationCache())
+        chunked = sweep_grid_batched_chunked(
+            BASE, GRIDS, chunk_rows=5, cache=EvaluationCache()
+        )
+        assert chunked.names == one_shot.names
+        np.testing.assert_array_equal(
+            one_shot.result.total_g, chunked.result.total_g
+        )
+        np.testing.assert_array_equal(
+            one_shot.batch.column("fab_yield"), chunked.batch.column("fab_yield")
+        )
+
+    def test_interrupt_then_resume_is_bit_identical(self, tmp_path):
+        path = tmp_path / "sweep.npz"
+        uninterrupted = sweep_grid_batched_chunked(BASE, GRIDS, chunk_rows=6)
+        with pytest.raises(RunInterrupted) as excinfo:
+            sweep_grid_batched_chunked(
+                BASE, GRIDS, chunk_rows=6, checkpoint=path,
+                cancel=CountingCancelToken(stop_after_checks=2),
+            )
+        assert 0 < excinfo.value.completed < len(uninterrupted)
+        resumed = sweep_grid_batched_chunked(
+            BASE, GRIDS, chunk_rows=6, checkpoint=path, resume=True
+        )
+        np.testing.assert_array_equal(
+            uninterrupted.result.total_g, resumed.result.total_g
+        )
+        np.testing.assert_array_equal(
+            uninterrupted.result.embodied_g, resumed.result.embodied_g
+        )
+
+    def test_resume_with_different_grid_raises_mismatch(self, tmp_path):
+        path = tmp_path / "sweep.npz"
+        with pytest.raises(RunInterrupted):
+            sweep_grid_batched_chunked(
+                BASE, GRIDS, chunk_rows=6, checkpoint=path,
+                cancel=CountingCancelToken(stop_after_checks=1),
+            )
+        other = {"fab_yield": [0.5, 0.9], "energy_kwh": list(range(1, 9))}
+        with pytest.raises(CheckpointError) as excinfo:
+            sweep_grid_batched_chunked(
+                BASE, other, chunk_rows=6, checkpoint=path, resume=True
+            )
+        assert excinfo.value.reason == "mismatch"
+
+    def test_completed_run_leaves_loadable_checkpoint(self, tmp_path):
+        path = tmp_path / "sweep.npz"
+        result = sweep_grid_batched_chunked(
+            BASE, GRIDS, chunk_rows=7, checkpoint=path
+        )
+        assert path.exists()
+        with np.load(path, allow_pickle=False) as payload:
+            assert int(payload["completed"]) == len(result)
+            assert str(payload["kind"]) == "sweep"

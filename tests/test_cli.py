@@ -210,3 +210,94 @@ class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestErrorHandling:
+    def test_repro_error_becomes_one_line_exit_2(self, capsys):
+        code, out, err = run_cli(capsys, "experiment", "fig999")
+        assert code == 2
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
+        assert "Traceback" not in err
+
+    def test_debug_flag_reraises(self):
+        from repro.core.errors import ReproError
+
+        with pytest.raises(ReproError):
+            main(["--debug", "experiment", "fig999"])
+
+
+class TestMonteCarloGuarded:
+    def test_strict_policy_runs_and_is_labelled(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "montecarlo", "--draws", "300", "--policy", "strict"
+        )
+        assert code == 0
+        assert "policy=strict" in out
+
+    def test_guarded_mean_matches_unguarded(self, capsys):
+        _, plain, _ = run_cli(capsys, "montecarlo", "--draws", "300")
+        _, guarded, _ = run_cli(
+            capsys, "montecarlo", "--draws", "300", "--policy", "strict"
+        )
+        mean = lambda text: [  # noqa: E731
+            line for line in text.splitlines() if line.startswith("mean")
+        ][0]
+        assert mean(plain) == mean(guarded)
+
+
+class TestMonteCarloCheckpoint:
+    def test_interrupted_run_exits_3_with_resume_hint(self, capsys, tmp_path):
+        path = tmp_path / "mc.npz"
+        code, _, err = run_cli(
+            capsys, "montecarlo", "--draws", "5000", "--chunk-rows", "512",
+            "--checkpoint", str(path), "--max-seconds", "0",
+        )
+        assert code == 3
+        assert "interrupted" in err
+        assert "--resume" in err
+        assert path.exists()
+
+    def test_resume_completes_with_same_output_as_uninterrupted(
+        self, capsys, tmp_path
+    ):
+        path = tmp_path / "mc.npz"
+        run_cli(
+            capsys, "montecarlo", "--draws", "2000", "--chunk-rows", "256",
+            "--checkpoint", str(path), "--max-seconds", "0",
+        )
+        code, resumed, _ = run_cli(
+            capsys, "montecarlo", "--draws", "2000", "--chunk-rows", "256",
+            "--checkpoint", str(path), "--resume",
+        )
+        assert code == 0
+        _, uninterrupted, _ = run_cli(capsys, "montecarlo", "--draws", "2000")
+        stats = lambda text: [  # noqa: E731
+            line for line in text.splitlines()
+            if line.startswith(("mean", "| p"))
+        ]
+        assert stats(resumed) == stats(uninterrupted)
+
+    def test_resume_with_wrong_seed_is_a_one_line_error(self, capsys, tmp_path):
+        path = tmp_path / "mc.npz"
+        run_cli(
+            capsys, "montecarlo", "--draws", "2000", "--chunk-rows", "256",
+            "--checkpoint", str(path), "--max-seconds", "0",
+        )
+        code, _, err = run_cli(
+            capsys, "montecarlo", "--draws", "2000", "--seed", "99",
+            "--checkpoint", str(path), "--resume",
+        )
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "different run configuration" in err
+
+    def test_resume_without_checkpoint_file_errors_cleanly(
+        self, capsys, tmp_path
+    ):
+        code, _, err = run_cli(
+            capsys, "montecarlo", "--draws", "100",
+            "--checkpoint", str(tmp_path / "missing.npz"), "--resume",
+        )
+        assert code == 2
+        assert "does not exist" in err

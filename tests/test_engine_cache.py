@@ -1,0 +1,132 @@
+"""EvaluationCache: LRU mechanics, caller-cache routing, and guard purity."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ActScenario
+from repro.core.errors import ParameterError
+from repro.engine.batch import ScenarioBatch
+from repro.engine.cache import (
+    DEFAULT_CACHE,
+    EvaluationCache,
+    batch_key,
+    evaluate_cached,
+)
+from repro.robustness import SKIP, GuardedEngine, RobustnessWarning
+
+BASE = ActScenario()
+
+
+def batch_of(energy):
+    return ScenarioBatch.from_columns(
+        BASE, len(energy), {"energy_kwh": np.asarray(energy, dtype=np.float64)}
+    )
+
+
+class TestBatchKey:
+    def test_equal_content_hashes_identically_across_constructors(self):
+        a = ScenarioBatch.from_product(BASE, {"energy_kwh": [1.0, 2.0]})
+        b = ScenarioBatch.from_scenarios(
+            [BASE.replace(energy_kwh=1.0), BASE.replace(energy_kwh=2.0)]
+        )
+        assert batch_key(a) == batch_key(b)
+
+    def test_different_content_hashes_differently(self):
+        assert batch_key(batch_of([1.0, 2.0])) != batch_key(batch_of([1.0, 3.0]))
+
+
+class TestLru:
+    def test_eviction_order_is_least_recently_used(self):
+        cache = EvaluationCache(capacity=2)
+        a, b, c = batch_of([1.0]), batch_of([2.0]), batch_of([3.0])
+        cache.evaluate(a)
+        cache.evaluate(b)
+        cache.evaluate(c)  # evicts a
+        assert len(cache) == 2
+        cache.evaluate(b)
+        assert cache.hits == 1
+        cache.evaluate(a)  # was evicted: a miss again
+        assert cache.misses == 4
+
+    def test_hit_moves_entry_to_most_recent(self):
+        cache = EvaluationCache(capacity=2)
+        a, b, c = batch_of([1.0]), batch_of([2.0]), batch_of([3.0])
+        cache.evaluate(a)
+        cache.evaluate(b)
+        cache.evaluate(a)  # refresh a; b becomes least recent
+        cache.evaluate(c)  # evicts b, not a
+        cache.evaluate(a)
+        assert cache.hits == 2
+        cache.evaluate(b)
+        assert cache.misses == 4
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ParameterError):
+            EvaluationCache(capacity=0)
+
+    def test_clear_resets_store_and_counters(self):
+        cache = EvaluationCache()
+        cache.evaluate(batch_of([1.0]))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.hit_rate == 0.0
+
+    def test_hit_rate(self):
+        cache = EvaluationCache()
+        a = batch_of([1.0])
+        cache.evaluate(a)
+        cache.evaluate(a)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+
+class TestCallerCacheRouting:
+    def test_empty_caller_cache_is_used_not_default(self):
+        """Regression: an empty EvaluationCache is falsy (len() == 0), so a
+        truthiness check would silently reroute to the process-wide default
+        cache.  The explicitly-passed cache must take the traffic."""
+        cache = EvaluationCache()
+        assert not cache  # the trap: empty caches are falsy
+        default_before = (DEFAULT_CACHE.hits, DEFAULT_CACHE.misses)
+        batch = batch_of([4.0, 5.0])
+        evaluate_cached(batch, cache)
+        evaluate_cached(batch, cache)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert (DEFAULT_CACHE.hits, DEFAULT_CACHE.misses) == default_before
+
+    def test_none_routes_to_default_cache(self):
+        before = DEFAULT_CACHE.hits + DEFAULT_CACHE.misses
+        evaluate_cached(batch_of([6.0]))
+        assert DEFAULT_CACHE.hits + DEFAULT_CACHE.misses == before + 1
+
+
+class TestGuardCachePurity:
+    def test_masked_batches_do_not_poison_cache_keys(self):
+        """The skip policy compacts valid rows *before* evaluation, so the
+        cached entry is keyed by clean content only — a later evaluation of
+        that same clean content must hit, and the cache must never have
+        seen the corrupted full-length columns."""
+        cache = EvaluationCache()
+        engine = GuardedEngine(policy=SKIP, cache=cache)
+        bad = np.array([1.0, np.nan, 3.0, np.inf])
+        with pytest.warns(RobustnessWarning):
+            guarded = engine.evaluate_columns(
+                BASE, 4, {"energy_kwh": np.array(bad)}
+            )
+        assert (cache.hits, cache.misses) == (0, 1)
+        # The one cached entry is exactly the compacted, clean batch.
+        clean = batch_of([1.0, 3.0])
+        evaluate_cached(clean, cache)
+        assert cache.hits == 1
+        assert batch_key(guarded.batch) == batch_key(clean)
+
+    def test_repeated_guarded_evaluation_hits_cache(self):
+        cache = EvaluationCache()
+        engine = GuardedEngine(policy=SKIP, cache=cache)
+        columns = {"energy_kwh": np.array([1.0, np.nan, 3.0])}
+        for _ in range(2):
+            with pytest.warns(RobustnessWarning):
+                engine.evaluate_columns(
+                    BASE, 3, {k: np.array(v) for k, v in columns.items()}
+                )
+        assert (cache.hits, cache.misses) == (1, 1)

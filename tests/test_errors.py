@@ -1,0 +1,112 @@
+"""The error taxonomy: actionable lookups and structured robustness errors."""
+
+import pytest
+
+from repro.core.errors import (
+    CheckpointError,
+    DivergenceError,
+    ParameterError,
+    ReproError,
+    RunInterrupted,
+    UnknownEntryError,
+    ValidationError,
+)
+
+
+class TestUnknownEntryError:
+    def test_short_list_shown_in_full(self):
+        error = UnknownEntryError("thing", "x", ["b", "a"])
+        assert str(error) == "unknown thing: 'x' (available: a, b)"
+        assert error.available == ["a", "b"]
+
+    def test_long_list_truncated_with_count(self):
+        available = [f"entry{i:02d}" for i in range(25)]
+        error = UnknownEntryError("thing", "x", available)
+        message = str(error)
+        assert "entry09" in message
+        assert "entry10" not in message
+        assert "… and 15 more" in message
+        # The full sorted list still rides on the exception for programs.
+        assert len(error.available) == 25
+
+    def test_close_match_suggested(self):
+        error = UnknownEntryError("DRAM technology", "lpddr5", ["lpddr4", "ddr4"])
+        assert error.suggestion == "lpddr4"
+        assert "did you mean 'lpddr4'?" in str(error)
+
+    def test_no_suggestion_when_nothing_close(self):
+        error = UnknownEntryError("thing", "zzzzz", ["alpha", "beta"])
+        assert error.suggestion is None
+        assert "did you mean" not in str(error)
+
+    def test_empty_collection_is_not_treated_as_none(self):
+        # Regression: `if available` dropped legitimately-empty collections.
+        error = UnknownEntryError("thing", "x", [])
+        assert error.available == []
+        assert "(no entries available)" in str(error)
+
+    def test_none_means_no_listing(self):
+        error = UnknownEntryError("thing", "x")
+        assert error.available is None
+        assert str(error) == "unknown thing: 'x'"
+
+    def test_real_lookup_carries_suggestion(self):
+        from repro.analysis.scenario import parameter_range
+
+        with pytest.raises(UnknownEntryError) as excinfo:
+            parameter_range("energy_kw")
+        assert excinfo.value.suggestion == "energy_kwh"
+
+    def test_is_plain_keyerror_compatible(self):
+        error = UnknownEntryError("thing", "x", ["a"])
+        assert isinstance(error, KeyError)
+        assert str(error) == error.args[0]  # no KeyError repr-quoting
+
+
+class TestRobustnessErrors:
+    def test_all_catchable_as_repro_error(self):
+        for cls in (ValidationError, DivergenceError, CheckpointError,
+                    RunInterrupted):
+            assert issubclass(cls, ReproError)
+
+    def test_builtin_hierarchy(self):
+        assert issubclass(ValidationError, ValueError)
+        assert issubclass(DivergenceError, ArithmeticError)
+        assert issubclass(CheckpointError, RuntimeError)
+        assert issubclass(RunInterrupted, RuntimeError)
+        assert issubclass(ParameterError, ValueError)
+
+    def test_validation_error_carries_diagnostics(self):
+        diags = (object(), object())
+        error = ValidationError("bad batch", diags)
+        assert error.diagnostics == diags
+        assert ValidationError("no detail").diagnostics == ()
+
+    def test_divergence_error_structured_context(self):
+        error = DivergenceError(
+            "boom", series="total_g", indices=[3], batched=[1.0],
+            reference=[2.0], tolerance=1e-9,
+        )
+        assert error.series == "total_g"
+        assert error.indices == (3,)
+        assert error.batched == (1.0,)
+        assert error.reference == (2.0,)
+        assert error.tolerance == 1e-9
+
+    def test_checkpoint_error_context(self):
+        error = CheckpointError("gone", path="/tmp/x.npz", reason="missing")
+        assert error.path == "/tmp/x.npz"
+        assert error.reason == "missing"
+
+    def test_run_interrupted_context(self):
+        error = RunInterrupted("stopped", completed=5, total=10,
+                               checkpoint="ck.npz")
+        assert (error.completed, error.total) == (5, 10)
+        assert error.checkpoint == "ck.npz"
+
+    def test_exported_from_core_package(self):
+        from repro import core
+
+        for name in ("ValidationError", "DivergenceError", "CheckpointError",
+                     "RunInterrupted"):
+            assert getattr(core, name)

@@ -1,0 +1,95 @@
+"""Property tests: batched validation rejects exactly what the scalar rejects.
+
+The scalar ``ActScenario`` constructor is the reference validator; the
+batched ``ScenarioBatch`` (and the guard's diagnoser sitting in front of
+it) must accept and reject *exactly* the same values for every one of the
+18 Table 1 fields — otherwise a value could sneak into one path and not
+the other, and the two engines would silently model different inputs.
+"""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.scenario import ActScenario
+from repro.core.errors import ParameterError
+from repro.engine.batch import FIELD_NAMES, ScenarioBatch, broadcast_columns
+from repro.robustness.guard import diagnose_columns
+
+BASE = ActScenario()
+
+field_names = st.sampled_from(FIELD_NAMES)
+# Everything a corrupt feed can contain: NaN, ±Inf, negatives, zeros,
+# subnormals, fractions, and huge magnitudes.
+any_float = st.one_of(
+    st.floats(allow_nan=True, allow_infinity=True, width=64),
+    st.sampled_from(
+        [0.0, -0.0, 1.0, -1.0, 0.5, 1.5, np.nan, np.inf, -np.inf, 1e308, 5e-324]
+    ),
+)
+
+
+def scalar_accepts(name, value):
+    try:
+        ActScenario(**{**BASE.as_dict(), name: value})
+    except ParameterError:
+        return False
+    return True
+
+
+def batch_accepts(name, value):
+    try:
+        ScenarioBatch.from_columns(
+            BASE, 3, {name: np.array([value, value, value])}
+        )
+    except ParameterError:
+        return False
+    return True
+
+
+class TestScalarBatchValidationEquivalence:
+    @given(name=field_names, value=any_float)
+    def test_batch_rejects_iff_scalar_rejects(self, name, value):
+        assert batch_accepts(name, value) == scalar_accepts(name, value)
+
+    @given(name=field_names, value=any_float)
+    def test_diagnoser_flags_iff_scalar_rejects(self, name, value):
+        """The guard's pre-validation (domains only, no Table 1 ranges) must
+        flag exactly the values the scalar constructor refuses."""
+        raw = broadcast_columns(BASE, 2, {name: np.array([value, value])})
+        diagnostics = diagnose_columns(raw, ranges=None)
+        flagged = {d.column for d in diagnostics}
+        if scalar_accepts(name, value):
+            assert name not in flagged
+        else:
+            assert name in flagged
+            (diag,) = [d for d in diagnostics if d.column == name]
+            assert diag.indices == (0, 1)
+
+    @given(name=field_names, value=any_float)
+    def test_mixed_batch_rejected_iff_any_row_invalid(self, name, value):
+        """One bad row is enough: a batch mixing the candidate value with
+        known-good base rows validates iff the candidate does."""
+        good = getattr(BASE, name)
+        try:
+            ScenarioBatch.from_columns(
+                BASE, 3, {name: np.array([good, value, good])}
+            )
+            accepted = True
+        except ParameterError:
+            accepted = False
+        assert accepted == scalar_accepts(name, value)
+
+    @given(name=field_names)
+    def test_base_value_always_accepted(self, name):
+        assert scalar_accepts(name, getattr(BASE, name))
+        assert batch_accepts(name, getattr(BASE, name))
+
+
+class TestFieldNamesContract:
+    def test_field_names_match_scalar_dataclass_exactly(self):
+        import dataclasses
+
+        assert FIELD_NAMES == tuple(
+            f.name for f in dataclasses.fields(ActScenario)
+        )

@@ -1,0 +1,269 @@
+"""GuardedEngine: validation policies, diagnostics, and the scalar cross-check."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ActScenario, run_monte_carlo
+from repro.core.errors import DivergenceError, ParameterError, ValidationError
+from repro.dse import GuardedSweepResult, sweep_grid_batched
+from repro.engine.batch import FIELD_NAMES, ScenarioBatch, broadcast_columns
+from repro.engine.cache import EvaluationCache, evaluate_cached
+from repro.engine.kernels import BatchResult
+from repro.robustness import (
+    REPAIR,
+    SKIP,
+    STRICT,
+    GuardedEngine,
+    RobustnessWarning,
+    diagnose_columns,
+)
+from repro.robustness.guard import DOMAIN, NON_FINITE, OUTPUT, RANGE
+
+BASE = ActScenario()
+
+
+def columns_with(**overrides):
+    """Full-length raw columns: the base broadcast plus explicit overrides."""
+    size = max(np.asarray(v).size for v in overrides.values())
+    return size, {
+        name: np.array(np.broadcast_to(np.asarray(v, dtype=np.float64), (size,)))
+        for name, v in overrides.items()
+    }
+
+
+class TestDiagnoseColumns:
+    def test_clean_columns_have_no_diagnostics(self):
+        raw = broadcast_columns(BASE, 8)
+        assert diagnose_columns(raw) == []
+
+    def test_non_finite_reported_with_indices_and_values(self):
+        _, cols = columns_with(energy_kwh=[1.0, np.nan, 2.0, np.inf])
+        (diag,) = diagnose_columns(cols)
+        assert diag.column == "energy_kwh"
+        assert diag.reason == NON_FINITE
+        assert diag.indices == (1, 3)
+        assert np.isnan(diag.values[0]) and np.isinf(diag.values[1])
+
+    def test_domain_violation_for_negative_value(self):
+        _, cols = columns_with(ci_use_g_per_kwh=[100.0, -5.0])
+        (diag,) = diagnose_columns(cols)
+        assert diag.reason == DOMAIN
+        assert diag.indices == (1,)
+        assert "must be >= 0" in diag.detail
+
+    def test_fraction_field_domain(self):
+        _, cols = columns_with(fab_yield=[0.9, 1.5, 0.0])
+        (diag,) = diagnose_columns(cols)
+        assert diag.reason == DOMAIN
+        assert diag.indices == (1, 2)
+        assert "(0, 1]" in diag.detail
+
+    def test_range_violation_against_table1(self):
+        # 1e6 g/kWh is finite and non-negative but far outside Table 1.
+        _, cols = columns_with(ci_use_g_per_kwh=[100.0, 1.0e6])
+        diags = diagnose_columns(cols, ranges={"ci_use_g_per_kwh": (11.0, 820.0)})
+        (diag,) = diags
+        assert diag.reason == RANGE
+        assert diag.indices == (1,)
+        assert "documented range" in diag.detail
+
+    def test_str_truncates_long_index_lists(self):
+        _, cols = columns_with(energy_kwh=np.full(50, np.nan))
+        (diag,) = diagnose_columns(cols)
+        assert "… and 42 more" in str(diag)
+
+
+class TestStrictPolicy:
+    def test_clean_batch_matches_unguarded_engine(self):
+        engine = GuardedEngine(policy=STRICT)
+        guarded = engine.evaluate_columns(BASE, 16)
+        plain = evaluate_cached(ScenarioBatch.from_columns(BASE, 16))
+        np.testing.assert_array_equal(guarded.result.total_g, plain.total_g)
+        assert guarded.masked_count == 0
+        assert guarded.valid.all()
+        assert not guarded.repaired
+
+    def test_raises_with_structured_diagnostics(self):
+        engine = GuardedEngine(policy=STRICT)
+        size, cols = columns_with(energy_kwh=[1.0, np.nan, 3.0])
+        with pytest.raises(ValidationError) as excinfo:
+            engine.evaluate_columns(BASE, size, cols)
+        (diag,) = excinfo.value.diagnostics
+        assert diag.column == "energy_kwh"
+        assert diag.indices == (1,)
+
+    def test_out_of_range_rejected_by_default_table1_ranges(self):
+        engine = GuardedEngine(policy=STRICT)
+        size, cols = columns_with(ci_fab_g_per_kwh=[100.0, 5.0e4])
+        with pytest.raises(ValidationError):
+            engine.evaluate_columns(BASE, size, cols)
+
+    def test_ranges_none_validates_domains_only(self):
+        engine = GuardedEngine(policy=STRICT, ranges=None)
+        size, cols = columns_with(ci_fab_g_per_kwh=[100.0, 5.0e4])
+        guarded = engine.evaluate_columns(BASE, size, cols)
+        assert guarded.masked_count == 0
+
+
+class TestRepairPolicy:
+    def test_nan_becomes_base_value_and_out_of_range_clamps(self):
+        engine = GuardedEngine(policy=REPAIR)
+        size, cols = columns_with(fab_yield=[np.nan, 2.0, 0.9])
+        with pytest.warns(RobustnessWarning):
+            guarded = engine.evaluate_columns(BASE, size, cols)
+        assert guarded.repaired
+        repaired = guarded.batch.column("fab_yield")
+        assert repaired[0] == pytest.approx(BASE.fab_yield)
+        assert repaired[1] == 1.0  # clamped to the Table 1 high edge
+        assert repaired[2] == 0.9
+        assert guarded.valid.all()  # repair never masks
+
+    def test_repaired_batch_evaluates_finite(self):
+        engine = GuardedEngine(policy=REPAIR)
+        size, cols = columns_with(energy_kwh=[np.inf, -3.0, 5.0])
+        with pytest.warns(RobustnessWarning):
+            guarded = engine.evaluate_columns(BASE, size, cols)
+        assert np.isfinite(guarded.result.total_g).all()
+
+
+class TestSkipPolicy:
+    def test_masks_bad_rows_and_keeps_good_ones_bitwise(self):
+        engine = GuardedEngine(policy=SKIP)
+        bad = np.array([1.0, np.nan, 3.0, -2.0])
+        size, cols = columns_with(energy_kwh=bad)
+        with pytest.warns(RobustnessWarning):
+            guarded = engine.evaluate_columns(BASE, size, cols)
+        assert guarded.masked_count == 2
+        np.testing.assert_array_equal(guarded.valid, [True, False, True, False])
+        np.testing.assert_array_equal(guarded.indices, [0, 2])
+        # Surviving rows equal a clean evaluation of just those rows.
+        clean = evaluate_cached(
+            ScenarioBatch.from_columns(BASE, 2, {"energy_kwh": bad[[0, 2]]})
+        )
+        np.testing.assert_array_equal(guarded.result.total_g, clean.total_g)
+
+    def test_full_series_scatters_nan_at_masked_rows(self):
+        engine = GuardedEngine(policy=SKIP)
+        size, cols = columns_with(energy_kwh=[1.0, np.nan, 3.0])
+        with pytest.warns(RobustnessWarning):
+            guarded = engine.evaluate_columns(BASE, size, cols)
+        full = guarded.full_series("total_g")
+        assert full.size == 3
+        assert np.isnan(full[1])
+        assert np.isfinite(full[[0, 2]]).all()
+
+    def test_all_rows_masked_raises(self):
+        engine = GuardedEngine(policy=SKIP)
+        size, cols = columns_with(energy_kwh=[np.nan, np.inf])
+        with pytest.raises(ValidationError, match="every row"):
+            engine.evaluate_columns(BASE, size, cols)
+
+
+class TestEvaluateConstructedBatch:
+    def test_range_violations_still_policed(self):
+        batch = ScenarioBatch.from_columns(
+            BASE, 3, {"ci_fab_g_per_kwh": np.array([100.0, 5.0e4, 200.0])}
+        )
+        with pytest.raises(ValidationError):
+            GuardedEngine(policy=STRICT).evaluate(batch)
+        with pytest.warns(RobustnessWarning):
+            guarded = GuardedEngine(policy=SKIP).evaluate(batch)
+        assert guarded.masked_count == 1
+        np.testing.assert_array_equal(guarded.valid, [True, False, True])
+
+    def test_clean_batch_passes_all_policies(self):
+        batch = ScenarioBatch.from_columns(BASE, 4)
+        for policy in (STRICT, REPAIR, SKIP):
+            guarded = GuardedEngine(policy=policy).evaluate(batch)
+            assert guarded.masked_count == 0
+
+
+class TestCrossCheck:
+    def test_divergence_raises_typed_error(self, monkeypatch):
+        """A tampered kernel output that the scalar path contradicts."""
+
+        def tampered(batch, cache=None):
+            result = evaluate_cached(batch, EvaluationCache())
+            series = {
+                name: np.array(getattr(result, name))
+                for name in BatchResult.__dataclass_fields__
+            }
+            series["total_g"][0] = np.inf  # scalar path says finite
+            return BatchResult(**series)
+
+        monkeypatch.setattr("repro.robustness.guard.evaluate_cached", tampered)
+        engine = GuardedEngine(policy=STRICT)
+        with pytest.raises(DivergenceError) as excinfo:
+            engine.evaluate_columns(BASE, 4)
+        assert excinfo.value.series == "total_g"
+        assert excinfo.value.indices == (0,)
+        assert np.isinf(excinfo.value.batched[0])
+        assert np.isfinite(excinfo.value.reference[0])
+
+    def test_genuine_overflow_strict_raises_validation_error(self):
+        # Both paths overflow identically: input-driven, not divergence.
+        engine = GuardedEngine(policy=STRICT, ranges=None)
+        size, cols = columns_with(
+            energy_kwh=[1.0, 1.0e308], ci_use_g_per_kwh=[300.0, 1.0e308]
+        )
+        with pytest.raises(ValidationError) as excinfo:
+            engine.evaluate_columns(BASE, size, cols)
+        assert any(d.reason == OUTPUT for d in excinfo.value.diagnostics)
+
+    def test_genuine_overflow_skip_masks_and_warns(self):
+        engine = GuardedEngine(policy=SKIP, ranges=None)
+        size, cols = columns_with(
+            energy_kwh=[1.0, 1.0e308], ci_use_g_per_kwh=[300.0, 1.0e308]
+        )
+        with pytest.warns(RobustnessWarning, match="overflow"):
+            guarded = engine.evaluate_columns(BASE, size, cols)
+        assert guarded.masked_count == 1
+        np.testing.assert_array_equal(guarded.valid, [True, False])
+        assert np.isfinite(guarded.result.total_g).all()
+
+
+class TestWiring:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ParameterError):
+            GuardedEngine(policy="yolo")
+
+    def test_guarded_monte_carlo_matches_plain_run_bitwise(self):
+        """Zero silent wrong numbers: the guard must not perturb clean runs."""
+        plain = run_monte_carlo(BASE, draws=500, seed=11)
+        guarded = run_monte_carlo(
+            BASE, draws=500, seed=11, guard=GuardedEngine(policy=STRICT)
+        )
+        np.testing.assert_array_equal(plain.samples, guarded.samples)
+
+    def test_guarded_sweep_masks_bad_grid_points(self):
+        grids = {
+            "fab_yield": [0.6, 0.875, 2.0],  # 2.0 violates (0, 1]
+            "energy_kwh": [2.0, 8.0],
+        }
+        with pytest.warns(RobustnessWarning):
+            result = sweep_grid_batched(
+                BASE, grids, guard=GuardedEngine(policy=SKIP)
+            )
+        assert isinstance(result, GuardedSweepResult)
+        assert result.masked_count == 2  # fab_yield=2.0 × two energy points
+        assert len(result) == 4
+        clean = sweep_grid_batched(
+            BASE, {"fab_yield": [0.6, 0.875], "energy_kwh": [2.0, 8.0]}
+        )
+        np.testing.assert_array_equal(
+            np.sort(result.result.total_g), np.sort(clean.result.total_g)
+        )
+
+    def test_guarded_sweep_strict_on_clean_grid_matches_plain(self):
+        grids = {"fab_yield": [0.6, 0.875], "soc_area_cm2": [0.5, 1.0, 1.5]}
+        plain = sweep_grid_batched(BASE, grids)
+        guarded = sweep_grid_batched(
+            BASE, grids, guard=GuardedEngine(policy=STRICT)
+        )
+        np.testing.assert_array_equal(
+            plain.result.total_g, guarded.result.total_g
+        )
+        for name in FIELD_NAMES:
+            np.testing.assert_array_equal(
+                plain.batch.column(name), guarded.batch.column(name)
+            )

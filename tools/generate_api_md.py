@@ -26,6 +26,7 @@ SUBPACKAGES = (
     "repro.engine",
     "repro.dse",
     "repro.analysis",
+    "repro.robustness",
     "repro.baselines",
     "repro.scheduling",
     "repro.lca",
