@@ -20,6 +20,7 @@ from repro.core.components import DramComponent, LogicComponent
 from repro.core.errors import ParameterError
 from repro.core.metrics import DesignPoint
 from repro.core.model import Platform
+from repro.obs.context import current_context
 
 #: The paper's MAC-count sweep ("64 to 2048 MACs in powers of 2").
 MAC_SWEEP: tuple[int, ...] = (64, 128, 256, 512, 1024, 2048)
@@ -117,7 +118,14 @@ def sweep(
     node: str | float = DEFAULT_NODE, macs: tuple[int, ...] = MAC_SWEEP
 ) -> tuple[NpuDesign, ...]:
     """The full Figure 12 design-space sweep at one node."""
-    return tuple(design(n, node) for n in macs)
+    context = current_context()
+    if not context.enabled:
+        return tuple(design(n, node) for n in macs)
+    with context.span("accelerators.nvdla_sweep", node=str(node),
+                      points=len(macs)):
+        designs = tuple(design(n, node) for n in macs)
+    context.count("dse.sweep.points", len(designs))
+    return designs
 
 
 def qos_minimal_design(

@@ -27,6 +27,7 @@ from repro.core.errors import ParameterError
 from repro.core.parameters import require_positive
 from repro.engine.batch import ScenarioBatch
 from repro.engine.cache import EvaluationCache, evaluate_cached
+from repro.obs.context import current_context
 
 if TYPE_CHECKING:  # pragma: no cover - robustness sits above this module
     from repro.robustness.guard import GuardedEngine
@@ -207,8 +208,30 @@ def run_monte_carlo(
             the guard's valid rows.  Ignored on the custom-``response``
             scalar path, which validates per scenario anyway.
     """
-    if response is None and guard is not None:
-        columns = sample_parameter_columns(
+    context = current_context()
+    with context.span(
+        "analysis.montecarlo",
+        draws=draws,
+        seed=seed,
+        distribution=distribution,
+        guarded=guard is not None,
+    ):
+        if context.enabled:
+            context.count("analysis.montecarlo.draws", draws)
+        if response is None and guard is not None:
+            columns = sample_parameter_columns(
+                base,
+                parameters,
+                draws=draws,
+                seed=seed,
+                distribution=distribution,
+                ranges=ranges,
+            )
+            guarded = guard.evaluate_columns(base, draws, columns)
+            return MonteCarloResult(
+                samples=guarded.samples(), base_response=base.total_g()
+            )
+        batch = sample_scenario_batch(
             base,
             parameters,
             draws=draws,
@@ -216,27 +239,17 @@ def run_monte_carlo(
             distribution=distribution,
             ranges=ranges,
         )
-        guarded = guard.evaluate_columns(base, draws, columns)
-        return MonteCarloResult(
-            samples=guarded.samples(), base_response=base.total_g()
-        )
-    batch = sample_scenario_batch(
-        base,
-        parameters,
-        draws=draws,
-        seed=seed,
-        distribution=distribution,
-        ranges=ranges,
-    )
-    if response is None:
-        result = evaluate_cached(batch, cache)
-        samples = np.array(result.total_g, copy=True)
-        return MonteCarloResult(samples=samples, base_response=base.total_g())
+        if response is None:
+            result = evaluate_cached(batch, cache)
+            samples = np.array(result.total_g, copy=True)
+            return MonteCarloResult(
+                samples=samples, base_response=base.total_g()
+            )
 
-    samples = np.empty(draws)
-    for index, scenario in enumerate(batch.scenarios()):
-        samples[index] = response(scenario)
-    return MonteCarloResult(samples=samples, base_response=response(base))
+        samples = np.empty(draws)
+        for index, scenario in enumerate(batch.scenarios()):
+            samples[index] = response(scenario)
+        return MonteCarloResult(samples=samples, base_response=response(base))
 
 
 def embodied_share_distribution(

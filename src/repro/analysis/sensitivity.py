@@ -19,6 +19,7 @@ from repro.analysis.scenario import PARAMETER_RANGES, ActScenario, parameter_ran
 from repro.core.parameters import require_positive
 from repro.engine.batch import ScenarioBatch
 from repro.engine.cache import EvaluationCache, evaluate_cached
+from repro.obs.context import current_context
 
 Response = Callable[[ActScenario], float]
 
@@ -80,23 +81,31 @@ def tornado(
         cache: Optional evaluation cache for the batched path.
     """
     names = tuple(parameters) if parameters is not None else tuple(PARAMETER_RANGES)
-    if response is _total:
-        return _tornado_batched(base, names, cache)
-    base_value = response(base)
-    records = []
-    for name in names:
-        low, high = parameter_range(name)
-        records.append(
-            SensitivityRecord(
-                parameter=name,
-                low=low,
-                high=high,
-                response_low=response(base.replace(**{name: low})),
-                response_high=response(base.replace(**{name: high})),
-                base_response=base_value,
+    context = current_context()
+    with context.span(
+        "analysis.tornado",
+        parameters=len(names),
+        batched=response is _total,
+    ):
+        if context.enabled:
+            context.count("analysis.tornado.parameters", len(names))
+        if response is _total:
+            return _tornado_batched(base, names, cache)
+        base_value = response(base)
+        records = []
+        for name in names:
+            low, high = parameter_range(name)
+            records.append(
+                SensitivityRecord(
+                    parameter=name,
+                    low=low,
+                    high=high,
+                    response_low=response(base.replace(**{name: low})),
+                    response_high=response(base.replace(**{name: high})),
+                    base_response=base_value,
+                )
             )
-        )
-    return tuple(sorted(records, key=lambda r: r.swing, reverse=True))
+        return tuple(sorted(records, key=lambda r: r.swing, reverse=True))
 
 
 def _tornado_batched(

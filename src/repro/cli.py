@@ -28,6 +28,15 @@ Subcommands::
     act-repro baselines
         ACT vs the prior-work models (GreenChip-style inventory, exergy).
 
+    act-repro profile fig10 [--trace run.jsonl]
+        Run an experiment under a live run context and print the span
+        tree, the per-span cost table, and the metrics counters.
+
+Every subcommand additionally accepts ``--trace FILE`` (write the run's
+structured JSONL event stream to FILE) and ``--metrics`` (print the
+metrics-registry summary to stderr when the command finishes).  Without
+either flag the observability spine stays on its no-op null context.
+
 Errors from the model stack (unknown table entries, validation failures,
 checkpoint mismatches, …) exit with code 2 and a one-line message; an
 interrupted-but-checkpointed run exits with code 3 and a resume hint.
@@ -63,10 +72,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="re-raise model errors with a full traceback instead of the "
         "one-line exit-code-2 summary",
     )
+    # Observability flags shared by every subcommand (a parent parser, so
+    # they are accepted *after* the subcommand: ``experiment all --trace f``).
+    obs = argparse.ArgumentParser(add_help=False)
+    obs.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write the run's structured JSONL event stream to FILE",
+    )
+    obs.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics-registry summary to stderr on exit",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     footprint = sub.add_parser(
-        "footprint", help="embodied footprint of an ad-hoc platform"
+        "footprint",
+        help="embodied footprint of an ad-hoc platform",
+        parents=[obs],
     )
     footprint.add_argument(
         "--config", default=None,
@@ -90,24 +115,49 @@ def _build_parser() -> argparse.ArgumentParser:
         "--mix", default="taiwan_25_renewable", help="fab energy mix"
     )
 
-    cpa = sub.add_parser("cpa", help="carbon-per-area across nodes (Figure 6)")
+    cpa = sub.add_parser(
+        "cpa", help="carbon-per-area across nodes (Figure 6)", parents=[obs]
+    )
     cpa.add_argument("--mix", default="taiwan_25_renewable", help="fab energy mix")
     cpa.add_argument(
         "--abatement", type=float, default=TSMC_ABATEMENT, help="gas abatement"
     )
 
     experiment = sub.add_parser(
-        "experiment", help="regenerate a paper table/figure"
+        "experiment", help="regenerate a paper table/figure", parents=[obs]
     )
     experiment.add_argument(
         "id",
         help=f"experiment id ({', '.join(EXPERIMENTS)}), an extension id "
         "(ext-*), 'all', or 'extensions'",
     )
+    experiment.add_argument(
+        "--json",
+        action="store_true",
+        help="print machine-readable shape-check results instead of text",
+    )
 
-    sub.add_parser("socs", help="the mobile SoC catalog with embodied carbon")
+    profile = sub.add_parser(
+        "profile",
+        help="run an experiment under a live run context and print the "
+        "span tree + metrics",
+        parents=[obs],
+    )
+    profile.add_argument(
+        "id",
+        help=f"experiment id ({', '.join(EXPERIMENTS)}), an extension id "
+        "(ext-*), or 'all'",
+    )
 
-    export = sub.add_parser("export", help="dump an experiment's data")
+    sub.add_parser(
+        "socs",
+        help="the mobile SoC catalog with embodied carbon",
+        parents=[obs],
+    )
+
+    export = sub.add_parser(
+        "export", help="dump an experiment's data", parents=[obs]
+    )
     export.add_argument("id", help="experiment id")
     export.add_argument(
         "--format", choices=("csv", "json"), default="csv", help="output format"
@@ -117,7 +167,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sensitivity = sub.add_parser(
-        "sensitivity", help="tornado + Monte Carlo over the ACT parameters"
+        "sensitivity",
+        help="tornado + Monte Carlo over the ACT parameters",
+        parents=[obs],
     )
     sensitivity.add_argument(
         "--top", type=int, default=8, help="parameters to show"
@@ -130,6 +182,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "montecarlo",
         help="batched Monte Carlo footprint distribution over the Table 1 "
         "parameter ranges",
+        parents=[obs],
     )
     montecarlo.add_argument(
         "--draws", type=int, default=10_000, help="Monte Carlo samples"
@@ -181,10 +234,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "runs out",
     )
 
-    sub.add_parser("baselines", help="compare ACT against prior-work models")
+    sub.add_parser(
+        "baselines",
+        help="compare ACT against prior-work models",
+        parents=[obs],
+    )
 
     report = sub.add_parser(
-        "report", help="generate a product environmental report (Markdown)"
+        "report",
+        help="generate a product environmental report (Markdown)",
+        parents=[obs],
     )
     report.add_argument(
         "--config", required=True, help="JSON platform description"
@@ -197,7 +256,9 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--lifetime-years", type=float, default=3.0)
 
     sub.add_parser(
-        "validate", help="run integrity checks over the bundled data tables"
+        "validate",
+        help="run integrity checks over the bundled data tables",
+        parents=[obs],
     )
     return parser
 
@@ -251,21 +312,72 @@ def _cmd_cpa(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
-    key = args.id.strip().lower()
-    if key in ("all", "extensions"):
+def _run_experiment_set(experiment_id: str):
+    """The results named by an experiment id / 'all' / 'extensions'."""
+    key = experiment_id.strip().lower()
+    if key == "all":
+        return run_all()
+    if key == "extensions":
         from repro.experiments import run_all_extensions
 
-        results = run_all() if key == "all" else run_all_extensions()
+        return run_all_extensions()
+    return (run_experiment(experiment_id),)
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    key = args.id.strip().lower()
+    results = _run_experiment_set(args.id)
+    failures = [c for r in results for c in r.failed_checks()]
+    if args.json:
+        import json
+
+        payload = {
+            "experiments": [result.as_dict() for result in results],
+            "all_passed": not failures,
+        }
+        print(json.dumps(payload, indent=2))
+        return 1 if failures else 0
+    if key in ("all", "extensions"):
         print(result_summary(results))
-        failures = [c for r in results for c in r.failed_checks()]
         for check in failures:
             print(f"FAIL: {check.name} (observed {check.observed}, "
                   f"expected {check.expected})")
         return 1 if failures else 0
-    result = run_experiment(args.id)
-    print(result.render_text())
-    return 0 if result.all_passed else 1
+    print(results[0].render_text())
+    return 1 if failures else 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.engine.cache import DEFAULT_CACHE
+    from repro.obs.context import current_context
+    from repro.obs.trace import span_cost_table
+
+    context = current_context()
+    # Scope the process-wide cache's statistics to this profiled run, then
+    # mirror them into the event stream so the trace carries hit/miss
+    # counts even for experiments that never enter the cached path.
+    DEFAULT_CACHE.reset_stats()
+    results = _run_experiment_set(args.id)
+    stats = DEFAULT_CACHE.stats()
+    context.event("cache_stats", **stats.as_dict())
+    print(result_summary(results))
+    print()
+    print("span tree:")
+    print(context.tracer.render_tree())
+    costs = span_cost_table(context.tracer)
+    if len(costs) > 1:
+        print()
+        print("per-experiment cost:")
+        rows = [(name, round(seconds * 1e3, 3)) for name, seconds in costs]
+        print(ascii_table(("experiment", "wall ms"), rows))
+    print()
+    print(context.metrics.render())
+    print(
+        f"cache: {stats.hits} hits, {stats.misses} misses, "
+        f"{stats.evictions} evictions"
+    )
+    failures = [c for r in results for c in r.failed_checks()]
+    return 1 if failures else 0
 
 
 def _cmd_socs(_: argparse.Namespace) -> int:
@@ -354,11 +466,16 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
         print("percentiles must be numbers in [0, 100]", file=sys.stderr)
         return 2
 
+    from repro.engine.cache import EvaluationCache
+
+    # A private cache so the printed hit/miss/eviction stats describe this
+    # run alone, not whatever the process-wide cache accumulated before.
+    cache = EvaluationCache()
     guard = None
     if args.policy != "off":
         from repro.robustness import GuardedEngine
 
-        guard = GuardedEngine(policy=args.policy)
+        guard = GuardedEngine(policy=args.policy, cache=cache)
 
     base = ActScenario()
     started = time.perf_counter()
@@ -390,6 +507,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
             resume=args.resume,
             cancel=cancel,
             guard=guard,
+            cache=cache,
         )
     else:
         result = run_monte_carlo(
@@ -398,6 +516,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
             seed=args.seed,
             distribution=args.distribution,
             guard=guard,
+            cache=cache,
         )
     elapsed = time.perf_counter() - started
     print(
@@ -421,6 +540,12 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
     print(ascii_table(("percentile", "kg CO2e"), rows))
     rate = args.draws / elapsed if elapsed > 0 else float("inf")
     print(f"throughput: {rate:,.0f} points/sec ({elapsed * 1e3:.1f} ms)")
+    stats = cache.stats()
+    print(
+        f"cache: {stats.hits} hits, {stats.misses} misses, "
+        f"{stats.evictions} evictions ({stats.hit_rate:.0%} hit rate, "
+        f"{stats.size}/{stats.capacity} entries)"
+    )
     return 0
 
 
@@ -496,12 +621,35 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "cpa": _cmd_cpa,
     "experiment": _cmd_experiment,
+    "profile": _cmd_profile,
     "socs": _cmd_socs,
     "export": _cmd_export,
     "sensitivity": _cmd_sensitivity,
     "montecarlo": _cmd_montecarlo,
     "baselines": _cmd_baselines,
 }
+
+
+def _build_context(
+    args: argparse.Namespace, argv: Sequence[str] | None
+) -> "RunContext | None":
+    """An enabled run context when the invocation asked for observability.
+
+    ``--trace``, ``--metrics``, and the ``profile`` subcommand all turn the
+    spine on; every other invocation keeps the no-op null context.
+    """
+    from repro.obs.context import RunContext
+
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None and not getattr(args, "metrics", False) and (
+        args.command != "profile"
+    ):
+        return None
+    return RunContext.create(
+        trace_path=trace_path,
+        seed=getattr(args, "seed", None),
+        argv=list(argv) if argv is not None else sys.argv[1:],
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -513,10 +661,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     hint.  ``--debug`` re-raises for a full traceback.
     """
     from repro.core.errors import ReproError, RunInterrupted
+    from repro.obs.context import use_context
 
     args = _build_parser().parse_args(argv)
+    context = _build_context(args, argv)
     try:
-        return _COMMANDS[args.command](args)
+        if context is None:
+            return _COMMANDS[args.command](args)
+        with use_context(context):
+            return _COMMANDS[args.command](args)
     except RunInterrupted as error:
         if args.debug:
             raise
@@ -532,6 +685,18 @@ def main(argv: Sequence[str] | None = None) -> int:
             raise
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if context is not None:
+            if getattr(args, "metrics", False):
+                print("== metrics ==", file=sys.stderr)
+                print(context.metrics.render(), file=sys.stderr)
+            context.close()
+            trace_path = getattr(args, "trace", None)
+            if trace_path is not None:
+                print(
+                    f"trace: {context.sink.emitted} events -> {trace_path}",
+                    file=sys.stderr,
+                )
 
 
 if __name__ == "__main__":

@@ -28,6 +28,7 @@ from repro.engine.metrics import (
     stack_design_points,
     winners_batched,
 )
+from repro.obs.context import current_context
 
 
 @dataclass(frozen=True)
@@ -109,20 +110,26 @@ def explore(
         raise ConstraintError("cannot explore an empty candidate set")
     _require_finite_points(points)
     names = tuple(metric_names) if metric_names is not None else tuple(METRICS)
-    front = pareto_front(
-        tuple(points),
-        (
-            lambda p: p.embodied_carbon_g,
-            lambda p: p.energy_kwh,
-            lambda p: p.delay_s,
-        ),
-    )
-    return ExplorationResult(
-        points=tuple(points),
-        scores=score_table(points, names),
-        winners=winners(points, names),
-        pareto=front,
-    )
+    context = current_context()
+    with context.span(
+        "dse.explore", candidates=len(points), metrics=len(names)
+    ):
+        if context.enabled:
+            context.count("dse.candidates", len(points))
+        front = pareto_front(
+            tuple(points),
+            (
+                lambda p: p.embodied_carbon_g,
+                lambda p: p.energy_kwh,
+                lambda p: p.delay_s,
+            ),
+        )
+        return ExplorationResult(
+            points=tuple(points),
+            scores=score_table(points, names),
+            winners=winners(points, names),
+            pareto=front,
+        )
 
 
 def explore_batched(
@@ -140,24 +147,30 @@ def explore_batched(
         raise ConstraintError("cannot explore an empty candidate set")
     _require_finite_points(points)
     names = tuple(metric_names) if metric_names is not None else tuple(METRICS)
-    columns = stack_design_points(points)
-    objectives = np.stack(
-        (
-            columns["embodied_carbon_g"],
-            columns["energy_kwh"],
-            columns["delay_s"],
-        ),
-        axis=1,
-    )
-    mask = pareto_mask(objectives)
-    return ExplorationResult(
-        points=tuple(points),
-        scores=score_table_batched(points, names),
-        winners=winners_batched(points, names),
-        pareto=tuple(
-            point for point, keep in zip(points, mask) if keep
-        ),
-    )
+    context = current_context()
+    with context.span(
+        "dse.explore_batched", candidates=len(points), metrics=len(names)
+    ):
+        if context.enabled:
+            context.count("dse.candidates", len(points))
+        columns = stack_design_points(points)
+        objectives = np.stack(
+            (
+                columns["embodied_carbon_g"],
+                columns["energy_kwh"],
+                columns["delay_s"],
+            ),
+            axis=1,
+        )
+        mask = pareto_mask(objectives)
+        return ExplorationResult(
+            points=tuple(points),
+            scores=score_table_batched(points, names),
+            winners=winners_batched(points, names),
+            pareto=tuple(
+                point for point, keep in zip(points, mask) if keep
+            ),
+        )
 
 
 def metric_disagreement(result: ExplorationResult) -> float:

@@ -36,6 +36,7 @@ from repro.core.errors import ConstraintError
 from repro.engine.batch import ScenarioBatch, product_columns, product_params
 from repro.engine.cache import EvaluationCache, evaluate_cached
 from repro.engine.kernels import BatchResult
+from repro.obs.context import current_context
 
 if TYPE_CHECKING:  # pragma: no cover - robustness sits above this module
     from repro.robustness.guard import ColumnDiagnostic, GuardedEngine
@@ -98,10 +99,15 @@ def sweep_1d(
         values: Grid of parameter values.
         evaluate: Maps one parameter value to a design/result object.
     """
-    return tuple(
-        SweepRecord(params={name: value}, design=evaluate(value))
-        for value in values
-    )
+    context = current_context()
+    with context.span("dse.sweep_1d", parameter=name):
+        records = tuple(
+            SweepRecord(params={name: value}, design=evaluate(value))
+            for value in values
+        )
+    if context.enabled:
+        context.count("dse.sweep.points", len(records))
+    return records
 
 
 def sweep_grid(
@@ -115,10 +121,16 @@ def sweep_grid(
     if not grids:
         raise ConstraintError("at least one parameter grid is required")
     names = tuple(grids)
-    records = []
-    for combo in itertools.product(*(grids[name] for name in names)):
-        params = dict(zip(names, combo))
-        records.append(SweepRecord(params=params, design=evaluate(**params)))
+    context = current_context()
+    with context.span("dse.sweep_grid_scalar", dimensions=len(names)):
+        records = []
+        for combo in itertools.product(*(grids[name] for name in names)):
+            params = dict(zip(names, combo))
+            records.append(
+                SweepRecord(params=params, design=evaluate(**params))
+            )
+    if context.enabled:
+        context.count("dse.sweep.points", len(records))
     return tuple(records)
 
 
@@ -217,20 +229,30 @@ def sweep_grid_batched(
     """
     if not grids:
         raise ConstraintError("at least one parameter grid is required")
-    if guard is not None:
-        size, columns = product_columns(base, grids)
-        guarded = guard.evaluate_columns(base, size, columns)
-        return GuardedSweepResult(
-            names=tuple(grids),
-            batch=guarded.batch,
-            result=guarded.result,
-            valid=guarded.valid,
-            source_indices=guarded.indices,
-            diagnostics=guarded.diagnostics,
-        )
-    batch = ScenarioBatch.from_product(base, grids)
-    result = evaluate_cached(batch, cache)
-    return BatchSweepResult(names=tuple(grids), batch=batch, result=result)
+    context = current_context()
+    with context.span(
+        "dse.sweep_grid",
+        dimensions=len(grids),
+        guarded=guard is not None,
+    ):
+        if guard is not None:
+            size, columns = product_columns(base, grids)
+            if context.enabled:
+                context.count("dse.sweep.points", size)
+            guarded = guard.evaluate_columns(base, size, columns)
+            return GuardedSweepResult(
+                names=tuple(grids),
+                batch=guarded.batch,
+                result=guarded.result,
+                valid=guarded.valid,
+                source_indices=guarded.indices,
+                diagnostics=guarded.diagnostics,
+            )
+        batch = ScenarioBatch.from_product(base, grids)
+        if context.enabled:
+            context.count("dse.sweep.points", len(batch))
+        result = evaluate_cached(batch, cache)
+        return BatchSweepResult(names=tuple(grids), batch=batch, result=result)
 
 
 def argmin(

@@ -18,6 +18,7 @@ a design space.
 from repro.engine.batch import FIELD_NAMES, ScenarioBatch, product_params
 from repro.engine.cache import (
     DEFAULT_CACHE,
+    CacheStats,
     EvaluationCache,
     batch_key,
     evaluate_cached,
@@ -42,6 +43,7 @@ from repro.engine.metrics import (
 
 __all__ = [
     "BatchResult",
+    "CacheStats",
     "DEFAULT_CACHE",
     "EvaluationCache",
     "FIELD_NAMES",

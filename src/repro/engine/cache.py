@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.core.parameters import require_positive
 from repro.engine.batch import FIELD_NAMES, ScenarioBatch
 from repro.engine.kernels import BatchResult, evaluate_batch
+from repro.obs.context import current_context
 
 
 def batch_key(batch: ScenarioBatch) -> str:
@@ -38,6 +39,40 @@ def batch_key(batch: ScenarioBatch) -> str:
     return digest.hexdigest()
 
 
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of one cache's counters.
+
+    Attributes:
+        hits / misses / evictions: Running counters since the last reset.
+        size: Entries currently stored.
+        capacity: Maximum entries retained.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of evaluations served from cache (0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """The snapshot as a plain dict (for JSON events and CLI output)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_rate": self.hit_rate,
+        }
+
+
 @dataclass
 class EvaluationCache:
     """An LRU content-hash cache of batched model evaluations.
@@ -45,12 +80,14 @@ class EvaluationCache:
     Attributes:
         capacity: Maximum number of batch results retained; least recently
             used entries are evicted first.
-        hits / misses: Running counters for observability and tests.
+        hits / misses / evictions: Running counters for observability and
+            tests (see :meth:`stats` for an atomic snapshot).
     """
 
     capacity: int = 64
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
     _store: "OrderedDict[str, BatchResult]" = field(default_factory=OrderedDict)
 
     def __post_init__(self) -> None:
@@ -60,26 +97,54 @@ class EvaluationCache:
         return len(self._store)
 
     def evaluate(self, batch: ScenarioBatch) -> BatchResult:
-        """Eq. 1-8 over ``batch``, reusing any previous identical evaluation."""
+        """Eq. 1-8 over ``batch``, reusing any previous identical evaluation.
+
+        Hits, misses, and evictions are mirrored to the active
+        :class:`~repro.obs.context.RunContext` as ``engine.cache.*``
+        counters; the null context makes that a no-op.
+        """
+        context = current_context()
         key = batch_key(batch)
         cached = self._store.get(key)
         if cached is not None and len(cached) == len(batch):
             self.hits += 1
             self._store.move_to_end(key)
+            if context.enabled:
+                context.count("engine.cache.hits")
             return cached
         self.misses += 1
+        if context.enabled:
+            context.count("engine.cache.misses")
         result = evaluate_batch(batch)
         self._store[key] = result
         self._store.move_to_end(key)
         while len(self._store) > self.capacity:
             self._store.popitem(last=False)
+            self.evictions += 1
+            if context.enabled:
+                context.count("engine.cache.evictions")
         return result
+
+    def stats(self) -> CacheStats:
+        """A snapshot of the counters, size, and capacity."""
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            size=len(self._store),
+            capacity=self.capacity,
+        )
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters (stored entries are kept)."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def clear(self) -> None:
         """Drop every cached result and reset the counters."""
         self._store.clear()
-        self.hits = 0
-        self.misses = 0
+        self.reset_stats()
 
     @property
     def hit_rate(self) -> float:

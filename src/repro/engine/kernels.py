@@ -14,11 +14,13 @@ series in a :class:`BatchResult`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.engine.batch import ScenarioBatch
+from repro.obs.context import current_context
 
 
 def cpa_g_per_cm2(
@@ -116,7 +118,28 @@ class BatchResult:
 
 
 def evaluate_batch(batch: ScenarioBatch) -> BatchResult:
-    """Run Eq. 1-8 over every row of ``batch`` in one vectorized pass."""
+    """Run Eq. 1-8 over every row of ``batch`` in one vectorized pass.
+
+    Under an active :class:`~repro.obs.context.RunContext` the pass is
+    recorded as an ``engine.evaluate_batch`` span and the registry accrues
+    ``engine.rows_evaluated`` and ``engine.kernel_seconds``; under the
+    default null context the only cost is one attribute check.
+    """
+    context = current_context()
+    if not context.enabled:
+        return _evaluate_batch_arrays(batch)
+    rows = len(batch)
+    started = time.perf_counter()
+    with context.span("engine.evaluate_batch", rows=rows):
+        result = _evaluate_batch_arrays(batch)
+    context.count("engine.batches_evaluated")
+    context.count("engine.rows_evaluated", rows)
+    context.observe("engine.kernel_seconds", time.perf_counter() - started)
+    return result
+
+
+def _evaluate_batch_arrays(batch: ScenarioBatch) -> BatchResult:
+    """The uninstrumented Eq. 1-8 kernel pass over a batch."""
     cpa = cpa_g_per_cm2(
         batch.ci_fab_g_per_kwh,
         batch.epa_kwh_per_cm2,

@@ -47,6 +47,7 @@ from repro.experiments.base import (
     check_in_band,
     check_true,
     result_summary,
+    traced_run,
 )
 
 _MODULES = (
@@ -99,9 +100,9 @@ def run_experiment(experiment_id: str) -> ExperimentResult:
     ``"ext-dvfs"``)."""
     key = experiment_id.strip().lower()
     if key in EXPERIMENTS:
-        return EXPERIMENTS[key]()
+        return traced_run(key, EXPERIMENTS[key])
     if key in EXTENSION_EXPERIMENTS:
-        return EXTENSION_EXPERIMENTS[key]()
+        return traced_run(key, EXTENSION_EXPERIMENTS[key])
     raise UnknownEntryError(
         "experiment", experiment_id,
         list(EXPERIMENTS) + list(EXTENSION_EXPERIMENTS),
@@ -109,13 +110,22 @@ def run_experiment(experiment_id: str) -> ExperimentResult:
 
 
 def run_all() -> tuple[ExperimentResult, ...]:
-    """Run every paper-artifact experiment, in presentation order."""
-    return tuple(module.run() for module in _MODULES)
+    """Run every paper-artifact experiment, in presentation order.
+
+    Under an active run context each experiment is one root span, so the
+    tracer's roots double as a per-figure cost table.
+    """
+    return tuple(
+        traced_run(module.EXPERIMENT_ID, module.run) for module in _MODULES
+    )
 
 
 def run_all_extensions() -> tuple[ExperimentResult, ...]:
     """Run every extension experiment."""
-    return tuple(module.run() for module in _EXTENSION_MODULES)
+    return tuple(
+        traced_run(module.EXPERIMENT_ID, module.run)
+        for module in _EXTENSION_MODULES
+    )
 
 
 __all__ = [
@@ -131,4 +141,5 @@ __all__ = [
     "run_all",
     "run_all_extensions",
     "run_experiment",
+    "traced_run",
 ]

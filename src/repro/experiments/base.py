@@ -11,8 +11,9 @@ checks, so the document can never drift from what the code verifies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
+from repro.obs.context import current_context
 from repro.reporting.figures import FigureData
 from repro.reporting.tables import ascii_table
 
@@ -33,6 +34,15 @@ class Check:
     observed: str
     expected: str
 
+    def as_dict(self) -> dict[str, object]:
+        """The check as a JSON-serializable dict."""
+        return {
+            "name": self.name,
+            "passed": self.passed,
+            "observed": self.observed,
+            "expected": self.expected,
+        }
+
 
 def check_equal(name: str, observed: object, expected: object) -> Check:
     """A check that two values (e.g. winner names) match exactly."""
@@ -45,15 +55,31 @@ def check_equal(name: str, observed: object, expected: object) -> Check:
 
 
 def check_close(
-    name: str, observed: float, expected: float, *, rel_tol: float
+    name: str,
+    observed: float,
+    expected: float,
+    *,
+    rel_tol: float,
+    abs_tol: float | None = None,
 ) -> Check:
-    """A check that a measured value lands within ``rel_tol`` of the paper's."""
-    passed = expected != 0 and abs(observed - expected) <= rel_tol * abs(expected)
+    """A check that a measured value lands within ``rel_tol`` of the paper's.
+
+    A zero-valued paper reference has no meaningful relative band, so the
+    comparison falls back to an absolute tolerance: ``abs_tol`` when given,
+    else ``rel_tol`` itself as an absolute bound.
+    """
+    if expected == 0:
+        tolerance = abs_tol if abs_tol is not None else rel_tol
+        passed = abs(observed - expected) <= tolerance
+        expected_text = f"{expected:.4g} (±{tolerance:.4g} abs)"
+    else:
+        passed = abs(observed - expected) <= rel_tol * abs(expected)
+        expected_text = f"{expected:.4g} (±{rel_tol:.0%})"
     return Check(
         name=name,
         passed=passed,
         observed=f"{observed:.4g}",
-        expected=f"{expected:.4g} (±{rel_tol:.0%})",
+        expected=expected_text,
     )
 
 
@@ -105,6 +131,17 @@ class ExperimentResult:
         """The checks that did not hold (should be empty)."""
         return tuple(check for check in self.checks if not check.passed)
 
+    def as_dict(self) -> dict[str, object]:
+        """Shape-check results as a JSON-serializable dict (``--json``)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "all_passed": self.all_passed,
+            "figures": len(self.figures),
+            "table_rows": len(self.table_rows),
+            "checks": [check.as_dict() for check in self.checks],
+        }
+
     def render_text(self) -> str:
         """Human-readable report: data first, then the check scorecard."""
         lines = [f"== {self.experiment_id}: {self.title} =="]
@@ -121,6 +158,30 @@ class ExperimentResult:
                     f"expected {check.expected}"
                 )
         return "\n".join(lines)
+
+
+def traced_run(
+    experiment_id: str, run: Callable[[], ExperimentResult]
+) -> ExperimentResult:
+    """Run one experiment inside an ``experiment.<id>`` span.
+
+    Every registry entry point goes through here, so an active
+    :class:`~repro.obs.context.RunContext` sees one root span per
+    regenerated figure/table — the per-figure cost table ``run_all``
+    produces — with the experiment's nested analysis/engine spans below
+    it.  Under the null context this is a plain call.
+    """
+    context = current_context()
+    if not context.enabled:
+        return run()
+    with context.span(f"experiment.{experiment_id}") as span:
+        result = run()
+        span.attributes["checks"] = len(result.checks)
+        span.attributes["passed"] = result.all_passed
+    context.count("experiments.run")
+    if not result.all_passed:
+        context.count("experiments.failed_checks", len(result.failed_checks()))
+    return result
 
 
 def result_summary(results: Sequence[ExperimentResult]) -> str:

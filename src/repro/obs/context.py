@@ -1,0 +1,200 @@
+"""The RunContext: one object every layer reports through.
+
+Instead of ad-hoc prints and buried counters, the engine, robustness,
+analysis, DSE, and experiment layers all observe through the *active*
+:class:`RunContext` — a bundle of a :class:`~repro.obs.trace.Tracer`,
+a :class:`~repro.obs.metrics.MetricsRegistry`, an event sink, and a
+:class:`~repro.obs.manifest.RunManifest`.
+
+The default active context is :data:`NULL_CONTEXT`, a no-op whose
+``enabled`` flag is ``False``: instrumented code guards with one attribute
+check (or calls the no-op methods, which do nothing), so the hot path costs
+essentially nothing when nobody is watching.  The CLI's ``--trace`` /
+``--metrics`` flags and the ``profile`` subcommand install a real context
+with :func:`use_context`; library callers can do the same::
+
+    with use_context(RunContext.create(trace_path="run.jsonl")) as ctx:
+        run_monte_carlo(base, draws=100_000)
+    print(ctx.tracer.render_tree())
+
+Context activation is process-global (a simple stack), matching how the
+stack is used: one run at a time per process.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Mapping
+
+from repro.obs.events import EventSink, JsonlEventSink, MemoryEventSink
+from repro.obs.manifest import RunManifest, build_manifest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+
+class _NullSpan:
+    """A reusable no-op context manager standing in for a real span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class RunContext:
+    """An active observability context: tracer + metrics + events + manifest.
+
+    Attributes:
+        enabled: ``True`` — instrumented code may use this flag to skip
+            attribute preparation entirely under the null context.
+        tracer: The span tree collector.
+        metrics: The counter/timer/histogram registry.
+        sink: Structured event sink (span events are mirrored here).
+        manifest: Provenance of the run (emitted as the first event).
+    """
+
+    enabled: bool = True
+
+    def __init__(
+        self,
+        *,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        sink: EventSink | None = None,
+        manifest: RunManifest | None = None,
+    ) -> None:
+        self.sink = sink if sink is not None else EventSink()
+        self.tracer = tracer if tracer is not None else Tracer()
+        if self.tracer.on_event is None:
+            self.tracer.on_event = self._span_event
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.manifest = manifest
+        self._closed = False
+        if manifest is not None:
+            self.sink.emit("run_start", manifest=manifest.as_dict())
+
+    @classmethod
+    def create(
+        cls,
+        *,
+        trace_path: str | None = None,
+        seed: int | None = None,
+        parameters: Mapping[str, object] | None = None,
+        argv: "list[str] | tuple[str, ...] | None" = None,
+        describe_git: bool = True,
+    ) -> "RunContext":
+        """A fully-wired context: JSONL sink when ``trace_path`` is given
+        (in-memory otherwise), fresh tracer/metrics, and a built manifest."""
+        sink: EventSink = (
+            JsonlEventSink(trace_path) if trace_path else MemoryEventSink()
+        )
+        manifest = build_manifest(
+            seed=seed, parameters=parameters, argv=argv,
+            describe_git=describe_git,
+        )
+        return cls(sink=sink, manifest=manifest)
+
+    # --- instrumentation API (what the layers call) ---------------------
+
+    def span(self, name: str, **attributes: object):
+        """A nested, timed span (also mirrored to the event sink)."""
+        return self.tracer.span(name, **attributes)
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Increment a named counter."""
+        self.metrics.count(name, value)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record a duration observation."""
+        self.metrics.observe(name, seconds)
+
+    def record(self, name: str, value: float) -> None:
+        """Record a value into a histogram."""
+        self.metrics.record(name, value)
+
+    def event(self, event: str, **fields: object) -> None:
+        """Emit a structured event to the sink."""
+        self.sink.emit(event, **fields)
+
+    # --- lifecycle ------------------------------------------------------
+
+    def _span_event(self, kind: str, span: Span) -> None:
+        if kind == "span_start":
+            self.sink.emit(
+                "span_start", name=span.name, attributes=span.attributes
+            )
+        else:
+            self.sink.emit(
+                "span_end",
+                name=span.name,
+                attributes=span.attributes,
+                duration_s=span.duration_s,
+                status=span.status,
+            )
+
+    def close(self) -> None:
+        """Emit the final metrics snapshot and close the sink (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.sink.emit("run_end", metrics=self.metrics.snapshot())
+        self.sink.close()
+
+
+class NullRunContext(RunContext):
+    """The do-nothing default context; every operation is a no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(sink=EventSink())
+
+    def span(self, name: str, **attributes: object):
+        return _NULL_SPAN
+
+    def count(self, name: str, value: float = 1) -> None:
+        return None
+
+    def observe(self, name: str, seconds: float) -> None:
+        return None
+
+    def record(self, name: str, value: float) -> None:
+        return None
+
+    def event(self, event: str, **fields: object) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+#: The process-wide default: observability off, zero work per call.
+NULL_CONTEXT = NullRunContext()
+
+_ACTIVE: list[RunContext] = [NULL_CONTEXT]
+
+
+def current_context() -> RunContext:
+    """The innermost active context (the null context by default)."""
+    return _ACTIVE[-1]
+
+
+@contextmanager
+def use_context(context: RunContext) -> Iterator[RunContext]:
+    """Make ``context`` the active one for the duration of the block.
+
+    Activations nest; the previous context is restored on exit.  The
+    context is *not* closed on exit — callers decide when to
+    :meth:`RunContext.close` (the CLI closes after printing summaries).
+    """
+    _ACTIVE.append(context)
+    try:
+        yield context
+    finally:
+        _ACTIVE.pop()

@@ -1,0 +1,101 @@
+"""Structured event sinks: the JSONL audit stream of a traced run.
+
+Every observable happening — run start/end, span enter/exit, checkpoint
+save/restore, chunk progress — is one flat JSON object per line.  The
+schema is deliberately minimal and stable:
+
+* ``ts`` — wall-clock Unix timestamp (seconds, float);
+* ``event`` — the event type (``run_start``, ``span_start``, ``span_end``,
+  ``checkpoint_save``, ``checkpoint_restore``, ``chunk``, ``metric``,
+  ``run_end``);
+* everything else — event-specific fields (span ``name`` and ``attributes``,
+  chunk ``completed``/``total``, the final metrics snapshot, ...).
+
+A line-oriented format means a killed run still leaves a readable prefix,
+and ``jq``/pandas can consume the stream without a schema registry.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import IO, Mapping
+
+
+class EventSink:
+    """Base sink: silently drops every event (the null object)."""
+
+    def emit(self, event: str, **fields: object) -> None:
+        """Record one event (no-op in the base sink)."""
+
+    def close(self) -> None:
+        """Flush and release any underlying resources (no-op here)."""
+
+
+def _jsonable(value: object) -> object:
+    """Coerce numpy scalars / paths / exotic values into JSON-safe types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, Mapping):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(item) for item in value]
+    item = getattr(value, "item", None)  # numpy scalar
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+class MemoryEventSink(EventSink):
+    """Keeps every event in a list — the test- and profile-friendly sink."""
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, object]] = []
+
+    def emit(self, event: str, **fields: object) -> None:
+        record: dict[str, object] = {"ts": time.time(), "event": event}
+        record.update({key: _jsonable(value) for key, value in fields.items()})
+        self.events.append(record)
+
+    def of_type(self, event: str) -> list[dict[str, object]]:
+        """Every recorded event of one type, in order."""
+        return [record for record in self.events if record["event"] == event]
+
+
+class JsonlEventSink(EventSink):
+    """Appends one JSON object per event to a file (or file-like object).
+
+    The file is opened lazily on the first event and flushed per line, so
+    an interrupted run leaves a valid (truncated) JSONL prefix.
+    """
+
+    def __init__(self, target: str | IO[str]) -> None:
+        if isinstance(target, str):
+            self.path: str | None = target
+            self._handle: IO[str] | None = None
+        else:
+            self.path = None
+            self._handle = target
+        self.emitted = 0
+
+    def _file(self) -> IO[str]:
+        if self._handle is None:
+            assert self.path is not None
+            self._handle = open(self.path, "w", encoding="utf-8")
+        return self._handle
+
+    def emit(self, event: str, **fields: object) -> None:
+        record: dict[str, object] = {"ts": time.time(), "event": event}
+        record.update({key: _jsonable(value) for key, value in fields.items()})
+        handle = self._file()
+        handle.write(json.dumps(record) + "\n")
+        handle.flush()
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._handle is not None and self.path is not None:
+            self._handle.close()
+            self._handle = None

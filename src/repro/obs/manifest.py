@@ -1,0 +1,138 @@
+"""Run manifests: enough provenance to reproduce (or distrust) a run.
+
+ACT-style sustainability explorations are only as good as their audit
+trail — a CO2 number without the seed, code version, and parameter
+fingerprint that produced it cannot be reproduced or compared.  A
+:class:`RunManifest` captures exactly that, and is emitted as the first
+event of every traced run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import platform as platform_module
+import subprocess
+import sys
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+def fingerprint_parameters(parameters: Mapping[str, object]) -> str:
+    """SHA-256 over the sorted (name, repr(value)) pairs of a parameter set.
+
+    Two runs with identical fingerprints evaluated the same configuration;
+    the reverse holds as long as ``repr`` is faithful (true for the float /
+    int / str parameters the stack uses).
+    """
+    digest = hashlib.sha256()
+    for name in sorted(parameters):
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(repr(parameters[name]).encode("utf-8"))
+        digest.update(b"\x01")
+    return digest.hexdigest()
+
+
+def git_describe(cwd: str | None = None) -> str | None:
+    """``git describe --always --dirty`` of the working tree, or ``None``
+    when git (or a repository) is unavailable."""
+    try:
+        completed = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip() or None
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance of one run: who, what, with which inputs.
+
+    Attributes:
+        run_id: Random unique id for correlating events and artifacts.
+        created_at: Unix timestamp of manifest creation.
+        seed: RNG seed of the run, if one applies.
+        argv: The command line, if the run came from the CLI.
+        python: Interpreter version string.
+        numpy: numpy version string.
+        platform: OS/machine identifier.
+        git: ``git describe`` of the source tree, or ``None``.
+        parameters_fingerprint: SHA-256 of the run's parameter set, or
+            ``None`` when no parameters were registered.
+        extra: Free-form caller additions.
+    """
+
+    run_id: str
+    created_at: float
+    seed: int | None = None
+    argv: tuple[str, ...] | None = None
+    python: str = ""
+    numpy: str = ""
+    platform: str = ""
+    git: str | None = None
+    parameters_fingerprint: str | None = None
+    extra: Mapping[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        """The manifest as a JSON-serializable dict."""
+        return {
+            "run_id": self.run_id,
+            "created_at": self.created_at,
+            "seed": self.seed,
+            "argv": list(self.argv) if self.argv is not None else None,
+            "python": self.python,
+            "numpy": self.numpy,
+            "platform": self.platform,
+            "git": self.git,
+            "parameters_fingerprint": self.parameters_fingerprint,
+            "extra": dict(self.extra),
+        }
+
+
+def build_manifest(
+    *,
+    seed: int | None = None,
+    parameters: Mapping[str, object] | None = None,
+    argv: "list[str] | tuple[str, ...] | None" = None,
+    extra: Mapping[str, object] | None = None,
+    describe_git: bool = True,
+) -> RunManifest:
+    """Assemble a :class:`RunManifest` for the current process.
+
+    Args:
+        seed: The run's RNG seed, if any.
+        parameters: Parameter assignment to fingerprint (e.g. the base
+            scenario's ``as_dict()``).
+        argv: CLI arguments, when invoked from the command line.
+        extra: Additional caller-supplied provenance.
+        describe_git: Set ``False`` to skip the (subprocess) git lookup.
+    """
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = "unavailable"
+    return RunManifest(
+        run_id=uuid.uuid4().hex,
+        created_at=time.time(),
+        seed=seed,
+        argv=tuple(argv) if argv is not None else None,
+        python=sys.version.split()[0],
+        numpy=numpy_version,
+        platform=platform_module.platform(),
+        git=git_describe() if describe_git else None,
+        parameters_fingerprint=(
+            fingerprint_parameters(parameters) if parameters else None
+        ),
+        extra=dict(extra or {}),
+    )

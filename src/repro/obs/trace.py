@@ -1,0 +1,160 @@
+"""Nested-span tracing for batched runs.
+
+A :class:`Tracer` records a tree of timed :class:`Span` objects — one per
+``with tracer.span(...)`` block — so a profiled run can answer "where did
+the time go?" at every layer: experiment → analysis/sweep → engine kernels.
+Span enter/exit can be mirrored to an event sink as structured
+``span_start`` / ``span_end`` events, which is how the CLI's ``--trace``
+JSONL file is produced.
+
+Timing uses ``time.perf_counter`` offsets from the tracer's construction,
+so spans are orderable and durations are monotonic even if the wall clock
+jumps mid-run.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping
+
+
+@dataclass
+class Span:
+    """One timed, attributed section of a run.
+
+    Attributes:
+        name: Dotted span name (``"engine.evaluate_batch"``).
+        attributes: Caller-supplied labels (row counts, policies, ids).
+        started_s: Start offset from the tracer epoch (seconds).
+        ended_s: End offset, or ``None`` while the span is open.
+        children: Spans opened while this one was the innermost.
+        status: ``"ok"``, or ``"error"`` when the block raised.
+    """
+
+    name: str
+    attributes: dict[str, object] = field(default_factory=dict)
+    started_s: float = 0.0
+    ended_s: float | None = None
+    children: list["Span"] = field(default_factory=list)
+    status: str = "ok"
+
+    @property
+    def duration_s(self) -> float:
+        """Span duration in seconds (0 while still open)."""
+        if self.ended_s is None:
+            return 0.0
+        return self.ended_s - self.started_s
+
+    def walk(self, depth: int = 0) -> Iterator[tuple[int, "Span"]]:
+        """Depth-first (depth, span) traversal of this subtree."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def subtree_depth(self) -> int:
+        """Nesting levels in this subtree (a leaf span counts as 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.subtree_depth() for child in self.children)
+
+
+def _format_attributes(attributes: Mapping[str, object]) -> str:
+    return " ".join(f"{key}={value}" for key, value in attributes.items())
+
+
+class Tracer:
+    """Collects a forest of nested spans.
+
+    Args:
+        on_event: Optional callback invoked with ``("span_start", span)``
+            and ``("span_end", span)`` as spans open and close — the hook
+            the event sink plugs into.
+    """
+
+    def __init__(
+        self, on_event: Callable[[str, Span], None] | None = None
+    ) -> None:
+        self._epoch = time.perf_counter()
+        self._stack: list[Span] = []
+        self.roots: list[Span] = []
+        self.on_event = on_event
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[Span]:
+        """Open a nested, timed span for the duration of the block."""
+        entry = Span(name=name, attributes=dict(attributes), started_s=self._now())
+        if self._stack:
+            self._stack[-1].children.append(entry)
+        else:
+            self.roots.append(entry)
+        self._stack.append(entry)
+        if self.on_event is not None:
+            self.on_event("span_start", entry)
+        try:
+            yield entry
+        except BaseException:
+            entry.status = "error"
+            raise
+        finally:
+            entry.ended_s = self._now()
+            self._stack.pop()
+            if self.on_event is not None:
+                self.on_event("span_end", entry)
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def walk(self) -> Iterator[tuple[int, Span]]:
+        """Depth-first (depth, span) traversal over every root."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def max_depth(self) -> int:
+        """Deepest nesting level across all recorded spans."""
+        if not self.roots:
+            return 0
+        return max(root.subtree_depth() for root in self.roots)
+
+    def find(self, name: str) -> tuple[Span, ...]:
+        """Every recorded span with the given name, in visit order."""
+        return tuple(span for _, span in self.walk() if span.name == name)
+
+    def render_tree(self, *, unit: str = "ms") -> str:
+        """The span forest as an indented ASCII tree with durations.
+
+        Args:
+            unit: ``"ms"`` (default) or ``"s"`` for the duration column.
+        """
+        scale, suffix = (1e3, "ms") if unit == "ms" else (1.0, "s")
+        lines = []
+        for depth, span in self.walk():
+            indent = "  " * depth
+            marker = "- " if depth else ""
+            duration = f"{span.duration_s * scale:10.3f} {suffix}"
+            attrs = _format_attributes(span.attributes)
+            status = "" if span.status == "ok" else f"  [{span.status}]"
+            lines.append(
+                f"{duration}  {indent}{marker}{span.name}"
+                + (f"  ({attrs})" if attrs else "")
+                + status
+            )
+        return "\n".join(lines)
+
+
+def span_cost_table(
+    tracer: Tracer, prefix: str = "experiment."
+) -> tuple[tuple[str, float], ...]:
+    """(name, seconds) per matching root-level span — the per-figure cost
+    table ``run_all`` produces under an active context."""
+    return tuple(
+        (span.name.removeprefix(prefix), span.duration_s)
+        for span in tracer.roots
+        if span.name.startswith(prefix)
+    )

@@ -37,6 +37,7 @@ from repro.core.operational import operational_footprint_g
 from repro.data.regions import US_CASE_STUDY_CI
 from repro.engine import kernels
 from repro.fabs.fab import FabScenario, default_fab
+from repro.obs.context import current_context
 
 #: The SoC's process node (Snapdragon 845: 10 nm).
 SOC_NODE = "10"
@@ -230,26 +231,40 @@ def per_inference_totals_batched(
     )
     epa = fab.node.epa_kwh_per_cm2
     gpa = fab.node.gpa_g_per_cm2(fab.abatement)
+    context = current_context()
     totals: dict[str, np.ndarray] = {}
-    for config in CONFIGURATIONS:
-        energy_kwh = units.joules_to_kwh(
-            config.serving_block.energy_per_inference_j
-        )
-        operational = kernels.operational_g(energy_kwh, ci_use)
-        embodied = np.zeros_like(ci_fab)
-        for block in config.manufactured_blocks:
-            area_cm2 = units.mm2_to_cm2(block.area_mm2)
-            cpa = kernels.cpa_g_per_cm2(
-                ci_fab,
-                epa,
-                gpa,
-                fab.mpa_g_per_cm2,
-                fab.yield_model.yield_for_area(area_cm2),
+    points = int(max(ci_use.size, ci_fab.size))
+    with context.span(
+        "provisioning.per_inference_batched",
+        configurations=len(CONFIGURATIONS),
+        points=points,
+    ):
+        for config in CONFIGURATIONS:
+            energy_kwh = units.joules_to_kwh(
+                config.serving_block.energy_per_inference_j
             )
-            embodied = embodied + kernels.soc_embodied_g(area_cm2, cpa)
-        totals[config.name] = np.atleast_1d(
-            operational + embodied / lifetime_inferences
-        )
+            # These are direct Eq. 2 + Eq. 4/5 kernel calls (no batch
+            # construction), so the engine-level span is opened here.
+            with context.span(
+                "engine.kernels", config=config.name, points=points
+            ):
+                operational = kernels.operational_g(energy_kwh, ci_use)
+                embodied = np.zeros_like(ci_fab)
+                for block in config.manufactured_blocks:
+                    area_cm2 = units.mm2_to_cm2(block.area_mm2)
+                    cpa = kernels.cpa_g_per_cm2(
+                        ci_fab,
+                        epa,
+                        gpa,
+                        fab.mpa_g_per_cm2,
+                        fab.yield_model.yield_for_area(area_cm2),
+                    )
+                    embodied = embodied + kernels.soc_embodied_g(area_cm2, cpa)
+            if context.enabled:
+                context.count("engine.rows_evaluated", points)
+            totals[config.name] = np.atleast_1d(
+                operational + embodied / lifetime_inferences
+            )
     return totals
 
 

@@ -42,6 +42,7 @@ from repro.dse.sweep import BatchSweepResult
 from repro.engine.batch import ScenarioBatch, product_columns
 from repro.engine.cache import EvaluationCache, evaluate_cached
 from repro.engine.kernels import BatchResult
+from repro.obs.context import current_context
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.robustness.guard import GuardedEngine
@@ -230,6 +231,7 @@ def run_monte_carlo_chunked(
             (and carried on the exception's ``partial`` attribute).
     """
     require_positive("chunk_rows", chunk_rows)
+    context = current_context()
     columns = sample_parameter_columns(
         base,
         parameters,
@@ -263,6 +265,15 @@ def run_monte_carlo_chunked(
                 reason="mismatch",
             )
         samples[:completed] = state["samples"][:completed]
+        if context.enabled:
+            context.count("checkpoint.restores")
+            context.event(
+                "checkpoint_restore",
+                kind="montecarlo",
+                path=os.fspath(checkpoint),
+                completed=completed,
+                total=draws,
+            )
 
     def _save() -> None:
         if checkpoint is not None:
@@ -277,35 +288,55 @@ def run_monte_carlo_chunked(
                     "samples": samples[:completed],
                 },
             )
+            if context.enabled:
+                context.count("checkpoint.saves")
+                context.event(
+                    "checkpoint_save",
+                    kind="montecarlo",
+                    path=os.fspath(checkpoint),
+                    completed=completed,
+                    total=draws,
+                )
 
-    while completed < draws:
-        if cancel is not None and cancel.should_stop():
+    with context.span(
+        "analysis.montecarlo_chunked", draws=draws, chunk_rows=chunk_rows
+    ):
+        while completed < draws:
+            if cancel is not None and cancel.should_stop():
+                _save()
+                error = RunInterrupted(
+                    f"Monte Carlo interrupted at {completed}/{draws} draws"
+                    + (
+                        f"; resume from {os.fspath(checkpoint)!r}"
+                        if checkpoint is not None
+                        else " (no checkpoint path — partial results not "
+                        "persisted)"
+                    ),
+                    completed=completed,
+                    total=draws,
+                    checkpoint=checkpoint,
+                )
+                error.partial = samples[:completed][
+                    np.isfinite(samples[:completed])
+                ]
+                raise error
+            stop = min(completed + chunk_rows, draws)
+            chunk = {
+                name: column[completed:stop] for name, column in columns.items()
+            }
+            if guard is not None:
+                guarded = guard.evaluate_columns(base, stop - completed, chunk)
+                samples[completed:stop] = guarded.full_series("total_g")
+            else:
+                batch = ScenarioBatch.from_columns(base, stop - completed, chunk)
+                samples[completed:stop] = evaluate_cached(batch, cache).total_g
+            completed = stop
+            if context.enabled:
+                context.count("analysis.montecarlo.chunks")
+                context.event(
+                    "chunk", kind="montecarlo", completed=completed, total=draws
+                )
             _save()
-            error = RunInterrupted(
-                f"Monte Carlo interrupted at {completed}/{draws} draws"
-                + (
-                    f"; resume from {os.fspath(checkpoint)!r}"
-                    if checkpoint is not None
-                    else " (no checkpoint path — partial results not persisted)"
-                ),
-                completed=completed,
-                total=draws,
-                checkpoint=checkpoint,
-            )
-            error.partial = samples[:completed][
-                np.isfinite(samples[:completed])
-            ]
-            raise error
-        stop = min(completed + chunk_rows, draws)
-        chunk = {name: column[completed:stop] for name, column in columns.items()}
-        if guard is not None:
-            guarded = guard.evaluate_columns(base, stop - completed, chunk)
-            samples[completed:stop] = guarded.full_series("total_g")
-        else:
-            batch = ScenarioBatch.from_columns(base, stop - completed, chunk)
-            samples[completed:stop] = evaluate_cached(batch, cache).total_g
-        completed = stop
-        _save()
 
     # Guarded runs mark masked rows NaN; drop them like the one-shot path.
     finished = samples[np.isfinite(samples)] if guard is not None else samples
@@ -335,6 +366,7 @@ def sweep_grid_batched_chunked(
     boundaries cannot change any value).
     """
     require_positive("chunk_rows", chunk_rows)
+    context = current_context()
     size, columns = product_columns(base, grids)
     names = tuple(grids)
     fingerprint = _fingerprint(
@@ -359,6 +391,15 @@ def sweep_grid_batched_chunked(
             )
         for name in series_names:
             series[name][:completed] = state[name][:completed]
+        if context.enabled:
+            context.count("checkpoint.restores")
+            context.event(
+                "checkpoint_restore",
+                kind="sweep",
+                path=os.fspath(checkpoint),
+                completed=completed,
+                total=size,
+            )
 
     def _save() -> None:
         if checkpoint is not None:
@@ -373,33 +414,51 @@ def sweep_grid_batched_chunked(
                 {name: series[name][:completed] for name in series_names}
             )
             _atomic_save(checkpoint, payload)
+            if context.enabled:
+                context.count("checkpoint.saves")
+                context.event(
+                    "checkpoint_save",
+                    kind="sweep",
+                    path=os.fspath(checkpoint),
+                    completed=completed,
+                    total=size,
+                )
 
-    while completed < size:
-        if cancel is not None and cancel.should_stop():
-            _save()
-            raise RunInterrupted(
-                f"grid sweep interrupted at {completed}/{size} rows"
-                + (
-                    f"; resume from {os.fspath(checkpoint)!r}"
-                    if checkpoint is not None
-                    else " (no checkpoint path — partial results not persisted)"
-                ),
-                completed=completed,
-                total=size,
-                checkpoint=checkpoint,
+    with context.span(
+        "dse.sweep_grid_chunked", points=size, chunk_rows=chunk_rows
+    ):
+        while completed < size:
+            if cancel is not None and cancel.should_stop():
+                _save()
+                raise RunInterrupted(
+                    f"grid sweep interrupted at {completed}/{size} rows"
+                    + (
+                        f"; resume from {os.fspath(checkpoint)!r}"
+                        if checkpoint is not None
+                        else " (no checkpoint path — partial results not "
+                        "persisted)"
+                    ),
+                    completed=completed,
+                    total=size,
+                    checkpoint=checkpoint,
+                )
+            stop = min(completed + chunk_rows, size)
+            chunk_batch = ScenarioBatch(
+                **{
+                    name: np.ascontiguousarray(column[completed:stop])
+                    for name, column in columns.items()
+                }
             )
-        stop = min(completed + chunk_rows, size)
-        chunk_batch = ScenarioBatch(
-            **{
-                name: np.ascontiguousarray(column[completed:stop])
-                for name, column in columns.items()
-            }
-        )
-        chunk_result = evaluate_cached(chunk_batch, cache)
-        for name in series_names:
-            series[name][completed:stop] = getattr(chunk_result, name)
-        completed = stop
-        _save()
+            chunk_result = evaluate_cached(chunk_batch, cache)
+            for name in series_names:
+                series[name][completed:stop] = getattr(chunk_result, name)
+            completed = stop
+            if context.enabled:
+                context.count("dse.sweep.chunks")
+                context.event(
+                    "chunk", kind="sweep", completed=completed, total=size
+                )
+            _save()
 
     batch = ScenarioBatch(**columns)
     result = BatchResult(**series)

@@ -44,6 +44,7 @@ from repro.engine.batch import (
 )
 from repro.engine.cache import EvaluationCache, evaluate_cached
 from repro.engine.kernels import BatchResult
+from repro.obs.context import RunContext, current_context
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.scenario import ActScenario
@@ -310,7 +311,27 @@ class GuardedEngine:
         diagnosed *before* batch construction, so the ``repair`` and
         ``skip`` policies can act on inputs the strict
         :class:`ScenarioBatch` constructor would reject outright.
+
+        Under an active :class:`~repro.obs.context.RunContext` the pass is
+        a ``guard.evaluate_columns`` span and per-policy repair/mask counts
+        land in the metrics registry.
         """
+        context = current_context()
+        if not context.enabled:
+            return self._evaluate_columns(base, size, columns)
+        with context.span(
+            "guard.evaluate_columns", policy=self.policy, rows=size
+        ):
+            guarded = self._evaluate_columns(base, size, columns)
+        self._report(context, guarded)
+        return guarded
+
+    def _evaluate_columns(
+        self,
+        base: "ActScenario",
+        size: int,
+        columns: Mapping[str, np.ndarray] | None = None,
+    ) -> GuardedResult:
         raw = broadcast_columns(base, size, columns)
         diagnostics = diagnose_columns(raw, ranges=self.ranges)
         valid = np.ones(size, dtype=bool)
@@ -377,8 +398,20 @@ class GuardedEngine:
 
         Range validation and the overflow cross-check still apply; NaN/Inf
         and domain violations cannot occur because ``ScenarioBatch``
-        enforces them at construction.
+        enforces them at construction.  Like :meth:`evaluate_columns`, the
+        pass is spanned and counted under an active run context.
         """
+        context = current_context()
+        if not context.enabled:
+            return self._evaluate_batch(batch)
+        with context.span(
+            "guard.evaluate", policy=self.policy, rows=len(batch)
+        ):
+            guarded = self._evaluate_batch(batch)
+        self._report(context, guarded)
+        return guarded
+
+    def _evaluate_batch(self, batch: ScenarioBatch) -> GuardedResult:
         columns = {name: batch.column(name) for name in FIELD_NAMES}
         diagnostics = diagnose_columns(columns, ranges=self.ranges)
         valid = np.ones(len(batch), dtype=bool)
@@ -425,6 +458,23 @@ class GuardedEngine:
         )
 
     # --- internals ------------------------------------------------------
+
+    def _report(self, context: RunContext, guarded: GuardedResult) -> None:
+        """Mirror one guarded pass into the active context's metrics."""
+        policy = self.policy
+        context.count("guard.batches")
+        context.count(f"guard.{policy}.batches")
+        context.count(f"guard.{policy}.rows", guarded.size)
+        if guarded.diagnostics:
+            context.count(
+                f"guard.{policy}.diagnostics", len(guarded.diagnostics)
+            )
+            flagged = sum(len(d.indices) for d in guarded.diagnostics)
+            context.count(f"guard.{policy}.flagged_values", flagged)
+            if guarded.repaired:
+                context.count(f"guard.{policy}.repaired_values", flagged)
+        if guarded.masked_count:
+            context.count(f"guard.{policy}.masked_rows", guarded.masked_count)
 
     def _warn(
         self, summary: str, diagnostics: Sequence[ColumnDiagnostic]

@@ -301,3 +301,99 @@ class TestMonteCarloCheckpoint:
         )
         assert code == 2
         assert "does not exist" in err
+
+
+class TestObservabilityFlags:
+    def test_profile_prints_a_deep_span_tree(self, capsys):
+        code, out, _ = run_cli(capsys, "profile", "fig10")
+        assert code == 0
+        assert "span tree:" in out
+        assert "experiment.fig10" in out
+        assert "engine.kernels" in out
+        # Three nesting levels: experiment -> provisioning -> kernels.
+        assert "      - engine.kernels" in out
+        assert "cache:" in out
+
+    def test_profile_all_prints_per_experiment_costs(self, capsys):
+        code, out, _ = run_cli(capsys, "profile", "all")
+        assert code == 0
+        assert "per-experiment cost:" in out
+        assert "fig10" in out
+
+    def test_trace_flag_writes_valid_jsonl(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code, _, err = run_cli(
+            capsys, "profile", "fig10", "--trace", str(path)
+        )
+        assert code == 0
+        assert "trace:" in err
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        kinds = {event["event"] for event in events}
+        assert {"run_start", "span_start", "span_end",
+                "cache_stats", "run_end"} <= kinds
+        assert events[0]["event"] == "run_start"
+        assert events[0]["manifest"]["argv"] is not None
+        stats = [e for e in events if e["event"] == "cache_stats"][0]
+        assert {"hits", "misses", "evictions"} <= set(stats)
+
+    def test_trace_works_on_ordinary_subcommands(self, capsys, tmp_path):
+        path = tmp_path / "mc.jsonl"
+        code, out, _ = run_cli(
+            capsys, "montecarlo", "--draws", "500", "--trace", str(path)
+        )
+        assert code == 0
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        names = [e.get("name") for e in events if e["event"] == "span_start"]
+        assert "analysis.montecarlo" in names
+        end = [e for e in events if e["event"] == "run_end"][0]
+        assert end["metrics"]["counters"]["engine.cache.misses"] >= 1
+
+    def test_metrics_flag_prints_summary_to_stderr(self, capsys):
+        code, out, err = run_cli(
+            capsys, "montecarlo", "--draws", "500", "--metrics"
+        )
+        assert code == 0
+        assert "== metrics ==" in err
+        assert "engine.rows_evaluated" in err
+        assert "== metrics ==" not in out
+
+    def test_without_flags_the_null_context_stays_active(self, capsys):
+        from repro.obs.context import NULL_CONTEXT, current_context
+
+        code, _, err = run_cli(capsys, "experiment", "fig14")
+        assert code == 0
+        assert current_context() is NULL_CONTEXT
+        assert "metrics" not in err
+
+
+class TestExperimentJson:
+    def test_single_experiment_json(self, capsys):
+        code, out, _ = run_cli(capsys, "experiment", "fig14", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["all_passed"] is True
+        assert payload["experiments"][0]["experiment_id"] == "fig14"
+        checks = payload["experiments"][0]["checks"]
+        assert checks and all("passed" in check for check in checks)
+
+    def test_all_experiments_json(self, capsys):
+        code, out, _ = run_cli(capsys, "experiment", "all", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert len(payload["experiments"]) == 19
+        assert payload["all_passed"] is True
+
+
+class TestMonteCarloCacheStats:
+    def test_cache_line_reports_hits_and_misses(self, capsys):
+        code, out, _ = run_cli(capsys, "montecarlo", "--draws", "500")
+        assert code == 0
+        line = [l for l in out.splitlines() if l.startswith("cache:")][0]
+        assert "misses" in line and "hit rate" in line
+
+    def test_guarded_run_also_reports_cache_stats(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "montecarlo", "--draws", "500", "--policy", "repair"
+        )
+        assert code == 0
+        assert any(l.startswith("cache:") for l in out.splitlines())

@@ -77,8 +77,20 @@ class TestCheckHelpers:
         assert check_close("n", 1.05, 1.0, rel_tol=0.1).passed
         assert not check_close("n", 1.2, 1.0, rel_tol=0.1).passed
 
-    def test_check_close_zero_expected_fails(self):
-        assert not check_close("n", 0.0, 0.0, rel_tol=0.1).passed
+    def test_check_close_zero_expected_uses_absolute_tolerance(self):
+        # A zero reference has no relative band; rel_tol doubles as an
+        # absolute bound so exact (or near-exact) matches pass.
+        assert check_close("n", 0.0, 0.0, rel_tol=0.1).passed
+        assert check_close("n", 0.05, 0.0, rel_tol=0.1).passed
+        assert not check_close("n", 0.2, 0.0, rel_tol=0.1).passed
+
+    def test_check_close_zero_expected_abs_tol_override(self):
+        assert check_close("n", 1e-9, 0.0, rel_tol=0.1, abs_tol=1e-6).passed
+        assert not check_close(
+            "n", 1e-3, 0.0, rel_tol=0.1, abs_tol=1e-6
+        ).passed
+        check = check_close("n", 0.0, 0.0, rel_tol=0.1, abs_tol=1e-6)
+        assert "abs" in check.expected
 
     def test_check_in_band(self):
         assert check_in_band("n", 5.0, 4.0, 6.0).passed

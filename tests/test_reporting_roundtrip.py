@@ -1,0 +1,98 @@
+"""Round-trips for reporting/serialize: every experiment's first figure
+exports to CSV/JSON and parses back with matching columns and row counts."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.reporting.figures import FigureData, Series
+from repro.reporting.serialize import (
+    figure_to_csv,
+    figure_to_json,
+    rows_to_csv,
+    series_to_csv,
+)
+
+_RESULTS: dict[str, object] = {}
+
+
+def _first_figure(experiment_id: str) -> FigureData | None:
+    """The experiment's first figure panel (results memoized per session)."""
+    if experiment_id not in _RESULTS:
+        _RESULTS[experiment_id] = EXPERIMENTS[experiment_id]()
+    result = _RESULTS[experiment_id]
+    return result.figures[0] if result.figures else None
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+class TestFirstFigureRoundTrip:
+    def test_csv_parses_back_with_matching_columns_and_rows(
+        self, experiment_id
+    ):
+        figure = _first_figure(experiment_id)
+        if figure is None:
+            pytest.skip(f"{experiment_id} is a table-only experiment")
+        rows = list(csv.reader(io.StringIO(figure_to_csv(figure))))
+        header, body = rows[0], rows[1:]
+        assert header == ["x"] + [series.name for series in figure.series]
+        assert len(body) == len(figure.series[0].x)
+        assert all(len(row) == len(header) for row in body)
+        # The x column survives the string round-trip verbatim.
+        assert [row[0] for row in body] == [
+            str(x) for x in figure.series[0].x
+        ]
+
+    def test_csv_numeric_values_survive(self, experiment_id):
+        figure = _first_figure(experiment_id)
+        if figure is None:
+            pytest.skip(f"{experiment_id} is a table-only experiment")
+        rows = list(csv.reader(io.StringIO(figure_to_csv(figure))))
+        for column, series in enumerate(figure.series, start=1):
+            parsed = [float(row[column]) for row in rows[1:]]
+            assert parsed == pytest.approx([float(y) for y in series.y])
+
+    def test_json_parses_back_with_matching_series(self, experiment_id):
+        figure = _first_figure(experiment_id)
+        if figure is None:
+            pytest.skip(f"{experiment_id} is a table-only experiment")
+        payload = json.loads(figure_to_json(figure))
+        assert payload["title"] == figure.title
+        assert [entry["name"] for entry in payload["series"]] == [
+            series.name for series in figure.series
+        ]
+        for entry, series in zip(payload["series"], figure.series):
+            assert len(entry["x"]) == len(series.x)
+            assert entry["y"] == pytest.approx([float(y) for y in series.y])
+
+
+class TestCsvEdgeCases:
+    def test_cells_with_commas_and_quotes_are_escaped(self):
+        text = rows_to_csv(("a", "b"), [('x,y', 'he said "hi"')])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows == [["a", "b"], ["x,y", 'he said "hi"']]
+
+    def test_empty_figure_exports_header_only(self):
+        figure = FigureData(title="empty", x_label="x", y_label="y", series=())
+        assert figure_to_csv(figure) == "x\n"
+
+    def test_mismatched_x_positions_raise(self):
+        figure = FigureData(
+            title="bad",
+            x_label="x",
+            y_label="y",
+            series=(
+                Series("a", (1.0, 2.0), (1.0, 2.0)),
+                Series("b", (1.0, 3.0), (1.0, 2.0)),
+            ),
+        )
+        with pytest.raises(ValueError):
+            figure_to_csv(figure)
+
+    def test_series_to_csv_two_columns(self):
+        series = Series("s", (1.0, 2.0), (10.0, 20.0))
+        rows = list(csv.reader(io.StringIO(series_to_csv(series))))
+        assert rows[0] == ["x", "s"]
+        assert len(rows) == 3

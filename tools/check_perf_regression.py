@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Compare a fresh BENCH_engine.json against the committed baseline.
+
+The perf-guard CI job preserves the committed ``BENCH_engine.json``, re-runs
+``benchmarks/test_perf_engine.py`` (which overwrites it), and then invokes
+this script to compare the two.  A throughput drop beyond the threshold
+(default 25%) on any guarded series fails the build; improvements and small
+fluctuations pass.
+
+Usage::
+
+    python tools/check_perf_regression.py BASELINE.json CURRENT.json \
+        [--threshold 0.25]
+
+Exit codes: 0 = within budget, 1 = regression, 2 = unusable inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: (section, key) pairs guarded against regression.  Both are best-of-N
+#: points/sec figures, so a sustained drop means the engine got slower,
+#: not that one sample was unlucky.
+GUARDED_SERIES: tuple[tuple[str, str], ...] = (
+    ("monte_carlo", "batched_points_per_sec"),
+    ("grid_sweep", "batched_points_per_sec"),
+)
+
+
+def compare(
+    baseline: dict, current: dict, threshold: float
+) -> list[tuple[str, float, float, float]]:
+    """The guarded series that regressed beyond ``threshold``.
+
+    Returns ``(name, baseline_value, current_value, drop_fraction)`` rows.
+    """
+    regressions = []
+    for section, key in GUARDED_SERIES:
+        name = f"{section}.{key}"
+        try:
+            before = float(baseline[section][key])
+            after = float(current[section][key])
+        except (KeyError, TypeError, ValueError) as error:
+            raise SystemExit(f"missing series {name}: {error}")
+        drop = 1.0 - after / before if before > 0 else 0.0
+        if drop > threshold:
+            regressions.append((name, before, after, drop))
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_engine.json")
+    parser.add_argument("current", help="freshly generated BENCH_engine.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum tolerated throughput drop (fraction, default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        with open(args.current, encoding="utf-8") as handle:
+            current = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"cannot read benchmark payloads: {error}", file=sys.stderr)
+        return 2
+
+    for section, key in GUARDED_SERIES:
+        name = f"{section}.{key}"
+        before = baseline.get(section, {}).get(key)
+        after = current.get(section, {}).get(key)
+        if before and after:
+            change = after / before - 1.0
+            print(f"{name}: {before:,.0f} -> {after:,.0f} ({change:+.1%})")
+
+    regressions = compare(baseline, current, args.threshold)
+    if regressions:
+        for name, before, after, drop in regressions:
+            print(
+                f"REGRESSION {name}: {before:,.0f} -> {after:,.0f} "
+                f"points/sec ({drop:.1%} drop > {args.threshold:.0%} budget)",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"within budget (threshold {args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,7 @@ SUBPACKAGES = (
     "repro.reliability",
     "repro.lifetime",
     "repro.engine",
+    "repro.obs",
     "repro.dse",
     "repro.analysis",
     "repro.robustness",
