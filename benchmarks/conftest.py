@@ -12,6 +12,12 @@ import pytest
 
 from repro.experiments import EXPERIMENTS
 from repro.experiments.base import ExperimentResult
+from repro.parallel import pin_blas_threads
+
+# Single-threaded BLAS for every benchmark: the kernels are elementwise
+# (BLAS threading buys nothing) and thread-pool jitter would poison the
+# best-of-N timings and the speedup-vs-workers curve alike.
+pin_blas_threads()
 
 
 def regenerate_and_verify(benchmark, experiment_id: str) -> ExperimentResult:

@@ -100,6 +100,56 @@ def _sample_parameter(
     )
 
 
+def resolve_parameter_ranges(
+    parameters: Iterable[str] | None = None,
+    ranges: Mapping[str, tuple[float, float]] | None = None,
+) -> dict[str, tuple[float, float]]:
+    """The exact (low, high) sampling range of every varied parameter.
+
+    Resolution order per parameter: the caller's ``ranges`` override, then
+    the Table 1 appendix range.  Mapping order is the sampling order, so
+    this dict fully determines a run's draw stream — the parallel runner
+    resolves it once in the parent and ships it to every worker verbatim.
+    """
+    names = tuple(parameters) if parameters is not None else tuple(PARAMETER_RANGES)
+    resolved: dict[str, tuple[float, float]] = {}
+    for name in names:
+        low, high = (ranges or {}).get(name, parameter_range(name))
+        if low > high:
+            raise ParameterError(f"range for {name} is inverted: ({low}, {high})")
+        resolved[name] = (float(low), float(high))
+    return resolved
+
+
+def _sample_columns(
+    rng: np.random.Generator,
+    base: ActScenario,
+    resolved_ranges: Mapping[str, tuple[float, float]],
+    distribution: str,
+    count: int,
+) -> dict[str, np.ndarray]:
+    """Draw ``count`` rows of every resolved parameter from one stream.
+
+    The single sampling routine shared by the legacy one-stream path and
+    the per-shard path — sharded and unsharded sampling can only differ in
+    *which generator* they pass, never in how draws are consumed.
+    """
+    columns: dict[str, np.ndarray] = {}
+    for name, (low, high) in resolved_ranges.items():
+        columns[name] = _sample_parameter(
+            rng, distribution, low, high, getattr(base, name), count
+        )
+    # Lifetime must dominate duration; clip any violating draws.
+    if "lifetime_hours" in columns:
+        duration = columns.get(
+            "duration_hours", np.full(count, base.duration_hours)
+        )
+        columns["lifetime_hours"] = np.maximum(
+            columns["lifetime_hours"], duration
+        )
+    return columns
+
+
 def sample_parameter_columns(
     base: ActScenario,
     parameters: Iterable[str] | None = None,
@@ -118,25 +168,72 @@ def sample_parameter_columns(
     column, regardless of how they are later chunked.
     """
     require_positive("draws", draws)
-    names = tuple(parameters) if parameters is not None else tuple(PARAMETER_RANGES)
-    rng = np.random.default_rng(seed)
-    columns: dict[str, np.ndarray] = {}
-    for name in names:
-        low, high = (ranges or {}).get(name, parameter_range(name))
-        if low > high:
-            raise ParameterError(f"range for {name} is inverted: ({low}, {high})")
-        columns[name] = _sample_parameter(
-            rng, distribution, low, high, getattr(base, name), draws
+    resolved = resolve_parameter_ranges(parameters, ranges)
+    return _sample_columns(
+        np.random.default_rng(seed), base, resolved, distribution, draws
+    )
+
+
+def sample_shard_columns(
+    base: ActScenario,
+    resolved_ranges: Mapping[str, tuple[float, float]],
+    count: int,
+    seed: np.random.SeedSequence,
+    distribution: str = TRIANGULAR,
+) -> dict[str, np.ndarray]:
+    """Sample one shard's columns from its own SeedSequence child stream.
+
+    The worker-side half of the sharded sampling contract: the parent
+    spawns one child per shard (:func:`sample_parameter_columns_sharded`
+    is the serial reference), and each shard's draws depend only on its
+    child seed — never on which worker runs it or in what order.
+    """
+    require_positive("count", count)
+    return _sample_columns(
+        np.random.default_rng(seed), base, resolved_ranges, distribution, count
+    )
+
+
+def sample_parameter_columns_sharded(
+    base: ActScenario,
+    parameters: Iterable[str] | None = None,
+    *,
+    draws: int = 2000,
+    seed: int = 2022,
+    shard_rows: int,
+    distribution: str = TRIANGULAR,
+    ranges: Mapping[str, tuple[float, float]] | None = None,
+) -> dict[str, np.ndarray]:
+    """Shard-seeded Monte Carlo columns, assembled serially in shard order.
+
+    The reference implementation of the parallel sampling model: split
+    ``draws`` into ``shard_rows``-row shards, spawn one
+    ``np.random.SeedSequence`` child per shard, sample each shard from its
+    child, and concatenate in shard order.  The parallel runner produces
+    bit-identical columns at any worker count because the shard plan and
+    the child seeds depend only on ``(draws, shard_rows, seed)``.
+
+    Note the stream model differs from :func:`sample_parameter_columns`
+    (one global stream): the two paths draw *different* (equally valid)
+    samples for the same seed.  ``shard_rows`` is therefore part of the
+    result contract wherever this path is used.
+    """
+    require_positive("draws", draws)
+    from repro.parallel.policy import shard_plan
+
+    resolved = resolve_parameter_ranges(parameters, ranges)
+    plan = shard_plan(draws, shard_rows)
+    seeds = np.random.SeedSequence(seed).spawn(len(plan))
+    shards = [
+        sample_shard_columns(
+            base, resolved, stop - start, seeds[index], distribution
         )
-    # Lifetime must dominate duration; clip any violating draws.
-    if "lifetime_hours" in columns:
-        duration = columns.get(
-            "duration_hours", np.full(draws, base.duration_hours)
-        )
-        columns["lifetime_hours"] = np.maximum(
-            columns["lifetime_hours"], duration
-        )
-    return columns
+        for index, (start, stop) in enumerate(plan)
+    ]
+    return {
+        name: np.concatenate([shard[name] for shard in shards])
+        for name in resolved
+    }
 
 
 def sample_scenario_batch(
@@ -186,6 +283,7 @@ def run_monte_carlo(
     response: Response | None = None,
     cache: EvaluationCache | None = None,
     guard: "GuardedEngine | None" = None,
+    policy: "object | int | None" = None,
 ) -> MonteCarloResult:
     """Propagate parameter uncertainty through the ACT model.
 
@@ -207,7 +305,18 @@ def run_monte_carlo(
             or masked, per policy) before evaluation, and the samples are
             the guard's valid rows.  Ignored on the custom-``response``
             scalar path, which validates per scenario anyway.
+        policy: An :class:`~repro.parallel.ExecutionPolicy`, a bare worker
+            count, or ``None`` to pick up a policy installed with
+            :func:`~repro.parallel.use_execution_policy`.  Any resolved
+            policy (even ``workers=1``) switches sampling to the sharded
+            per-shard SeedSequence streams, whose draws are bit-identical
+            at every worker count but differ from the legacy single-stream
+            path — with no policy anywhere, behavior is exactly as before.
+            Ignored (like ``guard``) on the custom-``response`` path.
     """
+    from repro.parallel.policy import resolve_policy
+
+    resolved_policy = resolve_policy(policy)
     context = current_context()
     with context.span(
         "analysis.montecarlo",
@@ -215,9 +324,26 @@ def run_monte_carlo(
         seed=seed,
         distribution=distribution,
         guarded=guard is not None,
+        workers=resolved_policy.workers if resolved_policy is not None else 0,
     ):
         if context.enabled:
             context.count("analysis.montecarlo.draws", draws)
+        if response is None and resolved_policy is not None:
+            from repro.parallel.runner import ParallelRunner
+
+            with ParallelRunner(resolved_policy) as runner:
+                evaluation = runner.run_monte_carlo(
+                    base,
+                    tuple(parameters) if parameters is not None else None,
+                    draws=draws,
+                    seed=seed,
+                    distribution=distribution,
+                    ranges=ranges,
+                    guard=guard,
+                )
+            return MonteCarloResult(
+                samples=evaluation.samples(), base_response=base.total_g()
+            )
         if response is None and guard is not None:
             columns = sample_parameter_columns(
                 base,

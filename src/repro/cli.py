@@ -136,6 +136,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print machine-readable shape-check results instead of text",
     )
+    experiment.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for every sweep the experiment runs "
+        "(default: 1 = serial; results are bit-identical at any count)",
+    )
 
     profile = sub.add_parser(
         "profile",
@@ -176,6 +184,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sensitivity.add_argument(
         "--draws", type=int, default=2000, help="Monte Carlo samples"
+    )
+    sensitivity.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the Monte Carlo stage (default: 1)",
     )
 
     montecarlo = sub.add_parser(
@@ -224,6 +239,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="draws evaluated between checkpoint writes (default: 4096)",
+    )
+    montecarlo.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes sharding the draws (default: 1 = the serial "
+        "legacy sample stream; N > 1 uses sharded per-shard seed streams, "
+        "bit-identical across worker counts)",
     )
     montecarlo.add_argument(
         "--max-seconds",
@@ -324,9 +348,26 @@ def _run_experiment_set(experiment_id: str):
     return (run_experiment(experiment_id),)
 
 
+def _workers_policy(workers: int) -> "object | None":
+    """Map a ``--workers`` flag to an execution policy.
+
+    Always constructs an :class:`~repro.parallel.ExecutionPolicy` so an
+    invalid count fails with :class:`~repro.core.errors.ParameterError`
+    (exit code 2); ``--workers 1`` then resolves to ``None`` so existing
+    serial invocations are untouched.
+    """
+    from repro.parallel import ExecutionPolicy
+
+    policy = ExecutionPolicy(workers=workers)
+    return policy if policy.parallel else None
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.parallel import use_execution_policy
+
     key = args.id.strip().lower()
-    results = _run_experiment_set(args.id)
+    with use_execution_policy(_workers_policy(args.workers)):
+        results = _run_experiment_set(args.id)
     failures = [c for r in results for c in r.failed_checks()]
     if args.json:
         import json
@@ -441,7 +482,9 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
             rows,
         )
     )
-    result = run_monte_carlo(base, draws=args.draws)
+    result = run_monte_carlo(
+        base, draws=args.draws, policy=_workers_policy(args.workers)
+    )
     print()
     print(
         f"Monte Carlo ({args.draws} draws): mean {result.mean / 1000.0:.2f} kg, "
@@ -478,6 +521,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
         guard = GuardedEngine(policy=args.policy, cache=cache)
 
     base = ActScenario()
+    policy = _workers_policy(args.workers)
     started = time.perf_counter()
     chunked = (
         args.checkpoint is not None
@@ -508,6 +552,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
             cancel=cancel,
             guard=guard,
             cache=cache,
+            policy=policy,
         )
     else:
         result = run_monte_carlo(
@@ -517,6 +562,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
             distribution=args.distribution,
             guard=guard,
             cache=cache,
+            policy=policy,
         )
     elapsed = time.perf_counter() - started
     print(

@@ -141,6 +141,35 @@ class CheckpointError(ReproError, RuntimeError):
         super().__init__(message)
 
 
+class WorkerError(ReproError, RuntimeError):
+    """A worker process failed in a way its exception could not express.
+
+    The parallel runner re-raises worker exceptions with their original
+    type whenever the exception survives a pickle round trip; when it does
+    not (exotic ``__init__`` signatures, unpicklable payloads), the worker
+    sends back a textual rendering and the parent raises this instead.
+
+    Attributes:
+        worker: Index of the worker process that failed.
+        shard: Index of the shard being evaluated (``-1`` when unknown).
+        original: The original exception's ``repr`` (plus traceback text
+            when available).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        worker: int = -1,
+        shard: int = -1,
+        original: str = "",
+    ):
+        self.worker = worker
+        self.shard = shard
+        self.original = original
+        super().__init__(message)
+
+
 class RunInterrupted(ReproError, RuntimeError):
     """A chunked run was cancelled cooperatively before completing.
 

@@ -135,6 +135,8 @@ def explore(
 def explore_batched(
     points: Sequence[DesignPoint],
     metric_names: Sequence[str] | None = None,
+    *,
+    policy: "object | int | None" = None,
 ) -> ExplorationResult:
     """The batched twin of :func:`explore`, built on the engine kernels.
 
@@ -142,14 +144,30 @@ def explore_batched(
     array expressions over the stacked candidate columns — identical
     results to the scalar path (the equivalence suite pins them), at a
     fraction of the per-candidate cost for large design spaces.
+
+    Args:
+        points: The candidate designs.
+        metric_names: Table 2 metrics to score (default: all of them).
+        policy: An :class:`~repro.parallel.ExecutionPolicy`, a bare worker
+            count, or ``None`` to pick up an installed process-wide
+            policy.  Parallelism shards the Pareto dominance test — each
+            shard compares its rows against the full objective matrix, so
+            the front (and every winner) is bit-identical to the serial
+            pass at any worker count.
     """
     if not points:
         raise ConstraintError("cannot explore an empty candidate set")
     _require_finite_points(points)
     names = tuple(metric_names) if metric_names is not None else tuple(METRICS)
+    from repro.parallel.policy import resolve_policy
+
+    resolved_policy = resolve_policy(policy)
     context = current_context()
     with context.span(
-        "dse.explore_batched", candidates=len(points), metrics=len(names)
+        "dse.explore_batched",
+        candidates=len(points),
+        metrics=len(names),
+        workers=resolved_policy.workers if resolved_policy is not None else 0,
     ):
         if context.enabled:
             context.count("dse.candidates", len(points))
@@ -162,7 +180,13 @@ def explore_batched(
             ),
             axis=1,
         )
-        mask = pareto_mask(objectives)
+        if resolved_policy is not None and resolved_policy.parallel:
+            from repro.parallel.runner import ParallelRunner
+
+            with ParallelRunner(resolved_policy) as runner:
+                mask = runner.pareto_mask(objectives)
+        else:
+            mask = pareto_mask(objectives)
         return ExplorationResult(
             points=tuple(points),
             scores=score_table_batched(points, names),

@@ -203,12 +203,72 @@ class GuardedSweepResult(BatchSweepResult):
         return int(self.valid.size - np.count_nonzero(self.valid))
 
 
+def _parallel_sweep(
+    base: ActScenario,
+    grids: Mapping[str, Sequence[float]],
+    policy: object,
+    guard: "GuardedEngine | None",
+) -> BatchSweepResult:
+    """Evaluate a grid sweep through the parallel runner.
+
+    Bit-identical to the serial sweep: the Eq. 1-8 kernels are elementwise,
+    so shard boundaries cannot change any value, and the guard's repair
+    clamping is a pure per-row function reapplied parent-side to rebuild
+    the surviving batch.
+    """
+    from repro.parallel.runner import ParallelRunner
+
+    size, columns = product_columns(base, grids)
+    context = current_context()
+    if context.enabled:
+        context.count("dse.sweep.points", size)
+    with ParallelRunner(policy) as runner:
+        evaluation = runner.evaluate_columns(base, size, columns, guard=guard)
+    if guard is None:
+        return BatchSweepResult(
+            names=tuple(grids),
+            batch=ScenarioBatch(**columns),
+            result=evaluation.batch_result(),
+        )
+    # Rebuild the surviving (possibly repaired) input batch exactly as the
+    # serial guard would: reapply the pure repair clamp to the diagnosed
+    # input values, then keep the valid rows.  Output-overflow diagnostics
+    # describe kernel results, not input columns, so they are excluded.
+    from repro.engine.batch import FIELD_NAMES
+    from repro.robustness.guard import OUTPUT
+
+    raw = {name: np.array(column) for name, column in columns.items()}
+    input_diagnostics = tuple(
+        diagnostic
+        for diagnostic in evaluation.diagnostics
+        if diagnostic.reason != OUTPUT and diagnostic.column in FIELD_NAMES
+    )
+    if evaluation.repaired and input_diagnostics:
+        raw = guard._repair(base, raw, input_diagnostics)
+    valid = evaluation.valid
+    batch = ScenarioBatch(
+        **{
+            name: np.ascontiguousarray(column[valid])
+            for name, column in raw.items()
+        }
+    )
+    return GuardedSweepResult(
+        names=tuple(grids),
+        batch=batch,
+        result=evaluation.batch_result(),
+        valid=np.array(valid),
+        source_indices=evaluation.indices,
+        diagnostics=evaluation.diagnostics,
+    )
+
+
 def sweep_grid_batched(
     base: ActScenario,
     grids: Mapping[str, Sequence[float]],
     *,
     cache: EvaluationCache | None = None,
     guard: "GuardedEngine | None" = None,
+    policy: "object | int | None" = None,
 ) -> BatchSweepResult:
     """Sweep the ACT model over a parameter grid in one vectorized pass.
 
@@ -226,15 +286,26 @@ def sweep_grid_batched(
             masked, per policy) before evaluation and a
             :class:`GuardedSweepResult` over the surviving points is
             returned.
+        policy: An :class:`~repro.parallel.ExecutionPolicy`, a bare worker
+            count, or ``None`` to pick up an installed process-wide
+            policy.  Sweeps are elementwise, so parallel results are
+            bit-identical to the serial pass at any worker count; a
+            resolved ``workers=1`` policy stays on the serial cached path.
     """
     if not grids:
         raise ConstraintError("at least one parameter grid is required")
+    from repro.parallel.policy import resolve_policy
+
+    resolved_policy = resolve_policy(policy)
     context = current_context()
     with context.span(
         "dse.sweep_grid",
         dimensions=len(grids),
         guarded=guard is not None,
+        workers=resolved_policy.workers if resolved_policy is not None else 0,
     ):
+        if resolved_policy is not None and resolved_policy.parallel:
+            return _parallel_sweep(base, grids, resolved_policy, guard)
         if guard is not None:
             size, columns = product_columns(base, grids)
             if context.enabled:

@@ -1,0 +1,59 @@
+"""Parallel shared-memory execution of scenario workloads.
+
+Shards Monte Carlo runs, grid sweeps, and DSE workloads across a
+persistent worker-process pool with **bit-identical** results at any
+worker count — the shard plan and per-shard SeedSequence child streams
+depend only on ``(rows, shard_rows, seed)``, never on ``workers``.
+
+The one knob is :class:`ExecutionPolicy` (worker count, shard size,
+transport); ``policy=``-accepting entry points across
+:mod:`repro.analysis`, :mod:`repro.dse`, and :mod:`repro.robustness`
+resolve it per call or pick up a process-wide default installed with
+:func:`use_execution_policy`.  :class:`ParallelRunner` is the engine
+underneath: it fans shards out over zero-copy
+``multiprocessing.shared_memory`` views of the batch columns and merges
+the outputs back in shard order.  See ``docs/PARALLEL.md``.
+"""
+
+from repro.parallel.policy import (
+    DEFAULT_SHARD_ROWS,
+    PICKLE,
+    SHM,
+    TRANSPORTS,
+    ExecutionPolicy,
+    current_policy,
+    default_start_method,
+    resolve_policy,
+    shard_plan,
+    use_execution_policy,
+)
+from repro.parallel.pool import BLAS_ENV_PINS, WorkerPool, pin_blas_threads
+from repro.parallel.runner import (
+    SERIES_NAMES,
+    ParallelEvaluation,
+    ParallelRunner,
+    ShardReport,
+)
+from repro.parallel.shm import SharedArrayStore, attach_shared_memory
+
+__all__ = [
+    "BLAS_ENV_PINS",
+    "DEFAULT_SHARD_ROWS",
+    "ExecutionPolicy",
+    "PICKLE",
+    "ParallelEvaluation",
+    "ParallelRunner",
+    "SERIES_NAMES",
+    "SHM",
+    "ShardReport",
+    "SharedArrayStore",
+    "TRANSPORTS",
+    "WorkerPool",
+    "attach_shared_memory",
+    "current_policy",
+    "default_start_method",
+    "pin_blas_threads",
+    "resolve_policy",
+    "shard_plan",
+    "use_execution_policy",
+]

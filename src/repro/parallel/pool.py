@@ -1,0 +1,191 @@
+"""A small persistent worker-process pool with faithful error transport.
+
+``multiprocessing.Pool`` would almost fit, but the runner needs three
+things it does not give cleanly: a pool that survives across many
+evaluate calls without re-importing numpy (persistent daemon workers fed
+through queues), per-task knowledge of *which worker* ran it (so the
+parent can tag observability counters per worker), and loss-free
+exception propagation (``Pool`` re-raises whatever survives pickling and
+hangs or obscures what does not).
+
+:class:`WorkerPool` keeps the contract tiny: ``run(fn, payloads)`` maps a
+**module-level** function over payloads on the workers and returns results
+in submission order.  Worker exceptions are pickled back and re-raised
+with their original type when the exception round-trips; otherwise the
+parent raises :class:`~repro.core.errors.WorkerError` carrying the
+original's text and traceback.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import traceback
+from typing import Any, Callable, Sequence
+
+from repro.core.errors import ParameterError, WorkerError
+from repro.parallel.policy import default_start_method
+
+#: BLAS thread-pool pins applied before workers start: each worker runs
+#: single-threaded kernels so speedups are attributable to the pool (and
+#: W workers × T BLAS threads cannot oversubscribe the machine).
+BLAS_ENV_PINS = {
+    "OPENBLAS_NUM_THREADS": "1",
+    "OMP_NUM_THREADS": "1",
+    "MKL_NUM_THREADS": "1",
+}
+
+
+def pin_blas_threads() -> None:
+    """Pin BLAS/OpenMP thread pools to 1 (existing settings win)."""
+    for key, value in BLAS_ENV_PINS.items():
+        os.environ.setdefault(key, value)
+
+
+def _encode_error(exc: BaseException) -> tuple[str, Any]:
+    """Encode an exception for the result queue.
+
+    Returns ``("exc", exception)`` when the exception survives a pickle
+    round trip (the parent re-raises it as-is), else ``("text", (repr,
+    traceback))`` for a parent-side :class:`WorkerError`.
+    """
+    try:
+        if pickle.loads(pickle.dumps(exc)) is not None:
+            return ("exc", exc)
+    except Exception:
+        pass
+    return ("text", (repr(exc), traceback.format_exc()))
+
+
+def _worker_loop(worker_id: int, tasks: Any, results: Any) -> None:
+    """Worker main: drain the task queue until the ``None`` sentinel."""
+    pin_blas_threads()
+    for index, fn, payload in iter(tasks.get, None):
+        try:
+            out = fn(payload)
+        except BaseException as exc:  # noqa: BLE001 - transported to parent
+            results.put((index, worker_id, False, _encode_error(exc)))
+        else:
+            results.put((index, worker_id, True, out))
+
+
+class WorkerPool:
+    """A persistent pool of daemon worker processes fed through queues.
+
+    Start is lazy — processes launch on the first :meth:`run` — and the
+    pool is reusable across calls until :meth:`close`.  Tasks name their
+    function by reference (it must be importable module-level, picklable
+    under both ``fork`` and ``spawn``).
+    """
+
+    def __init__(self, workers: int, *, start_method: str | None = None):
+        if workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.start_method = start_method or default_start_method()
+        self._context = multiprocessing.get_context(self.start_method)
+        self._processes: list[multiprocessing.process.BaseProcess] = []
+        self._tasks: Any = None
+        self._results: Any = None
+        self._closed = False
+
+    @property
+    def running(self) -> bool:
+        return bool(self._processes)
+
+    def _ensure_started(self) -> None:
+        if self._processes:
+            return
+        if self._closed:
+            raise ParameterError("worker pool is closed")
+        # Pin in the parent before forking/spawning so children inherit
+        # the single-threaded BLAS configuration from their environment.
+        pin_blas_threads()
+        # Full Queues, not SimpleQueues: their feeder threads make put()
+        # non-blocking, so submitting every task before draining results
+        # cannot deadlock on a full pipe when payloads are large (pickle
+        # transport ships whole column slices through these queues).
+        self._tasks = self._context.Queue()
+        self._results = self._context.Queue()
+        for worker_id in range(self.workers):
+            process = self._context.Process(
+                target=_worker_loop,
+                args=(worker_id, self._tasks, self._results),
+                name=f"repro-worker-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+    ) -> list[tuple[int, Any]]:
+        """Map ``fn`` over ``payloads`` on the workers.
+
+        Returns one ``(worker_id, result)`` pair per payload, in payload
+        order.  The first failed task re-raises in the parent (original
+        exception type when picklable, :class:`WorkerError` otherwise) —
+        after all in-flight results have been collected, so the queues
+        stay consistent for the next :meth:`run`.
+        """
+        if not payloads:
+            return []
+        self._ensure_started()
+        for index, payload in enumerate(payloads):
+            self._tasks.put((index, fn, payload))
+        outcomes: list[tuple[int, Any] | None] = [None] * len(payloads)
+        failure: tuple[int, int, Any] | None = None
+        for _ in range(len(payloads)):
+            index, worker_id, ok, out = self._results.get()
+            if ok:
+                outcomes[index] = (worker_id, out)
+            elif failure is None or index < failure[0]:
+                failure = (index, worker_id, out)
+        if failure is not None:
+            index, worker_id, encoded = failure
+            kind, payload = encoded
+            if kind == "exc":
+                raise payload
+            original, trace = payload
+            raise WorkerError(
+                f"worker {worker_id} failed on task {index}: {original}",
+                worker=worker_id,
+                shard=index,
+                original=trace,
+            )
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._processes:
+            for _ in self._processes:
+                self._tasks.put(None)
+            for process in self._processes:
+                process.join(timeout=10.0)
+                if process.is_alive():  # pragma: no cover - hung worker
+                    process.terminate()
+                    process.join(timeout=5.0)
+            self._processes.clear()
+            for queue in (self._tasks, self._results):
+                queue.close()
+                # The feeder thread may still hold buffered sentinels for
+                # workers that already exited; never block shutdown on it.
+                queue.cancel_join_thread()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass

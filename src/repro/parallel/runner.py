@@ -1,0 +1,820 @@
+"""The parallel execution layer: shard, fan out, merge — bit-identically.
+
+:class:`ParallelRunner` takes one scenario workload (raw columns, an
+existing batch, or a Monte Carlo specification), splits it into
+contiguous row shards with :func:`~repro.parallel.policy.shard_plan`,
+evaluates the shards on a persistent worker-process pool, and merges the
+per-shard outputs back in shard order into a :class:`ParallelEvaluation`.
+
+Determinism contract (pinned by ``tests/test_parallel.py``):
+
+* The shard plan is a pure function of ``(rows, shard_rows)`` — worker
+  count only decides *which process* evaluates a shard, never which rows
+  it covers.
+* Monte Carlo sampling derives one ``np.random.SeedSequence`` child per
+  shard (``SeedSequence(seed).spawn(n_shards)``), so shard ``i`` draws
+  the same values whether one worker or eight evaluate the plan.  The
+  serial reference is
+  :func:`~repro.analysis.montecarlo.sample_parameter_columns_sharded`.
+* Shard outputs are written by absolute row range, so completion order
+  cannot reorder anything.
+
+Transports: ``"shm"`` copies the input columns into one shared-memory
+segment and lets workers slice zero-copy views (and write results
+straight into a shared output segment); ``"pickle"`` ships sliced column
+arrays through the task queue — simpler, measurably slower for large
+batches (the benchmark's ``parallel`` section quantifies the gap).
+
+Guarded evaluation works per shard: each worker reconstructs the
+:class:`~repro.robustness.guard.GuardedEngine` from its config, evaluates
+its shard, translates diagnostic indices from shard-local to global, and
+captures any :class:`~repro.robustness.guard.RobustnessWarning` messages
+for the parent to re-emit.  The parent merges validity masks and
+diagnostics, and raises the same all-rows-masked
+:class:`~repro.core.errors.ValidationError` the serial guard would when
+*no* shard kept a row.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.montecarlo import (
+    TRIANGULAR,
+    resolve_parameter_ranges,
+    sample_shard_columns,
+)
+from repro.core.errors import ParameterError, ValidationError
+from repro.core.parameters import require_positive
+from repro.dse.pareto import pareto_mask as _serial_pareto_mask
+from repro.engine.batch import (
+    FIELD_NAMES,
+    ScenarioBatch,
+    broadcast_columns,
+    prevalidated_batch,
+)
+from repro.engine.kernels import BatchResult, evaluate_batch
+from repro.obs.context import current_context
+from repro.parallel.policy import (
+    PICKLE,
+    SHM,
+    ExecutionPolicy,
+    resolve_policy,
+    shard_plan,
+)
+from repro.parallel.pool import WorkerPool
+from repro.parallel.shm import SharedArrayStore
+from repro.robustness.guard import (
+    OUTPUT,
+    SKIP,
+    STRICT,
+    ColumnDiagnostic,
+    GuardedEngine,
+    RobustnessWarning,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.scenario import ActScenario
+
+#: The Eq. 1-8 output series, in :class:`BatchResult` field order.
+SERIES_NAMES: tuple[str, ...] = tuple(BatchResult.__dataclass_fields__)
+
+#: Extra output column carrying each row's guard verdict (1.0 = kept).
+_VALID = "valid"
+
+
+def _guard_spec(guard: "GuardedEngine | None") -> dict[str, Any] | None:
+    """A guard's picklable configuration (caches never cross processes)."""
+    if guard is None:
+        return None
+    return {
+        "policy": guard.policy,
+        "ranges": dict(guard.ranges) if guard.ranges is not None else None,
+        "tolerance": guard.tolerance,
+    }
+
+
+def _offset_diagnostics(
+    diagnostics: Sequence[ColumnDiagnostic], start: int
+) -> tuple[ColumnDiagnostic, ...]:
+    """Translate shard-local diagnostic row indices to global batch rows."""
+    if start == 0:
+        return tuple(diagnostics)
+    return tuple(
+        ColumnDiagnostic(
+            column=diagnostic.column,
+            reason=diagnostic.reason,
+            indices=tuple(index + start for index in diagnostic.indices),
+            values=diagnostic.values,
+            detail=diagnostic.detail,
+        )
+        for diagnostic in diagnostics
+    )
+
+
+def _merge_diagnostics(
+    outcomes: "Sequence[_ShardOutcome]",
+) -> tuple[ColumnDiagnostic, ...]:
+    """Fuse per-shard diagnostics into one per (column, reason).
+
+    The serial guard reports each finding once with every offending row;
+    shards report only their own slice.  Concatenating per-key in shard
+    order (offsets are monotone, shard indices ascending) reproduces the
+    serial guard's ascending global index lists exactly.
+    """
+    merged: dict[tuple[str, str, str], ColumnDiagnostic] = {}
+    for outcome in outcomes:
+        for diagnostic in outcome.diagnostics:
+            key = (diagnostic.column, diagnostic.reason, diagnostic.detail)
+            seen = merged.get(key)
+            if seen is None:
+                merged[key] = diagnostic
+            else:
+                merged[key] = ColumnDiagnostic(
+                    column=diagnostic.column,
+                    reason=diagnostic.reason,
+                    indices=seen.indices + diagnostic.indices,
+                    values=seen.values + diagnostic.values,
+                    detail=diagnostic.detail,
+                )
+    return tuple(merged.values())
+
+
+def _warn_merged(
+    policy: str,
+    rows: int,
+    masked: int,
+    repaired: bool,
+    diagnostics: Sequence[ColumnDiagnostic],
+) -> None:
+    """Re-emit the serial guard's warnings from the merged global state.
+
+    Workers capture (and suppress) their shard-local warnings — a shard
+    that happens to be fully masked raises instead of warning at all — so
+    the parent synthesizes the batch-level messages the serial guard
+    would have produced, from the merged diagnostics and counts.
+    """
+    if not diagnostics:
+        return
+    detail = "; ".join(str(d) for d in diagnostics[:4])
+    if len(diagnostics) > 4:
+        detail += f"; … and {len(diagnostics) - 4} more diagnostic(s)"
+    if repaired:
+        inputs = [d for d in diagnostics if d.reason != OUTPUT]
+        warnings.warn(
+            f"guarded evaluation ({policy}): repaired "
+            f"{sum(len(d.indices) for d in inputs)} value(s) across "
+            f"{len({d.column for d in inputs})} column(s) — {detail}",
+            RobustnessWarning,
+            stacklevel=4,
+        )
+    if masked:
+        warnings.warn(
+            f"guarded evaluation ({policy}): masked {masked} of "
+            f"{rows} row(s) — {detail}",
+            RobustnessWarning,
+            stacklevel=4,
+        )
+
+
+@dataclass(frozen=True)
+class _ShardOutcome:
+    """What one worker hands back for one shard."""
+
+    shard: int
+    start: int
+    stop: int
+    seconds: float
+    series: dict[str, np.ndarray] | None  # pickle transport only
+    valid: np.ndarray | None  # pickle transport only
+    mask: np.ndarray | None  # pareto tasks only
+    diagnostics: tuple[ColumnDiagnostic, ...]
+    repaired: bool
+    messages: tuple[str, ...]
+
+
+def _shard_input_columns(task: dict) -> tuple[dict[str, np.ndarray], SharedArrayStore | None]:
+    """This shard's input columns, as zero-copy views or pickled slices."""
+    transport, payload = task["input"]
+    if transport == SHM:
+        store = SharedArrayStore.attach(payload)
+        start, stop = task["start"], task["stop"]
+        return {name: store.array(name)[start:stop] for name in store.names()}, store
+    return dict(payload), None
+
+
+def _evaluate_shard_guarded(
+    task: dict, columns: Mapping[str, np.ndarray], count: int
+) -> tuple[dict[str, np.ndarray], np.ndarray, tuple, bool, tuple[str, ...]]:
+    """Run one shard through a locally-reconstructed guarded engine.
+
+    Returns NaN-scattered full-shard series, the shard validity mask,
+    globally-indexed diagnostics, the repair flag, and any captured
+    robustness-warning messages (the parent re-emits them).  A fully
+    masked shard is an *outcome* here, not an error — only the parent
+    knows whether every other shard masked out too.
+    """
+    spec = task["guard"]
+    guard = GuardedEngine(
+        policy=spec["policy"],
+        ranges=spec["ranges"],
+        cache=None,
+        tolerance=spec["tolerance"],
+    )
+    start = task["start"]
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        try:
+            guarded = guard.evaluate_columns(task["base"], count, columns)
+        except ValidationError as error:
+            if spec["policy"] == STRICT:
+                raise
+            series = {name: np.full(count, np.nan) for name in SERIES_NAMES}
+            valid = np.zeros(count, dtype=bool)
+            diagnostics = _offset_diagnostics(
+                getattr(error, "diagnostics", ()), start
+            )
+            repaired = False
+        else:
+            series = {name: guarded.full_series(name) for name in SERIES_NAMES}
+            valid = np.array(guarded.valid, dtype=bool)
+            diagnostics = _offset_diagnostics(guarded.diagnostics, start)
+            repaired = guarded.repaired
+    messages = tuple(
+        str(warning.message)
+        for warning in caught
+        if issubclass(warning.category, RobustnessWarning)
+    )
+    return series, valid, diagnostics, repaired, messages
+
+
+def _evaluate_shard(
+    task: dict, count: int
+) -> tuple[
+    dict[str, np.ndarray],
+    np.ndarray,
+    tuple[ColumnDiagnostic, ...],
+    bool,
+    tuple[str, ...],
+]:
+    """Build one shard's columns, evaluate them, and return fresh arrays.
+
+    Scoped so every reference into the input shared-memory segment (the
+    column views and any batch built over them) dies when this function
+    returns — the caller can then close the input mapping safely.  The
+    returned series are kernel outputs or NaN-scatter copies, never views.
+    """
+    kind = task["kind"]
+    input_store: SharedArrayStore | None = None
+    try:
+        if kind == "montecarlo":
+            columns: Mapping[str, np.ndarray] = sample_shard_columns(
+                task["base"],
+                task["ranges"],
+                count,
+                task["seed"],
+                task["distribution"],
+            )
+        else:
+            columns, input_store = _shard_input_columns(task)
+
+        if task["guard"] is not None:
+            return _evaluate_shard_guarded(task, columns, count)
+
+        if kind == "montecarlo":
+            batch = ScenarioBatch.from_columns(task["base"], count, columns)
+        elif task.get("prevalidated"):
+            batch = prevalidated_batch(columns)
+        else:
+            batch = ScenarioBatch(
+                **{
+                    name: np.ascontiguousarray(column)
+                    for name, column in columns.items()
+                }
+            )
+        result = evaluate_batch(batch)
+        series = {name: getattr(result, name) for name in SERIES_NAMES}
+        return series, np.ones(count, dtype=bool), (), False, ()
+    finally:
+        if input_store is not None:
+            # Drop our own view references first; the caller's are gone
+            # (the store object outlives this frame, the views do not).
+            columns = None  # noqa: F841 - release shm views before unmap
+            batch = None  # noqa: F841
+            input_store.close()
+
+
+def _run_shard(task: dict) -> _ShardOutcome:
+    """Worker entry point: evaluate one shard of one workload.
+
+    Must stay module-level (pickled by reference under both ``fork`` and
+    ``spawn``).  Handles three task kinds — ``"columns"`` (pre-built
+    column slices), ``"montecarlo"`` (sample this shard from its own
+    SeedSequence child, then evaluate), and ``"pareto"`` (non-dominance
+    of this shard's rows against the full objective matrix).
+    """
+    started = time.perf_counter()
+    kind = task["kind"]
+    shard = task["shard"]
+    start, stop = task["start"], task["stop"]
+    count = stop - start
+
+    if kind == "pareto":
+        transport, payload = task["input"]
+        store = None
+        try:
+            if transport == SHM:
+                store = SharedArrayStore.attach(payload)
+                matrix = store.array("objectives")
+            else:
+                matrix = np.asarray(payload, dtype=np.float64)
+            block = matrix[start:stop]
+            # Same comparison semantics as repro.dse.pareto.pareto_mask,
+            # restricted to this shard's candidate rows.
+            no_worse = (matrix[:, None, :] <= block[None, :, :]).all(axis=2)
+            better = (matrix[:, None, :] < block[None, :, :]).any(axis=2)
+            mask = np.array(~((no_worse & better).any(axis=0)), dtype=bool)
+        finally:
+            # Release the matrix views before unmapping the segment.
+            matrix = block = None  # noqa: F841
+            if store is not None:
+                store.close()
+        return _ShardOutcome(
+            shard=shard,
+            start=start,
+            stop=stop,
+            seconds=time.perf_counter() - started,
+            series=None,
+            valid=None,
+            mask=mask,
+            diagnostics=(),
+            repaired=False,
+            messages=(),
+        )
+
+    output_store: SharedArrayStore | None = None
+    try:
+        # The input-side shm views must all be dead before the input store
+        # closes (an mmap with exported pointers cannot unmap), so column
+        # construction and evaluation live in a helper whose locals — the
+        # column views, the batch built over them — die on return.  Every
+        # array it returns is a fresh kernel output or an explicit copy.
+        series, valid, diagnostics, repaired, messages = _evaluate_shard(
+            task, count
+        )
+
+        transport = task["output"][0]
+        if transport == SHM:
+            output_store = SharedArrayStore.attach(task["output"][1])
+            for name in SERIES_NAMES:
+                output_store.array(name)[start:stop] = series[name]
+            output_store.array(_VALID)[start:stop] = valid
+            series_out = None
+            valid_out = None
+        else:
+            series_out = {
+                name: np.ascontiguousarray(series[name])
+                for name in SERIES_NAMES
+            }
+            valid_out = valid
+    finally:
+        if output_store is not None:
+            output_store.close()
+    return _ShardOutcome(
+        shard=shard,
+        start=start,
+        stop=stop,
+        seconds=time.perf_counter() - started,
+        series=series_out,
+        valid=valid_out,
+        mask=None,
+        diagnostics=diagnostics,
+        repaired=repaired,
+        messages=messages,
+    )
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """Where and when one shard ran (merged into the parent's metrics)."""
+
+    shard: int
+    start: int
+    stop: int
+    worker: int
+    seconds: float
+
+    @property
+    def rows(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class ParallelEvaluation:
+    """A merged parallel evaluation, aligned with the original rows.
+
+    Attributes:
+        rows: Rows in the original workload.
+        valid: Per-row guard verdict (all ``True`` for unguarded runs).
+        series: Every Eq. 1-8 output series at full length, ``NaN`` where
+            the guard masked a row.
+        diagnostics: Guard findings with **global** row indices.
+        repaired: Whether any worker's guard clamped a value.
+        shards: Per-shard placement and timing reports, in shard order.
+    """
+
+    rows: int
+    valid: np.ndarray
+    series: Mapping[str, np.ndarray]
+    diagnostics: tuple[ColumnDiagnostic, ...]
+    repaired: bool
+    shards: tuple[ShardReport, ...]
+
+    def __post_init__(self) -> None:
+        valid = np.ascontiguousarray(self.valid, dtype=bool)
+        valid.flags.writeable = False
+        object.__setattr__(self, "valid", valid)
+        frozen: dict[str, np.ndarray] = {}
+        for name, column in self.series.items():
+            column = np.ascontiguousarray(column, dtype=np.float64)
+            column.flags.writeable = False
+            frozen[name] = column
+        object.__setattr__(self, "series", frozen)
+
+    def __len__(self) -> int:
+        return self.rows
+
+    @property
+    def masked_count(self) -> int:
+        """How many rows the guard masked out."""
+        return int(self.rows - np.count_nonzero(self.valid))
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Original row index of each surviving row."""
+        return np.flatnonzero(self.valid)
+
+    def full_series(self, name: str) -> np.ndarray:
+        """One output series at original length, ``NaN`` where masked."""
+        if name not in self.series:
+            raise ParameterError(
+                f"unknown output series {name!r} "
+                f"(have: {', '.join(self.series)})"
+            )
+        return self.series[name]
+
+    def samples(self) -> np.ndarray:
+        """The surviving rows' total footprints (compact, original order)."""
+        return np.ascontiguousarray(self.series["total_g"][self.valid])
+
+    def batch_result(self) -> BatchResult:
+        """The surviving rows as a compact :class:`BatchResult`."""
+        return BatchResult(
+            **{name: self.series[name][self.valid] for name in SERIES_NAMES}
+        )
+
+
+class ParallelRunner:
+    """Shards workloads over a persistent worker pool, per one policy.
+
+    The pool starts lazily on the first parallel call and is reused
+    across calls until :meth:`close` (or context-manager exit) — reusing
+    one runner amortizes worker startup across a whole sweep or
+    benchmark.  With ``workers=1`` no pool exists: the same shard tasks
+    run in-process, in shard order (the serial reference path).
+    """
+
+    def __init__(self, policy: "ExecutionPolicy | int | None" = None):
+        resolved = resolve_policy(policy)
+        self.policy = resolved if resolved is not None else ExecutionPolicy()
+        self._pool: WorkerPool | None = None
+
+    # --- execution core -------------------------------------------------
+
+    def _execute(self, payloads: Sequence[dict]) -> list[tuple[int, _ShardOutcome]]:
+        if not self.policy.parallel:
+            return [(0, _run_shard(payload)) for payload in payloads]
+        if self._pool is None:
+            self._pool = WorkerPool(
+                self.policy.workers, start_method=self.policy.start_method
+            )
+        return self._pool.run(_run_shard, payloads)
+
+    def _output_store(self, rows: int) -> SharedArrayStore:
+        shapes = {name: (rows,) for name in SERIES_NAMES}
+        shapes[_VALID] = (rows,)
+        return SharedArrayStore.zeros(shapes)
+
+    def _merge(
+        self,
+        rows: int,
+        outcomes: Sequence[tuple[int, _ShardOutcome]],
+        output_store: SharedArrayStore | None,
+        guard_policy: str | None,
+    ) -> ParallelEvaluation:
+        ordered = [outcome for _, outcome in outcomes]
+        if output_store is not None:
+            series = {
+                name: np.array(output_store.array(name), copy=True)
+                for name in SERIES_NAMES
+            }
+            valid = np.array(output_store.array(_VALID), copy=True) > 0.5
+        else:
+            series = {
+                name: np.concatenate(
+                    [outcome.series[name] for outcome in ordered]
+                )
+                for name in SERIES_NAMES
+            }
+            valid = np.concatenate([outcome.valid for outcome in ordered])
+        diagnostics = _merge_diagnostics(ordered)
+        shards = tuple(
+            ShardReport(
+                shard=outcome.shard,
+                start=outcome.start,
+                stop=outcome.stop,
+                worker=worker,
+                seconds=outcome.seconds,
+            )
+            for worker, outcome in outcomes
+        )
+        context = current_context()
+        if context.enabled:
+            for report in shards:
+                with context.span(
+                    "parallel.shard",
+                    shard=report.shard,
+                    worker=report.worker,
+                    rows=report.rows,
+                    worker_seconds=round(report.seconds, 6),
+                ):
+                    pass
+                context.count("parallel.shards")
+                context.count(
+                    f"parallel.worker{report.worker}.rows", report.rows
+                )
+                context.observe("parallel.shard_seconds", report.seconds)
+        if guard_policy is not None:
+            if not valid.any():
+                raise ValidationError(
+                    "skip policy masked every row of the batch"
+                    if guard_policy == SKIP
+                    else "every row of the batch overflowed",
+                    diagnostics,
+                )
+            _warn_merged(
+                guard_policy,
+                rows,
+                int(rows - np.count_nonzero(valid)),
+                any(outcome.repaired for outcome in ordered),
+                diagnostics,
+            )
+        return ParallelEvaluation(
+            rows=rows,
+            valid=valid,
+            series=series,
+            diagnostics=diagnostics,
+            repaired=any(outcome.repaired for outcome in ordered),
+            shards=shards,
+        )
+
+    # --- public workloads -----------------------------------------------
+
+    def evaluate_columns(
+        self,
+        base: "ActScenario",
+        size: int,
+        columns: Mapping[str, np.ndarray] | None = None,
+        *,
+        guard: "GuardedEngine | None" = None,
+        prevalidated: bool = False,
+    ) -> ParallelEvaluation:
+        """Shard and evaluate raw scenario columns over ``base``.
+
+        The parallel twin of building a batch with
+        :meth:`~repro.engine.batch.ScenarioBatch.from_columns` (or running
+        ``guard.evaluate_columns``) and evaluating it — per-shard strict
+        validation preserves the serial error behavior unless
+        ``prevalidated`` asserts the columns were already validated.
+        """
+        full = broadcast_columns(base, size, columns)
+        plan = shard_plan(size, self.policy.shard_rows)
+        guard_spec = _guard_spec(guard)
+        input_store: SharedArrayStore | None = None
+        output_store: SharedArrayStore | None = None
+        try:
+            if self.policy.transport == SHM:
+                input_store = SharedArrayStore.create(full)
+                output_store = self._output_store(size)
+                payloads = [
+                    {
+                        "kind": "columns",
+                        "shard": index,
+                        "start": start,
+                        "stop": stop,
+                        "base": base,
+                        "input": (SHM, input_store.handle()),
+                        "output": (SHM, output_store.handle()),
+                        "guard": guard_spec,
+                        "prevalidated": prevalidated,
+                    }
+                    for index, (start, stop) in enumerate(plan)
+                ]
+            else:
+                payloads = [
+                    {
+                        "kind": "columns",
+                        "shard": index,
+                        "start": start,
+                        "stop": stop,
+                        "base": base,
+                        "input": (
+                            PICKLE,
+                            {
+                                name: np.ascontiguousarray(column[start:stop])
+                                for name, column in full.items()
+                            },
+                        ),
+                        "output": (PICKLE,),
+                        "guard": guard_spec,
+                        "prevalidated": prevalidated,
+                    }
+                    for index, (start, stop) in enumerate(plan)
+                ]
+            context = current_context()
+            with context.span(
+                "parallel.evaluate",
+                kind="columns",
+                rows=size,
+                shards=len(plan),
+                workers=self.policy.workers,
+                transport=self.policy.transport,
+            ):
+                outcomes = self._execute(payloads)
+                return self._merge(
+                    size,
+                    outcomes,
+                    output_store,
+                    guard.policy if guard is not None else None,
+                )
+        finally:
+            if input_store is not None:
+                input_store.unlink()
+            if output_store is not None:
+                output_store.unlink()
+
+    def evaluate_batch(
+        self,
+        batch: ScenarioBatch,
+        *,
+        guard: "GuardedEngine | None" = None,
+    ) -> ParallelEvaluation:
+        """Shard and evaluate an already-constructed scenario batch.
+
+        The batch's strict constructor already validated every column, so
+        unguarded shards skip per-element re-validation.
+        """
+        return self.evaluate_columns(
+            batch.scenario(0),
+            len(batch),
+            {name: batch.column(name) for name in FIELD_NAMES},
+            guard=guard,
+            prevalidated=guard is None,
+        )
+
+    def run_monte_carlo(
+        self,
+        base: "ActScenario",
+        parameters: Sequence[str] | None = None,
+        *,
+        draws: int = 2000,
+        seed: int = 2022,
+        distribution: str = TRIANGULAR,
+        ranges: Mapping[str, tuple[float, float]] | None = None,
+        guard: "GuardedEngine | None" = None,
+    ) -> ParallelEvaluation:
+        """Sample and evaluate a Monte Carlo workload, shard by shard.
+
+        Workers sample their own shards from per-shard SeedSequence child
+        streams, so sampling parallelizes with evaluation and the samples
+        are bit-identical at any worker count (reference:
+        :func:`~repro.analysis.montecarlo.sample_parameter_columns_sharded`
+        with ``shard_rows=policy.shard_rows``).
+        """
+        require_positive("draws", draws)
+        resolved_ranges = resolve_parameter_ranges(parameters, ranges)
+        plan = shard_plan(draws, self.policy.shard_rows)
+        seeds = np.random.SeedSequence(seed).spawn(len(plan))
+        guard_spec = _guard_spec(guard)
+        output_store: SharedArrayStore | None = None
+        try:
+            if self.policy.transport == SHM:
+                output_store = self._output_store(draws)
+                output_spec: tuple = (SHM, output_store.handle())
+            else:
+                output_spec = (PICKLE,)
+            payloads = [
+                {
+                    "kind": "montecarlo",
+                    "shard": index,
+                    "start": start,
+                    "stop": stop,
+                    "base": base,
+                    "ranges": resolved_ranges,
+                    "seed": seeds[index],
+                    "distribution": distribution,
+                    "output": output_spec,
+                    "guard": guard_spec,
+                }
+                for index, (start, stop) in enumerate(plan)
+            ]
+            context = current_context()
+            with context.span(
+                "parallel.evaluate",
+                kind="montecarlo",
+                rows=draws,
+                shards=len(plan),
+                workers=self.policy.workers,
+                transport=self.policy.transport,
+            ):
+                outcomes = self._execute(payloads)
+                return self._merge(
+                    draws,
+                    outcomes,
+                    output_store,
+                    guard.policy if guard is not None else None,
+                )
+        finally:
+            if output_store is not None:
+                output_store.unlink()
+
+    def pareto_mask(self, objectives: np.ndarray) -> np.ndarray:
+        """Sharded non-dominated mask over an ``(n, m)`` objective matrix.
+
+        Each shard tests its candidate rows against the *full* matrix, so
+        the merged mask equals :func:`repro.dse.pareto.pareto_mask`
+        exactly (boolean comparisons — no arithmetic to reorder).  Falls
+        back to the serial mask for workloads too small to shard.
+        """
+        matrix = np.ascontiguousarray(objectives, dtype=np.float64)
+        rows = matrix.shape[0] if matrix.ndim == 2 else 0
+        if not self.policy.parallel or rows < 2:
+            return _serial_pareto_mask(matrix)
+        # Pareto shards are quadratic in work, so split finer than the
+        # row-linear kernel shards: one slice per worker, capped by the
+        # policy's shard size.
+        per_worker = -(-rows // self.policy.workers)
+        plan = shard_plan(rows, min(self.policy.shard_rows, per_worker))
+        input_store: SharedArrayStore | None = None
+        try:
+            if self.policy.transport == SHM:
+                input_store = SharedArrayStore.create({"objectives": matrix})
+                input_spec: tuple = (SHM, input_store.handle())
+            else:
+                input_spec = (PICKLE, matrix)
+            payloads = [
+                {
+                    "kind": "pareto",
+                    "shard": index,
+                    "start": start,
+                    "stop": stop,
+                    "input": input_spec,
+                }
+                for index, (start, stop) in enumerate(plan)
+            ]
+            context = current_context()
+            with context.span(
+                "parallel.evaluate",
+                kind="pareto",
+                rows=rows,
+                shards=len(plan),
+                workers=self.policy.workers,
+                transport=self.policy.transport,
+            ):
+                outcomes = self._execute(payloads)
+            return np.concatenate(
+                [outcome.mask for _, outcome in outcomes]
+            )
+        finally:
+            if input_store is not None:
+                input_store.unlink()
+
+    # --- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; runner stays reusable —
+        the next parallel call starts a fresh pool)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,216 @@
+"""Zero-copy column transport over ``multiprocessing.shared_memory``.
+
+A :class:`SharedArrayStore` packs a set of named float64 arrays (the 18
+:class:`~repro.engine.batch.ScenarioBatch` columns, the 10
+:class:`~repro.engine.kernels.BatchResult` series, or any other layout)
+into **one** shared-memory segment.  The parent process creates the store
+and copies each array in once; workers :meth:`attach` by the store's
+picklable :meth:`handle` and get numpy views directly onto the mapped
+segment — slicing a shard out of a view is free, so per-shard transport
+cost is zero regardless of batch size.
+
+Lifecycle discipline (see ``docs/PARALLEL.md``):
+
+* every process that attached calls :meth:`close` (drops its mapping);
+* exactly one process — the creator — calls :meth:`unlink` (frees the
+  segment).  The runner does both in ``finally`` blocks, so a crashed
+  *run* cannot leak segments; a SIGKILLed *process* leaves the segment to
+  the OS, which reclaims ``/dev/shm`` entries at reboot (and the
+  stdlib's resource tracker cleans up creator-side leaks at interpreter
+  exit).
+
+Attaching normally registers the segment with the process-local resource
+tracker, which would then unlink it when *any* attaching worker exits —
+yanking the memory out from under everyone else (a long-standing CPython
+pitfall, fixed by ``track=False`` in 3.13).  :func:`attach_shared_memory`
+uses ``track=False`` where available and deregisters manually otherwise.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import ParameterError
+
+#: A picklable description of one store: (shm name, ((array name, shape,
+#: byte offset), ...)).  Everything a worker needs to attach and view.
+StoreHandle = tuple[str, tuple[tuple[str, tuple[int, ...], int], ...]]
+
+_DTYPE = np.float64
+_ITEMSIZE = np.dtype(_DTYPE).itemsize
+
+
+def attach_shared_memory(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker ownership.
+
+    Python 3.13+ supports ``track=False`` natively.  On older versions
+    attaching always *registers* the segment with the resource tracker —
+    and under ``fork`` the tracker (and its registration set) is shared
+    with the parent, so the obvious register-then-unregister dance would
+    delete the **creator's** registration and make the creator's later
+    unlink blow up.  Instead, registration is suppressed for the duration
+    of the attach (the worker is single-threaded, so the patch window is
+    private to this call).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+
+
+class SharedArrayStore:
+    """Named float64 arrays packed into one shared-memory segment.
+
+    Construct with :meth:`create` (copy existing arrays in) or
+    :meth:`zeros` (allocate result space); workers reconstruct with
+    :meth:`attach` from the picklable :meth:`handle`.
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        layout: tuple[tuple[str, tuple[int, ...], int], ...],
+        *,
+        owner: bool,
+    ) -> None:
+        self._segment = segment
+        self._layout = layout
+        self._owner = owner
+        self._closed = False
+        self._views: dict[str, np.ndarray] = {}
+
+    # --- construction ---------------------------------------------------
+
+    @staticmethod
+    def _build_layout(
+        shapes: Mapping[str, Sequence[int]],
+    ) -> tuple[tuple[tuple[str, tuple[int, ...], int], ...], int]:
+        if not shapes:
+            raise ParameterError("a shared array store needs at least one array")
+        layout: list[tuple[str, tuple[int, ...], int]] = []
+        offset = 0
+        for name, shape in shapes.items():
+            shape = tuple(int(dim) for dim in shape)
+            if any(dim < 0 for dim in shape):
+                raise ParameterError(
+                    f"array {name!r} has a negative dimension: {shape}"
+                )
+            layout.append((name, shape, offset))
+            offset += int(np.prod(shape, dtype=np.int64)) * _ITEMSIZE
+        return tuple(layout), max(offset, 1)
+
+    @classmethod
+    def create(cls, arrays: Mapping[str, np.ndarray]) -> "SharedArrayStore":
+        """Allocate a segment and copy ``arrays`` into it (float64)."""
+        shapes = {name: np.shape(array) for name, array in arrays.items()}
+        layout, nbytes = cls._build_layout(shapes)
+        segment = shared_memory.SharedMemory(create=True, size=nbytes)
+        store = cls(segment, layout, owner=True)
+        for name, array in arrays.items():
+            np.copyto(store.array(name), np.asarray(array, dtype=_DTYPE))
+        return store
+
+    @classmethod
+    def zeros(
+        cls, shapes: Mapping[str, Sequence[int]]
+    ) -> "SharedArrayStore":
+        """Allocate a zero-filled segment with the given array shapes."""
+        layout, nbytes = cls._build_layout(shapes)
+        segment = shared_memory.SharedMemory(create=True, size=nbytes)
+        store = cls(segment, layout, owner=True)
+        for name, _, _ in layout:
+            store.array(name).fill(0.0)
+        return store
+
+    @classmethod
+    def attach(cls, handle: StoreHandle) -> "SharedArrayStore":
+        """Attach to a store created elsewhere, from its :meth:`handle`."""
+        name, layout = handle
+        segment = attach_shared_memory(name)
+        return cls(segment, tuple(layout), owner=False)
+
+    # --- access ---------------------------------------------------------
+
+    def handle(self) -> StoreHandle:
+        """The picklable (segment name, layout) pair workers attach with."""
+        return (self._segment.name, self._layout)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(name for name, _, _ in self._layout)
+
+    def array(self, name: str) -> np.ndarray:
+        """A live numpy view of one stored array (no copy)."""
+        if self._closed:
+            raise ParameterError("shared array store is closed")
+        view = self._views.get(name)
+        if view is not None:
+            return view
+        for entry, shape, offset in self._layout:
+            if entry == name:
+                count = int(np.prod(shape, dtype=np.int64))
+                view = np.frombuffer(
+                    self._segment.buf, dtype=_DTYPE, count=count, offset=offset
+                ).reshape(shape)
+                self._views[name] = view
+                return view
+        raise ParameterError(
+            f"unknown shared array {name!r} (have: {', '.join(self.names())})"
+        )
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """Views of every stored array, keyed by name."""
+        return {name: self.array(name) for name in self.names()}
+
+    # --- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop this process's mapping (idempotent).
+
+        Views handed out by :meth:`array` become invalid; the runner
+        copies results out before closing.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        # Views hold buffer references into the mapped segment; numpy must
+        # release them before SharedMemory.close() can unmap.  If a caller
+        # still holds a view, leave the mapping in place (reclaimed at
+        # process exit) rather than crash — the segment itself is freed by
+        # the creator's unlink either way.
+        self._views.clear()
+        try:
+            self._segment.close()
+        except BufferError:  # pragma: no cover - caller kept a view alive
+            pass
+
+    def unlink(self) -> None:
+        """Free the segment (creator only; idempotent, close first)."""
+        self.close()
+        if self._owner:
+            self._owner = False
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SharedArrayStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.unlink() if self._owner else self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.unlink() if self._owner else self.close()
+        except Exception:
+            pass

@@ -34,6 +34,7 @@ from repro.analysis.montecarlo import (
     TRIANGULAR,
     MonteCarloResult,
     sample_parameter_columns,
+    sample_parameter_columns_sharded,
 )
 from repro.analysis.scenario import ActScenario
 from repro.core.errors import CheckpointError, RunInterrupted
@@ -208,6 +209,7 @@ def run_monte_carlo_chunked(
     cancel: CancelToken | None = None,
     cache: EvaluationCache | None = None,
     guard: "GuardedEngine | None" = None,
+    policy: "object | int | None" = None,
 ) -> MonteCarloResult:
     """:func:`~repro.analysis.montecarlo.run_monte_carlo`, chunked.
 
@@ -224,6 +226,17 @@ def run_monte_carlo_chunked(
         guard: Optional :class:`~repro.robustness.guard.GuardedEngine`;
             masked rows are dropped from the final sample set exactly as
             in the one-shot guarded runner.
+        policy: An :class:`~repro.parallel.ExecutionPolicy`, a bare worker
+            count, or ``None`` to pick up an installed process-wide
+            policy.  Any resolved policy (even ``workers=1``) switches the
+            sampler to the sharded per-chunk SeedSequence streams (one
+            child stream per ``chunk_rows`` chunk) so the chunk is the
+            unit of both checkpointing and parallel dispatch; the samples
+            are then bit-identical across worker counts, and a checkpoint
+            written at one worker count resumes at any other.  Sharded
+            streams differ from the legacy ``policy=None`` single stream,
+            so their fingerprints differ and the two cannot resume each
+            other's checkpoints.
 
     Raises:
         CheckpointError: ``resume`` without a usable, matching checkpoint.
@@ -231,15 +244,29 @@ def run_monte_carlo_chunked(
             (and carried on the exception's ``partial`` attribute).
     """
     require_positive("chunk_rows", chunk_rows)
+    from repro.parallel.policy import resolve_policy
+
+    resolved_policy = resolve_policy(policy)
     context = current_context()
-    columns = sample_parameter_columns(
-        base,
-        parameters,
-        draws=draws,
-        seed=seed,
-        distribution=distribution,
-        ranges=ranges,
-    )
+    if resolved_policy is not None:
+        columns = sample_parameter_columns_sharded(
+            base,
+            parameters,
+            draws=draws,
+            seed=seed,
+            shard_rows=chunk_rows,
+            distribution=distribution,
+            ranges=ranges,
+        )
+    else:
+        columns = sample_parameter_columns(
+            base,
+            parameters,
+            draws=draws,
+            seed=seed,
+            distribution=distribution,
+            ranges=ranges,
+        )
     guard_tag = guard.policy if guard is not None else "off"
     fingerprint = _fingerprint(
         "montecarlo",
@@ -298,45 +325,81 @@ def run_monte_carlo_chunked(
                     total=draws,
                 )
 
-    with context.span(
-        "analysis.montecarlo_chunked", draws=draws, chunk_rows=chunk_rows
-    ):
-        while completed < draws:
-            if cancel is not None and cancel.should_stop():
+    parallel = resolved_policy is not None and resolved_policy.parallel
+    # One wave dispatches `workers` chunks at once; `completed` always
+    # stays a whole-chunk prefix, so a checkpoint written mid-run at one
+    # worker count resumes cleanly at any other.
+    wave_rows = (
+        chunk_rows * resolved_policy.workers if parallel else chunk_rows
+    )
+    runner = None
+    if parallel:
+        from repro.parallel.runner import ParallelRunner
+
+        runner = ParallelRunner(
+            resolved_policy.replace(shard_rows=chunk_rows)
+        )
+    try:
+        with context.span(
+            "analysis.montecarlo_chunked",
+            draws=draws,
+            chunk_rows=chunk_rows,
+            workers=resolved_policy.workers if resolved_policy else 0,
+        ):
+            while completed < draws:
+                if cancel is not None and cancel.should_stop():
+                    _save()
+                    error = RunInterrupted(
+                        f"Monte Carlo interrupted at {completed}/{draws} draws"
+                        + (
+                            f"; resume from {os.fspath(checkpoint)!r}"
+                            if checkpoint is not None
+                            else " (no checkpoint path — partial results not "
+                            "persisted)"
+                        ),
+                        completed=completed,
+                        total=draws,
+                        checkpoint=checkpoint,
+                    )
+                    error.partial = samples[:completed][
+                        np.isfinite(samples[:completed])
+                    ]
+                    raise error
+                stop = min(completed + wave_rows, draws)
+                chunk = {
+                    name: column[completed:stop]
+                    for name, column in columns.items()
+                }
+                if runner is not None:
+                    evaluation = runner.evaluate_columns(
+                        base, stop - completed, chunk, guard=guard
+                    )
+                    samples[completed:stop] = evaluation.full_series("total_g")
+                elif guard is not None:
+                    guarded = guard.evaluate_columns(
+                        base, stop - completed, chunk
+                    )
+                    samples[completed:stop] = guarded.full_series("total_g")
+                else:
+                    batch = ScenarioBatch.from_columns(
+                        base, stop - completed, chunk
+                    )
+                    samples[completed:stop] = evaluate_cached(
+                        batch, cache
+                    ).total_g
+                completed = stop
+                if context.enabled:
+                    context.count("analysis.montecarlo.chunks")
+                    context.event(
+                        "chunk",
+                        kind="montecarlo",
+                        completed=completed,
+                        total=draws,
+                    )
                 _save()
-                error = RunInterrupted(
-                    f"Monte Carlo interrupted at {completed}/{draws} draws"
-                    + (
-                        f"; resume from {os.fspath(checkpoint)!r}"
-                        if checkpoint is not None
-                        else " (no checkpoint path — partial results not "
-                        "persisted)"
-                    ),
-                    completed=completed,
-                    total=draws,
-                    checkpoint=checkpoint,
-                )
-                error.partial = samples[:completed][
-                    np.isfinite(samples[:completed])
-                ]
-                raise error
-            stop = min(completed + chunk_rows, draws)
-            chunk = {
-                name: column[completed:stop] for name, column in columns.items()
-            }
-            if guard is not None:
-                guarded = guard.evaluate_columns(base, stop - completed, chunk)
-                samples[completed:stop] = guarded.full_series("total_g")
-            else:
-                batch = ScenarioBatch.from_columns(base, stop - completed, chunk)
-                samples[completed:stop] = evaluate_cached(batch, cache).total_g
-            completed = stop
-            if context.enabled:
-                context.count("analysis.montecarlo.chunks")
-                context.event(
-                    "chunk", kind="montecarlo", completed=completed, total=draws
-                )
-            _save()
+    finally:
+        if runner is not None:
+            runner.close()
 
     # Guarded runs mark masked rows NaN; drop them like the one-shot path.
     finished = samples[np.isfinite(samples)] if guard is not None else samples
@@ -357,6 +420,7 @@ def sweep_grid_batched_chunked(
     resume: bool = False,
     cancel: CancelToken | None = None,
     cache: EvaluationCache | None = None,
+    policy: "object | int | None" = None,
 ) -> BatchSweepResult:
     """:func:`~repro.dse.sweep.sweep_grid_batched`, chunked and resumable.
 
@@ -364,8 +428,19 @@ def sweep_grid_batched_chunked(
     reassembles a :class:`~repro.dse.sweep.BatchSweepResult` bit-identical
     to the one-shot sweep (the kernels are elementwise, so chunk
     boundaries cannot change any value).
+
+    Args:
+        policy: An :class:`~repro.parallel.ExecutionPolicy`, a bare worker
+            count, or ``None`` to pick up an installed process-wide
+            policy.  A parallel policy dispatches ``workers`` chunks per
+            wave; grid columns (and so the checkpoint fingerprint) are
+            unchanged, so serial and parallel runs of the same sweep
+            resume each other's checkpoints freely.
     """
     require_positive("chunk_rows", chunk_rows)
+    from repro.parallel.policy import resolve_policy
+
+    resolved_policy = resolve_policy(policy)
     context = current_context()
     size, columns = product_columns(base, grids)
     names = tuple(grids)
@@ -424,41 +499,74 @@ def sweep_grid_batched_chunked(
                     total=size,
                 )
 
-    with context.span(
-        "dse.sweep_grid_chunked", points=size, chunk_rows=chunk_rows
-    ):
-        while completed < size:
-            if cancel is not None and cancel.should_stop():
+    parallel = resolved_policy is not None and resolved_policy.parallel
+    wave_rows = (
+        chunk_rows * resolved_policy.workers if parallel else chunk_rows
+    )
+    runner = None
+    if parallel:
+        from repro.parallel.runner import ParallelRunner
+
+        runner = ParallelRunner(
+            resolved_policy.replace(shard_rows=chunk_rows)
+        )
+    try:
+        with context.span(
+            "dse.sweep_grid_chunked",
+            points=size,
+            chunk_rows=chunk_rows,
+            workers=resolved_policy.workers if resolved_policy else 0,
+        ):
+            while completed < size:
+                if cancel is not None and cancel.should_stop():
+                    _save()
+                    raise RunInterrupted(
+                        f"grid sweep interrupted at {completed}/{size} rows"
+                        + (
+                            f"; resume from {os.fspath(checkpoint)!r}"
+                            if checkpoint is not None
+                            else " (no checkpoint path — partial results not "
+                            "persisted)"
+                        ),
+                        completed=completed,
+                        total=size,
+                        checkpoint=checkpoint,
+                    )
+                stop = min(completed + wave_rows, size)
+                if runner is not None:
+                    chunk = {
+                        name: column[completed:stop]
+                        for name, column in columns.items()
+                    }
+                    evaluation = runner.evaluate_columns(
+                        base, stop - completed, chunk
+                    )
+                    for name in series_names:
+                        series[name][completed:stop] = evaluation.full_series(
+                            name
+                        )
+                else:
+                    chunk_batch = ScenarioBatch(
+                        **{
+                            name: np.ascontiguousarray(column[completed:stop])
+                            for name, column in columns.items()
+                        }
+                    )
+                    chunk_result = evaluate_cached(chunk_batch, cache)
+                    for name in series_names:
+                        series[name][completed:stop] = getattr(
+                            chunk_result, name
+                        )
+                completed = stop
+                if context.enabled:
+                    context.count("dse.sweep.chunks")
+                    context.event(
+                        "chunk", kind="sweep", completed=completed, total=size
+                    )
                 _save()
-                raise RunInterrupted(
-                    f"grid sweep interrupted at {completed}/{size} rows"
-                    + (
-                        f"; resume from {os.fspath(checkpoint)!r}"
-                        if checkpoint is not None
-                        else " (no checkpoint path — partial results not "
-                        "persisted)"
-                    ),
-                    completed=completed,
-                    total=size,
-                    checkpoint=checkpoint,
-                )
-            stop = min(completed + chunk_rows, size)
-            chunk_batch = ScenarioBatch(
-                **{
-                    name: np.ascontiguousarray(column[completed:stop])
-                    for name, column in columns.items()
-                }
-            )
-            chunk_result = evaluate_cached(chunk_batch, cache)
-            for name in series_names:
-                series[name][completed:stop] = getattr(chunk_result, name)
-            completed = stop
-            if context.enabled:
-                context.count("dse.sweep.chunks")
-                context.event(
-                    "chunk", kind="sweep", completed=completed, total=size
-                )
-            _save()
+    finally:
+        if runner is not None:
+            runner.close()
 
     batch = ScenarioBatch(**columns)
     result = BatchResult(**series)

@@ -173,6 +173,55 @@ class TestMonteCarlo:
         assert "must be numbers in [0, 100]" in err
 
 
+class TestWorkers:
+    def test_invalid_worker_count_exits_2(self, capsys):
+        code, _, err = run_cli(
+            capsys, "montecarlo", "--draws", "100", "--workers", "0"
+        )
+        assert code == 2
+        assert "workers must be" in err
+
+    def test_experiment_invalid_worker_count_exits_2(self, capsys):
+        code, _, err = run_cli(capsys, "experiment", "fig14", "--workers", "-3")
+        assert code == 2
+        assert "workers must be" in err
+
+    def test_montecarlo_invariant_across_worker_counts(self, capsys):
+        # The sharded sample stream is a function of (seed, shard size),
+        # never of worker count, so the statistics must agree to the digit.
+        _, two, _ = run_cli(
+            capsys, "montecarlo", "--draws", "400", "--workers", "2"
+        )
+        code, four, _ = run_cli(
+            capsys, "montecarlo", "--draws", "400", "--workers", "4"
+        )
+        assert code == 0
+        stats = lambda text: [  # noqa: E731
+            line
+            for line in text.splitlines()
+            if line.startswith(("mean", "std", "p"))
+        ]
+        assert stats(two) == stats(four)
+
+    def test_sensitivity_invariant_across_worker_counts(self, capsys):
+        _, two, _ = run_cli(capsys, "sensitivity", "--draws", "300", "--workers", "2")
+        code, four, _ = run_cli(
+            capsys, "sensitivity", "--draws", "300", "--workers", "4"
+        )
+        assert code == 0
+        assert two == four
+
+    def test_parallel_experiment_matches_serial(self, capsys):
+        # Experiments sweep fixed grids (no sampling), so the parallel
+        # output is byte-identical to the serial run.
+        _, serial, _ = run_cli(capsys, "experiment", "fig14")
+        code, parallel, _ = run_cli(
+            capsys, "experiment", "fig14", "--workers", "2"
+        )
+        assert code == 0
+        assert parallel == serial
+
+
 class TestBaselines:
     def test_comparison_output(self, capsys):
         code, out, _ = run_cli(capsys, "baselines")

@@ -21,12 +21,15 @@ import argparse
 import json
 import sys
 
-#: (section, key) pairs guarded against regression.  Both are best-of-N
-#: points/sec figures, so a sustained drop means the engine got slower,
-#: not that one sample was unlucky.
-GUARDED_SERIES: tuple[tuple[str, str], ...] = (
-    ("monte_carlo", "batched_points_per_sec"),
-    ("grid_sweep", "batched_points_per_sec"),
+#: (section, key, required) triples guarded against regression.  All are
+#: best-of-N points/sec figures, so a sustained drop means the engine got
+#: slower, not that one sample was unlucky.  Optional series (the
+#: ``parallel`` section, absent from baselines written before it existed)
+#: are skipped with a note when either payload lacks them.
+GUARDED_SERIES: tuple[tuple[str, str, bool], ...] = (
+    ("monte_carlo", "batched_points_per_sec", True),
+    ("grid_sweep", "batched_points_per_sec", True),
+    ("parallel", "best_draws_per_sec", False),
 )
 
 
@@ -38,13 +41,24 @@ def compare(
     Returns ``(name, baseline_value, current_value, drop_fraction)`` rows.
     """
     regressions = []
-    for section, key in GUARDED_SERIES:
+    for section, key, required in GUARDED_SERIES:
         name = f"{section}.{key}"
+        missing = (
+            not isinstance(baseline.get(section), dict)
+            or key not in baseline[section]
+            or not isinstance(current.get(section), dict)
+            or key not in current[section]
+        )
+        if missing:
+            if required:
+                raise SystemExit(f"missing series {name}")
+            print(f"{name}: absent from baseline or current payload, skipped")
+            continue
         try:
             before = float(baseline[section][key])
             after = float(current[section][key])
-        except (KeyError, TypeError, ValueError) as error:
-            raise SystemExit(f"missing series {name}: {error}")
+        except (TypeError, ValueError) as error:
+            raise SystemExit(f"unusable series {name}: {error}")
         drop = 1.0 - after / before if before > 0 else 0.0
         if drop > threshold:
             regressions.append((name, before, after, drop))
@@ -71,7 +85,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"cannot read benchmark payloads: {error}", file=sys.stderr)
         return 2
 
-    for section, key in GUARDED_SERIES:
+    for section, key, _ in GUARDED_SERIES:
         name = f"{section}.{key}"
         before = baseline.get(section, {}).get(key)
         after = current.get(section, {}).get(key)

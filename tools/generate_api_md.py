@@ -25,6 +25,7 @@ SUBPACKAGES = (
     "repro.lifetime",
     "repro.engine",
     "repro.obs",
+    "repro.parallel",
     "repro.dse",
     "repro.analysis",
     "repro.robustness",
