@@ -45,10 +45,14 @@ class MonteCarloResult:
     Attributes:
         samples: The raw per-draw responses (g CO2).
         base_response: The base scenario's deterministic response.
+        partial: A :class:`~repro.parallel.supervisor.PartialResult` when
+            the run degraded (quarantined shards dropped from
+            ``samples``); ``None`` for complete runs.
     """
 
     samples: np.ndarray
     base_response: float
+    partial: object | None = None
 
     @property
     def mean(self) -> float:
@@ -342,7 +346,9 @@ def run_monte_carlo(
                     guard=guard,
                 )
             return MonteCarloResult(
-                samples=evaluation.samples(), base_response=base.total_g()
+                samples=evaluation.samples(),
+                base_response=base.total_g(),
+                partial=evaluation.partial,
             )
         if response is None and guard is not None:
             columns = sample_parameter_columns(

@@ -61,6 +61,46 @@ from repro.reporting.serialize import figure_to_csv, figure_to_json
 from repro.reporting.tables import ascii_table
 
 
+def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shard-geometry and failure-policy flags shared by the
+    parallel-capable subcommands (``montecarlo``/``sensitivity``/
+    ``experiment``); ``--workers`` stays per-command (its help text
+    differs).  Values are validated by ``ExecutionPolicy`` so bad input
+    exits 2 exactly like an invalid ``--workers``."""
+    parser.add_argument(
+        "--shard-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rows per shard (default: 65536; part of the determinism "
+        "contract — changing it changes the sharded sample stream)",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=("shm", "pickle"),
+        default=None,
+        help="how shard columns move between processes (default: shm = "
+        "zero-copy shared memory; pickle = through the task queue)",
+    )
+    parser.add_argument(
+        "--failure-policy",
+        choices=("fail_fast", "retry", "degrade"),
+        default=None,
+        help="what happens when a worker dies or a shard fails "
+        "(default: fail_fast; retry = respawn + re-execute under a "
+        "bounded budget; degrade = quarantine exhausted shards and "
+        "finish with a partial result)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-executions granted per shard beyond its first attempt "
+        "under retry/degrade (default: 2)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="act-repro",
@@ -144,6 +184,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for every sweep the experiment runs "
         "(default: 1 = serial; results are bit-identical at any count)",
     )
+    _add_parallel_arguments(experiment)
 
     profile = sub.add_parser(
         "profile",
@@ -192,6 +233,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for the Monte Carlo stage (default: 1)",
     )
+    _add_parallel_arguments(sensitivity)
 
     montecarlo = sub.add_parser(
         "montecarlo",
@@ -249,6 +291,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "legacy sample stream; N > 1 uses sharded per-shard seed streams, "
         "bit-identical across worker counts)",
     )
+    _add_parallel_arguments(montecarlo)
     montecarlo.add_argument(
         "--max-seconds",
         type=float,
@@ -348,25 +391,50 @@ def _run_experiment_set(experiment_id: str):
     return (run_experiment(experiment_id),)
 
 
-def _workers_policy(workers: int) -> "object | None":
-    """Map a ``--workers`` flag to an execution policy.
+def _workers_policy(
+    workers: int,
+    shard_rows: "int | None" = None,
+    transport: "str | None" = None,
+    failure_policy: "str | None" = None,
+    max_retries: "int | None" = None,
+) -> "object | None":
+    """Map the parallel-execution flags to an execution policy.
 
-    Always constructs an :class:`~repro.parallel.ExecutionPolicy` so an
-    invalid count fails with :class:`~repro.core.errors.ParameterError`
-    (exit code 2); ``--workers 1`` then resolves to ``None`` so existing
-    serial invocations are untouched.
+    Always constructs an :class:`~repro.parallel.ExecutionPolicy` so any
+    invalid value fails with :class:`~repro.core.errors.ParameterError`
+    (exit code 2).  A plain ``--workers 1`` with no other flag resolves
+    to ``None`` so existing serial invocations are untouched (the legacy
+    sample stream); explicitly setting shard geometry, transport, or a
+    failure policy opts into the policy-driven (sharded-stream) path
+    even at one worker.
     """
     from repro.parallel import ExecutionPolicy
 
-    policy = ExecutionPolicy(workers=workers)
-    return policy if policy.parallel else None
+    overrides: dict[str, object] = {}
+    if shard_rows is not None:
+        overrides["shard_rows"] = shard_rows
+    if transport is not None:
+        overrides["transport"] = transport
+    if failure_policy is not None:
+        overrides["failure_policy"] = failure_policy
+    if max_retries is not None:
+        overrides["max_retries"] = max_retries
+    policy = ExecutionPolicy(workers=workers, **overrides)
+    return policy if (policy.parallel or overrides) else None
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.parallel import use_execution_policy
 
     key = args.id.strip().lower()
-    with use_execution_policy(_workers_policy(args.workers)):
+    policy = _workers_policy(
+        args.workers,
+        args.shard_rows,
+        args.transport,
+        args.failure_policy,
+        args.max_retries,
+    )
+    with use_execution_policy(policy):
         results = _run_experiment_set(args.id)
     failures = [c for r in results for c in r.failed_checks()]
     if args.json:
@@ -483,7 +551,15 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
         )
     )
     result = run_monte_carlo(
-        base, draws=args.draws, policy=_workers_policy(args.workers)
+        base,
+        draws=args.draws,
+        policy=_workers_policy(
+            args.workers,
+            args.shard_rows,
+            args.transport,
+            args.failure_policy,
+            args.max_retries,
+        ),
     )
     print()
     print(
@@ -521,7 +597,13 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
         guard = GuardedEngine(policy=args.policy, cache=cache)
 
     base = ActScenario()
-    policy = _workers_policy(args.workers)
+    policy = _workers_policy(
+        args.workers,
+        args.shard_rows,
+        args.transport,
+        args.failure_policy,
+        args.max_retries,
+    )
     started = time.perf_counter()
     chunked = (
         args.checkpoint is not None
@@ -574,6 +656,14 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
         print(
             f"guard masked {args.draws - len(result.samples)} of "
             f"{args.draws} draws; statistics cover the survivors"
+        )
+    partial = getattr(result, "partial", None)
+    if partial is not None:
+        print(
+            f"DEGRADED: quarantined {len(partial.quarantined)} shard(s) "
+            f"({partial.rows} draws dropped after retries); statistics "
+            f"cover the surviving draws",
+            file=sys.stderr,
         )
     print(f"Base scenario footprint: {result.base_response / 1000.0:.2f} kg CO2e")
     print(

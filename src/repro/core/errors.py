@@ -170,6 +170,39 @@ class WorkerError(ReproError, RuntimeError):
         super().__init__(message)
 
 
+class ShardFailedError(WorkerError):
+    """A shard exhausted its retry budget under ``failure_policy="retry"``.
+
+    Raised by the shard supervisor once a shard has failed its first
+    attempt plus ``max_retries`` re-executions for *infrastructure*
+    reasons (worker death, blown deadline, lost result, transport
+    failure).  Model errors never reach this point — any
+    :class:`ReproError` raised by the shard's evaluation is deterministic
+    and propagates immediately with its original type.
+
+    Attributes:
+        attempts: Total executions attempted (first try included).
+        cause: Machine-readable class of the final failure
+            (``"error"``, ``"worker-death"``, ``"deadline"``, ``"lost"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        worker: int = -1,
+        shard: int = -1,
+        original: str = "",
+        attempts: int = 0,
+        cause: str = "",
+    ):
+        self.attempts = attempts
+        self.cause = cause
+        super().__init__(
+            message, worker=worker, shard=shard, original=original
+        )
+
+
 class RunInterrupted(ReproError, RuntimeError):
     """A chunked run was cancelled cooperatively before completing.
 

@@ -6,18 +6,27 @@ worker count — the shard plan and per-shard SeedSequence child streams
 depend only on ``(rows, shard_rows, seed)``, never on ``workers``.
 
 The one knob is :class:`ExecutionPolicy` (worker count, shard size,
-transport); ``policy=``-accepting entry points across
+transport, failure policy); ``policy=``-accepting entry points across
 :mod:`repro.analysis`, :mod:`repro.dse`, and :mod:`repro.robustness`
 resolve it per call or pick up a process-wide default installed with
 :func:`use_execution_policy`.  :class:`ParallelRunner` is the engine
 underneath: it fans shards out over zero-copy
 ``multiprocessing.shared_memory`` views of the batch columns and merges
-the outputs back in shard order.  See ``docs/PARALLEL.md``.
+the outputs back in shard order.  Under ``failure_policy="retry"`` or
+``"degrade"`` a :class:`ShardSupervisor` watches worker liveness and
+shard deadlines, respawns dead workers, retries lost shards (retries are
+bit-identical by the determinism contract), and — under ``"degrade"`` —
+quarantines exhausted shards into a structured :class:`PartialResult`
+instead of failing the run.  See ``docs/PARALLEL.md``.
 """
 
 from repro.parallel.policy import (
     DEFAULT_SHARD_ROWS,
+    DEGRADE,
+    FAIL_FAST,
+    FAILURE_POLICIES,
     PICKLE,
+    RETRY,
     SHM,
     TRANSPORTS,
     ExecutionPolicy,
@@ -35,18 +44,32 @@ from repro.parallel.runner import (
     ShardReport,
 )
 from repro.parallel.shm import SharedArrayStore, attach_shared_memory
+from repro.parallel.supervisor import (
+    PartialResult,
+    ShardFailure,
+    ShardSupervisor,
+    SupervisionReport,
+)
 
 __all__ = [
     "BLAS_ENV_PINS",
     "DEFAULT_SHARD_ROWS",
+    "DEGRADE",
     "ExecutionPolicy",
+    "FAIL_FAST",
+    "FAILURE_POLICIES",
     "PICKLE",
     "ParallelEvaluation",
     "ParallelRunner",
+    "PartialResult",
+    "RETRY",
     "SERIES_NAMES",
     "SHM",
+    "ShardFailure",
     "ShardReport",
+    "ShardSupervisor",
     "SharedArrayStore",
+    "SupervisionReport",
     "TRANSPORTS",
     "WorkerPool",
     "attach_shared_memory",

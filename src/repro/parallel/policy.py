@@ -36,6 +36,12 @@ SHM = "shm"
 PICKLE = "pickle"
 TRANSPORTS = (SHM, PICKLE)
 
+#: Failure policies: what happens when a shard fails or its worker dies.
+FAIL_FAST = "fail_fast"
+RETRY = "retry"
+DEGRADE = "degrade"
+FAILURE_POLICIES = (FAIL_FAST, RETRY, DEGRADE)
+
 #: Default rows per shard.  Large enough that the Eq. 1-8 kernel pass
 #: dominates per-shard dispatch overhead, small enough that a handful of
 #: shards exist even for modest workloads.
@@ -69,12 +75,47 @@ class ExecutionPolicy:
             serialized through the task queue).
         start_method: Explicit multiprocessing start method, or ``None``
             to pick the platform default (``fork`` where available).
+        failure_policy: What happens when a shard fails for an
+            *infrastructure* reason (worker death, blown deadline, lost
+            result, shm attach error).  ``"fail_fast"`` raises on the
+            first failure (the historical behavior); ``"retry"``
+            re-executes the shard up to ``max_retries`` times under
+            exponential backoff, respawning dead workers, and raises
+            :class:`~repro.core.errors.ShardFailedError` only when the
+            budget is exhausted; ``"degrade"`` retries the same way but
+            quarantines exhausted shards and completes the run with a
+            structured :class:`~repro.parallel.supervisor.PartialResult`.
+            Model errors (any :class:`~repro.core.errors.ReproError`,
+            e.g. a strict-guard ``ValidationError``) are deterministic
+            and always propagate immediately under every policy.
+        max_retries: Re-executions granted per shard beyond its first
+            attempt (``retry``/``degrade`` only).
+        backoff_seconds: Base of the exponential backoff between retry
+            attempts (attempt ``k`` waits ``backoff_seconds * 2**(k-1)``).
+        shard_deadline_seconds: Wall-clock budget per shard attempt.
+            A worker whose current shard exceeds it (stale heartbeat)
+            is declared hung, killed, and respawned; the shard is
+            retried.  ``None`` disables the deadline watch.
+        join_timeout_seconds: How long :meth:`WorkerPool.close` waits for
+            a worker to exit cooperatively before terminating it.
+        term_timeout_seconds: How long close waits after ``terminate()``
+            before escalating to ``kill()``.
+        serial_fallback: Under ``degrade``, re-run quarantined shards
+            once in the parent process before declaring them lost —
+            heals faults confined to the worker fleet.
     """
 
     workers: int = 1
     shard_rows: int = DEFAULT_SHARD_ROWS
     transport: str = SHM
     start_method: str | None = None
+    failure_policy: str = FAIL_FAST
+    max_retries: int = 2
+    backoff_seconds: float = 0.05
+    shard_deadline_seconds: float | None = None
+    join_timeout_seconds: float = 10.0
+    term_timeout_seconds: float = 5.0
+    serial_fallback: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.workers, int) or isinstance(self.workers, bool):
@@ -100,6 +141,32 @@ class ExecutionPolicy:
                     f"start method {self.start_method!r} is not available "
                     f"on this platform (have: {', '.join(available)})"
                 )
+        if self.failure_policy not in FAILURE_POLICIES:
+            raise ParameterError(
+                f"unknown failure policy {self.failure_policy!r}; use one "
+                f"of {FAILURE_POLICIES}"
+            )
+        if not isinstance(self.max_retries, int) or isinstance(
+            self.max_retries, bool
+        ) or self.max_retries < 0:
+            raise ParameterError(
+                f"max_retries must be an integer >= 0, got {self.max_retries!r}"
+            )
+        if not self.backoff_seconds >= 0.0:
+            raise ParameterError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds!r}"
+            )
+        if self.shard_deadline_seconds is not None and not (
+            self.shard_deadline_seconds > 0.0
+        ):
+            raise ParameterError(
+                f"shard_deadline_seconds must be > 0 or None, got "
+                f"{self.shard_deadline_seconds!r}"
+            )
+        for name in ("join_timeout_seconds", "term_timeout_seconds"):
+            value = getattr(self, name)
+            if not value > 0.0:
+                raise ParameterError(f"{name} must be > 0, got {value!r}")
 
     @property
     def parallel(self) -> bool:

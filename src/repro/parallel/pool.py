@@ -14,6 +14,16 @@ in submission order.  Worker exceptions are pickled back and re-raised
 with their original type when the exception round-trips; otherwise the
 parent raises :class:`~repro.core.errors.WorkerError` carrying the
 original's text and traceback.
+
+Liveness is part of the contract too: the parent never blocks
+indefinitely on the result queue.  ``run`` polls with a timeout and
+checks worker exit codes between polls, so a worker killed mid-task
+(OOM, SIGKILL) surfaces as a :class:`~repro.core.errors.WorkerError`
+instead of a parent deadlock.  For supervised execution
+(:class:`~repro.parallel.supervisor.ShardSupervisor`) the pool exposes
+lower-level primitives — per-run epochs, per-worker heartbeats and task
+claims, targeted termination, and respawn — that make lost shards
+attributable and dead workers replaceable without tearing the pool down.
 """
 
 from __future__ import annotations
@@ -21,6 +31,8 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import queue
+import time
 import traceback
 from typing import Any, Callable, Sequence
 
@@ -35,6 +47,14 @@ BLAS_ENV_PINS = {
     "OMP_NUM_THREADS": "1",
     "MKL_NUM_THREADS": "1",
 }
+
+#: How long a blocking result-queue read waits before the parent checks
+#: worker liveness.  Small enough that a dead worker is noticed promptly,
+#: large enough that a healthy run never spins.
+DEFAULT_POLL_SECONDS = 0.05
+
+#: Claim-array sentinel: this worker holds no task.
+_IDLE = -1
 
 
 def pin_blas_threads() -> None:
@@ -58,16 +78,42 @@ def _encode_error(exc: BaseException) -> tuple[str, Any]:
     return ("text", (repr(exc), traceback.format_exc()))
 
 
-def _worker_loop(worker_id: int, tasks: Any, results: Any) -> None:
-    """Worker main: drain the task queue until the ``None`` sentinel."""
+def _worker_loop(
+    worker_id: int,
+    tasks: Any,
+    results: Any,
+    heartbeats: Any,
+    claim_tasks: Any,
+    claim_runs: Any,
+) -> None:
+    """Worker main: drain the task queue until the ``None`` sentinel.
+
+    Before executing a task the worker *claims* it — records the task
+    index and run epoch in the shared claim arrays, and stamps its
+    heartbeat — so the parent can attribute a lost shard to the worker
+    that died holding it, and can spot a worker stalled past its shard
+    deadline (the heartbeat only advances between tasks).
+    """
     pin_blas_threads()
-    for index, fn, payload in iter(tasks.get, None):
+    for item in iter(tasks.get, None):
+        run_id, index, fn, payload = item
+        claim_tasks[worker_id] = index
+        claim_runs[worker_id] = run_id
+        heartbeats[worker_id] = time.monotonic()
         try:
             out = fn(payload)
         except BaseException as exc:  # noqa: BLE001 - transported to parent
-            results.put((index, worker_id, False, _encode_error(exc)))
+            # A chaos-injected dropped result: the work happened but the
+            # message never reaches the parent (see robustness.faultinject).
+            if not getattr(exc, "repro_dropped_result", False):
+                results.put(
+                    (run_id, index, worker_id, False, _encode_error(exc))
+                )
         else:
-            results.put((index, worker_id, True, out))
+            results.put((run_id, index, worker_id, True, out))
+        finally:
+            claim_tasks[worker_id] = _IDLE
+            heartbeats[worker_id] = time.monotonic()
 
 
 class WorkerPool:
@@ -76,29 +122,79 @@ class WorkerPool:
     Start is lazy — processes launch on the first :meth:`run` — and the
     pool is reusable across calls until :meth:`close`.  Tasks name their
     function by reference (it must be importable module-level, picklable
-    under both ``fork`` and ``spawn``).
+    under both ``fork`` and ``spawn``).  Workers found dead at the start
+    of a run are respawned automatically; a worker that dies *during*
+    a plain :meth:`run` raises :class:`WorkerError` (never a deadlock).
     """
 
-    def __init__(self, workers: int, *, start_method: str | None = None):
+    def __init__(
+        self,
+        workers: int,
+        *,
+        start_method: str | None = None,
+        join_timeout: float = 10.0,
+        term_timeout: float = 5.0,
+        poll_seconds: float = DEFAULT_POLL_SECONDS,
+    ):
         if workers < 1:
             raise ParameterError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
         self.start_method = start_method or default_start_method()
+        self.join_timeout = float(join_timeout)
+        self.term_timeout = float(term_timeout)
+        self.poll_seconds = float(poll_seconds)
         self._context = multiprocessing.get_context(self.start_method)
         self._processes: list[multiprocessing.process.BaseProcess] = []
         self._tasks: Any = None
         self._results: Any = None
+        self._heartbeats: Any = None
+        self._claim_tasks: Any = None
+        self._claim_runs: Any = None
+        self._run_id = 0
+        self._respawns = 0
         self._closed = False
 
     @property
     def running(self) -> bool:
         return bool(self._processes)
 
+    @property
+    def respawns(self) -> int:
+        """Workers respawned over the pool's lifetime."""
+        return self._respawns
+
+    # --- process lifecycle ----------------------------------------------
+
+    def _spawn(self, worker_id: int) -> multiprocessing.process.BaseProcess:
+        self._claim_tasks[worker_id] = _IDLE
+        self._claim_runs[worker_id] = _IDLE
+        self._heartbeats[worker_id] = time.monotonic()
+        process = self._context.Process(
+            target=_worker_loop,
+            args=(
+                worker_id,
+                self._tasks,
+                self._results,
+                self._heartbeats,
+                self._claim_tasks,
+                self._claim_runs,
+            ),
+            name=f"repro-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        return process
+
     def _ensure_started(self) -> None:
-        if self._processes:
-            return
         if self._closed:
             raise ParameterError("worker pool is closed")
+        if self._processes:
+            # Replace any worker that died since the last run so a crashed
+            # batch does not permanently shrink the pool.
+            for worker_id, process in enumerate(self._processes):
+                if process.exitcode is not None:
+                    self.respawn(worker_id)
+            return
         # Pin in the parent before forking/spawning so children inherit
         # the single-threaded BLAS configuration from their environment.
         pin_blas_threads()
@@ -108,15 +204,124 @@ class WorkerPool:
         # transport ships whole column slices through these queues).
         self._tasks = self._context.Queue()
         self._results = self._context.Queue()
+        # Lock-free shared scalars: each slot has exactly one writer (its
+        # worker) and one reader (the parent); aligned word-sized loads
+        # and stores need no lock.
+        self._heartbeats = self._context.Array("d", self.workers, lock=False)
+        self._claim_tasks = self._context.Array("q", self.workers, lock=False)
+        self._claim_runs = self._context.Array("q", self.workers, lock=False)
         for worker_id in range(self.workers):
-            process = self._context.Process(
-                target=_worker_loop,
-                args=(worker_id, self._tasks, self._results),
-                name=f"repro-worker-{worker_id}",
-                daemon=True,
-            )
-            process.start()
-            self._processes.append(process)
+            self._processes.append(self._spawn(worker_id))
+
+    def respawn(self, worker_id: int) -> None:
+        """Replace one (dead) worker process with a fresh one."""
+        process = self._processes[worker_id]
+        if process.is_alive():  # pragma: no cover - defensive
+            self.terminate_worker(worker_id)
+            process = self._processes[worker_id]
+        process.join(timeout=0)
+        self._processes[worker_id] = self._spawn(worker_id)
+        self._respawns += 1
+
+    def terminate_worker(self, worker_id: int) -> None:
+        """Forcibly stop one worker: ``terminate()``, escalate to ``kill()``.
+
+        Used by the supervisor on workers hung past their shard deadline.
+        The worker's slot stays dead until :meth:`respawn`.
+        """
+        process = self._processes[worker_id]
+        if not process.is_alive():
+            return
+        process.terminate()
+        process.join(timeout=self.term_timeout)
+        if process.is_alive():  # pragma: no cover - SIGTERM ignored
+            process.kill()
+            process.join(timeout=self.term_timeout)
+
+    # --- supervised-run primitives --------------------------------------
+
+    def begin_run(self) -> int:
+        """Open a new run epoch and discard any stale queued tasks.
+
+        Results tagged with an older epoch (stragglers from an aborted
+        batch) are dropped by :meth:`poll`; draining the task queue here
+        keeps surviving workers from wasting time on them.
+        """
+        self._ensure_started()
+        self._run_id += 1
+        try:
+            while True:
+                self._tasks.get_nowait()
+        except queue.Empty:
+            pass
+        return self._run_id
+
+    def submit(
+        self, run_id: int, index: int, fn: Callable[[Any], Any], payload: Any
+    ) -> None:
+        """Enqueue one task for the given run epoch."""
+        self._tasks.put((run_id, index, fn, payload))
+
+    def poll(self, timeout: float) -> tuple[int, int, bool, Any] | None:
+        """One ``(index, worker_id, ok, out)`` result, or ``None`` on timeout.
+
+        Results from earlier run epochs are silently discarded (their
+        shard data is idempotent and already abandoned).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                run_id, index, worker_id, ok, out = self._results.get(
+                    timeout=remaining
+                )
+            except queue.Empty:
+                return None
+            if run_id == self._run_id:
+                return (index, worker_id, ok, out)
+
+    def dead_workers(self) -> list[tuple[int, int, int | None]]:
+        """``(worker_id, exitcode, claimed_task)`` for every dead worker.
+
+        ``claimed_task`` is the task index the worker held when it died
+        (this run epoch only), or ``None`` if it died idle — the tiny
+        window between dequeuing a task and claiming it also reads as
+        idle, which the supervisor covers with its lost-task backstop.
+        """
+        found = []
+        for worker_id, process in enumerate(self._processes):
+            if process.exitcode is None:
+                continue
+            claimed: int | None = None
+            if (
+                self._claim_runs[worker_id] == self._run_id
+                and self._claim_tasks[worker_id] != _IDLE
+            ):
+                claimed = int(self._claim_tasks[worker_id])
+            found.append((worker_id, int(process.exitcode), claimed))
+        return found
+
+    def claimed_task(self, worker_id: int) -> int | None:
+        """The task index this worker currently claims (this run), if any."""
+        if not self._processes or self._processes[worker_id].exitcode is not None:
+            return None
+        if (
+            self._claim_runs[worker_id] == self._run_id
+            and self._claim_tasks[worker_id] != _IDLE
+        ):
+            return int(self._claim_tasks[worker_id])
+        return None
+
+    def heartbeat_age(self, worker_id: int) -> float:
+        """Seconds since this worker last stamped its heartbeat.
+
+        The heartbeat advances at task boundaries only, so for a worker
+        holding a claim this is (slightly more than) the current task's
+        age — the signal the shard-deadline watch runs on.
+        """
+        return time.monotonic() - self._heartbeats[worker_id]
+
+    # --- plain fail-fast mapping ----------------------------------------
 
     def run(
         self,
@@ -129,21 +334,48 @@ class WorkerPool:
         order.  The first failed task re-raises in the parent (original
         exception type when picklable, :class:`WorkerError` otherwise) —
         after all in-flight results have been collected, so the queues
-        stay consistent for the next :meth:`run`.
+        stay consistent for the next :meth:`run`.  A worker process found
+        dead with tasks outstanding raises :class:`WorkerError`
+        immediately: the missing results can never arrive, so waiting for
+        them would deadlock the parent.
         """
         if not payloads:
             return []
-        self._ensure_started()
+        run_id = self.begin_run()
         for index, payload in enumerate(payloads):
-            self._tasks.put((index, fn, payload))
+            self.submit(run_id, index, fn, payload)
         outcomes: list[tuple[int, Any] | None] = [None] * len(payloads)
+        pending = len(payloads)
         failure: tuple[int, int, Any] | None = None
-        for _ in range(len(payloads)):
-            index, worker_id, ok, out = self._results.get()
+        while pending:
+            item = self.poll(self.poll_seconds)
+            if item is None:
+                dead = self.dead_workers()
+                if dead:
+                    worker_id, exitcode, claimed = dead[0]
+                    raise WorkerError(
+                        f"worker {worker_id} died (exit code {exitcode}) "
+                        f"with {pending} task(s) outstanding"
+                        + (
+                            f" while running task {claimed}"
+                            if claimed is not None
+                            else ""
+                        ),
+                        worker=worker_id,
+                        shard=claimed if claimed is not None else -1,
+                        original=f"exit code {exitcode}",
+                    )
+                continue
+            index, worker_id, ok, out = item
+            if outcomes[index] is not None:
+                continue  # duplicate delivery of an idempotent shard
+            pending -= 1
             if ok:
                 outcomes[index] = (worker_id, out)
-            elif failure is None or index < failure[0]:
-                failure = (index, worker_id, out)
+            else:
+                outcomes[index] = (worker_id, None)
+                if failure is None or index < failure[0]:
+                    failure = (index, worker_id, out)
         if failure is not None:
             index, worker_id, encoded = failure
             kind, payload = encoded
@@ -158,8 +390,19 @@ class WorkerPool:
             )
         return [outcome for outcome in outcomes if outcome is not None]
 
+    # --- shutdown --------------------------------------------------------
+
     def close(self) -> None:
-        """Shut the workers down (idempotent)."""
+        """Shut the workers down (idempotent).
+
+        Cooperative first — a ``None`` sentinel per worker, then a join
+        bounded by ``join_timeout`` — escalating per survivor to
+        ``terminate()`` and, should a worker outlive even SIGTERM (masked
+        signals, stuck in uninterruptible I/O), to ``kill()``.  Both
+        timeouts come from the owning
+        :class:`~repro.parallel.policy.ExecutionPolicy` when the pool is
+        runner-managed.
+        """
         if self._closed:
             return
         self._closed = True
@@ -167,16 +410,19 @@ class WorkerPool:
             for _ in self._processes:
                 self._tasks.put(None)
             for process in self._processes:
-                process.join(timeout=10.0)
-                if process.is_alive():  # pragma: no cover - hung worker
+                process.join(timeout=self.join_timeout)
+                if process.is_alive():
                     process.terminate()
-                    process.join(timeout=5.0)
+                    process.join(timeout=self.term_timeout)
+                if process.is_alive():  # pragma: no cover - SIGTERM masked
+                    process.kill()
+                    process.join(timeout=self.term_timeout)
             self._processes.clear()
-            for queue in (self._tasks, self._results):
-                queue.close()
+            for q in (self._tasks, self._results):
+                q.close()
                 # The feeder thread may still hold buffered sentinels for
                 # workers that already exited; never block shutdown on it.
-                queue.cancel_join_thread()
+                q.cancel_join_thread()
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -37,6 +37,7 @@ diagnostics, and raises the same all-rows-masked
 
 from __future__ import annotations
 
+import dataclasses
 import time
 import warnings
 from dataclasses import dataclass
@@ -49,7 +50,12 @@ from repro.analysis.montecarlo import (
     resolve_parameter_ranges,
     sample_shard_columns,
 )
-from repro.core.errors import ParameterError, ValidationError
+from repro.core.errors import (
+    ParameterError,
+    ReproError,
+    ShardFailedError,
+    ValidationError,
+)
 from repro.core.parameters import require_positive
 from repro.dse.pareto import pareto_mask as _serial_pareto_mask
 from repro.engine.batch import (
@@ -61,6 +67,8 @@ from repro.engine.batch import (
 from repro.engine.kernels import BatchResult, evaluate_batch
 from repro.obs.context import current_context
 from repro.parallel.policy import (
+    DEGRADE,
+    FAIL_FAST,
     PICKLE,
     SHM,
     ExecutionPolicy,
@@ -69,8 +77,18 @@ from repro.parallel.policy import (
 )
 from repro.parallel.pool import WorkerPool
 from repro.parallel.shm import SharedArrayStore
+from repro.parallel.supervisor import (
+    ERROR,
+    LOST,
+    PartialResult,
+    ShardFailure,
+    ShardSupervisor,
+    SupervisionReport,
+    final_failures,
+)
 from repro.robustness.guard import (
     OUTPUT,
+    QUARANTINED,
     SKIP,
     STRICT,
     ColumnDiagnostic,
@@ -317,12 +335,24 @@ def _run_shard(task: dict) -> _ShardOutcome:
     column slices), ``"montecarlo"`` (sample this shard from its own
     SeedSequence child, then evaluate), and ``"pareto"`` (non-dominance
     of this shard's rows against the full objective matrix).
+
+    When the runner armed a chaos plan, faults fire here: at shard start
+    (kill / stall / shm-handle corruption, before any transport attach)
+    and at shard finish (result-message drop, after the work completed).
+    The import is lazy and only on faulted tasks, so the healthy path
+    never touches the robustness package from a worker.
     """
     started = time.perf_counter()
     kind = task["kind"]
     shard = task["shard"]
     start, stop = task["start"], task["stop"]
     count = stop - start
+
+    fault_spec = task.get("fault")
+    if fault_spec is not None:
+        from repro.robustness.faultinject import apply_process_faults
+
+        apply_process_faults(fault_spec, shard, task, "start")
 
     if kind == "pareto":
         transport, payload = task["input"]
@@ -344,6 +374,8 @@ def _run_shard(task: dict) -> _ShardOutcome:
             matrix = block = None  # noqa: F841
             if store is not None:
                 store.close()
+        if fault_spec is not None:
+            apply_process_faults(fault_spec, shard, task, "finish")
         return _ShardOutcome(
             shard=shard,
             start=start,
@@ -385,6 +417,8 @@ def _run_shard(task: dict) -> _ShardOutcome:
     finally:
         if output_store is not None:
             output_store.close()
+    if fault_spec is not None:
+        apply_process_faults(fault_spec, shard, task, "finish")
     return _ShardOutcome(
         shard=shard,
         start=start,
@@ -426,6 +460,13 @@ class ParallelEvaluation:
         diagnostics: Guard findings with **global** row indices.
         repaired: Whether any worker's guard clamped a value.
         shards: Per-shard placement and timing reports, in shard order.
+        partial: Quarantine account of a degraded run (``None`` for
+            complete runs).  Quarantined rows are ``NaN`` in every
+            series, ``False`` in :attr:`valid`, and carry a
+            ``"quarantined"`` diagnostic.
+        supervision: Retry/respawn accounting when the run executed
+            under a supervising failure policy (``None`` on the
+            fail-fast path).
     """
 
     rows: int
@@ -434,6 +475,8 @@ class ParallelEvaluation:
     diagnostics: tuple[ColumnDiagnostic, ...]
     repaired: bool
     shards: tuple[ShardReport, ...]
+    partial: PartialResult | None = None
+    supervision: SupervisionReport | None = None
 
     def __post_init__(self) -> None:
         valid = np.ascontiguousarray(self.valid, dtype=bool)
@@ -489,21 +532,187 @@ class ParallelRunner:
     run in-process, in shard order (the serial reference path).
     """
 
-    def __init__(self, policy: "ExecutionPolicy | int | None" = None):
+    def __init__(
+        self,
+        policy: "ExecutionPolicy | int | None" = None,
+        *,
+        fault_plan: object = None,
+    ):
         resolved = resolve_policy(policy)
         self.policy = resolved if resolved is not None else ExecutionPolicy()
+        self._fault_spec = fault_plan.spec() if fault_plan is not None else None
         self._pool: WorkerPool | None = None
 
     # --- execution core -------------------------------------------------
 
-    def _execute(self, payloads: Sequence[dict]) -> list[tuple[int, _ShardOutcome]]:
+    def _execute(
+        self, payloads: Sequence[dict]
+    ) -> tuple[list[tuple[int, _ShardOutcome] | None], SupervisionReport | None]:
+        """Run the shard payloads under the policy's failure semantics.
+
+        Returns ``(outcomes, report)`` — ``outcomes[i]`` is the
+        ``(worker, _ShardOutcome)`` pair for shard ``i`` or ``None`` when
+        the shard was quarantined; ``report`` is ``None`` on the
+        fail-fast path (no supervision ran).
+        """
+        if self._fault_spec is not None:
+            payloads = [
+                dict(payload, fault=self._fault_spec) for payload in payloads
+            ]
         if not self.policy.parallel:
-            return [(0, _run_shard(payload)) for payload in payloads]
+            if self.policy.failure_policy == FAIL_FAST:
+                return [(0, _run_shard(payload)) for payload in payloads], None
+            return self._execute_serial_supervised(payloads)
         if self._pool is None:
             self._pool = WorkerPool(
-                self.policy.workers, start_method=self.policy.start_method
+                self.policy.workers,
+                start_method=self.policy.start_method,
+                join_timeout=self.policy.join_timeout_seconds,
+                term_timeout=self.policy.term_timeout_seconds,
             )
-        return self._pool.run(_run_shard, payloads)
+        if self.policy.failure_policy == FAIL_FAST:
+            # The historical fast path: no supervision bookkeeping at all.
+            return self._pool.run(_run_shard, payloads), None
+        supervisor = ShardSupervisor(self._pool, self.policy)
+        return supervisor.run(_run_shard, payloads)
+
+    def _execute_serial_supervised(
+        self, payloads: Sequence[dict]
+    ) -> tuple[list[tuple[int, _ShardOutcome] | None], SupervisionReport]:
+        """The ``workers=1`` twin of the supervisor: in-process retries.
+
+        Shards run in shard order in the parent; an infrastructure
+        failure (transport error, chaos-dropped result) is retried under
+        the same budget and backoff as the parallel path, and model
+        errors propagate immediately.  Each attempt gets a shallow task
+        copy so a fault that mutates the task (shm-handle corruption)
+        cannot leak into the retry.
+        """
+        policy = self.policy
+        context = current_context()
+        outcomes: list[tuple[int, _ShardOutcome] | None] = [None] * len(payloads)
+        failures: list[ShardFailure] = []
+        quarantined: list[int] = []
+        retries = 0
+        backoff_total = 0.0
+        for index, payload in enumerate(payloads):
+            attempt = 1
+            while True:
+                try:
+                    outcomes[index] = (0, _run_shard(dict(payload)))
+                    break
+                except ReproError:
+                    raise  # deterministic model error: retrying cannot help
+                except BaseException as exc:  # noqa: BLE001 - chaos included
+                    dropped = getattr(exc, "repro_dropped_result", False)
+                    if isinstance(
+                        exc, (KeyboardInterrupt, SystemExit)
+                    ) and not dropped:
+                        raise
+                    cause = LOST if dropped else ERROR
+                    failures.append(
+                        ShardFailure(
+                            shard=index,
+                            attempt=attempt,
+                            cause=cause,
+                            detail=repr(exc),
+                            worker=0,
+                        )
+                    )
+                    if attempt <= policy.max_retries:
+                        delay = policy.backoff_seconds * (2 ** (attempt - 1))
+                        attempt += 1
+                        retries += 1
+                        backoff_total += delay
+                        context.count("parallel.retries")
+                        context.event(
+                            "shard_retry",
+                            shard=index,
+                            attempt=attempt,
+                            cause=cause,
+                            backoff_seconds=round(delay, 6),
+                            detail=repr(exc),
+                        )
+                        if delay:
+                            time.sleep(delay)
+                        continue
+                    if policy.failure_policy == DEGRADE:
+                        quarantined.append(index)
+                        context.count("parallel.quarantined")
+                        context.event(
+                            "shard_quarantined",
+                            shard=index,
+                            attempts=attempt,
+                            cause=cause,
+                            detail=repr(exc),
+                        )
+                        break
+                    raise ShardFailedError(
+                        f"shard {index} failed {attempt} attempt(s); "
+                        f"last cause: {cause} ({exc!r})",
+                        worker=0,
+                        shard=index,
+                        original=repr(exc),
+                        attempts=attempt,
+                        cause=cause,
+                    ) from exc
+        report = SupervisionReport(
+            retries=retries,
+            respawns=0,
+            quarantined=tuple(quarantined),
+            failures=tuple(failures),
+            backoff_seconds=backoff_total,
+        )
+        return outcomes, report
+
+    def _heal_quarantined(
+        self,
+        payloads: Sequence[dict],
+        outcomes: "list[tuple[int, _ShardOutcome] | None]",
+        report: SupervisionReport | None,
+    ) -> SupervisionReport | None:
+        """Optionally re-run quarantined shards in the parent process.
+
+        ``serial_fallback`` assumes the fault lives in the worker fleet
+        (a poisoned environment, an shm restriction) and gives each
+        quarantined shard one clean in-process attempt — with any armed
+        chaos stripped, since faults target the fleet, never the parent.
+        Healed shards leave quarantine; stubborn ones stay.
+        """
+        if (
+            report is None
+            or not report.quarantined
+            or not self.policy.serial_fallback
+        ):
+            return report
+        context = current_context()
+        healed: list[int] = []
+        for shard in report.quarantined:
+            payload = dict(payloads[shard])
+            payload.pop("fault", None)
+            try:
+                outcome = _run_shard(payload)
+            except ReproError:
+                raise
+            except BaseException as exc:  # noqa: BLE001 - stays quarantined
+                if isinstance(
+                    exc, (KeyboardInterrupt, SystemExit)
+                ) and not getattr(exc, "repro_dropped_result", False):
+                    raise
+                continue
+            outcomes[shard] = (-1, outcome)  # -1: evaluated by the parent
+            healed.append(shard)
+            context.event("shard_healed", shard=shard)
+        if healed:
+            report = dataclasses.replace(
+                report,
+                quarantined=tuple(
+                    shard
+                    for shard in report.quarantined
+                    if shard not in healed
+                ),
+            )
+        return report
 
     def _output_store(self, rows: int) -> SharedArrayStore:
         shapes = {name: (rows,) for name in SERIES_NAMES}
@@ -513,11 +722,16 @@ class ParallelRunner:
     def _merge(
         self,
         rows: int,
-        outcomes: Sequence[tuple[int, _ShardOutcome]],
+        plan: Sequence[tuple[int, int]],
+        outcomes: Sequence[tuple[int, _ShardOutcome] | None],
         output_store: SharedArrayStore | None,
         guard_policy: str | None,
+        supervision: SupervisionReport | None = None,
     ) -> ParallelEvaluation:
-        ordered = [outcome for _, outcome in outcomes]
+        quarantined = (
+            tuple(supervision.quarantined) if supervision is not None else ()
+        )
+        ordered = [entry[1] for entry in outcomes if entry is not None]
         if output_store is not None:
             series = {
                 name: np.array(output_store.array(name), copy=True)
@@ -525,14 +739,60 @@ class ParallelRunner:
             }
             valid = np.array(output_store.array(_VALID), copy=True) > 0.5
         else:
+            # Quarantine can punch holes in the shard sequence, so fill
+            # per-range instead of concatenating.
             series = {
-                name: np.concatenate(
-                    [outcome.series[name] for outcome in ordered]
-                )
-                for name in SERIES_NAMES
+                name: np.full(rows, np.nan) for name in SERIES_NAMES
             }
-            valid = np.concatenate([outcome.valid for outcome in ordered])
+            valid = np.zeros(rows, dtype=bool)
+            for outcome in ordered:
+                for name in SERIES_NAMES:
+                    series[name][outcome.start : outcome.stop] = (
+                        outcome.series[name]
+                    )
+                valid[outcome.start : outcome.stop] = outcome.valid
+        # The shm output store starts zeroed, so quarantined rows must be
+        # NaN-masked explicitly — a silent zero is a wrong answer; a NaN
+        # plus a False validity bit is a flagged missing one.
+        for shard in quarantined:
+            start, stop = plan[shard]
+            for name in SERIES_NAMES:
+                series[name][start:stop] = np.nan
+            valid[start:stop] = False
         diagnostics = _merge_diagnostics(ordered)
+        partial: PartialResult | None = None
+        if quarantined:
+            fails = final_failures(supervision)
+            ranges = tuple(plan[shard] for shard in quarantined)
+            partial = PartialResult(
+                quarantined=quarantined,
+                ranges=ranges,
+                failures=fails,
+                retries=supervision.retries,
+                respawns=supervision.respawns,
+            )
+            diagnostics = diagnostics + tuple(
+                ColumnDiagnostic(
+                    column="<run>",
+                    reason=QUARANTINED,
+                    indices=tuple(range(start, stop)),
+                    values=(),
+                    detail=(
+                        f"shard {shard} quarantined after "
+                        f"{failure.attempt} attempt(s): {failure.cause}"
+                    ),
+                )
+                for shard, (start, stop), failure in zip(
+                    quarantined, ranges, fails
+                )
+            )
+            warnings.warn(
+                f"degraded run: quarantined {len(quarantined)} of "
+                f"{len(plan)} shard(s) ({partial.rows} row(s) NaN-masked) "
+                f"— shards {list(quarantined)}",
+                RobustnessWarning,
+                stacklevel=4,
+            )
         shards = tuple(
             ShardReport(
                 shard=outcome.shard,
@@ -541,7 +801,9 @@ class ParallelRunner:
                 worker=worker,
                 seconds=outcome.seconds,
             )
-            for worker, outcome in outcomes
+            for worker, outcome in (
+                entry for entry in outcomes if entry is not None
+            )
         )
         context = current_context()
         if context.enabled:
@@ -560,19 +822,28 @@ class ParallelRunner:
                 )
                 context.observe("parallel.shard_seconds", report.seconds)
         if guard_policy is not None:
-            if not valid.any():
+            # Judge the guard on the rows that actually evaluated; rows
+            # lost to quarantine are accounted by the PartialResult.
+            kept = np.ones(rows, dtype=bool)
+            for shard in quarantined:
+                start, stop = plan[shard]
+                kept[start:stop] = False
+            guard_diagnostics = tuple(
+                d for d in diagnostics if d.reason != QUARANTINED
+            )
+            if kept.any() and not valid[kept].any():
                 raise ValidationError(
                     "skip policy masked every row of the batch"
                     if guard_policy == SKIP
                     else "every row of the batch overflowed",
-                    diagnostics,
+                    guard_diagnostics,
                 )
             _warn_merged(
                 guard_policy,
-                rows,
-                int(rows - np.count_nonzero(valid)),
+                int(np.count_nonzero(kept)),
+                int(np.count_nonzero(kept & ~valid)),
                 any(outcome.repaired for outcome in ordered),
-                diagnostics,
+                guard_diagnostics,
             )
         return ParallelEvaluation(
             rows=rows,
@@ -581,6 +852,8 @@ class ParallelRunner:
             diagnostics=diagnostics,
             repaired=any(outcome.repaired for outcome in ordered),
             shards=shards,
+            partial=partial,
+            supervision=supervision,
         )
 
     # --- public workloads -----------------------------------------------
@@ -655,12 +928,15 @@ class ParallelRunner:
                 workers=self.policy.workers,
                 transport=self.policy.transport,
             ):
-                outcomes = self._execute(payloads)
+                outcomes, report = self._execute(payloads)
+                report = self._heal_quarantined(payloads, outcomes, report)
                 return self._merge(
                     size,
+                    plan,
                     outcomes,
                     output_store,
                     guard.policy if guard is not None else None,
+                    report,
                 )
         finally:
             if input_store is not None:
@@ -742,12 +1018,15 @@ class ParallelRunner:
                 workers=self.policy.workers,
                 transport=self.policy.transport,
             ):
-                outcomes = self._execute(payloads)
+                outcomes, report = self._execute(payloads)
+                report = self._heal_quarantined(payloads, outcomes, report)
                 return self._merge(
                     draws,
+                    plan,
                     outcomes,
                     output_store,
                     guard.policy if guard is not None else None,
+                    report,
                 )
         finally:
             if output_store is not None:
@@ -796,7 +1075,22 @@ class ParallelRunner:
                 workers=self.policy.workers,
                 transport=self.policy.transport,
             ):
-                outcomes = self._execute(payloads)
+                outcomes, report = self._execute(payloads)
+            missing = [
+                index
+                for index, entry in enumerate(outcomes)
+                if entry is None
+            ]
+            if missing:
+                # A non-dominance mask with holes is not a weaker answer,
+                # it is a wrong one — quarantine cannot degrade pareto.
+                raise ShardFailedError(
+                    f"pareto shard(s) {missing} quarantined; a partial "
+                    f"non-dominance mask would be silently wrong",
+                    shard=missing[0],
+                    attempts=self.policy.max_retries + 1,
+                    cause="quarantined",
+                )
             return np.concatenate(
                 [outcome.mask for _, outcome in outcomes]
             )

@@ -210,6 +210,7 @@ def run_monte_carlo_chunked(
     cache: EvaluationCache | None = None,
     guard: "GuardedEngine | None" = None,
     policy: "object | int | None" = None,
+    fault_plan: object = None,
 ) -> MonteCarloResult:
     """:func:`~repro.analysis.montecarlo.run_monte_carlo`, chunked.
 
@@ -217,6 +218,15 @@ def run_monte_carlo_chunked(
     samples), but evaluated ``chunk_rows`` at a time with an atomic
     checkpoint after every chunk, an optional guard per chunk, and
     cooperative cancellation between chunks.
+
+    Chunked runs compose with graceful degradation: under a
+    ``failure_policy="degrade"`` policy, shards quarantined in a wave are
+    recorded (as global row ranges) in the checkpoint, and a later
+    ``resume=True`` re-attempts **only** those quarantined ranges — every
+    healthy row is taken from the checkpoint untouched — converging to
+    the bit-identical full result once the fault is gone (the sample
+    columns are pure functions of the seed, so when a row is evaluated
+    never changes what it evaluates to).
 
     Args:
         chunk_rows: Rows per evaluation chunk (and checkpoint cadence).
@@ -237,6 +247,9 @@ def run_monte_carlo_chunked(
             streams differ from the legacy ``policy=None`` single stream,
             so their fingerprints differ and the two cannot resume each
             other's checkpoints.
+        fault_plan: An armed
+            :class:`~repro.robustness.faultinject.ProcessFaultPlan`
+            threaded into the parallel runner (chaos testing only).
 
     Raises:
         CheckpointError: ``resume`` without a usable, matching checkpoint.
@@ -275,6 +288,10 @@ def run_monte_carlo_chunked(
     )
     samples = np.full(draws, np.nan)
     completed = 0
+    # Global (start, stop) row ranges lost to quarantined shards; persisted
+    # with the checkpoint so a resume knows exactly which completed rows
+    # are holes to re-attempt (older checkpoints simply lack the key).
+    quarantined_ranges: list[tuple[int, int]] = []
     if resume:
         if checkpoint is None:
             raise CheckpointError(
@@ -292,6 +309,13 @@ def run_monte_carlo_chunked(
                 reason="mismatch",
             )
         samples[:completed] = state["samples"][:completed]
+        if "quarantined" in state:
+            quarantined_ranges = [
+                (int(start), int(stop))
+                for start, stop in np.asarray(state["quarantined"]).reshape(
+                    -1, 2
+                )
+            ]
         if context.enabled:
             context.count("checkpoint.restores")
             context.event(
@@ -313,6 +337,9 @@ def run_monte_carlo_chunked(
                     "completed": np.array(completed),
                     "total": np.array(draws),
                     "samples": samples[:completed],
+                    "quarantined": np.array(
+                        quarantined_ranges, dtype=np.int64
+                    ).reshape(-1, 2),
                 },
             )
             if context.enabled:
@@ -337,7 +364,8 @@ def run_monte_carlo_chunked(
         from repro.parallel.runner import ParallelRunner
 
         runner = ParallelRunner(
-            resolved_policy.replace(shard_rows=chunk_rows)
+            resolved_policy.replace(shard_rows=chunk_rows),
+            fault_plan=fault_plan,
         )
     try:
         with context.span(
@@ -375,6 +403,13 @@ def run_monte_carlo_chunked(
                         base, stop - completed, chunk, guard=guard
                     )
                     samples[completed:stop] = evaluation.full_series("total_g")
+                    if evaluation.partial is not None:
+                        # Shard-local ranges → global rows; the holes are
+                        # checkpointed so a resume can target them.
+                        quarantined_ranges.extend(
+                            (completed + start, completed + stop_local)
+                            for start, stop_local in evaluation.partial.ranges
+                        )
                 elif guard is not None:
                     guarded = guard.evaluate_columns(
                         base, stop - completed, chunk
@@ -397,14 +432,79 @@ def run_monte_carlo_chunked(
                         total=draws,
                     )
                 _save()
+            if resume and quarantined_ranges:
+                # A resumed partial run re-attempts ONLY the quarantined
+                # holes — every healthy row rides along from the
+                # checkpoint — and converges bit-identically once the
+                # fault is cleared (sample columns are seed-determined,
+                # so re-evaluation timing cannot change values).
+                still: list[tuple[int, int]] = []
+                for start, stop in quarantined_ranges:
+                    chunk = {
+                        name: column[start:stop]
+                        for name, column in columns.items()
+                    }
+                    if runner is not None:
+                        evaluation = runner.evaluate_columns(
+                            base, stop - start, chunk, guard=guard
+                        )
+                        samples[start:stop] = evaluation.full_series(
+                            "total_g"
+                        )
+                        if evaluation.partial is not None:
+                            still.extend(
+                                (start + lo, start + hi)
+                                for lo, hi in evaluation.partial.ranges
+                            )
+                    elif guard is not None:
+                        guarded = guard.evaluate_columns(
+                            base, stop - start, chunk
+                        )
+                        samples[start:stop] = guarded.full_series("total_g")
+                    else:
+                        batch = ScenarioBatch.from_columns(
+                            base, stop - start, chunk
+                        )
+                        samples[start:stop] = evaluate_cached(
+                            batch, cache
+                        ).total_g
+                    if context.enabled:
+                        context.count("checkpoint.quarantine_retries")
+                        context.event(
+                            "quarantine_retry",
+                            kind="montecarlo",
+                            start=int(start),
+                            stop=int(stop),
+                            healed=(start, stop) not in still,
+                        )
+                quarantined_ranges = still
+                _save()
     finally:
         if runner is not None:
             runner.close()
 
-    # Guarded runs mark masked rows NaN; drop them like the one-shot path.
-    finished = samples[np.isfinite(samples)] if guard is not None else samples
+    # Guarded runs mark masked rows NaN — and so do quarantined shards;
+    # drop them like the one-shot path.
+    holes = bool(quarantined_ranges)
+    finished = (
+        samples[np.isfinite(samples)]
+        if (guard is not None or holes)
+        else samples
+    )
+    partial = None
+    if holes:
+        from repro.parallel.supervisor import PartialResult
+
+        ranges = tuple(quarantined_ranges)
+        partial = PartialResult(
+            quarantined=tuple(start // chunk_rows for start, _ in ranges),
+            ranges=ranges,
+            failures=(),
+        )
     return MonteCarloResult(
-        samples=np.array(finished, copy=True), base_response=base.total_g()
+        samples=np.array(finished, copy=True),
+        base_response=base.total_g(),
+        partial=partial,
     )
 
 

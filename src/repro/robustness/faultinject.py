@@ -32,7 +32,11 @@ from __future__ import annotations
 
 import copy
 import dataclasses
-from typing import Mapping
+import os
+import signal
+import time
+from pathlib import Path
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -211,3 +215,189 @@ def inject_table_fault(
             f"unknown table fault {kind!r}; use one of {TABLE_FAULTS}"
         )
     return corrupted, FaultRecord(kind, target, keys=(key,))
+
+
+# --------------------------------------------------------------------------
+# Process-level chaos: faults against the execution substrate, not the data.
+#
+# The column/table faults above corrupt *inputs*; these corrupt the
+# *machinery* — kill a worker mid-shard, stall it past its deadline, drop
+# its result message, hand it a dangling shared-memory name — so every
+# recovery path in the shard supervisor is provable in tests rather than
+# assumed.  Faults are armed through a filesystem token budget: each
+# planned firing is one token file, consumed atomically (``os.remove``)
+# by whichever process fires it.  Tokens survive fork, spawn, respawn,
+# and retry — exactly the chaos lifecycle — and "already consumed" is a
+# natural no-op, so a retried shard runs clean once its fault has fired.
+# --------------------------------------------------------------------------
+
+#: Process fault classes (see :class:`ProcessFault`).
+FAULT_KILL = "kill"
+FAULT_STALL = "stall"
+FAULT_DROP_RESULT = "drop_result"
+FAULT_CORRUPT_SHM = "corrupt_shm"
+PROCESS_FAULTS = (FAULT_KILL, FAULT_STALL, FAULT_DROP_RESULT, FAULT_CORRUPT_SHM)
+
+#: The segment name planted by ``corrupt_shm`` — attaching to it raises
+#: ``FileNotFoundError`` (an infrastructure fault, so the supervisor
+#: retries; the retried shard gets the parent's pristine handle).
+CORRUPT_SHM_NAME = "repro_faultinject_dangling"
+
+
+class ResultDropped(BaseException):
+    """Chaos signal: the shard ran, but its result message vanished.
+
+    Deliberately a ``BaseException`` so no model-level ``except
+    Exception`` can absorb it, and flagged with
+    :attr:`repro_dropped_result` so the worker loop's transport layer can
+    recognize it without importing this module (the parallel package must
+    not depend on the robustness package).
+    """
+
+    repro_dropped_result = True
+
+
+@dataclasses.dataclass(frozen=True)
+class ProcessFault:
+    """One planned fault against the worker fleet.
+
+    Attributes:
+        kind: One of :data:`PROCESS_FAULTS` — ``"kill"`` (SIGKILL the
+            worker at shard start), ``"stall"`` (sleep past the shard
+            deadline), ``"drop_result"`` (evaluate, then lose the result
+            message), ``"corrupt_shm"`` (dangle the task's shared-memory
+            handles before attach).
+        shard: Only fire on this shard index; ``None`` fires on any.
+        times: How many firings this fault is budgeted (each firing
+            consumes one token; retried shards run clean once spent).
+        stall_seconds: How long a ``"stall"`` fault sleeps.
+    """
+
+    kind: str
+    shard: int | None = None
+    times: int = 1
+    stall_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in PROCESS_FAULTS:
+            raise ParameterError(
+                f"unknown process fault {self.kind!r}; "
+                f"use one of {PROCESS_FAULTS}"
+            )
+        if self.times < 1:
+            raise ParameterError(
+                f"a process fault must fire at least once, got times={self.times}"
+            )
+        if not self.stall_seconds >= 0.0:
+            raise ParameterError(
+                f"stall_seconds must be >= 0, got {self.stall_seconds!r}"
+            )
+
+
+class ProcessFaultPlan:
+    """An armed set of process faults with a filesystem token budget.
+
+    The plan directory holds one token file per planned firing.  The
+    parent creates the plan and threads its picklable :meth:`spec` into
+    each shard task; workers consume tokens as faults fire.  The
+    filesystem is the one shared mutable store that survives every chaos
+    event we inject (worker death, respawn, interpreter restart under
+    ``spawn``), which is what makes ``times=N`` budgets exact.
+    """
+
+    def __init__(self, root: Path, faults: Sequence[ProcessFault]):
+        self.root = Path(root)
+        self.faults = tuple(faults)
+
+    @classmethod
+    def create(
+        cls, root: "Path | str", faults: Sequence[ProcessFault]
+    ) -> "ProcessFaultPlan":
+        """Arm ``faults`` under ``root`` (created; must be writable)."""
+        plan = cls(Path(root), faults)
+        plan.root.mkdir(parents=True, exist_ok=True)
+        for index, fault in enumerate(plan.faults):
+            for firing in range(fault.times):
+                plan._token(index, firing).touch()
+        return plan
+
+    def _token(self, index: int, firing: int) -> Path:
+        return self.root / f"{index:03d}-{firing:02d}.tok"
+
+    def spec(self) -> dict:
+        """The picklable description workers fire faults from."""
+        return {
+            "faults": [
+                {
+                    "kind": fault.kind,
+                    "shard": fault.shard,
+                    "stall_seconds": fault.stall_seconds,
+                    "tokens": [
+                        str(self._token(index, firing))
+                        for firing in range(fault.times)
+                    ],
+                }
+                for index, fault in enumerate(self.faults)
+            ]
+        }
+
+    def remaining(self, index: int = 0) -> int:
+        """Unconsumed firings left in fault ``index``'s budget."""
+        fault = self.faults[index]
+        return sum(
+            self._token(index, firing).exists()
+            for firing in range(fault.times)
+        )
+
+
+def _consume_token(paths: Sequence[str]) -> bool:
+    """Atomically claim one firing from a fault's token budget.
+
+    ``os.remove`` either succeeds in exactly one process or raises
+    ``FileNotFoundError`` — no lock needed even with racing workers.
+    """
+    for path in paths:
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            continue
+        return True
+    return False
+
+
+def apply_process_faults(
+    spec: Mapping, shard: int, task: dict, stage: str
+) -> None:
+    """Fire any armed faults matching this shard at this stage.
+
+    Called by the worker's shard entry point at ``stage="start"`` (before
+    transport attach — ``kill``/``stall``/``corrupt_shm`` fire here) and
+    ``stage="finish"`` (after evaluation — ``drop_result`` fires here, by
+    raising :class:`ResultDropped` so the completed work's message never
+    reaches the parent).
+    """
+    for fault in spec["faults"]:
+        if fault["shard"] is not None and fault["shard"] != shard:
+            continue
+        kind = fault["kind"]
+        fires_now = (
+            stage == "finish"
+            if kind == FAULT_DROP_RESULT
+            else stage == "start"
+        )
+        if not fires_now or not _consume_token(fault["tokens"]):
+            continue
+        if kind == FAULT_KILL:
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif kind == FAULT_STALL:
+            time.sleep(fault["stall_seconds"])
+        elif kind == FAULT_CORRUPT_SHM:
+            for side in ("input", "output"):
+                entry = task.get(side)
+                if entry is not None and entry[0] == "shm":
+                    _, (_, layout) = entry
+                    task[side] = (entry[0], (CORRUPT_SHM_NAME, layout))
+        elif kind == FAULT_DROP_RESULT:
+            raise ResultDropped(
+                f"chaos: dropped result message for shard {shard}"
+            )

@@ -60,6 +60,10 @@ NON_FINITE = "non-finite"
 DOMAIN = "domain"
 RANGE = "range"
 OUTPUT = "non-finite output"
+#: Rows lost to a quarantined shard under ``failure_policy="degrade"`` —
+#: not a data problem, but reported through the same diagnostics channel
+#: so every masked-row consumer sees one uniform account of missing rows.
+QUARANTINED = "quarantined"
 
 #: Batched/scalar agreement tolerance for the divergence cross-check.
 CROSS_CHECK_TOLERANCE = 1e-9

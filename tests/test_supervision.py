@@ -1,0 +1,662 @@
+"""Fault-tolerant parallel execution: liveness, retry, and degradation.
+
+Process-level chaos (SIGKILL a worker mid-shard, stall it past its
+deadline, drop its result message, corrupt its shared-memory handle) is
+injected through :class:`~repro.robustness.faultinject.ProcessFaultPlan`
+and every recovery path is asserted against the determinism contract: a
+retried shard re-derives the same rows from the same SeedSequence child
+stream, so recovery is **bit-identical** to the unfaulted run — never
+merely "close".
+"""
+
+import os
+import signal
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import run_monte_carlo
+from repro.analysis.scenario import ActScenario
+from repro.core.errors import (
+    ParameterError,
+    ShardFailedError,
+    ValidationError,
+    WorkerError,
+)
+from repro.obs.context import RunContext, use_context
+from repro.parallel import (
+    DEGRADE,
+    FAIL_FAST,
+    RETRY,
+    ExecutionPolicy,
+    ParallelRunner,
+    PartialResult,
+    SharedArrayStore,
+    WorkerPool,
+)
+from repro.robustness.checkpoint import run_monte_carlo_chunked
+from repro.robustness.faultinject import (
+    CORRUPT_SHM_NAME,
+    PROCESS_FAULTS,
+    ProcessFault,
+    ProcessFaultPlan,
+    ResultDropped,
+    apply_process_faults,
+)
+from repro.robustness.guard import QUARANTINED, GuardedEngine, RobustnessWarning
+
+BASE = ActScenario()
+
+#: A fast supervised policy for tests: tiny backoff, prompt liveness.
+def fast_policy(**overrides):
+    defaults = dict(
+        workers=2,
+        shard_rows=128,
+        failure_policy=RETRY,
+        max_retries=2,
+        backoff_seconds=0.01,
+    )
+    defaults.update(overrides)
+    return ExecutionPolicy(**defaults)
+
+
+def reference_samples(draws=600, seed=7, shard_rows=128):
+    """The unfaulted serial run every recovery must match bit-for-bit."""
+    with ParallelRunner(
+        ExecutionPolicy(workers=1, shard_rows=shard_rows)
+    ) as runner:
+        return runner.run_monte_carlo(BASE, draws=draws, seed=seed)
+
+
+# --- module-level worker functions (pickled by reference) -----------------
+
+
+def _echo(payload):
+    return payload
+
+
+def _die_if_marked(payload):
+    if payload == "die":
+        os.kill(os.getpid(), signal.SIGKILL)
+    return payload
+
+
+def _ignore_sigterm_and_sleep(payload):
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    time.sleep(30.0)
+    return payload
+
+
+def _attach_and_die(handle):
+    """Die between shm attach and detach — the leak-prone window."""
+    store = SharedArrayStore.attach(handle)
+    store.array("data")  # hold a live view into the mapping
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _shm_entries():
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+# --- satellite 1: the parent-hang bug ------------------------------------
+
+
+class TestPoolLiveness:
+    def test_dead_worker_raises_worker_error_not_deadlock(self):
+        """A worker SIGKILLed mid-task must surface as WorkerError fast."""
+        with WorkerPool(1) as pool:
+            started = time.monotonic()
+            with pytest.raises(WorkerError, match="died.*outstanding"):
+                pool.run(_die_if_marked, ["die"])
+            assert time.monotonic() - started < 10.0
+
+    def test_todays_blocking_get_would_hang(self):
+        """Demonstrate the bug the liveness loop fixes: after the kill,
+        the result queue never yields — a bare ``_results.get()`` (the
+        pre-supervision implementation) would have blocked forever."""
+        pool = WorkerPool(1)
+        try:
+            run_id = pool.begin_run()
+            pool.submit(run_id, 0, _die_if_marked, "die")
+            deadline = time.monotonic() + 10.0
+            while not pool.dead_workers() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            dead = pool.dead_workers()
+            assert dead, "worker should have died"
+            # The task is outstanding, its worker is a corpse, and no
+            # result will ever arrive: blocking would hang the parent.
+            assert pool.poll(1.0) is None
+            worker_id, exitcode, claimed = dead[0]
+            assert exitcode == -signal.SIGKILL
+            assert claimed == 0
+        finally:
+            pool.close()
+
+    def test_pool_reusable_after_worker_death(self):
+        with WorkerPool(2) as pool:
+            with pytest.raises(WorkerError):
+                pool.run(_die_if_marked, ["ok-1", "die", "ok-2"])
+            outcomes = pool.run(_echo, ["a", "b", "c"])
+            assert [result for _, result in outcomes] == ["a", "b", "c"]
+            assert pool.respawns >= 1
+
+
+# --- satellite 2: close() hardening ---------------------------------------
+
+
+class TestCloseEscalation:
+    def test_close_escalates_terminate_to_kill(self):
+        """A worker masking SIGTERM must still die — via kill() — within
+        the policy-provided timeouts, not the historical hardcoded 15s."""
+        pool = WorkerPool(1, join_timeout=0.2, term_timeout=0.3)
+        run_id = pool.begin_run()
+        pool.submit(run_id, 0, _ignore_sigterm_and_sleep, None)
+        deadline = time.monotonic() + 5.0
+        while pool.claimed_task(0) is None and time.monotonic() < deadline:
+            time.sleep(0.01)
+        started = time.monotonic()
+        pool.close()
+        assert time.monotonic() - started < 5.0
+
+    def test_policy_timeouts_reach_the_pool(self):
+        policy = fast_policy(
+            join_timeout_seconds=0.25, term_timeout_seconds=0.125
+        )
+        runner = ParallelRunner(policy)
+        runner.run_monte_carlo(BASE, draws=300, seed=1)
+        assert runner._pool.join_timeout == 0.25
+        assert runner._pool.term_timeout == 0.125
+        runner.close()
+
+    def test_policy_timeout_validation(self):
+        with pytest.raises(ParameterError):
+            ExecutionPolicy(join_timeout_seconds=0.0)
+        with pytest.raises(ParameterError):
+            ExecutionPolicy(term_timeout_seconds=-1.0)
+
+
+# --- process-fault plans ---------------------------------------------------
+
+
+class TestProcessFaultPlan:
+    def test_token_budget_is_exact(self, tmp_path):
+        plan = ProcessFaultPlan.create(
+            tmp_path, [ProcessFault("kill", shard=1, times=2)]
+        )
+        assert plan.remaining(0) == 2
+        spec = plan.spec()
+        task = {}
+        # drop_result fires at finish, kill at start; consume via a safe
+        # kind by checking token files directly.
+        for token in spec["faults"][0]["tokens"]:
+            os.remove(token)
+        assert plan.remaining(0) == 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ParameterError, match="unknown process fault"):
+            ProcessFault("segfault")
+        with pytest.raises(ParameterError, match="at least once"):
+            ProcessFault("kill", times=0)
+
+    def test_spec_is_picklable_and_complete(self, tmp_path):
+        import pickle
+
+        plan = ProcessFaultPlan.create(
+            tmp_path,
+            [ProcessFault(kind, shard=0) for kind in PROCESS_FAULTS],
+        )
+        spec = pickle.loads(pickle.dumps(plan.spec()))
+        assert [fault["kind"] for fault in spec["faults"]] == list(
+            PROCESS_FAULTS
+        )
+
+    def test_corrupt_shm_dangles_the_handle(self, tmp_path):
+        plan = ProcessFaultPlan.create(
+            tmp_path, [ProcessFault("corrupt_shm", shard=3)]
+        )
+        task = {"input": ("shm", ("real_segment", ())), "output": ("pickle",)}
+        apply_process_faults(plan.spec(), 3, task, "start")
+        assert task["input"][1][0] == CORRUPT_SHM_NAME
+        # budget spent: a second firing is a no-op
+        task2 = {"input": ("shm", ("real_segment", ()))}
+        apply_process_faults(plan.spec(), 3, task2, "start")
+        assert task2["input"][1][0] == "real_segment"
+
+    def test_drop_result_raises_at_finish_only(self, tmp_path):
+        plan = ProcessFaultPlan.create(
+            tmp_path, [ProcessFault("drop_result", shard=0)]
+        )
+        apply_process_faults(plan.spec(), 0, {}, "start")  # no-op
+        assert plan.remaining(0) == 1
+        with pytest.raises(ResultDropped):
+            apply_process_faults(plan.spec(), 0, {}, "finish")
+
+    def test_result_dropped_bypasses_except_exception(self):
+        assert ResultDropped("x").repro_dropped_result is True
+        assert not isinstance(ResultDropped("x"), Exception)
+        assert isinstance(ResultDropped("x"), BaseException)
+
+
+# --- tentpole: recovery paths, each bit-identical --------------------------
+
+
+class TestRetryRecovery:
+    def test_sigkill_mid_run_recovers_bit_identically(self, tmp_path):
+        reference = reference_samples()
+        plan = ProcessFaultPlan.create(
+            tmp_path, [ProcessFault("kill", shard=1, times=1)]
+        )
+        with ParallelRunner(fast_policy(), fault_plan=plan) as runner:
+            out = runner.run_monte_carlo(BASE, draws=600, seed=7)
+        assert plan.remaining(0) == 0, "the kill must actually have fired"
+        np.testing.assert_array_equal(
+            reference.series["total_g"], out.series["total_g"]
+        )
+        assert out.partial is None
+        assert out.supervision.retries >= 1
+        assert out.supervision.respawns >= 1
+        causes = {failure.cause for failure in out.supervision.failures}
+        assert "worker-death" in causes
+
+    def test_stalled_shard_hits_deadline_and_recovers(self, tmp_path):
+        reference = reference_samples()
+        plan = ProcessFaultPlan.create(
+            tmp_path,
+            [ProcessFault("stall", shard=1, times=1, stall_seconds=30.0)],
+        )
+        policy = fast_policy(shard_deadline_seconds=0.4)
+        with ParallelRunner(policy, fault_plan=plan) as runner:
+            out = runner.run_monte_carlo(BASE, draws=600, seed=7)
+        np.testing.assert_array_equal(
+            reference.series["total_g"], out.series["total_g"]
+        )
+        causes = {failure.cause for failure in out.supervision.failures}
+        assert "deadline" in causes
+        assert out.supervision.respawns >= 1
+
+    def test_corrupt_shm_handle_is_retried(self, tmp_path):
+        reference = reference_samples()
+        plan = ProcessFaultPlan.create(
+            tmp_path, [ProcessFault("corrupt_shm", shard=0, times=1)]
+        )
+        with ParallelRunner(fast_policy(), fault_plan=plan) as runner:
+            out = runner.run_monte_carlo(BASE, draws=600, seed=7)
+        np.testing.assert_array_equal(
+            reference.series["total_g"], out.series["total_g"]
+        )
+        assert out.supervision.retries >= 1
+        assert any(
+            "FileNotFoundError" in failure.detail
+            for failure in out.supervision.failures
+        )
+
+    def test_dropped_result_is_resubmitted(self, tmp_path):
+        reference = reference_samples()
+        plan = ProcessFaultPlan.create(
+            tmp_path, [ProcessFault("drop_result", shard=1, times=1)]
+        )
+        with ParallelRunner(fast_policy(), fault_plan=plan) as runner:
+            out = runner.run_monte_carlo(BASE, draws=600, seed=7)
+        assert plan.remaining(0) == 0
+        np.testing.assert_array_equal(
+            reference.series["total_g"], out.series["total_g"]
+        )
+        assert out.partial is None
+
+    def test_model_errors_are_never_retried(self, tmp_path):
+        """A strict-guard ValidationError is deterministic: the supervisor
+        must re-raise it immediately instead of burning the retry budget
+        re-failing identically."""
+        context = RunContext.create(describe_git=False)
+        guard = GuardedEngine(policy="strict")
+        columns = {"energy_kwh": np.full(600, np.nan)}
+        with use_context(context):
+            with ParallelRunner(fast_policy()) as runner:
+                with pytest.raises(ValidationError):
+                    runner.evaluate_columns(BASE, 600, columns, guard=guard)
+        assert context.sink.of_type("shard_retry") == []
+
+    def test_exhausted_budget_raises_shard_failed(self, tmp_path):
+        plan = ProcessFaultPlan.create(
+            tmp_path, [ProcessFault("kill", shard=1, times=10)]
+        )
+        policy = fast_policy(max_retries=1)
+        with ParallelRunner(policy, fault_plan=plan) as runner:
+            with pytest.raises(ShardFailedError) as info:
+                runner.run_monte_carlo(BASE, draws=600, seed=7)
+        assert info.value.shard == 1
+        assert info.value.attempts == 2  # first try + max_retries
+        assert info.value.cause == "worker-death"
+
+
+class TestDegradeRecovery:
+    def test_quarantine_names_exactly_the_dead_shard(self, tmp_path):
+        reference = reference_samples()
+        plan = ProcessFaultPlan.create(
+            tmp_path, [ProcessFault("kill", shard=2, times=5)]
+        )
+        policy = fast_policy(failure_policy=DEGRADE, max_retries=2)
+        with pytest.warns(RobustnessWarning, match="quarantined"):
+            with ParallelRunner(policy, fault_plan=plan) as runner:
+                out = runner.run_monte_carlo(BASE, draws=600, seed=7)
+        assert isinstance(out.partial, PartialResult)
+        assert out.partial.quarantined == (2,)
+        assert out.partial.ranges == ((256, 384),)
+        assert out.partial.causes() == {2: "worker-death"}
+        # Quarantined rows are flagged, never silently zero or stale.
+        assert np.isnan(out.series["total_g"][256:384]).all()
+        assert not out.valid[256:384].any()
+        assert any(d.reason == QUARANTINED for d in out.diagnostics)
+        # Every surviving row is bit-identical to the unfaulted run.
+        survivors = np.r_[0:256, 384:600]
+        np.testing.assert_array_equal(
+            reference.series["total_g"][survivors],
+            out.series["total_g"][survivors],
+        )
+        assert len(out.samples()) == 600 - 128
+
+    def test_degraded_monte_carlo_result_carries_partial(self, tmp_path):
+        plan = ProcessFaultPlan.create(
+            tmp_path, [ProcessFault("kill", shard=0, times=5)]
+        )
+        # run_monte_carlo builds its own runner; arm chaos via a manual
+        # runner to keep the public API surface unchanged.
+        policy = fast_policy(failure_policy=DEGRADE, max_retries=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RobustnessWarning)
+            with ParallelRunner(policy, fault_plan=plan) as runner:
+                evaluation = runner.run_monte_carlo(BASE, draws=600, seed=7)
+        assert evaluation.partial.rows == 128
+        assert evaluation.supervision.quarantined == (0,)
+
+    def test_serial_fallback_heals_fleet_only_faults(self, tmp_path):
+        """With serial_fallback, a shard that keeps dying in workers gets
+        one clean in-process attempt — chaos stripped — and the run ends
+        complete, not partial."""
+        reference = reference_samples()
+        plan = ProcessFaultPlan.create(
+            tmp_path, [ProcessFault("kill", shard=1, times=10)]
+        )
+        policy = fast_policy(
+            failure_policy=DEGRADE, max_retries=1, serial_fallback=True
+        )
+        with ParallelRunner(policy, fault_plan=plan) as runner:
+            out = runner.run_monte_carlo(BASE, draws=600, seed=7)
+        assert out.partial is None
+        np.testing.assert_array_equal(
+            reference.series["total_g"], out.series["total_g"]
+        )
+
+    def test_workers_1_degrade_quarantines_in_process(self, tmp_path):
+        """The serial reference path honors the same failure policy: an
+        in-process infrastructure fault (dangling shm handle) is retried
+        and then quarantined without any pool existing."""
+        plan = ProcessFaultPlan.create(
+            tmp_path, [ProcessFault("corrupt_shm", shard=1, times=3)]
+        )
+        policy = fast_policy(
+            workers=1, failure_policy=DEGRADE, max_retries=1
+        )
+        with pytest.warns(RobustnessWarning, match="quarantined"):
+            with ParallelRunner(policy, fault_plan=plan) as runner:
+                out = runner.run_monte_carlo(BASE, draws=600, seed=7)
+        assert out.partial.quarantined == (1,)
+        assert np.isnan(out.series["total_g"][128:256]).all()
+
+    def test_pareto_refuses_to_degrade(self, tmp_path):
+        """A partial non-dominance mask is wrong, not weaker — pareto
+        raises instead of quarantining."""
+        plan = ProcessFaultPlan.create(
+            tmp_path, [ProcessFault("kill", shard=0, times=10)]
+        )
+        policy = fast_policy(
+            failure_policy=DEGRADE, max_retries=0, shard_rows=8
+        )
+        rng = np.random.default_rng(3)
+        objectives = rng.random((32, 3))
+        with ParallelRunner(policy, fault_plan=plan) as runner:
+            with pytest.raises(ShardFailedError, match="pareto"):
+                runner.pareto_mask(objectives)
+
+
+# --- observability ---------------------------------------------------------
+
+
+class TestSupervisionObservability:
+    def test_retry_respawn_and_quarantine_are_reported(self, tmp_path):
+        plan = ProcessFaultPlan.create(
+            tmp_path, [ProcessFault("kill", shard=2, times=5)]
+        )
+        policy = fast_policy(failure_policy=DEGRADE, max_retries=1)
+        context = RunContext.create(describe_git=False)
+        with use_context(context):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RobustnessWarning)
+                with ParallelRunner(policy, fault_plan=plan) as runner:
+                    runner.run_monte_carlo(BASE, draws=600, seed=7)
+        retries = context.sink.of_type("shard_retry")
+        respawns = context.sink.of_type("worker_respawn")
+        quarantines = context.sink.of_type("shard_quarantined")
+        assert retries and respawns
+        assert [event["shard"] for event in quarantines] == [2]
+        rendered = context.metrics.render()
+        assert "parallel.retries" in rendered
+        assert "parallel.respawns" in rendered
+        assert "parallel.quarantined" in rendered
+
+
+# --- shm lifecycle under crash (satellite 4) -------------------------------
+
+
+class TestShmCrashLifecycle:
+    def test_worker_death_between_attach_and_detach_leaks_nothing(self):
+        """A worker SIGKILLed while attached must not leak the segment
+        (parent unlink still works) nor blow up the parent's cleanup
+        with BufferError."""
+        before = _shm_entries()
+        store = SharedArrayStore.create({"data": np.arange(64.0)})
+        segment_entry = store.handle()[0].lstrip("/")
+        pool = WorkerPool(1)
+        try:
+            with pytest.raises(WorkerError):
+                pool.run(_attach_and_die, [store.handle()])
+        finally:
+            pool.close()
+            store.unlink()  # must not raise BufferError
+        after = _shm_entries()
+        assert segment_entry not in after
+        assert after - before == set()
+
+    def test_chaos_run_leaks_no_segments(self, tmp_path):
+        before = _shm_entries()
+        plan = ProcessFaultPlan.create(
+            tmp_path, [ProcessFault("kill", shard=1, times=1)]
+        )
+        with ParallelRunner(fast_policy(), fault_plan=plan) as runner:
+            runner.run_monte_carlo(BASE, draws=600, seed=7)
+        assert _shm_entries() - before == set()
+
+
+# --- checkpoint resume composes with partial results -----------------------
+
+
+class TestCheckpointPartialResume:
+    def _chunked(self, tmp_path, checkpoint, *, fault_plan=None, resume=False):
+        policy = fast_policy(
+            failure_policy=DEGRADE, max_retries=0, backoff_seconds=0.0
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RobustnessWarning)
+            return run_monte_carlo_chunked(
+                BASE,
+                draws=768,
+                seed=11,
+                chunk_rows=128,
+                checkpoint=checkpoint,
+                resume=resume,
+                policy=policy,
+                fault_plan=fault_plan,
+            )
+
+    def test_resume_reattempts_only_quarantined_rows(self, tmp_path):
+        checkpoint = tmp_path / "mc.npz"
+        reference = self._chunked(tmp_path, None)
+        assert reference.partial is None
+
+        plan = ProcessFaultPlan.create(
+            tmp_path / "faults", [ProcessFault("kill", shard=1, times=1)]
+        )
+        partial = self._chunked(tmp_path, checkpoint, fault_plan=plan)
+        assert partial.partial is not None
+        assert partial.partial.ranges == ((128, 256),)
+        assert len(partial.samples) == 768 - 128
+
+        # Resume with the fault cleared: only the quarantined range is
+        # re-attempted — no chunk re-evaluates — and the result converges
+        # bit-identically to the never-faulted run.
+        context = RunContext.create(describe_git=False)
+        with use_context(context):
+            resumed = self._chunked(tmp_path, checkpoint, resume=True)
+        assert resumed.partial is None
+        np.testing.assert_array_equal(reference.samples, resumed.samples)
+        retry_events = context.sink.of_type("quarantine_retry")
+        assert [
+            (event["start"], event["stop"]) for event in retry_events
+        ] == [(128, 256)]
+        assert all(event["healed"] for event in retry_events)
+        # The completed prefix rode along from the checkpoint: the resume
+        # evaluated zero regular chunks.
+        assert context.sink.of_type("chunk") == []
+
+    def test_still_faulty_resume_stays_partial(self, tmp_path):
+        checkpoint = tmp_path / "mc.npz"
+        plan = ProcessFaultPlan.create(
+            tmp_path / "faults", [ProcessFault("kill", shard=1, times=1)]
+        )
+        self._chunked(tmp_path, checkpoint, fault_plan=plan)
+        still_faulty = ProcessFaultPlan.create(
+            tmp_path / "faults2", [ProcessFault("kill", shard=0, times=1)]
+        )
+        resumed = self._chunked(
+            tmp_path, checkpoint, fault_plan=still_faulty, resume=True
+        )
+        assert resumed.partial is not None
+        assert resumed.partial.ranges == ((128, 256),)
+        # And a second resume with the fault gone converges fully.
+        final = self._chunked(tmp_path, checkpoint, resume=True)
+        assert final.partial is None
+        assert len(final.samples) == 768
+
+
+# --- CLI flags (satellite 3) ----------------------------------------------
+
+
+class TestCliParallelFlags:
+    def _run(self, capsys, *argv):
+        from repro.cli import main
+
+        code = main(list(argv))
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_shard_rows_and_transport_accepted(self, capsys):
+        code, out, _ = self._run(
+            capsys,
+            "montecarlo",
+            "--draws", "400",
+            "--workers", "2",
+            "--shard-rows", "100",
+            "--transport", "pickle",
+        )
+        assert code == 0
+        assert "mean" in out
+
+    def test_shard_rows_alone_opts_into_sharded_stream(self, capsys):
+        _, sharded, _ = self._run(
+            capsys, "montecarlo", "--draws", "400", "--shard-rows", "100"
+        )
+        _, legacy, _ = self._run(capsys, "montecarlo", "--draws", "400")
+        sharded_mean = [l for l in sharded.splitlines() if "mean" in l]
+        legacy_mean = [l for l in legacy.splitlines() if "mean" in l]
+        assert sharded_mean and legacy_mean  # both complete; streams differ
+
+    def test_invalid_shard_rows_exits_2(self, capsys):
+        code, _, err = self._run(
+            capsys, "montecarlo", "--draws", "100", "--shard-rows", "-5"
+        )
+        assert code == 2
+        assert "shard_rows" in err
+
+    def test_invalid_transport_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            self._run(
+                capsys, "montecarlo", "--draws", "100",
+                "--transport", "carrier-pigeon",
+            )
+        assert info.value.code == 2
+
+    def test_invalid_max_retries_exits_2(self, capsys):
+        code, _, err = self._run(
+            capsys,
+            "montecarlo", "--draws", "100",
+            "--failure-policy", "retry", "--max-retries", "-1",
+        )
+        assert code == 2
+        assert "max_retries" in err
+
+    def test_sensitivity_accepts_parallel_flags(self, capsys):
+        code, out, _ = self._run(
+            capsys,
+            "sensitivity",
+            "--draws", "300",
+            "--workers", "2",
+            "--shard-rows", "100",
+            "--failure-policy", "retry",
+        )
+        assert code == 0
+        assert "Monte Carlo" in out
+
+    def test_experiment_accepts_parallel_flags(self, capsys):
+        code, _, _ = self._run(
+            capsys,
+            "experiment", "fig14",
+            "--workers", "1",
+            "--transport", "shm",
+        )
+        assert code == 0
+
+
+# --- policy validation -----------------------------------------------------
+
+
+class TestFailurePolicyValidation:
+    def test_unknown_failure_policy_rejected(self):
+        with pytest.raises(ParameterError, match="failure policy"):
+            ExecutionPolicy(failure_policy="pray")
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ParameterError, match="max_retries"):
+            ExecutionPolicy(max_retries=-1)
+
+    def test_bad_deadline_rejected(self):
+        with pytest.raises(ParameterError, match="shard_deadline"):
+            ExecutionPolicy(shard_deadline_seconds=0.0)
+
+    def test_fail_fast_stays_the_default(self):
+        assert ExecutionPolicy().failure_policy == FAIL_FAST
+
+    def test_one_shot_monte_carlo_threads_partial(self):
+        """run_monte_carlo's parallel path forwards partial=None for a
+        healthy run (the field exists for degraded ones)."""
+        result = run_monte_carlo(
+            BASE,
+            draws=400,
+            seed=3,
+            policy=ExecutionPolicy(workers=2, shard_rows=100),
+        )
+        assert result.partial is None
