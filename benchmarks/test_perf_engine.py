@@ -13,6 +13,11 @@ through :class:`~repro.parallel.ParallelRunner` at several worker counts,
 shard sizes, and both transports.  Every figure is best-of-N with the
 repeat count recorded alongside it; overhead fractions are stored raw
 (negative = timer noise) and clamped to zero only in the printed summary.
+
+A ``backends`` section records kernel-only throughput per registered
+:class:`~repro.engine.backends.KernelBackend` on the same two workloads,
+and gates the fused float64 path against the reference (fewer
+allocations must not be slower).
 """
 
 from __future__ import annotations
@@ -206,8 +211,9 @@ def test_perf_engine():
             existing = json.loads(OUTPUT_PATH.read_text())
         except (OSError, json.JSONDecodeError):
             existing = {}
-    if "parallel" in existing:
-        payload["parallel"] = existing["parallel"]
+    for section in ("parallel", "supervision", "backends"):
+        if section in existing:
+            payload[section] = existing[section]
     OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print()
     print(json.dumps(payload, indent=2))
@@ -236,6 +242,101 @@ def test_perf_engine():
     assert null_overhead < 0.05, (
         f"null observability context costs {null_overhead:.1%} on the "
         "kernel pass (budget: ~2% + timer noise)"
+    )
+
+
+def test_perf_backends():
+    """Kernel-only throughput of every registered backend.
+
+    Evaluates the same prebuilt batches — the 10k-draw Monte Carlo sample
+    and the 1200-point sweep product — through each backend's raw
+    ``evaluate`` path, interleaving the backends each round so clock
+    drift hits all of them equally.  Merges a ``backends`` section into
+    ``BENCH_engine.json`` keyed by backend name (so the perf guard can
+    compare only backends present in both payloads) and gates the fused
+    float64 path: fewer allocations must not be slower than the
+    reference on the Monte Carlo batch.
+    """
+    from repro.analysis.montecarlo import sample_scenario_batch
+    from repro.engine import ScenarioBatch, available_backends, get_backend
+
+    base = ActScenario()
+    mc_batch = sample_scenario_batch(base, draws=MC_DRAWS, seed=2022)
+    sweep_batch = ScenarioBatch.from_product(base, SWEEP_GRIDS)
+    sweep_points = len(sweep_batch)
+    backends = {name: get_backend(name) for name in available_backends()}
+
+    calls = 20
+    rounds = 7
+
+    def _loop(backend, batch):
+        def run() -> None:
+            for _ in range(calls):
+                backend.evaluate(batch)
+
+        return run
+
+    for backend in backends.values():  # warm-up: JIT compilation, caches
+        backend.evaluate(mc_batch)
+        backend.evaluate(sweep_batch)
+
+    mc_seconds = {name: float("inf") for name in backends}
+    sweep_seconds = {name: float("inf") for name in backends}
+    for _ in range(rounds):
+        for name, backend in backends.items():
+            mc_seconds[name] = min(
+                mc_seconds[name],
+                _best_seconds(_loop(backend, mc_batch), repeats=1) / calls,
+            )
+            sweep_seconds[name] = min(
+                sweep_seconds[name],
+                _best_seconds(_loop(backend, sweep_batch), repeats=1) / calls,
+            )
+
+    section = {
+        name: {
+            "dtype": str(backends[name].dtype),
+            "tolerance": float(backends[name].tolerance),
+            "repeats": rounds,
+            "calls_per_repeat": calls,
+            "monte_carlo_rows": MC_DRAWS,
+            "monte_carlo_seconds": mc_seconds[name],
+            "monte_carlo_points_per_sec": MC_DRAWS / mc_seconds[name],
+            "grid_sweep_rows": sweep_points,
+            "grid_sweep_seconds": sweep_seconds[name],
+            "grid_sweep_points_per_sec": sweep_points / sweep_seconds[name],
+        }
+        for name in backends
+    }
+
+    payload = {}
+    if OUTPUT_PATH.exists():
+        try:
+            payload = json.loads(OUTPUT_PATH.read_text())
+        except (OSError, json.JSONDecodeError):
+            payload = {}
+    payload.setdefault("benchmark", "engine")
+    payload["backends"] = section
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(json.dumps({"backends": section}, indent=2))
+    print(
+        "summary: "
+        + ", ".join(
+            f"{name}: MC {entry['monte_carlo_points_per_sec']:,.0f}/s, "
+            f"sweep {entry['grid_sweep_points_per_sec']:,.0f}/s"
+            for name, entry in section.items()
+        )
+    )
+
+    fused_gain = (
+        section["fused"]["monte_carlo_points_per_sec"]
+        / section["reference"]["monte_carlo_points_per_sec"]
+    )
+    assert fused_gain > 1.0, (
+        f"fused backend is {fused_gain:.2f}x the reference on the "
+        f"{MC_DRAWS}-draw Monte Carlo batch — the allocation-minimal "
+        "pass must not be slower"
     )
 
 
@@ -294,11 +395,15 @@ def test_perf_parallel():
     serial_rate = by_workers["1"]["draws_per_sec"]
     best_rate = max(entry["draws_per_sec"] for entry in by_workers.values())
     speedup_at_4 = by_workers["4"]["draws_per_sec"] / serial_rate
+    # "gated" records whether the speedup assertion below actually ran —
+    # a reader of the JSON must be able to tell a passed gate from a
+    # skipped one (small CI machines record numbers but gate nothing).
     section = {
         "draws": PARALLEL_DRAWS,
         "repeats": PARALLEL_REPEATS,
         "cpu_count": cores,
         "shard_rows": shard_rows,
+        "gated": cores >= 4,
         "throughput_by_workers": by_workers,
         "throughput_by_shard_rows": by_shard_rows,
         "throughput_by_transport": by_transport,

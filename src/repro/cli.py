@@ -99,6 +99,18 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
         help="re-executions granted per shard beyond its first attempt "
         "under retry/degrade (default: 2)",
     )
+    # Deliberately not argparse `choices`: the registry is open (numba
+    # registers itself when installed), so names resolve at runtime and an
+    # unknown one raises ParameterError (exit 2) listing what exists.
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="kernel backend evaluating the batches (reference = pinned "
+        "float64 path, fused = same results with fewer allocations, "
+        "float32 = reduced precision, numba = JIT loop when installed; "
+        "default: the ACT_REPRO_BACKEND env var, else reference)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -424,6 +436,7 @@ def _workers_policy(
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.engine.backends import use_backend
     from repro.parallel import use_execution_policy
 
     key = args.id.strip().lower()
@@ -434,7 +447,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         args.failure_policy,
         args.max_retries,
     )
-    with use_execution_policy(policy):
+    # use_backend(None) re-installs the current process-wide selection, so
+    # invocations without --backend are exactly the historical behavior.
+    with use_backend(args.backend), use_execution_policy(policy):
         results = _run_experiment_set(args.id)
     failures = [c for r in results for c in r.failed_checks()]
     if args.json:
@@ -534,6 +549,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
     from repro.analysis import ActScenario, run_monte_carlo, tornado
+    from repro.engine.backends import use_backend
 
     base = ActScenario()
     records = tornado(base)[: args.top]
@@ -550,17 +566,18 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
             rows,
         )
     )
-    result = run_monte_carlo(
-        base,
-        draws=args.draws,
-        policy=_workers_policy(
-            args.workers,
-            args.shard_rows,
-            args.transport,
-            args.failure_policy,
-            args.max_retries,
-        ),
-    )
+    with use_backend(args.backend):
+        result = run_monte_carlo(
+            base,
+            draws=args.draws,
+            policy=_workers_policy(
+                args.workers,
+                args.shard_rows,
+                args.transport,
+                args.failure_policy,
+                args.max_retries,
+            ),
+        )
     print()
     print(
         f"Monte Carlo ({args.draws} draws): mean {result.mean / 1000.0:.2f} kg, "
@@ -573,6 +590,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
     import time
 
     from repro.analysis import ActScenario, run_monte_carlo
+    from repro.engine.backends import use_backend
 
     try:
         percentiles = [
@@ -623,29 +641,31 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
             if args.max_seconds is not None
             else None
         )
-        result = run_monte_carlo_chunked(
-            base,
-            draws=args.draws,
-            seed=args.seed,
-            distribution=args.distribution,
-            chunk_rows=args.chunk_rows or DEFAULT_CHUNK_ROWS,
-            checkpoint=args.checkpoint,
-            resume=args.resume,
-            cancel=cancel,
-            guard=guard,
-            cache=cache,
-            policy=policy,
-        )
+        with use_backend(args.backend):
+            result = run_monte_carlo_chunked(
+                base,
+                draws=args.draws,
+                seed=args.seed,
+                distribution=args.distribution,
+                chunk_rows=args.chunk_rows or DEFAULT_CHUNK_ROWS,
+                checkpoint=args.checkpoint,
+                resume=args.resume,
+                cancel=cancel,
+                guard=guard,
+                cache=cache,
+                policy=policy,
+            )
     else:
-        result = run_monte_carlo(
-            base,
-            draws=args.draws,
-            seed=args.seed,
-            distribution=args.distribution,
-            guard=guard,
-            cache=cache,
-            policy=policy,
-        )
+        with use_backend(args.backend):
+            result = run_monte_carlo(
+                base,
+                draws=args.draws,
+                seed=args.seed,
+                distribution=args.distribution,
+                guard=guard,
+                cache=cache,
+                policy=policy,
+            )
     elapsed = time.perf_counter() - started
     print(
         f"Monte Carlo over the Table 1 ranges — batched engine, "

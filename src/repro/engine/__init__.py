@@ -13,8 +13,33 @@ output to the scalar path within 1e-9.
 Use the scalar path for single designs and rich per-component reports; use
 the engine whenever the same question is asked across a grid, a sample, or
 a design space.
+
+*How* a batch is evaluated is a pluggable :class:`KernelBackend`
+(:mod:`repro.engine.backends`): the default ``reference`` backend is the
+pinned float64 path above, ``fused`` collapses the pipeline into
+allocation-minimal in-place passes (bit-identical results), ``float32``
+trades precision for bandwidth under a documented drift envelope, and a
+``numba`` backend registers when the optional dependency is installed.
+Select one per call (``evaluate_batch(batch, backend="fused")``) or
+process-wide (``with use_backend("fused"): ...``).
 """
 
+from repro.engine.backends import (
+    BACKEND_ENV_VAR,
+    FLOAT32,
+    FUSED,
+    NUMBA,
+    REFERENCE,
+    KernelBackend,
+    available_backends,
+    backend_summary,
+    current_backend,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+    use_backend,
+)
 from repro.engine.batch import FIELD_NAMES, ScenarioBatch, product_params
 from repro.engine.cache import (
     DEFAULT_CACHE,
@@ -42,25 +67,39 @@ from repro.engine.metrics import (
 )
 
 __all__ = [
+    "BACKEND_ENV_VAR",
     "BatchResult",
     "CacheStats",
     "DEFAULT_CACHE",
     "EvaluationCache",
     "FIELD_NAMES",
+    "FLOAT32",
+    "FUSED",
+    "KernelBackend",
+    "NUMBA",
+    "REFERENCE",
     "ScenarioBatch",
+    "available_backends",
+    "backend_summary",
     "batch_key",
     "best_index",
     "cpa_g_per_cm2",
+    "current_backend",
     "evaluate_batch",
     "evaluate_cached",
+    "get_backend",
     "metric_columns",
     "operational_g",
     "packaging_g",
     "product_params",
+    "register_backend",
+    "resolve_backend",
     "score_table_batched",
     "soc_embodied_g",
     "stack_design_points",
     "storage_embodied_g",
     "total_g",
+    "unregister_backend",
+    "use_backend",
     "winners_batched",
 ]

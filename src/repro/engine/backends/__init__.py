@@ -1,0 +1,278 @@
+"""Kernel backends: pluggable compute strategies for the Eq. 1-8 engine.
+
+Every scenario layer — sweeps, Monte Carlo, DSE, the guarded engine, the
+parallel runner, the CLI — evaluates batches through one entry point
+(:func:`repro.engine.kernels.evaluate_batch`).  This package makes the
+*how* of that evaluation a first-class, swappable object: a
+:class:`KernelBackend` couples a name, an output dtype, a documented
+drift tolerance against the scalar reference, and the actual compute
+passes (the Eq. 1-8 kernel and the Table 2 metric expressions).
+
+Built-in backends (registered lazily on first lookup):
+
+``reference``
+    The pinned numpy float64 path — term-for-term identical to the
+    scalar :class:`~repro.analysis.scenario.ActScenario`, agreeing with
+    it to 1e-9.  The default everywhere; all other backends are judged
+    against it.
+``fused``
+    The same float64 arithmetic with Eq. 5→4→3→1 collapsed into
+    in-place expression passes (``out=`` ufunc calls), eliminating the
+    reference path's intermediate allocations.  Operation order is
+    preserved exactly, so results are bit-identical to ``reference``.
+``float32``
+    The fused pass in single precision: half the memory traffic, with a
+    documented drift bound (columns are cast once, every kernel op runs
+    in float32).  The guarded engine cross-checks it against the
+    reference within :data:`~repro.engine.backends.fused.FLOAT32_TOLERANCE`.
+``numba``
+    A JIT-compiled single-pass row loop.  Registered only when the
+    optional :mod:`numba` package imports; absent otherwise (lookups
+    fail with a :class:`~repro.core.errors.ParameterError` naming the
+    available backends).
+
+Selection uses the same process-wide stack idiom as
+:func:`repro.parallel.use_execution_policy`: install a backend for a
+block with :func:`use_backend`, and every entry point called with
+``backend=None`` resolves it via :func:`current_backend`.  The stack
+bottoms out at the ``ACT_REPRO_BACKEND`` environment variable (default:
+``reference``), so a deployment or CI leg can switch the whole process
+without touching call sites.  Workers of the parallel runner receive the
+backend *by name* and re-resolve it locally — backend objects never
+cross process boundaries.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Mapping, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.errors import ParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.batch import ScenarioBatch
+    from repro.engine.kernels import BatchResult
+
+#: Canonical backend names.
+REFERENCE = "reference"
+FUSED = "fused"
+FLOAT32 = "float32"
+NUMBA = "numba"
+
+#: Environment variable naming the process-default backend (the bottom of
+#: the :func:`use_backend` stack).  Resolved lazily on first use so CI
+#: legs can run the whole suite under e.g. ``ACT_REPRO_BACKEND=fused``.
+BACKEND_ENV_VAR = "ACT_REPRO_BACKEND"
+
+
+@runtime_checkable
+class KernelBackend(Protocol):
+    """What the engine needs from a compute backend.
+
+    Attributes:
+        name: Registry identity; also the unit workers use to re-resolve
+            the backend locally (backends are never pickled).
+        dtype: The dtype of every output series the backend produces.
+        tolerance: Documented worst-case relative drift of this backend
+            against the scalar reference path.  The guarded engine uses
+            ``max(guard.tolerance, backend.tolerance)`` when
+            cross-checking, so a reduced-precision backend is held to
+            its own bound, not the reference's 1e-9.
+    """
+
+    name: str
+    dtype: np.dtype
+    tolerance: float
+
+    def evaluate(self, batch: "ScenarioBatch") -> "BatchResult":
+        """One full Eq. 1-8 pass over ``batch``."""
+        ...  # pragma: no cover - protocol
+
+    def metric_columns(
+        self,
+        carbon: np.ndarray,
+        energy: np.ndarray,
+        delay: np.ndarray,
+        area: np.ndarray | None,
+        names: tuple[str, ...],
+    ) -> dict[str, np.ndarray]:
+        """The requested (pre-canonicalized) Table 2 metric columns."""
+        ...  # pragma: no cover - protocol
+
+    @property
+    def cache_token(self) -> str:
+        """The identity the evaluation cache folds into its keys."""
+        ...  # pragma: no cover - protocol
+
+
+_REGISTRY: dict[str, KernelBackend] = {}
+_REGISTERED_BUILTINS = False
+
+
+def _ensure_builtins() -> None:
+    """Import-register the built-in backends exactly once.
+
+    Deferred (not module-top) so ``repro.engine.kernels`` and this
+    package can import each other without a cycle: by the time any
+    lookup runs, both modules are fully initialized.
+    """
+    global _REGISTERED_BUILTINS
+    if _REGISTERED_BUILTINS:
+        return
+    _REGISTERED_BUILTINS = True
+    from repro.engine.backends import fused, reference  # noqa: F401
+
+    # Optional compiled backend: registers itself only when importable.
+    from repro.engine.backends import numba_backend  # noqa: F401
+
+
+def register_backend(backend: KernelBackend, *, replace: bool = False) -> None:
+    """Add ``backend`` to the registry under ``backend.name``.
+
+    Args:
+        backend: The backend instance (must satisfy the protocol).
+        replace: Allow overwriting an existing registration; without it a
+            duplicate name raises :class:`~repro.core.errors.ParameterError`
+            so two extensions cannot silently shadow each other.
+    """
+    name = getattr(backend, "name", "")
+    if not name or not isinstance(name, str):
+        raise ParameterError(
+            f"a kernel backend needs a non-empty string name, got {name!r}"
+        )
+    _ensure_builtins()
+    if name in _REGISTRY and not replace:
+        raise ParameterError(
+            f"kernel backend {name!r} is already registered "
+            "(pass replace=True to overwrite)"
+        )
+    _REGISTRY[name] = backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (built-ins included — tests use this)."""
+    _ensure_builtins()
+    if name not in _REGISTRY:
+        raise ParameterError(f"kernel backend {name!r} is not registered")
+    del _REGISTRY[name]
+
+
+def available_backends() -> tuple[str, ...]:
+    """Every registered backend name, in registration order."""
+    _ensure_builtins()
+    return tuple(_REGISTRY)
+
+
+def get_backend(name: str) -> KernelBackend:
+    """The registered backend called ``name``.
+
+    Raises:
+        ParameterError: Unknown name; the message lists what is
+            available (so a missing optional backend like ``numba``
+            explains itself).
+    """
+    _ensure_builtins()
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        raise ParameterError(
+            f"unknown kernel backend {name!r} "
+            f"(available: {', '.join(_REGISTRY)})"
+        )
+    return backend
+
+
+_ACTIVE: list[KernelBackend | None] = [None]
+_ENV_DEFAULT: KernelBackend | None = None
+
+
+def _default_backend() -> KernelBackend:
+    """The stack's bottom: ``$ACT_REPRO_BACKEND`` or the reference path."""
+    global _ENV_DEFAULT
+    if _ENV_DEFAULT is None:
+        _ENV_DEFAULT = get_backend(
+            os.environ.get(BACKEND_ENV_VAR, REFERENCE) or REFERENCE
+        )
+    return _ENV_DEFAULT
+
+
+def current_backend() -> KernelBackend:
+    """The innermost installed backend (default: reference / env override)."""
+    backend = _ACTIVE[-1]
+    if backend is not None:
+        return backend
+    return _default_backend()
+
+
+def resolve_backend(
+    backend: "KernelBackend | str | None",
+) -> KernelBackend:
+    """Normalize a ``backend=`` argument to a :class:`KernelBackend`.
+
+    ``None`` falls back to :func:`current_backend`; a string resolves
+    through the registry (unknown names raise ``ParameterError``).
+    """
+    if backend is None:
+        return current_backend()
+    if isinstance(backend, str):
+        return get_backend(backend)
+    if isinstance(backend, KernelBackend):
+        return backend
+    raise ParameterError(
+        f"backend must be a KernelBackend, a registered backend name, or "
+        f"None, got {backend!r}"
+    )
+
+
+@contextmanager
+def use_backend(
+    backend: "KernelBackend | str | None",
+) -> Iterator[KernelBackend | None]:
+    """Install ``backend`` as the process-wide default for the block.
+
+    Entry points called with ``backend=None`` resolve to the installed
+    backend.  Installing ``None`` is transparent: the current selection
+    (an outer activation, or the env-var/reference default) stays in
+    effect, which lets callers write ``with use_backend(args.backend)``
+    unconditionally.  Activations nest like
+    :func:`repro.parallel.use_execution_policy`.  Names resolve eagerly,
+    so an unknown name fails at the ``with`` statement, not at first use.
+    """
+    resolved = resolve_backend(backend) if backend is not None else None
+    _ACTIVE.append(resolved if resolved is not None else _ACTIVE[-1])
+    try:
+        yield resolved
+    finally:
+        _ACTIVE.pop()
+
+
+def backend_summary() -> Mapping[str, Mapping[str, object]]:
+    """A diagnostic map of every registered backend's contract."""
+    _ensure_builtins()
+    return {
+        name: {
+            "dtype": str(np.dtype(backend.dtype)),
+            "tolerance": float(backend.tolerance),
+        }
+        for name, backend in _REGISTRY.items()
+    }
+
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "FLOAT32",
+    "FUSED",
+    "KernelBackend",
+    "NUMBA",
+    "REFERENCE",
+    "available_backends",
+    "backend_summary",
+    "current_backend",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "unregister_backend",
+    "use_backend",
+]

@@ -1,0 +1,191 @@
+"""Fused Eq. 1-8 backends: one in-place expression pass per output series.
+
+The reference kernels are readable but allocation-heavy: evaluating a
+batch materializes roughly seventeen arrays to produce the ten output
+series (``(a*b + c + d) / e`` alone costs three temporaries).  The fused
+pass here collapses Eq. 5→4→3→1 into ``out=``-targeted ufunc calls so the
+only arrays allocated are the ten the :class:`~repro.engine.kernels.BatchResult`
+keeps — the intermediates write straight into their final buffers.
+
+Crucially the *operation order is unchanged*: every add, multiply, and
+divide happens in exactly the sequence the reference path (and therefore
+the scalar model) uses, just without the intermediate allocations.  IEEE
+float arithmetic is deterministic per operation, so the fused float64
+backend is bit-identical to the reference — the test suite asserts
+``==``, not merely closeness.
+
+The float32 variant runs the same fused pass after casting every column
+once to single precision.  Input rounding (~6e-8 relative) plus a
+handful of float32 ops bound the drift; :data:`FLOAT32_TOLERANCE` is the
+documented envelope the guarded engine enforces when cross-checking.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.engine.backends import FLOAT32, FUSED, register_backend
+from repro.engine.backends.reference import BackendBase
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.batch import ScenarioBatch
+    from repro.engine.kernels import BatchResult
+
+#: Documented worst-case relative drift of the float32 backend against
+#: the float64 reference.  Single-precision input rounding is ~6e-8
+#: relative; the Eq. 1-8 chain is short (about ten well-conditioned ops)
+#: and Table 1 magnitudes span ~1e6, so 1e-4 bounds the drift with a
+#: wide safety margin (observed drift in the suite is below 1e-5).
+FLOAT32_TOLERANCE = 1e-4
+
+#: ``BatchResult``, bound on first use (a per-call ``from ... import``
+#: would tax every batch with import-machinery overhead, and a module-top
+#: import would recreate the kernels <-> backends cycle).
+_batch_result = None
+
+
+def _fused_pass(batch: "ScenarioBatch", dtype: np.dtype) -> "BatchResult":
+    """The allocation-minimal Eq. 1-8 pass in ``dtype`` precision.
+
+    Reference operation order, preserved exactly:
+
+    * Eq. 5  ``cpa = (ci_fab*epa + gpa + mpa) / fab_yield``
+    * Eq. 4  ``soc = area * cpa``
+    * Eq. 6-8 ``storage = capacity * cps`` (DRAM / SSD / HDD)
+    * Eq. 3  ``packaging = ic_count * k``;
+      ``embodied = packaging + soc + dram + ssd + hdd`` (left-assoc)
+    * Eq. 2  ``operational = energy * ci_use``
+    * Eq. 1  ``total = operational + (duration/lifetime) * embodied``
+    """
+    global _batch_result
+    if _batch_result is None:
+        from repro.engine.kernels import BatchResult
+
+        _batch_result = BatchResult
+    BatchResult = _batch_result
+
+    def column(name: str) -> np.ndarray:
+        # No-copy when the batch already holds this dtype; one cast
+        # otherwise (the float32 variant pays it once per column).
+        return np.asarray(getattr(batch, name), dtype=dtype)
+
+    # Eq. 5 — carbon per good cm^2, built in its own output buffer.
+    cpa = np.multiply(column("ci_fab_g_per_kwh"), column("epa_kwh_per_cm2"))
+    np.add(cpa, column("gpa_g_per_cm2"), out=cpa)
+    np.add(cpa, column("mpa_g_per_cm2"), out=cpa)
+    np.divide(cpa, column("fab_yield"), out=cpa)
+    # Eq. 4 / Eq. 6-8 / Eq. 3 component terms.
+    soc = np.multiply(column("soc_area_cm2"), cpa)
+    dram = np.multiply(column("dram_gb"), column("cps_dram_g_per_gb"))
+    ssd = np.multiply(column("ssd_gb"), column("cps_ssd_g_per_gb"))
+    hdd = np.multiply(column("hdd_gb"), column("cps_hdd_g_per_gb"))
+    packaging = np.multiply(column("ic_count"), column("packaging_g_per_ic"))
+    # Eq. 3 sum in ActScenario.embodied_g's term order for bit parity.
+    embodied = np.add(packaging, soc)
+    np.add(embodied, dram, out=embodied)
+    np.add(embodied, ssd, out=embodied)
+    np.add(embodied, hdd, out=embodied)
+    # Eq. 2 and Eq. 1.
+    operational = np.multiply(column("energy_kwh"), column("ci_use_g_per_kwh"))
+    fraction = np.divide(column("duration_hours"), column("lifetime_hours"))
+    total = np.multiply(fraction, embodied)
+    np.add(operational, total, out=total)
+    return BatchResult(
+        operational_g=operational,
+        cpa_g_per_cm2=cpa,
+        soc_embodied_g=soc,
+        dram_embodied_g=dram,
+        ssd_embodied_g=ssd,
+        hdd_embodied_g=hdd,
+        packaging_g=packaging,
+        embodied_g=embodied,
+        lifetime_fraction=fraction,
+        total_g=total,
+    )
+
+
+def _fused_metric_columns(
+    carbon: np.ndarray,
+    energy: np.ndarray,
+    delay: np.ndarray,
+    area: np.ndarray | None,
+    names: tuple[str, ...],
+    dtype: np.dtype,
+) -> dict[str, np.ndarray]:
+    """Table 2 metrics with the squared terms fused into one buffer each."""
+    carbon = np.asarray(carbon, dtype=dtype)
+    energy = np.asarray(energy, dtype=dtype)
+    delay = np.asarray(delay, dtype=dtype)
+    if area is not None:
+        area = np.asarray(area, dtype=dtype)
+    columns: dict[str, np.ndarray] = {}
+    for name in names:
+        if name == "EDP":
+            columns[name] = np.multiply(energy, delay)
+        elif name == "EDAP":
+            scores = np.multiply(energy, delay)
+            np.multiply(scores, area, out=scores)
+            columns[name] = scores
+        elif name == "CDP":
+            columns[name] = np.multiply(carbon, delay)
+        elif name == "CEP":
+            columns[name] = np.multiply(carbon, energy)
+        elif name == "C2EP":
+            # carbon**2 * energy without the squared temporary.
+            scores = np.multiply(carbon, carbon)
+            np.multiply(scores, energy, out=scores)
+            columns[name] = scores
+        elif name == "CE2P":
+            scores = np.multiply(energy, energy)
+            np.multiply(carbon, scores, out=scores)
+            columns[name] = scores
+    return columns
+
+
+class FusedBackend(BackendBase):
+    """Float64 fused pass — bit-identical to the reference, fewer allocs."""
+
+    name = FUSED
+    dtype = np.dtype(np.float64)
+    #: No documented drift: same ops, same order, same precision.
+    tolerance = 0.0
+
+    def evaluate(self, batch: "ScenarioBatch") -> "BatchResult":
+        return _fused_pass(batch, self.dtype)
+
+    def metric_columns(
+        self,
+        carbon: np.ndarray,
+        energy: np.ndarray,
+        delay: np.ndarray,
+        area: np.ndarray | None,
+        names: tuple[str, ...],
+    ) -> dict[str, np.ndarray]:
+        return _fused_metric_columns(carbon, energy, delay, area, names, self.dtype)
+
+
+class Float32Backend(BackendBase):
+    """Single-precision fused pass with a documented drift envelope."""
+
+    name = FLOAT32
+    dtype = np.dtype(np.float32)
+    tolerance = FLOAT32_TOLERANCE
+
+    def evaluate(self, batch: "ScenarioBatch") -> "BatchResult":
+        return _fused_pass(batch, self.dtype)
+
+    def metric_columns(
+        self,
+        carbon: np.ndarray,
+        energy: np.ndarray,
+        delay: np.ndarray,
+        area: np.ndarray | None,
+        names: tuple[str, ...],
+    ) -> dict[str, np.ndarray]:
+        return _fused_metric_columns(carbon, energy, delay, area, names, self.dtype)
+
+
+register_backend(FusedBackend())
+register_backend(Float32Backend())

@@ -1,0 +1,139 @@
+"""Optional numba backend: the fused Eq. 1-8 pass as one compiled row loop.
+
+Registered only when :mod:`numba` imports — the base install never pays
+for it, lookups without it fail with a
+:class:`~repro.core.errors.ParameterError` that names the backends that
+*are* available, and the backend test suite skips its cases with a
+visible reason.  The CI optional-deps leg installs numba and runs the
+suite with the backend present.
+
+The jitted kernel walks the batch row-by-row and computes every output
+series in one pass: a single traversal of the eighteen input columns,
+zero numpy temporaries, and the exact reference operation order per row
+(same multiplies, adds, and divides, same associativity), so results
+match the reference backend to float64 rounding.  ``fastmath`` stays
+off — reassociation would break the bit-parity contract the tolerance
+documents.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.engine.backends import NUMBA, register_backend
+from repro.engine.backends.reference import BackendBase
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.batch import ScenarioBatch
+    from repro.engine.kernels import BatchResult
+
+try:  # pragma: no cover - exercised only on the optional-deps CI leg
+    import numba
+except ImportError:  # pragma: no cover - the default environment
+    numba = None
+
+HAVE_NUMBA = numba is not None
+
+#: Documented drift bound against the reference backend.  The compiled
+#: loop keeps the reference operation order with fastmath off; LLVM may
+#: still contract a multiply-add pair into an FMA on some targets, which
+#: *reduces* rounding but can flip the last bit — hence a tiny non-zero
+#: envelope instead of a bit-parity claim.
+NUMBA_TOLERANCE = 1e-12
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only with numba installed
+
+    @numba.njit(cache=False, fastmath=False)
+    def _numba_kernel(  # noqa: PLR0913 - one argument per model column
+        energy_kwh,
+        ci_use_g_per_kwh,
+        duration_hours,
+        lifetime_hours,
+        soc_area_cm2,
+        ci_fab_g_per_kwh,
+        epa_kwh_per_cm2,
+        gpa_g_per_cm2,
+        mpa_g_per_cm2,
+        fab_yield,
+        dram_gb,
+        cps_dram_g_per_gb,
+        ssd_gb,
+        cps_ssd_g_per_gb,
+        hdd_gb,
+        cps_hdd_g_per_gb,
+        ic_count,
+        packaging_g_per_ic,
+        operational,
+        cpa,
+        soc,
+        dram,
+        ssd,
+        hdd,
+        packaging,
+        embodied,
+        fraction,
+        total,
+    ):
+        for i in range(energy_kwh.size):
+            cpa_i = (
+                ci_fab_g_per_kwh[i] * epa_kwh_per_cm2[i]
+                + gpa_g_per_cm2[i]
+                + mpa_g_per_cm2[i]
+            ) / fab_yield[i]
+            soc_i = soc_area_cm2[i] * cpa_i
+            dram_i = dram_gb[i] * cps_dram_g_per_gb[i]
+            ssd_i = ssd_gb[i] * cps_ssd_g_per_gb[i]
+            hdd_i = hdd_gb[i] * cps_hdd_g_per_gb[i]
+            packaging_i = ic_count[i] * packaging_g_per_ic[i]
+            embodied_i = packaging_i + soc_i + dram_i + ssd_i + hdd_i
+            operational_i = energy_kwh[i] * ci_use_g_per_kwh[i]
+            fraction_i = duration_hours[i] / lifetime_hours[i]
+            cpa[i] = cpa_i
+            soc[i] = soc_i
+            dram[i] = dram_i
+            ssd[i] = ssd_i
+            hdd[i] = hdd_i
+            packaging[i] = packaging_i
+            embodied[i] = embodied_i
+            operational[i] = operational_i
+            fraction[i] = fraction_i
+            total[i] = operational_i + fraction_i * embodied_i
+
+
+class NumbaBackend(BackendBase):  # pragma: no cover - optional-deps leg
+    """JIT-compiled single-pass row loop over the batch columns."""
+
+    name = NUMBA
+    dtype = np.dtype(np.float64)
+    tolerance = NUMBA_TOLERANCE
+
+    def evaluate(self, batch: "ScenarioBatch") -> "BatchResult":
+        from repro.engine.batch import FIELD_NAMES
+        from repro.engine.kernels import BatchResult
+
+        rows = len(batch)
+        outputs = {
+            name: np.empty(rows, dtype=self.dtype)
+            for name in BatchResult.__dataclass_fields__
+        }
+        _numba_kernel(
+            *(np.asarray(getattr(batch, name), dtype=self.dtype)
+              for name in FIELD_NAMES),
+            outputs["operational_g"],
+            outputs["cpa_g_per_cm2"],
+            outputs["soc_embodied_g"],
+            outputs["dram_embodied_g"],
+            outputs["ssd_embodied_g"],
+            outputs["hdd_embodied_g"],
+            outputs["packaging_g"],
+            outputs["embodied_g"],
+            outputs["lifetime_fraction"],
+            outputs["total_g"],
+        )
+        return BatchResult(**outputs)
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only with numba installed
+    register_backend(NumbaBackend())

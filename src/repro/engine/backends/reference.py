@@ -1,0 +1,95 @@
+"""The reference backend: the pinned numpy float64 Eq. 1-8 path.
+
+This backend *is* the historical engine — it delegates to the
+term-for-term kernel pass in :mod:`repro.engine.kernels`, whose operation
+order matches the scalar :class:`~repro.analysis.scenario.ActScenario`
+exactly.  The equivalence suite pins it to the scalar path at 1e-9, and
+every other backend is judged against it.  Its own ``tolerance`` is 0.0:
+there is no documented drift, because it defines the baseline.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.engine.backends import REFERENCE, register_backend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.batch import ScenarioBatch
+    from repro.engine.kernels import BatchResult
+
+
+class BackendBase:
+    """Shared identity plumbing for the concrete backends.
+
+    Subclasses set ``name``, ``dtype``, and ``tolerance`` as class
+    attributes and implement :meth:`evaluate`; the default
+    :meth:`metric_columns` is the reference Table 2 expression set.
+    """
+
+    name: str = ""
+    dtype: np.dtype = np.dtype(np.float64)
+    tolerance: float = 0.0
+
+    @property
+    def cache_token(self) -> str:
+        """The identity the evaluation cache folds into its keys."""
+        return f"{self.name}/{np.dtype(self.dtype).name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} name={self.name!r} "
+            f"dtype={np.dtype(self.dtype).name} tolerance={self.tolerance:g}>"
+        )
+
+    def metric_columns(
+        self,
+        carbon: np.ndarray,
+        energy: np.ndarray,
+        delay: np.ndarray,
+        area: np.ndarray | None,
+        names: tuple[str, ...],
+    ) -> dict[str, np.ndarray]:
+        """Table 2 metrics as the reference one-expression-per-metric set."""
+        columns: dict[str, np.ndarray] = {}
+        for name in names:
+            if name == "EDP":
+                columns[name] = energy * delay
+            elif name == "EDAP":
+                columns[name] = energy * delay * area
+            elif name == "CDP":
+                columns[name] = carbon * delay
+            elif name == "CEP":
+                columns[name] = carbon * energy
+            elif name == "C2EP":
+                columns[name] = carbon**2 * energy
+            elif name == "CE2P":
+                columns[name] = carbon * energy**2
+        return columns
+
+
+#: The kernel pass, bound on first use (a per-call ``from ... import``
+#: would tax every batch with import-machinery overhead, and a module-top
+#: import would recreate the kernels <-> backends cycle).
+_kernel_pass = None
+
+
+class ReferenceBackend(BackendBase):
+    """The float64 numpy path, bit-identical to the historical engine."""
+
+    name = REFERENCE
+    dtype = np.dtype(np.float64)
+    tolerance = 0.0
+
+    def evaluate(self, batch: "ScenarioBatch") -> "BatchResult":
+        global _kernel_pass
+        if _kernel_pass is None:
+            from repro.engine.kernels import _evaluate_batch_arrays
+
+            _kernel_pass = _evaluate_batch_arrays
+        return _kernel_pass(batch)
+
+
+register_backend(ReferenceBackend())

@@ -3,10 +3,17 @@
 Sweeps repeat themselves: the CLI re-runs the same Monte Carlo grid, a
 figure regenerates over the exact same Cartesian product, an optimizer
 revisits a region of the design space.  Since a
-:class:`~repro.engine.batch.ScenarioBatch` is just 18 float64 columns, its
+:class:`~repro.engine.batch.ScenarioBatch` is just 18 float columns, its
 *content* is hashable — the SHA-256 of the column bytes keys an evaluated
 :class:`~repro.engine.kernels.BatchResult` so identical batches are never
 recomputed, regardless of how they were constructed.
+
+Entries are additionally namespaced by the evaluating backend's
+``cache_token`` (name + dtype): the same batch evaluated under the
+``float32`` backend and the reference backend produces *different*
+results, and the cache must never serve one to a caller expecting the
+other.  The batch's own dtype is folded into the content hash too, so a
+float32-cast batch never aliases its float64 original.
 
 Results are stored with read-only arrays (enforced by ``BatchResult``
 itself), so handing the same object to multiple callers is safe.
@@ -19,6 +26,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.core.parameters import require_positive
+from repro.engine.backends import KernelBackend, resolve_backend
 from repro.engine.batch import FIELD_NAMES, ScenarioBatch
 from repro.engine.kernels import BatchResult, evaluate_batch
 from repro.obs.context import current_context
@@ -29,10 +37,14 @@ def batch_key(batch: ScenarioBatch) -> str:
 
     Two batches with equal columns hash identically even when built by
     different constructors (``from_product`` vs ``from_scenarios``), so a
-    re-swept grid hits the cache of its first evaluation.
+    re-swept grid hits the cache of its first evaluation.  The column
+    dtype participates in the digest: a float32 view of a batch hashes
+    differently from its float64 original even when the widened bytes
+    would compare equal.
     """
     digest = hashlib.sha256()
     digest.update(len(batch).to_bytes(8, "little"))
+    digest.update(batch.dtype.name.encode("ascii"))
     for name in FIELD_NAMES:
         digest.update(name.encode("ascii"))
         digest.update(batch.column(name).tobytes())
@@ -96,15 +108,24 @@ class EvaluationCache:
     def __len__(self) -> int:
         return len(self._store)
 
-    def evaluate(self, batch: ScenarioBatch) -> BatchResult:
+    def evaluate(
+        self,
+        batch: ScenarioBatch,
+        backend: "KernelBackend | str | None" = None,
+    ) -> BatchResult:
         """Eq. 1-8 over ``batch``, reusing any previous identical evaluation.
+
+        Entries are keyed by backend identity *and* batch content, so an
+        entry computed by one backend (or at one precision) is never
+        served to a request for another.
 
         Hits, misses, and evictions are mirrored to the active
         :class:`~repro.obs.context.RunContext` as ``engine.cache.*``
         counters; the null context makes that a no-op.
         """
+        resolved = resolve_backend(backend)
         context = current_context()
-        key = batch_key(batch)
+        key = f"{resolved.cache_token}:{batch_key(batch)}"
         cached = self._store.get(key)
         if cached is not None and len(cached) == len(batch):
             self.hits += 1
@@ -115,7 +136,7 @@ class EvaluationCache:
         self.misses += 1
         if context.enabled:
             context.count("engine.cache.misses")
-        result = evaluate_batch(batch)
+        result = evaluate_batch(batch, backend=resolved)
         self._store[key] = result
         self._store.move_to_end(key)
         while len(self._store) > self.capacity:
@@ -158,9 +179,11 @@ DEFAULT_CACHE = EvaluationCache()
 
 
 def evaluate_cached(
-    batch: ScenarioBatch, cache: EvaluationCache | None = None
+    batch: ScenarioBatch,
+    cache: EvaluationCache | None = None,
+    backend: "KernelBackend | str | None" = None,
 ) -> BatchResult:
     """Evaluate a batch through ``cache`` (default: the process-wide one)."""
     if cache is None:
         cache = DEFAULT_CACHE
-    return cache.evaluate(batch)
+    return cache.evaluate(batch, backend=backend)

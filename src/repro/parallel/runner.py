@@ -25,6 +25,15 @@ straight into a shared output segment); ``"pickle"`` ships sliced column
 arrays through the task queue — simpler, measurably slower for large
 batches (the benchmark's ``parallel`` section quantifies the gap).
 
+Kernel backends travel **by name**: each shard payload carries the
+resolved backend name (``policy.backend`` if set, else the dispatching
+process's :func:`~repro.engine.backends.current_backend`), and workers
+re-resolve it from their own registry — backend objects are never
+pickled.  Merged output series are always float64 (the shm output
+segment and :class:`ParallelEvaluation` both coerce), so a float32
+backend's shard results are upcast on write; the precision already lost
+to float32 arithmetic is of course not recovered.
+
 Guarded evaluation works per shard: each worker reconstructs the
 :class:`~repro.robustness.guard.GuardedEngine` from its config, evaluates
 its shard, translates diagnostic indices from shard-local to global, and
@@ -58,6 +67,7 @@ from repro.core.errors import (
 )
 from repro.core.parameters import require_positive
 from repro.dse.pareto import pareto_mask as _serial_pareto_mask
+from repro.engine.backends import current_backend, resolve_backend
 from repro.engine.batch import (
     FIELD_NAMES,
     ScenarioBatch,
@@ -107,13 +117,23 @@ _VALID = "valid"
 
 
 def _guard_spec(guard: "GuardedEngine | None") -> dict[str, Any] | None:
-    """A guard's picklable configuration (caches never cross processes)."""
+    """A guard's picklable configuration (caches never cross processes).
+
+    The guard's backend travels as a resolved *name* (``None`` when the
+    guard defers to the process-wide selection — the worker then uses the
+    backend name shipped on the task itself).
+    """
     if guard is None:
         return None
     return {
         "policy": guard.policy,
         "ranges": dict(guard.ranges) if guard.ranges is not None else None,
         "tolerance": guard.tolerance,
+        "backend": (
+            None
+            if guard.backend is None
+            else resolve_backend(guard.backend).name
+        ),
     }
 
 
@@ -243,6 +263,7 @@ def _evaluate_shard_guarded(
         ranges=spec["ranges"],
         cache=None,
         tolerance=spec["tolerance"],
+        backend=spec.get("backend") or task.get("backend"),
     )
     start = task["start"]
     with warnings.catch_warnings(record=True) as caught:
@@ -315,7 +336,7 @@ def _evaluate_shard(
                     for name, column in columns.items()
                 }
             )
-        result = evaluate_batch(batch)
+        result = evaluate_batch(batch, backend=task.get("backend"))
         series = {name: getattr(result, name) for name in SERIES_NAMES}
         return series, np.ones(count, dtype=bool), (), False, ()
     finally:
@@ -544,6 +565,18 @@ class ParallelRunner:
         self._pool: WorkerPool | None = None
 
     # --- execution core -------------------------------------------------
+
+    def _backend_name(self) -> str:
+        """The backend name shipped on every shard payload.
+
+        Resolved at dispatch time in the parent — ``policy.backend``
+        when set, else the process-wide selection — so workers evaluate
+        with the backend the *caller* sees, not whatever happens to be
+        active in the worker process.
+        """
+        if self.policy.backend is not None:
+            return self.policy.backend
+        return current_backend().name
 
     def _execute(
         self, payloads: Sequence[dict]
@@ -878,6 +911,7 @@ class ParallelRunner:
         full = broadcast_columns(base, size, columns)
         plan = shard_plan(size, self.policy.shard_rows)
         guard_spec = _guard_spec(guard)
+        backend_name = self._backend_name()
         input_store: SharedArrayStore | None = None
         output_store: SharedArrayStore | None = None
         try:
@@ -895,6 +929,7 @@ class ParallelRunner:
                         "output": (SHM, output_store.handle()),
                         "guard": guard_spec,
                         "prevalidated": prevalidated,
+                        "backend": backend_name,
                     }
                     for index, (start, stop) in enumerate(plan)
                 ]
@@ -916,6 +951,7 @@ class ParallelRunner:
                         "output": (PICKLE,),
                         "guard": guard_spec,
                         "prevalidated": prevalidated,
+                        "backend": backend_name,
                     }
                     for index, (start, stop) in enumerate(plan)
                 ]
@@ -987,6 +1023,7 @@ class ParallelRunner:
         plan = shard_plan(draws, self.policy.shard_rows)
         seeds = np.random.SeedSequence(seed).spawn(len(plan))
         guard_spec = _guard_spec(guard)
+        backend_name = self._backend_name()
         output_store: SharedArrayStore | None = None
         try:
             if self.policy.transport == SHM:
@@ -1006,6 +1043,7 @@ class ParallelRunner:
                     "distribution": distribution,
                     "output": output_spec,
                     "guard": guard_spec,
+                    "backend": backend_name,
                 }
                 for index, (start, stop) in enumerate(plan)
             ]

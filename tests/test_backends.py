@@ -1,0 +1,582 @@
+"""The kernel-backend protocol: registry, parity, drift, and isolation.
+
+Four contracts are pinned here:
+
+* **Registry mechanics** — lookup by name, :class:`ParameterError` on
+  unknown names, registration/unregistration, the process-wide
+  ``use_backend`` stack, and the ``ACT_REPRO_BACKEND`` env-var default.
+* **Numerical parity** — the reference backend stays bit-identical to
+  the historical kernel pass (and within 1e-9 of the scalar model); the
+  fused float64 backend is *exactly* equal to the reference (``==``, not
+  allclose — same IEEE operations in the same order); the float32
+  backend drifts within its documented :data:`FLOAT32_TOLERANCE`.
+* **Guard integration** — the sampled fast-path verification catches a
+  deliberately corrupted backend with a typed
+  :class:`~repro.core.errors.DivergenceError`, and per-backend tolerances
+  widen the cross-check exactly as documented.
+* **Cache isolation** — the evaluation cache never serves one backend's
+  (or one dtype's) result to a request for another.
+
+The numba backend's cases run only where numba is installed (the CI
+optional-deps leg); elsewhere they skip with a visible reason.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import sample_scenario_batch
+from repro.analysis.scenario import ActScenario
+from repro.core.errors import DivergenceError, ParameterError
+from repro.engine import (
+    BACKEND_ENV_VAR,
+    FIELD_NAMES,
+    FLOAT32,
+    FUSED,
+    NUMBA,
+    REFERENCE,
+    BatchResult,
+    EvaluationCache,
+    KernelBackend,
+    ScenarioBatch,
+    available_backends,
+    backend_summary,
+    batch_key,
+    current_backend,
+    evaluate_batch,
+    evaluate_cached,
+    get_backend,
+    metric_columns,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+    use_backend,
+)
+from repro.engine.backends.fused import FLOAT32_TOLERANCE
+from repro.engine.backends.numba_backend import HAVE_NUMBA, NUMBA_TOLERANCE
+from repro.engine.backends.reference import BackendBase
+from repro.engine.kernels import _evaluate_batch_arrays
+from repro.robustness import GuardedEngine
+
+needs_numba = pytest.mark.skipif(
+    not HAVE_NUMBA,
+    reason="numba is not installed (the numba backend registers only on "
+    "the optional-deps environment)",
+)
+
+BASE = ActScenario()
+SERIES = tuple(BatchResult.__dataclass_fields__)
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _subprocess_env(**overrides: str) -> dict[str, str]:
+    """The current environment plus ``src`` on PYTHONPATH and overrides."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    env.update(overrides)
+    return env
+
+
+def sample_batch(rows: int = 512, seed: int = 7) -> ScenarioBatch:
+    return sample_scenario_batch(BASE, draws=rows, seed=seed)
+
+
+def corner_batch() -> ScenarioBatch:
+    """Rows exercising zeros, tiny and large magnitudes, and yield edges."""
+    scenarios = [
+        BASE,
+        BASE.replace(hdd_gb=0.0, ssd_gb=0.0, dram_gb=0.0),
+        BASE.replace(fab_yield=1.0),
+        BASE.replace(fab_yield=0.1, energy_kwh=1e-6),
+        BASE.replace(energy_kwh=1e6, lifetime_hours=1.0, duration_hours=1.0),
+    ]
+    return ScenarioBatch.from_scenarios(scenarios)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_backends()
+        assert REFERENCE in names
+        assert FUSED in names
+        assert FLOAT32 in names
+        # The default environment has no numba; the backend must register
+        # itself exactly when the import succeeds.
+        assert (NUMBA in names) == HAVE_NUMBA
+
+    def test_get_backend_by_name(self):
+        backend = get_backend(FUSED)
+        assert backend.name == FUSED
+        assert isinstance(backend, KernelBackend)
+
+    def test_unknown_name_raises_parameter_error(self):
+        with pytest.raises(ParameterError) as excinfo:
+            get_backend("does-not-exist")
+        message = str(excinfo.value)
+        assert "does-not-exist" in message
+        assert REFERENCE in message  # the error lists what exists
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ParameterError):
+            register_backend(get_backend(REFERENCE))
+
+    def test_register_and_unregister_custom_backend(self):
+        class Custom(BackendBase):
+            name = "custom-test"
+            tolerance = 0.0
+
+            def evaluate(self, batch):
+                return _evaluate_batch_arrays(batch)
+
+        register_backend(Custom())
+        try:
+            assert "custom-test" in available_backends()
+            assert get_backend("custom-test").name == "custom-test"
+        finally:
+            unregister_backend("custom-test")
+        assert "custom-test" not in available_backends()
+        with pytest.raises(ParameterError):
+            unregister_backend("custom-test")
+
+    def test_default_backend_is_reference(self):
+        assert current_backend().name == REFERENCE
+        assert resolve_backend(None).name == REFERENCE
+
+    def test_use_backend_stack_nests_and_restores(self):
+        assert current_backend().name == REFERENCE
+        with use_backend(FUSED):
+            assert current_backend().name == FUSED
+            with use_backend(FLOAT32):
+                assert current_backend().name == FLOAT32
+            assert current_backend().name == FUSED
+        assert current_backend().name == REFERENCE
+
+    def test_use_backend_none_reinstalls_current(self):
+        with use_backend(FUSED):
+            with use_backend(None):
+                assert current_backend().name == FUSED
+
+    def test_use_backend_unknown_name_raises_eagerly(self):
+        with pytest.raises(ParameterError):
+            with use_backend("bogus"):
+                pass  # pragma: no cover - never entered
+
+    def test_resolve_backend_accepts_instances(self):
+        backend = get_backend(FUSED)
+        assert resolve_backend(backend) is backend
+
+    def test_backend_summary_shape(self):
+        summary = backend_summary()
+        assert set(summary) == set(available_backends())
+        entry = summary[FLOAT32]
+        assert entry["dtype"] == "float32"
+        assert entry["tolerance"] == FLOAT32_TOLERANCE
+
+    def test_env_var_selects_default_backend(self):
+        # A subprocess, because the env default is resolved once per
+        # process — mutating os.environ here would race the cached value.
+        code = (
+            "from repro.engine import current_backend; "
+            "print(current_backend().name)"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=_subprocess_env(**{BACKEND_ENV_VAR: FUSED}),
+            cwd=REPO_ROOT,
+            check=True,
+        )
+        assert result.stdout.strip() == FUSED
+
+    def test_env_var_unknown_name_fails_loudly(self):
+        code = "import repro.engine as e; e.current_backend()"
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=_subprocess_env(**{BACKEND_ENV_VAR: "not-a-backend"}),
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode != 0
+        assert "not-a-backend" in result.stderr
+
+
+class TestReferenceParity:
+    def test_reference_is_bit_identical_to_kernel_pass(self):
+        batch = sample_batch()
+        via_backend = evaluate_batch(batch, backend=REFERENCE)
+        direct = _evaluate_batch_arrays(batch)
+        for name in SERIES:
+            assert np.array_equal(
+                getattr(via_backend, name), getattr(direct, name)
+            ), name
+
+    def test_reference_matches_scalar_model(self):
+        batch = corner_batch()
+        result = evaluate_batch(batch, backend=REFERENCE)
+        for index, scenario in enumerate(batch.scenarios()):
+            np.testing.assert_allclose(
+                result.total_g[index], scenario.total_g(), rtol=1e-9, atol=1e-9
+            )
+            np.testing.assert_allclose(
+                result.embodied_g[index],
+                scenario.embodied_g(),
+                rtol=1e-9,
+                atol=1e-9,
+            )
+
+    def test_default_dispatch_unchanged(self):
+        """``evaluate_batch(batch)`` with no selection is the reference."""
+        batch = sample_batch(rows=64)
+        assert np.array_equal(
+            evaluate_batch(batch).total_g,
+            _evaluate_batch_arrays(batch).total_g,
+        )
+
+
+class TestFusedParity:
+    @pytest.mark.parametrize("rows", [1, 7, 512, 4096])
+    def test_fused_bit_identical_to_reference(self, rows):
+        batch = sample_batch(rows=rows, seed=rows)
+        reference = evaluate_batch(batch, backend=REFERENCE)
+        fused = evaluate_batch(batch, backend=FUSED)
+        for name in SERIES:
+            # Exact equality, not allclose: the fused pass executes the
+            # identical IEEE operation sequence, only without temporaries.
+            assert np.array_equal(
+                getattr(fused, name), getattr(reference, name)
+            ), name
+
+    def test_fused_bit_identical_on_corners(self):
+        batch = corner_batch()
+        reference = evaluate_batch(batch, backend=REFERENCE)
+        fused = evaluate_batch(batch, backend=FUSED)
+        for name in SERIES:
+            assert np.array_equal(
+                getattr(fused, name), getattr(reference, name)
+            ), name
+
+    def test_fused_dtype_is_float64(self):
+        assert evaluate_batch(sample_batch(64), backend=FUSED).dtype == np.float64
+
+    def test_fused_metric_columns_bit_identical(self):
+        rng = np.random.default_rng(11)
+        carbon = rng.uniform(1e3, 1e6, 256)
+        energy = rng.uniform(1.0, 1e4, 256)
+        delay = rng.uniform(1e-3, 10.0, 256)
+        area = rng.uniform(10.0, 500.0, 256)
+        reference = metric_columns(carbon, energy, delay, area, backend=REFERENCE)
+        fused = metric_columns(carbon, energy, delay, area, backend=FUSED)
+        assert set(fused) == set(reference)
+        for name in reference:
+            assert np.array_equal(fused[name], reference[name]), name
+
+
+class TestFloat32Drift:
+    def test_float32_result_dtype(self):
+        result = evaluate_batch(sample_batch(64), backend=FLOAT32)
+        assert result.dtype == np.float32
+
+    def test_float32_drift_within_documented_envelope(self):
+        batch = sample_batch(rows=4096, seed=3)
+        reference = evaluate_batch(batch, backend=REFERENCE)
+        low = evaluate_batch(batch, backend=FLOAT32)
+        for name in SERIES:
+            expected = getattr(reference, name)
+            observed = getattr(low, name).astype(np.float64)
+            drift = np.abs(observed - expected) / np.maximum(
+                1.0, np.abs(expected)
+            )
+            assert drift.max() <= FLOAT32_TOLERANCE, (
+                f"{name}: max drift {drift.max():g}"
+            )
+
+    def test_float32_batch_astype_roundtrip(self):
+        batch = sample_batch(rows=32)
+        narrow = batch.astype(np.float32)
+        assert narrow.dtype == np.float32
+        assert batch.dtype == np.float64  # original untouched
+        assert narrow.astype(np.float32) is narrow  # no-op cast
+        widened = narrow.astype(np.float64)
+        assert widened.dtype == np.float64
+        np.testing.assert_allclose(
+            widened.energy_kwh, batch.energy_kwh, rtol=1e-6
+        )
+
+    def test_astype_rejects_unsupported_dtypes(self):
+        with pytest.raises(ParameterError):
+            sample_batch(4).astype(np.int64)
+
+    def test_mixed_dtype_columns_widen_to_float64(self):
+        columns = {
+            name: np.asarray(getattr(BASE, name), dtype=np.float32).reshape(1)
+            for name in FIELD_NAMES
+        }
+        all_f32 = ScenarioBatch(**columns)
+        assert all_f32.dtype == np.float32
+        columns["energy_kwh"] = np.asarray([BASE.energy_kwh], dtype=np.float64)
+        mixed = ScenarioBatch(**columns)
+        assert mixed.dtype == np.float64
+
+
+class TestNumbaBackend:
+    @needs_numba
+    def test_numba_registered_and_within_tolerance(self):
+        batch = sample_batch(rows=2048, seed=5)
+        reference = evaluate_batch(batch, backend=REFERENCE)
+        jitted = evaluate_batch(batch, backend=NUMBA)
+        for name in SERIES:
+            expected = getattr(reference, name)
+            observed = getattr(jitted, name)
+            drift = np.abs(observed - expected) / np.maximum(
+                1.0, np.abs(expected)
+            )
+            assert drift.max() <= NUMBA_TOLERANCE, (
+                f"{name}: max drift {drift.max():g}"
+            )
+
+    @needs_numba
+    def test_numba_guarded_evaluation_passes(self):
+        guarded = GuardedEngine(backend=NUMBA).evaluate(sample_batch(256))
+        assert guarded.masked_count == 0
+
+    def test_numba_lookup_without_numba_names_alternatives(self):
+        if HAVE_NUMBA:
+            pytest.skip("numba installed: the lookup succeeds here")
+        with pytest.raises(ParameterError) as excinfo:
+            get_backend(NUMBA)
+        assert FUSED in str(excinfo.value)
+
+
+class TestCacheIsolation:
+    def test_cache_never_cross_serves_backends(self):
+        cache = EvaluationCache()
+        batch = sample_batch(rows=128)
+        ref = cache.evaluate(batch, backend=REFERENCE)
+        fused = cache.evaluate(batch, backend=FUSED)
+        f32 = cache.evaluate(batch, backend=FLOAT32)
+        assert cache.stats().misses == 3  # three distinct entries
+        assert ref is not fused and fused is not f32
+        assert cache.evaluate(batch, backend=REFERENCE) is ref
+        assert cache.evaluate(batch, backend=FUSED) is fused
+        assert cache.evaluate(batch, backend=FLOAT32) is f32
+        assert cache.stats().hits == 3
+
+    def test_float32_result_never_served_to_float64_caller(self):
+        cache = EvaluationCache()
+        batch = sample_batch(rows=64)
+        low = cache.evaluate(batch, backend=FLOAT32)
+        assert low.dtype == np.float32
+        served = cache.evaluate(batch)  # default = reference, float64
+        assert served.dtype == np.float64
+        assert served is not low
+
+    def test_cache_respects_process_wide_selection(self):
+        cache = EvaluationCache()
+        batch = sample_batch(rows=64)
+        baseline = cache.evaluate(batch)
+        with use_backend(FUSED):
+            fused = cache.evaluate(batch)
+        assert fused is not baseline
+        assert cache.evaluate(batch) is baseline
+
+    def test_batch_key_distinguishes_dtype(self):
+        batch = sample_batch(rows=32)
+        assert batch_key(batch) != batch_key(batch.astype(np.float32))
+
+    def test_evaluate_cached_threads_backend(self):
+        cache = EvaluationCache()
+        batch = sample_batch(rows=32)
+        a = evaluate_cached(batch, cache, backend=FUSED)
+        b = evaluate_cached(batch, cache, backend=FUSED)
+        assert a is b
+        assert cache.stats().hits == 1
+
+
+class _CorruptBackend(BackendBase):
+    """A fast path that silently scales one output series by 1%."""
+
+    name = "corrupt-test"
+    tolerance = 0.0
+
+    def evaluate(self, batch):
+        result = _evaluate_batch_arrays(batch)
+        series = {
+            name: np.array(getattr(result, name)) for name in SERIES
+        }
+        series["total_g"] = series["total_g"] * 1.01
+        return BatchResult(**series)
+
+
+class TestGuardedBackends:
+    def test_guard_catches_corrupted_fast_path(self):
+        register_backend(_CorruptBackend())
+        try:
+            engine = GuardedEngine(backend="corrupt-test")
+            with pytest.raises(DivergenceError) as excinfo:
+                engine.evaluate(sample_batch(rows=256))
+            assert excinfo.value.series == "total_g"
+            assert "corrupt-test" in str(excinfo.value)
+        finally:
+            unregister_backend("corrupt-test")
+
+    def test_guard_passes_fused_backend(self):
+        guarded = GuardedEngine(backend=FUSED).evaluate(sample_batch(256))
+        assert guarded.masked_count == 0
+
+    def test_guard_passes_float32_within_widened_tolerance(self):
+        guarded = GuardedEngine(backend=FLOAT32).evaluate(sample_batch(256))
+        assert guarded.masked_count == 0
+        assert guarded.result.dtype == np.float32
+
+    def test_guard_rejects_unknown_backend_name(self):
+        with pytest.raises(ParameterError):
+            GuardedEngine(backend="nope")
+
+    def test_effective_tolerance_widens_per_backend(self):
+        engine = GuardedEngine(backend=FLOAT32)
+        assert engine._effective_tolerance(get_backend(FLOAT32)) == (
+            FLOAT32_TOLERANCE
+        )
+        assert engine._effective_tolerance(get_backend(REFERENCE)) == (
+            engine.tolerance
+        )
+
+    def test_guard_follows_process_wide_backend(self):
+        register_backend(_CorruptBackend())
+        try:
+            with use_backend("corrupt-test"):
+                with pytest.raises(DivergenceError):
+                    GuardedEngine().evaluate(sample_batch(rows=128))
+        finally:
+            unregister_backend("corrupt-test")
+
+
+class TestParallelBackends:
+    def test_policy_validates_backend_name(self):
+        from repro.parallel import ExecutionPolicy
+
+        policy = ExecutionPolicy(backend=FUSED)
+        assert policy.backend == FUSED
+        with pytest.raises(ParameterError):
+            ExecutionPolicy(backend="nonsense")
+
+    def test_runner_ships_backend_by_name(self):
+        from repro.parallel import ExecutionPolicy
+        from repro.parallel.runner import ParallelRunner
+
+        batch = sample_batch(rows=1000)
+        reference = evaluate_batch(batch, backend=REFERENCE)
+        policy = ExecutionPolicy(workers=2, shard_rows=256, backend=FUSED)
+        with ParallelRunner(policy) as runner:
+            merged = runner.evaluate_batch(batch)
+        np.testing.assert_array_equal(
+            merged.series["total_g"], reference.total_g
+        )
+
+    def test_runner_inherits_process_wide_backend(self):
+        from repro.parallel import ExecutionPolicy
+        from repro.parallel.runner import ParallelRunner
+
+        batch = sample_batch(rows=512)
+        with use_backend(FUSED):
+            policy = ExecutionPolicy(workers=2, shard_rows=128)
+            with ParallelRunner(policy) as runner:
+                merged = runner.evaluate_batch(batch)
+        np.testing.assert_array_equal(
+            merged.series["total_g"],
+            evaluate_batch(batch, backend=REFERENCE).total_g,
+        )
+
+    def test_parallel_fused_bit_identical_to_serial_reference_mc(self):
+        from repro.parallel import ExecutionPolicy
+        from repro.parallel.runner import ParallelRunner
+
+        serial_policy = ExecutionPolicy(workers=1, shard_rows=512)
+        fused_policy = ExecutionPolicy(
+            workers=2, shard_rows=512, backend=FUSED
+        )
+        with ParallelRunner(serial_policy) as serial_runner:
+            serial = serial_runner.run_monte_carlo(BASE, draws=2048, seed=9)
+        with ParallelRunner(fused_policy) as fused_runner:
+            fused = fused_runner.run_monte_carlo(BASE, draws=2048, seed=9)
+        np.testing.assert_array_equal(
+            fused.series["total_g"], serial.series["total_g"]
+        )
+
+    def test_float32_shard_results_upcast_on_merge(self):
+        from repro.parallel import ExecutionPolicy
+        from repro.parallel.runner import ParallelRunner
+
+        batch = sample_batch(rows=512)
+        policy = ExecutionPolicy(workers=1, shard_rows=128, backend=FLOAT32)
+        with ParallelRunner(policy) as runner:
+            merged = runner.evaluate_batch(batch)
+        assert merged.series["total_g"].dtype == np.float64
+        expected = evaluate_batch(batch, backend=FLOAT32).total_g
+        np.testing.assert_array_equal(
+            merged.series["total_g"], expected.astype(np.float64)
+        )
+
+
+class TestCliBackend:
+    """The --backend flag, exercised in-process through cli.main()."""
+
+    def _run(self, capsys, *argv: str):
+        from repro.cli import main
+
+        code = main(list(argv))
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_montecarlo_backend_flag(self, capsys):
+        code, out, err = self._run(
+            capsys, "montecarlo", "--draws", "500", "--backend", "fused"
+        )
+        assert code == 0, err
+        assert "Monte Carlo" in out
+
+    def test_montecarlo_backend_matches_default(self, capsys):
+        code_a, default_out, _ = self._run(capsys, "montecarlo", "--draws", "500")
+        code_b, fused_out, _ = self._run(
+            capsys, "montecarlo", "--draws", "500", "--backend", "fused"
+        )
+        assert code_a == code_b == 0
+
+        # Drop wall-clock-dependent lines; every number left is a model
+        # output and must match bit-for-bit across backends.
+        def stable(text):
+            return [
+                line
+                for line in text.splitlines()
+                if "points/sec" not in line and "elapsed" not in line
+            ]
+
+        assert stable(default_out) == stable(fused_out)
+
+    def test_sensitivity_backend_flag(self, capsys):
+        code, out, err = self._run(
+            capsys, "sensitivity", "--draws", "500", "--backend", "fused"
+        )
+        assert code == 0, err
+        assert "Monte Carlo" in out
+
+    def test_unknown_backend_exits_2(self, capsys):
+        code, _, err = self._run(
+            capsys, "montecarlo", "--draws", "100", "--backend", "warp-drive"
+        )
+        assert code == 2
+        assert "warp-drive" in err
+
+    def test_backend_selection_restored_after_command(self, capsys):
+        code, _, _ = self._run(
+            capsys, "montecarlo", "--draws", "200", "--backend", "float32"
+        )
+        assert code == 0
+        assert current_backend().name == REFERENCE

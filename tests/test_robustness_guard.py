@@ -182,7 +182,7 @@ class TestCrossCheck:
     def test_divergence_raises_typed_error(self, monkeypatch):
         """A tampered kernel output that the scalar path contradicts."""
 
-        def tampered(batch, cache=None):
+        def tampered(batch, cache=None, backend=None):
             result = evaluate_cached(batch, EvaluationCache())
             series = {
                 name: np.array(getattr(result, name))

@@ -32,6 +32,28 @@ GUARDED_SERIES: tuple[tuple[str, str, bool], ...] = (
     ("parallel", "best_draws_per_sec", False),
 )
 
+#: Per-backend throughput keys guarded inside the nested ``backends``
+#: section (``{"backends": {"fused": {key: ...}, ...}}``).  Backends are
+#: compared only when present in BOTH payloads — a backend newly added
+#: (or newly installed, like numba) has no baseline yet and is skipped
+#: with a note instead of failing the first CI run after its merge.
+BACKEND_KEYS: tuple[str, ...] = (
+    "monte_carlo_points_per_sec",
+    "grid_sweep_points_per_sec",
+)
+
+
+def _backend_series(payload: dict) -> dict[str, dict]:
+    """The per-backend sub-dicts of a payload's ``backends`` section."""
+    section = payload.get("backends")
+    if not isinstance(section, dict):
+        return {}
+    return {
+        name: entry
+        for name, entry in section.items()
+        if isinstance(entry, dict)
+    }
+
 
 def compare(
     baseline: dict, current: dict, threshold: float
@@ -62,6 +84,32 @@ def compare(
         drop = 1.0 - after / before if before > 0 else 0.0
         if drop > threshold:
             regressions.append((name, before, after, drop))
+
+    baseline_backends = _backend_series(baseline)
+    current_backends = _backend_series(current)
+    for backend in sorted(set(baseline_backends) | set(current_backends)):
+        if backend not in baseline_backends:
+            print(f"backends.{backend}: new (no baseline series), skipped")
+            continue
+        if backend not in current_backends:
+            print(f"backends.{backend}: absent from current payload, skipped")
+            continue
+        for key in BACKEND_KEYS:
+            name = f"backends.{backend}.{key}"
+            if (
+                key not in baseline_backends[backend]
+                or key not in current_backends[backend]
+            ):
+                print(f"{name}: absent from baseline or current, skipped")
+                continue
+            try:
+                before = float(baseline_backends[backend][key])
+                after = float(current_backends[backend][key])
+            except (TypeError, ValueError) as error:
+                raise SystemExit(f"unusable series {name}: {error}")
+            drop = 1.0 - after / before if before > 0 else 0.0
+            if drop > threshold:
+                regressions.append((name, before, after, drop))
     return regressions
 
 
@@ -92,6 +140,17 @@ def main(argv: list[str] | None = None) -> int:
         if before and after:
             change = after / before - 1.0
             print(f"{name}: {before:,.0f} -> {after:,.0f} ({change:+.1%})")
+    baseline_backends = _backend_series(baseline)
+    for backend, entry in sorted(_backend_series(current).items()):
+        for key in BACKEND_KEYS:
+            before = baseline_backends.get(backend, {}).get(key)
+            after = entry.get(key)
+            if before and after:
+                change = float(after) / float(before) - 1.0
+                print(
+                    f"backends.{backend}.{key}: {float(before):,.0f} -> "
+                    f"{float(after):,.0f} ({change:+.1%})"
+                )
 
     regressions = compare(baseline, current, args.threshold)
     if regressions:

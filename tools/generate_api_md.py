@@ -24,6 +24,7 @@ SUBPACKAGES = (
     "repro.reliability",
     "repro.lifetime",
     "repro.engine",
+    "repro.engine.backends",
     "repro.obs",
     "repro.parallel",
     "repro.dse",
