@@ -1,0 +1,337 @@
+"""Performance benchmark: the carbon-query service under concurrency.
+
+Three sections, written to ``BENCH_service.json`` at the repo root:
+
+``microbatch`` (gated)
+    The micro-batching frontend measured closed-loop at 100 concurrent
+    clients submitting distinct scenarios: the ``max_batch=256`` config
+    against the ``max_batch=1`` (one kernel call per query) config of
+    the same frontend.  The gate is the service's headline claim —
+    coalescing sustains >= 5x the batch-size-1 throughput.
+
+``service_closed_loop`` (recorded)
+    The same comparison through the full request path
+    (``CarbonQueryService.handle``): JSON parsing, validation,
+    admission, and response building are per-request costs paid equally
+    by both configs, so the end-to-end ratio is lower than the
+    frontend's by construction.  Recorded, not gated.
+
+``http`` (recorded)
+    End-to-end latency percentiles and throughput against a real served
+    process (``repro.cli serve`` in a subprocess, stdlib loadgen over
+    persistent connections) at 1, 100, and 1000 concurrent clients.
+    Every request must be accounted for and none may be silently wrong;
+    absolute numbers are machine-dependent and not gated.
+
+Each section merge-preserves the others in the JSON (same idiom as
+``test_perf_engine.py``), so the file survives partial re-runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.scenario import ActScenario
+from repro.engine.cache import EvaluationCache
+from repro.service import CarbonQueryService, ServiceConfig
+from repro.service.batcher import MicroBatcher
+from repro.service.loadgen import run_load
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_service.json"
+
+BASE = ActScenario()
+
+#: The gated comparison point: concurrent closed-loop clients.
+CLIENTS = 100
+PER_CLIENT = 60
+TRIALS = 5
+
+#: Headline claim, asserted on the microbatch section.
+MIN_SPEEDUP = 5.0
+
+HTTP_CLIENT_COUNTS = (1, 100, 1000)
+#: Per-client request counts sized so every rung issues a comparable
+#: total without the 1000-client rung taking minutes on one core.
+HTTP_REQUESTS_PER_CLIENT = {1: 400, 100: 12, 1000: 3}
+
+
+def _merge_sections(update: dict) -> dict:
+    """Read-modify-write ``BENCH_service.json`` preserving other sections."""
+    payload = {}
+    if OUTPUT_PATH.exists():
+        try:
+            payload = json.loads(OUTPUT_PATH.read_text())
+        except (OSError, json.JSONDecodeError):
+            payload = {}
+    payload.update(update)
+    payload["benchmark"] = "service"
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def _distinct_plans(clients: int, per_client: int) -> list[list[ActScenario]]:
+    """Per-client scenario lists, all distinct, built outside the timing."""
+    return [
+        [
+            BASE.replace(energy_kwh=1.0 + client * 10_000 + index)
+            for index in range(per_client)
+        ]
+        for client in range(clients)
+    ]
+
+
+def _closed_loop_rps(batcher_factory, submit_one, clients, per_client) -> float:
+    """Throughput of ``clients`` threads each running ``per_client``
+    sequential queries through a fresh batcher/service."""
+    plans = _distinct_plans(clients, per_client)
+    target, finish = batcher_factory()
+    barrier = threading.Barrier(clients + 1)
+    failures: list[str] = []
+
+    def worker(client: int) -> None:
+        barrier.wait()
+        for scenario in plans[client]:
+            try:
+                submit_one(target, client, scenario)
+            except Exception as error:  # noqa: BLE001 - fail the bench
+                failures.append(repr(error))
+                return
+
+    threads = [
+        threading.Thread(target=worker, args=(c,)) for c in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    finish(target)
+    assert not failures, failures[:3]
+    return clients * per_client / elapsed
+
+
+def _best_rps(measure_once, trials: int) -> float:
+    return max(measure_once() for _ in range(trials))
+
+
+def _median_rps(measure_once, trials: int) -> float:
+    """Median-of-N: a single-core box schedules 100 threads noisily, and
+    a ratio gate built on two medians is far stabler than one built on
+    two maxima."""
+    samples = sorted(measure_once() for _ in range(trials))
+    return samples[len(samples) // 2]
+
+
+def test_perf_microbatch():
+    """Coalescing >= 5x over batch-size-1 at 100 concurrent clients."""
+
+    def frontend(max_batch: int, max_wait_s: float):
+        def factory():
+            # A tiny cache with all-distinct scenarios: we measure the
+            # kernels-plus-coalescing machinery, not content-hash hits.
+            batcher = MicroBatcher(
+                EvaluationCache(capacity=4),
+                max_batch=max_batch,
+                max_wait_s=max_wait_s,
+            )
+            return batcher, lambda b: b.close()
+
+        def submit_one(batcher, _client, scenario):
+            batcher.submit(scenario, timeout_s=60.0).wait()
+
+        def measure_once():
+            return _closed_loop_rps(factory, submit_one, CLIENTS, PER_CLIENT)
+
+        return measure_once
+
+    # Warm-up run so neither config pays first-call numpy/import costs.
+    frontend(256, 0.002)()
+
+    unbatched = _median_rps(frontend(1, 0.0), TRIALS)
+    batched = _median_rps(frontend(256, 0.002), TRIALS)
+    speedup = batched / unbatched
+
+    section = {
+        "microbatch": {
+            "clients": CLIENTS,
+            "queries_per_client": PER_CLIENT,
+            "trials": TRIALS,
+            "unbatched_completed_per_sec": round(unbatched, 1),
+            "batched_completed_per_sec": round(batched, 1),
+            "speedup": round(speedup, 2),
+            "min_speedup": MIN_SPEEDUP,
+            "gated": True,
+        }
+    }
+    payload = _merge_sections(section)
+    print()
+    print(json.dumps({"microbatch": payload["microbatch"]}, indent=2))
+    print(
+        f"summary: microbatch {speedup:.1f}x "
+        f"({batched:,.0f} vs {unbatched:,.0f} q/s at {CLIENTS} clients)"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"micro-batching sustains only {speedup:.2f}x the batch-size-1 "
+        f"throughput at {CLIENTS} clients ({batched:,.0f} vs "
+        f"{unbatched:,.0f} q/s); the service's claim is >= {MIN_SPEEDUP}x"
+    )
+
+
+def test_perf_service_closed_loop():
+    """The full handle() path, both configs — recorded, not gated."""
+
+    def service(max_batch: int, max_wait_s: float):
+        def factory():
+            svc = CarbonQueryService(
+                ServiceConfig(
+                    max_batch=max_batch,
+                    max_wait_s=max_wait_s,
+                    cache_capacity=4,
+                )
+            )
+            return svc, lambda s: s.drain(10.0)
+
+        def submit_one(svc, client, scenario):
+            body = json.dumps(
+                {
+                    "params": {"energy_kwh": scenario.energy_kwh},
+                    "deadline_ms": 60_000,
+                }
+            ).encode()
+            response = svc.handle(
+                "POST", "/v1/footprint", body, f"bench-{client}"
+            )
+            assert response.status == 200, response.payload
+
+        def measure_once():
+            return _closed_loop_rps(factory, submit_one, CLIENTS, PER_CLIENT)
+
+        return measure_once
+
+    unbatched = _best_rps(service(1, 0.0), 2)
+    batched = _best_rps(service(256, 0.002), 2)
+
+    section = {
+        "service_closed_loop": {
+            "clients": CLIENTS,
+            "queries_per_client": PER_CLIENT,
+            "trials": 2,
+            "unbatched_completed_per_sec": round(unbatched, 1),
+            "batched_completed_per_sec": round(batched, 1),
+            "speedup": round(batched / unbatched, 2),
+            "gated": False,
+            "note": (
+                "parsing/validation/admission are per-request costs paid "
+                "by both configs; the gated coalescing ratio lives in the "
+                "microbatch section"
+            ),
+        }
+    }
+    payload = _merge_sections(section)
+    print()
+    print(
+        json.dumps(
+            {"service_closed_loop": payload["service_closed_loop"]}, indent=2
+        )
+    )
+    print(
+        f"summary: full handle() path {batched / unbatched:.1f}x "
+        f"({batched:,.0f} vs {unbatched:,.0f} req/s at {CLIENTS} clients)"
+    )
+
+
+def _spawn_server() -> "tuple[subprocess.Popen, int]":
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--port",
+            "0",
+            "--max-wait-ms",
+            "2",
+            "--deadline-s",
+            "20",
+            "--queue-limit",
+            "2048",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    line = process.stdout.readline()
+    match = re.search(r":(\d+)\s*$", line)
+    if match is None:
+        process.kill()
+        pytest.fail(f"no bound-port line from serve, got {line!r}")
+    return process, int(match.group(1))
+
+
+def test_perf_http():
+    """End-to-end latency/throughput at 1, 100, and 1000 clients."""
+    bodies = [
+        json.dumps({"params": {"energy_kwh": 1.0 + index}}).encode()
+        for index in range(32)
+    ]
+    process, port = _spawn_server()
+    rungs: dict[str, dict] = {}
+    try:
+        # One throwaway request warms imports, the kernel, and the cache.
+        run_load(
+            "127.0.0.1", port, bodies=bodies[:1],
+            clients=1, requests_per_client=1, timeout_s=30.0,
+        )
+        for clients in HTTP_CLIENT_COUNTS:
+            report = run_load(
+                "127.0.0.1",
+                port,
+                bodies=bodies,
+                clients=clients,
+                requests_per_client=HTTP_REQUESTS_PER_CLIENT[clients],
+                timeout_s=60.0,
+            )
+            assert report.incorrect == 0
+            assert report.accounted == report.requests
+            rungs[str(clients)] = report.as_dict()
+    finally:
+        process.send_signal(signal.SIGTERM)
+        process.wait(timeout=30)
+
+    section = {
+        "http": {
+            "bodies": len(bodies),
+            "note": (
+                "32 bodies cycling through a warm cache: steady-state "
+                "serving of repeated queries, dominated by the HTTP and "
+                "request-path overhead"
+            ),
+            "clients": rungs,
+        }
+    }
+    payload = _merge_sections(section)
+    print()
+    print(json.dumps({"http": payload["http"]}, indent=2))
+    for clients, rung in rungs.items():
+        print(
+            f"summary: {clients:>4} clients  "
+            f"{rung['throughput_rps']:>8} req/s  "
+            f"p50 {rung['p50_ms']}ms  p99 {rung['p99_ms']}ms"
+        )

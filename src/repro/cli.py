@@ -32,6 +32,12 @@ Subcommands::
         Run an experiment under a live run context and print the span
         tree, the per-span cost table, and the metrics counters.
 
+    act-repro serve [--port 8080] [--max-batch 256] [--rate 100]
+        The resilient carbon-query HTTP service: concurrent scalar
+        queries micro-batched into one kernel call per tick, with
+        admission control, per-request deadlines, a circuit breaker, and
+        drain-on-SIGTERM.  ``--port 0`` picks a free port and prints it.
+
 Every subcommand additionally accepts ``--trace FILE`` (write the run's
 structured JSONL event stream to FILE) and ``--metrics`` (print the
 metrics-registry summary to stderr when the command finishes).  Without
@@ -338,6 +344,105 @@ def _build_parser() -> argparse.ArgumentParser:
         "validate",
         help="run integrity checks over the bundled data tables",
         parents=[obs],
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the resilient carbon-query HTTP service (micro-batched)",
+        parents=[obs],
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="bind port (0 = pick a free port and print it)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        metavar="N",
+        help="most concurrent queries coalesced into one kernel call "
+        "(1 disables cross-request batching)",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="longest a query waits for co-travelers before its batch "
+        "fires anyway",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="in-flight request bound; above it load is shed with 429",
+    )
+    serve.add_argument(
+        "--deadline-s",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="default per-request deadline when the client names none",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="per-client token-bucket refill rate, requests/sec "
+        "(0 = unlimited)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=float,
+        default=50.0,
+        metavar="B",
+        help="per-client token-bucket depth",
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        metavar="N",
+        help="consecutive backend failures that trip the circuit breaker "
+        "into cache-only serving",
+    )
+    serve.add_argument(
+        "--breaker-cooldown-s",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="seconds the breaker stays open before probing the backend",
+    )
+    serve.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="entries in the shared evaluation cache",
+    )
+    serve.add_argument(
+        "--drain-timeout-s",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="longest a SIGTERM drain waits for in-flight requests",
+    )
+    serve.add_argument(
+        "--backend",
+        default=None,
+        help="kernel backend for every evaluation (default: process-wide "
+        "selection)",
+    )
+    serve.add_argument(
+        "--access-log",
+        default=None,
+        metavar="FILE",
+        help="append one JSONL access record per request to FILE",
     )
     return parser
 
@@ -771,6 +876,47 @@ def _cmd_validate(_: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.events import JsonlEventSink
+    from repro.service.config import ServiceConfig
+    from repro.service.http import serve_forever
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        queue_limit=args.queue_limit,
+        default_deadline_s=args.deadline_s,
+        rate_limit_per_s=args.rate,
+        rate_burst=args.burst,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown_s,
+        cache_capacity=args.cache_capacity,
+        drain_timeout_s=args.drain_timeout_s,
+        backend=args.backend,
+    )
+    access_log = (
+        JsonlEventSink(args.access_log) if args.access_log else None
+    )
+    from repro.service.app import CarbonQueryService
+
+    service = CarbonQueryService(config, access_log=access_log)
+
+    def _ready(host: str, port: int) -> None:
+        # The bound port goes to stdout so ``--port 0`` harnesses can
+        # discover it; flush because a subprocess pipe is block-buffered.
+        print(f"listening on http://{host}:{port}", flush=True)
+
+    try:
+        return serve_forever(
+            service=service, ready=_ready, stream=sys.stderr
+        )
+    finally:
+        if access_log is not None:
+            access_log.close()
+
+
 _COMMANDS = {
     "footprint": _cmd_footprint,
     "report": _cmd_report,
@@ -783,6 +929,7 @@ _COMMANDS = {
     "sensitivity": _cmd_sensitivity,
     "montecarlo": _cmd_montecarlo,
     "baselines": _cmd_baselines,
+    "serve": _cmd_serve,
 }
 
 

@@ -45,6 +45,7 @@ cross process boundaries.
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator, Mapping, Protocol, runtime_checkable
 
@@ -110,6 +111,8 @@ class KernelBackend(Protocol):
 
 _REGISTRY: dict[str, KernelBackend] = {}
 _REGISTERED_BUILTINS = False
+_REGISTERING = False
+_BUILTINS_LOCK = threading.RLock()
 
 
 def _ensure_builtins() -> None:
@@ -118,15 +121,30 @@ def _ensure_builtins() -> None:
     Deferred (not module-top) so ``repro.engine.kernels`` and this
     package can import each other without a cycle: by the time any
     lookup runs, both modules are fully initialized.
+
+    Thread-safe: the completion flag is only set after every built-in is
+    registered, and concurrent first lookups wait on the lock — a racing
+    thread must never observe a half-populated registry (the service's
+    request threads all resolve backends concurrently).  The separate
+    in-progress flag keeps the builtin modules' own ``register_backend``
+    calls (same thread, lock re-entered) from recursing.
     """
-    global _REGISTERED_BUILTINS
+    global _REGISTERED_BUILTINS, _REGISTERING
     if _REGISTERED_BUILTINS:
         return
-    _REGISTERED_BUILTINS = True
-    from repro.engine.backends import fused, reference  # noqa: F401
+    with _BUILTINS_LOCK:
+        if _REGISTERED_BUILTINS or _REGISTERING:
+            return
+        _REGISTERING = True
+        try:
+            from repro.engine.backends import fused, reference  # noqa: F401
 
-    # Optional compiled backend: registers itself only when importable.
-    from repro.engine.backends import numba_backend  # noqa: F401
+            # Optional compiled backend: registers only when importable.
+            from repro.engine.backends import numba_backend  # noqa: F401
+
+            _REGISTERED_BUILTINS = True
+        finally:
+            _REGISTERING = False
 
 
 def register_backend(backend: KernelBackend, *, replace: bool = False) -> None:

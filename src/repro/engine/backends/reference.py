@@ -10,6 +10,7 @@ there is no documented drift, because it defines the baseline.
 
 from __future__ import annotations
 
+from functools import cached_property
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -33,9 +34,14 @@ class BackendBase:
     dtype: np.dtype = np.dtype(np.float64)
     tolerance: float = 0.0
 
-    @property
+    @cached_property
     def cache_token(self) -> str:
-        """The identity the evaluation cache folds into its keys."""
+        """The identity the evaluation cache folds into its keys.
+
+        Computed once per backend instance: the dtype-name lookup is
+        surprisingly costly, and the service resolves this token on
+        every cache peek.
+        """
         return f"{self.name}/{np.dtype(self.dtype).name}"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

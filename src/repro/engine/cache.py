@@ -22,14 +22,21 @@ itself), so handing the same object to multiple callers is safe.
 from __future__ import annotations
 
 import hashlib
+import struct
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from repro.core.errors import ParameterError
 from repro.core.parameters import require_positive
 from repro.engine.backends import KernelBackend, resolve_backend
 from repro.engine.batch import FIELD_NAMES, ScenarioBatch
 from repro.engine.kernels import BatchResult, evaluate_batch
 from repro.obs.context import current_context
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.scenario import ActScenario
 
 
 def batch_key(batch: ScenarioBatch) -> str:
@@ -48,6 +55,37 @@ def batch_key(batch: ScenarioBatch) -> str:
     for name in FIELD_NAMES:
         digest.update(name.encode("ascii"))
         digest.update(batch.column(name).tobytes())
+    return digest.hexdigest()
+
+
+#: Precomputed pieces of the single-row digest: the fixed prefix (row
+#: count 1 + dtype name) and each field name's ASCII bytes, so
+#: :func:`scenario_key` does no per-call encoding work.
+_SINGLE_ROW_PREFIX = (1).to_bytes(8, "little") + b"float64"
+_FIELD_NAME_BYTES = tuple(name.encode("ascii") for name in FIELD_NAMES)
+#: ``=d`` packs a native-order IEEE double — byte-identical to a one-row
+#: float64 column's ``tobytes()``.
+_PACK_DOUBLE = struct.Struct("=d").pack
+
+
+def scenario_key(scenario: "ActScenario") -> str:
+    """:func:`batch_key` of the one-row batch for ``scenario`` — computed
+    directly from the scalar fields, without constructing the batch.
+
+    Building and validating an 18-column ``ScenarioBatch`` costs ~100x
+    the kernel pass for a single row, so the carbon-query service's
+    per-query cache lookups hash the scenario itself.  The digest layout
+    mirrors :func:`batch_key` exactly (row count, dtype name, then each
+    column's name and bytes), so
+    ``scenario_key(s) == batch_key(ScenarioBatch.from_scenarios((s,)))``
+    and key-level entries interoperate with batch-level ones.
+    """
+    digest = hashlib.sha256()
+    digest.update(_SINGLE_ROW_PREFIX)
+    pack = _PACK_DOUBLE
+    for name, name_bytes in zip(FIELD_NAMES, _FIELD_NAME_BYTES):
+        digest.update(name_bytes)
+        digest.update(pack(getattr(scenario, name)))
     return digest.hexdigest()
 
 
@@ -89,6 +127,12 @@ class CacheStats:
 class EvaluationCache:
     """An LRU content-hash cache of batched model evaluations.
 
+    Thread-safe: the store and its counters are guarded by an internal
+    lock, so the carbon-query service can share one cache across every
+    request thread.  On a miss, the kernel pass itself runs *outside*
+    the lock — two threads racing on the same key both compute, and the
+    second insert wins harmlessly (results for equal keys are equal).
+
     Attributes:
         capacity: Maximum number of batch results retained; least recently
             used entries are evicted first.
@@ -101,12 +145,50 @@ class EvaluationCache:
     misses: int = 0
     evictions: int = 0
     _store: "OrderedDict[str, BatchResult]" = field(default_factory=OrderedDict)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         require_positive("capacity", self.capacity)
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
+
+    def _key(
+        self, batch: ScenarioBatch, backend: "KernelBackend | str | None"
+    ) -> str:
+        return f"{resolve_backend(backend).cache_token}:{batch_key(batch)}"
+
+    def _get(self, key: str, rows: int) -> "BatchResult | None":
+        """Look up ``key`` under the lock, counting the hit or miss."""
+        context = current_context()
+        with self._lock:
+            cached = self._store.get(key)
+            if cached is not None and len(cached) == rows:
+                self.hits += 1
+                self._store.move_to_end(key)
+                if context.enabled:
+                    context.count("engine.cache.hits")
+                return cached
+            self.misses += 1
+        if context.enabled:
+            context.count("engine.cache.misses")
+        return None
+
+    def _insert(self, key: str, result: BatchResult) -> None:
+        context = current_context()
+        with self._lock:
+            self._store[key] = result
+            self._store.move_to_end(key)
+            evicted = 0
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        if evicted and context.enabled:
+            context.count("engine.cache.evictions", evicted)
 
     def evaluate(
         self,
@@ -124,54 +206,130 @@ class EvaluationCache:
         counters; the null context makes that a no-op.
         """
         resolved = resolve_backend(backend)
-        context = current_context()
-        key = f"{resolved.cache_token}:{batch_key(batch)}"
-        cached = self._store.get(key)
-        if cached is not None and len(cached) == len(batch):
-            self.hits += 1
-            self._store.move_to_end(key)
-            if context.enabled:
-                context.count("engine.cache.hits")
+        key = self._key(batch, resolved)
+        cached = self._get(key, len(batch))
+        if cached is not None:
             return cached
-        self.misses += 1
-        if context.enabled:
-            context.count("engine.cache.misses")
         result = evaluate_batch(batch, backend=resolved)
-        self._store[key] = result
-        self._store.move_to_end(key)
-        while len(self._store) > self.capacity:
-            self._store.popitem(last=False)
-            self.evictions += 1
-            if context.enabled:
-                context.count("engine.cache.evictions")
+        self._insert(key, result)
         return result
+
+    def peek(
+        self,
+        batch: ScenarioBatch,
+        backend: "KernelBackend | str | None" = None,
+    ) -> "BatchResult | None":
+        """The cached result for ``batch``, or ``None`` — never computes.
+
+        The cache-only lookup behind the service's degraded serving mode:
+        when the circuit breaker is open, previously computed answers are
+        still served while nothing new touches the failing backend.
+        Counts as a hit or miss like :meth:`evaluate`.
+        """
+        return self._get(self._key(batch, backend), len(batch))
+
+    def put(
+        self,
+        batch: ScenarioBatch,
+        result: BatchResult,
+        backend: "KernelBackend | str | None" = None,
+    ) -> None:
+        """Store an externally computed ``result`` for ``batch``.
+
+        Lets the micro-batcher populate per-query entries from one
+        coalesced kernel pass, so later identical queries (including
+        cache-only degraded ones) hit without re-evaluating.  The result
+        must align with the batch row-for-row.
+        """
+        if len(result) != len(batch):
+            raise ParameterError(
+                f"cached result has {len(result)} rows for a "
+                f"{len(batch)}-row batch"
+            )
+        self._insert(self._key(batch, backend), result)
+
+    def peek_by_key(
+        self,
+        content_key: str,
+        rows: int = 1,
+        backend: "KernelBackend | str | None" = None,
+    ) -> "BatchResult | None":
+        """:meth:`peek` by a precomputed content key (see
+        :func:`scenario_key`) — the service's per-query fast path, which
+        never pays for batch construction on a hit."""
+        resolved = resolve_backend(backend)
+        return self._get(f"{resolved.cache_token}:{content_key}", rows)
+
+    def put_by_key(
+        self,
+        content_key: str,
+        result: BatchResult,
+        backend: "KernelBackend | str | None" = None,
+    ) -> None:
+        """:meth:`put` by a precomputed content key.  The caller vouches
+        that ``content_key`` identifies exactly the inputs that produced
+        ``result`` (the micro-batcher hashes each scenario at submit and
+        stores its row slice under that same key)."""
+        resolved = resolve_backend(backend)
+        self._insert(f"{resolved.cache_token}:{content_key}", result)
+
+    def put_many_by_key(
+        self,
+        entries: "list[tuple[str, BatchResult]]",
+        backend: "KernelBackend | str | None" = None,
+    ) -> None:
+        """:meth:`put_by_key` for a whole tick's rows in one lock hold.
+
+        The micro-batcher stores every row of a coalesced evaluation at
+        once; resolving the backend and taking the lock per row would
+        dominate the per-row cost at service rates.
+        """
+        token = resolve_backend(backend).cache_token
+        context = current_context()
+        with self._lock:
+            store = self._store
+            for content_key, result in entries:
+                key = f"{token}:{content_key}"
+                store[key] = result
+                store.move_to_end(key)
+            evicted = 0
+            while len(store) > self.capacity:
+                store.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        if evicted and context.enabled:
+            context.count("engine.cache.evictions", evicted)
 
     def stats(self) -> CacheStats:
         """A snapshot of the counters, size, and capacity."""
-        return CacheStats(
-            hits=self.hits,
-            misses=self.misses,
-            evictions=self.evictions,
-            size=len(self._store),
-            capacity=self.capacity,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                size=len(self._store),
+                capacity=self.capacity,
+            )
 
     def reset_stats(self) -> None:
         """Zero the hit/miss/eviction counters (stored entries are kept)."""
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def clear(self) -> None:
         """Drop every cached result and reset the counters."""
-        self._store.clear()
-        self.reset_stats()
+        with self._lock:
+            self._store.clear()
+            self.reset_stats()
 
     @property
     def hit_rate(self) -> float:
         """Fraction of evaluations served from cache (0 when unused)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
 
 #: Process-wide default cache used when callers do not pass their own.

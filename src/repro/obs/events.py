@@ -18,6 +18,7 @@ and ``jq``/pandas can consume the stream without a schema registry.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from typing import IO, Mapping
 
@@ -54,22 +55,29 @@ class MemoryEventSink(EventSink):
 
     def __init__(self) -> None:
         self.events: list[dict[str, object]] = []
+        self._lock = threading.Lock()
 
     def emit(self, event: str, **fields: object) -> None:
         record: dict[str, object] = {"ts": time.time(), "event": event}
         record.update({key: _jsonable(value) for key, value in fields.items()})
-        self.events.append(record)
+        with self._lock:
+            self.events.append(record)
 
     def of_type(self, event: str) -> list[dict[str, object]]:
         """Every recorded event of one type, in order."""
-        return [record for record in self.events if record["event"] == event]
+        with self._lock:
+            return [
+                record for record in self.events if record["event"] == event
+            ]
 
 
 class JsonlEventSink(EventSink):
     """Appends one JSON object per event to a file (or file-like object).
 
     The file is opened lazily on the first event and flushed per line, so
-    an interrupted run leaves a valid (truncated) JSONL prefix.
+    an interrupted run leaves a valid (truncated) JSONL prefix.  Writes
+    are serialized under a lock, so concurrent request threads (the
+    service's access log) never interleave half-lines.
     """
 
     def __init__(self, target: str | IO[str]) -> None:
@@ -80,6 +88,7 @@ class JsonlEventSink(EventSink):
             self.path = None
             self._handle = target
         self.emitted = 0
+        self._lock = threading.Lock()
 
     def _file(self) -> IO[str]:
         if self._handle is None:
@@ -90,12 +99,15 @@ class JsonlEventSink(EventSink):
     def emit(self, event: str, **fields: object) -> None:
         record: dict[str, object] = {"ts": time.time(), "event": event}
         record.update({key: _jsonable(value) for key, value in fields.items()})
-        handle = self._file()
-        handle.write(json.dumps(record) + "\n")
-        handle.flush()
-        self.emitted += 1
+        line = json.dumps(record) + "\n"
+        with self._lock:
+            handle = self._file()
+            handle.write(line)
+            handle.flush()
+            self.emitted += 1
 
     def close(self) -> None:
-        if self._handle is not None and self.path is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None and self.path is not None:
+                self._handle.close()
+                self._handle = None

@@ -8,13 +8,15 @@ dicts for the JSONL event stream and renderable as an ASCII table for the
 CLI's ``--metrics`` flag.
 
 The registry is deliberately dependency-free and cheap: a counter update
-is one dict operation, so even per-chunk instrumentation stays invisible
-next to a kernel pass.
+is one dict operation (taken under a lock, so concurrent service threads
+can report through one registry without losing increments), so even
+per-chunk instrumentation stays invisible next to a kernel pass.
 """
 
 from __future__ import annotations
 
 import bisect
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -89,17 +91,23 @@ class MetricsRegistry:
         self.counters: dict[str, float] = {}
         self.timers: dict[str, TimerStats] = {}
         self.histograms: dict[str, Histogram] = {}
+        # Read-modify-write updates are not atomic across bytecodes; the
+        # service reports from many request threads, so every mutation
+        # (and the snapshot) takes this lock.
+        self._lock = threading.Lock()
 
     def count(self, name: str, value: float = 1) -> None:
         """Add ``value`` to the named counter (creating it at 0)."""
-        self.counters[name] = self.counters.get(name, 0) + value
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
 
     def observe(self, name: str, seconds: float) -> None:
         """Record one duration observation under ``name``."""
-        stats = self.timers.get(name)
-        if stats is None:
-            stats = self.timers[name] = TimerStats()
-        stats.observe(seconds)
+        with self._lock:
+            stats = self.timers.get(name)
+            if stats is None:
+                stats = self.timers[name] = TimerStats()
+            stats.observe(seconds)
 
     @contextmanager
     def time(self, name: str) -> Iterator[None]:
@@ -114,53 +122,60 @@ class MetricsRegistry:
         self, name: str, value: float, bounds: Sequence[float] | None = None
     ) -> None:
         """Record ``value`` into the named histogram."""
-        histogram = self.histograms.get(name)
-        if histogram is None:
-            histogram = self.histograms[name] = Histogram(
-                bounds=tuple(bounds) if bounds is not None else DEFAULT_BOUNDS
-            )
-        histogram.record(value)
+        with self._lock:
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = Histogram(
+                    bounds=tuple(bounds) if bounds is not None else DEFAULT_BOUNDS
+                )
+            histogram.record(value)
 
     def counter(self, name: str) -> float:
         """The counter's current value (0 if never incremented)."""
-        return self.counters.get(name, 0)
+        with self._lock:
+            return self.counters.get(name, 0)
 
     def snapshot(self) -> dict[str, object]:
         """Everything recorded so far, as plain JSON-serializable dicts."""
-        return {
-            "counters": dict(self.counters),
-            "timers": {
-                name: stats.as_dict() for name, stats in self.timers.items()
-            },
-            "histograms": {
-                name: histogram.as_dict()
-                for name, histogram in self.histograms.items()
-            },
-        }
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "timers": {
+                    name: stats.as_dict() for name, stats in self.timers.items()
+                },
+                "histograms": {
+                    name: histogram.as_dict()
+                    for name, histogram in self.histograms.items()
+                },
+            }
 
     def render(self) -> str:
         """Counters and timers as aligned text for terminal output."""
+        with self._lock:
+            counters = dict(self.counters)
+            timers = dict(self.timers)
+            histograms = dict(self.histograms)
         lines = []
-        if self.counters:
+        if counters:
             lines.append("counters:")
-            width = max(len(name) for name in self.counters)
-            for name in sorted(self.counters):
-                value = self.counters[name]
+            width = max(len(name) for name in counters)
+            for name in sorted(counters):
+                value = counters[name]
                 text = f"{value:g}" if isinstance(value, float) else str(value)
                 lines.append(f"  {name:<{width}}  {text}")
-        if self.timers:
+        if timers:
             lines.append("timers:")
-            width = max(len(name) for name in self.timers)
-            for name in sorted(self.timers):
-                stats = self.timers[name]
+            width = max(len(name) for name in timers)
+            for name in sorted(timers):
+                stats = timers[name]
                 lines.append(
                     f"  {name:<{width}}  n={stats.count}  "
                     f"total={stats.total_s * 1e3:.3f} ms  "
                     f"mean={stats.mean_s * 1e3:.3f} ms"
                 )
-        if self.histograms:
+        if histograms:
             lines.append("histograms:")
-            for name in sorted(self.histograms):
-                histogram = self.histograms[name]
+            for name in sorted(histograms):
+                histogram = histograms[name]
                 lines.append(f"  {name}  n={histogram.total}")
         return "\n".join(lines) if lines else "(no metrics recorded)"

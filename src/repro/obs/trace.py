@@ -10,10 +10,16 @@ JSONL file is produced.
 Timing uses ``time.perf_counter`` offsets from the tracer's construction,
 so spans are orderable and durations are monotonic even if the wall clock
 jumps mid-run.
+
+Span nesting is tracked **per thread**: each thread opening spans gets its
+own stack, so concurrent request threads (the carbon-query service) build
+independent subtrees instead of corrupting one shared one.  A span opened
+by a thread with no enclosing span becomes a new root.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -77,22 +83,32 @@ class Tracer:
         self, on_event: Callable[[str, Span], None] | None = None
     ) -> None:
         self._epoch = time.perf_counter()
-        self._stack: list[Span] = []
+        self._local = threading.local()
+        self._roots_lock = threading.Lock()
         self.roots: list[Span] = []
         self.on_event = on_event
 
     def _now(self) -> float:
         return time.perf_counter() - self._epoch
 
+    @property
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
     @contextmanager
     def span(self, name: str, **attributes: object) -> Iterator[Span]:
         """Open a nested, timed span for the duration of the block."""
         entry = Span(name=name, attributes=dict(attributes), started_s=self._now())
-        if self._stack:
-            self._stack[-1].children.append(entry)
+        stack = self._stack
+        if stack:
+            stack[-1].children.append(entry)
         else:
-            self.roots.append(entry)
-        self._stack.append(entry)
+            with self._roots_lock:
+                self.roots.append(entry)
+        stack.append(entry)
         if self.on_event is not None:
             self.on_event("span_start", entry)
         try:
@@ -102,14 +118,15 @@ class Tracer:
             raise
         finally:
             entry.ended_s = self._now()
-            self._stack.pop()
+            stack.pop()
             if self.on_event is not None:
                 self.on_event("span_end", entry)
 
     @property
     def current(self) -> Span | None:
-        """The innermost open span, if any."""
-        return self._stack[-1] if self._stack else None
+        """The innermost open span on the calling thread, if any."""
+        stack = self._stack
+        return stack[-1] if stack else None
 
     def walk(self) -> Iterator[tuple[int, Span]]:
         """Depth-first (depth, span) traversal over every root."""

@@ -1,0 +1,72 @@
+"""The resilient carbon-query service: a micro-batching engine frontend.
+
+Serves the Eq. 1-8 engine over HTTP to concurrent clients with explicit
+failure semantics — every request resolves to a correct answer or a
+typed rejection, never a silent wrong number.
+
+Layered bottom-up:
+
+* :mod:`repro.service.admission` — the protection stack: per-client
+  token-bucket rate limits, a bounded admission queue that sheds load at
+  the door, and a circuit breaker that trips to cache-only serving after
+  repeated backend failures.
+* :mod:`repro.service.batcher` — :class:`MicroBatcher`, the throughput
+  engine: concurrent scalar queries coalesce into one
+  :class:`~repro.engine.batch.ScenarioBatch` kernel call per tick
+  (bounded batch size and wait), with per-row results written back to
+  the shared :class:`~repro.engine.cache.EvaluationCache`.  Kernels are
+  elementwise, so a coalesced row is bit-identical to evaluating that
+  query alone.
+* :mod:`repro.service.app` — :class:`CarbonQueryService`, the
+  transport-independent application: validation mapped onto the
+  :mod:`repro.core.errors` taxonomy, per-request deadlines with
+  cooperative cancellation, the endpoints, and the error → HTTP status
+  matrix (see ``docs/SERVICE.md``).
+* :mod:`repro.service.http` — the thin stdlib HTTP adapter with
+  drain-on-SIGTERM.
+* :mod:`repro.service.loadgen` — a stdlib load generator used by the
+  service benchmark and the chaos tests.
+
+Run it: ``act-repro serve --port 8080`` (``--port 0`` picks a free port
+and prints it).
+"""
+
+from repro.service.admission import (
+    AdmissionQueue,
+    CircuitBreaker,
+    DeadlineExceeded,
+    QueueFull,
+    RateLimited,
+    RateLimiter,
+    ServiceOverload,
+    ServiceUnavailable,
+    TokenBucket,
+)
+from repro.service.app import CarbonQueryService, Response, error_response
+from repro.service.batcher import BatcherStats, MicroBatcher, PendingQuery
+from repro.service.config import ServiceConfig
+from repro.service.http import make_server, serve_forever
+from repro.service.loadgen import LoadReport, run_load
+
+__all__ = [
+    "AdmissionQueue",
+    "BatcherStats",
+    "CarbonQueryService",
+    "CircuitBreaker",
+    "DeadlineExceeded",
+    "LoadReport",
+    "MicroBatcher",
+    "PendingQuery",
+    "QueueFull",
+    "RateLimited",
+    "RateLimiter",
+    "Response",
+    "ServiceConfig",
+    "ServiceOverload",
+    "ServiceUnavailable",
+    "TokenBucket",
+    "error_response",
+    "make_server",
+    "run_load",
+    "serve_forever",
+]

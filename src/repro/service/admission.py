@@ -1,0 +1,280 @@
+"""Admission control: who gets in, who is shed, who is served degraded.
+
+Three independent gates stand between a request and the engine:
+
+* a per-client :class:`TokenBucket` rate limit (429 when empty),
+* a bounded :class:`AdmissionQueue` of in-flight requests (429 when
+  full — load is shed at the door instead of growing an unbounded
+  backlog), and
+* a :class:`CircuitBreaker` that trips after repeated backend failures
+  and moves the service to cache-only serving (503 on cache misses)
+  until a cooldown probe proves the backend healthy again.
+
+All three are plain lock-guarded state machines with injectable clocks,
+so tests drive them deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.core.errors import ReproError
+
+
+class ServiceOverload(ReproError, RuntimeError):
+    """The service refused work to protect itself (HTTP 429/503).
+
+    Attributes:
+        retry_after_s: How long the client should back off before
+            retrying (sent as the ``Retry-After`` header).
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float = 1.0):
+        self.retry_after_s = retry_after_s
+        super().__init__(message)
+
+
+class RateLimited(ServiceOverload):
+    """A client exhausted its token bucket (HTTP 429)."""
+
+
+class QueueFull(ServiceOverload):
+    """The admission queue is at capacity; load was shed (HTTP 429)."""
+
+
+class ServiceUnavailable(ServiceOverload):
+    """The service cannot currently answer: breaker open with a cache
+    miss, or draining for shutdown (HTTP 503)."""
+
+
+class DeadlineExceeded(ReproError, TimeoutError):
+    """A request's deadline expired before its result was ready (HTTP 504).
+
+    Attributes:
+        deadline_s: The deadline the request carried.
+        stage: Where the deadline fired (``"queued"``, ``"batched"``,
+            ``"evaluating"``).
+    """
+
+    def __init__(self, message: str, *, deadline_s: float = 0.0, stage: str = ""):
+        self.deadline_s = deadline_s
+        self.stage = stage
+        super().__init__(message)
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/sec, ``burst`` capacity."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = burst
+        self._refilled = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; ``False`` means rate-limited."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._refilled) * self.rate
+            )
+            self._refilled = now
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+
+class RateLimiter:
+    """Per-client token buckets, lazily created, LRU-bounded.
+
+    A ``rate`` of 0 disables limiting entirely (every check passes).
+    The client map is capped so an adversary cycling client ids cannot
+    grow memory without bound; the oldest untouched bucket is dropped,
+    which only ever *grants* a full fresh bucket — never blocks a
+    legitimate client.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        max_clients: int = 10_000,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.max_clients = max_clients
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def allow(self, client: str) -> bool:
+        """Whether ``client`` may make one more request right now."""
+        if self.rate <= 0:
+            return True
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                if len(self._buckets) >= self.max_clients:
+                    self._buckets.pop(next(iter(self._buckets)))
+                bucket = self._buckets[client] = TokenBucket(
+                    self.rate, self.burst, self._clock
+                )
+        return bucket.try_acquire()
+
+
+class AdmissionQueue:
+    """A bounded count of admitted-but-unanswered requests.
+
+    Admission is a counter, not a holding pen: requests that get in
+    proceed immediately to the batcher/engine, and leave the count when
+    their response is written.  ``try_enter`` failing is the shed-load
+    signal (429).  ``drain`` flips the service to refuse new work and
+    waits for the in-flight count to reach zero — the SIGTERM path.
+    """
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self._depth = 0
+        self._draining = False
+        self._lock = threading.Lock()
+        self._empty = threading.Condition(self._lock)
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def try_enter(self) -> bool:
+        """Admit one request; ``False`` = full or draining (shed it)."""
+        with self._lock:
+            if self._draining or self._depth >= self.limit:
+                return False
+            self._depth += 1
+            return True
+
+    def leave(self) -> None:
+        """Mark one admitted request answered."""
+        with self._lock:
+            self._depth = max(0, self._depth - 1)
+            if self._depth == 0:
+                self._empty.notify_all()
+
+    def drain(self, timeout_s: float) -> bool:
+        """Refuse new work and wait for in-flight requests to finish.
+
+        Returns ``True`` when the queue emptied within ``timeout_s``.
+        Idempotent; safe to call from a signal handler thread.
+        """
+        deadline = time.monotonic() + timeout_s
+        with self._lock:
+            self._draining = True
+            while self._depth > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._empty.wait(remaining)
+            return True
+
+
+#: Circuit-breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Trips to cache-only serving after repeated backend failures.
+
+    closed → (``threshold`` consecutive failures) → open →
+    (``cooldown_s`` elapsed) → half-open: exactly one probe request is
+    allowed through; its success closes the breaker, its failure
+    re-opens it for another cooldown.  Only *backend* failures count —
+    client errors (validation, unknown parameters) never trip it.
+    """
+
+    def __init__(
+        self,
+        threshold: int,
+        cooldown_s: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self._lock = threading.Lock()
+        #: Lifetime transition counters for observability.
+        self.trips = 0
+        self.recoveries = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._state = HALF_OPEN
+            self._probing = False
+
+    def allow_backend(self) -> bool:
+        """Whether a request may touch the backend right now.
+
+        In half-open state exactly one caller gets ``True`` (the probe);
+        everyone else stays on the cache-only path until the probe
+        reports back.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A backend call completed; closes a probing breaker."""
+        with self._lock:
+            self._failures = 0
+            if self._state != CLOSED:
+                self._state = CLOSED
+                self._probing = False
+                self.recoveries += 1
+
+    def record_failure(self) -> None:
+        """A backend call failed; may trip or re-open the breaker."""
+        with self._lock:
+            self._failures += 1
+            if self._state == HALF_OPEN:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probing = False
+                self.trips += 1
+            elif self._state == CLOSED and self._failures >= self.threshold:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self.trips += 1

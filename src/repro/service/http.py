@@ -1,0 +1,172 @@
+"""The stdlib HTTP transport wrapping :class:`CarbonQueryService`.
+
+A deliberately thin adapter: :class:`ThreadingHTTPServer` accepts
+connections, one request thread per connection calls
+:meth:`~repro.service.app.CarbonQueryService.handle`, and the triple it
+returns is written back as JSON.  Everything interesting — admission,
+batching, deadlines, error mapping — lives in the transport-independent
+app layer, so this module stays small enough to trust.
+
+Lifecycle: :func:`serve_forever` installs SIGTERM/SIGINT handlers that
+drain gracefully — stop accepting, finish in-flight requests, stop the
+batcher — and returns ``0`` on a clean drain (the CLI's exit code).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, TextIO
+
+from repro.service.app import CarbonQueryService, Response
+from repro.service.config import ServiceConfig
+
+#: Largest request body accepted, in bytes (413 above this).  Generous
+#: enough for any legitimate sweep/metric payload, small enough that a
+#: hostile client cannot balloon request-thread memory.
+MAX_BODY_BYTES = 1 << 20
+
+
+class CarbonQueryHandler(BaseHTTPRequestHandler):
+    """One HTTP request in, one JSON response out."""
+
+    #: Advertise HTTP/1.1 so keep-alive works for load generators.
+    protocol_version = "HTTP/1.1"
+    server_version = "act-repro-service"
+    #: Nagle + delayed ACK costs ~40ms per keep-alive round trip when
+    #: headers and body go out as separate small writes; a query service
+    #: answering sub-millisecond requests cannot afford that.
+    disable_nagle_algorithm = True
+    #: The app instance; set by :func:`make_server` on the handler class.
+    service: CarbonQueryService
+
+    def _client_id(self) -> str:
+        """The rate-limit identity: explicit header, else peer address."""
+        return self.headers.get("X-Client-Id") or self.client_address[0]
+
+    def _read_body(self) -> "bytes | None":
+        """The request body, or ``None`` after a 413 was already sent."""
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            self._write(
+                Response(
+                    413,
+                    {
+                        "error": "payload_too_large",
+                        "message": f"request body exceeds {MAX_BODY_BYTES} "
+                        "bytes",
+                    },
+                )
+            )
+            return None
+        return self.rfile.read(length) if length else b""
+
+    def _write(self, response: Response) -> None:
+        body = response.body()
+        self.send_response(response.status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self, method: str) -> None:
+        body = self._read_body()
+        if body is None:
+            return
+        self._write(
+            self.service.handle(
+                method, self.path.split("?", 1)[0], body, self._client_id()
+            )
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler contract
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence the default stderr chatter; the service keeps its own
+        structured access log."""
+
+
+class CarbonQueryServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer tuned for many concurrent short requests."""
+
+    daemon_threads = True
+    #: The default listen backlog (5) drops connections under a
+    #: thundering herd of load-generator clients; deepen it.
+    request_queue_size = 128
+
+
+def make_server(
+    service: CarbonQueryService,
+) -> ThreadingHTTPServer:
+    """A bound (not yet serving) HTTP server for ``service``.
+
+    With ``config.port == 0`` the OS picks a free port; read the real one
+    from ``server.server_address[1]``.
+    """
+    handler = type(
+        "BoundCarbonQueryHandler", (CarbonQueryHandler,), {"service": service}
+    )
+    return CarbonQueryServer(
+        (service.config.host, service.config.port), handler
+    )
+
+
+def serve_forever(
+    config: ServiceConfig | None = None,
+    *,
+    service: CarbonQueryService | None = None,
+    ready: "Callable[[str, int], None] | None" = None,
+    install_signal_handlers: bool = True,
+    stream: "TextIO | None" = None,
+) -> int:
+    """Run the service until SIGTERM/SIGINT, then drain; returns exit code.
+
+    Args:
+        config: Service configuration (ignored when ``service`` given).
+        service: A pre-built app instance (tests inject doctored ones).
+        ready: Called with ``(host, port)`` once the socket is bound —
+            the CLI prints the port here so ``--port 0`` harnesses can
+            discover it.
+        install_signal_handlers: Disable when embedding in a thread that
+            is not the main thread (signal handlers are main-thread-only).
+        stream: Where shutdown progress lines go (``None`` = silent).
+
+    Returns:
+        ``0`` when the drain completed cleanly within the configured
+        timeout, ``1`` when in-flight work had to be abandoned.
+    """
+    app = service or CarbonQueryService(config)
+    server = make_server(app)
+    host, port = server.server_address[0], server.server_address[1]
+    stopping = threading.Event()
+
+    def _stop(signum: object = None, frame: object = None) -> None:
+        # shutdown() must not run on the serve_forever thread; hand it off.
+        if not stopping.is_set():
+            stopping.set()
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+    if install_signal_handlers:
+        signal.signal(signal.SIGTERM, _stop)
+        signal.signal(signal.SIGINT, _stop)
+    if ready is not None:
+        ready(host, port)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        server.server_close()
+    if stream is not None:
+        print(f"draining ({app.queue.depth} in flight)...", file=stream)
+    clean = app.drain()
+    if stream is not None:
+        print(
+            "drain complete" if clean else "drain timed out", file=stream
+        )
+    return 0 if clean else 1

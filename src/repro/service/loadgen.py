@@ -1,0 +1,226 @@
+"""A stdlib load generator for the carbon-query service.
+
+Drives N concurrent clients over persistent ``http.client`` connections
+against a running service and reports latency percentiles and
+throughput.  Used by ``benchmarks/test_perf_service.py`` (to measure)
+and the chaos tests (to generate mixed traffic while faults fire) — no
+third-party HTTP stack required.
+
+Every response is accounted for: 2xx results are (optionally) checked
+against an expected value, explicit rejections (429/503/504) are counted
+by status, and anything malformed counts as a protocol error.  The
+invariant the chaos tests assert lives here: a run's
+``completed + rejected + errors`` always equals requests issued — no
+request simply vanishes.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LoadReport:
+    """What one load run observed.
+
+    Attributes:
+        requests: Requests issued.
+        completed: 2xx responses with a parseable JSON body.
+        rejected: Explicit shed/degraded responses, keyed by status
+            (429, 503, 504...).
+        errors: Responses that were malformed or transport failures.
+        incorrect: 2xx responses whose value check failed — the one
+            number that must stay zero under every fault.
+        latencies_s: Per-request wall times for completed requests.
+        elapsed_s: Wall time of the whole run.
+    """
+
+    requests: int = 0
+    completed: int = 0
+    rejected: dict[int, int] = field(default_factory=dict)
+    errors: int = 0
+    incorrect: int = 0
+    latencies_s: list[float] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def accounted(self) -> int:
+        """Requests with a definite outcome (must equal ``requests``)."""
+        return self.completed + sum(self.rejected.values()) + self.errors
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def percentile_ms(self, q: float) -> float:
+        """The ``q``-th latency percentile in milliseconds (0 when empty)."""
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        index = min(
+            len(ordered) - 1, max(0, round(q / 100 * (len(ordered) - 1)))
+        )
+        return ordered[index] * 1e3
+
+    def merge(self, other: "LoadReport") -> None:
+        self.requests += other.requests
+        self.completed += other.completed
+        for status, count in other.rejected.items():
+            self.rejected[status] = self.rejected.get(status, 0) + count
+        self.errors += other.errors
+        self.incorrect += other.incorrect
+        self.latencies_s.extend(other.latencies_s)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "rejected": {str(k): v for k, v in sorted(self.rejected.items())},
+            "errors": self.errors,
+            "incorrect": self.incorrect,
+            "throughput_rps": round(self.throughput_rps, 2),
+            "p50_ms": round(self.percentile_ms(50), 3),
+            "p99_ms": round(self.percentile_ms(99), 3),
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+
+
+def _connect(host: str, port: int, timeout_s: float) -> http.client.HTTPConnection:
+    """A keep-alive connection with Nagle off (headers and body go out
+    as separate small writes; coalescing them behind delayed ACKs would
+    add ~40ms to every request)."""
+    connection = http.client.HTTPConnection(host, port, timeout=timeout_s)
+    connection.connect()
+    connection.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return connection
+
+
+def _client_loop(
+    host: str,
+    port: int,
+    path: str,
+    bodies: list[bytes],
+    requests: int,
+    client_id: str,
+    expected: "dict[int, float] | None",
+    report: LoadReport,
+    timeout_s: float,
+) -> None:
+    try:
+        connection = _connect(host, port, timeout_s)
+    except OSError:
+        # Nothing is listening (or the herd outran the backlog); every
+        # planned request is a definite transport error, not a vanish.
+        report.requests += requests
+        report.errors += requests
+        return
+    try:
+        for index in range(requests):
+            body = bodies[index % len(bodies)]
+            report.requests += 1
+            started = time.perf_counter()
+            try:
+                connection.request(
+                    "POST",
+                    path,
+                    body=body,
+                    headers={
+                        "Content-Type": "application/json",
+                        "X-Client-Id": client_id,
+                    },
+                )
+                response = connection.getresponse()
+                payload = response.read()
+                status = response.status
+            except (OSError, http.client.HTTPException):
+                report.errors += 1
+                # The connection is poisoned; start a fresh one.
+                connection.close()
+                try:
+                    connection = _connect(host, port, timeout_s)
+                except OSError:
+                    connection = http.client.HTTPConnection(
+                        host, port, timeout=timeout_s
+                    )
+                continue
+            elapsed = time.perf_counter() - started
+            if 200 <= status < 300:
+                try:
+                    decoded = json.loads(payload)
+                except json.JSONDecodeError:
+                    report.errors += 1
+                    continue
+                if expected is not None:
+                    want = expected.get(index % len(bodies))
+                    if want is not None and decoded.get("total_g") != want:
+                        report.incorrect += 1
+                report.completed += 1
+                report.latencies_s.append(elapsed)
+            elif status in (429, 503, 504):
+                report.rejected[status] = report.rejected.get(status, 0) + 1
+            else:
+                # 4xx on well-formed canned bodies (or 5xx) is a defect
+                # worth counting separately from explicit shedding.
+                report.errors += 1
+    finally:
+        connection.close()
+
+
+def run_load(
+    host: str,
+    port: int,
+    *,
+    path: str = "/v1/footprint",
+    bodies: "list[bytes] | None" = None,
+    clients: int = 10,
+    requests_per_client: int = 50,
+    expected: "dict[int, float] | None" = None,
+    timeout_s: float = 30.0,
+) -> LoadReport:
+    """Hammer one endpoint with ``clients`` concurrent connections.
+
+    Args:
+        bodies: Request bodies cycled per client (default: one empty
+            ``{}`` scenario).
+        expected: Optional ``{body index: expected total_g}`` map; 2xx
+            responses are checked against it and mismatches counted in
+            :attr:`LoadReport.incorrect`.
+
+    Returns:
+        The merged :class:`LoadReport` across all clients.
+    """
+    bodies = bodies or [b"{}"]
+    reports = [LoadReport() for _ in range(clients)]
+    threads = [
+        threading.Thread(
+            target=_client_loop,
+            args=(
+                host,
+                port,
+                path,
+                bodies,
+                requests_per_client,
+                f"loadgen-{index}",
+                expected,
+                reports[index],
+                timeout_s,
+            ),
+            daemon=True,
+        )
+        for index in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    merged = LoadReport()
+    for report in reports:
+        merged.merge(report)
+    merged.elapsed_s = time.perf_counter() - started
+    return merged

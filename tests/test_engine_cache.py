@@ -11,6 +11,7 @@ from repro.engine.cache import (
     EvaluationCache,
     batch_key,
     evaluate_cached,
+    scenario_key,
 )
 from repro.robustness import SKIP, GuardedEngine, RobustnessWarning
 
@@ -130,3 +131,96 @@ class TestGuardCachePurity:
                     BASE, 3, {k: np.array(v) for k, v in columns.items()}
                 )
         assert (cache.hits, cache.misses) == (1, 1)
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_access_is_consistent(self):
+        """Many threads hammering evaluate/peek/put/stats on a small cache
+        must never corrupt the store: every returned result is correct for
+        its batch, counters balance, and size respects capacity."""
+        import threading
+
+        cache = EvaluationCache(capacity=8)
+        batches = [batch_of([float(i + 1), float(i + 2)]) for i in range(16)]
+        expected = [evaluate_cached(b, EvaluationCache()) for b in batches]
+        failures = []
+
+        def worker(offset):
+            for step in range(120):
+                index = (offset + step) % len(batches)
+                result = cache.evaluate(batches[index])
+                if not np.array_equal(
+                    result.total_g, expected[index].total_g
+                ):
+                    failures.append(index)
+                cache.peek(batches[(index + 1) % len(batches)])
+                cache.put(batches[index], expected[index])
+                cache.stats()
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        stats = cache.stats()
+        assert stats.size <= cache.capacity
+        assert stats.hits + stats.misses == 8 * 120 * 2  # evaluate + peek
+
+    def test_put_rejects_row_count_mismatch(self):
+        cache = EvaluationCache()
+        two = batch_of([1.0, 2.0])
+        three = batch_of([1.0, 2.0, 3.0])
+        result = evaluate_cached(three, EvaluationCache())
+        with pytest.raises(ParameterError, match="rows"):
+            cache.put(two, result)
+
+    def test_peek_never_computes(self):
+        cache = EvaluationCache()
+        batch = batch_of([4.0])
+        assert cache.peek(batch) is None
+        assert cache.stats().misses == 1
+        evaluate_cached(batch, cache)
+        assert cache.peek(batch) is not None
+
+
+class TestScenarioKey:
+    def test_matches_single_row_batch_key(self):
+        """The scalar fast path must hash exactly like the one-row batch,
+        or the service's per-query entries stop interoperating with
+        batch-level ones."""
+        scenarios = [
+            BASE,
+            BASE.replace(energy_kwh=123.456),
+            BASE.replace(lifetime_hours=1.0, dram_gb=0.125),
+        ]
+        for scenario in scenarios:
+            assert scenario_key(scenario) == batch_key(
+                ScenarioBatch.from_scenarios((scenario,))
+            )
+
+    def test_distinct_scenarios_hash_differently(self):
+        assert scenario_key(BASE) != scenario_key(
+            BASE.replace(energy_kwh=BASE.energy_kwh + 1e-9)
+        )
+
+    def test_key_level_entries_interoperate_with_batch_level(self):
+        """A row stored via put_by_key is served to a peek of the
+        equivalent one-row batch, and vice versa."""
+        cache = EvaluationCache()
+        scenario = BASE.replace(energy_kwh=7.5)
+        one_row = ScenarioBatch.from_scenarios((scenario,))
+        result = evaluate_cached(one_row, cache)
+        assert cache.peek_by_key(scenario_key(scenario), 1) is result
+
+    def test_put_many_is_equivalent_to_individual_puts(self):
+        cache = EvaluationCache(capacity=2)
+        batch = batch_of([1.0])
+        result = evaluate_cached(batch, EvaluationCache())
+        cache.put_many_by_key([("a", result), ("b", result), ("c", result)])
+        assert cache.peek_by_key("a") is None  # evicted (capacity 2)
+        assert cache.peek_by_key("b") is result
+        assert cache.peek_by_key("c") is result
+        assert cache.stats().evictions == 1

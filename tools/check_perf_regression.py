@@ -1,11 +1,16 @@
 #!/usr/bin/env python
-"""Compare a fresh BENCH_engine.json against the committed baseline.
+"""Compare a fresh benchmark payload against the committed baseline.
 
-The perf-guard CI job preserves the committed ``BENCH_engine.json``, re-runs
-``benchmarks/test_perf_engine.py`` (which overwrites it), and then invokes
-this script to compare the two.  A throughput drop beyond the threshold
-(default 25%) on any guarded series fails the build; improvements and small
-fluctuations pass.
+The perf-guard CI jobs preserve a committed payload (``BENCH_engine.json``
+or ``BENCH_service.json``), re-run the benchmark that overwrites it, and
+then invoke this script to compare the two.  A throughput drop beyond the
+threshold (default 25%) on any guarded series fails the build;
+improvements and small fluctuations pass.
+
+The guarded series are selected by the payload's top-level ``benchmark``
+field (``engine`` when absent, for baselines written before the field
+existed): engine payloads guard the kernel/sweep/parallel series, service
+payloads guard the micro-batching throughput figures.
 
 Usage::
 
@@ -21,16 +26,39 @@ import argparse
 import json
 import sys
 
-#: (section, key, required) triples guarded against regression.  All are
-#: best-of-N points/sec figures, so a sustained drop means the engine got
-#: slower, not that one sample was unlucky.  Optional series (the
-#: ``parallel`` section, absent from baselines written before it existed)
-#: are skipped with a note when either payload lacks them.
+#: (section, key, required) triples guarded against regression in
+#: ``benchmark: engine`` payloads.  All are best-of-N points/sec figures,
+#: so a sustained drop means the engine got slower, not that one sample
+#: was unlucky.  Optional series (the ``parallel`` section, absent from
+#: baselines written before it existed) are skipped with a note when
+#: either payload lacks them.
 GUARDED_SERIES: tuple[tuple[str, str, bool], ...] = (
     ("monte_carlo", "batched_points_per_sec", True),
     ("grid_sweep", "batched_points_per_sec", True),
     ("parallel", "best_draws_per_sec", False),
 )
+
+#: Guarded series for ``benchmark: service`` payloads.  All optional
+#: (skip-with-note): a baseline written before a section existed must not
+#: fail the first run after that section's merge.  The microbatch speedup
+#: itself is not re-guarded here — the benchmark asserts its >= 5x floor
+#: directly, and a ratio of two noisy figures regresses too easily for a
+#: threshold check.
+SERVICE_SERIES: tuple[tuple[str, str, bool], ...] = (
+    ("microbatch", "batched_completed_per_sec", False),
+    ("service_closed_loop", "batched_completed_per_sec", False),
+)
+
+SERIES_BY_BENCHMARK: dict[str, tuple[tuple[str, str, bool], ...]] = {
+    "engine": GUARDED_SERIES,
+    "service": SERVICE_SERIES,
+}
+
+
+def _benchmark_kind(payload: dict) -> str:
+    """The payload's declared benchmark family (engine when undeclared)."""
+    kind = payload.get("benchmark")
+    return kind if isinstance(kind, str) and kind else "engine"
 
 #: Per-backend throughput keys guarded inside the nested ``backends``
 #: section (``{"backends": {"fused": {key: ...}, ...}}``).  Backends are
@@ -63,7 +91,8 @@ def compare(
     Returns ``(name, baseline_value, current_value, drop_fraction)`` rows.
     """
     regressions = []
-    for section, key, required in GUARDED_SERIES:
+    series = SERIES_BY_BENCHMARK.get(_benchmark_kind(current), GUARDED_SERIES)
+    for section, key, required in series:
         name = f"{section}.{key}"
         missing = (
             not isinstance(baseline.get(section), dict)
@@ -133,7 +162,17 @@ def main(argv: list[str] | None = None) -> int:
         print(f"cannot read benchmark payloads: {error}", file=sys.stderr)
         return 2
 
-    for section, key, _ in GUARDED_SERIES:
+    kind = _benchmark_kind(current)
+    baseline_kind = _benchmark_kind(baseline)
+    if baseline_kind != kind:
+        print(
+            f"benchmark kinds differ: baseline is {baseline_kind!r}, "
+            f"current is {kind!r} — comparing them would be meaningless",
+            file=sys.stderr,
+        )
+        return 2
+
+    for section, key, _ in SERIES_BY_BENCHMARK.get(kind, GUARDED_SERIES):
         name = f"{section}.{key}"
         before = baseline.get(section, {}).get(key)
         after = current.get(section, {}).get(key)

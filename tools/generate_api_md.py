@@ -36,6 +36,7 @@ SUBPACKAGES = (
     "repro.io",
     "repro.reporting",
     "repro.experiments",
+    "repro.service",
 )
 
 HEADER = """\
