@@ -205,14 +205,30 @@ class EvaluationCache:
         :class:`~repro.obs.context.RunContext` as ``engine.cache.*``
         counters; the null context makes that a no-op.
         """
+        return self.evaluate_with_origin(batch, backend)[0]
+
+    def evaluate_with_origin(
+        self,
+        batch: ScenarioBatch,
+        backend: "KernelBackend | str | None" = None,
+    ) -> "tuple[BatchResult, bool]":
+        """:meth:`evaluate`, additionally reporting where the result came
+        from: ``(result, True)`` for a cache hit, ``(result, False)`` for
+        a fresh kernel pass.
+
+        The carbon-query service's circuit breaker needs the
+        distinction — a hit proves nothing about backend health, so
+        recording it as a success would close a half-open breaker
+        against a still-broken backend.
+        """
         resolved = resolve_backend(backend)
         key = self._key(batch, resolved)
         cached = self._get(key, len(batch))
         if cached is not None:
-            return cached
+            return cached, True
         result = evaluate_batch(batch, backend=resolved)
         self._insert(key, result)
-        return result
+        return result, False
 
     def peek(
         self,

@@ -33,6 +33,7 @@ and prints it).
 
 from repro.service.admission import (
     AdmissionQueue,
+    BackendLease,
     CircuitBreaker,
     DeadlineExceeded,
     QueueFull,
@@ -50,6 +51,7 @@ from repro.service.loadgen import LoadReport, run_load
 
 __all__ = [
     "AdmissionQueue",
+    "BackendLease",
     "BatcherStats",
     "CarbonQueryService",
     "CircuitBreaker",

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from typing import Callable
 
 from repro.core.errors import ReproError
@@ -99,9 +100,10 @@ class RateLimiter:
 
     A ``rate`` of 0 disables limiting entirely (every check passes).
     The client map is capped so an adversary cycling client ids cannot
-    grow memory without bound; the oldest untouched bucket is dropped,
-    which only ever *grants* a full fresh bucket — never blocks a
-    legitimate client.
+    grow memory without bound; the *least recently seen* client's bucket
+    is dropped — every ``allow`` refreshes its client's recency, so an
+    actively limited client's bucket is never recycled into a fresh
+    (full) one by a churn of one-shot ids.
     """
 
     def __init__(
@@ -115,7 +117,7 @@ class RateLimiter:
         self.burst = burst
         self.max_clients = max_clients
         self._clock = clock
-        self._buckets: dict[str, TokenBucket] = {}
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
         self._lock = threading.Lock()
 
     def allow(self, client: str) -> bool:
@@ -126,10 +128,12 @@ class RateLimiter:
             bucket = self._buckets.get(client)
             if bucket is None:
                 if len(self._buckets) >= self.max_clients:
-                    self._buckets.pop(next(iter(self._buckets)))
+                    self._buckets.popitem(last=False)
                 bucket = self._buckets[client] = TokenBucket(
                     self.rate, self.burst, self._clock
                 )
+            else:
+                self._buckets.move_to_end(client)
         return bucket.try_acquire()
 
 
@@ -198,13 +202,50 @@ OPEN = "open"
 HALF_OPEN = "half_open"
 
 
+class BackendLease:
+    """Permission from the breaker for one request to touch the backend.
+
+    Truthy by construction — callers test ``if lease:`` exactly like the
+    old boolean — and in half-open state the single granted lease *is*
+    the probe.  A probing lease that resolves **without** a backend
+    outcome (the query was answered from cache, dropped before
+    evaluation, or refused by a draining batcher) must be
+    :meth:`release`\\ d, or the probe slot leaks and the breaker sticks
+    half-open serving cache-only forever.
+
+    ``release`` is idempotent and becomes a no-op once
+    :meth:`CircuitBreaker.record_success` / ``record_failure`` settled
+    the probe (or a newer probe generation was claimed), so callers may
+    release unconditionally on every no-outcome path.
+    """
+
+    __slots__ = ("_breaker", "_token")
+
+    def __init__(self, breaker: "CircuitBreaker", token: int | None) -> None:
+        self._breaker = breaker
+        self._token = token
+
+    @property
+    def is_probe(self) -> bool:
+        """Whether this lease holds the half-open probe slot."""
+        return self._token is not None
+
+    def release(self) -> None:
+        """Return an unused probe slot (no-op for non-probe leases)."""
+        token, self._token = self._token, None
+        if token is not None:
+            self._breaker._release_probe(token)
+
+
 class CircuitBreaker:
     """Trips to cache-only serving after repeated backend failures.
 
     closed → (``threshold`` consecutive failures) → open →
     (``cooldown_s`` elapsed) → half-open: exactly one probe request is
     allowed through; its success closes the breaker, its failure
-    re-opens it for another cooldown.  Only *backend* failures count —
+    re-opens it for another cooldown, and a probe that never reaches the
+    backend at all hands its slot back via
+    :meth:`BackendLease.release`.  Only *backend* failures count —
     client errors (validation, unknown parameters) never trip it.
     """
 
@@ -221,6 +262,10 @@ class CircuitBreaker:
         self._failures = 0
         self._opened_at = 0.0
         self._probing = False
+        #: Generation counter for probe claims: a stale lease released
+        #: after the breaker moved on (probe failed, new probe claimed)
+        #: must not free the *newer* claim.
+        self._probe_token = 0
         self._lock = threading.Lock()
         #: Lifetime transition counters for observability.
         self.trips = 0
@@ -240,21 +285,33 @@ class CircuitBreaker:
             self._state = HALF_OPEN
             self._probing = False
 
-    def allow_backend(self) -> bool:
-        """Whether a request may touch the backend right now.
+    def allow_backend(self) -> "BackendLease | None":
+        """A :class:`BackendLease` when the backend may be touched,
+        ``None`` (falsy, like the old boolean) when it may not.
 
-        In half-open state exactly one caller gets ``True`` (the probe);
+        In half-open state exactly one caller gets a lease (the probe);
         everyone else stays on the cache-only path until the probe
-        reports back.
+        reports back — or releases its unused slot.
         """
         with self._lock:
             self._maybe_half_open()
             if self._state == CLOSED:
-                return True
+                return BackendLease(self, None)
             if self._state == HALF_OPEN and not self._probing:
                 self._probing = True
-                return True
-            return False
+                self._probe_token += 1
+                return BackendLease(self, self._probe_token)
+            return None
+
+    def _release_probe(self, token: int) -> None:
+        """Free the probe slot claimed under ``token``, if still current."""
+        with self._lock:
+            if (
+                self._state == HALF_OPEN
+                and self._probing
+                and token == self._probe_token
+            ):
+                self._probing = False
 
     def record_success(self) -> None:
         """A backend call completed; closes a probing breaker."""

@@ -371,8 +371,8 @@ class CarbonQueryService:
     def _endpoint_footprint(self, request: Mapping[str, object]) -> Response:
         scenario = parse_scenario(request.get("params"))
         deadline_s = self._deadline_s(request)
-        degraded = not self.breaker.allow_backend()
-        if degraded:
+        lease = self.breaker.allow_backend()
+        if lease is None:
             cached = self.cache.peek_by_key(
                 scenario_key(scenario), 1, self.config.backend
             )
@@ -387,8 +387,17 @@ class CarbonQueryService:
                 self._footprint_payload(cached, "cache", 1, degraded=True),
                 {"X-Degraded": "true"},
             )
-        pending = self.batcher.submit(scenario, timeout_s=deadline_s)
-        result = pending.wait()
+        try:
+            pending = self.batcher.submit(scenario, timeout_s=deadline_s)
+            result = pending.wait()
+        finally:
+            # The batcher settles real kernel outcomes with the breaker
+            # before waiters wake, making this release a no-op; what it
+            # catches is every path that never reached the backend —
+            # cache hit inside submit, deadline expiry before
+            # evaluation, drain refusal — where a claimed half-open
+            # probe would otherwise leak and pin the service cache-only.
+            lease.release()
         return Response(
             200,
             self._footprint_payload(
@@ -533,10 +542,13 @@ class CarbonQueryService:
         """One cached batch evaluation with breaker accounting.
 
         The sweep endpoint's equivalent of a batcher tick: breaker-open
-        requests may only be served from cache, and kernel failures are
-        reported to the breaker.
+        requests may only be served from cache, kernel failures are
+        reported to the breaker, and cache hits report *nothing* — a hit
+        proves no backend health, so recording it as a success would
+        close a half-open breaker against a still-broken backend.
         """
-        if not self.breaker.allow_backend():
+        lease = self.breaker.allow_backend()
+        if lease is None:
             cached = self.cache.peek(batch, self.config.backend)
             if cached is None:
                 raise ServiceUnavailable(
@@ -546,11 +558,20 @@ class CarbonQueryService:
                 )
             return cached
         try:
-            result = self.cache.evaluate(batch, self.config.backend)
+            result, from_cache = self.cache.evaluate_with_origin(
+                batch, self.config.backend
+            )
         except Exception as error:
             self._backend_failure(error)
+            # No-op when the failure tripped/re-opened the breaker; frees
+            # the probe slot when it was a client-shaped error that never
+            # exercised the backend.
+            lease.release()
             raise
-        self.breaker.record_success()
+        if from_cache:
+            lease.release()
+        else:
+            self.breaker.record_success()
         return result
 
     def _endpoint_montecarlo(self, request: Mapping[str, object]) -> Response:
@@ -597,7 +618,8 @@ class CarbonQueryService:
             policy = ExecutionPolicy(
                 workers=workers, failure_policy="retry"
             )
-        if not self.breaker.allow_backend():
+        lease = self.breaker.allow_backend()
+        if lease is None:
             raise ServiceUnavailable(
                 "backend circuit breaker is open; Monte Carlo queries are "
                 "not served degraded",
@@ -621,10 +643,14 @@ class CarbonQueryService:
                 policy=policy,
                 fault_plan=self.fault_plan,
             )
-        except (RunInterrupted, ReproError):
-            raise
         except Exception as error:
-            self._backend_failure(error)
+            if not isinstance(error, (RunInterrupted, ReproError)):
+                self._backend_failure(error)
+            # A run that ended without a recorded backend outcome
+            # (cancelled mid-flight, client-shaped error) must hand a
+            # claimed half-open probe slot back; after a recorded
+            # failure this is a no-op.
+            lease.release()
             raise
         self.breaker.record_success()
         return Response(

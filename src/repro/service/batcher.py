@@ -22,9 +22,10 @@ Failure semantics:
   evaluation and resolves to
   :class:`~repro.service.admission.DeadlineExceeded` (the waiter may
   also time out on its own; both paths agree).
-* A kernel failure fails exactly the queries in that tick — with the
-  original exception — and is reported to the ``on_failure`` hook (the
-  circuit breaker).  Queries served from cache in the same tick still
+* A kernel failure fails exactly the queries in that tick — each with
+  its own copy of the original exception, chained to it — and is
+  reported to the ``on_failure`` hook (the circuit breaker) before any
+  waiter wakes.  Queries served from cache in the same tick still
   succeed.
 * :meth:`close` drains: queued queries are still evaluated, then the
   thread exits.  Submissions after close are refused.
@@ -32,6 +33,7 @@ Failure semantics:
 
 from __future__ import annotations
 
+import copy
 import threading
 import time
 from collections import deque
@@ -49,6 +51,28 @@ from repro.service.admission import DeadlineExceeded, ServiceUnavailable
 def single_row_batch(scenario: ActScenario) -> ScenarioBatch:
     """One scenario as a one-row batch — the per-query cache unit."""
     return ScenarioBatch.from_scenarios((scenario,))
+
+
+def per_query_error(error: BaseException) -> BaseException:
+    """A private copy of a tick's failure for one waiting query.
+
+    Every waiter re-raises its query's error, possibly concurrently, and
+    CPython mutates ``__traceback__`` on each raise — so re-raising one
+    shared instance from many request threads cross-contaminates the
+    tracebacks rendered into error responses and logs.  Each waiter gets
+    its own shallow copy, chained (``__cause__``) to the original so the
+    kernel-side traceback stays visible.  Exceptions that refuse
+    ``copy.copy`` (constructors pickle/copy cannot replay) fall back to
+    the shared instance — the status quo, never worse.
+    """
+    try:
+        clone = copy.copy(error)
+    except Exception:  # pragma: no cover - exotic __reduce__ failures
+        return error
+    if type(clone) is not type(error):
+        return error
+    clone.__cause__ = error
+    return clone
 
 
 #: Column names sliced by :func:`result_row`, resolved once at import.
@@ -326,10 +350,13 @@ class MicroBatcher:
         except Exception as error:  # noqa: BLE001 - forwarded per query
             with self._cond:
                 self.stats.failed += rows
-            for item in items:
-                item._fail(error)
+            # Settle the breaker before any waiter wakes: an endpoint
+            # releasing its probe lease on the error path must observe
+            # the recorded failure, not race ahead of it.
             if self.on_failure is not None:
                 self.on_failure(error)
+            for item in items:
+                item._fail(per_query_error(error))
             if context.enabled:
                 context.count("service.batcher.failed_ticks")
             return
@@ -341,10 +368,13 @@ class MicroBatcher:
             [(item.key, row) for item, row in zip(items, row_of)],
             self.backend,
         )
-        for item, row in zip(items, row_of):
-            item._complete(row, "batch", rows)
+        # Success is recorded before waiters wake for the same reason as
+        # the failure path: a half-open probe's lease release must find
+        # the breaker already closed.
         if self.on_success is not None:
             self.on_success()
+        for item, row in zip(items, row_of):
+            item._complete(row, "batch", rows)
         if context.enabled:
             context.count("service.batcher.ticks")
             context.count("service.batcher.rows", rows)

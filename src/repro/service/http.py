@@ -27,6 +27,12 @@ from repro.service.config import ServiceConfig
 #: hostile client cannot balloon request-thread memory.
 MAX_BODY_BYTES = 1 << 20
 
+#: Most bytes of a refused (413) body that are read and discarded so a
+#: well-behaved client can finish sending and read the response before
+#: the connection closes; a body declared larger than this is simply cut
+#: off by the close.
+DRAIN_CAP_BYTES = 4 * MAX_BODY_BYTES
+
 
 class CarbonQueryHandler(BaseHTTPRequestHandler):
     """One HTTP request in, one JSON response out."""
@@ -46,8 +52,29 @@ class CarbonQueryHandler(BaseHTTPRequestHandler):
         return self.headers.get("X-Client-Id") or self.client_address[0]
 
     def _read_body(self) -> "bytes | None":
-        """The request body, or ``None`` after a 413 was already sent."""
-        length = int(self.headers.get("Content-Length") or 0)
+        """The request body, or ``None`` after a 4xx was already sent.
+
+        Both refusal paths leave an unread body on the socket, which
+        would desynchronize an HTTP/1.1 keep-alive connection — so each
+        sends ``Connection: close`` (which also makes the handler drop
+        the connection after the response).
+        """
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if length < 0:
+            self._write(
+                Response(
+                    400,
+                    {
+                        "error": "validation",
+                        "message": "malformed Content-Length header",
+                    },
+                    {"Connection": "close"},
+                )
+            )
+            return None
         if length > MAX_BODY_BYTES:
             self._write(
                 Response(
@@ -57,10 +84,26 @@ class CarbonQueryHandler(BaseHTTPRequestHandler):
                         "message": f"request body exceeds {MAX_BODY_BYTES} "
                         "bytes",
                     },
+                    {"Connection": "close"},
                 )
             )
+            self._discard(length)
             return None
         return self.rfile.read(length) if length else b""
+
+    def _discard(self, length: int) -> None:
+        """Throw away up to ``DRAIN_CAP_BYTES`` of a refused body.
+
+        The response is already on the wire; draining (in bounded
+        chunks, never holding the body) unblocks a client still busy
+        sending, so it reads the 413 instead of a connection reset.
+        """
+        remaining = min(length, DRAIN_CAP_BYTES)
+        while remaining > 0:
+            chunk = self.rfile.read(min(65536, remaining))
+            if not chunk:
+                break
+            remaining -= len(chunk)
 
     def _write(self, response: Response) -> None:
         body = response.body()

@@ -393,6 +393,59 @@ class TestBreaker:
         finally:
             svc.drain(5.0)
 
+    @staticmethod
+    def _force_half_open(svc):
+        """Rewind the breaker's trip time so the cooldown has elapsed."""
+        svc.breaker._opened_at -= 2 * svc.config.breaker_cooldown_s
+        assert svc.breaker.state == "half_open"
+
+    def test_cache_hot_probe_releases_slot_and_backend_recovers(self):
+        svc = CarbonQueryService(
+            ServiceConfig(breaker_threshold=2, breaker_cooldown_s=60.0)
+        )
+        try:
+            body = {"params": {"energy_kwh": 9.0}}
+            assert post(svc, "/v1/footprint", body).status == 200
+            svc.breaker.record_failure()
+            svc.breaker.record_failure()
+            self._force_half_open(svc)
+            # Post-outage, cached queries are exactly what clients retry
+            # first: this one claims the half-open probe, is answered
+            # from cache without touching the backend, and must hand the
+            # slot back — a leak here pins the service cache-only.
+            hot = post(svc, "/v1/footprint", body)
+            assert hot.status == 200
+            assert hot.payload["served_from"] == "cache"
+            assert svc.breaker.state == "half_open"  # a hit proves nothing
+            # The freed slot lets a cold query actually probe the backend.
+            cold = post(
+                svc, "/v1/footprint", {"params": {"energy_kwh": 123.0}}
+            )
+            assert cold.status == 200
+            assert svc.breaker.state == "closed"
+            assert svc.breaker.recoveries == 1
+        finally:
+            svc.drain(5.0)
+
+    def test_cached_sweep_neither_closes_nor_leaks_a_probing_breaker(self):
+        svc = CarbonQueryService(
+            ServiceConfig(breaker_threshold=2, breaker_cooldown_s=60.0)
+        )
+        try:
+            body = {"grids": {"energy_kwh": [1.0, 2.0]}}
+            assert post(svc, "/v1/sweep", body).status == 200
+            svc.breaker.record_failure()
+            svc.breaker.record_failure()
+            self._force_half_open(svc)
+            hot = post(svc, "/v1/sweep", body)
+            assert hot.status == 200
+            assert svc.breaker.state == "half_open"
+            cold = post(svc, "/v1/sweep", {"grids": {"energy_kwh": [3.0]}})
+            assert cold.status == 200
+            assert svc.breaker.state == "closed"
+        finally:
+            svc.drain(5.0)
+
 
 class TestDrain:
     def test_drain_completes_in_flight_requests(self):
@@ -532,6 +585,51 @@ class TestAdmissionPrimitives:
         assert breaker.state == "open"
         assert breaker.trips == 2
 
+    def test_breaker_probe_lease_release_frees_the_slot(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            threshold=1, cooldown_s=5.0, clock=lambda: clock[0]
+        )
+        lease = breaker.allow_backend()
+        assert lease and not lease.is_probe  # closed leases carry no claim
+        lease.release()  # and releasing one is harmless
+        breaker.record_failure()
+        clock[0] += 5.0
+        probe = breaker.allow_backend()
+        assert probe and probe.is_probe
+        assert not breaker.allow_backend()
+        probe.release()  # resolved without ever touching the backend
+        again = breaker.allow_backend()
+        assert again and again.is_probe
+        probe.release()  # double release is a no-op
+        assert not breaker.allow_backend()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_stale_lease_release_cannot_free_a_newer_probe(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            threshold=1, cooldown_s=5.0, clock=lambda: clock[0]
+        )
+        breaker.record_failure()
+        clock[0] += 5.0
+        stale = breaker.allow_backend()
+        breaker.record_failure()  # the probe failed; breaker re-opens
+        clock[0] += 5.0
+        fresh = breaker.allow_backend()
+        assert fresh and fresh.is_probe
+        stale.release()  # older generation: must not free fresh's claim
+        assert not breaker.allow_backend()
+
+    def test_rate_limiter_evicts_idle_clients_not_active_ones(self):
+        limiter = RateLimiter(rate=0.001, burst=1.0, max_clients=2)
+        assert limiter.allow("active")
+        assert limiter.allow("idle")
+        assert not limiter.allow("active")  # exhausted, but recently seen
+        limiter.allow("newcomer")  # at capacity: evicts "idle", not "active"
+        assert "idle" not in limiter._buckets
+        assert not limiter.allow("active")  # bucket survived, still empty
+
 
 class TestBatcherUnit:
     def test_submit_after_close_is_refused(self):
@@ -559,6 +657,50 @@ class TestBatcherUnit:
             assert failures
             assert batcher.stats.failed == 1
             assert batcher.alive  # one bad tick must not kill the loop
+        finally:
+            batcher.close(5.0)
+
+    def test_tick_failure_gives_each_waiter_its_own_exception(
+        self, monkeypatch
+    ):
+        import repro.service.batcher as batcher_module
+
+        holding = threading.Event()
+        release = threading.Event()
+        calls = []
+
+        def broken(batch, backend=None):
+            calls.append(len(batch))
+            if len(calls) == 1:
+                holding.set()
+                release.wait(5.0)
+            raise RuntimeError("kernel exploded")
+
+        monkeypatch.setattr(batcher_module, "evaluate_batch", broken)
+        batcher = MicroBatcher(EvaluationCache(), max_wait_s=0.0)
+        try:
+            decoy = batcher.submit(BASE.replace(energy_kwh=1.0), timeout_s=5.0)
+            assert holding.wait(5.0)  # tick 1 is now stuck in the kernel
+            pair = [
+                batcher.submit(BASE.replace(energy_kwh=2.0), timeout_s=5.0),
+                batcher.submit(BASE.replace(energy_kwh=3.0), timeout_s=5.0),
+            ]
+            release.set()
+            with pytest.raises(RuntimeError):
+                decoy.wait()
+            errors = []
+            for pending in pair:
+                with pytest.raises(
+                    RuntimeError, match="kernel exploded"
+                ) as info:
+                    pending.wait()
+                errors.append(info.value)
+            assert calls == [1, 2]  # the pair failed in one shared tick
+            # Each waiter re-raises its own copy — a shared instance
+            # gets its __traceback__ cross-contaminated by concurrent
+            # raises — chained to the one original kernel error.
+            assert errors[0] is not errors[1]
+            assert errors[0].__cause__ is errors[1].__cause__
         finally:
             batcher.close(5.0)
 
@@ -621,17 +763,36 @@ class TestHttpAdapter:
         )
         assert payload["total_g"] == float(direct.total_g[0])
 
-    def test_oversized_body_is_413(self, server):
+    def test_oversized_body_is_413_and_closes_the_connection(self, server):
+        import http.client
+
         from repro.service.http import MAX_BODY_BYTES
 
-        status, payload = self._request(
-            server,
-            "POST",
-            "/v1/footprint",
-            b"x" * (MAX_BODY_BYTES + 1),
-        )
-        assert status == 413
-        assert payload["error"] == "payload_too_large"
+        conn = http.client.HTTPConnection(*server.server_address, timeout=10)
+        try:
+            conn.request(
+                "POST", "/v1/footprint", body=b"x" * (MAX_BODY_BYTES + 1)
+            )
+            response = conn.getresponse()
+            assert response.status == 413
+            assert json.loads(response.read())["error"] == "payload_too_large"
+            # The unread body desyncs HTTP/1.1 framing; the server must
+            # not pretend the connection is reusable.
+            assert response.getheader("Connection") == "close"
+        finally:
+            conn.close()
+
+    def test_malformed_content_length_is_400_not_a_dropped_conn(self, server):
+        for bad in ("banana", "-5"):
+            status, payload = self._request(
+                server,
+                "POST",
+                "/v1/footprint",
+                b"",
+                {"Content-Length": bad},
+            )
+            assert status == 400
+            assert payload["error"] == "validation"
 
     def test_query_string_is_ignored_for_routing(self, server):
         status, _ = self._request(server, "GET", "/healthz?probe=1")
