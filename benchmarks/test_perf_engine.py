@@ -211,7 +211,7 @@ def test_perf_engine():
             existing = json.loads(OUTPUT_PATH.read_text())
         except (OSError, json.JSONDecodeError):
             existing = {}
-    for section in ("parallel", "supervision", "backends"):
+    for section in ("parallel", "supervision", "backends", "scheduling"):
         if section in existing:
             payload[section] = existing[section]
     OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -437,6 +437,106 @@ def test_perf_parallel():
             f"workers=4 only {speedup_at_4:.2f}x over workers=1 on "
             f"{cores} cores (gate: 2x)"
         )
+
+
+#: Scheduling sweep size: 10k windows x 4 policies = 40k scenario rows.
+SCHED_WINDOWS = 10_000
+#: Scalar-reference sample — the per-row Python loop is ~3 orders of
+#: magnitude slower, so a subset keeps the benchmark interactive while
+#: the points/sec figure stays representative.
+SCHED_SCALAR_ROWS = 200
+
+
+def test_perf_scheduling():
+    """Vectorized policy sweep vs the scalar per-scenario reference.
+
+    Evaluates a 10k-window x 4-policy sweep through the batched
+    evaluator, times the pinned scalar ``simulate_fleet`` loop on an
+    evenly sampled row subset, and merges a ``scheduling`` section into
+    ``BENCH_engine.json``.  The gate is the whole point of the batched
+    path: >= 20x scenario rows/sec over the scalar reference.
+    """
+    from repro.core.errors import ConstraintError
+    from repro.core.intensity import CarbonIntensityTrace, solar_diurnal_trace
+    from repro.scheduling.batch import evaluate_schedule_batch
+    from repro.scheduling.policies import simulate_fleet
+    from repro.scheduling.sweep import ScheduleSweepSpec, build_schedule_batch
+
+    spec = ScheduleSweepSpec(
+        trace=solar_diurnal_trace(500.0, solar_share_at_noon=0.7),
+        windows=SCHED_WINDOWS,
+    )
+    batch = build_schedule_batch(spec)
+    rows = len(batch)
+
+    evaluate_schedule_batch(batch)  # warm-up
+    vectorized_seconds = _best_seconds(
+        lambda: evaluate_schedule_batch(batch), repeats=5
+    )
+    vectorized_pps = rows / vectorized_seconds
+
+    # Scalar reference on an evenly spaced row sample (every policy and
+    # window shape is represented; infeasible rows cost a raised error).
+    stride = max(1, rows // SCHED_SCALAR_ROWS)
+    sample = list(range(0, rows, stride))[:SCHED_SCALAR_ROWS]
+    trace = CarbonIntensityTrace("bench", batch.trace_g_per_kwh)
+    scenarios = [batch.row_scenario(row) for row in sample]
+
+    def _scalar() -> None:
+        for scenario in scenarios:
+            try:
+                simulate_fleet(
+                    scenario.jobs,
+                    scenario.fleet,
+                    trace,
+                    scenario.policy,
+                    horizon_hours=batch.horizon_hours,
+                    window_offset=scenario.window_offset,
+                    threshold_quantile=batch.threshold_quantile,
+                )
+            except ConstraintError:
+                pass
+
+    scalar_seconds = _best_seconds(_scalar, repeats=3)
+    scalar_pps = len(scenarios) / scalar_seconds
+    speedup = vectorized_pps / scalar_pps
+
+    section = {
+        "windows": SCHED_WINDOWS,
+        "policies": len(spec.policies),
+        "rows": rows,
+        "jobs_per_window": spec.jobs_per_window,
+        "horizon_hours": spec.horizon_hours,
+        "repeats": 5,
+        "scalar_sample_rows": len(scenarios),
+        "scalar_seconds": scalar_seconds,
+        "scalar_points_per_sec": scalar_pps,
+        "vectorized_seconds": vectorized_seconds,
+        "vectorized_points_per_sec": vectorized_pps,
+        "speedup": speedup,
+    }
+
+    payload = {}
+    if OUTPUT_PATH.exists():
+        try:
+            payload = json.loads(OUTPUT_PATH.read_text())
+        except (OSError, json.JSONDecodeError):
+            payload = {}
+    payload.setdefault("benchmark", "engine")
+    payload["scheduling"] = section
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(json.dumps({"scheduling": section}, indent=2))
+    print(
+        f"summary: {rows:,} scenario rows — vectorized "
+        f"{vectorized_pps:,.0f}/s vs scalar {scalar_pps:,.0f}/s "
+        f"({speedup:.1f}x)"
+    )
+
+    assert speedup >= 20.0, (
+        f"vectorized schedule evaluation only {speedup:.1f}x the scalar "
+        "reference (gate: 20x)"
+    )
 
 
 def test_perf_supervision():

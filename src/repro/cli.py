@@ -25,6 +25,12 @@ Subcommands::
         ``--policy`` runs it through the guarded engine; ``--checkpoint`` /
         ``--resume`` / ``--max-seconds`` make long runs killable+resumable.
 
+    act-repro schedule [--windows 1000] [--policy all] [--workers 4]
+        Fleet-scale carbon-aware scheduling policy sweep on the vectorized
+        evaluator: per-policy emissions/waiting points and the Pareto
+        front.  ``--checkpoint`` / ``--resume`` / ``--max-seconds`` make
+        long sweeps killable+resumable, bit-identically.
+
     act-repro baselines
         ACT vs the prior-work models (GreenChip-style inventory, exergy).
 
@@ -311,6 +317,107 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_parallel_arguments(montecarlo)
     montecarlo.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget; the run checkpoints and exits 3 when it "
+        "runs out",
+    )
+
+    schedule = sub.add_parser(
+        "schedule",
+        help="fleet-scale carbon-aware scheduling policy sweep with an "
+        "emissions-vs-waiting Pareto front",
+        parents=[obs],
+    )
+    schedule.add_argument(
+        "--windows",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="sampled (trace offset, job set) windows; every policy "
+        "schedules each window's identical job set (default: 1000)",
+    )
+    schedule.add_argument(
+        "--policy",
+        default="all",
+        metavar="NAME",
+        help="one scheduling policy (fifo, edf, carbon_waiting, "
+        "carbon_lowest) or 'all' to compare every policy per window "
+        "(default: all)",
+    )
+    schedule.add_argument(
+        "--jobs", type=int, default=5, metavar="N",
+        help="jobs drawn per window (default: 5)",
+    )
+    schedule.add_argument(
+        "--horizon", type=int, default=48, metavar="H",
+        help="simulation window length in hours (default: 48)",
+    )
+    schedule.add_argument(
+        "--seed", type=int, default=2022, help="RNG seed (reproducible)"
+    )
+    schedule.add_argument(
+        "--grid",
+        choices=("solar", "flat"),
+        default="solar",
+        help="grid intensity profile the fleet follows (solar = diurnal "
+        "dip, flat = constant; default: solar)",
+    )
+    schedule.add_argument(
+        "--base-ci",
+        type=float,
+        default=400.0,
+        metavar="G",
+        help="baseline carbon intensity in g CO2/kWh (default: 400)",
+    )
+    schedule.add_argument(
+        "--threshold-quantile",
+        type=float,
+        default=0.5,
+        metavar="Q",
+        help="carbon_waiting's green-start CI quantile in [0, 1] "
+        "(default: 0.5)",
+    )
+    schedule.add_argument(
+        "--verify-sample",
+        type=int,
+        default=0,
+        metavar="N",
+        help="cross-check N evenly spaced rows against the scalar "
+        "reference simulator (default: 0 = off)",
+    )
+    schedule.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="checkpoint file for chunked execution (atomic; enables "
+        "--resume)",
+    )
+    schedule.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from --checkpoint instead of starting over",
+    )
+    schedule.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="scenario rows evaluated between checkpoint writes "
+        "(default: 4096)",
+    )
+    schedule.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes sharding the sweep rows (results are "
+        "bit-identical at any worker count; default: 1)",
+    )
+    _add_parallel_arguments(schedule)
+    schedule.add_argument(
         "--max-seconds",
         type=float,
         default=None,
@@ -810,6 +917,116 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.intensity import constant_trace, solar_diurnal_trace
+    from repro.engine.backends import use_backend
+    from repro.scheduling import (
+        POLICY_NAMES,
+        ScheduleSweepSpec,
+        run_policy_sweep,
+    )
+
+    if args.grid == "solar":
+        trace = solar_diurnal_trace(args.base_ci)
+    else:
+        trace = constant_trace(args.base_ci)
+    key = args.policy.strip().lower()
+    policies = POLICY_NAMES if key == "all" else (key,)
+    spec = ScheduleSweepSpec(
+        trace=trace,
+        windows=args.windows,
+        policies=policies,
+        jobs_per_window=args.jobs,
+        horizon_hours=args.horizon,
+        seed=args.seed,
+        threshold_quantile=args.threshold_quantile,
+    )
+    policy = _workers_policy(
+        args.workers,
+        args.shard_rows,
+        args.transport,
+        args.failure_policy,
+        args.max_retries,
+    )
+    cancel = None
+    if args.max_seconds is not None:
+        from repro.robustness import CancelToken
+
+        cancel = CancelToken(deadline_seconds=args.max_seconds)
+    started = time.perf_counter()
+    with use_backend(args.backend):
+        result = run_policy_sweep(
+            spec,
+            policy=policy,
+            chunk_rows=args.chunk_rows,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            cancel=cancel,
+            verify_sample=args.verify_sample,
+        )
+    elapsed = time.perf_counter() - started
+    print(
+        f"Carbon-aware scheduling sweep — {spec.windows} windows x "
+        f"{len(spec.policies)} policies ({spec.rows} scenarios), "
+        f"{spec.jobs_per_window} jobs/window, {args.grid} grid at "
+        f"{args.base_ci:g} g/kWh, seed {spec.seed}"
+    )
+    rows = [
+        (
+            point.policy,
+            round(point.mean_emissions_g, 1),
+            round(point.mean_wait_hours, 3),
+            round(point.max_wait_hours, 2),
+            round(point.mean_energy_kwh, 3),
+            int(point.total_preemptions),
+            f"{point.feasible_windows}/{point.windows}",
+        )
+        for point in result.points
+    ]
+    print(
+        ascii_table(
+            (
+                "policy",
+                "mean g CO2",
+                "mean wait h",
+                "max wait h",
+                "mean kWh",
+                "preemptions",
+                "feasible",
+            ),
+            rows,
+        )
+    )
+    print(
+        "Pareto front (emissions vs waiting): "
+        + ", ".join(result.pareto_policies)
+    )
+    try:
+        fifo = result.point_for("fifo")
+    except Exception:
+        fifo = None
+    if fifo is not None and fifo.mean_emissions_g > 0:
+        for point in result.points:
+            if point.policy == "fifo" or point.feasible_windows == 0:
+                continue
+            delta_em = point.mean_emissions_g / fifo.mean_emissions_g - 1.0
+            delta_wait = point.mean_wait_hours - fifo.mean_wait_hours
+            print(
+                f"  {point.policy}: {delta_em:+.1%} emissions vs fifo for "
+                f"{delta_wait:+.2f} h mean waiting"
+            )
+    if args.verify_sample > 0:
+        print(
+            f"verified {min(args.verify_sample, spec.rows)} rows against "
+            "the scalar reference"
+        )
+    rate = spec.rows / elapsed if elapsed > 0 else float("inf")
+    print(f"throughput: {rate:,.0f} scenarios/sec ({elapsed * 1e3:.1f} ms)")
+    return 0
+
+
 def _cmd_baselines(_: argparse.Namespace) -> int:
     from repro.baselines import exergy_blind_spot, greenchip_vs_act
 
@@ -928,6 +1145,7 @@ _COMMANDS = {
     "export": _cmd_export,
     "sensitivity": _cmd_sensitivity,
     "montecarlo": _cmd_montecarlo,
+    "schedule": _cmd_schedule,
     "baselines": _cmd_baselines,
     "serve": _cmd_serve,
 }

@@ -47,7 +47,18 @@ class CarbonIntensityTrace:
         return len(self.hourly_g_per_kwh)
 
     def at_hour(self, hour: int) -> float:
-        """Intensity during hour ``hour`` (wraps around the period)."""
+        """Intensity during hour ``hour`` (wraps around the period).
+
+        ``hour`` is a simulation hour, so it must be non-negative: Python's
+        modulo would otherwise wrap ``-1`` to the *last* trace entry and
+        silently hand schedulers an intensity for an hour that never
+        happened.
+        """
+        if hour < 0:
+            raise ParameterError(
+                f"hour must be non-negative, got {hour} (negative hours "
+                "would silently wrap to the end of the trace)"
+            )
         return self.hourly_g_per_kwh[hour % len(self.hourly_g_per_kwh)]
 
     @property

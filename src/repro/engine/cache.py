@@ -272,7 +272,14 @@ class EvaluationCache:
     ) -> "BatchResult | None":
         """:meth:`peek` by a precomputed content key (see
         :func:`scenario_key`) — the service's per-query fast path, which
-        never pays for batch construction on a hit."""
+        never pays for batch construction on a hit.
+
+        The by-key interface is value-agnostic: any row-aligned result
+        object with ``__len__`` can live under a caller-hashed key, which
+        is how scheduling sweeps share this cache (their
+        :func:`~repro.scheduling.batch.schedule_batch_key` layout is
+        domain-prefixed, so schedule and Eq. 1-8 entries cannot
+        collide)."""
         resolved = resolve_backend(backend)
         return self._get(f"{resolved.cache_token}:{content_key}", rows)
 

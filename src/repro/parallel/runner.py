@@ -108,6 +108,7 @@ from repro.robustness.guard import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.scenario import ActScenario
+    from repro.scheduling.sweep import ScheduleSweepSpec
 
 #: The Eq. 1-8 output series, in :class:`BatchResult` field order.
 SERIES_NAMES: tuple[str, ...] = tuple(BatchResult.__dataclass_fields__)
@@ -309,6 +310,29 @@ def _evaluate_shard(
     returned series are kernel outputs or NaN-scatter copies, never views.
     """
     kind = task["kind"]
+    if kind == "schedule":
+        # Lazy imports keep the scheduling stack out of workers that never
+        # run a scheduling shard (and avoid an import cycle at module
+        # load: repro.scheduling.sweep itself reaches back into this
+        # package for the chunked checkpoint path).
+        from repro.scheduling.batch import (
+            SCHEDULE_SERIES,
+            evaluate_schedule_batch,
+        )
+        from repro.scheduling.sweep import build_schedule_batch
+
+        offset = task["row_offset"]
+        batch = build_schedule_batch(
+            task["spec"], offset + task["start"], offset + task["stop"]
+        )
+        result = evaluate_schedule_batch(batch, backend=task.get("backend"))
+        series = {
+            name: np.ascontiguousarray(
+                getattr(result, name), dtype=np.float64
+            )
+            for name in SCHEDULE_SERIES
+        }
+        return series, np.ones(count, dtype=bool), (), False, ()
     input_store: SharedArrayStore | None = None
     try:
         if kind == "montecarlo":
@@ -424,15 +448,17 @@ def _run_shard(task: dict) -> _ShardOutcome:
         transport = task["output"][0]
         if transport == SHM:
             output_store = SharedArrayStore.attach(task["output"][1])
-            for name in SERIES_NAMES:
+            # Iterate the evaluated series' own keys — scenario shards
+            # carry the Eq. 1-8 names, schedule shards the scheduling
+            # names; the parent sized the output store to match.
+            for name in series:
                 output_store.array(name)[start:stop] = series[name]
             output_store.array(_VALID)[start:stop] = valid
             series_out = None
             valid_out = None
         else:
             series_out = {
-                name: np.ascontiguousarray(series[name])
-                for name in SERIES_NAMES
+                name: np.ascontiguousarray(series[name]) for name in series
             }
             valid_out = valid
     finally:
@@ -747,8 +773,10 @@ class ParallelRunner:
             )
         return report
 
-    def _output_store(self, rows: int) -> SharedArrayStore:
-        shapes = {name: (rows,) for name in SERIES_NAMES}
+    def _output_store(
+        self, rows: int, names: Sequence[str] = SERIES_NAMES
+    ) -> SharedArrayStore:
+        shapes = {name: (rows,) for name in names}
         shapes[_VALID] = (rows,)
         return SharedArrayStore.zeros(shapes)
 
@@ -760,6 +788,7 @@ class ParallelRunner:
         output_store: SharedArrayStore | None,
         guard_policy: str | None,
         supervision: SupervisionReport | None = None,
+        series_names: Sequence[str] = SERIES_NAMES,
     ) -> ParallelEvaluation:
         quarantined = (
             tuple(supervision.quarantined) if supervision is not None else ()
@@ -768,18 +797,18 @@ class ParallelRunner:
         if output_store is not None:
             series = {
                 name: np.array(output_store.array(name), copy=True)
-                for name in SERIES_NAMES
+                for name in series_names
             }
             valid = np.array(output_store.array(_VALID), copy=True) > 0.5
         else:
             # Quarantine can punch holes in the shard sequence, so fill
             # per-range instead of concatenating.
             series = {
-                name: np.full(rows, np.nan) for name in SERIES_NAMES
+                name: np.full(rows, np.nan) for name in series_names
             }
             valid = np.zeros(rows, dtype=bool)
             for outcome in ordered:
-                for name in SERIES_NAMES:
+                for name in series_names:
                     series[name][outcome.start : outcome.stop] = (
                         outcome.series[name]
                     )
@@ -789,7 +818,7 @@ class ParallelRunner:
         # plus a False validity bit is a flagged missing one.
         for shard in quarantined:
             start, stop = plan[shard]
-            for name in SERIES_NAMES:
+            for name in series_names:
                 series[name][start:stop] = np.nan
             valid[start:stop] = False
         diagnostics = _merge_diagnostics(ordered)
@@ -1065,6 +1094,93 @@ class ParallelRunner:
                     output_store,
                     guard.policy if guard is not None else None,
                     report,
+                )
+        finally:
+            if output_store is not None:
+                output_store.unlink()
+
+    def evaluate_schedule(
+        self,
+        spec: "ScheduleSweepSpec",
+        *,
+        start: int = 0,
+        stop: int | None = None,
+    ) -> ParallelEvaluation:
+        """Shard and evaluate a scheduling policy sweep over ``spec``.
+
+        Each worker rebuilds its shard's scenario rows from the spec with
+        :func:`~repro.scheduling.sweep.build_schedule_batch` — a pure
+        function of ``(spec, row)`` — and evaluates them through the
+        vectorized :func:`~repro.scheduling.batch.evaluate_schedule_batch`
+        path, so the merged series are bit-identical at any worker count,
+        exactly like the Monte Carlo workload.  The returned evaluation's
+        ``series`` carries :data:`~repro.scheduling.batch.SCHEDULE_SERIES`
+        (not the Eq. 1-8 names); infeasible scenario rows are ``NaN``
+        with ``feasible == 0.0`` rather than masked ``valid`` bits.
+
+        ``start``/``stop`` select an absolute row range of the sweep
+        (default: all ``spec.rows`` rows) — the chunked checkpoint path
+        uses this to resume mid-sweep.
+        """
+        from repro.scheduling.batch import SCHEDULE_SERIES
+        from repro.scheduling.sweep import ScheduleSweepSpec
+
+        if not isinstance(spec, ScheduleSweepSpec):
+            raise ParameterError(
+                "evaluate_schedule needs a ScheduleSweepSpec, got "
+                f"{type(spec).__name__}"
+            )
+        total = spec.rows
+        if stop is None:
+            stop = total
+        if not 0 <= start < stop <= total:
+            raise ParameterError(
+                f"invalid schedule row range [{start}, {stop}) for a "
+                f"{total}-row sweep"
+            )
+        rows = stop - start
+        plan = shard_plan(rows, self.policy.shard_rows)
+        backend_name = self._backend_name()
+        output_store: SharedArrayStore | None = None
+        try:
+            if self.policy.transport == SHM:
+                output_store = self._output_store(rows, SCHEDULE_SERIES)
+                output_spec: tuple = (SHM, output_store.handle())
+            else:
+                output_spec = (PICKLE,)
+            payloads = [
+                {
+                    "kind": "schedule",
+                    "shard": index,
+                    "start": shard_start,
+                    "stop": shard_stop,
+                    "spec": spec,
+                    "row_offset": start,
+                    "output": output_spec,
+                    "guard": None,
+                    "backend": backend_name,
+                }
+                for index, (shard_start, shard_stop) in enumerate(plan)
+            ]
+            context = current_context()
+            with context.span(
+                "parallel.evaluate",
+                kind="schedule",
+                rows=rows,
+                shards=len(plan),
+                workers=self.policy.workers,
+                transport=self.policy.transport,
+            ):
+                outcomes, report = self._execute(payloads)
+                report = self._heal_quarantined(payloads, outcomes, report)
+                return self._merge(
+                    rows,
+                    plan,
+                    outcomes,
+                    output_store,
+                    None,
+                    report,
+                    series_names=SCHEDULE_SERIES,
                 )
         finally:
             if output_store is not None:

@@ -44,6 +44,7 @@ from repro.robustness.checkpoint import (
     CancelToken,
     CountingCancelToken,
     run_monte_carlo_chunked,
+    run_schedule_sweep_chunked,
     sweep_grid_batched_chunked,
 )
 
@@ -69,5 +70,6 @@ __all__ = [
     "inject_column_fault",
     "inject_table_fault",
     "run_monte_carlo_chunked",
+    "run_schedule_sweep_chunked",
     "sweep_grid_batched_chunked",
 ]

@@ -671,3 +671,209 @@ def sweep_grid_batched_chunked(
     batch = ScenarioBatch(**columns)
     result = BatchResult(**series)
     return BatchSweepResult(names=names, batch=batch, result=result)
+
+
+# --- scheduling policy sweeps --------------------------------------------
+
+
+def run_schedule_sweep_chunked(
+    spec: "object",
+    *,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    checkpoint_path: str | os.PathLike | None = None,
+    resume: bool = False,
+    cancel: CancelToken | None = None,
+    policy: "object | int | None" = None,
+    backend: "object | str | None" = None,
+    cache: EvaluationCache | None = None,
+) -> dict[str, np.ndarray]:
+    """A scheduling policy sweep, chunked, checkpointed, and cancellable.
+
+    Evaluates a :class:`~repro.scheduling.sweep.ScheduleSweepSpec`
+    ``chunk_rows`` rows at a time through the vectorized
+    :func:`~repro.scheduling.batch.evaluate_schedule_batch` path and
+    returns the raw per-row series
+    (:data:`~repro.scheduling.batch.SCHEDULE_SERIES`, each ``spec.rows``
+    long, float64) for :func:`~repro.scheduling.sweep.summarize_sweep`.
+
+    Scenario rows are *regenerated* per chunk from the spec's seed
+    (:func:`~repro.scheduling.sweep.build_schedule_batch` is pure in
+    ``(spec, row)``), so the checkpoint fingerprint is the spec's own
+    identity — no materialized columns to hash — and a checkpoint written
+    at one worker count or chunk size resumes bit-identically at any
+    other.
+
+    Args:
+        chunk_rows: Rows per evaluation chunk (and checkpoint cadence).
+        checkpoint_path: Checkpoint file (``None`` disables persistence).
+        resume: Load ``checkpoint_path`` and continue where it stopped.
+        cancel: Cooperative cancellation token polled at chunk boundaries.
+        policy: An :class:`~repro.parallel.ExecutionPolicy`, a bare worker
+            count, or ``None`` to pick up an installed process-wide
+            policy; a parallel policy dispatches ``workers`` chunks per
+            wave through :meth:`ParallelRunner.evaluate_schedule`.
+        backend: Kernel backend (name or instance) for the vectorized
+            evaluator; threaded to workers by name on the parallel path.
+        cache: Schedule-batch evaluation cache (serial path only — worker
+            processes keep their own).
+
+    Raises:
+        CheckpointError: ``resume`` without a usable, matching checkpoint.
+        RunInterrupted: ``cancel`` fired; completed rows are checkpointed
+            and carried on the exception's ``partial`` attribute as a
+            name → array mapping.
+    """
+    require_positive("chunk_rows", chunk_rows)
+    from repro.engine.backends import resolve_backend
+    from repro.parallel.policy import resolve_policy
+    from repro.scheduling.batch import (
+        SCHEDULE_SERIES,
+        evaluate_schedule_cached,
+    )
+    from repro.scheduling.sweep import ScheduleSweepSpec, build_schedule_batch
+
+    if not isinstance(spec, ScheduleSweepSpec):
+        raise CheckpointError(
+            "run_schedule_sweep_chunked needs a ScheduleSweepSpec, got "
+            f"{type(spec).__name__}",
+            reason="mismatch",
+        )
+    resolved_policy = resolve_policy(policy)
+    backend_name = (
+        resolve_backend(backend).name if backend is not None else None
+    )
+    context = current_context()
+    rows = spec.rows
+    fingerprint = _fingerprint(
+        "schedule",
+        {},
+        tuple(
+            f"{key}={value}"
+            for key, value in sorted(spec.fingerprint_metadata().items())
+        ),
+    )
+    series = {name: np.full(rows, np.nan) for name in SCHEDULE_SERIES}
+    completed = 0
+    if resume:
+        if checkpoint_path is None:
+            raise CheckpointError(
+                "resume requested without a checkpoint path", reason="missing"
+            )
+        state = _load_checkpoint(
+            checkpoint_path, kind="schedule", fingerprint=fingerprint
+        )
+        completed = int(state["completed"])
+        if completed > rows or int(state["total"]) != rows:
+            raise CheckpointError(
+                f"checkpoint {os.fspath(checkpoint_path)!r} covers "
+                f"{completed}/{int(state['total'])} rows, expected {rows}",
+                path=checkpoint_path,
+                reason="mismatch",
+            )
+        for name in SCHEDULE_SERIES:
+            series[name][:completed] = state[name][:completed]
+        if context.enabled:
+            context.count("checkpoint.restores")
+            context.event(
+                "checkpoint_restore",
+                kind="schedule",
+                path=os.fspath(checkpoint_path),
+                completed=completed,
+                total=rows,
+            )
+
+    def _save() -> None:
+        if checkpoint_path is not None:
+            payload = {
+                "version": np.array(CHECKPOINT_VERSION),
+                "kind": np.array("schedule"),
+                "fingerprint": np.array(fingerprint),
+                "completed": np.array(completed),
+                "total": np.array(rows),
+            }
+            payload.update(
+                {name: series[name][:completed] for name in SCHEDULE_SERIES}
+            )
+            _atomic_save(checkpoint_path, payload)
+            if context.enabled:
+                context.count("checkpoint.saves")
+                context.event(
+                    "checkpoint_save",
+                    kind="schedule",
+                    path=os.fspath(checkpoint_path),
+                    completed=completed,
+                    total=rows,
+                )
+
+    parallel = resolved_policy is not None and resolved_policy.parallel
+    wave_rows = (
+        chunk_rows * resolved_policy.workers if parallel else chunk_rows
+    )
+    runner = None
+    if parallel:
+        from repro.parallel.runner import ParallelRunner
+
+        runner_policy = resolved_policy.replace(shard_rows=chunk_rows)
+        if backend_name is not None:
+            runner_policy = runner_policy.replace(backend=backend_name)
+        runner = ParallelRunner(runner_policy)
+    try:
+        with context.span(
+            "scheduling.sweep_chunked",
+            rows=rows,
+            chunk_rows=chunk_rows,
+            workers=resolved_policy.workers if resolved_policy else 0,
+        ):
+            while completed < rows:
+                if cancel is not None and cancel.should_stop():
+                    _save()
+                    error = RunInterrupted(
+                        f"schedule sweep interrupted at {completed}/{rows} "
+                        "rows"
+                        + (
+                            f"; resume from {os.fspath(checkpoint_path)!r}"
+                            if checkpoint_path is not None
+                            else " (no checkpoint path — partial results not "
+                            "persisted)"
+                        ),
+                        completed=completed,
+                        total=rows,
+                        checkpoint=checkpoint_path,
+                    )
+                    error.partial = {
+                        name: np.array(series[name][:completed], copy=True)
+                        for name in SCHEDULE_SERIES
+                    }
+                    raise error
+                stop = min(completed + wave_rows, rows)
+                if runner is not None:
+                    evaluation = runner.evaluate_schedule(
+                        spec, start=completed, stop=stop
+                    )
+                    for name in SCHEDULE_SERIES:
+                        series[name][completed:stop] = evaluation.full_series(
+                            name
+                        )
+                else:
+                    chunk_batch = build_schedule_batch(spec, completed, stop)
+                    chunk_result = evaluate_schedule_cached(
+                        chunk_batch, cache, backend_name
+                    )
+                    for name in SCHEDULE_SERIES:
+                        series[name][completed:stop] = getattr(
+                            chunk_result, name
+                        )
+                completed = stop
+                if context.enabled:
+                    context.count("scheduling.sweep.chunks")
+                    context.event(
+                        "chunk",
+                        kind="schedule",
+                        completed=completed,
+                        total=rows,
+                    )
+                _save()
+    finally:
+        if runner is not None:
+            runner.close()
+    return series

@@ -1,6 +1,26 @@
-"""Carbon-aware batch scheduling simulation."""
+"""Carbon-aware batch scheduling: scalar reference, fleet model, and the
+vectorized policy-sweep stack.
+
+Layers (bottom up):
+
+* :mod:`repro.scheduling.simulator` — the pinned single-machine scalar
+  reference (FIFO vs greedy carbon-aware) every refactor is tested
+  against.
+* :mod:`repro.scheduling.fleet` — machines with capacity, idle/active
+  power, and DVFS power caps; generalized jobs (preemptible, fractional
+  hours, suspend/resume overhead).
+* :mod:`repro.scheduling.policies` — the scalar policy reference
+  (``fifo`` / ``edf`` / ``carbon_waiting`` / ``carbon_lowest``) emitting
+  emissions *and* per-job waiting time.
+* :mod:`repro.scheduling.batch` — the vectorized evaluator: many
+  (window, job set, policy) scenarios as numpy columns, dispatched
+  through the kernel-backend registry and cacheable.
+* :mod:`repro.scheduling.sweep` — reproducible policy sweeps with
+  emissions-vs-waiting Pareto fronts.
+"""
 
 from repro.scheduling.simulator import (
+    EMISSIONS_FLOOR_G,
     Job,
     Placement,
     Schedule,
@@ -9,13 +29,80 @@ from repro.scheduling.simulator import (
     schedule_fifo,
     scheduling_benefit,
 )
+from repro.scheduling.fleet import (
+    THROTTLE_LADDER_STEPS,
+    FleetJob,
+    FleetSpec,
+    Machine,
+    from_simulator_job,
+    single_machine_fleet,
+)
+from repro.scheduling.policies import (
+    DEFAULT_THRESHOLD_QUANTILE,
+    POLICY_NAMES,
+    SCHEDULING_POLICIES,
+    FleetPlacement,
+    FleetSchedule,
+    SchedulingPolicy,
+    get_policy,
+    simulate_fleet,
+)
+from repro.scheduling.batch import (
+    POLICY_IDS,
+    SCHEDULE_SERIES,
+    ScheduleBatch,
+    ScheduleBatchResult,
+    ScheduleScenario,
+    evaluate_schedule_batch,
+    evaluate_schedule_cached,
+    schedule_batch_key,
+    verify_schedule_batch,
+)
+from repro.scheduling.sweep import (
+    PolicyPoint,
+    PolicySweepResult,
+    ScheduleSweepSpec,
+    build_schedule_batch,
+    run_policy_sweep,
+    summarize_sweep,
+)
 
 __all__ = [
+    "DEFAULT_THRESHOLD_QUANTILE",
+    "EMISSIONS_FLOOR_G",
+    "FleetJob",
+    "FleetPlacement",
+    "FleetSchedule",
+    "FleetSpec",
     "Job",
+    "Machine",
+    "POLICY_IDS",
+    "POLICY_NAMES",
     "Placement",
+    "PolicyPoint",
+    "PolicySweepResult",
+    "SCHEDULE_SERIES",
+    "SCHEDULING_POLICIES",
     "Schedule",
+    "ScheduleBatch",
+    "ScheduleBatchResult",
+    "ScheduleScenario",
+    "ScheduleSweepSpec",
+    "SchedulingPolicy",
+    "THROTTLE_LADDER_STEPS",
+    "build_schedule_batch",
+    "evaluate_schedule_batch",
+    "evaluate_schedule_cached",
+    "from_simulator_job",
+    "get_policy",
     "nightly_batch_workload",
+    "run_policy_sweep",
+    "schedule_batch_key",
     "schedule_carbon_aware",
     "schedule_fifo",
     "scheduling_benefit",
+    "simulate_fleet",
+    "single_machine_fleet",
+    "summarize_sweep",
+    "verify_schedule_batch",
 ]

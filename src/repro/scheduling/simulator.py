@@ -172,14 +172,30 @@ def schedule_carbon_aware(
     return Schedule(policy="carbon_aware", placements=ordered)
 
 
+#: Denominator floor (grams) for :func:`scheduling_benefit`.  When the
+#: carbon-aware schedule lands entirely in zero-CI hours the true ratio is
+#: unbounded; clamping the denominator keeps the reported benefit finite so
+#: it can enter numpy columns without poisoning means and Pareto masks
+#: downstream.
+EMISSIONS_FLOOR_G = 1e-9
+
+
 def scheduling_benefit(
     jobs: tuple[Job, ...], trace: CarbonIntensityTrace
 ) -> float:
-    """Emission ratio FIFO / carbon-aware for one job set (>= ~1)."""
+    """Emission ratio FIFO / carbon-aware for one job set (>= ~1).
+
+    A zero-emission carbon-aware schedule is rated against
+    :data:`EMISSIONS_FLOOR_G` instead of returning ``inf``: the result is
+    a finite (if huge) ratio that stays usable in aggregate statistics.
+    Both schedules zero-emission means no opportunity, reported as 1.0.
+    """
     fifo = schedule_fifo(jobs, trace)
     aware = schedule_carbon_aware(jobs, trace)
-    if aware.total_emissions_g == 0:
-        return 1.0 if fifo.total_emissions_g == 0 else float("inf")
+    if aware.total_emissions_g <= EMISSIONS_FLOOR_G:
+        if fifo.total_emissions_g <= EMISSIONS_FLOOR_G:
+            return 1.0
+        return fifo.total_emissions_g / EMISSIONS_FLOOR_G
     return fifo.total_emissions_g / aware.total_emissions_g
 
 

@@ -446,3 +446,73 @@ class TestMonteCarloCacheStats:
         )
         assert code == 0
         assert any(l.startswith("cache:") for l in out.splitlines())
+
+
+class TestSchedule:
+    def test_sweep_prints_policy_table_and_pareto(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "schedule", "--windows", "40", "--seed", "11",
+        )
+        assert code == 0
+        assert "Carbon-aware scheduling sweep" in out
+        for name in ("fifo", "edf", "carbon_waiting", "carbon_lowest"):
+            assert name in out
+        assert "Pareto front (emissions vs waiting):" in out
+        assert "emissions vs fifo" in out
+
+    def test_single_policy_on_flat_grid(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "schedule", "--windows", "20",
+            "--policy", "carbon_lowest", "--grid", "flat",
+        )
+        assert code == 0
+        assert "carbon_lowest" in out
+        assert "fifo" not in out.split("Pareto front")[1]
+
+    def test_unknown_policy_is_one_line_error(self, capsys):
+        code, _, err = run_cli(
+            capsys, "schedule", "--windows", "5", "--policy", "greedy",
+        )
+        assert code == 2
+        assert "greedy" in err
+
+    def test_workers_match_serial_output(self, capsys):
+        _, serial, _ = run_cli(
+            capsys, "schedule", "--windows", "30", "--seed", "4",
+        )
+        code, parallel, _ = run_cli(
+            capsys, "schedule", "--windows", "30", "--seed", "4",
+            "--workers", "2", "--shard-rows", "32", "--verify-sample", "4",
+        )
+        assert code == 0
+        table = lambda text: [  # noqa: E731
+            line for line in text.splitlines() if line.startswith("|")
+        ]
+        assert table(parallel) == table(serial)
+
+    def test_interrupted_run_exits_3_with_resume_hint(self, capsys, tmp_path):
+        path = tmp_path / "schedule.npz"
+        code, _, err = run_cli(
+            capsys, "schedule", "--windows", "400", "--chunk-rows", "64",
+            "--checkpoint", str(path), "--max-seconds", "0",
+        )
+        assert code == 3
+        assert "--resume" in err
+        assert path.exists()
+
+    def test_resume_completes_with_same_output(self, capsys, tmp_path):
+        path = tmp_path / "schedule.npz"
+        run_cli(
+            capsys, "schedule", "--windows", "200", "--chunk-rows", "128",
+            "--checkpoint", str(path), "--max-seconds", "0",
+        )
+        code, resumed, _ = run_cli(
+            capsys, "schedule", "--windows", "200", "--chunk-rows", "128",
+            "--checkpoint", str(path), "--resume",
+        )
+        assert code == 0
+        _, uninterrupted, _ = run_cli(capsys, "schedule", "--windows", "200")
+        table = lambda text: [  # noqa: E731
+            line for line in text.splitlines() if line.startswith("|")
+        ]
+        assert table(resumed) == table(uninterrupted)

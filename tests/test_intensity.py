@@ -44,6 +44,15 @@ class TestTrace:
         with pytest.raises(ParameterError):
             CarbonIntensityTrace("t", (100.0, -1.0))
 
+    def test_negative_hour_rejected(self):
+        # Regression: Python's modulo used to wrap hour -1 silently onto
+        # the end of the period instead of flagging the caller bug.
+        trace = CarbonIntensityTrace("t", (100.0, 200.0, 300.0))
+        with pytest.raises(ParameterError, match="negative"):
+            trace.at_hour(-1)
+        with pytest.raises(ParameterError, match="negative"):
+            trace.at_hour(-24)
+
 
 class TestProfiles:
     def test_constant_trace_is_flat(self):

@@ -1,10 +1,18 @@
-"""Property-based tests for the scheduling simulator."""
+"""Property-based tests for the scheduling simulator and fleet policies."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.errors import ConstraintError
 from repro.core.intensity import CarbonIntensityTrace
+from repro.scheduling.fleet import (
+    FleetJob,
+    FleetSpec,
+    Machine,
+    single_machine_fleet,
+)
+from repro.scheduling.policies import POLICY_NAMES, simulate_fleet
 from repro.scheduling.simulator import (
     Job,
     schedule_carbon_aware,
@@ -82,3 +90,141 @@ class TestSchedulerProperties:
         assert fifo.placements[0].start_hour == 0
         assert aware.placements[0].start_hour == 0
         assert fifo.total_emissions_g == aware.total_emissions_g
+
+
+# Fleet jobs with generous slack (48h windows on 8h-staggered arrivals):
+# on a capacity-2 fleet every policy stays feasible, so the properties
+# exercise placement quality and accounting rather than admission.
+fleet_job_sets = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=5),  # duration seed
+        st.booleans(),                          # fractional final hour
+        st.booleans(),                          # preemptible
+    ),
+    min_size=1,
+    max_size=5,
+).map(
+    lambda rows: tuple(
+        FleetJob(
+            name=f"f{i}",
+            arrival_hour=i * 8,
+            duration_hours=1 + seed % 3 + (0.5 if fractional else 0.0),
+            energy_kwh=1.0 + seed,
+            deadline_hour=i * 8 + 48,
+            preemptible=preemptible,
+            suspend_resume_overhead_kwh=0.25 if preemptible else 0.0,
+        )
+        for i, (seed, fractional, preemptible) in enumerate(rows)
+    )
+)
+
+# Disjoint 8h windows: jobs cannot interact through capacity, so the
+# cheapest-placement policy is per-job optimal and provably <= FIFO.
+disjoint_job_sets = st.lists(
+    st.integers(min_value=0, max_value=5),
+    min_size=1,
+    max_size=5,
+).map(
+    lambda seeds: tuple(
+        FleetJob(
+            name=f"d{i}",
+            arrival_hour=i * 8,
+            duration_hours=1 + seed % 3,
+            energy_kwh=1.0 + seed,
+            deadline_hour=i * 8 + 8,
+        )
+        for i, seed in enumerate(seeds)
+    )
+)
+
+
+class TestFleetPolicyProperties:
+    @given(
+        jobs=fleet_job_sets,
+        trace=traces,
+        policy=st.sampled_from(POLICY_NAMES),
+    )
+    @settings(max_examples=40)
+    def test_capacity_never_exceeded(self, jobs, trace, policy):
+        fleet = FleetSpec((Machine("m0", capacity=2),))
+        schedule = simulate_fleet(jobs, fleet, trace, policy)
+        occupancy: dict[int, int] = {}
+        for placement in schedule.placements:
+            for hour in placement.hours:
+                occupancy[hour] = occupancy.get(hour, 0) + 1
+        assert all(
+            count <= fleet.capacity for count in occupancy.values()
+        )
+
+    @given(
+        jobs=fleet_job_sets,
+        trace=traces,
+        policy=st.sampled_from(POLICY_NAMES),
+    )
+    @settings(max_examples=40)
+    def test_placements_respect_arrival_and_deadline(
+        self, jobs, trace, policy
+    ):
+        fleet = FleetSpec((Machine("m0", capacity=2),))
+        schedule = simulate_fleet(jobs, fleet, trace, policy)
+        assert len(schedule.placements) == len(jobs)
+        for placement in schedule.placements:
+            job = placement.job
+            assert len(placement.hours) == job.slots
+            assert list(placement.hours) == sorted(set(placement.hours))
+            assert all(
+                job.arrival_hour <= hour < job.deadline_hour
+                for hour in placement.hours
+            )
+            if not job.preemptible:
+                assert placement.hours == tuple(
+                    range(placement.start_hour, placement.start_hour + job.slots)
+                )
+            assert placement.waiting_hours >= -1e-9
+
+    @given(jobs=disjoint_job_sets, trace=traces)
+    @settings(max_examples=40)
+    def test_carbon_lowest_never_worse_than_fifo(self, jobs, trace):
+        fleet = single_machine_fleet()
+        fifo = simulate_fleet(jobs, fleet, trace, "fifo")
+        lowest = simulate_fleet(jobs, fleet, trace, "carbon_lowest")
+        assert (
+            lowest.total_emissions_g <= fifo.total_emissions_g + 1e-6
+        )
+
+    @given(jobs=fleet_job_sets, trace=traces)
+    @settings(max_examples=40)
+    def test_preempted_jobs_conserve_energy_and_overhead(self, jobs, trace):
+        fleet = FleetSpec((Machine("m0", capacity=2, active_power_w=50.0),))
+        schedule = simulate_fleet(jobs, fleet, trace, "carbon_lowest")
+        for placement in schedule.placements:
+            job = placement.job
+            gaps = sum(
+                1
+                for a, b in zip(placement.hours, placement.hours[1:])
+                if b > a + 1
+            )
+            assert placement.preemptions == gaps
+            if not job.preemptible:
+                assert gaps == 0
+            assert placement.energy_kwh == pytest.approx(
+                job.energy_kwh
+                + gaps * job.suspend_resume_overhead_kwh
+                + placement.active_energy_kwh
+            )
+            # Emissions are recomputable chronologically from the hours.
+            weight = job.energy_per_full_hour_kwh + fleet.active_power_w / 1000.0
+            expected = 0.0
+            previous = None
+            for index, hour in enumerate(placement.hours):
+                ci = trace.at_hour(hour)
+                if previous is not None and hour > previous + 1:
+                    expected += job.suspend_resume_overhead_kwh * ci
+                fraction = (
+                    job.final_slot_fraction
+                    if index == len(placement.hours) - 1
+                    else 1.0
+                )
+                expected += (weight * fraction) * ci
+                previous = hour
+            assert placement.emissions_g == pytest.approx(expected)

@@ -2,13 +2,31 @@
 
 import pytest
 
-from repro.core.errors import ConstraintError, ParameterError
+from repro.core.dvfs import DvfsModel
+from repro.core.errors import (
+    ConstraintError,
+    ParameterError,
+    UnknownEntryError,
+)
 from repro.core.intensity import (
     CarbonIntensityTrace,
     constant_trace,
     solar_diurnal_trace,
 )
+from repro.scheduling.fleet import (
+    FleetJob,
+    FleetSpec,
+    Machine,
+    from_simulator_job,
+    single_machine_fleet,
+)
+from repro.scheduling.policies import (
+    POLICY_NAMES,
+    get_policy,
+    simulate_fleet,
+)
 from repro.scheduling.simulator import (
+    EMISSIONS_FLOOR_G,
     Job,
     nightly_batch_workload,
     schedule_carbon_aware,
@@ -134,3 +152,262 @@ class TestWorkloadFactory:
     def test_all_jobs_have_slack(self):
         for job in nightly_batch_workload(5):
             assert job.latest_start > job.arrival_hour
+
+
+class TestSchedulingBenefitFloor:
+    def test_zero_ci_aware_schedule_stays_finite(self):
+        # Regression: a carbon-aware schedule landing wholly in zero-CI
+        # hours used to return inf, poisoning downstream means.
+        import math
+
+        trace = CarbonIntensityTrace("t", (400.0, 0.0))
+        jobs = (Job("j", 0, 1, 2.0, 10),)
+        benefit = scheduling_benefit(jobs, trace)
+        assert math.isfinite(benefit)
+        assert benefit == pytest.approx(800.0 / EMISSIONS_FLOOR_G)
+
+    def test_fully_green_grid_reports_no_opportunity(self):
+        trace = CarbonIntensityTrace("t", (0.0,))
+        jobs = (Job("j", 0, 1, 2.0, 10),)
+        assert scheduling_benefit(jobs, trace) == pytest.approx(1.0)
+
+
+class TestMachine:
+    def test_uncapped_machine_does_not_throttle(self):
+        assert Machine("m").throttle() == (1.0, 1.0)
+
+    def test_power_cap_without_dvfs_rejected(self):
+        with pytest.raises(ParameterError, match="DvfsModel"):
+            Machine("m", power_cap_w=2.0)
+
+    def test_cap_below_min_frequency_power_rejected(self):
+        with pytest.raises(ParameterError, match="below"):
+            Machine("m", dvfs=DvfsModel(), power_cap_w=0.01)
+
+    def test_cap_above_max_power_is_noop(self):
+        dvfs = DvfsModel()
+        cap = dvfs.power_w(dvfs.f_max_ghz) + 1.0
+        assert Machine("m", dvfs=dvfs, power_cap_w=cap).throttle() == (1.0, 1.0)
+
+    def test_throttle_trades_time_for_energy(self):
+        dvfs = DvfsModel()
+        slowdown, energy_factor = Machine(
+            "m", dvfs=dvfs, power_cap_w=2.0
+        ).throttle()
+        assert slowdown > 1.0
+        assert energy_factor < 1.0
+        # The chosen operating point really fits under the cap.
+        assert dvfs.power_w(dvfs.f_max_ghz / slowdown) <= 2.0 + 1e-9
+
+    def test_fractional_capacity_rejected(self):
+        with pytest.raises(ParameterError, match="whole number"):
+            Machine("m", capacity=1.5)
+
+
+class TestFleetSpec:
+    def test_capacity_sums_over_machines(self):
+        fleet = FleetSpec((Machine("a", capacity=2), Machine("b", capacity=3)))
+        assert fleet.capacity == 5
+
+    def test_idle_power_sums_over_machines(self):
+        fleet = FleetSpec(
+            (Machine("a", idle_power_w=5.0), Machine("b", idle_power_w=5.0))
+        )
+        assert fleet.idle_power_w == pytest.approx(10.0)
+
+    def test_heterogeneous_power_profiles_rejected(self):
+        with pytest.raises(ConstraintError, match="homogeneous"):
+            FleetSpec(
+                (Machine("a", idle_power_w=5.0), Machine("b", idle_power_w=9.0))
+            )
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ParameterError):
+            FleetSpec(())
+
+    def test_effective_duration_and_energy_apply_cap(self):
+        dvfs = DvfsModel()
+        fleet = FleetSpec((Machine("m", dvfs=dvfs, power_cap_w=2.0),))
+        slowdown, factor = fleet.machines[0].throttle()
+        assert fleet.effective_duration(4.0) == pytest.approx(4.0 * slowdown)
+        assert fleet.effective_energy(3.0) == pytest.approx(3.0 * factor)
+
+    def test_single_machine_fleet_is_degenerate(self):
+        fleet = single_machine_fleet()
+        assert fleet.capacity == 1
+        assert fleet.idle_power_w == 0.0
+        assert fleet.active_power_w == 0.0
+        assert fleet.slowdown == 1.0
+
+
+class TestFleetJob:
+    def test_fractional_duration_slots(self):
+        job = FleetJob("j", 0, 2.5, 5.0, 10)
+        assert job.slots == 3
+        assert job.final_slot_fraction == pytest.approx(0.5)
+        assert job.energy_per_full_hour_kwh == pytest.approx(2.0)
+
+    def test_deadline_accounts_for_ceil(self):
+        with pytest.raises(ParameterError, match="deadline"):
+            FleetJob("j", 0, 2.5, 1.0, 2)
+
+    def test_from_simulator_job_round_trip(self):
+        lifted = from_simulator_job(Job("j", 2, 3, 6.0, 12))
+        assert lifted.slots == 3
+        assert lifted.final_slot_fraction == 1.0
+        assert not lifted.preemptible
+        assert lifted.suspend_resume_overhead_kwh == 0.0
+
+
+class TestSimulateFleet:
+    def test_fifo_matches_pinned_simulator(self, solar):
+        jobs = nightly_batch_workload(4)
+        pinned = schedule_fifo(jobs, solar)
+        fleet = simulate_fleet(
+            tuple(from_simulator_job(j) for j in jobs),
+            single_machine_fleet(),
+            solar,
+            "fifo",
+        )
+        for placement in pinned.placements:
+            assert (
+                fleet.placement_for(placement.job.name).start_hour
+                == placement.start_hour
+            )
+        assert fleet.total_emissions_g == pytest.approx(
+            pinned.total_emissions_g
+        )
+
+    def test_carbon_lowest_matches_pinned_carbon_aware(self, solar):
+        jobs = nightly_batch_workload(4)
+        pinned = schedule_carbon_aware(jobs, solar)
+        fleet = simulate_fleet(
+            tuple(from_simulator_job(j) for j in jobs),
+            single_machine_fleet(),
+            solar,
+            "carbon_lowest",
+        )
+        assert fleet.total_emissions_g == pytest.approx(
+            pinned.total_emissions_g
+        )
+
+    def test_unknown_policy_rejected(self, solar):
+        with pytest.raises(UnknownEntryError):
+            simulate_fleet((), single_machine_fleet(), solar, "greedy")
+
+    def test_get_policy_unknown_name(self):
+        with pytest.raises(UnknownEntryError):
+            get_policy("nope")
+
+    def test_policy_registry_is_callable(self, solar):
+        jobs = (FleetJob("j", 0, 1.0, 1.0, 4),)
+        schedule = get_policy("fifo")(jobs, single_machine_fleet(), solar)
+        assert schedule.policy == "fifo"
+        assert schedule.placements[0].start_hour == 0
+
+    def test_every_policy_name_is_registered(self):
+        for name in POLICY_NAMES:
+            assert get_policy(name).name == name
+
+    def test_capacity_allows_parallel_jobs(self, solar):
+        fleet = FleetSpec((Machine("m", capacity=2),))
+        jobs = (
+            FleetJob("a", 0, 2.0, 1.0, 2),
+            FleetJob("b", 0, 2.0, 1.0, 2),
+        )
+        schedule = simulate_fleet(jobs, fleet, solar, "fifo")
+        assert {p.start_hour for p in schedule.placements} == {0}
+
+    def test_over_capacity_infeasible_raises(self, solar):
+        jobs = (
+            FleetJob("a", 0, 2.0, 1.0, 2),
+            FleetJob("b", 0, 2.0, 1.0, 2),
+        )
+        with pytest.raises(ConstraintError):
+            simulate_fleet(jobs, single_machine_fleet(), solar, "fifo")
+
+    def test_deadline_beyond_horizon_rejected(self, solar):
+        jobs = (FleetJob("j", 0, 1.0, 1.0, 10),)
+        with pytest.raises(ParameterError, match="horizon"):
+            simulate_fleet(
+                jobs, single_machine_fleet(), solar, "fifo", horizon_hours=5
+            )
+
+    def test_edf_rescues_tight_deadline_fifo_would_miss(self):
+        trace = constant_trace(100.0)
+        jobs = (
+            FleetJob("late", 0, 1.0, 1.0, 10),
+            FleetJob("tight", 0, 1.0, 1.0, 1),
+        )
+        schedule = simulate_fleet(jobs, single_machine_fleet(), trace, "edf")
+        assert schedule.placement_for("tight").start_hour == 0
+        assert schedule.placement_for("late").start_hour == 1
+        with pytest.raises(ConstraintError):
+            simulate_fleet(jobs, single_machine_fleet(), trace, "fifo")
+
+    def test_carbon_waiting_defers_to_green_hour(self):
+        trace = CarbonIntensityTrace("t", (400.0, 400.0, 100.0, 400.0))
+        jobs = (FleetJob("j", 0, 1.0, 1.0, 4),)
+        schedule = simulate_fleet(
+            jobs,
+            single_machine_fleet(),
+            trace,
+            "carbon_waiting",
+            threshold_quantile=0.25,
+        )
+        assert schedule.placements[0].start_hour == 2
+        assert schedule.placements[0].waiting_hours == pytest.approx(2.0)
+
+    def test_carbon_waiting_without_green_hour_takes_latest_start(self):
+        trace = CarbonIntensityTrace("t", (100.0, 400.0, 400.0, 400.0))
+        jobs = (FleetJob("j", 1, 1.0, 1.0, 4),)
+        schedule = simulate_fleet(
+            jobs,
+            single_machine_fleet(),
+            trace,
+            "carbon_waiting",
+            threshold_quantile=0.25,
+        )
+        assert schedule.placements[0].start_hour == 3
+
+    def test_preemptible_job_splits_across_green_hours(self):
+        trace = CarbonIntensityTrace("t", (100.0, 900.0, 100.0, 900.0))
+        jobs = (
+            FleetJob(
+                "j", 0, 2.0, 2.0, 4,
+                preemptible=True,
+                suspend_resume_overhead_kwh=0.5,
+            ),
+        )
+        schedule = simulate_fleet(
+            jobs, single_machine_fleet(), trace, "carbon_lowest"
+        )
+        placement = schedule.placements[0]
+        assert placement.hours == (0, 2)
+        assert placement.preemptions == 1
+        # 1 kWh at hours 0 and 2, plus the 0.5 kWh resume priced at hour 2.
+        assert placement.emissions_g == pytest.approx(100.0 + 50.0 + 100.0)
+        assert placement.energy_kwh == pytest.approx(2.5)
+        assert placement.waiting_hours == pytest.approx(1.0)
+
+    def test_idle_and_active_power_are_charged(self):
+        trace = CarbonIntensityTrace("t", (100.0, 200.0))
+        fleet = FleetSpec(
+            (Machine("m", idle_power_w=1000.0, active_power_w=500.0),)
+        )
+        jobs = (FleetJob("j", 0, 1.0, 1.0, 2),)
+        schedule = simulate_fleet(jobs, fleet, trace, "fifo")
+        assert schedule.idle_emissions_g == pytest.approx(300.0)
+        assert schedule.idle_energy_kwh == pytest.approx(2.0)
+        placement = schedule.placements[0]
+        assert placement.emissions_g == pytest.approx(150.0)
+        assert placement.active_energy_kwh == pytest.approx(0.5)
+        assert schedule.total_emissions_g == pytest.approx(450.0)
+        assert schedule.total_energy_kwh == pytest.approx(3.5)
+
+    def test_job_starting_on_arrival_waits_zero(self, solar):
+        jobs = (FleetJob("j", 3, 2.0, 1.0, 30),)
+        schedule = simulate_fleet(jobs, single_machine_fleet(), solar, "fifo")
+        assert schedule.placements[0].waiting_hours == pytest.approx(0.0)
+        assert schedule.mean_waiting_hours == 0.0
+        assert schedule.max_waiting_hours == 0.0

@@ -36,6 +36,7 @@ GUARDED_SERIES: tuple[tuple[str, str, bool], ...] = (
     ("monte_carlo", "batched_points_per_sec", True),
     ("grid_sweep", "batched_points_per_sec", True),
     ("parallel", "best_draws_per_sec", False),
+    ("scheduling", "vectorized_points_per_sec", False),
 )
 
 #: Guarded series for ``benchmark: service`` payloads.  All optional
