@@ -105,8 +105,13 @@ def test_perf_engine():
         ),
         repeats=2,
     )
+    # planner="off" pins this series to the dense batched path it has
+    # always measured; the planned path has its own section and gates
+    # (test_perf_planner), so the historical speedup keeps its meaning.
     batched_sweep = _best_seconds(
-        lambda: sweep_grid_batched(base, SWEEP_GRIDS, cache=EvaluationCache()),
+        lambda: sweep_grid_batched(
+            base, SWEEP_GRIDS, cache=EvaluationCache(), planner="off"
+        ),
         repeats=5,
     )
 
@@ -211,7 +216,13 @@ def test_perf_engine():
             existing = json.loads(OUTPUT_PATH.read_text())
         except (OSError, json.JSONDecodeError):
             existing = {}
-    for section in ("parallel", "supervision", "backends", "scheduling"):
+    for section in (
+        "parallel",
+        "supervision",
+        "backends",
+        "scheduling",
+        "planner",
+    ):
         if section in existing:
             payload[section] = existing[section]
     OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -632,3 +643,210 @@ def test_perf_supervision():
         f"supervised serial path costs {serial_overhead:.1%} over "
         "fail_fast on a healthy run (budget: 2%)"
     )
+
+
+#: Separable 4-axis grid for the planner section: 10^4 = 10,000 points,
+#: every axis swept with real fan-out, all values inside Table 1 ranges.
+PLANNER_SEPARABLE_GRIDS = {
+    "energy_kwh": tuple(2.0 + 0.6 * k for k in range(10)),
+    "ci_use_g_per_kwh": tuple(50.0 + 60.0 * k for k in range(10)),
+    "ci_fab_g_per_kwh": tuple(100.0 + 58.0 * k for k in range(10)),
+    "dram_gb": tuple(4.0 + 1.2 * k for k in range(10)),
+}
+#: Mixed-fan-out 3-axis grid (40 x 30 x 5 = 6,000 points): one long
+#: axis, one medium, one short — the shape where factoring helps less.
+PLANNER_MIXED_GRIDS = {
+    "energy_kwh": tuple(2.0 + 0.15 * k for k in range(40)),
+    "ci_use_g_per_kwh": tuple(50.0 + 20.0 * k for k in range(30)),
+    "dram_gb": tuple(4.0 + 2.4 * k for k in range(5)),
+}
+#: Optimizer-loop length for the incremental-DSE comparison.
+PLANNER_DSE_ITERATIONS = 60
+PLANNER_DSE_CANDIDATES = 256
+
+
+def test_perf_planner():
+    """Structure-aware sweep planner vs the dense batched path.
+
+    Times :func:`sweep_grid_batched` with ``planner="on"`` against
+    ``planner="off"`` on a separable 4-axis 10k-point grid and a
+    mixed-fan-out grid (fresh caches per call, best-of-N), asserts the
+    planned result is bit-identical to the dense one, and benchmarks an
+    incremental :class:`~repro.dse.optimizer.ExplorationSession` against
+    per-iteration ``explore_batched`` over a 60-iteration local-search
+    trajectory with identical results required at every step.  Merges a
+    ``planner`` section into ``BENCH_engine.json``; the speedup gates
+    (>= 5x separable, >= 2x mixed) only apply when ``gated`` is true —
+    the grids are large enough for the planner's fixed costs to
+    amortize (both well past the ``auto`` threshold).
+    """
+    import numpy as np
+
+    from repro.dse.optimizer import DesignPoint, ExplorationSession, explore_batched
+    from repro.engine.plan import AUTO_MIN_ROWS, SERIES_NAMES
+
+    base = ActScenario()
+    cores = _available_cores()
+
+    def _points(grids) -> int:
+        total = 1
+        for values in grids.values():
+            total *= len(values)
+        return total
+
+    separable_points = _points(PLANNER_SEPARABLE_GRIDS)
+    mixed_points = _points(PLANNER_MIXED_GRIDS)
+
+    # Bit-identity first: the speedup below is only meaningful because
+    # the planned series are the dense series, exactly.
+    for grids in (PLANNER_SEPARABLE_GRIDS, PLANNER_MIXED_GRIDS):
+        planned = sweep_grid_batched(
+            base, grids, cache=EvaluationCache(), planner="on"
+        )
+        dense = sweep_grid_batched(
+            base, grids, cache=EvaluationCache(), planner="off"
+        )
+        for name in SERIES_NAMES:
+            np.testing.assert_array_equal(
+                getattr(planned.result, name), getattr(dense.result, name)
+            )
+
+    def _sweep_seconds(grids, mode: str) -> float:
+        return _best_seconds(
+            lambda: sweep_grid_batched(
+                base, grids, cache=EvaluationCache(), planner=mode
+            ),
+            repeats=9,
+        )
+
+    # Interleave planned/dense so clock drift hits both equally.
+    separable = {"on": float("inf"), "off": float("inf")}
+    mixed = {"on": float("inf"), "off": float("inf")}
+    for _ in range(3):
+        for mode in ("on", "off"):
+            separable[mode] = min(
+                separable[mode], _sweep_seconds(PLANNER_SEPARABLE_GRIDS, mode)
+            )
+            mixed[mode] = min(
+                mixed[mode], _sweep_seconds(PLANNER_MIXED_GRIDS, mode)
+            )
+    separable_speedup = separable["off"] / separable["on"]
+    mixed_speedup = mixed["off"] / mixed["on"]
+
+    # Incremental DSE: a local-search loop perturbing a few delays per
+    # iteration.  The session and the full re-evaluation must agree at
+    # every step; the speedup comes from per-metric and Pareto reuse.
+    rng = np.random.default_rng(2022)
+    n = PLANNER_DSE_CANDIDATES
+    carbon = rng.uniform(10.0, 100.0, n)
+    energy = rng.uniform(1.0, 9.0, n)
+    delays = [rng.uniform(0.1, 2.0, n)]
+    for _ in range(PLANNER_DSE_ITERATIONS - 1):
+        moved = rng.integers(0, n, 4)
+        step = delays[-1].copy()
+        step[moved] *= 1.0 + rng.uniform(-0.05, 0.05, moved.size)
+        delays.append(step)
+    areas = rng.uniform(50.0, 500.0, n)
+
+    def _candidates(delay: np.ndarray) -> list[DesignPoint]:
+        return [
+            DesignPoint(
+                name=f"cand{i}",
+                embodied_carbon_g=float(carbon[i]),
+                energy_kwh=float(energy[i]),
+                delay_s=float(delay[i]),
+                area_mm2=float(areas[i]),
+            )
+            for i in range(n)
+        ]
+
+    trajectories = [_candidates(delay) for delay in delays]
+    session_check = ExplorationSession()  # identity over the trajectory
+    for iteration, points in enumerate(trajectories):
+        full = explore_batched(points)
+        incremental = session_check.explore(points)
+        assert incremental.scores == full.scores, iteration
+        assert incremental.winners == full.winners, iteration
+        assert incremental.pareto == full.pareto, iteration
+
+    def _full_loop() -> None:
+        for points in trajectories:
+            explore_batched(points)
+
+    def _session_loop() -> None:
+        session = ExplorationSession()
+        for points in trajectories:
+            session.explore(points)
+
+    full_seconds = session_seconds = float("inf")
+    for _ in range(3):
+        full_seconds = min(full_seconds, _best_seconds(_full_loop, repeats=1))
+        session_seconds = min(
+            session_seconds, _best_seconds(_session_loop, repeats=1)
+        )
+    incremental_speedup = full_seconds / session_seconds
+
+    # "gated" records whether the speedup assertions below actually ran:
+    # the planner is a serial optimization (no core requirement), so the
+    # only way a host under-delivers is a grid too small for the fixed
+    # costs to amortize.
+    gated = separable_points >= AUTO_MIN_ROWS and mixed_points >= AUTO_MIN_ROWS
+    section = {
+        "repeats": 9,
+        "rounds": 3,
+        "cpu_count": cores,
+        "gated": gated,
+        "separable": {
+            "points": separable_points,
+            "axes": len(PLANNER_SEPARABLE_GRIDS),
+            "dense_seconds": separable["off"],
+            "planned_seconds": separable["on"],
+            "dense_points_per_sec": separable_points / separable["off"],
+            "planned_points_per_sec": separable_points / separable["on"],
+            "speedup": separable_speedup,
+        },
+        "mixed": {
+            "points": mixed_points,
+            "axes": len(PLANNER_MIXED_GRIDS),
+            "dense_seconds": mixed["off"],
+            "planned_seconds": mixed["on"],
+            "dense_points_per_sec": mixed_points / mixed["off"],
+            "planned_points_per_sec": mixed_points / mixed["on"],
+            "speedup": mixed_speedup,
+        },
+        "incremental_dse": {
+            "iterations": PLANNER_DSE_ITERATIONS,
+            "candidates": PLANNER_DSE_CANDIDATES,
+            "full_seconds": full_seconds,
+            "session_seconds": session_seconds,
+            "speedup": incremental_speedup,
+        },
+    }
+
+    payload = {}
+    if OUTPUT_PATH.exists():
+        try:
+            payload = json.loads(OUTPUT_PATH.read_text())
+        except (OSError, json.JSONDecodeError):
+            payload = {}
+    payload.setdefault("benchmark", "engine")
+    payload["planner"] = section
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(json.dumps({"planner": section}, indent=2))
+    print(
+        f"summary: separable {separable_speedup:.1f}x "
+        f"({separable_points:,} pts), mixed {mixed_speedup:.1f}x "
+        f"({mixed_points:,} pts), incremental DSE "
+        f"{incremental_speedup:.1f}x over {PLANNER_DSE_ITERATIONS} iters"
+    )
+
+    if gated:
+        assert separable_speedup >= 5.0, (
+            f"planned sweep only {separable_speedup:.1f}x the dense path "
+            f"on the separable {separable_points:,}-point grid (gate: 5x)"
+        )
+        assert mixed_speedup >= 2.0, (
+            f"planned sweep only {mixed_speedup:.1f}x the dense path on "
+            f"the mixed {mixed_points:,}-point grid (gate: 2x)"
+        )

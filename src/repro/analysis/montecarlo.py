@@ -288,6 +288,7 @@ def run_monte_carlo(
     cache: EvaluationCache | None = None,
     guard: "GuardedEngine | None" = None,
     policy: "object | int | None" = None,
+    dedup: bool = False,
 ) -> MonteCarloResult:
     """Propagate parameter uncertainty through the ACT model.
 
@@ -317,6 +318,12 @@ def run_monte_carlo(
             at every worker count but differ from the legacy single-stream
             path — with no policy anywhere, behavior is exactly as before.
             Ignored (like ``guard``) on the custom-``response`` path.
+        dedup: Collapse duplicate draws before kernel dispatch
+            (:func:`repro.engine.plan.evaluate_batch_deduped`).  Draws
+            over continuous ranges are almost surely distinct, but
+            discrete or ranges-overridden axes can repeat heavily; the
+            gather–scatter preserves draw order, so results are
+            bit-identical either way.  Serial unguarded path only.
     """
     from repro.parallel.policy import resolve_policy
 
@@ -372,7 +379,12 @@ def run_monte_carlo(
             ranges=ranges,
         )
         if response is None:
-            result = evaluate_cached(batch, cache)
+            if dedup:
+                from repro.engine.plan import evaluate_batch_deduped
+
+                result = evaluate_batch_deduped(batch, cache)
+            else:
+                result = evaluate_cached(batch, cache)
             samples = np.array(result.total_g, copy=True)
             return MonteCarloResult(
                 samples=samples, base_response=base.total_g()

@@ -123,6 +123,16 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
         "float32 = reduced precision, numba = JIT loop when installed; "
         "default: the ACT_REPRO_BACKEND env var, else reference)",
     )
+    parser.add_argument(
+        "--planner",
+        choices=("auto", "on", "off"),
+        default=None,
+        help="structure-aware sweep planner: factor Eq. 1-8 into "
+        "per-axis partial terms and combine marginal grids by broadcast "
+        "instead of evaluating every Cartesian row (bit-identical "
+        "results; auto = engage on grids of 512+ rows, off = always the "
+        "dense path; default: the ACT_REPRO_PLANNER env var, else auto)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -649,6 +659,7 @@ def _workers_policy(
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.engine.backends import use_backend
+    from repro.engine.plan import use_planner
     from repro.parallel import use_execution_policy
 
     key = args.id.strip().lower()
@@ -659,9 +670,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         args.failure_policy,
         args.max_retries,
     )
-    # use_backend(None) re-installs the current process-wide selection, so
-    # invocations without --backend are exactly the historical behavior.
-    with use_backend(args.backend), use_execution_policy(policy):
+    # use_backend(None) / use_planner(None) re-install the current
+    # process-wide selections, so invocations without --backend or
+    # --planner are exactly the historical behavior.
+    with use_backend(args.backend), use_planner(args.planner), \
+            use_execution_policy(policy):
         results = _run_experiment_set(args.id)
     failures = [c for r in results for c in r.failed_checks()]
     if args.json:
@@ -762,6 +775,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
     from repro.analysis import ActScenario, run_monte_carlo, tornado
     from repro.engine.backends import use_backend
+    from repro.engine.plan import use_planner
 
     base = ActScenario()
     records = tornado(base)[: args.top]
@@ -778,7 +792,7 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
             rows,
         )
     )
-    with use_backend(args.backend):
+    with use_backend(args.backend), use_planner(args.planner):
         result = run_monte_carlo(
             base,
             draws=args.draws,
@@ -803,6 +817,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
 
     from repro.analysis import ActScenario, run_monte_carlo
     from repro.engine.backends import use_backend
+    from repro.engine.plan import use_planner
 
     try:
         percentiles = [
@@ -853,7 +868,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
             if args.max_seconds is not None
             else None
         )
-        with use_backend(args.backend):
+        with use_backend(args.backend), use_planner(args.planner):
             result = run_monte_carlo_chunked(
                 base,
                 draws=args.draws,
@@ -868,7 +883,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
                 policy=policy,
             )
     else:
-        with use_backend(args.backend):
+        with use_backend(args.backend), use_planner(args.planner):
             result = run_monte_carlo(
                 base,
                 draws=args.draws,

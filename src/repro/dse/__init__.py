@@ -2,16 +2,24 @@
 
 from repro.dse.optimizer import (
     ExplorationResult,
+    ExplorationSession,
     explore,
     explore_batched,
     metric_disagreement,
 )
-from repro.dse.pareto import dominates, pareto_front, pareto_mask
+from repro.dse.pareto import (
+    dominance_counts,
+    dominates,
+    pareto_front,
+    pareto_mask,
+    update_dominance_counts,
+)
 from repro.dse.qos import Constraint, at_least, at_most, constrained_minimum
 from repro.dse.sweep import (
     BatchSweepResult,
     FrozenParams,
     GuardedSweepResult,
+    PlannedSweepResult,
     SweepRecord,
     argmin,
     feasible,
@@ -24,13 +32,16 @@ __all__ = [
     "BatchSweepResult",
     "Constraint",
     "ExplorationResult",
+    "ExplorationSession",
     "FrozenParams",
     "GuardedSweepResult",
+    "PlannedSweepResult",
     "SweepRecord",
     "argmin",
     "at_least",
     "at_most",
     "constrained_minimum",
+    "dominance_counts",
     "dominates",
     "explore",
     "explore_batched",
@@ -41,4 +52,5 @@ __all__ = [
     "sweep_1d",
     "sweep_grid",
     "sweep_grid_batched",
+    "update_dominance_counts",
 ]

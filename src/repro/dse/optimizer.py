@@ -22,11 +22,19 @@ from repro.core.metrics import (
     score_table,
     winners,
 )
-from repro.dse.pareto import pareto_front, pareto_mask
+from repro.dse.pareto import (
+    dominance_counts,
+    pareto_front,
+    pareto_mask,
+    update_dominance_counts,
+)
 from repro.engine.metrics import (
+    METRIC_INPUTS,
+    canonical_metric,
+    metric_table_entry,
     score_table_batched,
     stack_design_points,
-    winners_batched,
+    winners_from_table,
 )
 from repro.obs.context import current_context
 
@@ -187,14 +195,210 @@ def explore_batched(
                 mask = runner.pareto_mask(objectives)
         else:
             mask = pareto_mask(objectives)
+        # Score once and derive the winners from the same table — the
+        # winners are its per-metric argmins, so scoring twice (as a
+        # separate winners_batched call would) buys nothing.
+        scores = score_table_batched(points, names)
         return ExplorationResult(
             points=tuple(points),
-            scores=score_table_batched(points, names),
-            winners=winners_batched(points, names),
+            scores=scores,
+            winners=winners_from_table(scores),
             pareto=tuple(
                 point for point, keep in zip(points, mask) if keep
             ),
         )
+
+
+#: The three (C, E, D) objective columns the Pareto front is built over.
+_OBJECTIVE_COLUMNS = ("embodied_carbon_g", "energy_kwh", "delay_s")
+
+
+class ExplorationSession:
+    """Incremental :func:`explore_batched` across optimizer iterations.
+
+    Local-search optimizers re-score nearly identical candidate sets
+    every iteration — a move perturbs one objective of a few candidates
+    and leaves everything else untouched.  A session remembers the last
+    iteration's stacked columns, per-metric score-table rows, and Pareto
+    mask, and on the next call recomputes only what its inputs require:
+    a metric row is rebuilt only when one of its
+    :data:`~repro.engine.metrics.METRIC_INPUTS` columns changed, the
+    Pareto mask only when an objective column changed — and when only a
+    few candidates moved, the mask is rebuilt *incrementally*: the
+    session keeps per-row dominator counts
+    (:func:`~repro.dse.pareto.dominance_counts`) and adjusts them from
+    the changed rows in O(k*n) instead of re-deriving the O(n^2)
+    dominance matrix.  Every
+    :class:`ExplorationResult` it returns is identical (same scores,
+    winners, and front) to a fresh ``explore_batched`` call on the same
+    candidates — the equivalence is pinned by tests and benchmarked on
+    ≥50-iteration trajectories.
+
+    Sessions are serial and not thread-safe; use one per optimizer loop.
+
+    Attributes:
+        metrics_computed: Metric table rows rebuilt across all calls.
+        metrics_reused: Metric table rows served from the previous
+            iteration unchanged.
+        pareto_reused: Calls that reused the previous Pareto mask.
+        pareto_incremental: Calls that rebuilt the mask from the changed
+            rows' dominator-count updates instead of a full recount.
+    """
+
+    def __init__(self) -> None:
+        self._point_names: tuple[str, ...] | None = None
+        self._columns: dict[str, np.ndarray | None] | None = None
+        self._area_signature: tuple[float | None, ...] | None = None
+        self._table: dict[str, dict[str, float]] = {}
+        self._mask: np.ndarray | None = None
+        self._objectives: np.ndarray | None = None
+        self._counts: np.ndarray | None = None
+        self.metrics_computed = 0
+        self.metrics_reused = 0
+        self.pareto_reused = 0
+        self.pareto_incremental = 0
+
+    def _changed_columns(
+        self,
+        point_names: tuple[str, ...],
+        columns: Mapping[str, np.ndarray | None],
+        area_signature: tuple[float | None, ...],
+    ) -> set[str]:
+        """Which stacked columns differ from the previous iteration.
+
+        A renamed or reordered candidate set invalidates everything (the
+        table rows key on design names), so it reports all columns
+        changed.  Area is compared through the per-point signature so a
+        flip between ``None`` and a value (which changes EDAP
+        eligibility, not just scores) registers as a change.
+        """
+        if self._columns is None or self._point_names != point_names:
+            return set(METRIC_INPUTS["EDAP"]) | set(_OBJECTIVE_COLUMNS)
+        changed = {
+            name
+            for name in _OBJECTIVE_COLUMNS
+            if not np.array_equal(self._columns[name], columns[name])
+        }
+        if self._area_signature != area_signature:
+            changed.add("area_mm2")
+        return changed
+
+    def explore(
+        self,
+        points: Sequence[DesignPoint],
+        metric_names: Sequence[str] | None = None,
+    ) -> ExplorationResult:
+        """Score a candidate set, reusing unchanged work from last call.
+
+        Same validation, same result as :func:`explore_batched` — an
+        empty set raises :class:`~repro.core.errors.ConstraintError`,
+        non-finite objectives raise
+        :class:`~repro.core.errors.ValidationError`.
+        """
+        if not points:
+            raise ConstraintError("cannot explore an empty candidate set")
+        # Screen the stacked columns vectorized; only a failing screen
+        # pays for the per-candidate loop (which names the offenders in
+        # the exact error explore_batched would raise).
+        columns = stack_design_points(points)
+        area_signature = tuple(point.area_mm2 for point in points)
+        finite = bool(
+            np.isfinite(columns["embodied_carbon_g"]).all()
+            and np.isfinite(columns["energy_kwh"]).all()
+            and np.isfinite(columns["delay_s"]).all()
+        )
+        if finite:
+            area_column = columns["area_mm2"]
+            if area_column is not None:
+                finite = bool(np.isfinite(area_column).all())
+            else:  # mixed None/value areas never stack; check the values
+                finite = not any(
+                    value is not None and not math.isfinite(value)
+                    for value in area_signature
+                )
+        if not finite:
+            _require_finite_points(points)
+        names = (
+            tuple(metric_names) if metric_names is not None else tuple(METRICS)
+        )
+        requested = tuple(canonical_metric(name) for name in names)
+        context = current_context()
+        with context.span(
+            "dse.explore_session",
+            candidates=len(points),
+            metrics=len(requested),
+        ):
+            if context.enabled:
+                context.count("dse.candidates", len(points))
+            point_names = tuple(point.name for point in points)
+            changed = self._changed_columns(
+                point_names, columns, area_signature
+            )
+            table: dict[str, dict[str, float]] = {}
+            design_names = list(point_names)
+            for metric in requested:
+                cached = self._table.get(metric)
+                if cached is not None and not changed.intersection(
+                    METRIC_INPUTS[metric]
+                ):
+                    self.metrics_reused += 1
+                else:
+                    cached = metric_table_entry(
+                        points, columns, design_names, metric
+                    )
+                    self._table[metric] = cached
+                    self.metrics_computed += 1
+                table[metric] = cached
+            if self._mask is not None and not changed.intersection(
+                _OBJECTIVE_COLUMNS
+            ):
+                mask = self._mask
+                self.pareto_reused += 1
+            else:
+                objectives = np.stack(
+                    tuple(columns[name] for name in _OBJECTIVE_COLUMNS),
+                    axis=1,
+                )
+                counts = None
+                if (
+                    self._point_names == point_names
+                    and self._objectives is not None
+                    and self._counts is not None
+                    and self._objectives.shape == objectives.shape
+                ):
+                    # Aligned candidate set: update the dominator counts
+                    # from the rows that actually moved.  Incremental
+                    # O(k*n) only pays off while few rows changed; past
+                    # a quarter of the set the full O(n^2) recount wins.
+                    rows = np.flatnonzero(
+                        (self._objectives != objectives).any(axis=1)
+                    )
+                    if rows.size * 4 <= objectives.shape[0]:
+                        counts = update_dominance_counts(
+                            self._objectives, self._counts, objectives, rows
+                        )
+                        self.pareto_incremental += 1
+                if counts is None:
+                    counts = dominance_counts(objectives)
+                mask = counts == 0
+                self._mask = mask
+                self._objectives = objectives
+                self._counts = counts
+            self._point_names = point_names
+            self._columns = columns
+            self._area_signature = area_signature
+            # Hand out copies of the cached rows: ExplorationResult is
+            # frozen but its score dicts are not, and a caller mutating
+            # one must not corrupt the next iteration's reuse.
+            scores = {metric: dict(row) for metric, row in table.items()}
+            return ExplorationResult(
+                points=tuple(points),
+                scores=scores,
+                winners=winners_from_table(scores),
+                pareto=tuple(
+                    point for point, keep in zip(points, mask) if keep
+                ),
+            )
 
 
 def metric_disagreement(result: ExplorationResult) -> float:

@@ -39,10 +39,28 @@ from repro.engine.kernels import BatchResult
 from repro.obs.context import current_context
 
 if TYPE_CHECKING:  # pragma: no cover - robustness sits above this module
+    from repro.engine.plan import SweepPlan
     from repro.robustness.guard import ColumnDiagnostic, GuardedEngine
 
 P = TypeVar("P")
 D = TypeVar("D")
+
+
+def _canonical_param(value: object) -> object:
+    """Collapse numpy scalar wrappers to the Python scalars they box.
+
+    Sweep points arrive as whatever type produced them — ``5.0`` from a
+    literal grid, ``np.float64(5.0)`` from an array column, a 0-d array
+    from an aggregation.  0-d arrays are unhashable outright, and boxed
+    scalars make memo hits depend on provenance, so parameter values are
+    normalized once at freeze time: numerically equal points hash and
+    compare identically no matter which type produced them.
+    """
+    if isinstance(value, np.ndarray) and value.ndim == 0:
+        value = value[()]
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
 
 
 class FrozenParams(Mapping[str, object]):
@@ -50,14 +68,17 @@ class FrozenParams(Mapping[str, object]):
 
     ``SweepRecord`` is a frozen dataclass, but a frozen dataclass holding a
     plain ``dict`` is neither hashable nor safe to use as a cache key.  This
-    wrapper freezes the mapping at construction and hashes by item set, so
+    wrapper freezes the mapping at construction (normalizing numpy scalar
+    values, see :func:`_canonical_param`) and hashes by item set, so
     records can go straight into sets, dict keys, and memo tables.
     """
 
     __slots__ = ("_items",)
 
     def __init__(self, items: Mapping[str, object]):
-        self._items = dict(items)
+        self._items = {
+            key: _canonical_param(value) for key, value in items.items()
+        }
 
     def __getitem__(self, key: str) -> object:
         return self._items[key]
@@ -178,6 +199,50 @@ class BatchSweepResult:
         )
 
 
+class PlannedSweepResult(BatchSweepResult):
+    """A planned sweep whose dense input batch materializes lazily.
+
+    The factored evaluator produces every output series without ever
+    building the 18-column dense batch, and most sweep consumers
+    (``argmin`` over a series, reading a response surface) never touch
+    the input columns at all.  ``batch`` is therefore built from the
+    plan on first attribute access and cached — the identical
+    :class:`~repro.engine.batch.ScenarioBatch` the eager constructor
+    would hold, minus the upfront materialization cost on the planned
+    hot path.
+
+    Attributes:
+        plan: The :class:`~repro.engine.plan.SweepPlan` this result was
+            evaluated from.
+    """
+
+    def __init__(
+        self,
+        *,
+        names: tuple[str, ...],
+        result: BatchResult,
+        plan: "SweepPlan",
+    ):
+        object.__setattr__(self, "names", names)
+        object.__setattr__(self, "result", result)
+        object.__setattr__(self, "plan", plan)
+
+    def __getattr__(self, name: str) -> object:
+        if name == "batch":
+            plan = self.__dict__.get("plan")
+            if plan is None:  # mid-unpickle, before "plan" lands
+                raise AttributeError(name)
+            batch = plan.batch()
+            object.__setattr__(self, "batch", batch)
+            return batch
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def __len__(self) -> int:
+        return len(self.result)
+
+
 @dataclass(frozen=True)
 class GuardedSweepResult(BatchSweepResult):
     """A guarded grid sweep: the surviving points plus what was masked.
@@ -201,6 +266,56 @@ class GuardedSweepResult(BatchSweepResult):
     def masked_count(self) -> int:
         """How many grid points the guard masked out."""
         return int(self.valid.size - np.count_nonzero(self.valid))
+
+
+def _planned_sweep(
+    base: ActScenario,
+    grids: Mapping[str, Sequence[float]],
+    cache: "EvaluationCache | None",
+) -> BatchSweepResult:
+    """The factored serial sweep (see :mod:`repro.engine.plan`).
+
+    Bit-identical to the dense path on the active backend: the plan
+    evaluates each Eq. 1-8 partial once on its marginal grid and
+    broadcasts the outer products out, the sampled cross-check re-derives
+    up to 32 rows densely, and the result batch is the same grid with
+    constant columns kept as zero-stride views.
+    """
+    from repro.engine.plan import evaluate_plan_cached, plan_product, verify_plan
+
+    plan = plan_product(base, grids)
+    context = current_context()
+    if context.enabled:
+        context.count("dse.sweep.points", plan.size)
+    result = evaluate_plan_cached(plan, cache)
+    verify_plan(plan, result)
+    return PlannedSweepResult(names=plan.names, result=result, plan=plan)
+
+
+def _parallel_planned_sweep(
+    base: ActScenario,
+    grids: Mapping[str, Sequence[float]],
+    policy: object,
+) -> BatchSweepResult:
+    """The factored sweep through the parallel runner.
+
+    The plan (and its small factor tables) is computed once in the
+    parent; shards receive the tables by series name and gather only
+    their own row ranges, so results merge shard-ordered into the same
+    series the serial planned pass produces.
+    """
+    from repro.engine.plan import plan_product, verify_plan
+    from repro.parallel.runner import ParallelRunner
+
+    plan = plan_product(base, grids)
+    context = current_context()
+    if context.enabled:
+        context.count("dse.sweep.points", plan.size)
+    with ParallelRunner(policy) as runner:
+        evaluation = runner.evaluate_planned(plan)
+    result = evaluation.batch_result()
+    verify_plan(plan, result, getattr(policy, "backend", None))
+    return PlannedSweepResult(names=plan.names, result=result, plan=plan)
 
 
 def _parallel_sweep(
@@ -262,6 +377,17 @@ def _parallel_sweep(
     )
 
 
+def _grid_size(grids: Mapping[str, Sequence[float]]) -> int:
+    """The Cartesian row count of ``grids`` (0 for a malformed grid)."""
+    size = 1
+    for values in grids.values():
+        axis = np.asarray(values)
+        if axis.ndim != 1:
+            return 0
+        size *= int(axis.size)
+    return size
+
+
 def sweep_grid_batched(
     base: ActScenario,
     grids: Mapping[str, Sequence[float]],
@@ -269,6 +395,7 @@ def sweep_grid_batched(
     cache: EvaluationCache | None = None,
     guard: "GuardedEngine | None" = None,
     policy: "object | int | None" = None,
+    planner: str | None = None,
 ) -> BatchSweepResult:
     """Sweep the ACT model over a parameter grid in one vectorized pass.
 
@@ -291,12 +418,23 @@ def sweep_grid_batched(
             policy.  Sweeps are elementwise, so parallel results are
             bit-identical to the serial pass at any worker count; a
             resolved ``workers=1`` policy stays on the serial cached path.
+        planner: ``"auto"`` / ``"on"`` / ``"off"``, or ``None`` to pick
+            up the process-wide mode
+            (:func:`~repro.engine.plan.use_planner`, default ``auto``).
+            When the structure-aware planner engages, Eq. 1-8 are
+            factored into per-axis partial terms evaluated once on their
+            marginal grids (:mod:`repro.engine.plan`) — bit-identical
+            results, orders of magnitude less arithmetic on separable
+            grids.  Guarded sweeps and non-plannable backends always use
+            the dense path; ``"off"`` reproduces it unconditionally.
     """
     if not grids:
         raise ConstraintError("at least one parameter grid is required")
+    from repro.engine.plan import planner_engaged, resolve_planner_mode
     from repro.parallel.policy import resolve_policy
 
     resolved_policy = resolve_policy(policy)
+    mode = resolve_planner_mode(planner)
     context = current_context()
     with context.span(
         "dse.sweep_grid",
@@ -305,6 +443,10 @@ def sweep_grid_batched(
         workers=resolved_policy.workers if resolved_policy is not None else 0,
     ):
         if resolved_policy is not None and resolved_policy.parallel:
+            if guard is None and planner_engaged(
+                mode, _grid_size(grids), getattr(resolved_policy, "backend", None)
+            ):
+                return _parallel_planned_sweep(base, grids, resolved_policy)
             return _parallel_sweep(base, grids, resolved_policy, guard)
         if guard is not None:
             size, columns = product_columns(base, grids)
@@ -319,6 +461,8 @@ def sweep_grid_batched(
                 source_indices=guarded.indices,
                 diagnostics=guarded.diagnostics,
             )
+        if planner_engaged(mode, _grid_size(grids)):
+            return _planned_sweep(base, grids, cache)
         batch = ScenarioBatch.from_product(base, grids)
         if context.enabled:
             context.count("dse.sweep.points", len(batch))

@@ -47,6 +47,7 @@ from repro.engine.cache import (
     EvaluationCache,
     batch_key,
     evaluate_cached,
+    row_key,
 )
 from repro.engine.kernels import (
     BatchResult,
@@ -59,11 +60,33 @@ from repro.engine.kernels import (
     total_g,
 )
 from repro.engine.metrics import (
+    METRIC_INPUTS,
     best_index,
+    canonical_metric,
     metric_columns,
+    metric_table_entry,
     score_table_batched,
     stack_design_points,
     winners_batched,
+    winners_from_table,
+)
+from repro.engine.plan import (
+    PLANNER_AUTO,
+    PLANNER_ENV_VAR,
+    PLANNER_OFF,
+    PLANNER_ON,
+    DedupPlan,
+    SweepPlan,
+    backend_plannable,
+    current_planner_mode,
+    dedup_rows,
+    evaluate_batch_deduped,
+    evaluate_plan_cached,
+    plan_product,
+    planner_engaged,
+    resolve_planner_mode,
+    use_planner,
+    verify_plan,
 )
 
 __all__ = [
@@ -71,29 +94,47 @@ __all__ = [
     "BatchResult",
     "CacheStats",
     "DEFAULT_CACHE",
+    "DedupPlan",
     "EvaluationCache",
     "FIELD_NAMES",
     "FLOAT32",
     "FUSED",
     "KernelBackend",
+    "METRIC_INPUTS",
     "NUMBA",
+    "PLANNER_AUTO",
+    "PLANNER_ENV_VAR",
+    "PLANNER_OFF",
+    "PLANNER_ON",
     "REFERENCE",
     "ScenarioBatch",
+    "SweepPlan",
     "available_backends",
+    "backend_plannable",
     "backend_summary",
     "batch_key",
     "best_index",
+    "canonical_metric",
     "cpa_g_per_cm2",
     "current_backend",
+    "current_planner_mode",
+    "dedup_rows",
     "evaluate_batch",
+    "evaluate_batch_deduped",
     "evaluate_cached",
+    "evaluate_plan_cached",
     "get_backend",
     "metric_columns",
+    "metric_table_entry",
     "operational_g",
     "packaging_g",
+    "plan_product",
+    "planner_engaged",
     "product_params",
     "register_backend",
     "resolve_backend",
+    "resolve_planner_mode",
+    "row_key",
     "score_table_batched",
     "soc_embodied_g",
     "stack_design_points",
@@ -101,5 +142,8 @@ __all__ = [
     "total_g",
     "unregister_backend",
     "use_backend",
+    "use_planner",
+    "verify_plan",
     "winners_batched",
+    "winners_from_table",
 ]

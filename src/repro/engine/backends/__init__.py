@@ -205,6 +205,10 @@ def get_backend(name: str) -> KernelBackend:
 _ACTIVE: list[KernelBackend | None] = [None]
 _ENV_DEFAULT: KernelBackend | None = None
 
+#: Concrete types that already passed the :class:`KernelBackend` Protocol
+#: isinstance check (see :func:`resolve_backend`).
+_PROTOCOL_CHECKED: set[type] = set()
+
 
 def _default_backend() -> KernelBackend:
     """The stack's bottom: ``$ACT_REPRO_BACKEND`` or the reference path."""
@@ -236,7 +240,11 @@ def resolve_backend(
         return current_backend()
     if isinstance(backend, str):
         return get_backend(backend)
-    if isinstance(backend, KernelBackend):
+    # A runtime-checkable Protocol isinstance walks every protocol member
+    # (~10us); hot paths resolve the same backend instance on every call,
+    # so positive results are memoized by concrete type.
+    if type(backend) in _PROTOCOL_CHECKED or isinstance(backend, KernelBackend):
+        _PROTOCOL_CHECKED.add(type(backend))
         return backend
     raise ParameterError(
         f"backend must be a KernelBackend, a registered backend name, or "

@@ -150,7 +150,12 @@ def product_columns(
     axes = [np.asarray(grids[name], dtype=np.float64) for name in names]
     if any(axis.ndim != 1 or axis.size == 0 for axis in axes):
         raise ParameterError("every grid must be a non-empty 1-D sequence")
-    mesh = np.meshgrid(*axes, indexing="ij")
+    # Broadcast views (copy=False), not materialized meshes: flattening
+    # each view below allocates that column's final storage directly, so
+    # the k swept columns are never held as full grids twice over.  The
+    # planner's view-backed batches (repro.engine.plan) go further and
+    # keep even the constant columns as zero-stride views.
+    mesh = np.meshgrid(*axes, indexing="ij", copy=False)
     size = int(mesh[0].size)
     overrides = {name: grid.reshape(-1) for name, grid in zip(names, mesh)}
     return size, broadcast_columns(base, size, overrides)

@@ -27,12 +27,29 @@ from repro.engine.backends import KernelBackend, resolve_backend
 
 _CANONICAL = tuple(METRICS)
 
+#: Which stacked design columns each Table 2 metric actually reads.
+#: Drives incremental re-scoring (:class:`repro.dse.optimizer.ExplorationSession`):
+#: a metric's cached table entry stays valid while none of its input
+#: columns changed between optimizer iterations.
+METRIC_INPUTS: Mapping[str, tuple[str, ...]] = {
+    "EDP": ("energy_kwh", "delay_s"),
+    "EDAP": ("energy_kwh", "delay_s", "area_mm2"),
+    "CDP": ("embodied_carbon_g", "delay_s"),
+    "CEP": ("embodied_carbon_g", "energy_kwh"),
+    "C2EP": ("embodied_carbon_g", "energy_kwh"),
+    "CE2P": ("embodied_carbon_g", "energy_kwh"),
+}
 
-def _canonical_name(name: str) -> str:
+
+def canonical_metric(name: str) -> str:
+    """Normalize a metric spelling (``"edp"``, ``"ED-P"``…) to its key."""
     key = name.strip().upper().replace("-", "").replace("_", "")
     if key not in METRICS:
         raise UnknownEntryError("metric", name, METRICS)
     return key
+
+
+_canonical_name = canonical_metric
 
 
 def metric_columns(
@@ -116,41 +133,75 @@ def score_table_batched(
         else _CANONICAL
     )
     names = [point.name for point in points]
-    table: dict[str, dict[str, float]] = {}
-    for metric in requested:
-        if metric == "EDAP":
-            eligible = [
-                index
-                for index, point in enumerate(points)
-                if point.area_mm2 is not None
-            ]
-            if not eligible:
-                table[metric] = {}
-                continue
-            area = np.array(
-                [points[index].area_mm2 for index in eligible], dtype=np.float64
-            )
-            scores = metric_columns(
-                columns["embodied_carbon_g"][eligible],
-                columns["energy_kwh"][eligible],
-                columns["delay_s"][eligible],
-                area,
-                metric_names=("EDAP",),
-            )["EDAP"]
-            table[metric] = {
-                names[index]: float(score)
-                for index, score in zip(eligible, scores)
-            }
-        else:
-            scores = metric_columns(
-                columns["embodied_carbon_g"],
-                columns["energy_kwh"],
-                columns["delay_s"],
-                columns["area_mm2"],
-                metric_names=(metric,),
-            )[metric]
-            table[metric] = dict(zip(names, (float(s) for s in scores)))
-    return table
+    return {
+        metric: metric_table_entry(points, columns, names, metric)
+        for metric in requested
+    }
+
+
+def metric_table_entry(
+    points: Sequence[DesignPoint],
+    columns: Mapping[str, np.ndarray | None],
+    names: Sequence[str],
+    metric: str,
+) -> dict[str, float]:
+    """One metric's ``{design name: score}`` row of the score table.
+
+    The loop body of :func:`score_table_batched`, factored out so
+    incremental re-scoring (:class:`repro.dse.optimizer.ExplorationSession`)
+    can recompute exactly the metrics whose input columns changed and
+    still produce byte-identical table entries.  EDAP keeps the scalar
+    path's skip semantics: only area-carrying candidates appear.
+    """
+    if metric == "EDAP":
+        eligible = [
+            index
+            for index, point in enumerate(points)
+            if point.area_mm2 is not None
+        ]
+        if not eligible:
+            return {}
+        area = np.array(
+            [points[index].area_mm2 for index in eligible], dtype=np.float64
+        )
+        scores = metric_columns(
+            columns["embodied_carbon_g"][eligible],
+            columns["energy_kwh"][eligible],
+            columns["delay_s"][eligible],
+            area,
+            metric_names=("EDAP",),
+        )["EDAP"]
+        return {
+            names[index]: float(score)
+            for index, score in zip(eligible, scores)
+        }
+    scores = metric_columns(
+        columns["embodied_carbon_g"],
+        columns["energy_kwh"],
+        columns["delay_s"],
+        columns["area_mm2"],
+        metric_names=(metric,),
+    )[metric]
+    return dict(zip(names, (float(s) for s in scores)))
+
+
+def winners_from_table(
+    table: Mapping[str, Mapping[str, float]],
+) -> dict[str, str]:
+    """Per-metric argmin over an already-computed score table.
+
+    Ties resolve to the earliest design (``np.argmin`` breaks ties by
+    position; row order follows the candidate order), matching ``min``
+    over the scalar path.  Empty rows (EDAP with no area-carrying
+    candidates) are skipped.
+    """
+    result: dict[str, str] = {}
+    for metric, row in table.items():
+        if not row:
+            continue
+        labels = list(row)
+        result[metric] = labels[int(np.argmin(np.array(list(row.values()))))]
+    return result
 
 
 def winners_batched(
@@ -161,15 +212,7 @@ def winners_batched(
     Per-metric argmin over the score arrays; ties resolve to the earliest
     design, matching ``min`` over the scalar path.
     """
-    table = score_table_batched(points, metric_names)
-    result: dict[str, str] = {}
-    for metric, row in table.items():
-        if not row:
-            continue
-        labels = list(row)
-        # np.argmin breaks ties by position; row order follows `points`.
-        result[metric] = labels[int(np.argmin(np.array(list(row.values()))))]
-    return result
+    return winners_from_table(score_table_batched(points, metric_names))
 
 
 def best_index(

@@ -333,6 +333,24 @@ def _evaluate_shard(
             for name in SCHEDULE_SERIES
         }
         return series, np.ones(count, dtype=bool), (), False, ()
+    if kind == "planned":
+        # The parent already ran Eq. 1-8 once per marginal grid
+        # (repro.engine.plan); this shard only gathers its row range out
+        # of the broadcasted outer product.  Mirrors
+        # SweepPlan.gather_rows, inlined so workers need only the factor
+        # tables and grid shape, never the plan object itself.
+        shape = tuple(task["shape"])
+        indices = np.unravel_index(
+            np.arange(task["start"], task["stop"], dtype=np.intp), shape
+        )
+        series = {
+            name: np.ascontiguousarray(
+                np.broadcast_to(np.asarray(factor), shape)[indices],
+                dtype=np.float64,
+            )
+            for name, factor in task["factors"].items()
+        }
+        return series, np.ones(count, dtype=bool), (), False, ()
     input_store: SharedArrayStore | None = None
     try:
         if kind == "montecarlo":
@@ -376,10 +394,12 @@ def _run_shard(task: dict) -> _ShardOutcome:
     """Worker entry point: evaluate one shard of one workload.
 
     Must stay module-level (pickled by reference under both ``fork`` and
-    ``spawn``).  Handles three task kinds — ``"columns"`` (pre-built
+    ``spawn``).  Handles four task kinds — ``"columns"`` (pre-built
     column slices), ``"montecarlo"`` (sample this shard from its own
-    SeedSequence child, then evaluate), and ``"pareto"`` (non-dominance
-    of this shard's rows against the full objective matrix).
+    SeedSequence child, then evaluate), ``"planned"`` (gather this
+    shard's rows from parent-evaluated factor tables), and ``"pareto"``
+    (non-dominance of this shard's rows against the full objective
+    matrix).
 
     When the runner armed a chaos plan, faults fire here: at shard start
     (kill / stall / shm-handle corruption, before any transport attach)
@@ -1027,6 +1047,62 @@ class ParallelRunner:
             guard=guard,
             prevalidated=guard is None,
         )
+
+    def evaluate_planned(self, plan) -> ParallelEvaluation:
+        """Materialize a factored sweep plan's rows across workers.
+
+        The parent evaluates Eq. 1-8 once per marginal grid
+        (:meth:`repro.engine.plan.SweepPlan.partial_series`) and ships
+        the small factor tables by series name inside every task;
+        workers only gather their own row range out of the broadcasted
+        outer product.  Results merge shard-ordered, so the evaluation
+        is bit-identical to the serial planned path at any worker count.
+        """
+        size = len(plan)
+        backend_name = self._backend_name()
+        factors = {
+            name: np.ascontiguousarray(np.asarray(factor))
+            for name, factor in plan.partial_series(backend_name).items()
+        }
+        shards = shard_plan(size, self.policy.shard_rows)
+        output_store: SharedArrayStore | None = None
+        try:
+            if self.policy.transport == SHM:
+                output_store = self._output_store(size)
+                output = (SHM, output_store.handle())
+            else:
+                output = (PICKLE,)
+            payloads = [
+                {
+                    "kind": "planned",
+                    "shard": index,
+                    "start": start,
+                    "stop": stop,
+                    "shape": plan.shape,
+                    "factors": factors,
+                    "guard": None,
+                    "output": output,
+                    "backend": backend_name,
+                }
+                for index, (start, stop) in enumerate(shards)
+            ]
+            context = current_context()
+            with context.span(
+                "parallel.evaluate",
+                kind="planned",
+                rows=size,
+                shards=len(shards),
+                workers=self.policy.workers,
+                transport=self.policy.transport,
+            ):
+                outcomes, report = self._execute(payloads)
+                report = self._heal_quarantined(payloads, outcomes, report)
+                return self._merge(
+                    size, shards, outcomes, output_store, None, report
+                )
+        finally:
+            if output_store is not None:
+                output_store.unlink()
 
     def run_monte_carlo(
         self,

@@ -521,6 +521,7 @@ def sweep_grid_batched_chunked(
     cancel: CancelToken | None = None,
     cache: EvaluationCache | None = None,
     policy: "object | int | None" = None,
+    planner: str | None = None,
 ) -> BatchSweepResult:
     """:func:`~repro.dse.sweep.sweep_grid_batched`, chunked and resumable.
 
@@ -536,11 +537,24 @@ def sweep_grid_batched_chunked(
             wave; grid columns (and so the checkpoint fingerprint) are
             unchanged, so serial and parallel runs of the same sweep
             resume each other's checkpoints freely.
+        planner: ``"auto"`` / ``"on"`` / ``"off"``, or ``None`` for the
+            process-wide mode.  On the serial path an engaged planner
+            (:mod:`repro.engine.plan`) factors Eq. 1-8 once into
+            per-axis partial tables and each chunk only gathers its row
+            range — bit-identical values, so planned and dense runs
+            resume each other's checkpoints freely.  Parallel waves
+            always evaluate densely.
     """
     require_positive("chunk_rows", chunk_rows)
+    from repro.engine.plan import (
+        plan_product,
+        planner_engaged,
+        resolve_planner_mode,
+    )
     from repro.parallel.policy import resolve_policy
 
     resolved_policy = resolve_policy(policy)
+    planner_mode = resolve_planner_mode(planner)
     context = current_context()
     size, columns = product_columns(base, grids)
     names = tuple(grids)
@@ -610,6 +624,14 @@ def sweep_grid_batched_chunked(
         runner = ParallelRunner(
             resolved_policy.replace(shard_rows=chunk_rows)
         )
+    plan = factor_tables = None
+    if not parallel and planner_engaged(planner_mode, size):
+        # Factor Eq. 1-8 once up front; each chunk below then only
+        # gathers its row range out of the broadcasted outer product.
+        # Values are bit-identical to the dense chunk evaluation, so the
+        # checkpoint fingerprint (grid columns) needs no planner marker.
+        plan = plan_product(base, grids)
+        factor_tables = plan.partial_series()
     try:
         with context.span(
             "dse.sweep_grid_chunked",
@@ -645,6 +667,12 @@ def sweep_grid_batched_chunked(
                         series[name][completed:stop] = evaluation.full_series(
                             name
                         )
+                elif factor_tables is not None:
+                    chunk_series = plan.gather_rows(
+                        factor_tables, completed, stop
+                    )
+                    for name in series_names:
+                        series[name][completed:stop] = chunk_series[name]
                 else:
                     chunk_batch = ScenarioBatch(
                         **{

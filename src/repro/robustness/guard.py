@@ -613,6 +613,35 @@ class GuardedEngine:
                     tolerance=tolerance,
                 )
 
+    def verify_planned(
+        self,
+        plan: "object",
+        result: BatchResult,
+        backend: "KernelBackend | str | None" = None,
+    ) -> None:
+        """Spot-check a factored sweep plan's output, guard-style.
+
+        The planned twin of :meth:`_verify_backend`: up to 32
+        evenly-strided rows of ``plan`` are rebuilt densely and
+        re-evaluated through ``backend`` (default: the guard's own),
+        then compared against ``result`` under the guard's effective
+        tolerance.  Delegates to :func:`repro.engine.plan.verify_plan`,
+        which raises :class:`~repro.core.errors.DivergenceError` on the
+        first sampled disagreement.
+        """
+        from repro.engine.backends import resolve_backend
+        from repro.engine.plan import verify_plan
+
+        resolved = resolve_backend(
+            backend if backend is not None else self.backend
+        )
+        verify_plan(
+            plan,
+            result,
+            resolved,
+            tolerance=self._effective_tolerance(resolved),
+        )
+
     def _cross_checked(
         self,
         *,

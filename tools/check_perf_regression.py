@@ -37,6 +37,11 @@ GUARDED_SERIES: tuple[tuple[str, str, bool], ...] = (
     ("grid_sweep", "batched_points_per_sec", True),
     ("parallel", "best_draws_per_sec", False),
     ("scheduling", "vectorized_points_per_sec", False),
+    # The planner speedup ratios are asserted (when gated) by the
+    # benchmark itself; only the absolute planned throughputs are
+    # re-guarded here.  Dotted sections traverse nested payload dicts.
+    ("planner.separable", "planned_points_per_sec", False),
+    ("planner.mixed", "planned_points_per_sec", False),
 )
 
 #: Guarded series for ``benchmark: service`` payloads.  All optional
@@ -60,6 +65,16 @@ def _benchmark_kind(payload: dict) -> str:
     """The payload's declared benchmark family (engine when undeclared)."""
     kind = payload.get("benchmark")
     return kind if isinstance(kind, str) and kind else "engine"
+
+
+def _section_dict(payload: dict, section: str) -> dict | None:
+    """Resolve a possibly dotted section path to its payload sub-dict."""
+    node: object = payload
+    for part in section.split("."):
+        if not isinstance(node, dict):
+            return None
+        node = node.get(part)
+    return node if isinstance(node, dict) else None
 
 #: Per-backend throughput keys guarded inside the nested ``backends``
 #: section (``{"backends": {"fused": {key: ...}, ...}}``).  Backends are
@@ -95,11 +110,13 @@ def compare(
     series = SERIES_BY_BENCHMARK.get(_benchmark_kind(current), GUARDED_SERIES)
     for section, key, required in series:
         name = f"{section}.{key}"
+        baseline_section = _section_dict(baseline, section)
+        current_section = _section_dict(current, section)
         missing = (
-            not isinstance(baseline.get(section), dict)
-            or key not in baseline[section]
-            or not isinstance(current.get(section), dict)
-            or key not in current[section]
+            baseline_section is None
+            or key not in baseline_section
+            or current_section is None
+            or key not in current_section
         )
         if missing:
             if required:
@@ -107,8 +124,8 @@ def compare(
             print(f"{name}: absent from baseline or current payload, skipped")
             continue
         try:
-            before = float(baseline[section][key])
-            after = float(current[section][key])
+            before = float(baseline_section[key])
+            after = float(current_section[key])
         except (TypeError, ValueError) as error:
             raise SystemExit(f"unusable series {name}: {error}")
         drop = 1.0 - after / before if before > 0 else 0.0
@@ -175,8 +192,8 @@ def main(argv: list[str] | None = None) -> int:
 
     for section, key, _ in SERIES_BY_BENCHMARK.get(kind, GUARDED_SERIES):
         name = f"{section}.{key}"
-        before = baseline.get(section, {}).get(key)
-        after = current.get(section, {}).get(key)
+        before = (_section_dict(baseline, section) or {}).get(key)
+        after = (_section_dict(current, section) or {}).get(key)
         if before and after:
             change = after / before - 1.0
             print(f"{name}: {before:,.0f} -> {after:,.0f} ({change:+.1%})")
