@@ -43,6 +43,7 @@ import pytest
 
 from repro.analysis.scenario import ActScenario
 from repro.engine.cache import EvaluationCache
+from repro.robustness.durability import atomic_write_json
 from repro.service import CarbonQueryService, ServiceConfig
 from repro.service.batcher import MicroBatcher
 from repro.service.loadgen import run_load
@@ -76,7 +77,7 @@ def _merge_sections(update: dict) -> dict:
             payload = {}
     payload.update(update)
     payload["benchmark"] = "service"
-    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(str(OUTPUT_PATH), payload)
     return payload
 
 

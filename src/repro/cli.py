@@ -561,6 +561,50 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="append one JSONL access record per request to FILE",
     )
+
+    torture = sub.add_parser(
+        "torture",
+        help="crash a checkpointed run at every durability boundary and "
+        "prove bit-identical recovery",
+        parents=[obs],
+    )
+    torture.add_argument(
+        "--workload",
+        default="mc",
+        help="workload to torture: mc, sweep, schedule, or all",
+    )
+    torture.add_argument(
+        "--workers", type=int, default=1, help="worker processes per run"
+    )
+    torture.add_argument(
+        "--mode",
+        choices=("subprocess", "inprocess"),
+        default=None,
+        help="subprocess = real SIGKILL (workers=1 only); inprocess = "
+        "simulated power loss (default: picked from --workers)",
+    )
+    torture.add_argument(
+        "--kinds",
+        default="crash",
+        help="comma-separated fault kinds: crash, torn, torn_rename, "
+        "drop_fsync, enospc, eio (default: crash)",
+    )
+    torture.add_argument(
+        "--points",
+        default=None,
+        help="comma-separated crash-point names to restrict the campaign "
+        "to (default: every reached point)",
+    )
+    torture.add_argument(
+        "--list-points",
+        action="store_true",
+        help="list registered crash points and exit",
+    )
+    torture.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the campaign results as JSON on stdout",
+    )
     return parser
 
 
@@ -1149,6 +1193,96 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             access_log.close()
 
 
+def _cmd_torture(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.robustness.durability import CRASH_POINTS
+    from repro.robustness.torture import (
+        ERROR_KINDS,
+        KILL_KINDS,
+        TORTURE_WORKLOADS,
+        run_error_campaign,
+        run_kill_campaign,
+    )
+
+    if args.list_points:
+        for point in sorted(CRASH_POINTS):
+            print(f"{point}: {CRASH_POINTS[point]}")
+        return 0
+    workloads = (
+        sorted(TORTURE_WORKLOADS)
+        if args.workload == "all"
+        else [args.workload]
+    )
+    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+    points = (
+        tuple(p.strip() for p in args.points.split(",") if p.strip())
+        if args.points
+        else None
+    )
+    kill_kinds = tuple(k for k in kinds if k in KILL_KINDS)
+    error_kinds = tuple(k for k in kinds if k in ERROR_KINDS)
+    unknown = [k for k in kinds if k not in KILL_KINDS and k not in ERROR_KINDS]
+    if unknown:
+        print(f"error: unknown fault kinds {unknown}", file=sys.stderr)
+        return 2
+    # Only real-SIGKILL ``crash`` faults can run in subprocess mode; the
+    # torn/drop_fsync family needs the in-process power-loss simulation.
+    # With no explicit --mode, split the kinds so each runs where it can
+    # (crash gets the real kill when workers allow it).
+    kill_batches: list[tuple[tuple[str, ...], str | None]] = []
+    if args.mode is not None or args.workers != 1:
+        if kill_kinds:
+            kill_batches.append((kill_kinds, args.mode))
+    else:
+        crash_kinds = tuple(k for k in kill_kinds if k == "crash")
+        sim_kinds = tuple(k for k in kill_kinds if k != "crash")
+        if crash_kinds:
+            kill_batches.append((crash_kinds, None))
+        if sim_kinds:
+            kill_batches.append((sim_kinds, "inprocess"))
+    results = []
+    for workload in workloads:
+        for batch_kinds, batch_mode in kill_batches:
+            results.append(
+                run_kill_campaign(
+                    workload,
+                    workers=args.workers,
+                    mode=batch_mode,
+                    kinds=batch_kinds,
+                    points=points,
+                )
+            )
+        if error_kinds:
+            results.append(
+                run_error_campaign(
+                    workload,
+                    workers=args.workers,
+                    kinds=error_kinds,
+                    points=points,
+                )
+            )
+    if args.json:
+        print(json_module.dumps([r.as_dict() for r in results], indent=2))
+    else:
+        for campaign in results:
+            print(campaign.summary())
+            for outcome in campaign.outcomes:
+                if not outcome.ok:
+                    print(
+                        f"  FAIL {outcome.kind}@{outcome.point} "
+                        f"[{outcome.phase}]: {outcome.detail}"
+                    )
+        covered = sorted(
+            {p for r in results for p in r.points_covered}
+        )
+        print(
+            f"{len(covered)} distinct crash points exercised across "
+            f"{len(results)} campaign(s)"
+        )
+    return 0 if all(r.passed for r in results) else 1
+
+
 _COMMANDS = {
     "footprint": _cmd_footprint,
     "report": _cmd_report,
@@ -1163,6 +1297,7 @@ _COMMANDS = {
     "schedule": _cmd_schedule,
     "baselines": _cmd_baselines,
     "serve": _cmd_serve,
+    "torture": _cmd_torture,
 }
 
 

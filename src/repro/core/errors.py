@@ -132,12 +132,24 @@ class CheckpointError(ReproError, RuntimeError):
     Attributes:
         path: The checkpoint file involved (when known).
         reason: Machine-readable failure class (``"missing"``,
-            ``"corrupt"``, ``"mismatch"``, ...).
+            ``"corrupt"``, ``"mismatch"``, ``"version"``, ``"io"``, ...).
+        salvage: The salvage summary for the store involved (chunks
+            kept/quarantined, generation recovered) when a recovery was
+            attempted — empty otherwise.  Also embedded in the message,
+            so operators see what was lost, not a bare "corrupt".
     """
 
-    def __init__(self, message: str, *, path: object = None, reason: str = ""):
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: object = None,
+        reason: str = "",
+        salvage: str = "",
+    ):
         self.path = path
         self.reason = reason
+        self.salvage = salvage
         super().__init__(message)
 
 

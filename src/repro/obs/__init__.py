@@ -29,12 +29,18 @@ from repro.obs.context import (
     current_context,
     use_context,
 )
-from repro.obs.events import EventSink, JsonlEventSink, MemoryEventSink
+from repro.obs.events import (
+    EventSink,
+    JsonlEventSink,
+    MemoryEventSink,
+    read_events,
+)
 from repro.obs.manifest import (
     RunManifest,
     build_manifest,
     fingerprint_parameters,
     git_describe,
+    write_manifest,
 )
 from repro.obs.metrics import (
     DEFAULT_BOUNDS,
@@ -62,6 +68,8 @@ __all__ = [
     "current_context",
     "fingerprint_parameters",
     "git_describe",
+    "read_events",
     "span_cost_table",
     "use_context",
+    "write_manifest",
 ]

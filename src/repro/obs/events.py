@@ -13,6 +13,13 @@ schema is deliberately minimal and stable:
 
 A line-oriented format means a killed run still leaves a readable prefix,
 and ``jq``/pandas can consume the stream without a schema registry.
+:func:`read_events` is the matching consumer: it tolerates exactly the
+damage a crash can cause (a torn *trailing* line) and refuses the damage
+a crash cannot (garbage in the middle of the stream).
+
+Path-based sinks write through the process-wide
+:class:`~repro.robustness.durability.DurableIO` layer, so the torture
+harness can kill a run mid-line and prove the stream stays parseable.
 """
 
 from __future__ import annotations
@@ -21,6 +28,8 @@ import json
 import threading
 import time
 from typing import IO, Mapping
+
+from repro.core.errors import CheckpointError
 
 
 class EventSink:
@@ -90,10 +99,21 @@ class JsonlEventSink(EventSink):
         self.emitted = 0
         self._lock = threading.Lock()
 
+    @staticmethod
+    def _io():
+        # Imported lazily: the durability module lives in the robustness
+        # package, whose __init__ transitively imports this module.
+        from repro.robustness import durability
+
+        return durability, durability.current_io()
+
     def _file(self) -> IO[str]:
         if self._handle is None:
             assert self.path is not None
-            self._handle = open(self.path, "w", encoding="utf-8")
+            durability, layer = self._io()
+            self._handle = layer.open(
+                self.path, "w", durability.CP_JSONL_OPEN
+            )
         return self._handle
 
     def emit(self, event: str, **fields: object) -> None:
@@ -102,8 +122,13 @@ class JsonlEventSink(EventSink):
         line = json.dumps(record) + "\n"
         with self._lock:
             handle = self._file()
-            handle.write(line)
-            handle.flush()
+            if self.path is not None:
+                durability, layer = self._io()
+                layer.write(handle, line, durability.CP_JSONL_WRITE)
+                layer.flush(handle, durability.CP_JSONL_FLUSHED)
+            else:
+                handle.write(line)
+                handle.flush()
             self.emitted += 1
 
     def close(self) -> None:
@@ -111,3 +136,52 @@ class JsonlEventSink(EventSink):
             if self._handle is not None and self.path is not None:
                 self._handle.close()
                 self._handle = None
+
+
+def read_events(
+    path: str, *, strict: bool = False
+) -> list[dict[str, object]]:
+    """Parse a JSONL event stream, tolerating a torn trailing line.
+
+    A crash mid-append can leave exactly one kind of damage: an
+    incomplete *final* line.  That line is silently dropped (unless
+    ``strict=True``).  Anything else — unparseable JSON *followed by
+    more lines*, or a non-object record — cannot be produced by the
+    append-and-flush protocol and raises
+    :class:`~repro.core.errors.CheckpointError` (reason ``"corrupt"``)
+    instead of being skipped: an audit stream with holes in the middle
+    must not pass for a healthy one.
+
+    Args:
+        path: The JSONL file to read.
+        strict: Raise on a torn trailing line instead of dropping it.
+
+    Returns:
+        The parsed event records, in emission order.
+    """
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        content = handle.read()
+    events: list[dict[str, object]] = []
+    lines = content.split("\n")
+    # A healthy stream ends with "\n", so the final split element is "".
+    terminated = lines and lines[-1] == ""
+    if terminated:
+        lines = lines[:-1]
+    for index, line in enumerate(lines):
+        is_last = index == len(lines) - 1
+        torn_tail_allowed = is_last and not terminated and not strict
+        try:
+            record = json.loads(line)
+            if not isinstance(record, dict):
+                raise ValueError("event record is not a JSON object")
+        except ValueError as error:
+            if torn_tail_allowed:
+                break
+            raise CheckpointError(
+                f"event stream {path!r} is corrupt at line {index + 1}: "
+                f"{error}",
+                path=path,
+                reason="corrupt",
+            ) from error
+        events.append(record)
+    return events

@@ -136,3 +136,18 @@ def build_manifest(
         ),
         extra=dict(extra or {}),
     )
+
+
+def write_manifest(manifest: RunManifest, path: str) -> None:
+    """Persist a manifest to ``path`` via the atomic commit protocol.
+
+    Manifests are the audit trail's root of trust, so they get the same
+    crash guarantee as checkpoints: tmp-write → fsync → rename, leaving
+    either the previous contents or the complete new ones — never a
+    truncated mixture.
+    """
+    # Lazy import: the durability module's package __init__ transitively
+    # imports repro.obs.
+    from repro.robustness.durability import atomic_write_json
+
+    atomic_write_json(path, manifest.as_dict())

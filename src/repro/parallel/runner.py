@@ -869,9 +869,8 @@ class ParallelRunner:
                 )
             )
             warnings.warn(
-                f"degraded run: quarantined {len(quarantined)} of "
-                f"{len(plan)} shard(s) ({partial.rows} row(s) NaN-masked) "
-                f"— shards {list(quarantined)}",
+                f"degraded run ({len(plan)} shard(s) planned): "
+                f"{partial.summary()}",
                 RobustnessWarning,
                 stacklevel=4,
             )

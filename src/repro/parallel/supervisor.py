@@ -140,6 +140,31 @@ class PartialResult:
             failure.shard: failure.cause for failure in self.failures
         }
 
+    def summary(self) -> str:
+        """One operator-readable line: what was lost, and why.
+
+        The degraded-run counterpart of
+        :meth:`repro.robustness.durability.SalvageReport.summary` —
+        warnings and error messages embed it so operators see the blast
+        radius (shards, rows, causes) without digging through
+        diagnostics.
+        """
+        shown = ", ".join(str(shard) for shard in self.quarantined[:8])
+        if len(self.quarantined) > 8:
+            shown += ", …"
+        parts = [
+            f"quarantined {len(self.quarantined)} shard(s) [{shown}] "
+            f"({self.rows} rows NaN-masked)"
+        ]
+        causes = sorted({failure.cause for failure in self.failures})
+        if causes:
+            parts.append(f"causes: {', '.join(causes)}")
+        if self.retries:
+            parts.append(f"{self.retries} retry(ies)")
+        if self.respawns:
+            parts.append(f"{self.respawns} worker respawn(s)")
+        return "; ".join(parts)
+
 
 class ShardSupervisor:
     """Executes one task batch on a pool under a failure policy.

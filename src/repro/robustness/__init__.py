@@ -1,6 +1,6 @@
-"""Hardened evaluation: guarded kernels, fault injection, resumable runs.
+"""Hardened evaluation: guarded kernels, fault injection, durable runs.
 
-Three pillars, one discipline — a corrupted input must raise a typed
+Four pillars, one discipline — a corrupted input must raise a typed
 :class:`~repro.core.errors.ReproError` or degrade *explicitly*, never
 return plausible-but-wrong CO2 numbers:
 
@@ -10,12 +10,25 @@ return plausible-but-wrong CO2 numbers:
   cross-checks kernel anomalies against the scalar reference path,
   raising :class:`~repro.core.errors.DivergenceError` on disagreement.
 * :mod:`repro.robustness.faultinject` — deterministic, seeded corruption
-  of scenario columns and bundled data tables, so tests can prove every
-  fault class is caught end to end.
-* :mod:`repro.robustness.checkpoint` — chunked Monte Carlo and grid
-  sweeps with atomic write-temp-then-rename checkpoints, fingerprint-
-  verified resume (bit-for-bit identical to an uninterrupted run), and
-  cooperative timeout/cancellation that salvages partial results.
+  of scenario columns, bundled data tables, worker processes, and — via
+  :class:`FaultyIO` — the filesystem itself (crash points, torn writes,
+  dropped fsyncs, ENOSPC/EIO), so tests can prove every fault class is
+  caught end to end.
+* :mod:`repro.robustness.durability` — the crash-consistent chunk store:
+  write-ahead CRC-framed records, atomic manifest commits, and a salvage
+  loader that recovers the longest valid committed prefix from torn or
+  corrupt state (quarantining the rest for recompute, never silently
+  accepting or wholesale discarding).
+* :mod:`repro.robustness.checkpoint` — chunked Monte Carlo, grid sweeps,
+  and schedule sweeps persisted through the durable store, fingerprint-
+  verified resume (bit-for-bit identical to an uninterrupted run, bound
+  to the exact backend and planner settings), and cooperative
+  timeout/cancellation that salvages partial results.
+
+The :mod:`repro.robustness.torture` harness closes the loop: it kills a
+real run at every registered crash point (subprocess SIGKILL or simulated
+power loss), resumes, and asserts the result is bit-identical to the
+uninterrupted run — ``repro torture`` from the CLI.
 """
 
 from repro.robustness.guard import (
@@ -30,11 +43,30 @@ from repro.robustness.guard import (
     RobustnessWarning,
     diagnose_columns,
 )
+from repro.robustness.durability import (
+    CRASH_POINTS,
+    ChunkRecord,
+    DurableChunkStore,
+    DurableIO,
+    SalvageReport,
+    StoreState,
+    atomic_write_bytes,
+    atomic_write_json,
+    current_io,
+    install_durable_io,
+    load_store_state,
+    register_crash_point,
+    use_durable_io,
+)
 from repro.robustness.faultinject import (
     COLUMN_FAULTS,
     DEFAULT_SCALE_FACTOR,
+    IO_FAULTS,
     TABLE_FAULTS,
+    CrashPoint,
     FaultRecord,
+    FaultyIO,
+    IOFault,
     inject_column_fault,
     inject_table_fault,
 )
@@ -47,29 +79,58 @@ from repro.robustness.checkpoint import (
     run_schedule_sweep_chunked,
     sweep_grid_batched_chunked,
 )
+from repro.robustness.torture import (
+    TORTURE_WORKLOADS,
+    CampaignResult,
+    run_error_campaign,
+    run_kill_campaign,
+    run_record_campaign,
+)
 
 __all__ = [
     "CHECKPOINT_VERSION",
     "COLUMN_FAULTS",
+    "CRASH_POINTS",
     "CROSS_CHECK_TOLERANCE",
+    "CampaignResult",
     "CancelToken",
+    "ChunkRecord",
     "ColumnDiagnostic",
     "CountingCancelToken",
+    "CrashPoint",
     "DEFAULT_CHUNK_ROWS",
     "DEFAULT_SCALE_FACTOR",
+    "DurableChunkStore",
+    "DurableIO",
     "FaultRecord",
+    "FaultyIO",
     "GuardedEngine",
     "GuardedResult",
+    "IOFault",
+    "IO_FAULTS",
     "POLICIES",
     "REPAIR",
     "RobustnessWarning",
     "SKIP",
     "STRICT",
+    "SalvageReport",
+    "StoreState",
     "TABLE_FAULTS",
+    "TORTURE_WORKLOADS",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "current_io",
     "diagnose_columns",
     "inject_column_fault",
     "inject_table_fault",
+    "install_durable_io",
+    "load_store_state",
+    "register_crash_point",
+    "run_error_campaign",
+    "run_kill_campaign",
     "run_monte_carlo_chunked",
+    "run_record_campaign",
     "run_schedule_sweep_chunked",
     "sweep_grid_batched_chunked",
+    "use_durable_io",
 ]

@@ -1,17 +1,23 @@
 """Chunked, checkpointed, cancellable execution of long batched runs.
 
 A 100k-draw Monte Carlo or a million-point sweep should survive being
-killed: these runners split the work into chunks, write an atomic
-checkpoint (write-temp-then-rename, so a crash can never leave a torn
-file) after every chunk, and resume from the last completed chunk.
+killed: these runners split the work into chunks, persist every completed
+wave through the crash-consistent chunk store
+(:class:`~repro.robustness.durability.DurableChunkStore` — write-ahead
+CRC-framed records plus an atomically-replaced manifest), and resume from
+the last committed generation.  A kill, torn write, or full disk mid-
+checkpoint can cost at most the uncommitted tail; on resume the salvage
+path recovers the longest valid committed prefix and recomputes only what
+was actually lost.
 
 Resumption is **bit-for-bit**: the full sample/grid columns are generated
 deterministically up front from the seed, so the values a resumed run
 evaluates are exactly the values the uninterrupted run would have — the
 chunk boundaries only decide *when* a row is evaluated, never *what* it
 is.  A content fingerprint (the SHA-256 of the generated columns plus the
-run configuration) is stored in the checkpoint and verified on resume, so
-a checkpoint can never silently continue a *different* run
+run configuration, including the resolved kernel backend and — for sweeps
+— the resolved planner mode) is stored in the checkpoint and verified on
+resume, so a checkpoint can never silently continue a *different* run
 (:class:`~repro.core.errors.CheckpointError` otherwise).
 
 Cooperative cancellation goes through :class:`CancelToken` — a deadline
@@ -25,6 +31,7 @@ from __future__ import annotations
 import hashlib
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
@@ -44,12 +51,15 @@ from repro.engine.batch import ScenarioBatch, product_columns
 from repro.engine.cache import EvaluationCache, evaluate_cached
 from repro.engine.kernels import BatchResult
 from repro.obs.context import current_context
+from repro.robustness.durability import DurableChunkStore, load_store_state
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.robustness.guard import GuardedEngine
 
 #: Checkpoint schema version; bumped on incompatible layout changes.
-CHECKPOINT_VERSION = 1
+#: Version 2: the durable chunk-store format (write-ahead CRC-framed
+#: records + manifest) with backend/planner folded into fingerprints.
+CHECKPOINT_VERSION = 2
 
 #: Default rows evaluated between two checkpoint writes.
 DEFAULT_CHUNK_ROWS = 4096
@@ -125,71 +135,286 @@ def _fingerprint(
     return digest.hexdigest()
 
 
-def _atomic_save(path: str | os.PathLike, arrays: dict[str, np.ndarray]) -> None:
-    """Write a checkpoint so a crash can never leave a torn file."""
-    path = os.fspath(path)
-    temp = f"{path}.tmp"
-    try:
-        with open(temp, "wb") as handle:
-            np.savez(handle, **arrays)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temp, path)
-    finally:
-        if os.path.exists(temp):
-            os.remove(temp)
+def _checkpoint_backend_token(resolved_policy: "object | None") -> str:
+    """The backend name a checkpoint must be bound to.
+
+    The policy's explicit backend wins; otherwise the process-wide
+    default — the same resolution order the serial chunk evaluation and
+    the worker processes use, so serial and parallel runs of one
+    configuration still share a fingerprint while a run evaluated under
+    ``--backend fused`` can never silently resume a reference-backend
+    checkpoint.
+    """
+    from repro.engine.backends import resolve_backend
+
+    name = getattr(resolved_policy, "backend", None)
+    if name:
+        return str(name)
+    return resolve_backend(None).name
 
 
-def _load_checkpoint(
-    path: str | os.PathLike, *, kind: str, fingerprint: str
-) -> dict[str, np.ndarray]:
-    """Read and verify a checkpoint, or raise :class:`CheckpointError`."""
-    path = os.fspath(path)
-    if not os.path.exists(path):
-        raise CheckpointError(
-            f"cannot resume: checkpoint {path!r} does not exist",
-            path=path,
-            reason="missing",
+def _coverage(spans: Iterable[tuple[int, int]]) -> int:
+    """Rows covered contiguously from row 0 by ``spans``."""
+    covered = 0
+    for start, stop in sorted(spans):
+        if start > covered:
+            break
+        covered = max(covered, stop)
+    return covered
+
+
+class _Checkpointer:
+    """Adapter between the chunked runners and the durable chunk store.
+
+    A no-op when ``path`` is ``None`` (persistence disabled).  Otherwise
+    every completed wave is appended to the write-ahead log and committed
+    (:class:`~repro.robustness.durability.DurableChunkStore`), and resume
+    goes through the salvage-aware loader: a torn or partially-corrupt
+    store yields the longest valid committed prefix, quarantines the rest
+    for recompute, and surfaces what happened as a
+    :class:`~repro.robustness.guard.RobustnessWarning` plus a
+    ``checkpoint_salvage`` event — never silent acceptance, never
+    wholesale discard.
+    """
+
+    def __init__(
+        self,
+        path: "str | os.PathLike | None",
+        *,
+        kind: str,
+        fingerprint: str,
+        total: int,
+        series: Mapping[str, np.ndarray],
+    ):
+        self.path = os.fspath(path) if path is not None else None
+        self.kind = kind
+        self.fingerprint = fingerprint
+        self.total = int(total)
+        self.series = series
+        self.context = current_context()
+        self._store: "DurableChunkStore | None" = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.path is not None
+
+    def _meta(
+        self, completed: int, quarantined: Iterable[tuple[int, int]]
+    ) -> dict:
+        return {
+            "version": CHECKPOINT_VERSION,
+            "kind": self.kind,
+            "fingerprint": self.fingerprint,
+            "completed": int(completed),
+            "total": self.total,
+            "quarantined": [
+                [int(start), int(stop)] for start, stop in quarantined
+            ],
+        }
+
+    def _io_error(self, operation: str, error: OSError) -> CheckpointError:
+        return CheckpointError(
+            f"checkpoint {operation} failed for {self.path!r}: {error}",
+            path=self.path,
+            reason="io",
         )
-    try:
-        with np.load(path, allow_pickle=False) as payload:
-            state = {name: np.array(payload[name]) for name in payload.files}
-    except Exception as error:
-        raise CheckpointError(
-            f"cannot resume: checkpoint {path!r} is unreadable ({error})",
-            path=path,
-            reason="corrupt",
-        ) from error
-    required = {"version", "kind", "fingerprint", "completed", "total"}
-    missing = required - set(state)
-    if missing:
-        raise CheckpointError(
-            f"cannot resume: checkpoint {path!r} lacks {sorted(missing)}",
-            path=path,
-            reason="corrupt",
+
+    def begin(self) -> None:
+        """Start a fresh store (commits an empty generation immediately)."""
+        if not self.enabled:
+            return
+        self._store = DurableChunkStore(
+            self.path, kind=self.kind, fingerprint=self.fingerprint
         )
-    if int(state["version"]) != CHECKPOINT_VERSION:
-        raise CheckpointError(
-            f"cannot resume: checkpoint {path!r} has version "
-            f"{int(state['version'])}, expected {CHECKPOINT_VERSION}",
-            path=path,
-            reason="version",
+        try:
+            self._store.create(self._meta(0, ()))
+        except OSError as error:
+            raise self._io_error("create", error) from error
+
+    def resume(self) -> tuple[int, list[tuple[int, int]]]:
+        """Load (salvaging if needed) and reopen the store for appending.
+
+        Fills :attr:`series` with the recovered rows and returns
+        ``(completed, quarantined_ranges)``.  Raises
+        :class:`~repro.core.errors.CheckpointError` — with the salvage
+        summary in the message — when nothing usable was recovered or the
+        store belongs to a different run configuration.
+        """
+        if not self.enabled:
+            raise CheckpointError(
+                "resume requested without a checkpoint path", reason="missing"
+            )
+        state = load_store_state(self.path)
+        report = state.report
+        salvage = report.summary()
+        chunks = [
+            record
+            for record in state.chunks
+            if record.kind == self.kind
+            and record.fingerprint == self.fingerprint
+        ]
+        meta = state.meta
+        if meta is None:
+            if not chunks:
+                # An empty log with no manifest is a crash one instant
+                # after create(): nothing committed, nothing torn —
+                # treat it as absent so callers can restart fresh.
+                reason = "corrupt" if report.torn_bytes else "missing"
+                raise CheckpointError(
+                    f"cannot resume: checkpoint {self.path!r} has no "
+                    f"committed state ({salvage})",
+                    path=self.path,
+                    reason=reason,
+                    salvage=salvage,
+                )
+            # Manifest destroyed but the log itself is healthy: the
+            # fingerprint-matched records are trustworthy (CRC + content
+            # hash), so synthesize the metadata instead of discarding.
+            meta = self._meta(_coverage((r.start, r.stop) for r in chunks), ())
+        if int(meta.get("version", -1)) != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"cannot resume: checkpoint {self.path!r} has version "
+                f"{meta.get('version')}, expected {CHECKPOINT_VERSION}",
+                path=self.path,
+                reason="version",
+                salvage=salvage,
+            )
+        if str(meta.get("kind", "")) != self.kind:
+            raise CheckpointError(
+                f"cannot resume: checkpoint {self.path!r} holds a "
+                f"{str(meta.get('kind', ''))!r} run, not {self.kind!r}",
+                path=self.path,
+                reason="mismatch",
+                salvage=salvage,
+            )
+        if str(meta.get("fingerprint", "")) != self.fingerprint:
+            raise CheckpointError(
+                f"cannot resume: checkpoint {self.path!r} was written by a "
+                "different run configuration (seed, draws, parameters, "
+                "backend, planner, or policy differ)",
+                path=self.path,
+                reason="mismatch",
+                salvage=salvage,
+            )
+        committed = int(meta.get("completed", 0))
+        if committed > self.total or int(meta.get("total", -1)) != self.total:
+            raise CheckpointError(
+                f"checkpoint {self.path!r} covers "
+                f"{committed}/{meta.get('total')} rows, expected {self.total}",
+                path=self.path,
+                reason="mismatch",
+                salvage=salvage,
+            )
+        spans = []
+        for record in chunks:
+            for name, values in record.arrays.items():
+                if name in self.series:
+                    self.series[name][record.start : record.stop] = values
+            spans.append((record.start, record.stop))
+        completed = min(committed, _coverage(spans))
+        # Quarantined holes sit inside the completed prefix; any range a
+        # lossy salvage pushed past `completed` gets recomputed by the
+        # main loop anyway.
+        quarantined = [
+            (int(start), int(stop))
+            for start, stop in meta.get("quarantined", [])
+            if int(stop) <= completed
+        ]
+        lossy = report.lossy or completed < committed
+        if lossy:
+            from repro.robustness.guard import RobustnessWarning
+
+            warnings.warn(
+                f"checkpoint {self.path!r} was damaged; recovered the "
+                f"longest valid committed prefix ({salvage}); "
+                f"{committed - completed} row(s) will be recomputed",
+                RobustnessWarning,
+                stacklevel=3,
+            )
+            if self.context.enabled:
+                self.context.count("checkpoint.salvages")
+                self.context.event(
+                    "checkpoint_salvage",
+                    kind=self.kind,
+                    path=self.path,
+                    chunks_kept=report.chunks_kept,
+                    chunks_quarantined=len(report.chunks_quarantined),
+                    generation=report.generation,
+                    completed=completed,
+                    committed=committed,
+                    summary=salvage,
+                )
+        if self.context.enabled:
+            self.context.count("checkpoint.restores")
+            self.context.event(
+                "checkpoint_restore",
+                kind=self.kind,
+                path=self.path,
+                completed=completed,
+                total=self.total,
+            )
+        self._store = DurableChunkStore(
+            self.path, kind=self.kind, fingerprint=self.fingerprint
         )
-    if str(state["kind"]) != kind:
-        raise CheckpointError(
-            f"cannot resume: checkpoint {path!r} holds a "
-            f"{str(state['kind'])!r} run, not {kind!r}",
-            path=path,
-            reason="mismatch",
-        )
-    if str(state["fingerprint"]) != fingerprint:
-        raise CheckpointError(
-            f"cannot resume: checkpoint {path!r} was written by a different "
-            "run configuration (seed, draws, parameters, or policy differ)",
-            path=path,
-            reason="mismatch",
-        )
-    return state
+        try:
+            self._store.open_resume(state)
+        except OSError as error:
+            raise self._io_error("reopen", error) from error
+        return completed, quarantined
+
+    def append_range(self, start: int, stop: int) -> None:
+        """Write-ahead one series row range (visible after next commit)."""
+        if self._store is None or stop <= start:
+            return
+        arrays = {
+            name: values[start:stop] for name, values in self.series.items()
+        }
+        try:
+            self._store.append(start, stop, arrays)
+        except OSError as error:
+            raise self._io_error("append", error) from error
+
+    def save(
+        self,
+        start: int,
+        stop: int,
+        *,
+        completed: int,
+        quarantined: Iterable[tuple[int, int]] = (),
+    ) -> None:
+        """Append rows [start, stop) and commit the new generation."""
+        if not self.enabled:
+            return
+        self.append_range(start, stop)
+        self.commit(completed, quarantined)
+
+    def commit(
+        self,
+        completed: int,
+        quarantined: Iterable[tuple[int, int]] = (),
+    ) -> None:
+        """Commit every appended record under updated run metadata."""
+        if self._store is None:
+            return
+        try:
+            self._store.commit(self._meta(completed, quarantined))
+        except OSError as error:
+            raise self._io_error("commit", error) from error
+        if self.context.enabled:
+            self.context.count("checkpoint.saves")
+            self.context.event(
+                "checkpoint_save",
+                kind=self.kind,
+                path=self.path,
+                completed=int(completed),
+                total=self.total,
+            )
+
+    def close(self) -> None:
+        """Release the append handle (safe when persistence is off)."""
+        if self._store is not None:
+            self._store.close()
+            self._store = None
 
 
 # --- Monte Carlo ---------------------------------------------------------
@@ -281,76 +506,42 @@ def run_monte_carlo_chunked(
             ranges=ranges,
         )
     guard_tag = guard.policy if guard is not None else "off"
+    # The sampled columns are a pure function of the entries below, so
+    # the fingerprint hashes the configuration, not the (potentially
+    # hundreds of MB of) column data itself: same identity guarantee,
+    # none of the hashing cost on the hot path.
     fingerprint = _fingerprint(
         "montecarlo",
-        columns,
-        (draws, seed, distribution, guard_tag, sorted(base.as_dict().items())),
+        {},
+        (
+            draws,
+            seed,
+            distribution,
+            guard_tag,
+            f"backend={_checkpoint_backend_token(resolved_policy)}",
+            f"columns={','.join(sorted(columns))}",
+            f"ranges={sorted(ranges.items()) if ranges else None}",
+            f"sharded={chunk_rows if resolved_policy is not None else None}",
+            sorted(base.as_dict().items()),
+        ),
     )
     samples = np.full(draws, np.nan)
     completed = 0
+    ckpt = _Checkpointer(
+        checkpoint,
+        kind="montecarlo",
+        fingerprint=fingerprint,
+        total=draws,
+        series={"samples": samples},
+    )
     # Global (start, stop) row ranges lost to quarantined shards; persisted
     # with the checkpoint so a resume knows exactly which completed rows
     # are holes to re-attempt (older checkpoints simply lack the key).
     quarantined_ranges: list[tuple[int, int]] = []
     if resume:
-        if checkpoint is None:
-            raise CheckpointError(
-                "resume requested without a checkpoint path", reason="missing"
-            )
-        state = _load_checkpoint(
-            checkpoint, kind="montecarlo", fingerprint=fingerprint
-        )
-        completed = int(state["completed"])
-        if completed > draws or int(state["total"]) != draws:
-            raise CheckpointError(
-                f"checkpoint {os.fspath(checkpoint)!r} covers "
-                f"{completed}/{int(state['total'])} draws, expected {draws}",
-                path=checkpoint,
-                reason="mismatch",
-            )
-        samples[:completed] = state["samples"][:completed]
-        if "quarantined" in state:
-            quarantined_ranges = [
-                (int(start), int(stop))
-                for start, stop in np.asarray(state["quarantined"]).reshape(
-                    -1, 2
-                )
-            ]
-        if context.enabled:
-            context.count("checkpoint.restores")
-            context.event(
-                "checkpoint_restore",
-                kind="montecarlo",
-                path=os.fspath(checkpoint),
-                completed=completed,
-                total=draws,
-            )
-
-    def _save() -> None:
-        if checkpoint is not None:
-            _atomic_save(
-                checkpoint,
-                {
-                    "version": np.array(CHECKPOINT_VERSION),
-                    "kind": np.array("montecarlo"),
-                    "fingerprint": np.array(fingerprint),
-                    "completed": np.array(completed),
-                    "total": np.array(draws),
-                    "samples": samples[:completed],
-                    "quarantined": np.array(
-                        quarantined_ranges, dtype=np.int64
-                    ).reshape(-1, 2),
-                },
-            )
-            if context.enabled:
-                context.count("checkpoint.saves")
-                context.event(
-                    "checkpoint_save",
-                    kind="montecarlo",
-                    path=os.fspath(checkpoint),
-                    completed=completed,
-                    total=draws,
-                )
+        completed, quarantined_ranges = ckpt.resume()
+    else:
+        ckpt.begin()
 
     parallel = resolved_policy is not None and resolved_policy.parallel
     # One wave dispatches `workers` chunks at once; `completed` always
@@ -376,7 +567,7 @@ def run_monte_carlo_chunked(
         ):
             while completed < draws:
                 if cancel is not None and cancel.should_stop():
-                    _save()
+                    ckpt.commit(completed, quarantined_ranges)
                     error = RunInterrupted(
                         f"Monte Carlo interrupted at {completed}/{draws} draws"
                         + (
@@ -422,6 +613,7 @@ def run_monte_carlo_chunked(
                     samples[completed:stop] = evaluate_cached(
                         batch, cache
                     ).total_g
+                wave_start = completed
                 completed = stop
                 if context.enabled:
                     context.count("analysis.montecarlo.chunks")
@@ -431,7 +623,12 @@ def run_monte_carlo_chunked(
                         completed=completed,
                         total=draws,
                     )
-                _save()
+                ckpt.save(
+                    wave_start,
+                    completed,
+                    completed=completed,
+                    quarantined=quarantined_ranges,
+                )
             if resume and quarantined_ranges:
                 # A resumed partial run re-attempts ONLY the quarantined
                 # holes — every healthy row rides along from the
@@ -477,9 +674,13 @@ def run_monte_carlo_chunked(
                             stop=int(stop),
                             healed=(start, stop) not in still,
                         )
+                    # Write-ahead the re-attempted rows: the record
+                    # overlays the already-committed chunk on replay.
+                    ckpt.append_range(start, stop)
                 quarantined_ranges = still
-                _save()
+                ckpt.commit(completed, quarantined_ranges)
     finally:
+        ckpt.close()
         if runner is not None:
             runner.close()
 
@@ -541,9 +742,12 @@ def sweep_grid_batched_chunked(
             process-wide mode.  On the serial path an engaged planner
             (:mod:`repro.engine.plan`) factors Eq. 1-8 once into
             per-axis partial tables and each chunk only gathers its row
-            range — bit-identical values, so planned and dense runs
-            resume each other's checkpoints freely.  Parallel waves
-            always evaluate densely.
+            range — bit-identical values.  The *resolved* mode is folded
+            into the checkpoint fingerprint, so a run checkpointed under
+            one planner mode refuses (``CheckpointError``, reason
+            ``"mismatch"``) to resume under another — re-run with the
+            original mode instead.  Parallel waves always evaluate
+            densely.
     """
     require_positive("chunk_rows", chunk_rows)
     from repro.engine.plan import (
@@ -559,59 +763,30 @@ def sweep_grid_batched_chunked(
     size, columns = product_columns(base, grids)
     names = tuple(grids)
     fingerprint = _fingerprint(
-        "sweep", columns, (size, names, sorted(base.as_dict().items()))
+        "sweep",
+        columns,
+        (
+            size,
+            names,
+            f"backend={_checkpoint_backend_token(resolved_policy)}",
+            f"planner={planner_mode}",
+            sorted(base.as_dict().items()),
+        ),
     )
     series_names = tuple(BatchResult.__dataclass_fields__)
     series = {name: np.full(size, np.nan) for name in series_names}
     completed = 0
+    ckpt = _Checkpointer(
+        checkpoint,
+        kind="sweep",
+        fingerprint=fingerprint,
+        total=size,
+        series=series,
+    )
     if resume:
-        if checkpoint is None:
-            raise CheckpointError(
-                "resume requested without a checkpoint path", reason="missing"
-            )
-        state = _load_checkpoint(checkpoint, kind="sweep", fingerprint=fingerprint)
-        completed = int(state["completed"])
-        if completed > size or int(state["total"]) != size:
-            raise CheckpointError(
-                f"checkpoint {os.fspath(checkpoint)!r} covers "
-                f"{completed}/{int(state['total'])} rows, expected {size}",
-                path=checkpoint,
-                reason="mismatch",
-            )
-        for name in series_names:
-            series[name][:completed] = state[name][:completed]
-        if context.enabled:
-            context.count("checkpoint.restores")
-            context.event(
-                "checkpoint_restore",
-                kind="sweep",
-                path=os.fspath(checkpoint),
-                completed=completed,
-                total=size,
-            )
-
-    def _save() -> None:
-        if checkpoint is not None:
-            payload = {
-                "version": np.array(CHECKPOINT_VERSION),
-                "kind": np.array("sweep"),
-                "fingerprint": np.array(fingerprint),
-                "completed": np.array(completed),
-                "total": np.array(size),
-            }
-            payload.update(
-                {name: series[name][:completed] for name in series_names}
-            )
-            _atomic_save(checkpoint, payload)
-            if context.enabled:
-                context.count("checkpoint.saves")
-                context.event(
-                    "checkpoint_save",
-                    kind="sweep",
-                    path=os.fspath(checkpoint),
-                    completed=completed,
-                    total=size,
-                )
+        completed, _ = ckpt.resume()
+    else:
+        ckpt.begin()
 
     parallel = resolved_policy is not None and resolved_policy.parallel
     wave_rows = (
@@ -628,8 +803,9 @@ def sweep_grid_batched_chunked(
     if not parallel and planner_engaged(planner_mode, size):
         # Factor Eq. 1-8 once up front; each chunk below then only
         # gathers its row range out of the broadcasted outer product.
-        # Values are bit-identical to the dense chunk evaluation, so the
-        # checkpoint fingerprint (grid columns) needs no planner marker.
+        # Values are bit-identical to the dense chunk evaluation; the
+        # resolved mode is still folded into the fingerprint so resumes
+        # can never silently cross planner settings.
         plan = plan_product(base, grids)
         factor_tables = plan.partial_series()
     try:
@@ -641,7 +817,7 @@ def sweep_grid_batched_chunked(
         ):
             while completed < size:
                 if cancel is not None and cancel.should_stop():
-                    _save()
+                    ckpt.commit(completed)
                     raise RunInterrupted(
                         f"grid sweep interrupted at {completed}/{size} rows"
                         + (
@@ -685,14 +861,16 @@ def sweep_grid_batched_chunked(
                         series[name][completed:stop] = getattr(
                             chunk_result, name
                         )
+                wave_start = completed
                 completed = stop
                 if context.enabled:
                     context.count("dse.sweep.chunks")
                     context.event(
                         "chunk", kind="sweep", completed=completed, total=size
                     )
-                _save()
+                ckpt.save(wave_start, completed, completed=completed)
     finally:
+        ckpt.close()
         if runner is not None:
             runner.close()
 
@@ -727,9 +905,9 @@ def run_schedule_sweep_chunked(
     Scenario rows are *regenerated* per chunk from the spec's seed
     (:func:`~repro.scheduling.sweep.build_schedule_batch` is pure in
     ``(spec, row)``), so the checkpoint fingerprint is the spec's own
-    identity — no materialized columns to hash — and a checkpoint written
-    at one worker count or chunk size resumes bit-identically at any
-    other.
+    identity plus the resolved backend name — no materialized columns to
+    hash — and a checkpoint written at one worker count or chunk size
+    resumes bit-identically at any other (but never across backends).
 
     Args:
         chunk_rows: Rows per evaluation chunk (and checkpoint cadence).
@@ -770,6 +948,15 @@ def run_schedule_sweep_chunked(
     backend_name = (
         resolve_backend(backend).name if backend is not None else None
     )
+    # The explicit backend argument wins; otherwise the policy's backend
+    # or the process-wide default — the same resolution the evaluation
+    # paths use, folded into the fingerprint so a sweep evaluated under
+    # one backend cannot silently resume another's checkpoint.
+    backend_token = (
+        backend_name
+        if backend_name is not None
+        else _checkpoint_backend_token(resolved_policy)
+    )
     context = current_context()
     rows = spec.rows
     fingerprint = _fingerprint(
@@ -778,60 +965,22 @@ def run_schedule_sweep_chunked(
         tuple(
             f"{key}={value}"
             for key, value in sorted(spec.fingerprint_metadata().items())
-        ),
+        )
+        + (f"backend={backend_token}",),
     )
     series = {name: np.full(rows, np.nan) for name in SCHEDULE_SERIES}
     completed = 0
+    ckpt = _Checkpointer(
+        checkpoint_path,
+        kind="schedule",
+        fingerprint=fingerprint,
+        total=rows,
+        series=series,
+    )
     if resume:
-        if checkpoint_path is None:
-            raise CheckpointError(
-                "resume requested without a checkpoint path", reason="missing"
-            )
-        state = _load_checkpoint(
-            checkpoint_path, kind="schedule", fingerprint=fingerprint
-        )
-        completed = int(state["completed"])
-        if completed > rows or int(state["total"]) != rows:
-            raise CheckpointError(
-                f"checkpoint {os.fspath(checkpoint_path)!r} covers "
-                f"{completed}/{int(state['total'])} rows, expected {rows}",
-                path=checkpoint_path,
-                reason="mismatch",
-            )
-        for name in SCHEDULE_SERIES:
-            series[name][:completed] = state[name][:completed]
-        if context.enabled:
-            context.count("checkpoint.restores")
-            context.event(
-                "checkpoint_restore",
-                kind="schedule",
-                path=os.fspath(checkpoint_path),
-                completed=completed,
-                total=rows,
-            )
-
-    def _save() -> None:
-        if checkpoint_path is not None:
-            payload = {
-                "version": np.array(CHECKPOINT_VERSION),
-                "kind": np.array("schedule"),
-                "fingerprint": np.array(fingerprint),
-                "completed": np.array(completed),
-                "total": np.array(rows),
-            }
-            payload.update(
-                {name: series[name][:completed] for name in SCHEDULE_SERIES}
-            )
-            _atomic_save(checkpoint_path, payload)
-            if context.enabled:
-                context.count("checkpoint.saves")
-                context.event(
-                    "checkpoint_save",
-                    kind="schedule",
-                    path=os.fspath(checkpoint_path),
-                    completed=completed,
-                    total=rows,
-                )
+        completed, _ = ckpt.resume()
+    else:
+        ckpt.begin()
 
     parallel = resolved_policy is not None and resolved_policy.parallel
     wave_rows = (
@@ -854,7 +1003,7 @@ def run_schedule_sweep_chunked(
         ):
             while completed < rows:
                 if cancel is not None and cancel.should_stop():
-                    _save()
+                    ckpt.commit(completed)
                     error = RunInterrupted(
                         f"schedule sweep interrupted at {completed}/{rows} "
                         "rows"
@@ -891,6 +1040,7 @@ def run_schedule_sweep_chunked(
                         series[name][completed:stop] = getattr(
                             chunk_result, name
                         )
+                wave_start = completed
                 completed = stop
                 if context.enabled:
                     context.count("scheduling.sweep.chunks")
@@ -900,8 +1050,9 @@ def run_schedule_sweep_chunked(
                         completed=completed,
                         total=rows,
                     )
-                _save()
+                ckpt.save(wave_start, completed, completed=completed)
     finally:
+        ckpt.close()
         if runner is not None:
             runner.close()
     return series

@@ -41,6 +41,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.core.errors import ParameterError
+from repro.robustness.durability import DurableIO
 
 #: Fault classes, in the order the smoke suite sweeps them.
 FAULT_NAN = "nan"
@@ -401,3 +402,332 @@ def apply_process_faults(
             raise ResultDropped(
                 f"chaos: dropped result message for shard {shard}"
             )
+
+
+# --------------------------------------------------------------------------
+# Filesystem fault injection (crash points, torn writes, ENOSPC/EIO)
+# --------------------------------------------------------------------------
+
+#: I/O fault kinds accepted by :class:`IOFault`.
+IO_FAULT_CRASH = "crash"
+IO_FAULT_TORN = "torn"
+IO_FAULT_DROP_FSYNC = "drop_fsync"
+IO_FAULT_ENOSPC = "enospc"
+IO_FAULT_EIO = "eio"
+IO_FAULT_TORN_RENAME = "torn_rename"
+IO_FAULTS = (
+    IO_FAULT_CRASH,
+    IO_FAULT_TORN,
+    IO_FAULT_DROP_FSYNC,
+    IO_FAULT_ENOSPC,
+    IO_FAULT_EIO,
+    IO_FAULT_TORN_RENAME,
+)
+
+
+class CrashPoint(BaseException):
+    """An injected crash fired at a registered durability boundary.
+
+    Raised by exception-mode :class:`FaultyIO` *after* simulating the
+    power loss (un-fsynced bytes truncated, un-dir-fsynced renames rolled
+    back), so the on-disk state the handler observes is exactly what a
+    real kill at that instant could have left.  A ``BaseException`` so no
+    recovery/retry layer can accidentally swallow it.
+    """
+
+    def __init__(self, point: str, occurrence: int):
+        super().__init__(f"injected crash at {point!r} (occurrence {occurrence})")
+        self.point = point
+        self.occurrence = occurrence
+
+
+@dataclasses.dataclass(frozen=True)
+class IOFault:
+    """One deterministic filesystem fault, armed at a named crash point.
+
+    Attributes:
+        kind: One of :data:`IO_FAULTS` — ``crash`` (die at the point),
+            ``torn`` (write only a byte prefix, then die), ``drop_fsync``
+            (the fsync silently does nothing — pair with a later
+            ``crash`` to lose the lied-about bytes), ``enospc``/``eio``
+            (the operation fails with that ``errno``), ``torn_rename``
+            (destination updated, source left behind, then die).
+        point: The registered crash-point name to fire at (see
+            :data:`~repro.robustness.durability.CRASH_POINTS`).
+        occurrence: Fire on the Nth time the point is reached (1-based).
+        tear_bytes: For ``torn``: how many leading bytes survive.
+    """
+
+    kind: str
+    point: str
+    occurrence: int = 1
+    tear_bytes: int = 37
+
+    def __post_init__(self) -> None:
+        if self.kind not in IO_FAULTS:
+            raise ParameterError(
+                f"unknown I/O fault kind {self.kind!r}; expected one of {IO_FAULTS}"
+            )
+        if self.occurrence < 1:
+            raise ParameterError("IOFault.occurrence is 1-based and must be >= 1")
+
+
+class FaultyIO(DurableIO):
+    """A :class:`~repro.robustness.durability.DurableIO` that injects faults.
+
+    Two crash modes:
+
+    * ``"sigkill"`` — the fault delivers a real ``SIGKILL`` to the
+      process.  Used by the subprocess torture campaigns: durability is
+      then proven against the actual kernel page cache, not a simulation.
+    * ``"exception"`` — the fault simulates the power loss in-process
+      (files truncated back to their last-fsynced size, renames not yet
+      pinned by a directory fsync rolled back, trimmed log tails
+      resurrected) and raises :class:`CrashPoint`.  Used for in-process
+      campaigns (e.g. ``workers=4``, where SIGKILLing the parent would
+      orphan daemonized pool workers) and for the property tests.
+
+    With an empty fault list the layer is a pure recorder: it performs
+    every operation verbatim while counting reached crash points in
+    :attr:`points_reached` — how the torture harness enumerates a
+    workload's boundary trace before arming faults against it.
+
+    Not thread-safe; install per-run via
+    :func:`~repro.robustness.durability.use_durable_io`.
+    """
+
+    def __init__(
+        self,
+        faults: Sequence[IOFault] = (),
+        *,
+        mode: str = "exception",
+    ):
+        if mode not in ("exception", "sigkill"):
+            raise ParameterError(
+                f"unknown FaultyIO mode {mode!r}; expected 'exception' or 'sigkill'"
+            )
+        self.faults = tuple(faults)
+        self.mode = mode
+        #: point name -> times reached, in this layer's lifetime.
+        self.points_reached: dict[str, int] = {}
+        #: every point reached, in order.
+        self.trace: list[str] = []
+        self._consumed: set[int] = set()
+        self._pending: IOFault | None = None
+        self._handles: dict[int, tuple[str, str]] = {}
+        self._synced: dict[str, int] = {}
+        self._pending_renames: list[tuple[str, str, "bytes | None"]] = []
+        self._pending_tails: dict[str, bytes] = {}
+
+    # -- fault dispatch ----------------------------------------------------
+
+    def reached(self, point: str) -> None:
+        """Count the crossing and fire any fault armed at this point."""
+        count = self.points_reached.get(point, 0) + 1
+        self.points_reached[point] = count
+        self.trace.append(point)
+        self._pending = None
+        for fault in self.faults:
+            if (
+                fault.point != point
+                or fault.occurrence != count
+                or id(fault) in self._consumed
+            ):
+                continue
+            self._consumed.add(id(fault))
+            if fault.kind == IO_FAULT_CRASH:
+                self._crash(point, count)
+            elif fault.kind == IO_FAULT_ENOSPC:
+                raise OSError(28, f"injected ENOSPC at {point}")  # errno.ENOSPC
+            elif fault.kind == IO_FAULT_EIO:
+                raise OSError(5, f"injected EIO at {point}")  # errno.EIO
+            else:
+                # torn / drop_fsync / torn_rename are honored by the
+                # primitive this point guards, which runs next.
+                self._pending = fault
+            return
+
+    def _take_pending(self, kind: str) -> "IOFault | None":
+        fault = self._pending
+        if fault is not None and fault.kind == kind:
+            self._pending = None
+            return fault
+        return None
+
+    def _crash(self, point: str, occurrence: int) -> "None":
+        if self.mode == "sigkill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        self._power_loss()
+        raise CrashPoint(point, occurrence)
+
+    def _power_loss(self) -> None:
+        """Reduce the filesystem to what a real power cut could leave.
+
+        Write-opened files are truncated back to their last-fsynced size,
+        renames not yet pinned by a directory fsync are rolled back, and
+        log tails trimmed without a subsequent fsync are resurrected.
+        Unlinks are *not* undone (a resurrected manifest is tolerated by
+        the reader anyway, which clamps its offset to the log length).
+        """
+        for path, synced in self._synced.items():
+            try:
+                if os.path.getsize(path) > synced:
+                    os.truncate(path, synced)
+            except OSError:
+                continue
+        for source, destination, old in reversed(self._pending_renames):
+            try:
+                with open(destination, "rb") as handle:
+                    current = handle.read()
+            except OSError:
+                current = None
+            if current is not None:
+                with open(source, "wb") as handle:
+                    handle.write(current)
+            if old is None:
+                try:
+                    os.remove(destination)
+                except OSError:
+                    pass
+            else:
+                with open(destination, "wb") as handle:
+                    handle.write(old)
+        self._pending_renames.clear()
+        for path, tail in self._pending_tails.items():
+            try:
+                with open(path, "ab") as handle:
+                    handle.write(tail)
+            except OSError:
+                continue
+        self._pending_tails.clear()
+
+    # -- DurableIO primitives ---------------------------------------------
+
+    def open(self, path: str, mode: str, point: str):
+        """Open ``path``, tracking write handles for power-loss simulation."""
+        self.reached(point)
+        if "b" in mode:
+            handle = open(path, mode)
+        else:
+            handle = open(path, mode, encoding="utf-8")
+        if any(flag in mode for flag in ("w", "a", "+")):
+            self._handles[id(handle)] = (os.path.abspath(path), mode)
+            durable = 0
+            if not mode.startswith("w"):
+                try:
+                    durable = os.path.getsize(path)
+                except OSError:
+                    durable = 0
+            self._synced.setdefault(os.path.abspath(path), durable)
+            if mode.startswith("w"):
+                self._synced[os.path.abspath(path)] = 0
+        return handle
+
+    def write(self, handle, data, point: str) -> None:
+        """Write ``data``, honoring an armed torn-write fault."""
+        self.reached(point)
+        fault = self._take_pending(IO_FAULT_TORN)
+        if fault is None:
+            handle.write(data)
+            return
+        prefix = data[: max(0, min(fault.tear_bytes, len(data)))]
+        handle.write(prefix)
+        handle.flush()
+        if self.mode == "sigkill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        # The torn prefix is the part that *did* reach the platter:
+        # pin it as durable, then lose everything else.
+        info = self._handles.get(id(handle))
+        if info is not None:
+            try:
+                self._synced[info[0]] = os.fstat(handle.fileno()).st_size
+            except OSError:
+                pass
+        self._power_loss()
+        raise CrashPoint(point, self.points_reached.get(point, 1))
+
+    def fsync(self, handle, point: str) -> None:
+        """Fsync, honoring an armed dropped-fsync fault."""
+        self.reached(point)
+        if self._take_pending(IO_FAULT_DROP_FSYNC) is not None:
+            return  # the lie: caller believes the bytes are durable
+        handle.flush()
+        os.fsync(handle.fileno())
+        info = self._handles.get(id(handle))
+        if info is not None:
+            try:
+                self._synced[info[0]] = os.fstat(handle.fileno()).st_size
+            except OSError:
+                pass
+            self._pending_tails.pop(info[0], None)
+
+    def flush(self, handle, point: str) -> None:
+        """Flush without fsync (audit streams); bytes stay volatile."""
+        self.reached(point)
+        handle.flush()
+
+    def replace(self, source: str, destination: str, point: str) -> None:
+        """Rename, honoring an armed torn-rename fault."""
+        self.reached(point)
+        source = os.path.abspath(source)
+        destination = os.path.abspath(destination)
+        fault = self._take_pending(IO_FAULT_TORN_RENAME)
+        if fault is not None:
+            # Worst-case torn rename: destination carries the new bytes
+            # but the source entry survives, then the process dies.
+            with open(source, "rb") as handle:
+                payload = handle.read()
+            with open(destination, "wb") as handle:
+                handle.write(payload)
+            if self.mode == "sigkill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            self._power_loss()
+            raise CrashPoint(point, self.points_reached.get(point, 1))
+        old: "bytes | None"
+        try:
+            with open(destination, "rb") as handle:
+                old = handle.read()
+        except OSError:
+            old = None
+        os.replace(source, destination)
+        self._synced.pop(source, None)
+        self._pending_renames.append((source, destination, old))
+
+    def unlink(self, path: str, point: str) -> None:
+        """Remove ``path`` if present."""
+        self.reached(point)
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            pass
+
+    def truncate(self, handle, size: int, point: str) -> None:
+        """Truncate, remembering the cut tail until the next fsync."""
+        self.reached(point)
+        info = self._handles.get(id(handle))
+        if info is not None:
+            path = info[0]
+            try:
+                current = os.path.getsize(path)
+            except OSError:
+                current = size
+            if current > size:
+                with open(path, "rb") as reader:
+                    reader.seek(size)
+                    self._pending_tails[path] = reader.read(current - size)
+                self._synced[path] = min(self._synced.get(path, 0), size)
+        handle.truncate(size)
+
+    def fsync_dir(self, path: str, point: str) -> None:
+        """Directory fsync: pins completed renames against power loss."""
+        self.reached(point)
+        self._pending_renames.clear()
+        directory = os.path.dirname(os.path.abspath(path)) or "."
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir-open
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)

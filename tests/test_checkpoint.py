@@ -15,6 +15,7 @@ from repro.robustness import (
     CountingCancelToken,
     GuardedEngine,
     RobustnessWarning,
+    load_store_state,
     run_monte_carlo_chunked,
     sweep_grid_batched_chunked,
 )
@@ -207,6 +208,10 @@ class TestSweepChunked:
             BASE, GRIDS, chunk_rows=7, checkpoint=path
         )
         assert path.exists()
-        with np.load(path, allow_pickle=False) as payload:
-            assert int(payload["completed"]) == len(result)
-            assert str(payload["kind"]) == "sweep"
+        state = load_store_state(path)
+        assert not state.report.lossy
+        assert int(state.meta["completed"]) == len(result)
+        assert str(state.meta["kind"]) == "sweep"
+        replayed = {"total_g": np.full(len(result), np.nan)}
+        assert state.replay(replayed) == len(result)
+        np.testing.assert_array_equal(replayed["total_g"], result.result.total_g)

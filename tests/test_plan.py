@@ -506,8 +506,13 @@ class TestChunkedPlanned:
         )
         assert_results_identical(dense.result, chunked.result)
 
-    def test_resume_across_planner_modes_is_bit_identical(self, tmp_path):
-        from repro.core.errors import RunInterrupted
+    def test_resume_folds_planner_mode_into_the_fingerprint(self, tmp_path):
+        # The planner mode is part of a checkpoint's identity: resuming
+        # under a different mode refuses with a typed mismatch (the two
+        # paths are bit-identical by the planner contract, but identity
+        # checks must not rely on that), while the same mode resumes to
+        # the bit-identical dense result.
+        from repro.core.errors import CheckpointError, RunInterrupted
         from repro.robustness import CancelToken
 
         class StopAfter(CancelToken):
@@ -531,13 +536,23 @@ class TestChunkedPlanned:
                 cancel=StopAfter(3),
                 planner="off",
             )
+        with pytest.raises(CheckpointError) as excinfo:
+            sweep_grid_batched_chunked(
+                BASE,
+                BIG_GRIDS,
+                chunk_rows=640,
+                checkpoint=path,
+                resume=True,
+                planner="on",
+            )
+        assert excinfo.value.reason == "mismatch"
         resumed = sweep_grid_batched_chunked(
             BASE,
             BIG_GRIDS,
             chunk_rows=640,
             checkpoint=path,
             resume=True,
-            planner="on",
+            planner="off",
         )
         assert_results_identical(dense.result, resumed.result)
 

@@ -1,0 +1,138 @@
+"""Bounded torture-campaign smoke tests and the ``repro torture`` CLI.
+
+The full kill-at-every-crash-point campaigns run in the dedicated
+crash-consistency CI job (``repro torture``); here a bounded subset
+keeps the tier-1 suite fast while still proving the harness machinery
+end to end: point recording, in-process power-loss crashes, a real
+SIGKILL subprocess crash, error-injection recovery, and the CLI wiring.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.errors import ParameterError
+from repro.robustness.torture import (
+    ERROR_KINDS,
+    KILL_KINDS,
+    TORTURE_WORKLOADS,
+    run_error_campaign,
+    run_kill_campaign,
+    run_record_campaign,
+)
+
+#: A fast representative subset: one point per protocol stage (chunk
+#: write, manifest commit, durable marker, JSONL audit stream).
+SUBSET = (
+    "store.chunk.write",
+    "store.manifest.rename",
+    "store.committed",
+    "obs.jsonl.write",
+)
+
+
+class TestRecordCampaign:
+    def test_mc_workload_reaches_the_required_point_count(self):
+        traces = run_record_campaign("mc")
+        distinct = set(traces["fresh"]) | set(traces["resume"])
+        assert len(distinct) >= 15
+        for expected in SUBSET:
+            assert expected in distinct
+        # Resume exercises the trim path a fresh run never reaches.
+        assert "store.log.truncate" in traces["resume"]
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(ParameterError):
+            run_record_campaign("definitely-not-a-workload")
+
+    def test_registry_names_all_workloads(self):
+        assert set(TORTURE_WORKLOADS) == {"mc", "sweep", "schedule"}
+
+
+class TestKillCampaign:
+    def test_inprocess_crashes_converge_bit_identically(self):
+        result = run_kill_campaign(
+            "mc", mode="inprocess", kinds=("crash",), points=SUBSET
+        )
+        assert result.outcomes, "no faults were armed"
+        assert result.passed, result.summary()
+        assert set(result.points_covered) == set(SUBSET)
+        assert all(outcome.fired for outcome in result.outcomes)
+
+    def test_subprocess_sigkill_converges(self):
+        result = run_kill_campaign(
+            "mc", kinds=("crash",), points=("store.manifest.rename",)
+        )
+        assert result.mode == "subprocess"
+        assert result.outcomes and result.passed, result.summary()
+
+    def test_torn_write_and_dropped_fsync_converge(self):
+        result = run_kill_campaign(
+            "mc",
+            mode="inprocess",
+            kinds=("torn", "drop_fsync"),
+            points=("store.chunk.write", "store.chunk.fsync"),
+        )
+        assert result.outcomes
+        assert result.passed, result.summary()
+
+    def test_subprocess_mode_rejects_non_crash_kinds(self):
+        with pytest.raises(ParameterError):
+            run_kill_campaign("mc", mode="subprocess", kinds=("torn",))
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ParameterError):
+            run_kill_campaign("mc", kinds=("meteor",))
+        with pytest.raises(ParameterError):
+            run_error_campaign("mc", kinds=("meteor",))
+
+    def test_as_dict_is_json_serializable(self):
+        result = run_kill_campaign(
+            "mc", mode="inprocess", kinds=("crash",),
+            points=("store.committed",),
+        )
+        payload = json.loads(json.dumps(result.as_dict()))
+        assert payload["workload"] == "mc"
+        assert payload["passed"] is True
+
+
+class TestErrorCampaign:
+    def test_enospc_and_eio_recover_bit_identically(self):
+        result = run_error_campaign(
+            "mc", kinds=ERROR_KINDS,
+            points=("store.chunk.fsync", "store.manifest.tmp.write"),
+        )
+        assert len(result.outcomes) == 4  # 2 kinds x 2 points
+        assert result.passed, result.summary()
+
+
+class TestTortureCli:
+    def test_list_points_prints_the_registry(self, capsys):
+        assert cli_main(["torture", "--list-points"]) == 0
+        out = capsys.readouterr().out
+        assert "store.chunk.write:" in out
+        assert "obs.jsonl.write:" in out
+
+    def test_bounded_campaign_exits_zero_with_json(self, capsys):
+        code = cli_main(
+            [
+                "torture", "--workload", "mc", "--mode", "inprocess",
+                "--kinds", "crash", "--points", "store.committed", "--json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload[0]["passed"] is True
+        assert payload[0]["outcomes"]
+
+    def test_unknown_kind_exits_two(self, capsys):
+        code = cli_main(["torture", "--kinds", "meteor"])
+        assert code == 2
+        assert "unknown fault kinds" in capsys.readouterr().err
+
+    def test_kind_lists_stay_in_sync_with_the_harness(self):
+        # The CLI splits --kinds against these exact registries.
+        assert set(KILL_KINDS) == {"crash", "torn", "torn_rename", "drop_fsync"}
+        assert set(ERROR_KINDS) == {"enospc", "eio"}

@@ -42,6 +42,9 @@ GUARDED_SERIES: tuple[tuple[str, str, bool], ...] = (
     # re-guarded here.  Dotted sections traverse nested payload dicts.
     ("planner.separable", "planned_points_per_sec", False),
     ("planner.mixed", "planned_points_per_sec", False),
+    # Durable-checkpointed chunked MC throughput; the < 5% protocol
+    # overhead gate lives in the benchmark itself.
+    ("durability", "checkpointed_points_per_sec", False),
 )
 
 #: Guarded series for ``benchmark: service`` payloads.  All optional
